@@ -1,0 +1,112 @@
+// Ablation: forward error correction over a degraded channel.
+//
+// The paper runs its channels raw at their tuned sweet spots; an
+// attacker forced off those settings (mitigation fuzz, a hostile ti)
+// can trade throughput for reliability with the codec's Hamming(7,4) +
+// interleaver layer. This bench runs channels at degraded operating
+// points and compares raw vs FEC-protected residual error rates against
+// the BSC capacity ceiling.
+#include <benchmark/benchmark.h>
+
+#include "analysis/capacity.h"
+#include "bench/bench_common.h"
+#include "codec/fec.h"
+
+namespace {
+
+using namespace mes;
+
+struct OperatingPoint {
+  const char* name;
+  Mechanism mechanism;
+  double t1_or_tw0_us;
+  double t0_us;
+  double interval_us;
+};
+
+void run_point(TextTable& table, const OperatingPoint& point)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = point.mechanism;
+  cfg.scenario = Scenario::local;
+  if (class_of(point.mechanism) == ChannelClass::contention) {
+    cfg.timing.t1 = Duration::us(point.t1_or_tw0_us);
+    cfg.timing.t0 = Duration::us(point.t0_us);
+  } else {
+    cfg.timing.t0 = Duration::us(point.t1_or_tw0_us);
+    cfg.timing.interval = Duration::us(point.interval_us);
+  }
+  cfg.seed = 0xFEC0DE;
+
+  Rng rng{0xFEC0DE};
+  const BitVec secret = BitVec::random(rng, 4096);
+
+  // Raw transmission.
+  const ChannelReport raw = run_transmission(cfg, secret);
+  // FEC-protected transmission of the same secret.
+  const BitVec coded = codec::fec_protect(secret, 7);
+  const ChannelReport protected_rep = run_transmission(cfg, coded);
+  double residual = 0.0;
+  double goodput = 0.0;
+  if (protected_rep.ok) {
+    const auto recovered =
+        codec::fec_recover(protected_rep.received_payload, 7);
+    residual = static_cast<double>(secret.hamming_distance(
+                   recovered.data.slice(0, secret.size()))) /
+               static_cast<double>(secret.size());
+    goodput = protected_rep.throughput_bps * 4.0 / 7.0;
+  }
+  const double capacity =
+      analysis::effective_capacity_bps(raw.throughput_bps, raw.ber);
+  table.add_row(
+      {point.name, raw.ok ? TextTable::num(raw.ber_percent(), 3) : "-",
+       raw.ok ? TextTable::num(raw.throughput_kbps(), 2) : "-",
+       TextTable::num(residual * 100.0, 4),
+       TextTable::num(goodput / 1000.0, 2),
+       TextTable::num(capacity / 1000.0, 2)});
+}
+
+void print_table()
+{
+  mes::bench::print_header(
+      "FEC over degraded channels: Hamming(7,4) + depth-7 interleaving",
+      "extension; §VI discusses rate, information theory bounds it");
+  TextTable table({"operating point", "raw BER(%)", "raw TR(kb/s)",
+                   "FEC residual BER(%)", "FEC goodput(kb/s)",
+                   "BSC capacity (kb/s)"});
+  const OperatingPoint points[] = {
+      {"Event tuned (15,65)", Mechanism::event, 15, 0, 65},
+      {"Event squeezed (15,30)", Mechanism::event, 15, 0, 30},
+      {"Event starved (5,30)", Mechanism::event, 5, 0, 30},
+      {"flock tuned (160,60)", Mechanism::flock, 160, 60, 0},
+      {"flock squeezed (110,60)", Mechanism::flock, 110, 60, 0},
+  };
+  for (const auto& point : points) run_point(table, point);
+  table.print();
+  std::printf(
+      "\nExpected: at tuned points FEC is nearly free insurance (residual\n"
+      "~0 at 4/7 of the rate); at squeezed points it recovers a usable\n"
+      "channel from 1-15%% raw BER. The BSC capacity column is the ceiling\n"
+      "any code could reach at the raw (TR, BER) point.\n");
+}
+
+void BM_FecProtectRecover(benchmark::State& state)
+{
+  Rng rng{1};
+  const BitVec data = BitVec::random(rng, 4096);
+  for (auto _ : state) {
+    const BitVec coded = codec::fec_protect(data, 7);
+    benchmark::DoNotOptimize(codec::fec_recover(coded, 7).data.size());
+  }
+}
+BENCHMARK(BM_FecProtectRecover)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Ablation: detection and mitigation (the §VIII defensive side).
+//
+// Detection: the kernel op trace of a running channel shows one object
+// hammered by exactly two processes with bimodal inter-op intervals;
+// mes::detect flags it. Mitigation: uniform timing fuzz injected into
+// every MESM operation erodes the Spy's margin — this bench sweeps the
+// fuzz amplitude and reports where each channel dies.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "detect/detector.h"
+#include "os/win_objects.h"
+
+namespace {
+
+using namespace mes;
+
+ChannelReport run_fuzzed(Mechanism m, double fuzz_us, std::uint64_t seed,
+                         TraceOut* trace = nullptr)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = m;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(m, Scenario::local);
+  cfg.mitigation_fuzz = Duration::us(fuzz_us);
+  cfg.enable_trace = trace != nullptr;
+  cfg.seed = seed;
+  return run_transmission(
+      cfg, BitVec::random(*[] {
+        static Rng rng{0xDEFE4D};
+        return &rng;
+      }(), 4096),
+      trace);
+}
+
+void print_detection()
+{
+  std::printf("\n-- Detection: lock-pattern detector on kernel op traces --\n");
+  TextTable table({"workload", "top finding", "flagged"});
+
+  // A running Event channel: should be flagged.
+  TraceOut channel_trace;
+  run_fuzzed(Mechanism::event, 0.0, 0xD7EC7, &channel_trace);
+  const detect::Detector detector;
+  const auto findings = detector.analyze(channel_trace.ops);
+  table.add_row({"Event covert channel",
+                 findings.empty() ? "none" : detect::to_string(findings[0]),
+                 detector.channel_detected(channel_trace.ops) ? "YES" : "no"});
+
+  // Benign workload: two processes using a mutex at random think times.
+  // Build it from the simulator directly.
+  {
+    const ScenarioProfile profile =
+        make_profile(Scenario::local, OsFlavor::windows);
+    sim::Simulator simulator{99};
+    os::Kernel kernel{simulator, profile.noise};
+    kernel.enable_trace(true);
+    os::Process& a = kernel.create_process("worker_a", 0);
+    os::Process& b = kernel.create_process("worker_b", 0);
+    const os::Handle ha = kernel.objects().create_mutex(a, "app_lock", false);
+    const os::Handle hb = kernel.objects().open_mutex(b, "app_lock");
+    struct Worker {
+      static sim::Proc run(os::Kernel& k, os::Process& p, os::Handle h,
+                           int iterations)
+      {
+        for (int i = 0; i < iterations; ++i) {
+          co_await k.objects().wait_for_single_object(p, h);
+          co_await k.sleep(p, Duration::us(20 + p.rng().uniform(0, 400)));
+          co_await k.objects().release_mutex(p, h);
+          co_await k.sleep(p, Duration::us(50 + p.rng().uniform(0, 900)));
+        }
+      }
+    };
+    simulator.spawn(Worker::run(kernel, a, ha, 400));
+    simulator.spawn(Worker::run(kernel, b, hb, 400));
+    simulator.run();
+    const auto benign = detector.analyze(kernel.trace());
+    table.add_row({"benign mutex workload",
+                   benign.empty() ? "none" : detect::to_string(benign[0]),
+                   detector.channel_detected(kernel.trace()) ? "YES (false "
+                                                               "positive)"
+                                                             : "no"});
+  }
+  table.print();
+}
+
+void print_mitigation()
+{
+  std::printf("\n-- Mitigation: per-op timing fuzz vs channel BER --\n");
+  TextTable table({"fuzz (us)", "Event BER(%)", "flock BER(%)"});
+  for (const double fuzz : {0.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    const ChannelReport ev = run_fuzzed(Mechanism::event, fuzz, 0xF022);
+    const ChannelReport fl = run_fuzzed(Mechanism::flock, fuzz, 0xF023);
+    table.add_row({TextTable::num(fuzz, 0),
+                   ev.ok ? TextTable::num(ev.ber_percent(), 2) : "-",
+                   fl.ok ? TextTable::num(fl.ber_percent(), 2) : "-"});
+  }
+  table.print();
+  std::printf(
+      "\nExpected: BER climbs toward 50%% once the fuzz amplitude reaches\n"
+      "the channel's timing margin (ti/2 for Event, ~tt1/2 for flock) —\n"
+      "randomized MESM timing is an effective, if costly, countermeasure.\n");
+}
+
+void BM_DetectorAnalyze(benchmark::State& state)
+{
+  TraceOut trace;
+  run_fuzzed(Mechanism::event, 0.0, 0xD7EC8, &trace);
+  const detect::Detector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.analyze(trace.ops).size());
+  }
+}
+BENCHMARK(BM_DetectorAnalyze)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  mes::bench::print_header("Detection & mitigation of MES-Attacks",
+                           "§VIII (defensive discussion)");
+  print_detection();
+  print_mitigation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

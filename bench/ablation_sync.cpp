@@ -1,0 +1,95 @@
+// Ablation: §V.B's two requirements for contention channels.
+//
+//  1. Fine-grained inter-bit synchronization. Without it the Spy paces
+//     itself by raw sleeps; probe-cost drift accumulates across '0'
+//     runs and every slip corrupts the rest of the stream — "such
+//     errors are accumulated under the mutual exclusion mechanism".
+//  2. Fair competition. With unfair hand-off, the Spy can barge in and
+//     re-capture the resource the moment the Trojan sleeps.
+//
+// The paper's claim: the attack only works with both. This bench runs
+// the flock channel through the 2x2 grid at two message lengths.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace mes;
+
+ChannelReport run_cell(bool fine_sync, os::LockFairness fairness,
+                       std::size_t bits, std::uint64_t seed)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.fine_grained_sync = fine_sync;
+  cfg.fairness = fairness;
+  cfg.seed = seed;
+  cfg.max_events = 80'000'000;
+  return mes::bench::run_random(cfg, bits);
+}
+
+void print_table()
+{
+  mes::bench::print_header(
+      "Ablation: inter-bit sync and lock fairness (flock channel)",
+      "§V.B of MES-Attacks, DAC'23");
+  TextTable table({"configuration", "512-bit BER(%)", "8192-bit BER(%)",
+                   "verdict"});
+  struct Cell {
+    const char* name;
+    bool sync;
+    os::LockFairness fairness;
+  };
+  const Cell cells[] = {
+      {"fair + fine-grained sync", true, os::LockFairness::fair},
+      {"fair, no fine-grained sync", false, os::LockFairness::fair},
+      {"unfair + fine-grained sync", true, os::LockFairness::unfair},
+      {"unfair, no fine-grained sync", false, os::LockFairness::unfair},
+  };
+  for (const Cell& cell : cells) {
+    const ChannelReport small =
+        run_cell(cell.sync, cell.fairness, 512, 0xAB1A7E);
+    const ChannelReport large =
+        run_cell(cell.sync, cell.fairness, 8192, 0xAB1A7F);
+    auto fmt = [](const ChannelReport& r) {
+      return r.ok ? TextTable::num(r.ber_percent(), 2) : std::string{"fail"};
+    };
+    const double worst =
+        std::max(small.ok ? small.ber : 1.0, large.ok ? large.ber : 1.0);
+    table.add_row({cell.name, fmt(small), fmt(large),
+                   worst < 0.02 ? "channel works" : "channel broken"});
+  }
+  table.print();
+  std::printf(
+      "\nExpected: the fine-grained rendezvous is the decisive factor —\n"
+      "without it, probe-cost drift slips the Spy's bit alignment and the\n"
+      "accumulated errors (§V.B) push BER toward 50%% regardless of message\n"
+      "length. The rendezvous also restores per-bit execution order, which\n"
+      "is why it masks the fair/unfair hand-off distinction the paper\n"
+      "highlights for its weaker synchronization: our reproduction's\n"
+      "ordering guarantee subsumes the fair-pattern requirement.\n");
+}
+
+void BM_SyncedVsUnsynced(benchmark::State& state)
+{
+  const bool sync = state.range(0) != 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_cell(sync, os::LockFairness::fair, 256, ++seed).ber);
+  }
+}
+BENCHMARK(BM_SyncedVsUnsynced)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Every bench prints its paper table/figure reproduction first (plain
+// text, deterministic), then runs a small google-benchmark suite over
+// the primitives involved so `--benchmark_*` flags work as usual.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace mes::bench {
+
+// One full framed transmission of `bits` random payload bits.
+inline ChannelReport run_random(ExperimentConfig cfg, std::size_t bits)
+{
+  Rng payload_rng{cfg.seed ^ 0xabcdef12345ULL};
+  const std::size_t width = cfg.timing.symbol_bits;
+  const std::size_t n = bits - bits % (width == 0 ? 1 : width);
+  const BitVec payload = BitVec::random(payload_rng, n);
+  return run_transmission(cfg, payload);
+}
+
+inline std::string timeset_string(Mechanism m, const TimingConfig& t)
+{
+  char buf[96];
+  if (class_of(m) == ChannelClass::contention) {
+    std::snprintf(buf, sizeof buf, "tt1=%.0f tt0=%.0f", t.t1.to_us(),
+                  t.t0.to_us());
+  } else {
+    std::snprintf(buf, sizeof buf, "tw0=%.0f ti=%.0f", t.t0.to_us(),
+                  t.interval.to_us());
+  }
+  return buf;
+}
+
+inline void print_header(const char* title, const char* paper_ref)
+{
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", title, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace mes::bench

@@ -1,0 +1,91 @@
+// Reproduces Fig. 8: the proof-of-concept traces.
+//
+// (a) the 20-bit sequence the Trojan sends;
+// (b) the Spy's per-bit detection times under the *synchronization*
+//     (Event) channel with 2 s / 1 s waits — two clean levels;
+// (c) the same under the *mutual exclusion* (flock) channel with a 3 s
+//     hold for '1' and a 1 s sleep for '0'.
+//
+// The figure's point is simply that '1' and '0' are cleanly separable at
+// second scale; the reproduction prints both latency series.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace mes;
+
+const char* kSequence = "11010010001100101001";
+
+ChannelReport run_poc(Mechanism m)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = m;
+  cfg.scenario = Scenario::local;
+  cfg.sync_bits = 0;  // the PoC transmits the raw sequence
+  cfg.recalibrate_from_preamble = false;
+  cfg.seed = 0xF160808;
+  if (class_of(m) == ChannelClass::cooperation) {
+    cfg.timing.t0 = Duration::sec(1);        // wait 1 s for '0'
+    cfg.timing.interval = Duration::sec(1);  // 2 s for '1'
+  } else {
+    cfg.timing.t1 = Duration::sec(3);  // hold 3 s for '1'
+    cfg.timing.t0 = Duration::sec(1);  // sleep 1 s for '0'
+  }
+  return run_transmission(cfg, BitVec::from_string(kSequence));
+}
+
+void print_series(const char* title, const ChannelReport& rep)
+{
+  std::printf("%s\n", title);
+  std::printf("  bit :");
+  for (std::size_t i = 0; i < rep.tx_symbols.size(); ++i) {
+    std::printf(" %4zu", rep.tx_symbols[i]);
+  }
+  std::printf("\n  t(s):");
+  for (const Duration lat : rep.rx_latencies) {
+    std::printf(" %4.1f", lat.to_sec());
+  }
+  std::printf("\n  rx  :");
+  for (const std::size_t s : rep.rx_symbols) std::printf(" %4zu", s);
+  std::printf("\n  decoded %s (BER %.2f%%)\n\n",
+              rep.received_payload.to_string().c_str(),
+              rep.ber_percent());
+}
+
+void print_figure()
+{
+  mes::bench::print_header("Proof of concept: second-scale transmission",
+                           "Fig. 8 of MES-Attacks, DAC'23");
+  std::printf("\n(a) Trojan bit sequence: %s\n\n", kSequence);
+
+  const ChannelReport sync_rep = run_poc(Mechanism::event);
+  print_series("(b) Spy detection times, synchronization (Event, 2s/1s):",
+               sync_rep);
+
+  const ChannelReport mutex_rep = run_poc(Mechanism::flock);
+  print_series("(c) Spy detection times, mutual exclusion (flock, 3s/1s):",
+               mutex_rep);
+
+  std::printf("Expected: '1' and '0' levels cleanly separable in both\n"
+              "traces; both decode the sequence exactly (BER 0%%).\n");
+}
+
+void BM_PocEvent(benchmark::State& state)
+{
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_poc(Mechanism::event).ber);
+  }
+}
+BENCHMARK(BM_PocEvent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

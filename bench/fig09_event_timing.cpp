@@ -1,0 +1,88 @@
+// Reproduces Fig. 9: Event-channel performance vs. time parameters.
+//
+// (a) BER vs. tw0 for ti in {30,50,70,90,110,130} us — expected shape:
+//     every curve rises steeply below tw0 = 15 us (sub-granularity
+//     sleeps); the ti=30 curve exceeds 1% and grows with tw0 (blocks in
+//     the Trojan's send window defeat a 15 us margin); ti >= 50 stays
+//     below 1% and roughly flat.
+// (b) TR vs. the same sweep — TR falls with both parameters; the best
+//     sub-1%-BER point is tw0=15, ti~65-70 at ~13 kb/s (Table IV).
+#include <benchmark/benchmark.h>
+
+#include "analysis/sweep.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace mes;
+
+constexpr std::size_t kBitsPerPoint = 20000;
+
+void print_figure()
+{
+  mes::bench::print_header("Event channel: BER / TR vs (tw0, ti)",
+                           "Fig. 9(a) and 9(b) of MES-Attacks, DAC'23");
+
+  const std::vector<double> tw0_us = {5, 10, 15, 25, 35, 45, 55, 65, 75};
+  const std::vector<double> ti_us = {30, 50, 70, 90, 110, 130};
+
+  const auto points = analysis::sweep_grid(
+      tw0_us, ti_us, kBitsPerPoint, 0xF19009,
+      [](double tw0, double ti) {
+        ExperimentConfig cfg;
+        cfg.mechanism = Mechanism::event;
+        cfg.scenario = Scenario::local;
+        cfg.timing.t0 = Duration::us(tw0);
+        cfg.timing.interval = Duration::us(ti);
+        return cfg;
+      });
+
+  TextTable ber({"tw0(us) \\ ti(us)", "30", "50", "70", "90", "110", "130"});
+  TextTable tr({"tw0(us) \\ ti(us)", "30", "50", "70", "90", "110", "130"});
+  for (std::size_t r = 0; r < tw0_us.size(); ++r) {
+    std::vector<std::string> ber_row{TextTable::num(tw0_us[r], 0)};
+    std::vector<std::string> tr_row{TextTable::num(tw0_us[r], 0)};
+    for (std::size_t c = 0; c < ti_us.size(); ++c) {
+      const auto& p = points[c * tw0_us.size() + r];
+      ber_row.push_back(p.ok ? TextTable::num(p.ber * 100.0, 3) : "x");
+      tr_row.push_back(p.ok ? TextTable::num(p.throughput_bps / 1000.0, 2)
+                            : "x");
+    }
+    ber.add_row(ber_row);
+    tr.add_row(tr_row);
+  }
+  std::printf("\nFig. 9(a): BER(%%) vs tw0 (rows) and ti (columns)\n");
+  ber.print();
+  std::printf("\nFig. 9(b): TR(kb/s) vs tw0 (rows) and ti (columns)\n");
+  tr.print();
+  std::printf(
+      "\nPaper checkpoints: BER > 1%% below tw0=15; ti=30 exceeds 1%% and\n"
+      "grows with tw0; ti >= 50 stays under ~1%%; max TR ~13.1 kb/s at\n"
+      "(tw0=15, ti=65-70).\n");
+}
+
+void BM_EventSweepPoint(benchmark::State& state)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing.t0 = Duration::us(static_cast<double>(state.range(0)));
+  cfg.timing.interval = Duration::us(static_cast<double>(state.range(1)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(mes::bench::run_random(cfg, 256).ber);
+  }
+}
+BENCHMARK(BM_EventSweepPoint)->Args({15, 65})->Args({75, 30})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

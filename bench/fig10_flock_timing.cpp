@@ -1,0 +1,76 @@
+// Reproduces Fig. 10: flock-channel BER and TR vs tt1 (tt0 fixed at 60 us
+// — the Linux sleep wake-up floor pins it, §V.C.1).
+//
+// Expected shape: TR decreases monotonically with tt1; BER is concave —
+// it rises below tt1 ~ 160 (classification margins shrink against
+// dispatch/jitter tails), sits under 1% through [160, 220], and rises
+// again past ~220 as the post-wait displaced-work penalty (the paper's
+// "system is blocked more often") truncates measurements.
+#include <benchmark/benchmark.h>
+
+#include "analysis/sweep.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace mes;
+
+constexpr std::size_t kBitsPerPoint = 20000;
+
+void print_figure()
+{
+  mes::bench::print_header("flock channel: BER and TR vs tt1 (tt0 = 60us)",
+                           "Fig. 10 of MES-Attacks, DAC'23");
+
+  std::vector<double> tt1_us;
+  for (double t = 110; t <= 320; t += 15) tt1_us.push_back(t);
+
+  const auto points = analysis::sweep(
+      tt1_us, kBitsPerPoint, 0xF1610,
+      [](double tt1) {
+        ExperimentConfig cfg;
+        cfg.mechanism = Mechanism::flock;
+        cfg.scenario = Scenario::local;
+        cfg.timing.t1 = Duration::us(tt1);
+        cfg.timing.t0 = Duration::us(60);
+        return cfg;
+      });
+
+  TextTable table({"tt1(us)", "BER(%)", "TR(kb/s)"});
+  for (const auto& p : points) {
+    table.add_row({TextTable::num(p.x, 0),
+                   p.ok ? TextTable::num(p.ber * 100.0, 3) : "x",
+                   p.ok ? TextTable::num(p.throughput_bps / 1000.0, 3) : "x"});
+  }
+  table.print();
+  std::printf(
+      "\nPaper checkpoints: BER < 1%% for tt1 in [160, 220]; rises below\n"
+      "160 (Spy resolution) and above 220 (system blocking); recommended\n"
+      "point tt1=160 with BER ~0.6%% and TR ~7.2 kb/s.\n");
+}
+
+void BM_FlockSweepPoint(benchmark::State& state)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing.t1 = Duration::us(static_cast<double>(state.range(0)));
+  cfg.timing.t0 = Duration::us(60);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(mes::bench::run_random(cfg, 256).ber);
+  }
+}
+BENCHMARK(BM_FlockSweepPoint)->Arg(110)->Arg(160)->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

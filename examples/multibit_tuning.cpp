@@ -1,0 +1,68 @@
+// Channel-capacity tuning with multi-bit symbols (§VI).
+//
+// An attacker tuning for throughput sweeps the symbol width and level
+// spacing, watching the BER/TR trade-off: wider alphabets pack more bits
+// per rendezvous but squeeze the decision margins and stretch the high
+// symbols. The paper's finding — 2-bit symbols beat 1-bit, 3-bit stops
+// paying — emerges from the sweep.
+#include <cstdio>
+
+#include "core/runner.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main()
+{
+  using namespace mes;
+
+  std::printf("Event channel, local scenario, tw0 = 15 us, 20k-bit "
+              "payloads.\n\n");
+  TextTable table({"width", "interval(us)", "levels(us)", "BER(%)",
+                   "TR(kb/s)", "effective kb/s (x(1-BER))"});
+
+  double best_goodput = 0.0;
+  std::size_t best_width = 1;
+  double best_interval = 0.0;
+
+  for (const std::size_t width : {1u, 2u, 3u}) {
+    for (const double interval : {40.0, 50.0, 65.0}) {
+      ExperimentConfig cfg;
+      cfg.mechanism = Mechanism::event;
+      cfg.scenario = Scenario::local;
+      cfg.timing.t0 = Duration::us(15);
+      cfg.timing.interval = Duration::us(interval);
+      cfg.timing.symbol_bits = width;
+      cfg.sync_bits = width * 8;
+      cfg.seed = 0x7u + width * 131 + static_cast<std::uint64_t>(interval);
+      Rng rng{cfg.seed};
+      const std::size_t bits = 20000 - 20000 % width;
+      const ChannelReport rep =
+          run_transmission(cfg, BitVec::random(rng, bits));
+      if (!rep.ok) continue;
+
+      char levels[64];
+      const std::size_t alphabet = std::size_t{1} << width;
+      std::snprintf(levels, sizeof levels, "15..%.0f (%zu)",
+                    15.0 + interval * static_cast<double>(alphabet - 1),
+                    alphabet);
+      const double goodput = rep.throughput_bps * (1.0 - rep.ber);
+      table.add_row({std::to_string(width) + "-bit",
+                     TextTable::num(interval, 0), levels,
+                     TextTable::num(rep.ber_percent(), 3),
+                     TextTable::num(rep.throughput_kbps(), 3),
+                     TextTable::num(goodput / 1000.0, 3)});
+      if (rep.ber < 0.02 && goodput > best_goodput) {
+        best_goodput = goodput;
+        best_width = width;
+        best_interval = interval;
+      }
+    }
+  }
+  table.print();
+  std::printf("\nBest sub-2%%-BER configuration: %zu-bit symbols at "
+              "interval %.0f us -> %.3f kb/s goodput.\n",
+              best_width, best_interval, best_goodput / 1000.0);
+  std::printf("Paper: 2-bit at 50 us spacing peaks (~15.1 kb/s vs 13.1); "
+              "3-bit adds nothing (§VI).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Real covert channel between two *forked processes* over flock(2).
+//
+// Everything else in examples/ runs on the simulator; this one performs
+// the attack on the host: the parent forks a Spy process, both open the
+// same world-readable lock file, and a short message crosses the process
+// boundary purely through lock-acquisition timing. No pipe, no socket,
+// no shared writable memory — the file is opened read-only by both.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "codec/frame.h"
+#include "native/flock_channel.h"
+#include "native/native_common.h"
+
+int main()
+{
+  using namespace mes;
+  using namespace mes::native;
+
+  const std::string message = "MES";
+  const BitVec payload = BitVec::from_text(message);
+  const std::size_t sync_bits = 8;
+  const codec::Frame frame = codec::make_frame(payload, sync_bits);
+  const NativeTiming timing;  // container-lenient defaults
+
+  const std::string path = "/tmp/mes_demo_" + std::to_string(::getpid()) +
+                           ".lock";
+  const int create_fd = ::open(path.c_str(), O_CREAT | O_RDONLY, 0444);
+  if (create_fd < 0) {
+    std::perror("create lock file");
+    return 1;
+  }
+  ::close(create_fd);
+
+  std::printf("parent (Trojan) pid %d: sending \"%s\" (%zu bits + %zu sync) "
+              "over %s\n",
+              ::getpid(), message.c_str(), payload.size(), sync_bits,
+              path.c_str());
+
+  int status_pipe[2];  // result travels back only for printing
+  if (::pipe(status_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+
+  if (child == 0) {
+    // --- Spy process -----------------------------------------------------
+    ::close(status_pipe[0]);
+    std::string error;
+    const double threshold_us =
+        std::chrono::duration<double, std::micro>(timing.t0 + timing.t1)
+            .count() /
+        2.0;
+    const auto latencies = flock_receive(path, frame.bits.size(), timing,
+                                         threshold_us, &error);
+    std::string line;
+    if (!latencies) {
+      line = "ERROR " + error;
+    } else {
+      const NativeReport rep =
+          score_reception(payload, sync_bits, *latencies, threshold_us,
+                          std::chrono::seconds{1});
+      line = "OK sync=" + std::to_string(rep.sync_ok) +
+             " ber=" + std::to_string(rep.ber) + " text=" +
+             (rep.ber == 0.0 ? rep.received_payload.to_text() : "<errors>");
+    }
+    const ssize_t written =
+        ::write(status_pipe[1], line.c_str(), line.size());
+    (void)written;
+    ::close(status_pipe[1]);
+    ::_exit(0);
+  }
+
+  // --- Trojan process ----------------------------------------------------
+  ::close(status_pipe[1]);
+  ::usleep(50'000);  // let the Spy arm its first probe
+  const std::string tx_error = flock_send(path, frame.bits, timing);
+  if (!tx_error.empty()) {
+    std::printf("send failed: %s\n", tx_error.c_str());
+  }
+
+  char buffer[256] = {};
+  const ssize_t n = ::read(status_pipe[0], buffer, sizeof buffer - 1);
+  ::close(status_pipe[0]);
+  int wstatus = 0;
+  ::waitpid(child, &wstatus, 0);
+  ::unlink(path.c_str());
+
+  std::printf("spy (child) reported: %s\n",
+              n > 0 ? buffer : "<no report>");
+  const bool ok = n > 0 && std::strstr(buffer, "OK") != nullptr &&
+                  std::strstr(buffer, message.c_str()) != nullptr;
+  std::printf("cross-process covert transfer %s\n",
+              ok ? "SUCCEEDED" : "had errors (scheduler noise; rerun)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#include "analysis/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mes::analysis {
+
+double binary_entropy(double p)
+{
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double bsc_capacity(double bit_error_rate)
+{
+  const double p = std::clamp(bit_error_rate, 0.0, 0.5);
+  return 1.0 - binary_entropy(p);
+}
+
+double effective_capacity_bps(double throughput_bps, double bit_error_rate)
+{
+  return throughput_bps * bsc_capacity(bit_error_rate);
+}
+
+double hamming74_block_failure(double bit_error_rate)
+{
+  const double p = std::clamp(bit_error_rate, 0.0, 1.0);
+  const double q = 1.0 - p;
+  // P(0 or 1 flips in 7 trials) survives decoding.
+  const double survive = std::pow(q, 7) + 7.0 * p * std::pow(q, 6);
+  return 1.0 - survive;
+}
+
+}  // namespace mes::analysis

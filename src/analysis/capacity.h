@@ -1,0 +1,28 @@
+// Information-theoretic channel analysis.
+//
+// A MES channel with bit error rate p is a binary symmetric channel;
+// its capacity C = 1 - H2(p) bounds what any coding scheme (e.g. the
+// codec's Hamming layer) can extract. The benches report effective
+// capacity alongside raw TR so coding overheads can be judged against
+// the theoretical ceiling.
+#pragma once
+
+#include <cstddef>
+
+namespace mes::analysis {
+
+// Binary entropy in bits; H2(0) = H2(1) = 0, peak 1.0 at p = 0.5.
+double binary_entropy(double p);
+
+// BSC capacity in bits per channel use: 1 - H2(p), clamped to [0, 1].
+double bsc_capacity(double bit_error_rate);
+
+// Achievable information rate of a channel running at `throughput_bps`
+// raw with `bit_error_rate`: throughput x capacity.
+double effective_capacity_bps(double throughput_bps, double bit_error_rate);
+
+// Residual block-error probability of Hamming(7,4) on a BSC: the block
+// fails when 2+ of its 7 bits flip.
+double hamming74_block_failure(double bit_error_rate);
+
+}  // namespace mes::analysis

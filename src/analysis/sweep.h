@@ -1,0 +1,52 @@
+// Parameter-sweep driver used by the figure benches.
+//
+// Each sweep point runs a full framed transmission with a derived seed
+// and aggregates BER/TR. Points run in parallel (each owns its whole
+// simulator stack) to keep the Fig. 9 grid fast.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/runner.h"
+
+namespace mes::analysis {
+
+struct SweepPoint {
+  double x = 0.0;             // the swept parameter value (us)
+  double series = 0.0;        // secondary parameter (e.g. ti), if any
+  double ber = 0.0;           // fraction
+  double throughput_bps = 0.0;
+  bool ok = false;
+  std::string failure;
+};
+
+// Runs `make_config(x, series)` over the cross product, transmitting
+// `bits_per_point` random payload bits per point. Deterministic: the
+// payload and seed derive from (seed_base, x, series).
+std::vector<SweepPoint> sweep_grid(
+    const std::vector<double>& xs, const std::vector<double>& series,
+    std::size_t bits_per_point, std::uint64_t seed_base,
+    const std::function<ExperimentConfig(double x, double s)>& make_config);
+
+// Single-series convenience wrapper.
+std::vector<SweepPoint> sweep(
+    const std::vector<double>& xs, std::size_t bits_per_point,
+    std::uint64_t seed_base,
+    const std::function<ExperimentConfig(double x)>& make_config);
+
+// Aggregate throughput of `pairs` concurrent Trojan/Spy pairs, all
+// inside one simulation (§V.C.1's multi-process scaling argument).
+struct MultiPairResult {
+  std::size_t pairs = 0;
+  double aggregate_bps = 0.0;
+  double mean_ber = 0.0;
+};
+MultiPairResult run_multi_pair(const ExperimentConfig& base,
+                               std::size_t pairs,
+                               std::size_t bits_per_pair);
+
+}  // namespace mes::analysis

@@ -1,0 +1,106 @@
+#include "channels/contention_base.h"
+
+#include <stdexcept>
+
+namespace mes::channels {
+
+namespace {
+
+// Both endpoints pay a re-dispatch latency when the scheduler releases
+// them from the per-bit rendezvous, plus any pending displaced-work
+// penalty from the previous bit's long park. Paying the penalty here —
+// *before* the Spy takes its timestamp — is what lets a long previous
+// hold truncate the next measurement (Fig. 10's right-side BER rise).
+// The Spy's re-dispatch is the slower, heavier-tailed rx variant (it
+// blocks twice per bit: on the resource and at the rendezvous), which
+// bounds its resolution at small tt1 (the left-side rise).
+sim::Proc rendezvous(core::RunContext& ctx, os::Process& proc, bool receiver)
+{
+  co_await ctx.bit_sync->arrive(ctx.kernel.sim());
+  const sim::NoiseModel& noise = ctx.kernel.noise();
+  const Duration dispatch = receiver
+                                ? noise.rx_dispatch_latency(proc.rng())
+                                : noise.dispatch_latency(proc.rng());
+  co_await ctx.kernel.sim().delay(dispatch + proc.take_pending_penalty());
+}
+
+}  // namespace
+
+sim::Proc ContentionBase::trojan_run(core::RunContext& ctx,
+                                     std::vector<std::size_t> symbols)
+{
+  os::Kernel& k = ctx.kernel;
+  os::Process& trojan = ctx.trojan;
+  for (const std::size_t s : symbols) {
+    if (ctx.bit_sync) co_await rendezvous(ctx, trojan, false);
+    co_await k.sim().delay(core::jittered_loop_cost(ctx, trojan));
+    if (s != 0) {
+      co_await acquire(ctx, trojan);
+      co_await k.sleep(trojan, ctx.timing.t1);
+      co_await release(ctx, trojan);
+    } else {
+      co_await k.sleep(trojan, ctx.timing.t0);
+    }
+  }
+}
+
+sim::Proc ContentionBase::spy_run(core::RunContext& ctx, std::size_t expected,
+                                  core::RxResult& out)
+{
+  os::Kernel& k = ctx.kernel;
+  os::Process& spy = ctx.spy;
+  out.symbols.reserve(expected);
+  out.latencies.reserve(expected);
+  if (expected == 0) co_return;
+
+  std::size_t start_index = 0;
+  if (!ctx.bit_sync) {
+    // Unsynchronized mode (the §V.B ablation): anchor on the Trojan's
+    // first hold — the frame opens with a '1' — by probing at a tight
+    // busy-wait cadence until the first long acquisition.
+    constexpr int kMaxAnchorProbes = 200000;
+    bool anchored = false;
+    for (int tries = 0; tries < kMaxAnchorProbes && !anchored; ++tries) {
+      const TimePoint start = k.sim().now();
+      co_await acquire(ctx, spy);
+      co_await release(ctx, spy);
+      const Duration latency = k.sim().now() - start;
+      if (ctx.classifier.classify(latency) != 0) {
+        const Duration reading = k.noise().apply_corruption(spy.rng(), latency);
+        out.latencies.push_back(reading);
+        out.symbols.push_back(ctx.classifier.classify(reading));
+        anchored = true;
+      } else {
+        co_await k.sim().delay(Duration::us(2.0));
+      }
+    }
+    if (!anchored) {
+      throw std::runtime_error{"contention spy: sender never started"};
+    }
+    start_index = 1;
+  }
+
+  for (std::size_t i = start_index; i < expected; ++i) {
+    if (ctx.bit_sync) {
+      co_await rendezvous(ctx, spy, true);
+      // Let the Trojan's acquire reach the kernel first.
+      co_await k.sim().delay(ctx.spy_guard);
+    } else {
+      co_await k.sim().delay(core::jittered_loop_cost(ctx, spy));
+    }
+    const TimePoint start = k.sim().now();
+    co_await acquire(ctx, spy);
+    co_await release(ctx, spy);
+    const Duration latency =
+        k.noise().apply_corruption(spy.rng(), k.sim().now() - start);
+    const std::size_t symbol = ctx.classifier.classify(latency);
+    out.latencies.push_back(latency);
+    out.symbols.push_back(symbol);
+    // Protocol 1 line 11: pace the next probe after a short ('0') read.
+    // Under barrier sync the rendezvous paces instead.
+    if (!ctx.bit_sync && symbol == 0) co_await k.sleep(spy, ctx.timing.t0);
+  }
+  out.finished_at = k.sim().now();
+}
+
+}  // namespace mes::channels

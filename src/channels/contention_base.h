@@ -1,0 +1,36 @@
+// Shared protocol loops for contention (mutual exclusion) channels.
+//
+// Protocol 1 generalized over the locking primitive:
+//   Trojan, per bit:  '1' -> acquire; sleep(t1); release
+//                     '0' -> sleep(t0)
+//   Spy, per bit:     timestamp; acquire; release; timestamp; classify;
+//                     after reading '0' sleep(t0) to stay aligned.
+//
+// Alignment note (§V.B): every '1' re-anchors the Spy because it stays
+// blocked until the Trojan's release; during runs of '0' the Spy's probe
+// costs make it drift *late* by a few microseconds per bit, which a
+// following '1' absorbs (the hold is long). The Spy sleeping after '1'
+// probes as well would instead push its next probe deep into the next
+// hold window, so only '0' readings pace themselves — this matches the
+// TR arithmetic of Table IV (see DESIGN.md §5).
+#pragma once
+
+#include "core/channel.h"
+
+namespace mes::channels {
+
+class ContentionBase : public core::Channel {
+ public:
+  sim::Proc trojan_run(core::RunContext& ctx,
+                       std::vector<std::size_t> symbols) override;
+  sim::Proc spy_run(core::RunContext& ctx, std::size_t expected,
+                    core::RxResult& out) override;
+
+ protected:
+  // Blocking acquire / release of the critical resource for `proc`
+  // (which is either ctx.trojan or ctx.spy).
+  virtual sim::Proc acquire(core::RunContext& ctx, os::Process& proc) = 0;
+  virtual sim::Proc release(core::RunContext& ctx, os::Process& proc) = 0;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,42 @@
+#include "channels/cooperation_base.h"
+
+namespace mes::channels {
+
+sim::Proc CooperationBase::trojan_run(core::RunContext& ctx,
+                                      std::vector<std::size_t> symbols)
+{
+  os::Kernel& k = ctx.kernel;
+  os::Process& trojan = ctx.trojan;
+  for (const std::size_t s : symbols) {
+    co_await k.sim().delay(core::jittered_loop_cost(ctx, trojan));
+    co_await k.sleep(trojan, ctx.schedule.hold_time(s));
+    co_await signal(ctx);
+  }
+}
+
+sim::Proc CooperationBase::spy_run(core::RunContext& ctx, std::size_t expected,
+                                   core::RxResult& out)
+{
+  os::Kernel& k = ctx.kernel;
+  os::Process& spy = ctx.spy;
+  out.symbols.reserve(expected);
+  out.latencies.reserve(expected);
+  // Generous per-symbol deadline: far above the slowest symbol, so it
+  // only fires when a signal was genuinely lost.
+  const Duration max_hold = ctx.schedule.hold_time(ctx.schedule.alphabet_size() - 1);
+  const Duration timeout = (max_hold + Duration::us(200)) * 20.0;
+  for (std::size_t i = 0; i < expected; ++i) {
+    co_await k.sim().delay(core::jittered_loop_cost(ctx, spy));
+    const TimePoint start = k.sim().now();
+    const bool signaled = co_await wait(ctx, timeout);
+    Duration latency = k.sim().now() - start;
+    if (signaled) {
+      latency = k.noise().apply_corruption(spy.rng(), latency);
+    }
+    out.latencies.push_back(latency);
+    out.symbols.push_back(ctx.classifier.classify(latency));
+  }
+  out.finished_at = k.sim().now();
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,31 @@
+// Shared protocol loops for cooperation (synchronization) channels.
+//
+// Protocol 2 generalized over the signalling primitive:
+//   Trojan, per symbol k:  sleep(t0 + k*interval); signal
+//   Spy, per symbol:       timestamp; wait; timestamp; classify
+//
+// No pacing sleeps on the Spy side: every signal re-anchors it, which is
+// what gives cooperation channels their bit independence (§IV.G) — one
+// corrupted bit never skews the next measurement window.
+#pragma once
+
+#include "core/channel.h"
+
+namespace mes::channels {
+
+class CooperationBase : public core::Channel {
+ public:
+  sim::Proc trojan_run(core::RunContext& ctx,
+                       std::vector<std::size_t> symbols) override;
+  sim::Proc spy_run(core::RunContext& ctx, std::size_t expected,
+                    core::RxResult& out) override;
+
+ protected:
+  virtual sim::Proc signal(core::RunContext& ctx) = 0;  // trojan side
+  // Spy side: blocks until signalled; false on timeout. The timeout
+  // guards against lost signals (two SetEvents merging while the Spy is
+  // descheduled) turning into an unbounded hang at stream end.
+  virtual sim::Task<bool> wait(core::RunContext& ctx, Duration timeout) = 0;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,41 @@
+#include "channels/event_channel.h"
+
+#include <stdexcept>
+
+#include "os/win_objects.h"
+
+namespace mes::channels {
+
+std::string EventChannel::setup(core::RunContext& ctx)
+{
+  const std::string name = "mes_event_" + ctx.tag;
+  os::ObjectManager& om = ctx.kernel.objects();
+  // Protocol 2: the receiver creates the event; the sender opens it.
+  spy_h_ = om.create_event(ctx.spy, name, os::ResetMode::auto_reset,
+                           /*initially_signaled=*/false);
+  if (spy_h_ == os::kInvalidHandle) return "Event: create failed";
+  trojan_h_ = om.open_event(ctx.trojan, name);
+  if (trojan_h_ == os::kInvalidHandle) {
+    return "Event: named kernel object not visible across this boundary "
+           "(session-private namespace, §V.C.3)";
+  }
+  return {};
+}
+
+sim::Proc EventChannel::signal(core::RunContext& ctx)
+{
+  co_await ctx.kernel.objects().set_event(ctx.trojan, trojan_h_);
+}
+
+sim::Task<bool> EventChannel::wait(core::RunContext& ctx, Duration timeout)
+{
+  const auto status = co_await ctx.kernel.objects().wait_for_single_object(
+      ctx.spy, spy_h_, timeout);
+  if (status == os::WaitStatus::timed_out) co_return false;
+  if (status != os::WaitStatus::object_0) {
+    throw std::runtime_error{"Event wait failed"};
+  }
+  co_return true;
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,27 @@
+// Event-based covert channel (§IV.F, Protocol 2) — the paper's fastest.
+//
+// The Spy creates an auto-reset Event and blocks in
+// WaitForSingleObject(INFINITE); the Trojan opens it by name and encodes
+// each symbol in how long it waits before SetEvent. Cooperation class:
+// the two processes never contend, they rendezvous.
+#pragma once
+
+#include "channels/cooperation_base.h"
+
+namespace mes::channels {
+
+class EventChannel final : public CooperationBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::event; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc signal(core::RunContext& ctx) override;
+  sim::Task<bool> wait(core::RunContext& ctx, Duration timeout) override;
+
+ private:
+  os::Handle trojan_h_ = os::kInvalidHandle;
+  os::Handle spy_h_ = os::kInvalidHandle;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,43 @@
+#include "core/channel.h"
+
+#include "channels/event_channel.h"
+#include "channels/filelockex_channel.h"
+#include "channels/flock_channel.h"
+#include "channels/flock_shared_channel.h"
+#include "channels/mutex_channel.h"
+#include "channels/semaphore_channel.h"
+#include "channels/signal_channel.h"
+#include "channels/timer_channel.h"
+
+namespace mes::core {
+
+std::unique_ptr<Channel> make_channel(Mechanism m)
+{
+  switch (m) {
+    case Mechanism::flock:
+      return std::make_unique<channels::FlockChannel>();
+    case Mechanism::file_lock_ex:
+      return std::make_unique<channels::FileLockExChannel>();
+    case Mechanism::mutex:
+      return std::make_unique<channels::MutexChannel>();
+    case Mechanism::semaphore:
+      return std::make_unique<channels::SemaphoreChannel>();
+    case Mechanism::event:
+      return std::make_unique<channels::EventChannel>();
+    case Mechanism::waitable_timer:
+      return std::make_unique<channels::TimerChannel>();
+    case Mechanism::posix_signal:
+      return std::make_unique<channels::SignalChannel>();
+    case Mechanism::flock_shared:
+      return std::make_unique<channels::FlockSharedChannel>();
+  }
+  return nullptr;
+}
+
+Duration jittered_loop_cost(RunContext& ctx, os::Process& proc)
+{
+  const double scale = proc.rng().uniform(0.8, 1.2);
+  return ctx.loop_cost * scale;
+}
+
+}  // namespace mes::core

@@ -1,0 +1,46 @@
+#include "channels/filelockex_channel.h"
+
+#include <stdexcept>
+
+#include "os/vfs.h"
+
+namespace mes::channels {
+
+std::string FileLockExChannel::setup(core::RunContext& ctx)
+{
+  const std::string path = "/shared/mes_filelockex_" + ctx.tag + ".dat";
+  os::Vfs& vfs = ctx.kernel.vfs();
+  vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
+                  /*mandatory_locking=*/true);
+  trojan_fd_ = vfs.open(ctx.trojan, path, os::OpenMode::read_only);
+  if (trojan_fd_ < 0) return "FileLockEX: trojan cannot open the shared file";
+  spy_fd_ = vfs.open(ctx.spy, path, os::OpenMode::read_only);
+  if (spy_fd_ < 0) {
+    return "FileLockEX: shared volume not mounted across this boundary "
+           "(type-2 hypervisors share no host volume, Table VI)";
+  }
+  return {};
+}
+
+os::Fd FileLockExChannel::fd_for(core::RunContext& ctx,
+                                 os::Process& proc) const
+{
+  return &proc == &ctx.trojan ? trojan_fd_ : spy_fd_;
+}
+
+sim::Proc FileLockExChannel::acquire(core::RunContext& ctx, os::Process& proc)
+{
+  const int rc = co_await ctx.kernel.vfs().lock_file_ex(
+      proc, fd_for(ctx, proc), kRegionOff, kRegionLen,
+      os::LockMode::exclusive);
+  if (rc != os::kOk) throw std::runtime_error{"LockFileEx failed"};
+}
+
+sim::Proc FileLockExChannel::release(core::RunContext& ctx, os::Process& proc)
+{
+  const int rc = co_await ctx.kernel.vfs().unlock_file_ex(
+      proc, fd_for(ctx, proc), kRegionOff, kRegionLen);
+  if (rc != os::kOk) throw std::runtime_error{"UnlockFileEx failed"};
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,31 @@
+// FileLockEX-based covert channel (Windows LockFileEx byte-range locks).
+//
+// The only mechanism that survives a type-1 hypervisor boundary
+// (Table VI): its kernel object is backed by a real file on a volume
+// both VMs mount, unlike purely named objects which stay session-local.
+#pragma once
+
+#include "channels/contention_base.h"
+
+namespace mes::channels {
+
+class FileLockExChannel final : public ContentionBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::file_lock_ex; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc acquire(core::RunContext& ctx, os::Process& proc) override;
+  sim::Proc release(core::RunContext& ctx, os::Process& proc) override;
+
+ private:
+  // The locked region: the whole file, as the paper's channel does.
+  static constexpr std::uint64_t kRegionOff = 0;
+  static constexpr std::uint64_t kRegionLen = std::uint64_t{1} << 30;
+
+  os::Fd fd_for(core::RunContext& ctx, os::Process& proc) const;
+  os::Fd trojan_fd_ = os::kInvalidFd;
+  os::Fd spy_fd_ = os::kInvalidFd;
+};
+
+}  // namespace mes::channels

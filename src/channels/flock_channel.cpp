@@ -1,0 +1,45 @@
+#include "channels/flock_channel.h"
+
+#include <stdexcept>
+
+#include "os/vfs.h"
+
+namespace mes::channels {
+
+std::string FlockChannel::setup(core::RunContext& ctx)
+{
+  const std::string path = "/shared/mes_flock_" + ctx.tag + ".txt";
+  os::Vfs& vfs = ctx.kernel.vfs();
+  // Pre-agreed shared file: read-only with mandatory locking (§IV.C).
+  vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
+                  /*mandatory_locking=*/true);
+  trojan_fd_ = vfs.open(ctx.trojan, path, os::OpenMode::read_only);
+  if (trojan_fd_ < 0) return "flock: trojan cannot open the shared file";
+  spy_fd_ = vfs.open(ctx.spy, path, os::OpenMode::read_only);
+  if (spy_fd_ < 0) {
+    return "flock: shared path not visible from the spy's namespace "
+           "(no shared volume across this boundary)";
+  }
+  return {};
+}
+
+os::Fd FlockChannel::fd_for(core::RunContext& ctx, os::Process& proc) const
+{
+  return &proc == &ctx.trojan ? trojan_fd_ : spy_fd_;
+}
+
+sim::Proc FlockChannel::acquire(core::RunContext& ctx, os::Process& proc)
+{
+  const int rc = co_await ctx.kernel.vfs().flock(proc, fd_for(ctx, proc),
+                                                 os::FlockOp::exclusive);
+  if (rc != os::kOk) throw std::runtime_error{"flock(LOCK_EX) failed"};
+}
+
+sim::Proc FlockChannel::release(core::RunContext& ctx, os::Process& proc)
+{
+  const int rc = co_await ctx.kernel.vfs().flock(proc, fd_for(ctx, proc),
+                                                 os::FlockOp::unlock);
+  if (rc != os::kOk) throw std::runtime_error{"flock(LOCK_UN) failed"};
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,29 @@
+// flock-based covert channel (§IV.D, Protocol 1).
+//
+// Both endpoints open the same *read-only* file (the §III threat model:
+// neither may write to shared resources) and contend on the i-node's
+// whole-file lock with LOCK_EX / LOCK_UN. The file is created with
+// mandatory locking, the paper's answer to Lampson's readable-writable
+// interlock caveat.
+#pragma once
+
+#include "channels/contention_base.h"
+
+namespace mes::channels {
+
+class FlockChannel final : public ContentionBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::flock; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc acquire(core::RunContext& ctx, os::Process& proc) override;
+  sim::Proc release(core::RunContext& ctx, os::Process& proc) override;
+
+ private:
+  os::Fd fd_for(core::RunContext& ctx, os::Process& proc) const;
+  os::Fd trojan_fd_ = os::kInvalidFd;
+  os::Fd spy_fd_ = os::kInvalidFd;
+};
+
+}  // namespace mes::channels

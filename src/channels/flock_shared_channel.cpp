@@ -1,0 +1,49 @@
+#include "channels/flock_shared_channel.h"
+
+#include <stdexcept>
+
+#include "os/vfs.h"
+
+namespace mes::channels {
+
+std::string FlockSharedChannel::setup(core::RunContext& ctx)
+{
+  const std::string path = "/shared/mes_flock_sh_" + ctx.tag + ".txt";
+  os::Vfs& vfs = ctx.kernel.vfs();
+  vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
+                  /*mandatory_locking=*/true);
+  trojan_fd_ = vfs.open(ctx.trojan, path, os::OpenMode::read_only);
+  if (trojan_fd_ < 0) return "flock-SH: trojan cannot open the shared file";
+  spy_fd_ = vfs.open(ctx.spy, path, os::OpenMode::read_only);
+  if (spy_fd_ < 0) {
+    return "flock-SH: shared path not visible from the spy's namespace "
+           "(no shared volume across this boundary)";
+  }
+  return {};
+}
+
+os::Fd FlockSharedChannel::fd_for(core::RunContext& ctx,
+                                  os::Process& proc) const
+{
+  return &proc == &ctx.trojan ? trojan_fd_ : spy_fd_;
+}
+
+sim::Proc FlockSharedChannel::acquire(core::RunContext& ctx,
+                                      os::Process& proc)
+{
+  // Writer-side hold is exclusive; the reader probes shared.
+  const os::FlockOp op =
+      &proc == &ctx.trojan ? os::FlockOp::exclusive : os::FlockOp::shared;
+  const int rc = co_await ctx.kernel.vfs().flock(proc, fd_for(ctx, proc), op);
+  if (rc != os::kOk) throw std::runtime_error{"flock-SH acquire failed"};
+}
+
+sim::Proc FlockSharedChannel::release(core::RunContext& ctx,
+                                      os::Process& proc)
+{
+  const int rc = co_await ctx.kernel.vfs().flock(proc, fd_for(ctx, proc),
+                                                 os::FlockOp::unlock);
+  if (rc != os::kOk) throw std::runtime_error{"flock-SH unlock failed"};
+}
+
+}  // namespace mes::channels

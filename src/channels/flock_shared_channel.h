@@ -1,0 +1,30 @@
+// Read-lock flock channel — the §IV.D extension ("other lock functions
+// ... such as read locks, can also be used").
+//
+// The Trojan still encodes '1' with an exclusive hold, but the Spy
+// probes with LOCK_SH: a shared probe blocks against the Trojan's
+// exclusive hold exactly like an exclusive one, yet multiple observers
+// could probe concurrently without perturbing each other — a stealthier
+// receiver (several Spies can listen to one Trojan).
+#pragma once
+
+#include "channels/contention_base.h"
+
+namespace mes::channels {
+
+class FlockSharedChannel final : public ContentionBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::flock_shared; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc acquire(core::RunContext& ctx, os::Process& proc) override;
+  sim::Proc release(core::RunContext& ctx, os::Process& proc) override;
+
+ private:
+  os::Fd fd_for(core::RunContext& ctx, os::Process& proc) const;
+  os::Fd trojan_fd_ = os::kInvalidFd;
+  os::Fd spy_fd_ = os::kInvalidFd;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,44 @@
+#include "channels/mutex_channel.h"
+
+#include <stdexcept>
+
+#include "os/win_objects.h"
+
+namespace mes::channels {
+
+std::string MutexChannel::setup(core::RunContext& ctx)
+{
+  const std::string name = "mes_mutex_" + ctx.tag;
+  os::ObjectManager& om = ctx.kernel.objects();
+  trojan_h_ = om.create_mutex(ctx.trojan, name, /*initially_owned=*/false);
+  if (trojan_h_ == os::kInvalidHandle) return "Mutex: create failed";
+  spy_h_ = om.open_mutex(ctx.spy, name);
+  if (spy_h_ == os::kInvalidHandle) {
+    return "Mutex: named kernel object not visible across this boundary "
+           "(session-private namespace, §V.C.3)";
+  }
+  return {};
+}
+
+os::Handle MutexChannel::handle_for(core::RunContext& ctx,
+                                    os::Process& proc) const
+{
+  return &proc == &ctx.trojan ? trojan_h_ : spy_h_;
+}
+
+sim::Proc MutexChannel::acquire(core::RunContext& ctx, os::Process& proc)
+{
+  const auto status = co_await ctx.kernel.objects().wait_for_single_object(
+      proc, handle_for(ctx, proc));
+  if (status != os::WaitStatus::object_0 &&
+      status != os::WaitStatus::abandoned) {
+    throw std::runtime_error{"Mutex acquire failed"};
+  }
+}
+
+sim::Proc MutexChannel::release(core::RunContext& ctx, os::Process& proc)
+{
+  co_await ctx.kernel.objects().release_mutex(proc, handle_for(ctx, proc));
+}
+
+}  // namespace mes::channels

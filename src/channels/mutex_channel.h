@@ -1,0 +1,23 @@
+// Mutex-based covert channel (Windows named mutex, Fig. 4).
+#pragma once
+
+#include "channels/contention_base.h"
+
+namespace mes::channels {
+
+class MutexChannel final : public ContentionBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::mutex; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc acquire(core::RunContext& ctx, os::Process& proc) override;
+  sim::Proc release(core::RunContext& ctx, os::Process& proc) override;
+
+ private:
+  os::Handle handle_for(core::RunContext& ctx, os::Process& proc) const;
+  os::Handle trojan_h_ = os::kInvalidHandle;
+  os::Handle spy_h_ = os::kInvalidHandle;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,61 @@
+#include "channels/semaphore_channel.h"
+
+#include <stdexcept>
+
+#include "os/win_objects.h"
+
+namespace mes::channels {
+
+namespace {
+constexpr long kSemaphoreMax = 1L << 20;
+}
+
+std::string SemaphoreChannel::setup(core::RunContext& ctx)
+{
+  const std::string name = "mes_semaphore_" + ctx.tag;
+  os::ObjectManager& om = ctx.kernel.objects();
+  trojan_h_ = om.create_semaphore(ctx.trojan, name, ctx.initial_resources,
+                                  kSemaphoreMax);
+  if (trojan_h_ == os::kInvalidHandle) return "Semaphore: create failed";
+  spy_h_ = om.open_semaphore(ctx.spy, name);
+  if (spy_h_ == os::kInvalidHandle) {
+    return "Semaphore: named kernel object not visible across this "
+           "boundary (session-private namespace, §V.C.3)";
+  }
+  return {};
+}
+
+os::Handle SemaphoreChannel::handle_for(core::RunContext& ctx,
+                                        os::Process& proc) const
+{
+  return &proc == &ctx.trojan ? trojan_h_ : spy_h_;
+}
+
+Duration SemaphoreChannel::sem_op_surcharge(os::Process& proc)
+{
+  // The semaphore dispatcher path is markedly heavier than a plain lock
+  // op (the paper's 6-instruction argument); surcharge each P/V.
+  const double jitter = proc.rng().uniform(0.85, 1.15);
+  return Duration::us(kSemOpExtraUs * jitter);
+}
+
+sim::Proc SemaphoreChannel::acquire(core::RunContext& ctx, os::Process& proc)
+{
+  const auto status = co_await ctx.kernel.objects().wait_for_single_object(
+      proc, handle_for(ctx, proc));
+  if (status != os::WaitStatus::object_0) {
+    throw std::runtime_error{"Semaphore P failed"};
+  }
+}
+
+sim::Proc SemaphoreChannel::release(core::RunContext& ctx, os::Process& proc)
+{
+  co_await ctx.kernel.sim().delay(sem_op_surcharge(proc));
+  const bool released = co_await ctx.kernel.objects().release_semaphore(
+      proc, handle_for(ctx, proc), 1);
+  if (!released) {
+    throw std::runtime_error{"Semaphore V failed (count at maximum)"};
+  }
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,45 @@
+// Semaphore-based covert channel (§IV.E) — the "special" contention
+// channel.
+//
+// The counting semaphore is used as a lock: a count of 1 means the
+// critical resource is free; WaitForSingleObject is the P that takes it
+// and ReleaseSemaphore the V that returns it. One bit costs the pair
+// six semaphore instructions (P-P-S-sleep-V-V across both processes),
+// which is why Table IV ranks Semaphore slowest among the contention
+// channels: each semaphore operation is markedly heavier than a plain
+// lock call (kSemOpExtra below, calibrated from the Table IV TR gap).
+//
+// Initial-resource priming (Tables II & III): the channel only works
+// when S is seeded so that exactly one process can hold the resource.
+// Seeding 0 stalls both processes — the Spy can never acquire and the
+// Trojan can never hand over — reproduced as a transmission deadlock.
+// Overseeding (>= 2) silently breaks the mutual exclusion: the Spy's P
+// succeeds during the Trojan's holds, and every '1' decodes as '0'
+// (bench/ablation_semaphore sweeps this).
+#pragma once
+
+#include "channels/contention_base.h"
+
+namespace mes::channels {
+
+class SemaphoreChannel final : public ContentionBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::semaphore; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc acquire(core::RunContext& ctx, os::Process& proc) override;
+  sim::Proc release(core::RunContext& ctx, os::Process& proc) override;
+
+ private:
+  // Per-operation surcharge of the semaphore dispatcher path relative
+  // to a plain mutex/lock op (derived from Table IV's 222 us/bit).
+  static constexpr double kSemOpExtraUs = 27.0;
+
+  static Duration sem_op_surcharge(os::Process& proc);
+  os::Handle handle_for(core::RunContext& ctx, os::Process& proc) const;
+  os::Handle trojan_h_ = os::kInvalidHandle;
+  os::Handle spy_h_ = os::kInvalidHandle;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,27 @@
+#include "channels/signal_channel.h"
+
+#include <stdexcept>
+
+namespace mes::channels {
+
+std::string SignalChannel::setup(core::RunContext& ctx)
+{
+  if (ctx.trojan.namespace_id() != ctx.spy.namespace_id()) {
+    return "signal: PID namespaces are isolated across sandbox/VM "
+           "boundaries; kill() cannot reach the spy";
+  }
+  return {};
+}
+
+sim::Proc SignalChannel::signal(core::RunContext& ctx)
+{
+  co_await ctx.kernel.kill(ctx.trojan, ctx.spy);
+}
+
+sim::Task<bool> SignalChannel::wait(core::RunContext& ctx, Duration timeout)
+{
+  const auto outcome = co_await ctx.kernel.sigwait(ctx.spy, timeout);
+  co_return outcome == sim::WaitOutcome::signaled;
+}
+
+}  // namespace mes::channels

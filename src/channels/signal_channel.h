@@ -1,0 +1,26 @@
+// POSIX-signal covert channel — the extension the paper leaves as future
+// work ("other low-level communication methods such as signal may also be
+// able to be used", §IV.A).
+//
+// Cooperation class: the Trojan sleeps for the symbol duration and then
+// kill()s the Spy, which measures the interval between sigwait() returns.
+// Signals do not cross PID-namespace boundaries, so this channel only
+// sets up in the local scenario — a nice illustration of why the paper's
+// kernel-object channels matter.
+#pragma once
+
+#include "channels/cooperation_base.h"
+
+namespace mes::channels {
+
+class SignalChannel final : public CooperationBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::posix_signal; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc signal(core::RunContext& ctx) override;
+  sim::Task<bool> wait(core::RunContext& ctx, Duration timeout) override;
+};
+
+}  // namespace mes::channels

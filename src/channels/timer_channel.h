@@ -1,0 +1,28 @@
+// WaitableTimer-based covert channel (cooperation class).
+//
+// Same shape as the Event channel, but the wake signal travels through a
+// synchronization (auto-reset) waitable timer: the Trojan arms it with a
+// zero due time after holding for the symbol's duration, and the timer
+// interrupt path wakes the Spy. SetWaitableTimer is a heavier syscall
+// than SetEvent, which is why Table IV ranks Timer below Event.
+#pragma once
+
+#include "channels/cooperation_base.h"
+
+namespace mes::channels {
+
+class TimerChannel final : public CooperationBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::waitable_timer; }
+  std::string setup(core::RunContext& ctx) override;
+
+ protected:
+  sim::Proc signal(core::RunContext& ctx) override;
+  sim::Task<bool> wait(core::RunContext& ctx, Duration timeout) override;
+
+ private:
+  os::Handle trojan_h_ = os::kInvalidHandle;
+  os::Handle spy_h_ = os::kInvalidHandle;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,119 @@
+#include "codec/fec.h"
+
+#include <stdexcept>
+
+namespace mes::codec {
+
+namespace {
+
+// Codeword layout [p1 p2 d1 p3 d2 d3 d4] (positions 1..7); parity bit
+// p_i covers the positions whose index has bit i set, so the syndrome
+// read back as a 3-bit number is the 1-based error position.
+int parity(int a, int b, int c) { return a ^ b ^ c; }
+
+}  // namespace
+
+BitVec Hamming74::encode(const BitVec& data)
+{
+  if (data.size() % data_bits_per_block != 0) {
+    throw std::invalid_argument{"Hamming74::encode: size % 4 != 0"};
+  }
+  BitVec out;
+  for (std::size_t i = 0; i < data.size(); i += data_bits_per_block) {
+    const int d1 = data[i];
+    const int d2 = data[i + 1];
+    const int d3 = data[i + 2];
+    const int d4 = data[i + 3];
+    out.push_back(parity(d1, d2, d4));  // p1 covers 3,5,7
+    out.push_back(parity(d1, d3, d4));  // p2 covers 3,6,7
+    out.push_back(d1);
+    out.push_back(parity(d2, d3, d4));  // p3 covers 5,6,7
+    out.push_back(d2);
+    out.push_back(d3);
+    out.push_back(d4);
+  }
+  return out;
+}
+
+Hamming74::DecodeResult Hamming74::decode(const BitVec& coded)
+{
+  if (coded.size() % code_bits_per_block != 0) {
+    throw std::invalid_argument{"Hamming74::decode: size % 7 != 0"};
+  }
+  DecodeResult result;
+  for (std::size_t i = 0; i < coded.size(); i += code_bits_per_block) {
+    int bits[8] = {};  // 1-based positions
+    for (int k = 0; k < 7; ++k) bits[k + 1] = coded[i + static_cast<std::size_t>(k)];
+    const int s1 = bits[1] ^ bits[3] ^ bits[5] ^ bits[7];
+    const int s2 = bits[2] ^ bits[3] ^ bits[6] ^ bits[7];
+    const int s3 = bits[4] ^ bits[5] ^ bits[6] ^ bits[7];
+    const int syndrome = s1 | (s2 << 1) | (s3 << 2);
+    if (syndrome != 0) {
+      bits[syndrome] ^= 1;
+      ++result.corrected;
+    }
+    result.data.push_back(bits[3]);
+    result.data.push_back(bits[5]);
+    result.data.push_back(bits[6]);
+    result.data.push_back(bits[7]);
+  }
+  return result;
+}
+
+BitVec interleave(const BitVec& bits, std::size_t depth)
+{
+  if (depth <= 1) return bits;
+  if (bits.size() % depth != 0) {
+    throw std::invalid_argument{"interleave: size % depth != 0"};
+  }
+  const std::size_t cols = bits.size() / depth;
+  BitVec out;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < depth; ++r) {
+      out.push_back(bits[r * cols + c]);
+    }
+  }
+  return out;
+}
+
+BitVec deinterleave(const BitVec& bits, std::size_t depth)
+{
+  if (depth <= 1) return bits;
+  if (bits.size() % depth != 0) {
+    throw std::invalid_argument{"deinterleave: size % depth != 0"};
+  }
+  const std::size_t cols = bits.size() / depth;
+  std::vector<int> buffer(bits.size(), 0);
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < depth; ++r) {
+      buffer[r * cols + c] = bits[idx++];
+    }
+  }
+  return BitVec{std::move(buffer)};
+}
+
+BitVec fec_protect(const BitVec& data, std::size_t depth)
+{
+  BitVec padded = data;
+  while (padded.size() % Hamming74::data_bits_per_block != 0) {
+    padded.push_back(0);
+  }
+  BitVec coded = Hamming74::encode(padded);
+  if (depth > 1) {
+    while (coded.size() % depth != 0) coded.push_back(0);
+    coded = interleave(coded, depth);
+  }
+  return coded;
+}
+
+Hamming74::DecodeResult fec_recover(const BitVec& coded, std::size_t depth)
+{
+  BitVec stream = depth > 1 ? deinterleave(coded, depth) : coded;
+  // Drop the interleaver's zero padding down to a codeword multiple.
+  const std::size_t usable =
+      stream.size() - stream.size() % Hamming74::code_bits_per_block;
+  return Hamming74::decode(stream.slice(0, usable));
+}
+
+}  // namespace mes::codec

@@ -1,0 +1,25 @@
+#include "codec/frame.h"
+
+namespace mes::codec {
+
+Frame make_frame(const BitVec& payload, std::size_t sync_bits)
+{
+  Frame f;
+  f.sync_bits = sync_bits;
+  f.bits = BitVec::alternating(sync_bits);
+  f.bits.append(payload);
+  return f;
+}
+
+std::optional<BitVec> check_and_strip(const BitVec& received,
+                                      std::size_t sync_bits)
+{
+  if (received.size() < sync_bits) return std::nullopt;
+  const BitVec expected = BitVec::alternating(sync_bits);
+  for (std::size_t i = 0; i < sync_bits; ++i) {
+    if (received[i] != expected[i]) return std::nullopt;
+  }
+  return received.slice(sync_bits, received.size() - sync_bits);
+}
+
+}  // namespace mes::codec

@@ -1,0 +1,29 @@
+// Transmission framing (§V.B "The synchronization of communications").
+//
+// A round is [ n-bit synchronization sequence | m-bit secret data ]. The
+// sync sequence is the pre-negotiated alternating pattern; the Spy
+// verifies it before trusting the data section, and its measured
+// latencies double as the classifier calibration set.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/bitvec.h"
+
+namespace mes::codec {
+
+struct Frame {
+  BitVec bits;             // sync + payload, as transmitted
+  std::size_t sync_bits;   // length of the preamble prefix
+};
+
+// Builds a frame with an alternating preamble of `sync_bits` bits.
+Frame make_frame(const BitVec& payload, std::size_t sync_bits);
+
+// Verifies and strips the preamble; std::nullopt when the received
+// prefix does not match (the Spy discards the round, §V.B).
+std::optional<BitVec> check_and_strip(const BitVec& received,
+                                      std::size_t sync_bits);
+
+}  // namespace mes::codec

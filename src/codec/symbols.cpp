@@ -1,0 +1,115 @@
+#include "codec/symbols.h"
+
+#include <stdexcept>
+
+namespace mes::codec {
+
+SymbolSchedule::SymbolSchedule(std::size_t width_bits, Duration base,
+                               Duration interval)
+    : width_{width_bits}, base_{base}, interval_{interval}
+{
+  if (width_ == 0 || width_ > 8) {
+    throw std::invalid_argument{"SymbolSchedule: width must be 1..8 bits"};
+  }
+  if (interval_ <= Duration::zero() && width_ > 0) {
+    // A zero interval makes every symbol identical; reject early.
+    throw std::invalid_argument{"SymbolSchedule: interval must be positive"};
+  }
+}
+
+Duration SymbolSchedule::hold_time(std::size_t symbol) const
+{
+  if (symbol >= alphabet_size()) {
+    throw std::out_of_range{"SymbolSchedule::hold_time"};
+  }
+  return base_ + interval_ * static_cast<double>(symbol);
+}
+
+std::vector<std::size_t> SymbolSchedule::encode(const BitVec& bits) const
+{
+  if (bits.size() % width_ != 0) {
+    throw std::invalid_argument{
+        "SymbolSchedule::encode: bit count not a multiple of symbol width"};
+  }
+  std::vector<std::size_t> symbols;
+  symbols.reserve(bits.size() / width_);
+  for (std::size_t i = 0; i < bits.size(); i += width_) {
+    std::size_t s = 0;
+    for (std::size_t b = 0; b < width_; ++b) {
+      s = (s << 1) | static_cast<std::size_t>(bits[i + b]);
+    }
+    symbols.push_back(s);
+  }
+  return symbols;
+}
+
+BitVec SymbolSchedule::decode(const std::vector<std::size_t>& symbols) const
+{
+  BitVec bits;
+  for (std::size_t s : symbols) {
+    for (std::size_t b = width_; b-- > 0;) {
+      bits.push_back(static_cast<int>((s >> b) & 1));
+    }
+  }
+  return bits;
+}
+
+LatencyClassifier::LatencyClassifier(std::vector<Duration> thresholds)
+    : thresholds_{std::move(thresholds)}
+{
+}
+
+LatencyClassifier::LatencyClassifier(std::size_t alphabet_size,
+                                     Duration level0, Duration interval)
+{
+  if (alphabet_size < 2) {
+    throw std::invalid_argument{"LatencyClassifier: alphabet < 2"};
+  }
+  thresholds_.reserve(alphabet_size - 1);
+  for (std::size_t k = 0; k + 1 < alphabet_size; ++k) {
+    // Midpoint between expected levels k and k+1.
+    thresholds_.push_back(level0 + interval * (static_cast<double>(k) + 0.5));
+  }
+}
+
+LatencyClassifier LatencyClassifier::binary(Duration threshold)
+{
+  return LatencyClassifier{std::vector<Duration>{threshold}};
+}
+
+std::size_t LatencyClassifier::classify(Duration latency) const
+{
+  std::size_t k = 0;
+  while (k < thresholds_.size() && latency > thresholds_[k]) ++k;
+  return k;
+}
+
+LatencyClassifier calibrate_binary(
+    const std::vector<Duration>& preamble_latencies,
+    Duration fallback_threshold)
+{
+  // The preamble alternates 1,0,1,0,... so even indices measured '1' and
+  // odd indices measured '0'.
+  if (preamble_latencies.size() < 4) {
+    return LatencyClassifier::binary(fallback_threshold);
+  }
+  Duration high_sum = Duration::zero();
+  Duration low_sum = Duration::zero();
+  std::size_t highs = 0;
+  std::size_t lows = 0;
+  for (std::size_t i = 0; i < preamble_latencies.size(); ++i) {
+    if (i % 2 == 0) {
+      high_sum += preamble_latencies[i];
+      ++highs;
+    } else {
+      low_sum += preamble_latencies[i];
+      ++lows;
+    }
+  }
+  const Duration high = high_sum / static_cast<double>(highs);
+  const Duration low = low_sum / static_cast<double>(lows);
+  if (high <= low) return LatencyClassifier::binary(fallback_threshold);
+  return LatencyClassifier::binary(low + (high - low) / 2.0);
+}
+
+}  // namespace mes::codec

@@ -1,0 +1,72 @@
+// Symbol alphabets and latency classification (§IV.C, §VI).
+//
+// A Trojan encodes a symbol by *how long* it keeps the Spy in a
+// constraint state; the Spy decodes by classifying its measured release
+// latency. For 1-bit symbols this is Protocol 1/2's single threshold;
+// §VI extends to 2^w-ary alphabets by spacing several wait times
+// `interval` apart (e.g. {15, 65, 115, 165} us for 2-bit symbols).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvec.h"
+#include "util/time.h"
+
+namespace mes::codec {
+
+// The transmit-side schedule: symbol k is signalled after
+// base + k * interval of constraint time.
+class SymbolSchedule {
+ public:
+  SymbolSchedule(std::size_t width_bits, Duration base, Duration interval);
+
+  std::size_t width_bits() const { return width_; }
+  std::size_t alphabet_size() const { return std::size_t{1} << width_; }
+  Duration base() const { return base_; }
+  Duration interval() const { return interval_; }
+
+  Duration hold_time(std::size_t symbol) const;
+
+  // Bits -> symbols, MSB first inside each symbol. The bit count must be
+  // a multiple of the width.
+  std::vector<std::size_t> encode(const BitVec& bits) const;
+  BitVec decode(const std::vector<std::size_t>& symbols) const;
+
+ private:
+  std::size_t width_;
+  Duration base_;
+  Duration interval_;
+};
+
+// Receive-side classifier: maps a measured latency to a symbol by
+// nearest expected level. Levels are anchored at `level0` (the measured
+// latency of symbol 0, which includes all the fixed overheads) and
+// spaced `interval` apart — exactly how the attacker calibrates from the
+// synchronization preamble.
+class LatencyClassifier {
+ public:
+  LatencyClassifier(std::size_t alphabet_size, Duration level0,
+                    Duration interval);
+
+  // Binary convenience: one threshold (Protocol 1 line 7).
+  static LatencyClassifier binary(Duration threshold);
+
+  std::size_t classify(Duration latency) const;
+  std::size_t alphabet_size() const { return thresholds_.size() + 1; }
+
+  // Threshold between symbol k and k+1.
+  Duration threshold(std::size_t k) const { return thresholds_.at(k); }
+
+ private:
+  explicit LatencyClassifier(std::vector<Duration> thresholds);
+  std::vector<Duration> thresholds_;  // ascending, size = alphabet - 1
+};
+
+// Calibrates a binary classifier from the alternating "1010..." preamble
+// measurements: threshold = midpoint of the two observed level means.
+// Returns the schedule-derived fallback when the preamble is too short.
+LatencyClassifier calibrate_binary(const std::vector<Duration>& preamble_latencies,
+                                   Duration fallback_threshold);
+
+}  // namespace mes::codec

@@ -1,0 +1,86 @@
+// Abstract covert channel over one MESM.
+//
+// A Channel binds mechanism-specific operations (lock/unlock, signal/
+// wait) into the two protocol roles. The runner gives it a RunContext —
+// kernel, the two processes, timing, codec — and spawns the two
+// coroutines on the simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/symbols.h"
+#include "core/config.h"
+#include "os/kernel.h"
+#include "sim/barrier.h"
+#include "sim/task.h"
+
+namespace mes::core {
+
+struct RunContext {
+  os::Kernel& kernel;
+  os::Process& trojan;
+  os::Process& spy;
+  TimingConfig timing;
+  codec::SymbolSchedule schedule;
+  codec::LatencyClassifier classifier;
+  // Per-iteration cost of the protocol loop's "irrelevant instructions"
+  // (§V.B): key indexing, branches, timestamp handling.
+  Duration loop_cost = Duration::us(5.0);
+  // Disambiguates shared resource names when several channel instances
+  // run inside one simulation (multi-pair experiments).
+  std::string tag = "0";
+  // Semaphore channel only: initial resource count (Table III).
+  long initial_resources = 0;
+
+  // Fine-grained inter-bit synchronization (§V.B). Contention channels
+  // need it: without the rendezvous, probe-cost drift slips the Spy's
+  // bit alignment and every slip corrupts the remainder of the stream.
+  // Null = disabled (the ablation mode).
+  std::shared_ptr<sim::Barrier> bit_sync;
+  // How long the Spy lingers after the rendezvous before probing, so
+  // the Trojan's acquire always wins the post-rendezvous race even
+  // under dispatch-latency skew.
+  Duration spy_guard = Duration::us(25.0);
+};
+
+struct RxResult {
+  std::vector<std::size_t> symbols;
+  std::vector<Duration> latencies;
+  // When the Spy finished its last measurement. The simulation queue
+  // may drain later (lazily cancelled wait timeouts), so transmission
+  // time is measured here, not at queue exhaustion.
+  TimePoint finished_at;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual Mechanism mechanism() const = 0;
+  ChannelClass channel_class() const { return class_of(mechanism()); }
+
+  // Creates / opens the shared resource from each endpoint's namespace.
+  // Returns "" on success, otherwise the reason the mechanism cannot
+  // work in this topology (Table VI's ✗ entries).
+  virtual std::string setup(RunContext& ctx) = 0;
+
+  // The sender: transmits `symbols` by modulating constraint time.
+  virtual sim::Proc trojan_run(RunContext& ctx,
+                               std::vector<std::size_t> symbols) = 0;
+
+  // The receiver: measures `expected` release latencies and classifies
+  // them inline (contention Spies pace themselves with t0-sleeps after
+  // reading a '0').
+  virtual sim::Proc spy_run(RunContext& ctx, std::size_t expected,
+                            RxResult& out) = 0;
+};
+
+// Factory over all implemented mechanisms.
+std::unique_ptr<Channel> make_channel(Mechanism m);
+
+// Per-iteration loop cost with +/-20% jitter from the process stream.
+Duration jittered_loop_cost(RunContext& ctx, os::Process& proc);
+
+}  // namespace mes::core

@@ -1,0 +1,113 @@
+#include "core/config.h"
+
+namespace mes {
+
+ChannelClass class_of(Mechanism m)
+{
+  switch (m) {
+    case Mechanism::flock:
+    case Mechanism::file_lock_ex:
+    case Mechanism::mutex:
+    case Mechanism::semaphore:
+    case Mechanism::flock_shared:
+      return ChannelClass::contention;
+    case Mechanism::event:
+    case Mechanism::waitable_timer:
+    case Mechanism::posix_signal:
+      return ChannelClass::cooperation;
+  }
+  return ChannelClass::contention;
+}
+
+OsFlavor flavor_of(Mechanism m)
+{
+  switch (m) {
+    case Mechanism::flock:
+    case Mechanism::posix_signal:
+    case Mechanism::flock_shared:
+      return OsFlavor::linux_like;
+    default:
+      return OsFlavor::windows;
+  }
+}
+
+const char* to_string(Mechanism m)
+{
+  switch (m) {
+    case Mechanism::flock: return "flock";
+    case Mechanism::file_lock_ex: return "FileLockEX";
+    case Mechanism::mutex: return "Mutex";
+    case Mechanism::semaphore: return "Semaphore";
+    case Mechanism::event: return "Event";
+    case Mechanism::waitable_timer: return "Timer";
+    case Mechanism::posix_signal: return "signal(ext)";
+    case Mechanism::flock_shared: return "flock-SH(ext)";
+  }
+  return "?";
+}
+
+const char* to_string(ChannelClass c)
+{
+  return c == ChannelClass::contention ? "contention" : "cooperation";
+}
+
+TimingConfig paper_timeset(Mechanism m, Scenario s)
+{
+  using D = Duration;
+  TimingConfig t;
+  switch (s) {
+    case Scenario::local:
+      // Table IV.
+      switch (m) {
+        case Mechanism::flock: t.t1 = D::us(160); t.t0 = D::us(60); break;
+        case Mechanism::file_lock_ex: t.t1 = D::us(150); t.t0 = D::us(50); break;
+        case Mechanism::mutex: t.t1 = D::us(140); t.t0 = D::us(60); break;
+        case Mechanism::semaphore: t.t1 = D::us(230); t.t0 = D::us(100); break;
+        case Mechanism::event: t.t0 = D::us(15); t.interval = D::us(65); break;
+        case Mechanism::waitable_timer:
+          t.t0 = D::us(15); t.interval = D::us(75); break;
+        case Mechanism::posix_signal:
+          // Linux flavor: the 58 us sleep floor pins t0, like flock's tt0.
+          t.t0 = D::us(60); t.interval = D::us(70); break;
+        case Mechanism::flock_shared:
+          t.t1 = D::us(160); t.t0 = D::us(60); break;
+      }
+      break;
+    case Scenario::cross_sandbox:
+      // Table V.
+      switch (m) {
+        case Mechanism::flock: t.t1 = D::us(170); t.t0 = D::us(60); break;
+        case Mechanism::file_lock_ex: t.t1 = D::us(170); t.t0 = D::us(60); break;
+        case Mechanism::mutex: t.t1 = D::us(150); t.t0 = D::us(60); break;
+        case Mechanism::semaphore: t.t1 = D::us(240); t.t0 = D::us(100); break;
+        case Mechanism::event: t.t0 = D::us(15); t.interval = D::us(70); break;
+        case Mechanism::waitable_timer:
+          t.t0 = D::us(15); t.interval = D::us(85); break;
+        case Mechanism::posix_signal:
+          t.t0 = D::us(60); t.interval = D::us(80); break;
+        case Mechanism::flock_shared:
+          t.t1 = D::us(170); t.t0 = D::us(60); break;
+      }
+      break;
+    case Scenario::cross_vm:
+      // Table VI configures only the file-backed mechanisms; others get
+      // conservative settings (they fail at setup anyway).
+      switch (m) {
+        case Mechanism::flock: t.t1 = D::us(200); t.t0 = D::us(70); break;
+        case Mechanism::file_lock_ex: t.t1 = D::us(190); t.t0 = D::us(70); break;
+        case Mechanism::mutex: t.t1 = D::us(200); t.t0 = D::us(70); break;
+        case Mechanism::semaphore: t.t1 = D::us(280); t.t0 = D::us(110); break;
+        case Mechanism::event: t.t0 = D::us(20); t.interval = D::us(90); break;
+        case Mechanism::waitable_timer:
+          t.t0 = D::us(20); t.interval = D::us(100); break;
+        case Mechanism::posix_signal:
+          t.t0 = D::us(65); t.interval = D::us(95); break;
+        case Mechanism::flock_shared:
+          t.t1 = D::us(200); t.t0 = D::us(70); break;
+      }
+      break;
+  }
+  return t;
+}
+
+}  // namespace mes

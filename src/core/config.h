@@ -1,0 +1,53 @@
+// Channel configuration: mechanisms, taxonomy (Table I), time parameters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "scenario/profile.h"
+#include "util/time.h"
+
+namespace mes {
+
+// The six MESMs evaluated in the paper plus the POSIX-signal channel the
+// paper sketches as future work (§IV.A) and we implement as an extension.
+enum class Mechanism {
+  flock,           // Linux whole-file lock        (contention)
+  file_lock_ex,    // Windows LockFileEx           (contention)
+  mutex,           // Windows Mutex                (contention)
+  semaphore,       // Windows Semaphore            (contention, special)
+  event,           // Windows Event                (cooperation)
+  waitable_timer,  // Windows WaitableTimer        (cooperation)
+  posix_signal,    // extension: signal delivery   (cooperation)
+  flock_shared,    // extension: read-lock probes  (contention, §IV.D)
+};
+
+// Table I: mutual exclusion yields contention channels; synchronization
+// yields cooperation channels.
+enum class ChannelClass { contention, cooperation };
+
+ChannelClass class_of(Mechanism m);
+OsFlavor flavor_of(Mechanism m);
+const char* to_string(Mechanism m);
+const char* to_string(ChannelClass c);
+
+// Time parameters, following the paper's naming:
+//  * contention (Protocol 1): t1 is RESTRICTION_PERIOD (the hold that
+//    encodes '1'); t0 is SLEEP_PERIOD (both the Trojan's '0' sleep and
+//    the Spy's inter-probe sleep — the paper sets them equal);
+//  * cooperation (Protocol 2): t0 is tw0 (the wait before signalling
+//    '0') and `interval` is ti, so symbol k is signalled after
+//    t0 + k*interval. Multi-bit alphabets (§VI) just use more k values.
+struct TimingConfig {
+  Duration t1 = Duration::zero();
+  Duration t0 = Duration::zero();
+  Duration interval = Duration::zero();
+  std::size_t symbol_bits = 1;
+};
+
+// The Timeset rows of Tables IV (local), V (cross-sandbox) and
+// VI (cross-VM). Mechanisms absent from a table (e.g. event cross-VM)
+// return the closest configured setting so sweeps remain possible.
+TimingConfig paper_timeset(Mechanism m, Scenario s);
+
+}  // namespace mes

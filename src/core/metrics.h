@@ -1,0 +1,50 @@
+// Transmission results: BER, TR and everything the figures need.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "util/bitvec.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace mes {
+
+struct ChannelReport {
+  bool ok = false;                // resources set up & transmission ran
+  std::string failure_reason;     // why not, when !ok
+
+  Mechanism mechanism = Mechanism::event;
+  Scenario scenario = Scenario::local;
+  TimingConfig timing;
+
+  BitVec sent_payload;      // data section only (sync stripped)
+  BitVec received_payload;
+
+  bool sync_ok = false;     // preamble verified (§V.B)
+  double ber = 0.0;         // payload bit error rate, 0..1
+  double throughput_bps = 0.0;
+  Duration elapsed = Duration::zero();
+
+  // Per-symbol traces (preamble included) for the figure benches.
+  std::vector<std::size_t> tx_symbols;
+  std::vector<std::size_t> rx_symbols;
+  std::vector<Duration> rx_latencies;
+
+  // Symbol-level confusion over the data section (present when ok).
+  std::optional<ConfusionMatrix> confusion;
+
+  double ber_percent() const { return ber * 100.0; }
+  double throughput_kbps() const { return throughput_bps / 1000.0; }
+};
+
+// Result of the round-based wrapper: how many rounds the Spy discarded
+// before one passed preamble verification.
+struct RoundedReport {
+  ChannelReport report;
+  std::size_t rounds_attempted = 0;
+};
+
+}  // namespace mes

@@ -1,0 +1,249 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+#include "codec/frame.h"
+#include "core/channel.h"
+#include "os/vfs.h"
+#include "os/win_objects.h"
+#include "sim/simulator.h"
+
+namespace mes {
+
+namespace {
+
+// A-priori overhead estimates the attacker uses for the *initial*
+// decision threshold; the preamble calibration refines them. Derived
+// from the op-cost constants (two probe ops for contention; sleep +
+// signal + wake for cooperation).
+constexpr double kProbeOverheadUs = 10.0;
+constexpr double kCoopOverheadUs = 25.0;
+
+codec::LatencyClassifier initial_classifier(ChannelClass klass,
+                                            const TimingConfig& timing)
+{
+  if (klass == ChannelClass::contention) {
+    const double threshold_us =
+        (kProbeOverheadUs + timing.t1.to_us()) / 2.0;
+    return codec::LatencyClassifier::binary(Duration::us(threshold_us));
+  }
+  const std::size_t alphabet = std::size_t{1} << timing.symbol_bits;
+  return codec::LatencyClassifier{
+      alphabet, timing.t0 + Duration::us(kCoopOverheadUs), timing.interval};
+}
+
+// Re-derives the classifier from the preamble measurements: binary
+// channels take the midpoint of the two observed levels; wider alphabets
+// re-anchor level 0 using the known preamble symbols.
+codec::LatencyClassifier calibrated_classifier(
+    const ExperimentConfig& cfg, ChannelClass klass,
+    const std::vector<std::size_t>& preamble_symbols,
+    const std::vector<Duration>& latencies,
+    const codec::LatencyClassifier& fallback)
+{
+  const std::size_t n = std::min(preamble_symbols.size(), latencies.size());
+  if (n < 2) return fallback;
+  if (cfg.timing.symbol_bits == 1) {
+    std::vector<Duration> preamble(latencies.begin(),
+                                   latencies.begin() + static_cast<long>(n));
+    const Duration fallback_threshold = fallback.threshold(0);
+    auto cls = codec::calibrate_binary(preamble, fallback_threshold);
+    (void)klass;
+    return cls;
+  }
+  // Multi-bit: mean measured latency minus the known mean preamble level
+  // gives the level-0 anchor.
+  double sum_lat_us = 0.0;
+  double sum_level = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_lat_us += latencies[i].to_us();
+    sum_level += static_cast<double>(preamble_symbols[i]);
+  }
+  const double level0_us = sum_lat_us / static_cast<double>(n) -
+                           cfg.timing.interval.to_us() * sum_level /
+                               static_cast<double>(n);
+  const std::size_t alphabet = std::size_t{1} << cfg.timing.symbol_bits;
+  return codec::LatencyClassifier{alphabet, Duration::us(level0_us),
+                                  cfg.timing.interval};
+}
+
+}  // namespace
+
+ChannelReport run_transmission(const ExperimentConfig& cfg,
+                               const BitVec& payload, TraceOut* trace)
+{
+  ChannelReport rep;
+  rep.mechanism = cfg.mechanism;
+  rep.scenario = cfg.scenario;
+  rep.timing = cfg.timing;
+  rep.sent_payload = payload;
+
+  const ChannelClass klass = class_of(cfg.mechanism);
+  const std::size_t width = cfg.timing.symbol_bits;
+  if (width == 0) {
+    rep.failure_reason = "symbol width must be at least 1 bit";
+    return rep;
+  }
+  if (width > 1 && klass == ChannelClass::contention) {
+    rep.failure_reason =
+        "multi-bit symbols require a cooperation channel (§VI)";
+    return rep;
+  }
+  if (cfg.sync_bits % width != 0 || payload.size() % width != 0) {
+    rep.failure_reason = "frame sections must be multiples of symbol width";
+    return rep;
+  }
+
+  const codec::Frame frame = codec::make_frame(payload, cfg.sync_bits);
+  const codec::SymbolSchedule schedule =
+      klass == ChannelClass::cooperation
+          ? codec::SymbolSchedule{width, cfg.timing.t0, cfg.timing.interval}
+          : codec::SymbolSchedule{1, Duration::zero(), cfg.timing.t1};
+  const codec::LatencyClassifier classifier =
+      initial_classifier(klass, cfg.timing);
+
+  const ScenarioProfile profile =
+      make_profile(cfg.scenario, flavor_of(cfg.mechanism), cfg.hypervisor);
+
+  sim::Simulator simulator{cfg.seed};
+  os::Kernel kernel{simulator, profile.noise, cfg.fairness};
+  kernel.objects().set_namespace_sharing(
+      profile.topology.shared_object_namespace);
+  kernel.vfs().set_shared_volume(profile.topology.shared_file_volume);
+  if (cfg.mitigation_fuzz > Duration::zero()) {
+    kernel.set_op_fuzz(cfg.mitigation_fuzz);
+  }
+  if (cfg.enable_trace || trace != nullptr) kernel.enable_trace(true);
+
+  os::Process& trojan =
+      kernel.create_process("trojan", profile.topology.trojan_ns);
+  os::Process& spy = kernel.create_process("spy", profile.topology.spy_ns);
+
+  const std::vector<std::size_t> symbols = schedule.encode(frame.bits);
+
+  core::RunContext ctx{kernel,
+                       trojan,
+                       spy,
+                       cfg.timing,
+                       schedule,
+                       classifier,
+                       cfg.loop_cost,
+                       cfg.tag,
+                       // Semaphore-as-lock priming: exactly one unit
+                       // free (Tables II/III; 0 stalls, >=2 breaks
+                       // mutual exclusion).
+                       cfg.semaphore_initial >= 0 ? cfg.semaphore_initial
+                                                  : 1};
+  if (cfg.fine_grained_sync && klass == ChannelClass::contention) {
+    ctx.bit_sync = std::make_shared<sim::Barrier>(2);
+    // The Spy's post-rendezvous guard scales with the hold time so that
+    // second-scale proofs of concept (Fig. 8) tolerate the bounded
+    // scheduler penalties that microsecond channels absorb within their
+    // margins.
+    ctx.spy_guard = std::max(ctx.spy_guard, cfg.timing.t1 * 0.02);
+  }
+
+  auto channel = core::make_channel(cfg.mechanism);
+  if (!channel) {
+    rep.failure_reason = "unknown mechanism";
+    return rep;
+  }
+  if (std::string err = channel->setup(ctx); !err.empty()) {
+    rep.failure_reason = err;
+    return rep;
+  }
+
+  core::RxResult rx;
+  simulator.spawn(channel->trojan_run(ctx, symbols), "trojan");
+  simulator.spawn(channel->spy_run(ctx, symbols.size(), rx), "spy");
+  const sim::RunResult run = simulator.run(cfg.max_events);
+  if (trace != nullptr) trace->ops = kernel.trace();
+  if (run.hit_event_limit) {
+    rep.failure_reason = "simulation event limit reached";
+    return rep;
+  }
+  if (run.blocked_roots > 0) {
+    rep.failure_reason =
+        "transmission deadlocked (e.g. Semaphore starved of initial "
+        "resources, Table II)";
+    return rep;
+  }
+
+  // Decode. Optionally recalibrate the classifier from the preamble the
+  // way a real Spy does, then re-classify every measured latency.
+  const std::size_t sync_symbols = cfg.sync_bits / width;
+  std::vector<std::size_t> rx_symbols = rx.symbols;
+  if (cfg.recalibrate_from_preamble && sync_symbols >= 2) {
+    const std::vector<std::size_t> preamble(
+        symbols.begin(), symbols.begin() + static_cast<long>(sync_symbols));
+    std::vector<Duration> preamble_lat(
+        rx.latencies.begin(),
+        rx.latencies.begin() +
+            static_cast<long>(std::min(sync_symbols, rx.latencies.size())));
+    const auto cls = calibrated_classifier(cfg, klass, preamble, preamble_lat,
+                                           classifier);
+    rx_symbols.clear();
+    rx_symbols.reserve(rx.latencies.size());
+    for (const Duration lat : rx.latencies) {
+      rx_symbols.push_back(cls.classify(lat));
+    }
+  }
+
+  const BitVec rx_bits = schedule.decode(rx_symbols);
+  const auto stripped = codec::check_and_strip(rx_bits, cfg.sync_bits);
+  rep.sync_ok = stripped.has_value();
+  rep.received_payload =
+      stripped.has_value()
+          ? *stripped
+          : rx_bits.slice(std::min(cfg.sync_bits, rx_bits.size()),
+                          rx_bits.size());
+
+  rep.tx_symbols = symbols;
+  rep.rx_symbols = rx_symbols;
+  rep.rx_latencies = rx.latencies;
+
+  const std::size_t n_payload = payload.size();
+  rep.ber = n_payload == 0
+                ? 0.0
+                : static_cast<double>(
+                      payload.hamming_distance(rep.received_payload)) /
+                      static_cast<double>(n_payload);
+  // The transmission ends when the Spy holds the last bit; stray events
+  // (lazily cancelled wait timeouts) may drain later.
+  rep.elapsed = (rx.finished_at > TimePoint::origin() ? rx.finished_at
+                                                      : run.end_time) -
+                TimePoint::origin();
+  if (rep.elapsed > Duration::zero()) {
+    rep.throughput_bps = static_cast<double>(frame.bits.size()) /
+                         rep.elapsed.to_sec();
+  }
+
+  // Symbol confusion over the data section.
+  ConfusionMatrix confusion{std::size_t{1} << width};
+  const std::size_t common = std::min(symbols.size(), rx_symbols.size());
+  const std::size_t data_syms = common > sync_symbols ? common - sync_symbols : 0;
+  for (std::size_t i = 0; i < data_syms; ++i) {
+    confusion.add(symbols[sync_symbols + i], rx_symbols[sync_symbols + i]);
+  }
+  rep.confusion = confusion;
+
+  rep.ok = true;
+  return rep;
+}
+
+RoundedReport run_with_retries(const ExperimentConfig& config,
+                               const BitVec& payload, std::size_t max_rounds)
+{
+  RoundedReport out;
+  ExperimentConfig cfg = config;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++out.rounds_attempted;
+    cfg.seed = config.seed + round * 0x9e3779b9ULL;
+    out.report = run_transmission(cfg, payload);
+    if (out.report.ok && out.report.sync_ok) return out;
+    if (!out.report.ok) return out;  // structural failure, retries futile
+  }
+  return out;
+}
+
+}  // namespace mes

@@ -1,0 +1,75 @@
+// Experiment runner: one call = one simulated transmission.
+//
+// Builds the whole stack (simulator -> noise profile -> kernel ->
+// topology -> processes -> channel), frames the payload behind the
+// synchronization sequence, runs both protocol roles to completion and
+// scores the result. Deterministic for a given config + seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "os/kernel.h"
+#include "util/bitvec.h"
+
+namespace mes {
+
+struct ExperimentConfig {
+  Mechanism mechanism = Mechanism::event;
+  Scenario scenario = Scenario::local;
+  HypervisorType hypervisor = HypervisorType::none;  // cross-VM only
+  TimingConfig timing = paper_timeset(Mechanism::event, Scenario::local);
+
+  std::size_t sync_bits = 8;   // preamble length (§V.B)
+  std::uint64_t seed = 1;
+  os::LockFairness fairness = os::LockFairness::fair;
+
+  // Per-iteration protocol-loop cost ("irrelevant instructions").
+  Duration loop_cost = Duration::us(5.0);
+
+  // Re-derive the binary decision threshold from the measured preamble
+  // (how a real Spy calibrates); disable to use the a-priori estimate.
+  bool recalibrate_from_preamble = true;
+
+  // Fine-grained inter-bit synchronization for contention channels
+  // (§V.B): a rendezvous before every bit restores the execution order
+  // and stops pacing drift from slipping the Spy's bit alignment.
+  // Disabling it falls back to Protocol 1's raw pacing ('1' holds
+  // re-anchor the Spy, t0 sleeps pace '0' runs), whose accumulated
+  // drift errors are exactly the failure §V.B describes —
+  // bench/ablation_sync shows the collapse.
+  bool fine_grained_sync = true;
+
+  // Semaphore channel: initial resources in S (the semaphore is used as
+  // a lock, so 1 is the working priming). 0 reproduces the Table II
+  // stall (transmission deadlock); >= 2 breaks mutual exclusion and the
+  // Spy reads every '1' as '0'. Negative = the working default of 1.
+  long semaphore_initial = -1;
+
+  // Timing-fuzz mitigation amplitude (0 = off); see mes::detect.
+  Duration mitigation_fuzz = Duration::zero();
+
+  bool enable_trace = false;   // record kernel op trace (detector input)
+  std::string tag = "0";       // resource-name disambiguator
+  std::uint64_t max_events = sim::Simulator::kDefaultMaxEvents;
+};
+
+struct TraceOut {
+  std::vector<os::Kernel::OpRecord> ops;
+};
+
+// Runs one framed transmission of `payload`.
+ChannelReport run_transmission(const ExperimentConfig& config,
+                               const BitVec& payload,
+                               TraceOut* trace = nullptr);
+
+// Round protocol (§V.B): retries (with fresh timing randomness) until
+// the Spy verifies the preamble, up to `max_rounds`.
+RoundedReport run_with_retries(const ExperimentConfig& config,
+                               const BitVec& payload,
+                               std::size_t max_rounds = 8);
+
+}  // namespace mes

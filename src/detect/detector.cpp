@@ -1,0 +1,158 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/stats.h"
+
+namespace mes::detect {
+
+namespace {
+
+bool is_mesm_op(os::OpKind kind)
+{
+  switch (kind) {
+    case os::OpKind::sleep:
+    case os::OpKind::file_read:
+    case os::OpKind::file_write:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Interval analysis keys on the *acquire-side* ops: one per symbol per
+// endpoint (a SetEvent per symbol for a cooperation Trojan; one probe
+// wait per bit for a contention Spy). Release-side ops would interleave
+// hold times into the gaps and smear the modes.
+bool is_acquire_op(os::OpKind kind)
+{
+  switch (kind) {
+    case os::OpKind::wait:
+    case os::OpKind::flock_ex:
+    case os::OpKind::flock_sh:
+    case os::OpKind::lock_file_ex:
+    case os::OpKind::set_event:
+    case os::OpKind::set_timer:
+    case os::OpKind::signal_send:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> Detector::analyze(
+    const std::vector<os::Kernel::OpRecord>& trace) const
+{
+  struct PerObject {
+    std::vector<const os::Kernel::OpRecord*> ops;
+    std::map<os::Pid, std::size_t> by_pid;
+  };
+  std::map<os::ObjectId, PerObject> objects;
+  for (const auto& rec : trace) {
+    if (!is_mesm_op(rec.kind) || rec.object == 0) continue;
+    auto& po = objects[rec.object];
+    po.ops.push_back(&rec);
+    ++po.by_pid[rec.pid];
+  }
+
+  std::vector<Finding> findings;
+  for (auto& [object, po] : objects) {
+    if (po.ops.size() < config_.min_ops) continue;
+
+    Finding f;
+    f.object = object;
+    f.ops = po.ops.size();
+
+    // Top two processes and their dominance of this object's traffic.
+    std::vector<std::pair<os::Pid, std::size_t>> by_count(po.by_pid.begin(),
+                                                          po.by_pid.end());
+    std::sort(by_count.begin(), by_count.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    f.pid_a = by_count[0].first;
+    std::size_t top2 = by_count[0].second;
+    if (by_count.size() > 1) {
+      f.pid_b = by_count[1].first;
+      top2 += by_count[1].second;
+    }
+    f.dominance = static_cast<double>(top2) / static_cast<double>(f.ops);
+
+    const Duration span = po.ops.back()->at - po.ops.front()->at;
+    f.ops_per_sec = span > Duration::zero()
+                        ? static_cast<double>(f.ops) / span.to_sec()
+                        : 0.0;
+
+    // Inter-op intervals per endpoint. The Trojan of a cooperation
+    // channel touches the object once per symbol (bimodal gaps); the Spy
+    // of a contention channel probes with a tight acquire/release pair
+    // every bit. Analyze both endpoints and keep the stronger signature.
+    f.bimodality = 0.0;
+    f.mode_cv = 1e9;
+    for (const os::Pid pid : {f.pid_a, f.pid_b}) {
+      if (pid < 0) continue;
+      std::vector<double> intervals;
+      TimePoint prev;
+      bool have_prev = false;
+      for (const auto* rec : po.ops) {
+        if (rec->pid != pid || !is_acquire_op(rec->kind)) continue;
+        if (have_prev) intervals.push_back((rec->at - prev).to_us());
+        prev = rec->at;
+        have_prev = true;
+      }
+      const TwoMeans modes = two_means_cluster(intervals);
+      // The low mode is the discriminator: a channel's fast mode (probe
+      // pair or short symbol) is tight; benign think times spread. The
+      // high mode may legitimately mix several symbol periods.
+      if (modes.separation >= f.bimodality &&
+          modes.low_cv < f.mode_cv) {
+        f.bimodality = modes.separation;
+        f.mode_cv = modes.low_cv;
+      }
+    }
+    if (f.mode_cv > 1e8) f.mode_cv = 0.0;
+
+    // Combined score: dominance and bimodality saturate at their
+    // thresholds; a tight fast mode is what separates a channel from
+    // benign two-party lock traffic with jittery think times.
+    const double b = std::min(1.0, f.bimodality / config_.separation_threshold);
+    const double d = std::min(1.0, f.dominance / config_.pair_dominance);
+    const double tight =
+        f.mode_cv <= 0.0
+            ? 0.0
+            : std::min(1.0, config_.mode_tightness / f.mode_cv);
+    f.score = 0.4 * b + 0.3 * d + 0.3 * tight;
+    f.flagged = f.score >= config_.flag_threshold &&
+                f.bimodality >= config_.separation_threshold &&
+                f.dominance >= config_.pair_dominance &&
+                f.mode_cv <= config_.mode_tightness;
+    findings.push_back(f);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.score > b.score; });
+  return findings;
+}
+
+bool Detector::channel_detected(
+    const std::vector<os::Kernel::OpRecord>& trace) const
+{
+  const auto findings = analyze(trace);
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const Finding& f) { return f.flagged; });
+}
+
+std::string to_string(const Finding& f)
+{
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "object %llu: pids (%d,%d) ops=%zu rate=%.0f/s "
+                "bimodality=%.2f mode_cv=%.2f dominance=%.2f score=%.2f%s",
+                static_cast<unsigned long long>(f.object), f.pid_a, f.pid_b,
+                f.ops, f.ops_per_sec, f.bimodality, f.mode_cv, f.dominance,
+                f.score, f.flagged ? " [FLAGGED]" : "");
+  return buf;
+}
+
+}  // namespace mes::detect

@@ -1,0 +1,70 @@
+// MES-Attack detector (the defensive counterpart, §VIII).
+//
+// A covert channel leaves a distinctive footprint in the kernel's MESM
+// op stream: exactly two processes hammer one object at a high, steady
+// rate, and the intervals between the sender's constraint-state releases
+// are *bimodal* (one mode per symbol level). The detector scores both
+// properties per (object, process-pair) and flags scores above a
+// threshold. The timing-fuzz mitigation it suggests is implemented as
+// Kernel::set_op_fuzz and evaluated in bench/ablation_mitigation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/types.h"
+
+namespace mes::detect {
+
+struct DetectorConfig {
+  // Minimum ops on one object before it is considered at all.
+  std::size_t min_ops = 64;
+  // Bimodality separation (TwoMeans.separation) above which the interval
+  // pattern looks like symbol modulation.
+  double separation_threshold = 0.22;
+  // Maximum within-mode coefficient of variation: a channel's symbol
+  // levels are tight (jitter is a few percent of the level), while
+  // benign lock traffic with think times spreads wide.
+  double mode_tightness = 0.25;
+  // Minimum fraction of the object's traffic produced by the busiest
+  // two processes ("closed share" signature).
+  double pair_dominance = 0.9;
+  // Overall score needed to flag.
+  double flag_threshold = 0.6;
+};
+
+struct Finding {
+  os::ObjectId object = 0;
+  os::Pid pid_a = -1;
+  os::Pid pid_b = -1;
+  std::size_t ops = 0;
+  double ops_per_sec = 0.0;
+  double bimodality = 0.0;   // TwoMeans separation of inter-op intervals
+  double mode_cv = 0.0;      // fast-mode coefficient of variation
+  double dominance = 0.0;    // fraction of traffic from the top two pids
+  double score = 0.0;        // combined, 0..1
+  bool flagged = false;
+};
+
+class Detector {
+ public:
+  explicit Detector(DetectorConfig config = {}) : config_{config} {}
+
+  // Analyzes a kernel op trace and returns one finding per object that
+  // met the minimum traffic bar, sorted by descending score.
+  std::vector<Finding> analyze(
+      const std::vector<os::Kernel::OpRecord>& trace) const;
+
+  // True when any finding is flagged.
+  bool channel_detected(
+      const std::vector<os::Kernel::OpRecord>& trace) const;
+
+ private:
+  DetectorConfig config_;
+};
+
+std::string to_string(const Finding& f);
+
+}  // namespace mes::detect

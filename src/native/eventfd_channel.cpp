@@ -1,0 +1,95 @@
+// Real cooperation channel over eventfd(2) — the Linux stand-in for the
+// paper's Windows Event object (same signal/wait semantics: the write
+// wakes exactly one blocked reader in EFD_SEMAPHORE mode).
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "codec/frame.h"
+#include "native/native_common.h"
+
+namespace mes::native {
+
+namespace {
+
+double now_us()
+{
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class NativeEventFdChannel final : public NativeChannel {
+ public:
+  std::string name() const override { return "native-eventfd"; }
+
+  NativeReport transmit(const BitVec& payload, const NativeTiming& timing,
+                        std::size_t sync_bits) override
+  {
+    NativeReport rep;
+    const int efd = ::eventfd(0, EFD_SEMAPHORE);
+    if (efd < 0) {
+      rep.error = std::string{"eventfd failed: "} + std::strerror(errno);
+      return rep;
+    }
+
+    const codec::Frame frame = codec::make_frame(payload, sync_bits);
+    const double t0_us =
+        std::chrono::duration<double, std::micro>(timing.t0).count();
+    const double ti_us =
+        std::chrono::duration<double, std::micro>(timing.interval).count();
+    const double threshold_us = t0_us + ti_us / 2.0;
+
+    std::vector<double> latencies;
+    latencies.reserve(frame.bits.size());
+    std::string rx_error;
+    std::string tx_error;
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::jthread receiver{[&] {
+        for (std::size_t i = 0; i < frame.bits.size(); ++i) {
+          const double t_begin = now_us();
+          std::uint64_t value = 0;
+          if (::read(efd, &value, sizeof value) != sizeof value) {
+            rx_error = std::string{"read failed: "} + std::strerror(errno);
+            return;
+          }
+          latencies.push_back(now_us() - t_begin);
+        }
+      }};
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      for (std::size_t i = 0; i < frame.bits.size(); ++i) {
+        std::this_thread::sleep_for(frame.bits[i] == 1
+                                        ? timing.t0 + timing.interval
+                                        : timing.t0);
+        const std::uint64_t one = 1;
+        if (::write(efd, &one, sizeof one) != sizeof one) {
+          tx_error = std::string{"write failed: "} + std::strerror(errno);
+          break;
+        }
+      }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ::close(efd);
+
+    if (!tx_error.empty() || !rx_error.empty()) {
+      rep.error = !tx_error.empty() ? tx_error : rx_error;
+      return rep;
+    }
+    return score_reception(payload, sync_bits, latencies, threshold_us,
+                           elapsed);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NativeChannel> make_native_eventfd()
+{
+  return std::make_unique<NativeEventFdChannel>();
+}
+
+}  // namespace mes::native

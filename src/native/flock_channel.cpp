@@ -1,0 +1,219 @@
+#include "native/flock_channel.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "codec/frame.h"
+
+// Native transport note. The simulated channels reproduce Protocol 1
+// verbatim (hold for '1', sleep for '0') because the simulator's
+// rendezvous keeps the endpoints aligned. On a real, loaded container
+// the scheduler jitter is tens-to-hundreds of microseconds, so the
+// native channel keys on *hold duration* instead: the sender holds the
+// lock for t1 to send '1' and t0 to send '0', back to back. The
+// receiver's blocked probe then maps 1:1 onto each hold with no pacing
+// at all — the same released-from-constraint-time discrimination, made
+// drift-free. (This is also exactly how the paper's Fig. 8 PoC separates
+// its levels.)
+
+namespace mes::native {
+
+namespace {
+
+class UniqueFd {
+ public:
+  explicit UniqueFd(int fd) : fd_{fd} {}
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd()
+  {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+double now_us()
+{
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string flock_send(const std::string& path, const BitVec& frame_bits,
+                       const NativeTiming& timing)
+{
+  UniqueFd fd{::open(path.c_str(), O_RDONLY)};
+  if (!fd.valid()) {
+    return std::string{"flock_send: open failed: "} + std::strerror(errno);
+  }
+  // Frame holds, then a few flush holds so a receiver that lost probes
+  // to merges can still collect its expected count and terminate.
+  for (std::size_t i = 0; i < frame_bits.size() + 4; ++i) {
+    if (::flock(fd.get(), LOCK_EX) != 0) {
+      return std::string{"flock_send: LOCK_EX failed: "} + std::strerror(errno);
+    }
+    const bool one = i < frame_bits.size() && frame_bits[i] == 1;
+    std::this_thread::sleep_for(one ? timing.t1 : timing.t0);
+    if (::flock(fd.get(), LOCK_UN) != 0) {
+      return std::string{"flock_send: LOCK_UN failed: "} + std::strerror(errno);
+    }
+  }
+  return {};
+}
+
+std::optional<std::vector<double>> flock_receive(
+    const std::string& path, std::size_t expected, const NativeTiming& timing,
+    double inline_threshold_us, std::string* error)
+{
+  UniqueFd fd{::open(path.c_str(), O_RDONLY)};
+  if (!fd.valid()) {
+    if (error) {
+      *error = std::string{"flock_receive: open failed: "} +
+               std::strerror(errno);
+    }
+    return std::nullopt;
+  }
+
+  const double t0_us =
+      std::chrono::duration<double, std::micro>(timing.t0).count();
+  auto probe = [&](double* latency) {
+    const double start = now_us();
+    if (::flock(fd.get(), LOCK_EX) != 0 || ::flock(fd.get(), LOCK_UN) != 0) {
+      return false;
+    }
+    *latency = now_us() - start;
+    return true;
+  };
+
+  std::vector<double> latencies;
+  latencies.reserve(expected);
+
+  // Anchor: spin at a light cadence until a probe blocks for at least
+  // half a '0' hold — the sender has started, and that probe measured
+  // (most of) the first bit.
+  constexpr int kMaxAnchorProbes = 20000;
+  bool anchored = false;
+  for (int tries = 0; tries < kMaxAnchorProbes && !anchored; ++tries) {
+    double latency = 0.0;
+    if (!probe(&latency)) {
+      if (error) {
+        *error = std::string{"flock_receive: flock failed: "} +
+                 std::strerror(errno);
+      }
+      return std::nullopt;
+    }
+    if (latency > t0_us / 2.0) {
+      latencies.push_back(latency);
+      anchored = true;
+    } else {
+      std::this_thread::sleep_for(timing.t0 / 4);
+    }
+  }
+  if (!anchored) {
+    if (error) *error = "flock_receive: sender never started";
+    return std::nullopt;
+  }
+
+  int spurious_budget = 2000;
+  while (latencies.size() < expected && spurious_budget > 0) {
+    // Give the sender the unlock->relock window; the next probe then
+    // queues behind its hold and measures it whole.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    double latency = 0.0;
+    if (!probe(&latency)) {
+      if (error) {
+        *error = std::string{"flock_receive: flock failed: "} +
+                 std::strerror(errno);
+      }
+      return std::nullopt;
+    }
+    if (latency <= t0_us / 2.0) {
+      // Spurious: the sender is between holds (descheduled) — skip.
+      --spurious_budget;
+      std::this_thread::sleep_for(timing.t0 / 4);
+      continue;
+    }
+    latencies.push_back(latency);
+  }
+  (void)inline_threshold_us;
+  return latencies;
+}
+
+namespace {
+
+class NativeFlockChannel final : public NativeChannel {
+ public:
+  explicit NativeFlockChannel(std::string directory)
+      : directory_{std::move(directory)}
+  {
+  }
+
+  std::string name() const override { return "native-flock"; }
+
+  NativeReport transmit(const BitVec& payload, const NativeTiming& timing,
+                        std::size_t sync_bits) override
+  {
+    NativeReport rep;
+    const std::string path = directory_ + "/mes_native_flock_" +
+                             std::to_string(::getpid()) + "_" +
+                             std::to_string(counter_++) + ".lock";
+    UniqueFd creator{::open(path.c_str(), O_CREAT | O_RDONLY, 0444)};
+    if (!creator.valid()) {
+      rep.error = std::string{"create failed: "} + std::strerror(errno);
+      return rep;
+    }
+
+    const codec::Frame frame = codec::make_frame(payload, sync_bits);
+    const double threshold_us =
+        std::chrono::duration<double, std::micro>(timing.t0 + timing.t1)
+            .count() /
+        2.0;
+
+    std::optional<std::vector<double>> latencies;
+    std::string rx_error;
+    std::string tx_error;
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::jthread receiver{[&] {
+        latencies = flock_receive(path, frame.bits.size(), timing,
+                                  threshold_us, &rx_error);
+      }};
+      // Let the receiver arm its first probe before the sender starts.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      tx_error = flock_send(path, frame.bits, timing);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ::unlink(path.c_str());
+
+    if (!tx_error.empty() || !rx_error.empty() || !latencies) {
+      rep.error = !tx_error.empty() ? tx_error : rx_error;
+      return rep;
+    }
+    return score_reception(payload, sync_bits, *latencies, threshold_us,
+                           elapsed);
+  }
+
+ private:
+  std::string directory_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NativeChannel> make_native_flock(const std::string& directory)
+{
+  return std::make_unique<NativeFlockChannel>(directory);
+}
+
+}  // namespace mes::native

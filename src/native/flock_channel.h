@@ -1,0 +1,28 @@
+// Real flock(2) covert channel over a shared file.
+//
+// Faithful to Protocol 1: the sender holds LOCK_EX for t1 to send '1'
+// and just sleeps t0 for '0'; the receiver times LOCK_EX+LOCK_UN probes
+// and paces itself with a t0 sleep after each '0'. The sender and
+// receiver halves are exposed separately so two *forked processes* can
+// run them against the same path (examples/native_flock_demo); the
+// NativeChannel wrapper runs them on two threads, which contend just the
+// same because each open() owns a distinct open-file description.
+#pragma once
+
+#include "native/native_common.h"
+
+namespace mes::native {
+
+// Sender half: transmits `frame_bits` over the file at `path`.
+// Returns empty string on success, otherwise an error description.
+std::string flock_send(const std::string& path, const BitVec& frame_bits,
+                       const NativeTiming& timing);
+
+// Receiver half: measures `expected` probe latencies (microseconds).
+// `inline_threshold_us` drives the pacing decision after each probe.
+std::optional<std::vector<double>> flock_receive(
+    const std::string& path, std::size_t expected,
+    const NativeTiming& timing, double inline_threshold_us,
+    std::string* error = nullptr);
+
+}  // namespace mes::native

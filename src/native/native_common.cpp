@@ -1,0 +1,95 @@
+#include "native/native_common.h"
+
+#include "codec/frame.h"
+#include "codec/symbols.h"
+
+#include <cmath>
+
+namespace mes::native {
+
+NativeReport score_reception(const BitVec& payload, std::size_t sync_bits,
+                             const std::vector<double>& latencies_us,
+                             double fallback_threshold_us,
+                             std::chrono::nanoseconds elapsed)
+{
+  NativeReport rep;
+  rep.sent_payload = payload;
+  rep.latencies_us = latencies_us;
+  rep.elapsed = elapsed;
+
+  std::vector<Duration> preamble;
+  preamble.reserve(sync_bits);
+  for (std::size_t i = 0; i < sync_bits && i < latencies_us.size(); ++i) {
+    preamble.push_back(Duration::us(latencies_us[i]));
+  }
+  const auto classifier = codec::calibrate_binary(
+      preamble, Duration::us(fallback_threshold_us));
+
+  // Estimate the two hold levels from the calibrated threshold: the
+  // preamble means sit on the levels themselves.
+  double low_level = 0.0;
+  double high_level = 0.0;
+  {
+    double lo_sum = 0.0, hi_sum = 0.0;
+    std::size_t lo_n = 0, hi_n = 0;
+    const double thr = classifier.threshold(0).to_us();
+    for (std::size_t i = 0; i < sync_bits && i < latencies_us.size(); ++i) {
+      if (latencies_us[i] > thr) { hi_sum += latencies_us[i]; ++hi_n; }
+      else { lo_sum += latencies_us[i]; ++lo_n; }
+    }
+    low_level = lo_n ? lo_sum / static_cast<double>(lo_n) : thr / 2.0;
+    high_level = hi_n ? hi_sum / static_cast<double>(hi_n) : thr * 1.5;
+  }
+
+  // Expand each measured latency into one-or-more bits: a receiver that
+  // was descheduled across a hold boundary measures the *sum* of the
+  // merged holds. Decomposing n1*t1 + n0*t0 keeps the stream aligned;
+  // only the order inside one merge is unknowable ('1's emitted first).
+  BitVec rx_bits;
+  for (const double lat : latencies_us) {
+    int best_n1 = classifier.classify(Duration::us(lat)) == 1 ? 1 : 0;
+    int best_n0 = 1 - best_n1;
+    // Parsimony: merges are rare, and with t1 near a small multiple of
+    // t0 the decomposition is ambiguous on residual error alone — each
+    // extra bit must buy at least half a low hold of improvement.
+    const double per_bit_penalty = 0.3 * low_level;
+    double best_cost = std::abs(lat - (best_n1 ? high_level : low_level));
+    for (int n1 = 0; n1 <= 4; ++n1) {
+      for (int n0 = 0; n0 <= 4; ++n0) {
+        if (n1 + n0 < 1) continue;
+        const double cost =
+            std::abs(lat - n1 * high_level - n0 * low_level) +
+            (n1 + n0 - 1) * per_bit_penalty;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_n1 = n1;
+          best_n0 = n0;
+        }
+      }
+    }
+    for (int i = 0; i < best_n1; ++i) rx_bits.push_back(1);
+    for (int i = 0; i < best_n0; ++i) rx_bits.push_back(0);
+  }
+  rx_bits = rx_bits.slice(0, sync_bits + payload.size());
+
+  const auto stripped = codec::check_and_strip(rx_bits, sync_bits);
+  rep.sync_ok = stripped.has_value();
+  rep.received_payload =
+      stripped.has_value()
+          ? *stripped
+          : rx_bits.slice(std::min(sync_bits, rx_bits.size()), rx_bits.size());
+  rep.ber = payload.empty()
+                ? 0.0
+                : static_cast<double>(
+                      payload.hamming_distance(rep.received_payload)) /
+                      static_cast<double>(payload.size());
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  if (secs > 0.0) {
+    rep.throughput_bps =
+        static_cast<double>(payload.size() + sync_bits) / secs;
+  }
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace mes::native

@@ -1,0 +1,70 @@
+// Native (real-OS) backend: shared types.
+//
+// The same MES protocols as mes::channels, but executed by real threads
+// (or forked processes) against real Linux primitives — flock(2),
+// eventfd(2), POSIX semaphores — with std::chrono timing. This is the
+// end-to-end proof that the simulated channels correspond to something a
+// laptop actually does; see examples/native_flock_demo.
+//
+// Timing defaults are millisecond-scale: a container's scheduler jitter
+// is orders of magnitude above the paper's bare-metal microseconds, and
+// the goal here is a reliable demonstration, not peak TR.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace mes::native {
+
+struct NativeTiming {
+  // Containers often run with coarse timers: sleep_for can overshoot by
+  // a millisecond or more even on an idle host, so the default levels
+  // are separated by ~10 ms.
+  std::chrono::microseconds t1{15000};      // contention hold for '1'
+  std::chrono::microseconds t0{6000};       // '0' hold / pacing sleep
+  std::chrono::microseconds interval{8000}; // cooperation level spacing
+};
+
+struct NativeReport {
+  bool ok = false;
+  std::string error;
+  bool sync_ok = false;
+  BitVec sent_payload;
+  BitVec received_payload;
+  double ber = 0.0;
+  double throughput_bps = 0.0;
+  std::chrono::nanoseconds elapsed{0};
+  std::vector<double> latencies_us;  // per received bit, preamble included
+};
+
+// Classifies latencies with a threshold calibrated from the alternating
+// preamble (falling back to `fallback_threshold_us`), strips the
+// preamble and scores against `payload`.
+NativeReport score_reception(const BitVec& payload, std::size_t sync_bits,
+                             const std::vector<double>& latencies_us,
+                             double fallback_threshold_us,
+                             std::chrono::nanoseconds elapsed);
+
+// Abstract native channel: frames `payload` behind `sync_bits` of
+// alternating preamble and transmits sender/receiver on two threads.
+class NativeChannel {
+ public:
+  virtual ~NativeChannel() = default;
+  virtual std::string name() const = 0;
+  virtual NativeReport transmit(const BitVec& payload,
+                                const NativeTiming& timing,
+                                std::size_t sync_bits) = 0;
+};
+
+std::unique_ptr<NativeChannel> make_native_flock(
+    const std::string& directory = "/tmp");
+std::unique_ptr<NativeChannel> make_native_eventfd();
+std::unique_ptr<NativeChannel> make_native_semaphore();
+
+}  // namespace mes::native

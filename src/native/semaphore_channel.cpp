@@ -1,0 +1,137 @@
+// Real Semaphore covert channel over a POSIX semaphore used as a lock —
+// the same semaphore-as-critical-resource protocol as the simulated
+// channel (§IV.E): count 1 means free, the sender's P..V bracket is the
+// '1' hold, and the receiver times its own P+V probe.
+#include <semaphore.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "codec/frame.h"
+#include "native/native_common.h"
+
+namespace mes::native {
+
+namespace {
+
+double now_us()
+{
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class NativeSemaphoreChannel final : public NativeChannel {
+ public:
+  std::string name() const override { return "native-semaphore"; }
+
+  NativeReport transmit(const BitVec& payload, const NativeTiming& timing,
+                        std::size_t sync_bits) override
+  {
+    NativeReport rep;
+    const codec::Frame frame = codec::make_frame(payload, sync_bits);
+
+    sem_t lock;
+    if (sem_init(&lock, 0, /*value=*/1) != 0) {
+      rep.error = std::string{"sem_init failed: "} + std::strerror(errno);
+      return rep;
+    }
+
+    const double t0_us =
+        std::chrono::duration<double, std::micro>(timing.t0).count();
+    const double threshold_us =
+        std::chrono::duration<double, std::micro>(timing.t0 + timing.t1)
+            .count() /
+        2.0;
+    std::vector<double> latencies;
+    latencies.reserve(frame.bits.size());
+    std::string rx_error;
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::jthread receiver{[&] {
+        auto probe = [&](double* lat) {
+          const double t_begin = now_us();
+          if (sem_wait(&lock) != 0 || sem_post(&lock) != 0) return false;
+          *lat = now_us() - t_begin;
+          return true;
+        };
+        // Anchor: spin lightly until a probe blocks on the first hold.
+        constexpr int kMaxAnchorProbes = 20000;
+        bool anchored = false;
+        for (int tries = 0; tries < kMaxAnchorProbes && !anchored; ++tries) {
+          double lat = 0.0;
+          if (!probe(&lat)) {
+            rx_error = std::string{"sem probe failed: "} +
+                       std::strerror(errno);
+            return;
+          }
+          if (lat > t0_us / 2.0) {
+            latencies.push_back(lat);
+            anchored = true;
+          } else {
+            std::this_thread::sleep_for(timing.t0 / 4);
+          }
+        }
+        if (!anchored) {
+          rx_error = "sender never started";
+          return;
+        }
+        int spurious_budget = 2000;
+        while (latencies.size() < frame.bits.size() && spurious_budget > 0) {
+          // Give the sender the post->wait window, then queue behind
+          // its next hold and measure it whole.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          double lat = 0.0;
+          if (!probe(&lat)) {
+            rx_error = std::string{"sem probe failed: "} +
+                       std::strerror(errno);
+            return;
+          }
+          if (lat <= t0_us / 2.0) {
+            --spurious_budget;
+            std::this_thread::sleep_for(timing.t0 / 4);
+            continue;
+          }
+          latencies.push_back(lat);
+        }
+      }};
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      // Duration modulation: every bit is a hold, its length the symbol
+      // (see the transport note in flock_channel.cpp). Trailing flush
+      // holds let a merge-afflicted receiver finish its count.
+      //
+      // POSIX semaphores hand off *unfairly*: a woken waiter must
+      // re-decrement and loses the race against the poster's immediate
+      // next sem_wait — the very fair-pattern requirement of §V.B. The
+      // sender therefore yields a gap after each post so the blocked
+      // receiver can take its probe.
+      for (std::size_t i = 0; i < frame.bits.size() + 4; ++i) {
+        sem_wait(&lock);
+        const bool one = i < frame.bits.size() && frame.bits[i] == 1;
+        std::this_thread::sleep_for(one ? timing.t1 : timing.t0);
+        sem_post(&lock);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    sem_destroy(&lock);
+
+    if (!rx_error.empty()) {
+      rep.error = rx_error;
+      return rep;
+    }
+    return score_reception(payload, sync_bits, latencies, threshold_us,
+                           elapsed);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NativeChannel> make_native_semaphore()
+{
+  return std::make_unique<NativeSemaphoreChannel>();
+}
+
+}  // namespace mes::native

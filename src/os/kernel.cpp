@@ -1,0 +1,140 @@
+#include "os/kernel.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "os/vfs.h"
+#include "os/win_objects.h"
+
+namespace mes::os {
+
+namespace {
+
+// Debug aid: MES_TRACE_STDERR=1 streams every kernel op as it happens
+// (the in-memory trace is only readable after the run completes).
+bool stderr_trace_enabled()
+{
+  static const bool enabled = std::getenv("MES_TRACE_STDERR") != nullptr;
+  return enabled;
+}
+
+void stderr_trace(TimePoint at, Pid pid, OpKind kind, ObjectId object)
+{
+  if (stderr_trace_enabled()) {
+    std::fprintf(stderr, "[%12.3fus] pid=%d %s obj=%llu\n", at.to_us(), pid,
+                 to_string(kind), static_cast<unsigned long long>(object));
+  }
+}
+
+}  // namespace
+
+Kernel::Kernel(sim::Simulator& sim, sim::NoiseParams noise,
+               LockFairness fairness)
+    : sim_{sim}, noise_{noise}, fairness_{fairness}
+{
+  objects_ = std::make_unique<ObjectManager>(*this);
+  vfs_ = std::make_unique<Vfs>(*this);
+}
+
+Kernel::~Kernel() = default;
+
+Process& Kernel::create_process(std::string name, NamespaceId ns)
+{
+  const Pid pid = next_pid_++;
+  processes_.push_back(std::make_unique<Process>(
+      pid, std::move(name), ns, sim_.rng().fork()));
+  return *processes_.back();
+}
+
+Process* Kernel::find_process(Pid pid)
+{
+  for (auto& p : processes_) {
+    if (p->pid() == pid) return p.get();
+  }
+  return nullptr;
+}
+
+void Kernel::terminate_process(Process& proc)
+{
+  proc.mark_terminated();
+  objects_->abandon_mutexes_of(proc.pid());
+}
+
+sim::Proc Kernel::charge_op(Process& proc, OpKind kind, ObjectId object)
+{
+  if (trace_enabled_) {
+    trace_.push_back(OpRecord{sim_.now(), proc.pid(), kind, object});
+  }
+  stderr_trace(sim_.now(), proc.pid(), kind, object);
+  // Pending displaced-work penalties are deliberately NOT paid here:
+  // they surface at the next re-dispatch point (the inter-bit
+  // rendezvous), before the Spy's timestamp, where they can truncate a
+  // measurement. A syscall mid-measurement would only lengthen it.
+  Duration cost = noise_.op_cost(proc.rng());
+  if (op_fuzz_ > Duration::zero()) {
+    cost += Duration::us(proc.rng().uniform(0.0, op_fuzz_.to_us()));
+  }
+  co_await sim_.delay(cost);
+}
+
+sim::Proc Kernel::sleep(Process& proc, Duration d)
+{
+  if (trace_enabled_) {
+    trace_.push_back(OpRecord{sim_.now(), proc.pid(), OpKind::sleep, 0});
+  }
+  stderr_trace(sim_.now(), proc.pid(), OpKind::sleep, 0);
+  // sleep() is one of the per-bit "instructions" in the paper's op
+  // accounting (lock-sleep-unlock), so it pays a syscall cost too.
+  Duration cost = noise_.op_cost(proc.rng());
+  if (op_fuzz_ > Duration::zero()) {
+    cost += Duration::us(proc.rng().uniform(0.0, op_fuzz_.to_us()));
+  }
+  const Duration actual = noise_.sleep_time(proc.rng(), d);
+  co_await sim_.delay(cost + actual);
+  proc.add_pending_penalty(noise_.post_wait_penalty(proc.rng(), actual));
+}
+
+sim::Task<sim::WaitOutcome> Kernel::park(Process& proc, Parker& parker,
+                                         Duration timeout)
+{
+  const TimePoint start = sim_.now();
+  const sim::WaitOutcome outcome = co_await parker.slot.wait(sim_, timeout);
+  const Duration waited = sim_.now() - start;
+  proc.add_pending_penalty(noise_.post_wait_penalty(proc.rng(), waited));
+  co_return outcome;
+}
+
+bool Kernel::wake(Process& waker, Parker& parker)
+{
+  const Duration latency =
+      noise_.wake_latency(waker.rng()) + noise_.notify_path(waker.rng());
+  return parker.slot.notify_one(sim_, latency);
+}
+
+sim::Proc Kernel::kill(Process& sender, Process& target)
+{
+  co_await charge_op(sender, OpKind::signal_send,
+                     static_cast<ObjectId>(target.pid()));
+  auto& state = signals_[target.pid()];
+  if (state.waiter && wake(sender, *state.waiter)) {
+    state.waiter.reset();
+    co_return;
+  }
+  state.waiter.reset();
+  ++state.pending;
+}
+
+sim::Task<sim::WaitOutcome> Kernel::sigwait(Process& proc, Duration timeout)
+{
+  co_await charge_op(proc, OpKind::wait, static_cast<ObjectId>(proc.pid()));
+  auto& state = signals_[proc.pid()];
+  if (state.pending > 0) {
+    --state.pending;
+    co_return sim::WaitOutcome::signaled;
+  }
+  auto parker = std::make_shared<Parker>();
+  state.waiter = parker;
+  co_return co_await park(proc, *parker, timeout);
+}
+
+}  // namespace mes::os

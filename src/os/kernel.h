@@ -1,0 +1,133 @@
+// Simulated OS kernel: processes, timing costs, parking, tracing.
+//
+// The Kernel is the single place where simulated wall-clock costs are
+// charged: every MESM call pays an operation cost, every sleep pays the
+// scheduler's wake-up behaviour, every blocking wait pays wake-up latency
+// and (possibly) a post-wait penalty. Channels never talk to the
+// NoiseModel directly — they call syscalls, and the timing emerges.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/process.h"
+#include "os/types.h"
+#include "sim/barrier.h"
+#include "sim/noise.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_queue.h"
+
+namespace mes::os {
+
+class ObjectManager;
+class Vfs;
+
+// A single-process parking slot. Wait queues that need to know *who* is
+// waiting (mutex hand-off, semaphore grants, file-lock queues) keep a
+// deque of Parker pointers; granting wakes the parker's private queue.
+// A timed-out parker is detected by notify_one() returning false.
+struct Parker {
+  sim::WaitQueue slot;
+};
+
+class Kernel {
+ public:
+  struct OpRecord {
+    TimePoint at;
+    Pid pid;
+    OpKind kind;
+    ObjectId object;
+  };
+
+  Kernel(sim::Simulator& sim, sim::NoiseParams noise,
+         LockFairness fairness = LockFairness::fair);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  const sim::NoiseModel& noise() const { return noise_; }
+  LockFairness fairness() const { return fairness_; }
+  void set_fairness(LockFairness f) { fairness_ = f; }
+
+  ObjectManager& objects() { return *objects_; }
+  Vfs& vfs() { return *vfs_; }
+
+  // --- processes ---------------------------------------------------------
+  Process& create_process(std::string name, NamespaceId ns = 0);
+  Process* find_process(Pid pid);
+  std::size_t process_count() const { return processes_.size(); }
+  // Marks the process dead and abandons its mutexes (WAIT_ABANDONED).
+  void terminate_process(Process& proc);
+
+  // --- timing primitives (all charge simulated time) ----------------------
+  // One MESM operation: op cost + any background block landing inside it,
+  // plus the mitigation fuzz when enabled. Records a trace entry.
+  sim::Proc charge_op(Process& proc, OpKind kind, ObjectId object = 0);
+
+  // sleep(d): floor/overshoot/interference per the noise model, plus a
+  // post-sleep penalty for long sleeps (displaced-work model).
+  sim::Proc sleep(Process& proc, Duration d);
+
+  // Parks the caller on `parker` until woken or timed out; applies
+  // wake-side penalty on resume.
+  sim::Task<sim::WaitOutcome> park(Process& proc, Parker& parker,
+                                   Duration timeout = Duration::max());
+
+  // Wakes the process parked on `parker`. Returns false if it already
+  // timed out (caller should then grant elsewhere). The waker pays the
+  // notification; the sleeper pays wake-up latency.
+  bool wake(Process& waker, Parker& parker);
+
+  // Fresh id for trace correlation.
+  ObjectId next_object_id() { return ++last_object_id_; }
+
+  // --- POSIX-style signals (extension channel, §IV.A future work) ----------
+  // Delivers one signal to `target`: wakes a sigwait-er or queues it.
+  sim::Proc kill(Process& sender, Process& target);
+  // Blocks until a signal arrives (or returns immediately if pending).
+  sim::Task<sim::WaitOutcome> sigwait(Process& proc,
+                                      Duration timeout = Duration::max());
+
+  // --- tracing (detector input) -------------------------------------------
+  void enable_trace(bool on) { trace_enabled_ = on; }
+  bool trace_enabled() const { return trace_enabled_; }
+  const std::vector<OpRecord>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  // --- mitigation hook -----------------------------------------------------
+  // Adds uniform(0, max_extra) to every charged operation; the timing-fuzz
+  // countermeasure evaluated in bench/ablation_mitigation.
+  void set_op_fuzz(Duration max_extra) { op_fuzz_ = max_extra; }
+  Duration op_fuzz() const { return op_fuzz_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::NoiseModel noise_;
+  LockFairness fairness_;
+  Duration op_fuzz_ = Duration::zero();
+
+  std::deque<std::unique_ptr<Process>> processes_;
+  Pid next_pid_ = 100;
+  ObjectId last_object_id_ = 0;
+
+  bool trace_enabled_ = false;
+  std::vector<OpRecord> trace_;
+
+  struct SignalState {
+    int pending = 0;
+    std::shared_ptr<Parker> waiter;
+  };
+  std::map<Pid, SignalState> signals_;
+
+  std::unique_ptr<ObjectManager> objects_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+}  // namespace mes::os

@@ -1,0 +1,39 @@
+#include "os/process.h"
+
+#include "os/win_objects.h"
+
+namespace mes::os {
+
+Handle Process::insert_object(std::shared_ptr<KernelObject> obj)
+{
+  const Handle h = next_handle_;
+  next_handle_ += 4;
+  handles_.emplace(h, std::move(obj));
+  return h;
+}
+
+std::shared_ptr<KernelObject> Process::lookup_object(Handle h) const
+{
+  const auto it = handles_.find(h);
+  return it == handles_.end() ? nullptr : it->second;
+}
+
+bool Process::close_handle(Handle h) { return handles_.erase(h) > 0; }
+
+Fd Process::insert_fd(int open_file_id)
+{
+  Fd fd = 0;
+  while (fds_.contains(fd)) ++fd;  // POSIX: lowest unused descriptor
+  fds_.emplace(fd, open_file_id);
+  return fd;
+}
+
+int Process::lookup_fd(Fd fd) const
+{
+  const auto it = fds_.find(fd);
+  return it == fds_.end() ? -1 : it->second;
+}
+
+bool Process::remove_fd(Fd fd) { return fds_.erase(fd) > 0; }
+
+}  // namespace mes::os

@@ -1,0 +1,79 @@
+// Simulated process control block.
+//
+// Mirrors the two per-process structures the paper's Figs. 4 and 5 build
+// on: the NT-style handle table (handles are process-local values that
+// point at system-level kernel objects) and the POSIX file-descriptor
+// table (fds point at system-level open-file descriptions).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "os/types.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mes::os {
+
+class KernelObject;
+
+class Process {
+ public:
+  Process(Pid pid, std::string name, NamespaceId ns, Rng rng)
+      : pid_{pid}, name_{std::move(name)}, ns_{ns}, rng_{rng}
+  {
+  }
+
+  Pid pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  NamespaceId namespace_id() const { return ns_; }
+  Rng& rng() { return rng_; }
+
+  bool alive() const { return alive_; }
+  void mark_terminated() { alive_ = false; }
+
+  // Displaced-work penalty: accrued when the process stayed parked far
+  // beyond a scheduler quantum, paid the next time it performs a
+  // syscall (Kernel::charge_op). This deferral is what lets a long
+  // previous hold truncate the *next* measurement (§V.C.1's "system is
+  // blocked" effect behind Fig. 10's BER rise past tt1 = 220 us).
+  void add_pending_penalty(Duration d) { pending_penalty_ += d; }
+  Duration take_pending_penalty()
+  {
+    const Duration d = pending_penalty_;
+    pending_penalty_ = Duration::zero();
+    return d;
+  }
+  Duration pending_penalty() const { return pending_penalty_; }
+
+  // --- handle table (kernel objects) ------------------------------------
+  // NT-style: values are process-local, start at 4, step 4; the same
+  // kernel object generally has different handle values in different
+  // processes (Fig. 4).
+  Handle insert_object(std::shared_ptr<KernelObject> obj);
+  std::shared_ptr<KernelObject> lookup_object(Handle h) const;
+  bool close_handle(Handle h);
+  std::size_t handle_count() const { return handles_.size(); }
+
+  // --- file descriptor table ---------------------------------------------
+  // Values are process-local, smallest free integer from 0 (POSIX).
+  Fd insert_fd(int open_file_id);
+  int lookup_fd(Fd fd) const;  // returns open-file id or -1
+  bool remove_fd(Fd fd);
+  std::size_t fd_count() const { return fds_.size(); }
+
+ private:
+  Pid pid_;
+  std::string name_;
+  NamespaceId ns_;
+  Rng rng_;
+  bool alive_ = true;
+  Duration pending_penalty_ = Duration::zero();
+
+  Handle next_handle_ = 4;
+  std::map<Handle, std::shared_ptr<KernelObject>> handles_;
+  std::map<Fd, int> fds_;
+};
+
+}  // namespace mes::os

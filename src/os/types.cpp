@@ -1,0 +1,39 @@
+#include "os/types.h"
+
+namespace mes::os {
+
+const char* to_string(WaitStatus s)
+{
+  switch (s) {
+    case WaitStatus::object_0: return "WAIT_OBJECT_0";
+    case WaitStatus::timed_out: return "WAIT_TIMEOUT";
+    case WaitStatus::abandoned: return "WAIT_ABANDONED";
+    case WaitStatus::failed: return "WAIT_FAILED";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind k)
+{
+  switch (k) {
+    case OpKind::sleep: return "sleep";
+    case OpKind::wait: return "wait";
+    case OpKind::set_event: return "set_event";
+    case OpKind::reset_event: return "reset_event";
+    case OpKind::release_mutex: return "release_mutex";
+    case OpKind::release_semaphore: return "release_semaphore";
+    case OpKind::set_timer: return "set_timer";
+    case OpKind::cancel_timer: return "cancel_timer";
+    case OpKind::flock_ex: return "flock_ex";
+    case OpKind::flock_sh: return "flock_sh";
+    case OpKind::flock_un: return "flock_un";
+    case OpKind::lock_file_ex: return "lock_file_ex";
+    case OpKind::unlock_file_ex: return "unlock_file_ex";
+    case OpKind::file_read: return "file_read";
+    case OpKind::file_write: return "file_write";
+    case OpKind::signal_send: return "signal_send";
+  }
+  return "?";
+}
+
+}  // namespace mes::os

@@ -1,0 +1,50 @@
+// Shared identifiers and enums for the simulated OS layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mes::os {
+
+using Pid = int;
+using Handle = int;        // per-process handle value (multiples of 4, like NT)
+using NamespaceId = int;   // object/file visibility domain (session / VM)
+using InodeNum = int;
+using Fd = int;
+using ObjectId = std::uint64_t;  // global id for tracing
+
+constexpr Handle kInvalidHandle = -1;
+constexpr Fd kInvalidFd = -1;
+
+// Outcome of wait_for_single_object, mirroring WAIT_OBJECT_0 & friends.
+enum class WaitStatus { object_0, timed_out, abandoned, failed };
+
+// How a freed resource is handed to waiters. The paper (§V.B) notes the
+// attacks only work under *fair* competition; `unfair` exists for the
+// ablation experiment that demonstrates the failure mode.
+enum class LockFairness { fair, unfair };
+
+// Operation kinds recorded in the kernel trace (consumed by mes::detect).
+enum class OpKind {
+  sleep,
+  wait,           // WaitForSingleObject / blocking acquire
+  set_event,
+  reset_event,
+  release_mutex,
+  release_semaphore,
+  set_timer,
+  cancel_timer,
+  flock_ex,
+  flock_sh,
+  flock_un,
+  lock_file_ex,
+  unlock_file_ex,
+  file_read,
+  file_write,
+  signal_send,    // extension channel (POSIX-style signal)
+};
+
+const char* to_string(WaitStatus s);
+const char* to_string(OpKind k);
+
+}  // namespace mes::os

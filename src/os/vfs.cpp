@@ -1,0 +1,314 @@
+#include "os/vfs.h"
+
+#include <algorithm>
+
+namespace mes::os {
+
+bool Inode::flock_held_exclusively() const
+{
+  return std::any_of(flock_holders_.begin(), flock_holders_.end(),
+                     [](const auto& kv) {
+                       return kv.second == LockMode::exclusive;
+                     });
+}
+
+std::size_t Inode::flock_waiter_count() const
+{
+  std::size_t n = 0;
+  for (const auto& w : flock_waiters_) n += w.parker->slot.size();
+  return n;
+}
+
+int Vfs::create_file(NamespaceId ns, const std::string& path, bool read_only,
+                     bool mandatory_locking)
+{
+  const auto key = std::make_pair(view_ns(ns), path);
+  if (paths_.contains(key)) return kErrExists;
+  const InodeNum ino = next_ino_++;
+  inodes_.emplace(ino, std::make_unique<Inode>(ino, k_.next_object_id(),
+                                               read_only, mandatory_locking));
+  paths_.emplace(key, ino);
+  return ino;
+}
+
+Fd Vfs::open(Process& proc, const std::string& path, OpenMode mode)
+{
+  const auto key = std::make_pair(view_ns(proc.namespace_id()), path);
+  const auto it = paths_.find(key);
+  if (it == paths_.end()) return kErrNoEntry;
+  Inode* node = inode(it->second);
+  if (mode == OpenMode::read_write && node->read_only()) return kErrAccess;
+
+  // Every open() creates a fresh open-file description (Fig. 5): the
+  // same path opened twice yields two descriptions that contend.
+  const int ofd_id = next_ofd_++;
+  open_files_.emplace(
+      ofd_id,
+      OpenFile{ofd_id, node->ino(), mode == OpenMode::read_write, 1});
+  return proc.insert_fd(ofd_id);
+}
+
+Fd Vfs::dup(Process& proc, Fd fd)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) return kErrBadFd;
+  ++ofd->refcount;
+  return proc.insert_fd(ofd->id);
+}
+
+int Vfs::close(Process& proc, Fd fd)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) return kErrBadFd;
+  proc.remove_fd(fd);
+  if (--ofd->refcount == 0) {
+    // Last reference: the description's locks evaporate (flock(2) and
+    // Windows region locks are both released on final close).
+    Inode* node = inode(ofd->ino);
+    const int id = ofd->id;
+    open_files_.erase(id);
+    if (node) {
+      node->flock_holders_.erase(id);
+      std::erase_if(node->ranges_,
+                    [id](const RangeLock& r) { return r.ofd_id == id; });
+      pump_flock(proc, *node);
+      pump_ranges(proc, *node);
+    }
+  }
+  return kOk;
+}
+
+Vfs::OpenFile* Vfs::ofd_of(Process& proc, Fd fd)
+{
+  const int id = proc.lookup_fd(fd);
+  if (id < 0) return nullptr;
+  const auto it = open_files_.find(id);
+  return it == open_files_.end() ? nullptr : &it->second;
+}
+
+Inode* Vfs::inode(InodeNum ino)
+{
+  const auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+Inode* Vfs::inode_by_path(NamespaceId ns, const std::string& path)
+{
+  const auto it = paths_.find({view_ns(ns), path});
+  return it == paths_.end() ? nullptr : inode(it->second);
+}
+
+Inode* Vfs::inode_of(Process& proc, Fd fd)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  return ofd ? inode(ofd->ino) : nullptr;
+}
+
+// --- flock ---------------------------------------------------------------------
+
+bool Vfs::flock_compatible(const Inode& node, int ofd_id, LockMode mode) const
+{
+  for (const auto& [holder, held_mode] : node.flock_holders_) {
+    if (holder == ofd_id) continue;  // conversion never self-conflicts
+    if (mode == LockMode::exclusive || held_mode == LockMode::exclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Vfs::pump_flock(Process& waker, Inode& node)
+{
+  if (k_.fairness() == LockFairness::unfair) {
+    // Wake everyone; they re-compete and newcomers may barge.
+    for (auto& w : node.flock_waiters_) k_.wake(waker, *w.parker);
+    node.flock_waiters_.clear();
+    return;
+  }
+  // Fair: grant from the front while compatible (a run of readers, or
+  // one writer), assigning the lock at grant time so newcomers queue.
+  while (!node.flock_waiters_.empty()) {
+    auto& w = node.flock_waiters_.front();
+    if (!flock_compatible(node, w.ofd_id, w.mode)) break;
+    auto waiter = w;
+    node.flock_waiters_.pop_front();
+    if (k_.wake(waker, *waiter.parker)) {
+      node.flock_holders_[waiter.ofd_id] = waiter.mode;
+    }
+  }
+}
+
+void Vfs::drop_flock(Process& waker, Inode& node, int ofd_id)
+{
+  if (node.flock_holders_.erase(ofd_id) > 0) pump_flock(waker, node);
+}
+
+sim::Task<int> Vfs::flock(Process& proc, Fd fd, FlockOp op, bool nonblocking)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) co_return kErrBadFd;
+  Inode* node = inode(ofd->ino);
+  const OpKind kind = op == FlockOp::unlock
+                          ? OpKind::flock_un
+                          : (op == FlockOp::exclusive ? OpKind::flock_ex
+                                                      : OpKind::flock_sh);
+  co_await k_.charge_op(proc, kind, node->trace_id());
+
+  if (op == FlockOp::unlock) {
+    drop_flock(proc, *node, ofd->id);
+    co_return kOk;
+  }
+
+  const LockMode mode =
+      op == FlockOp::exclusive ? LockMode::exclusive : LockMode::shared;
+  const int ofd_id = ofd->id;
+  bool converted = false;
+  for (;;) {
+    const bool queue_clear = k_.fairness() == LockFairness::unfair ||
+                             node->flock_waiter_count() == 0 ||
+                             node->flock_holders_.contains(ofd_id);
+    if (queue_clear && flock_compatible(*node, ofd_id, mode)) {
+      node->flock_holders_[ofd_id] = mode;
+      co_return kOk;
+    }
+    if (nonblocking) co_return kErrWouldBlock;
+    // A blocked conversion releases the old lock first (Linux flock
+    // semantics: the conversion is not atomic).
+    if (!converted && node->flock_holders_.contains(ofd_id)) {
+      drop_flock(proc, *node, ofd_id);
+      converted = true;
+      continue;  // re-check: dropping ours may have made us compatible
+    }
+    auto parker = std::make_shared<Parker>();
+    node->flock_waiters_.push_back(Inode::FlockWaiter{parker, ofd_id, mode});
+    co_await k_.park(proc, *parker);
+    if (k_.fairness() == LockFairness::fair) {
+      // pump_flock() installed the lock before waking us.
+      co_return kOk;
+    }
+    // Unfair: loop and re-compete.
+  }
+}
+
+// --- byte-range locks (LockFileEx) ------------------------------------------------
+
+bool Vfs::range_compatible(const Inode& node, int ofd_id, std::uint64_t off,
+                           std::uint64_t len, LockMode mode) const
+{
+  for (const auto& r : node.ranges_) {
+    if (r.ofd_id == ofd_id) continue;  // same description: locks stack
+    if (!r.overlaps(off, len)) continue;
+    if (mode == LockMode::exclusive || r.mode == LockMode::exclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Vfs::pump_ranges(Process& waker, Inode& node)
+{
+  if (k_.fairness() == LockFairness::unfair) {
+    for (auto& w : node.range_waiters_) k_.wake(waker, *w.parker);
+    node.range_waiters_.clear();
+    return;
+  }
+  while (!node.range_waiters_.empty()) {
+    auto& w = node.range_waiters_.front();
+    if (!range_compatible(node, w.ofd_id, w.off, w.len, w.mode)) break;
+    auto waiter = w;
+    node.range_waiters_.pop_front();
+    if (k_.wake(waker, *waiter.parker)) {
+      node.ranges_.push_back(
+          RangeLock{waiter.ofd_id, waiter.off, waiter.len, waiter.mode});
+    }
+  }
+}
+
+sim::Task<int> Vfs::lock_file_ex(Process& proc, Fd fd, std::uint64_t off,
+                                 std::uint64_t len, LockMode mode,
+                                 bool fail_immediately)
+{
+  if (len == 0) co_return kErrInvalid;
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) co_return kErrBadFd;
+  Inode* node = inode(ofd->ino);
+  co_await k_.charge_op(proc, OpKind::lock_file_ex, node->trace_id());
+
+  const int ofd_id = ofd->id;
+  for (;;) {
+    const bool queue_clear = k_.fairness() == LockFairness::unfair ||
+                             node->range_waiters_.empty();
+    if (queue_clear && range_compatible(*node, ofd_id, off, len, mode)) {
+      node->ranges_.push_back(RangeLock{ofd_id, off, len, mode});
+      co_return kOk;
+    }
+    if (fail_immediately) co_return kErrWouldBlock;
+    auto parker = std::make_shared<Parker>();
+    node->range_waiters_.push_back(
+        Inode::RangeWaiter{parker, ofd_id, off, len, mode});
+    co_await k_.park(proc, *parker);
+    if (k_.fairness() == LockFairness::fair) co_return kOk;
+  }
+}
+
+sim::Task<int> Vfs::unlock_file_ex(Process& proc, Fd fd, std::uint64_t off,
+                                   std::uint64_t len)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) co_return kErrBadFd;
+  Inode* node = inode(ofd->ino);
+  co_await k_.charge_op(proc, OpKind::unlock_file_ex, node->trace_id());
+
+  // UnlockFileEx requires the exact region previously locked.
+  const int ofd_id = ofd->id;
+  const auto it = std::find_if(
+      node->ranges_.begin(), node->ranges_.end(), [&](const RangeLock& r) {
+        return r.ofd_id == ofd_id && r.off == off && r.len == len;
+      });
+  if (it == node->ranges_.end()) co_return kErrInvalid;
+  node->ranges_.erase(it);
+  pump_ranges(proc, *node);
+  co_return kOk;
+}
+
+// --- IO -------------------------------------------------------------------------
+
+sim::Task<long> Vfs::read(Process& proc, Fd fd, std::uint64_t off,
+                          std::uint64_t len)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) co_return kErrBadFd;
+  Inode* node = inode(ofd->ino);
+  co_await k_.charge_op(proc, OpKind::file_read, node->trace_id());
+  if (node->mandatory_locking()) {
+    // Mandatory exclusive locks block readers from other descriptions.
+    for (const auto& [holder, mode] : node->flock_holders_) {
+      if (holder != ofd->id && mode == LockMode::exclusive) {
+        co_return kErrWouldBlock;
+      }
+    }
+    for (const auto& r : node->ranges_) {
+      if (r.ofd_id != ofd->id && r.mode == LockMode::exclusive &&
+          r.overlaps(off, len)) {
+        co_return kErrWouldBlock;
+      }
+    }
+  }
+  co_return static_cast<long>(len);
+}
+
+sim::Task<long> Vfs::write(Process& proc, Fd fd, std::uint64_t off,
+                           std::uint64_t len)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) co_return kErrBadFd;
+  Inode* node = inode(ofd->ino);
+  co_await k_.charge_op(proc, OpKind::file_write, node->trace_id());
+  // The covert-channel prerequisite (§III): shared files are read-only,
+  // so no direct data transfer is possible.
+  if (!ofd->writable || node->read_only()) co_return kErrAccess;
+  node->size_ = std::max(node->size_, off + len);
+  co_return static_cast<long>(len);
+}
+
+}  // namespace mes::os

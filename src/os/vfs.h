@@ -1,0 +1,189 @@
+// Simulated virtual filesystem (the Fig. 5 substrate).
+//
+// Reproduces the three-level structure the paper's flock channel rides
+// on: per-process file-descriptor tables point at system-level open-file
+// descriptions, which point at system-level i-nodes. Locks attach to the
+// i-node, which is why two processes that independently open the same
+// path contend — the basis of the flock and FileLockEX channels.
+//
+// Two lock families are implemented with their native semantics:
+//  * flock(2)    — whole-file advisory lock owned by the open-file
+//                  description (dup'ed fds share the lock; a second
+//                  open() of the same path conflicts);
+//  * LockFileEx  — byte-range locks, exclusive or shared; unlock must
+//                  name the exact locked region.
+//
+// Path visibility is namespace-aware: with a shared volume (local,
+// sandbox, type-1 hypervisor with a shared read-only disk) every
+// namespace resolves the same i-nodes; without it (type-2 hypervisor)
+// the same path names different files and no cross-VM channel exists
+// (§V.C.3 / Table VI).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/types.h"
+
+namespace mes::os {
+
+// Errno-style results (negative values, 0 = success).
+constexpr int kOk = 0;
+constexpr int kErrBadFd = -9;       // EBADF
+constexpr int kErrWouldBlock = -11; // EAGAIN / EWOULDBLOCK
+constexpr int kErrAccess = -13;     // EACCES
+constexpr int kErrExists = -17;     // EEXIST
+constexpr int kErrInvalid = -22;    // EINVAL
+constexpr int kErrNoEntry = -2;     // ENOENT
+
+enum class FlockOp { shared, exclusive, unlock };
+enum class LockMode { shared, exclusive };
+enum class OpenMode { read_only, read_write };
+
+struct RangeLock {
+  int ofd_id;
+  std::uint64_t off;
+  std::uint64_t len;
+  LockMode mode;
+
+  bool overlaps(std::uint64_t o, std::uint64_t l) const
+  {
+    return off < o + l && o < off + len;
+  }
+};
+
+class Inode {
+ public:
+  Inode(InodeNum ino, ObjectId trace_id, bool read_only, bool mandatory)
+      : ino_{ino},
+        trace_id_{trace_id},
+        read_only_{read_only},
+        mandatory_locking_{mandatory}
+  {
+  }
+
+  InodeNum ino() const { return ino_; }
+  ObjectId trace_id() const { return trace_id_; }
+  bool read_only() const { return read_only_; }
+  bool mandatory_locking() const { return mandatory_locking_; }
+
+  // flock state (for tests/inspection).
+  bool flock_held_exclusively() const;
+  std::size_t flock_holder_count() const { return flock_holders_.size(); }
+  std::size_t flock_waiter_count() const;
+  std::size_t range_lock_count() const { return ranges_.size(); }
+
+ private:
+  friend class Vfs;
+
+  struct FlockWaiter {
+    std::shared_ptr<Parker> parker;
+    int ofd_id;
+    LockMode mode;
+  };
+  struct RangeWaiter {
+    std::shared_ptr<Parker> parker;
+    int ofd_id;
+    std::uint64_t off;
+    std::uint64_t len;
+    LockMode mode;
+  };
+
+  InodeNum ino_;
+  ObjectId trace_id_;
+  bool read_only_;
+  bool mandatory_locking_;
+  std::uint64_t size_ = 0;
+
+  std::map<int, LockMode> flock_holders_;  // ofd id -> mode
+  std::deque<FlockWaiter> flock_waiters_;
+
+  std::vector<RangeLock> ranges_;
+  std::deque<RangeWaiter> range_waiters_;
+};
+
+class Vfs {
+ public:
+  explicit Vfs(Kernel& kernel) : k_{kernel} {}
+
+  // When false, each namespace has a private view: the same path in two
+  // namespaces names two unrelated files.
+  void set_shared_volume(bool shared) { shared_volume_ = shared; }
+  bool shared_volume() const { return shared_volume_; }
+
+  // Creates a file visible from namespace `ns` (and from all namespaces
+  // when the volume is shared). Returns the inode number, or kErrExists.
+  int create_file(NamespaceId ns, const std::string& path,
+                  bool read_only = false, bool mandatory_locking = false);
+
+  // Opens `path` from the caller's namespace view. Returns fd >= 0 or a
+  // negative error (kErrNoEntry, kErrAccess for writing a read-only file).
+  Fd open(Process& proc, const std::string& path,
+          OpenMode mode = OpenMode::read_only);
+  // Duplicates an fd; both share one open-file description (and locks).
+  Fd dup(Process& proc, Fd fd);
+  int close(Process& proc, Fd fd);
+
+  // flock(2). Blocking unless `nonblocking`; then kErrWouldBlock on
+  // contention. Lock conversion releases the old lock first (as Linux
+  // flock may), so a blocked conversion is not atomic.
+  sim::Task<int> flock(Process& proc, Fd fd, FlockOp op,
+                       bool nonblocking = false);
+
+  // LockFileEx / UnlockFileEx. Zero-length ranges are invalid. Unlock
+  // must match a previously locked region exactly.
+  sim::Task<int> lock_file_ex(Process& proc, Fd fd, std::uint64_t off,
+                              std::uint64_t len, LockMode mode,
+                              bool fail_immediately = false);
+  sim::Task<int> unlock_file_ex(Process& proc, Fd fd, std::uint64_t off,
+                                std::uint64_t len);
+
+  // Minimal IO used by the threat-model tests: returns byte count or a
+  // negative error. Reads fail with kErrWouldBlock while another
+  // open-file description holds a mandatory exclusive lock.
+  sim::Task<long> read(Process& proc, Fd fd, std::uint64_t off,
+                       std::uint64_t len);
+  sim::Task<long> write(Process& proc, Fd fd, std::uint64_t off,
+                        std::uint64_t len);
+
+  // Introspection.
+  Inode* inode_by_path(NamespaceId ns, const std::string& path);
+  Inode* inode_of(Process& proc, Fd fd);
+  std::size_t open_file_count() const { return open_files_.size(); }
+
+ private:
+  struct OpenFile {
+    int id;
+    InodeNum ino;
+    bool writable;
+    int refcount;
+  };
+
+  NamespaceId view_ns(NamespaceId ns) const { return shared_volume_ ? 0 : ns; }
+  OpenFile* ofd_of(Process& proc, Fd fd);
+  Inode* inode(InodeNum ino);
+
+  bool flock_compatible(const Inode& node, int ofd_id, LockMode mode) const;
+  void pump_flock(Process& waker, Inode& node);
+  void drop_flock(Process& waker, Inode& node, int ofd_id);
+
+  bool range_compatible(const Inode& node, int ofd_id, std::uint64_t off,
+                        std::uint64_t len, LockMode mode) const;
+  void pump_ranges(Process& waker, Inode& node);
+
+  Kernel& k_;
+  bool shared_volume_ = true;
+
+  std::map<std::pair<NamespaceId, std::string>, InodeNum> paths_;
+  std::map<InodeNum, std::unique_ptr<Inode>> inodes_;
+  std::map<int, OpenFile> open_files_;
+  InodeNum next_ino_ = 1000;
+  int next_ofd_ = 1;
+};
+
+}  // namespace mes::os

@@ -1,0 +1,474 @@
+#include "os/win_objects.h"
+
+#include <stdexcept>
+
+namespace mes::os {
+
+std::size_t SemaphoreObject::waiter_count() const
+{
+  std::size_t n = 0;
+  for (const auto& p : waiters_) n += p->slot.size();
+  return n;
+}
+
+ObjectManager::ObjectManager(Kernel& kernel)
+    : k_{kernel}, timer_rng_{kernel.sim().rng().fork()}
+{
+}
+
+std::shared_ptr<KernelObject> ObjectManager::lookup_directory(
+    NamespaceId ns, const std::string& name)
+{
+  const auto it = directory_.find({ns, name});
+  if (it == directory_.end()) return nullptr;
+  auto obj = it->second.lock();
+  if (!obj) directory_.erase(it);  // prune objects whose handles all closed
+  return obj;
+}
+
+void ObjectManager::register_named(NamespaceId ns,
+                                   std::shared_ptr<KernelObject> obj)
+{
+  if (obj->name().empty()) return;  // anonymous objects are not listed
+  directory_[{ns, obj->name()}] = obj;
+}
+
+template <typename T>
+std::shared_ptr<T> ObjectManager::resolve(Process& proc, Handle h,
+                                          ObjectType type)
+{
+  auto obj = proc.lookup_object(h);
+  if (!obj || obj->type() != type) return nullptr;
+  return std::static_pointer_cast<T>(obj);
+}
+
+bool ObjectManager::grant_one(Process& waker,
+                              std::deque<std::shared_ptr<Parker>>& waiters)
+{
+  while (!waiters.empty()) {
+    auto parker = waiters.front();
+    waiters.pop_front();
+    if (k_.wake(waker, *parker)) return true;  // false => waiter timed out
+  }
+  return false;
+}
+
+std::size_t ObjectManager::grant_all(
+    Process& waker, std::deque<std::shared_ptr<Parker>>& waiters)
+{
+  std::size_t n = 0;
+  while (grant_one(waker, waiters)) ++n;
+  return n;
+}
+
+// --- Event -------------------------------------------------------------------
+
+Handle ObjectManager::create_event(Process& proc, const std::string& name,
+                                   ResetMode mode, bool initially_signaled)
+{
+  const NamespaceId ns = directory_ns(proc);
+  if (!name.empty()) {
+    // CreateEvent on an existing name returns the existing object.
+    if (auto existing = lookup_directory(ns, name)) {
+      if (existing->type() != ObjectType::event) return kInvalidHandle;
+      return proc.insert_object(existing);
+    }
+  }
+  auto obj = std::make_shared<EventObject>(k_.next_object_id(), name, ns, mode,
+                                           initially_signaled);
+  register_named(ns, obj);
+  return proc.insert_object(obj);
+}
+
+Handle ObjectManager::open_event(Process& proc, const std::string& name)
+{
+  auto obj = lookup_directory(directory_ns(proc), name);
+  if (!obj || obj->type() != ObjectType::event) return kInvalidHandle;
+  return proc.insert_object(obj);
+}
+
+sim::Proc ObjectManager::set_event(Process& proc, Handle h)
+{
+  auto ev = resolve<EventObject>(proc, h, ObjectType::event);
+  if (!ev) throw std::logic_error{"set_event: bad handle"};
+  co_await k_.charge_op(proc, OpKind::set_event, ev->id());
+  ev->signaled_ = true;
+  if (ev->mode_ == ResetMode::auto_reset) {
+    // Exactly one waiter consumes the signal.
+    if (grant_one(proc, ev->waiters_)) ev->signaled_ = false;
+  } else {
+    grant_all(proc, ev->waiters_);
+  }
+}
+
+sim::Proc ObjectManager::reset_event(Process& proc, Handle h)
+{
+  auto ev = resolve<EventObject>(proc, h, ObjectType::event);
+  if (!ev) throw std::logic_error{"reset_event: bad handle"};
+  co_await k_.charge_op(proc, OpKind::reset_event, ev->id());
+  ev->signaled_ = false;
+}
+
+sim::Task<WaitStatus> ObjectManager::wait_event(Process& proc, EventObject& ev,
+                                                Duration timeout)
+{
+  if (ev.signaled_) {
+    if (ev.mode_ == ResetMode::auto_reset) ev.signaled_ = false;
+    co_return WaitStatus::object_0;
+  }
+  auto parker = std::make_shared<Parker>();
+  ev.waiters_.push_back(parker);
+  const auto outcome = co_await k_.park(proc, *parker, timeout);
+  co_return outcome == sim::WaitOutcome::signaled ? WaitStatus::object_0
+                                                  : WaitStatus::timed_out;
+}
+
+// --- Mutex -------------------------------------------------------------------
+
+Handle ObjectManager::create_mutex(Process& proc, const std::string& name,
+                                   bool initially_owned)
+{
+  const NamespaceId ns = directory_ns(proc);
+  if (!name.empty()) {
+    if (auto existing = lookup_directory(ns, name)) {
+      if (existing->type() != ObjectType::mutex) return kInvalidHandle;
+      return proc.insert_object(existing);
+    }
+  }
+  auto obj = std::make_shared<MutexObject>(k_.next_object_id(), name, ns);
+  if (initially_owned) {
+    obj->owner_ = proc.pid();
+    obj->recursion_ = 1;
+  }
+  register_named(ns, obj);
+  all_mutexes_.push_back(obj);
+  return proc.insert_object(obj);
+}
+
+Handle ObjectManager::open_mutex(Process& proc, const std::string& name)
+{
+  auto obj = lookup_directory(directory_ns(proc), name);
+  if (!obj || obj->type() != ObjectType::mutex) return kInvalidHandle;
+  return proc.insert_object(obj);
+}
+
+sim::Proc ObjectManager::release_mutex(Process& proc, Handle h)
+{
+  auto m = resolve<MutexObject>(proc, h, ObjectType::mutex);
+  if (!m) throw std::logic_error{"release_mutex: bad handle"};
+  co_await k_.charge_op(proc, OpKind::release_mutex, m->id());
+  if (m->owner_ != proc.pid()) {
+    throw std::logic_error{"release_mutex: caller is not the owner"};
+  }
+  if (--m->recursion_ > 0) co_return;
+  m->owner_ = -1;
+  if (k_.fairness() == LockFairness::fair) {
+    // Direct hand-off: the longest waiter is guaranteed the mutex.
+    if (grant_one(proc, m->waiters_)) m->handoff_pending_ = true;
+  } else {
+    // Unfair: wake one waiter but let anyone (including newcomers) win.
+    grant_one(proc, m->waiters_);
+  }
+}
+
+sim::Task<WaitStatus> ObjectManager::wait_mutex(Process& proc, MutexObject& m,
+                                                Duration timeout)
+{
+  const TimePoint start = k_.sim().now();
+  for (;;) {
+    if (m.owner_ == proc.pid()) {
+      ++m.recursion_;
+      co_return WaitStatus::object_0;
+    }
+    const bool free_now =
+        m.owner_ == -1 &&
+        (k_.fairness() == LockFairness::unfair || !m.handoff_pending_);
+    if (free_now) {
+      m.owner_ = proc.pid();
+      m.recursion_ = 1;
+      const bool was_abandoned = m.abandoned_;
+      m.abandoned_ = false;
+      co_return was_abandoned ? WaitStatus::abandoned : WaitStatus::object_0;
+    }
+    auto parker = std::make_shared<Parker>();
+    m.waiters_.push_back(parker);
+    Duration remaining = Duration::max();
+    if (timeout != Duration::max()) {
+      const Duration elapsed = k_.sim().now() - start;
+      remaining = timeout - elapsed;
+      if (remaining <= Duration::zero()) co_return WaitStatus::timed_out;
+    }
+    const auto outcome = co_await k_.park(proc, *parker, remaining);
+    if (outcome == sim::WaitOutcome::timed_out) {
+      co_return WaitStatus::timed_out;
+    }
+    if (k_.fairness() == LockFairness::fair) {
+      // Hand-off reserved the mutex for us.
+      m.handoff_pending_ = false;
+      m.owner_ = proc.pid();
+      m.recursion_ = 1;
+      const bool was_abandoned = m.abandoned_;
+      m.abandoned_ = false;
+      co_return was_abandoned ? WaitStatus::abandoned : WaitStatus::object_0;
+    }
+    // Unfair mode: loop and re-compete (a newcomer may have stolen it).
+  }
+}
+
+void ObjectManager::abandon_mutexes_of(Pid pid)
+{
+  for (auto& weak : all_mutexes_) {
+    auto m = weak.lock();
+    if (!m || m->owner_ != pid) continue;
+    m->owner_ = -1;
+    m->recursion_ = 0;
+    m->abandoned_ = true;
+    // Hand off to a waiter if any; they will observe WAIT_ABANDONED.
+    // No waker process exists (it died), so wake without charge using
+    // a zero-latency notification.
+    while (!m->waiters_.empty()) {
+      auto parker = m->waiters_.front();
+      m->waiters_.pop_front();
+      if (parker->slot.notify_one(k_.sim(), Duration::zero())) {
+        if (k_.fairness() == LockFairness::fair) m->handoff_pending_ = true;
+        break;
+      }
+    }
+  }
+}
+
+// --- Semaphore -----------------------------------------------------------------
+
+Handle ObjectManager::create_semaphore(Process& proc, const std::string& name,
+                                       long initial, long maximum)
+{
+  if (initial < 0 || maximum <= 0 || initial > maximum) return kInvalidHandle;
+  const NamespaceId ns = directory_ns(proc);
+  if (!name.empty()) {
+    if (auto existing = lookup_directory(ns, name)) {
+      if (existing->type() != ObjectType::semaphore) return kInvalidHandle;
+      return proc.insert_object(existing);
+    }
+  }
+  auto obj = std::make_shared<SemaphoreObject>(k_.next_object_id(), name, ns,
+                                               initial, maximum);
+  register_named(ns, obj);
+  return proc.insert_object(obj);
+}
+
+Handle ObjectManager::open_semaphore(Process& proc, const std::string& name)
+{
+  auto obj = lookup_directory(directory_ns(proc), name);
+  if (!obj || obj->type() != ObjectType::semaphore) return kInvalidHandle;
+  return proc.insert_object(obj);
+}
+
+sim::Task<bool> ObjectManager::release_semaphore(Process& proc, Handle h,
+                                                 long count)
+{
+  auto s = resolve<SemaphoreObject>(proc, h, ObjectType::semaphore);
+  if (!s) throw std::logic_error{"release_semaphore: bad handle"};
+  if (count <= 0) co_return false;
+  co_await k_.charge_op(proc, OpKind::release_semaphore, s->id());
+  // ReleaseSemaphore is atomic: it fails without releasing anything when
+  // the count would exceed the maximum. Units granted directly to
+  // waiters never enter the count, so only the surplus is checked.
+  const long waiting = static_cast<long>(s->waiter_count());
+  const long entering = std::max(0L, count - waiting);
+  if (s->count_ + entering > s->max_) co_return false;
+  for (long i = 0; i < count; ++i) {
+    if (k_.fairness() == LockFairness::fair) {
+      if (grant_one(proc, s->waiters_)) continue;  // direct grant
+      ++s->count_;
+    } else {
+      ++s->count_;
+      grant_one(proc, s->waiters_);  // woken waiter re-competes
+    }
+  }
+  co_return true;
+}
+
+sim::Task<WaitStatus> ObjectManager::wait_semaphore(Process& proc,
+                                                    SemaphoreObject& s,
+                                                    Duration timeout)
+{
+  const TimePoint start = k_.sim().now();
+  for (;;) {
+    if (s.count_ > 0) {
+      --s.count_;
+      co_return WaitStatus::object_0;
+    }
+    auto parker = std::make_shared<Parker>();
+    s.waiters_.push_back(parker);
+    Duration remaining = Duration::max();
+    if (timeout != Duration::max()) {
+      const Duration elapsed = k_.sim().now() - start;
+      remaining = timeout - elapsed;
+      if (remaining <= Duration::zero()) co_return WaitStatus::timed_out;
+    }
+    const auto outcome = co_await k_.park(proc, *parker, remaining);
+    if (outcome == sim::WaitOutcome::timed_out) {
+      co_return WaitStatus::timed_out;
+    }
+    if (k_.fairness() == LockFairness::fair) {
+      // The unit was granted directly; the count was never incremented.
+      co_return WaitStatus::object_0;
+    }
+    // Unfair: loop; the unit is in count_ and others may grab it first.
+  }
+}
+
+// --- Waitable timer ---------------------------------------------------------------
+
+Handle ObjectManager::create_waitable_timer(Process& proc,
+                                            const std::string& name,
+                                            ResetMode mode)
+{
+  const NamespaceId ns = directory_ns(proc);
+  if (!name.empty()) {
+    if (auto existing = lookup_directory(ns, name)) {
+      if (existing->type() != ObjectType::waitable_timer) {
+        return kInvalidHandle;
+      }
+      return proc.insert_object(existing);
+    }
+  }
+  auto obj =
+      std::make_shared<TimerObject>(k_.next_object_id(), name, ns, mode);
+  register_named(ns, obj);
+  return proc.insert_object(obj);
+}
+
+Handle ObjectManager::open_waitable_timer(Process& proc,
+                                          const std::string& name)
+{
+  auto obj = lookup_directory(directory_ns(proc), name);
+  if (!obj || obj->type() != ObjectType::waitable_timer) return kInvalidHandle;
+  return proc.insert_object(obj);
+}
+
+void ObjectManager::fire_timer(const std::shared_ptr<TimerObject>& timer,
+                               std::uint64_t generation)
+{
+  if (generation != timer->generation_) return;  // re-armed or cancelled
+  timer->signaled_ = true;
+  // Timer expiry is a kernel-side interrupt; latency comes from the
+  // kernel's own stream rather than any process.
+  const Duration latency = k_.noise().wake_latency(timer_rng_);
+  if (timer->mode_ == ResetMode::auto_reset) {
+    while (!timer->waiters_.empty()) {
+      auto parker = timer->waiters_.front();
+      timer->waiters_.pop_front();
+      if (parker->slot.notify_one(k_.sim(), latency)) {
+        timer->signaled_ = false;  // consumed by the woken waiter
+        break;
+      }
+    }
+  } else {
+    while (!timer->waiters_.empty()) {
+      auto parker = timer->waiters_.front();
+      timer->waiters_.pop_front();
+      parker->slot.notify_one(k_.sim(), latency);
+    }
+  }
+  if (timer->period_ > Duration::zero()) {
+    auto self = this;
+    k_.sim().call_after(timer->period_, [self, timer, generation] {
+      self->fire_timer(timer, generation);
+    });
+  } else {
+    timer->armed_ = false;
+  }
+}
+
+sim::Proc ObjectManager::set_waitable_timer(Process& proc, Handle h,
+                                            Duration due_in, Duration period)
+{
+  auto t = resolve<TimerObject>(proc, h, ObjectType::waitable_timer);
+  if (!t) throw std::logic_error{"set_waitable_timer: bad handle"};
+  if (due_in.is_negative()) {
+    throw std::logic_error{"set_waitable_timer: negative due time"};
+  }
+  co_await k_.charge_op(proc, OpKind::set_timer, t->id());
+  t->signaled_ = false;
+  t->armed_ = true;
+  t->period_ = period;
+  const std::uint64_t generation = ++t->generation_;
+  auto self = this;
+  k_.sim().call_after(due_in, [self, t, generation] {
+    self->fire_timer(t, generation);
+  });
+}
+
+sim::Proc ObjectManager::cancel_waitable_timer(Process& proc, Handle h)
+{
+  auto t = resolve<TimerObject>(proc, h, ObjectType::waitable_timer);
+  if (!t) throw std::logic_error{"cancel_waitable_timer: bad handle"};
+  co_await k_.charge_op(proc, OpKind::cancel_timer, t->id());
+  ++t->generation_;  // invalidates in-flight expirations
+  t->signaled_ = false;
+  t->armed_ = false;
+  t->period_ = Duration::zero();
+}
+
+sim::Task<WaitStatus> ObjectManager::wait_timer(Process& proc, TimerObject& t,
+                                                Duration timeout)
+{
+  if (t.signaled_) {
+    if (t.mode_ == ResetMode::auto_reset) t.signaled_ = false;
+    co_return WaitStatus::object_0;
+  }
+  auto parker = std::make_shared<Parker>();
+  t.waiters_.push_back(parker);
+  const auto outcome = co_await k_.park(proc, *parker, timeout);
+  co_return outcome == sim::WaitOutcome::signaled ? WaitStatus::object_0
+                                                  : WaitStatus::timed_out;
+}
+
+// --- generic ------------------------------------------------------------------
+
+sim::Task<WaitStatus> ObjectManager::wait_for_single_object(Process& proc,
+                                                            Handle h,
+                                                            Duration timeout)
+{
+  auto obj = proc.lookup_object(h);
+  if (!obj) co_return WaitStatus::failed;
+  co_await k_.charge_op(proc, OpKind::wait, obj->id());
+  switch (obj->type()) {
+    case ObjectType::event:
+      co_return co_await wait_event(
+          proc, static_cast<EventObject&>(*obj), timeout);
+    case ObjectType::mutex:
+      co_return co_await wait_mutex(
+          proc, static_cast<MutexObject&>(*obj), timeout);
+    case ObjectType::semaphore:
+      co_return co_await wait_semaphore(
+          proc, static_cast<SemaphoreObject&>(*obj), timeout);
+    case ObjectType::waitable_timer:
+      co_return co_await wait_timer(
+          proc, static_cast<TimerObject&>(*obj), timeout);
+  }
+  co_return WaitStatus::failed;
+}
+
+bool ObjectManager::close_handle(Process& proc, Handle h)
+{
+  return proc.close_handle(h);
+}
+
+std::shared_ptr<KernelObject> ObjectManager::find_named(NamespaceId ns,
+                                                        const std::string& name)
+{
+  return lookup_directory(share_namespaces_ ? 0 : ns, name);
+}
+
+std::size_t ObjectManager::named_object_count() const
+{
+  std::size_t n = 0;
+  for (const auto& [key, weak] : directory_) {
+    if (!weak.expired()) ++n;
+  }
+  return n;
+}
+
+}  // namespace mes::os

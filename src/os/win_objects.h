@@ -1,0 +1,227 @@
+// NT-style kernel object manager (the Fig. 4 substrate).
+//
+// Kernel objects are system-level structures reached through per-process
+// handle tables. The four waitable types the paper uses are implemented
+// with their documented semantics:
+//
+//  * Event          — signaled/unsignaled flag, auto or manual reset;
+//  * Mutex          — owner thread id + recursion counter, abandonment;
+//  * Semaphore      — counted, ReleaseSemaphore fails above the maximum;
+//  * WaitableTimer  — due time + optional period, auto ("synchronization")
+//                     or manual reset.
+//
+// `wait_for_single_object` reproduces WaitForSingleObject: it blocks the
+// caller until the object is signaled or the timeout elapses. Named
+// objects live in a directory whose visibility models the paper's
+// cross-VM finding: sessions (VMs) have private namespaces, so named
+// objects are only reachable across endpoints when the namespace is
+// shared (§V.C.3).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "os/kernel.h"
+#include "os/types.h"
+
+namespace mes::os {
+
+enum class ResetMode { auto_reset, manual_reset };
+enum class ObjectType { event, mutex, semaphore, waitable_timer };
+
+class KernelObject {
+ public:
+  KernelObject(ObjectId id, std::string name, NamespaceId ns, ObjectType type)
+      : id_{id}, name_{std::move(name)}, ns_{ns}, type_{type}
+  {
+  }
+  virtual ~KernelObject() = default;
+
+  ObjectId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  NamespaceId namespace_id() const { return ns_; }
+  ObjectType type() const { return type_; }
+
+ private:
+  ObjectId id_;
+  std::string name_;
+  NamespaceId ns_;
+  ObjectType type_;
+};
+
+class EventObject final : public KernelObject {
+ public:
+  EventObject(ObjectId id, std::string name, NamespaceId ns, ResetMode mode,
+              bool initially_signaled)
+      : KernelObject{id, std::move(name), ns, ObjectType::event},
+        mode_{mode},
+        signaled_{initially_signaled}
+  {
+  }
+
+  ResetMode mode() const { return mode_; }
+  bool signaled() const { return signaled_; }
+
+ private:
+  friend class ObjectManager;
+  ResetMode mode_;
+  bool signaled_;
+  std::deque<std::shared_ptr<Parker>> waiters_;
+};
+
+class MutexObject final : public KernelObject {
+ public:
+  MutexObject(ObjectId id, std::string name, NamespaceId ns)
+      : KernelObject{id, std::move(name), ns, ObjectType::mutex}
+  {
+  }
+
+  Pid owner() const { return owner_; }
+  int recursion() const { return recursion_; }
+  bool abandoned() const { return abandoned_; }
+
+ private:
+  friend class ObjectManager;
+  Pid owner_ = -1;
+  int recursion_ = 0;
+  bool abandoned_ = false;
+  bool handoff_pending_ = false;
+  std::deque<std::shared_ptr<Parker>> waiters_;
+};
+
+class SemaphoreObject final : public KernelObject {
+ public:
+  SemaphoreObject(ObjectId id, std::string name, NamespaceId ns, long initial,
+                  long maximum)
+      : KernelObject{id, std::move(name), ns, ObjectType::semaphore},
+        count_{initial},
+        max_{maximum}
+  {
+  }
+
+  long count() const { return count_; }
+  long maximum() const { return max_; }
+  std::size_t waiter_count() const;
+
+ private:
+  friend class ObjectManager;
+  long count_;
+  long max_;
+  std::deque<std::shared_ptr<Parker>> waiters_;
+};
+
+class TimerObject final : public KernelObject {
+ public:
+  TimerObject(ObjectId id, std::string name, NamespaceId ns, ResetMode mode)
+      : KernelObject{id, std::move(name), ns, ObjectType::waitable_timer},
+        mode_{mode}
+  {
+  }
+
+  ResetMode mode() const { return mode_; }
+  bool signaled() const { return signaled_; }
+  bool armed() const { return armed_; }
+
+ private:
+  friend class ObjectManager;
+  ResetMode mode_;
+  bool signaled_ = false;
+  bool armed_ = false;
+  std::uint64_t generation_ = 0;
+  Duration period_ = Duration::zero();
+  std::deque<std::shared_ptr<Parker>> waiters_;
+};
+
+class ObjectManager {
+ public:
+  explicit ObjectManager(Kernel& kernel);
+
+  // When false (cross-VM topology), each namespace has its own object
+  // directory: OpenEvent("X") from VM 1 cannot see VM 0's "X". When true
+  // (local / sandbox), all processes share one directory.
+  void set_namespace_sharing(bool shared) { share_namespaces_ = shared; }
+  bool namespaces_shared() const { return share_namespaces_; }
+
+  // --- Event ---------------------------------------------------------------
+  Handle create_event(Process& proc, const std::string& name, ResetMode mode,
+                      bool initially_signaled);
+  Handle open_event(Process& proc, const std::string& name);
+  sim::Proc set_event(Process& proc, Handle h);
+  sim::Proc reset_event(Process& proc, Handle h);
+
+  // --- Mutex ---------------------------------------------------------------
+  Handle create_mutex(Process& proc, const std::string& name,
+                      bool initially_owned);
+  Handle open_mutex(Process& proc, const std::string& name);
+  // Throws std::logic_error when the caller does not own the mutex.
+  sim::Proc release_mutex(Process& proc, Handle h);
+
+  // --- Semaphore -------------------------------------------------------------
+  Handle create_semaphore(Process& proc, const std::string& name, long initial,
+                          long maximum);
+  Handle open_semaphore(Process& proc, const std::string& name);
+  // Returns false (and releases nothing) if count would exceed maximum.
+  sim::Task<bool> release_semaphore(Process& proc, Handle h, long count);
+
+  // --- Waitable timer ---------------------------------------------------------
+  Handle create_waitable_timer(Process& proc, const std::string& name,
+                               ResetMode mode);
+  Handle open_waitable_timer(Process& proc, const std::string& name);
+  sim::Proc set_waitable_timer(Process& proc, Handle h, Duration due_in,
+                               Duration period = Duration::zero());
+  sim::Proc cancel_waitable_timer(Process& proc, Handle h);
+
+  // --- generic ----------------------------------------------------------------
+  sim::Task<WaitStatus> wait_for_single_object(
+      Process& proc, Handle h, Duration timeout = Duration::max());
+  bool close_handle(Process& proc, Handle h);
+
+  // Marks every mutex owned by `pid` abandoned and hands off to waiters.
+  void abandon_mutexes_of(Pid pid);
+
+  // Introspection (tests).
+  std::shared_ptr<KernelObject> find_named(NamespaceId ns,
+                                           const std::string& name);
+  std::size_t named_object_count() const;
+
+ private:
+  using DirectoryKey = std::pair<NamespaceId, std::string>;
+
+  NamespaceId directory_ns(const Process& proc) const
+  {
+    return share_namespaces_ ? 0 : proc.namespace_id();
+  }
+  std::shared_ptr<KernelObject> lookup_directory(NamespaceId ns,
+                                                 const std::string& name);
+  void register_named(NamespaceId ns, std::shared_ptr<KernelObject> obj);
+
+  template <typename T>
+  std::shared_ptr<T> resolve(Process& proc, Handle h, ObjectType type);
+
+  // Wakes live waiters; returns the number woken.
+  bool grant_one(Process& waker, std::deque<std::shared_ptr<Parker>>& waiters);
+  std::size_t grant_all(Process& waker,
+                        std::deque<std::shared_ptr<Parker>>& waiters);
+
+  sim::Task<WaitStatus> wait_event(Process& proc, EventObject& ev,
+                                   Duration timeout);
+  sim::Task<WaitStatus> wait_mutex(Process& proc, MutexObject& m,
+                                   Duration timeout);
+  sim::Task<WaitStatus> wait_semaphore(Process& proc, SemaphoreObject& s,
+                                       Duration timeout);
+  sim::Task<WaitStatus> wait_timer(Process& proc, TimerObject& t,
+                                   Duration timeout);
+
+  void fire_timer(const std::shared_ptr<TimerObject>& timer,
+                  std::uint64_t generation);
+
+  Kernel& k_;
+  bool share_namespaces_ = true;
+  std::map<DirectoryKey, std::weak_ptr<KernelObject>> directory_;
+  std::vector<std::weak_ptr<MutexObject>> all_mutexes_;
+  Rng timer_rng_;  // kernel-side stream for timer interrupt latencies
+};
+
+}  // namespace mes::os

@@ -1,0 +1,56 @@
+// Deployment scenarios (§V.A): local, cross-sandbox, cross-VM.
+//
+// A scenario bundles (a) the timing-noise regime — isolation layers add
+// per-operation latency and jitter — and (b) the *visibility topology*:
+// which namespaces the Trojan and Spy live in, whether named kernel
+// objects resolve across them, and whether they see a shared file
+// volume. The topology is what reproduces Table VI's finding that only
+// file-backed mechanisms survive a VM boundary, and only under a type-1
+// hypervisor.
+#pragma once
+
+#include <string>
+
+#include "os/types.h"
+#include "sim/noise.h"
+
+namespace mes {
+
+enum class Scenario { local, cross_sandbox, cross_vm };
+
+// Hypervisor taxonomy from §V.C.3: Hyper-V (type-1) runs on the metal and
+// its VMs share host-backed objects; VMware Workstation (type-2) runs on
+// a host OS and shares nothing between guests.
+enum class HypervisorType { none, type1, type2 };
+
+// Which OS personality the mechanism belongs to. Linux contributes
+// flock; Windows contributes the kernel-object mechanisms. The flavor
+// selects the sleep floor (§V.C.1: Linux needs ~58 us to wake a sleeper,
+// "this problem does not exist in Windows").
+enum class OsFlavor { windows, linux_like };
+
+struct Topology {
+  os::NamespaceId trojan_ns = 0;
+  os::NamespaceId spy_ns = 0;
+  bool shared_object_namespace = true;  // named kernel objects resolve
+  bool shared_file_volume = true;       // paths resolve to the same inode
+};
+
+struct ScenarioProfile {
+  Scenario scenario = Scenario::local;
+  std::string name;
+  HypervisorType hypervisor = HypervisorType::none;
+  sim::NoiseParams noise;
+  Topology topology;
+};
+
+const char* to_string(Scenario s);
+const char* to_string(HypervisorType h);
+
+// Builds the calibrated profile for a scenario. For cross-VM the
+// hypervisor type decides the topology (type-1 shares a host volume but
+// not object namespaces; type-2 shares nothing).
+ScenarioProfile make_profile(Scenario scenario, OsFlavor flavor,
+                             HypervisorType hypervisor = HypervisorType::none);
+
+}  // namespace mes

@@ -1,0 +1,59 @@
+// Cyclic rendezvous for the fine-grained inter-bit synchronization.
+//
+// §V.B of the paper argues contention channels need a per-bit rendezvous
+// between Trojan and Spy: it restores the required execution order and
+// stops the Spy from re-capturing the critical resource. This barrier is
+// that rendezvous. It is reusable (generation counted) so one instance
+// serves the whole transmission.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/simulator.h"
+#include "sim/wait_queue.h"
+
+namespace mes::sim {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_{parties} {}
+
+  std::size_t parties() const { return parties_; }
+
+  // Awaitable: parks until all parties arrive. The last arriver releases
+  // the others (each with `release_latency`) and continues immediately.
+  auto arrive(Simulator& sim, Duration release_latency = Duration::zero())
+  {
+    struct Awaiter {
+      Barrier& b;
+      Simulator& sim;
+      Duration latency;
+
+      bool await_ready()
+      {
+        if (b.arrived_ + 1 == b.parties_) {
+          // Completing the cycle: wake everyone else, do not park.
+          b.arrived_ = 0;
+          b.queue_.notify_all(sim, latency);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h)
+      {
+        ++b.arrived_;
+        auto wait_awaiter = b.queue_.wait(sim);
+        wait_awaiter.await_suspend(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, sim, release_latency};
+  }
+
+ private:
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  WaitQueue queue_;
+};
+
+}  // namespace mes::sim

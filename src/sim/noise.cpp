@@ -1,0 +1,92 @@
+#include "sim/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mes::sim {
+
+Duration NoiseModel::op_cost(Rng& rng) const
+{
+  Duration cost = rng.normal_dur(p_.op_cost_base, p_.op_cost_jitter);
+  // Never cheaper than a quarter of the base: a syscall has a hard floor.
+  cost = std::max(cost, p_.op_cost_base / 4.0);
+  return cost + interference_over(rng, cost);
+}
+
+Duration NoiseModel::wake_latency(Rng& rng) const
+{
+  return rng.lognormal_dur(p_.wake_latency_median, p_.wake_latency_sigma);
+}
+
+Duration NoiseModel::notify_path(Rng& rng) const
+{
+  return rng.normal_dur(p_.notify_path_base, p_.notify_path_jitter);
+}
+
+Duration NoiseModel::sleep_time(Rng& rng, Duration requested) const
+{
+  const Duration effective = std::max(requested, p_.sleep_floor);
+  Duration overshoot_median = p_.sleep_overshoot_median;
+  double overshoot_sigma = p_.sleep_overshoot_sigma;
+  if (p_.sleep_floor.is_zero() && effective < p_.short_sleep_knee &&
+      p_.short_sleep_knee > Duration::zero()) {
+    // Sub-granularity sleep: timer resolution dominates the request.
+    const double req_us = std::max(1.0, effective.to_us());
+    const double scale = std::sqrt(p_.short_sleep_knee.to_us() / req_us);
+    overshoot_median = overshoot_median * scale;
+    overshoot_sigma *= p_.short_sleep_sigma_factor;
+  }
+  const Duration overshoot = rng.lognormal_dur(overshoot_median,
+                                               overshoot_sigma);
+  return effective + overshoot + interference_over(rng, effective);
+}
+
+Duration NoiseModel::interference_over(Rng& rng, Duration window) const
+{
+  if (p_.block_rate_hz <= 0.0 || !(window > Duration::zero())) {
+    return Duration::zero();
+  }
+  const double expected = p_.block_rate_hz * window.to_sec();
+  const std::uint64_t hits = rng.poisson(expected);
+  Duration total = Duration::zero();
+  for (std::uint64_t i = 0; i < hits; ++i) {
+    total += rng.lognormal_dur(p_.block_duration_median,
+                               p_.block_duration_sigma);
+  }
+  return total;
+}
+
+Duration NoiseModel::dispatch_latency(Rng& rng) const
+{
+  return rng.lognormal_dur(p_.dispatch_median, p_.dispatch_sigma);
+}
+
+Duration NoiseModel::rx_dispatch_latency(Rng& rng) const
+{
+  return rng.lognormal_dur(p_.rx_dispatch_median, p_.rx_dispatch_sigma);
+}
+
+Duration NoiseModel::apply_corruption(Rng& rng, Duration measured) const
+{
+  if (!rng.bernoulli(p_.corruption_rate)) return measured;
+  if (rng.bernoulli(0.5)) {
+    return measured + rng.lognormal_dur(p_.corruption_extra_median,
+                                        p_.corruption_extra_sigma);
+  }
+  return measured * rng.uniform(0.03, 0.35);
+}
+
+Duration NoiseModel::post_wait_penalty(Rng& rng, Duration waited) const
+{
+  if (waited <= p_.penalty_knee) return Duration::zero();
+  const Duration excess = waited - p_.penalty_knee;
+  const double probability =
+      std::min(1.0, p_.penalty_ramp_per_us * excess.to_us());
+  if (!rng.bernoulli(probability)) return Duration::zero();
+  const Duration penalty =
+      rng.lognormal_dur(p_.penalty_extra_median, p_.penalty_extra_sigma) +
+      excess * p_.penalty_scale;
+  return std::min(penalty, p_.penalty_cap);
+}
+
+}  // namespace mes::sim

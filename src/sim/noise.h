@@ -1,0 +1,132 @@
+// Timing-noise model — the physics of the covert channel.
+//
+// The paper's BER/TR curves are statistical consequences of OS timing
+// noise versus the attacker's chosen time parameters. This model captures
+// the four noise sources the paper identifies:
+//
+//  * per-operation cost of MESM calls plus the sleep overshoot that
+//    dominates the Table IV per-bit overhead arithmetic (~29 us/bit);
+//  * scheduler wake-up latency when a blocked process is released, plus
+//    the Linux-specific 58 us sleep wake-up floor (§V.C.1);
+//  * Poisson "system block" interference — interrupt handling and
+//    resource scheduling delays that lengthen an occupancy window
+//    (§V.C.1 explains Fig. 9(a)'s ti=30 divergence with exactly this);
+//  * a post-wait penalty: a process that stayed blocked or asleep far
+//    beyond a scheduler quantum accumulates displaced work and may be
+//    re-scheduled late. This is the "the number of times that the system
+//    is blocked will increase" effect the paper gives for the BER rise at
+//    tt1 >= 220 us in Fig. 10.
+#pragma once
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mes::sim {
+
+struct NoiseParams {
+  // MESM operation cost (one lock/unlock/set/wait call).
+  Duration op_cost_base = Duration::us(3.0);
+  Duration op_cost_jitter = Duration::us(0.5);  // normal stddev
+
+  // Wake-up of a blocked process after signal/release.
+  Duration wake_latency_median = Duration::us(6.0);
+  double wake_latency_sigma = 0.35;  // lognormal shape
+
+  // sleep() behaviour. The floor models Linux's minimum effective sleep
+  // (~58 us, §V.C.1); Windows profiles set it to zero.
+  Duration sleep_floor = Duration::zero();
+  Duration sleep_overshoot_median = Duration::us(12.0);
+  double sleep_overshoot_sigma = 0.35;
+  // Below this request, sub-granularity sleeps become erratic (the
+  // Fig. 9(a) wall at tw0 = 15 us: "it is difficult for the Spy to
+  // capture the '0' due to the small tw0"). Overshoot median and shape
+  // inflate as the request shrinks under the knee.
+  Duration short_sleep_knee = Duration::us(15.0);
+  double short_sleep_sigma_factor = 1.8;
+
+  // Poisson background interference over occupied windows.
+  double block_rate_hz = 2500.0;
+  Duration block_duration_median = Duration::us(10.0);
+  double block_duration_sigma = 0.45;
+
+  // Post-wait penalty (displaced-work model).
+  Duration penalty_knee = Duration::us(210.0);
+  double penalty_ramp_per_us = 2.2e-4;  // probability per us beyond knee
+  Duration penalty_extra_median = Duration::us(60.0);
+  double penalty_extra_sigma = 0.50;
+  double penalty_scale = 1.0;  // plus this fraction of the excess wait
+  // Displaced work is bounded: a scheduler never withholds a runnable
+  // process for more than a few quanta, no matter how long it slept.
+  Duration penalty_cap = Duration::us(400.0);
+
+  // Signal propagation path (notify -> waiter). Grows across isolation
+  // boundaries: sandbox IPC shims, virtualized interrupt delivery.
+  Duration notify_path_base = Duration::us(1.5);
+  Duration notify_path_jitter = Duration::us(0.3);
+
+  // Dispatch latency after the inter-bit rendezvous: the scheduler
+  // re-runs both endpoints with a skewed delay.
+  Duration dispatch_median = Duration::us(3.0);
+  double dispatch_sigma = 0.70;
+
+  // Receiver-side re-dispatch after the rendezvous. The Spy blocks twice
+  // per bit (once on the critical resource, once at the rendezvous), so
+  // its re-dispatch is slower and heavier-tailed than the Trojan's; the
+  // tail truncates measured holds and is the Spy-resolution limit behind
+  // Fig. 10's BER rise at small tt1.
+  Duration rx_dispatch_median = Duration::us(22.0);
+  double rx_dispatch_sigma = 0.58;
+
+  // Rare measurement corruptions: SMIs, timer coalescing, core
+  // migrations — events the per-op model does not resolve. They set the
+  // BER floor every channel shows at its optimal time parameters
+  // (Table IV residuals of 0.55-0.76%); the time-parameter-dependent
+  // error structure comes from the mechanistic terms above. Calibrated,
+  // not derived — see DESIGN.md §5.
+  double corruption_rate = 0.006;
+  Duration corruption_extra_median = Duration::us(120.0);
+  double corruption_extra_sigma = 0.6;
+};
+
+// Stateless sampler: every method draws from the caller's RNG stream so
+// per-process determinism is preserved regardless of interleaving.
+class NoiseModel {
+ public:
+  explicit NoiseModel(NoiseParams params) : p_{params} {}
+
+  const NoiseParams& params() const { return p_; }
+
+  // Cost of one MESM operation, including any background block that
+  // lands inside it.
+  Duration op_cost(Rng& rng) const;
+
+  // Latency between a release/signal and the waiter actually running.
+  Duration wake_latency(Rng& rng) const;
+
+  // Signal path cost paid by the *notifier* (grows across VM boundaries).
+  Duration notify_path(Rng& rng) const;
+
+  // Actual duration of a requested sleep.
+  Duration sleep_time(Rng& rng, Duration requested) const;
+
+  // Total background-interference delay accumulated over `window`.
+  Duration interference_over(Rng& rng, Duration window) const;
+
+  // Extra scheduling delay suffered after having been parked for
+  // `waited`; zero below the knee.
+  Duration post_wait_penalty(Rng& rng, Duration waited) const;
+
+  // Re-dispatch latency after a rendezvous (heavy-tailed).
+  Duration dispatch_latency(Rng& rng) const;
+  Duration rx_dispatch_latency(Rng& rng) const;
+
+  // Applies a rare measurement corruption to a Spy's measured latency:
+  // with probability corruption_rate the reading is either inflated by
+  // a large delay or truncated to a fraction of itself.
+  Duration apply_corruption(Rng& rng, Duration measured) const;
+
+ private:
+  NoiseParams p_;
+};
+
+}  // namespace mes::sim

@@ -1,0 +1,147 @@
+#include "sim/simulator.h"
+
+#include <cstdio>
+#include <array>
+#include <cstring>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace mes::sim {
+
+namespace {
+thread_local Simulator* t_current_sim = nullptr;
+}  // namespace
+
+Simulator* Simulator::current() { return t_current_sim; }
+
+void enqueue_resume(std::coroutine_handle<> h)
+{
+  Simulator* sim = Simulator::current();
+  if (sim == nullptr) {
+    // Completion outside any run loop (e.g. a task driven manually in a
+    // test): resuming inline is safe there because no parent actor can
+    // be pending on this thread's stack below us.
+    h.resume();
+    return;
+  }
+  sim->schedule_resume(h, Duration::zero());
+}
+
+Simulator::Simulator(std::uint64_t seed) : rng_{seed} {}
+
+Simulator::~Simulator()
+{
+  // Destroy any still-suspended root frames (a drained-but-deadlocked
+  // experiment); coroutine frames suspended at a co_await are safely
+  // destroyable and release their locals.
+  for (auto& root : roots_) {
+    if (root.handle) root.handle.destroy();
+  }
+}
+
+void Simulator::call_at(TimePoint t, std::function<void()> fn)
+{
+  if (t < now_) throw std::logic_error{"Simulator::call_at: time in the past"};
+  queue_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+}
+
+Simulator::Event Simulator::pop_next_event()
+{
+  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
+void Simulator::call_after(Duration after, std::function<void()> fn)
+{
+  if (after.is_negative()) {
+    throw std::logic_error{"Simulator::call_after: negative delay"};
+  }
+  call_at(now_ + after, std::move(fn));
+}
+
+void Simulator::schedule_resume(std::coroutine_handle<> h, Duration after)
+{
+  static const bool check = std::getenv("MES_CHECK_FRAMES") != nullptr;
+  if (check) {
+    std::array<std::uint64_t, 8> snap;
+    std::memcpy(snap.data(), h.address(), sizeof snap);
+    call_after(after, [h, snap] {
+      std::array<std::uint64_t, 8> now_hdr;
+      std::memcpy(now_hdr.data(), h.address(), sizeof now_hdr);
+      if (now_hdr != snap) {
+        std::fprintf(stderr, "FRAME CHANGED h=%p\n", h.address());
+        for (int i = 0; i < 8; ++i) {
+          std::fprintf(stderr, "  [%d] %016llx -> %016llx%s\n", i,
+                       (unsigned long long)snap[i],
+                       (unsigned long long)now_hdr[i],
+                       snap[i] != now_hdr[i] ? "  *" : "");
+        }
+      }
+      h.resume();
+    });
+    return;
+  }
+  call_after(after, [h] { h.resume(); });
+}
+
+void Simulator::spawn(Proc proc, std::string name)
+{
+  auto handle = proc.release();  // the simulator now owns the frame
+  roots_.push_back(Root{handle, std::move(name)});
+  call_after(Duration::zero(), [handle] { handle.resume(); });
+}
+
+RunResult Simulator::run(std::uint64_t max_events)
+{
+  // Scoped "current simulator" for task-completion scheduling; restored
+  // on exit so nested or sequential runs on one thread stay correct.
+  Simulator* const previous = t_current_sim;
+  t_current_sim = this;
+  struct Restore {
+    Simulator*& slot;
+    Simulator* value;
+    ~Restore() { slot = value; }
+  } restore{t_current_sim, previous};
+
+  const bool trace_events = std::getenv("MES_TRACE_EVENTS") != nullptr;
+  RunResult result;
+  while (!queue_.empty()) {
+    if (result.events_processed >= max_events) {
+      result.hit_event_limit = true;
+      MES_LOG_WARN("simulator stopped at event limit (%llu)",
+                   static_cast<unsigned long long>(max_events));
+      break;
+    }
+    Event ev = pop_next_event();
+    now_ = ev.at;
+    if (trace_events) {
+      std::fprintf(stderr, "  [ev seq=%llu t=%.3fus]\n",
+                   (unsigned long long)ev.seq, ev.at.to_us());
+    }
+    ev.fn();
+    ++result.events_processed;
+  }
+  result.end_time = now_;
+  rethrow_root_exception();
+  for (const auto& root : roots_) {
+    if (root.handle && !root.handle.done()) ++result.blocked_roots;
+  }
+  return result;
+}
+
+void Simulator::rethrow_root_exception()
+{
+  for (const auto& root : roots_) {
+    if (!root.handle) continue;
+    if (root.handle.done() && root.handle.promise().exception) {
+      std::rethrow_exception(root.handle.promise().exception);
+    }
+  }
+}
+
+}  // namespace mes::sim

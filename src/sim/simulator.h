@@ -1,0 +1,109 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator owns a time-ordered queue of callbacks. Root processes are
+// coroutines (Task<void>) spawned onto it; awaiting `delay()` parks the
+// coroutine and schedules its resumption. Equal-time events fire in
+// insertion order, so every experiment is exactly reproducible for a given
+// seed — which is what lets the paper's statistical tables be regression
+// tested.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mes::sim {
+
+struct RunResult {
+  std::uint64_t events_processed = 0;
+  // Roots still suspended when the queue drained (deadlocked/starved).
+  std::size_t blocked_roots = 0;
+  bool hit_event_limit = false;
+  TimePoint end_time;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  TimePoint now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules an arbitrary callback. `after` must be non-negative.
+  void call_at(TimePoint t, std::function<void()> fn);
+  void call_after(Duration after, std::function<void()> fn);
+  void schedule_resume(std::coroutine_handle<> h, Duration after);
+
+  // Registers a root process; it starts when run() reaches the current
+  // time (spawn order is preserved for simultaneous starts).
+  void spawn(Proc proc, std::string name = {});
+
+  // Awaitable: suspend the calling coroutine for `d` of simulated time.
+  auto delay(Duration d)
+  {
+    struct Awaiter {
+      Simulator& sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const
+      {
+        sim.schedule_resume(h, d);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  // Runs until the queue drains (or a safety limit trips). Rethrows the
+  // first exception that escaped any root process.
+  RunResult run(std::uint64_t max_events = kDefaultMaxEvents);
+
+  // The simulator whose run loop is active on this thread (null outside
+  // run()). Task completion hops schedule through it; see task.h.
+  static Simulator* current();
+
+  static constexpr std::uint64_t kDefaultMaxEvents = 500'000'000ULL;
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const
+    {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  struct Root {
+    Proc::handle_type handle;
+    std::string name;
+  };
+
+  void rethrow_root_exception();
+  Event pop_next_event();
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  // Min-heap on (time, seq) managed with push_heap/pop_heap so the
+  // handler can be moved out legally before execution.
+  std::vector<Event> queue_;
+  std::vector<Root> roots_;
+  Rng rng_;
+};
+
+}  // namespace mes::sim

@@ -1,0 +1,184 @@
+// Coroutine task type for simulated processes.
+//
+// Simulated process bodies are C++20 coroutines returning Task<T>. A task
+// starts suspended; either the Simulator spawns it as a root process or a
+// parent coroutine `co_await`s it (symmetric transfer, so arbitrarily deep
+// protocol helpers cost nothing at runtime). Exceptions thrown inside a
+// task propagate to the awaiter, or — for root tasks — out of
+// Simulator::run(), so test failures surface as ordinary gtest failures.
+//
+// HOUSE RULE (compiler workaround): never embed `co_await` inside a
+// larger expression — always hoist into its own statement, e.g.
+//     const bool ok = co_await foo();
+//     if (!ok) ...
+// GCC 12.2 mis-lays out coroutine frames for some forms like
+// `if (!co_await task)` (the ramp stores the resume index where the
+// actor does not read it; the resumed body then silently never runs).
+// bench/ and tests/ are built with the same compiler, so the pattern is
+// banned tree-wide rather than detected case by case.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mes::sim {
+
+template <typename T>
+class Task;
+
+// Enqueues `h` for resumption at the current simulated instant on the
+// simulator whose run loop is active on this thread (simulator.cpp).
+void enqueue_resume(std::coroutine_handle<> h);
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+};
+
+// At final suspend, hand the continuation to the *event queue* rather
+// than resuming it inline; root tasks have no continuation and control
+// returns to the simulator loop.
+//
+// The indirection is load-bearing. Resuming the parent from inside this
+// actor — whether by symmetric transfer or a direct resume() — lets the
+// parent run, finish its co_await full-expression and destroy THIS
+// coroutine's frame while this actor invocation is still on the native
+// stack; GCC's generated actor then touches the freed frame on the way
+// out (observed as state-dispatch traps and silently lost continuations
+// at both -O0 and -O2). Going through the queue guarantees the child's
+// actor has fully returned before the parent can run. Simulated time is
+// unaffected: the resume is scheduled at the current instant and ties
+// break in insertion order.
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<Promise> h) const noexcept
+  {
+    if (auto continuation = h.promise().continuation) {
+      enqueue_resume(continuation);
+    }
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object()
+    {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    detail::FinalAwaiter<promise_type> final_suspend() const noexcept
+    {
+      return {};
+    }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { this->exception = std::current_exception(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_{std::exchange(other.h_, nullptr)} {}
+  Task(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept
+  {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task& operator=(const Task&) = delete;
+  ~Task()
+  {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> awaiting)
+  {
+    h_.promise().continuation = awaiting;
+    h_.resume();  // start the child; it suspends at its first wait
+  }
+  T await_resume()
+  {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+    return std::move(*h_.promise().value);
+  }
+
+  handle_type handle() const { return h_; }
+  handle_type release() { return std::exchange(h_, nullptr); }
+
+ private:
+  explicit Task(handle_type h) : h_{h} {}
+  handle_type h_ = nullptr;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object()
+    {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    detail::FinalAwaiter<promise_type> final_suspend() const noexcept
+    {
+      return {};
+    }
+    void return_void() const noexcept {}
+    void unhandled_exception() { this->exception = std::current_exception(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_{std::exchange(other.h_, nullptr)} {}
+  Task(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept
+  {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task& operator=(const Task&) = delete;
+  ~Task()
+  {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> awaiting)
+  {
+    h_.promise().continuation = awaiting;
+    h_.resume();  // start the child; it suspends at its first wait
+  }
+  void await_resume()
+  {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+  }
+
+  handle_type handle() const { return h_; }
+  handle_type release() { return std::exchange(h_, nullptr); }
+
+ private:
+  explicit Task(handle_type h) : h_{h} {}
+  handle_type h_ = nullptr;
+};
+
+// Shorthand used by process bodies and protocol helpers.
+using Proc = Task<void>;
+
+}  // namespace mes::sim

@@ -1,0 +1,52 @@
+#include "sim/wait_queue.h"
+
+namespace mes::sim {
+
+std::size_t WaitQueue::size() const
+{
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (!node->woken && !node->timed_out) ++n;
+  }
+  return n;
+}
+
+void WaitQueue::push(std::shared_ptr<Node> node)
+{
+  nodes_.push_back(std::move(node));
+}
+
+std::shared_ptr<WaitQueue::Node> WaitQueue::pop_live()
+{
+  while (!nodes_.empty()) {
+    std::shared_ptr<Node> node;
+    if (order_ == WakeOrder::fifo) {
+      node = nodes_.front();
+      nodes_.pop_front();
+    } else {
+      node = nodes_.back();
+      nodes_.pop_back();
+    }
+    if (!node->woken && !node->timed_out) return node;
+    // Timed-out nodes are removed lazily here.
+  }
+  return nullptr;
+}
+
+bool WaitQueue::notify_one(Simulator& sim, Duration latency)
+{
+  auto node = pop_live();
+  if (!node) return false;
+  node->woken = true;
+  sim.call_after(latency, [node] { node->handle.resume(); });
+  return true;
+}
+
+std::size_t WaitQueue::notify_all(Simulator& sim, Duration latency)
+{
+  std::size_t n = 0;
+  while (notify_one(sim, latency)) ++n;
+  return n;
+}
+
+}  // namespace mes::sim

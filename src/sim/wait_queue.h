@@ -1,0 +1,96 @@
+// Parking lot for blocked simulated processes.
+//
+// Kernel objects (events, mutexes, semaphores, file locks) block their
+// callers here. The wake order is a policy: the paper's attacks require
+// *fair* (FIFO) competition — §V.B shows that unfair hand-off lets the Spy
+// monopolize the resource and destroys the channel — so both policies are
+// implemented and the ablation bench exercises the unfair one.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace mes::sim {
+
+enum class WakeOrder {
+  fifo,  // fair: longest waiter first
+  lifo,  // unfair: most recent requester first
+};
+
+enum class WaitOutcome { signaled, timed_out };
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(WakeOrder order = WakeOrder::fifo) : order_{order} {}
+
+  WakeOrder order() const { return order_; }
+  void set_order(WakeOrder order) { order_ = order; }
+
+  // Number of live (not yet woken / timed out) waiters.
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // Awaitable: park the calling coroutine until notify; resumes after
+  // `timeout` with WaitOutcome::timed_out if nothing woke it first.
+  // An infinite wait passes Duration::max().
+  auto wait(Simulator& sim, Duration timeout = Duration::max())
+  {
+    struct Awaiter {
+      WaitQueue& q;
+      Simulator& sim;
+      Duration timeout;
+      std::shared_ptr<Node> node;
+
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h)
+      {
+        node = std::make_shared<Node>();
+        node->handle = h;
+        q.push(node);
+        if (timeout != Duration::max()) {
+          auto n = node;
+          sim.call_after(timeout, [n] {
+            if (n->woken || n->timed_out) return;
+            n->timed_out = true;
+            n->handle.resume();
+          });
+        }
+      }
+      WaitOutcome await_resume() const
+      {
+        return node->timed_out ? WaitOutcome::timed_out
+                               : WaitOutcome::signaled;
+      }
+    };
+    return Awaiter{*this, sim, timeout, nullptr};
+  }
+
+  // Wakes one parked process after `latency`; returns false if none was
+  // waiting (the notification is *not* remembered — persistence is the
+  // kernel object's business, e.g. an Event's signaled flag).
+  bool notify_one(Simulator& sim, Duration latency = Duration::zero());
+
+  // Wakes every parked process (all after the same latency); returns the
+  // number woken.
+  std::size_t notify_all(Simulator& sim, Duration latency = Duration::zero());
+
+ private:
+  struct Node {
+    std::coroutine_handle<> handle;
+    bool woken = false;
+    bool timed_out = false;
+  };
+
+  void push(std::shared_ptr<Node> node);
+  std::shared_ptr<Node> pop_live();
+
+  WakeOrder order_;
+  std::deque<std::shared_ptr<Node>> nodes_;
+};
+
+}  // namespace mes::sim

@@ -1,0 +1,119 @@
+#include "util/bitvec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mes {
+
+BitVec::BitVec(std::vector<int> bits) : bits_(std::move(bits))
+{
+  for (auto& b : bits_) {
+    if (b != 0 && b != 1) throw std::invalid_argument{"BitVec: bits must be 0/1"};
+  }
+}
+
+BitVec BitVec::from_string(const std::string& s)
+{
+  BitVec v;
+  v.bits_.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') {
+      v.bits_.push_back(0);
+    } else if (c == '1') {
+      v.bits_.push_back(1);
+    } else {
+      throw std::invalid_argument{"BitVec::from_string: expected only 0/1"};
+    }
+  }
+  return v;
+}
+
+BitVec BitVec::from_bytes(const std::vector<std::uint8_t>& bytes)
+{
+  BitVec v;
+  v.bits_.reserve(bytes.size() * 8);
+  for (auto byte : bytes) {
+    for (int i = 7; i >= 0; --i) v.bits_.push_back((byte >> i) & 1);
+  }
+  return v;
+}
+
+BitVec BitVec::from_text(const std::string& text)
+{
+  std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  return from_bytes(bytes);
+}
+
+BitVec BitVec::random(Rng& rng, std::size_t n)
+{
+  return BitVec{random_bits(rng, n)};
+}
+
+BitVec BitVec::alternating(std::size_t n)
+{
+  BitVec v;
+  v.bits_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.bits_.push_back(i % 2 == 0 ? 1 : 0);
+  return v;
+}
+
+void BitVec::append(const BitVec& other)
+{
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t len) const
+{
+  if (pos > bits_.size()) throw std::out_of_range{"BitVec::slice"};
+  const std::size_t end = std::min(bits_.size(), pos + len);
+  BitVec v;
+  v.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
+                 bits_.begin() + static_cast<std::ptrdiff_t>(end));
+  return v;
+}
+
+std::size_t BitVec::count_ones() const
+{
+  return static_cast<std::size_t>(std::count(bits_.begin(), bits_.end(), 1));
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const
+{
+  const std::size_t common = std::min(size(), other.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (bits_[i] != other.bits_[i]) ++d;
+  }
+  d += std::max(size(), other.size()) - common;
+  return d;
+}
+
+std::string BitVec::to_string() const
+{
+  std::string s;
+  s.reserve(bits_.size());
+  for (int b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const
+{
+  if (bits_.size() % 8 != 0) {
+    throw std::invalid_argument{"BitVec::to_bytes: size must be multiple of 8"};
+  }
+  std::vector<std::uint8_t> bytes(bits_.size() / 8, 0);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bytes[i / 8] = static_cast<std::uint8_t>((bytes[i / 8] << 1) | bits_[i]);
+  }
+  return bytes;
+}
+
+std::string BitVec::to_text() const
+{
+  const auto bytes = to_bytes();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace mes

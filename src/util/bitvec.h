@@ -1,0 +1,60 @@
+// Bit-sequence utilities shared by the codec, channels and experiments.
+//
+// Payloads travel through every layer of the library as BitVec: the codec
+// frames them, channels transmit them, metrics compare sent vs. received.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mes {
+
+class Rng;
+
+// An ordered sequence of bits with value semantics. Bits are stored one
+// per element for simplicity; channel payloads are small (<= a few
+// hundred kilobits) so the density loss is irrelevant next to clarity.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::vector<int> bits);
+
+  // Parses "1010...". Throws std::invalid_argument on anything else.
+  static BitVec from_string(const std::string& s);
+  // Big-endian bit expansion of each byte in order.
+  static BitVec from_bytes(const std::vector<std::uint8_t>& bytes);
+  static BitVec from_text(const std::string& text);
+  static BitVec random(Rng& rng, std::size_t n);
+  // The alternating "1010..." preamble used as a synchronization sequence.
+  static BitVec alternating(std::size_t n);
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+  int operator[](std::size_t i) const { return bits_[i]; }
+  void push_back(int bit) { bits_.push_back(bit ? 1 : 0); }
+  void append(const BitVec& other);
+
+  BitVec slice(std::size_t pos, std::size_t len) const;
+
+  std::size_t count_ones() const;
+  std::size_t count_zeros() const { return size() - count_ones(); }
+
+  // Number of differing positions against `other`; positions beyond the
+  // shorter sequence count as errors (a dropped bit is an error).
+  std::size_t hamming_distance(const BitVec& other) const;
+
+  std::string to_string() const;
+  // Collapses back to bytes (size must be a multiple of 8).
+  std::vector<std::uint8_t> to_bytes() const;
+  std::string to_text() const;
+
+  const std::vector<int>& bits() const { return bits_; }
+
+  bool operator==(const BitVec&) const = default;
+
+ private:
+  std::vector<int> bits_;
+};
+
+}  // namespace mes

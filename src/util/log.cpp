@@ -1,0 +1,41 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mes {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+const char* level_name(LogLevel level)
+{
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const char* fmt, ...)
+{
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[mes %s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace mes

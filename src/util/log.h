@@ -1,0 +1,26 @@
+// Minimal leveled logger.
+//
+// The library is silent by default (level = warn); experiments and
+// examples raise the level for narrative output. No global mutable state
+// beyond one atomic level, so it is safe from any simulated "process".
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mes {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define MES_LOG_DEBUG(...) ::mes::log_message(::mes::LogLevel::debug, __VA_ARGS__)
+#define MES_LOG_INFO(...) ::mes::log_message(::mes::LogLevel::info, __VA_ARGS__)
+#define MES_LOG_WARN(...) ::mes::log_message(::mes::LogLevel::warn, __VA_ARGS__)
+#define MES_LOG_ERROR(...) ::mes::log_message(::mes::LogLevel::error, __VA_ARGS__)
+
+}  // namespace mes

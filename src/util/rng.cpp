@@ -1,0 +1,150 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mes {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state)
+{
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k)
+{
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64()
+{
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double()
+{
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound)
+{
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+double Rng::exponential(double mean)
+{
+  if (mean <= 0.0) return 0.0;
+  // 1 - u avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::normal(double mean, double stddev)
+{
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::lognormal_median(double median, double sigma)
+{
+  if (median <= 0.0) return 0.0;
+  return median * std::exp(normal(0.0, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean)
+{
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until the product drops below exp(-mean).
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > limit);
+    return k - 1;
+  }
+  const double approx = normal(mean, std::sqrt(mean));
+  return approx <= 0.0 ? 0 : static_cast<std::uint64_t>(approx + 0.5);
+}
+
+Duration Rng::exponential_dur(Duration mean)
+{
+  const double ns = exponential(static_cast<double>(mean.count_ns()));
+  return Duration::ns(ns < 0.0 ? 0 : static_cast<std::int64_t>(ns));
+}
+
+Duration Rng::normal_dur(Duration mean, Duration stddev)
+{
+  const double ns = normal(static_cast<double>(mean.count_ns()),
+                           static_cast<double>(stddev.count_ns()));
+  return Duration::ns(ns < 0.0 ? 0 : static_cast<std::int64_t>(ns));
+}
+
+Duration Rng::lognormal_dur(Duration median, double sigma)
+{
+  const double ns =
+      lognormal_median(static_cast<double>(median.count_ns()), sigma);
+  return Duration::ns(ns < 0.0 ? 0 : static_cast<std::int64_t>(ns));
+}
+
+Rng Rng::fork() { return Rng{next_u64()}; }
+
+std::vector<int> random_bits(Rng& rng, std::size_t n)
+{
+  std::vector<int> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+}  // namespace mes

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random generation for simulation noise.
+//
+// The standard library distributions are implementation-defined, which
+// would make the reproduced tables differ across toolchains. Every
+// distribution used by the noise model is therefore implemented here on
+// top of xoshiro256++, giving bit-identical experiment outputs for a
+// given seed on any conforming platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace mes {
+
+// xoshiro256++ by Blackman & Vigna; seeded through splitmix64 so that
+// consecutive integer seeds yield well-decorrelated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1) with 53-bit resolution.
+  double next_double();
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  bool bernoulli(double p);
+
+  // Exponential with the given mean (mean <= 0 returns 0).
+  double exponential(double mean);
+
+  // Standard normal via Box-Muller (cached second variate).
+  double normal(double mean, double stddev);
+
+  // Log-normal parameterized by the *target* median and a shape sigma
+  // (sigma is the stddev of the underlying normal).
+  double lognormal_median(double median, double sigma);
+
+  // Poisson counting variable; exact (Knuth) for small means, normal
+  // approximation above 64 to stay O(1).
+  std::uint64_t poisson(double mean);
+
+  // Convenience wrappers producing Durations (never negative).
+  Duration exponential_dur(Duration mean);
+  Duration normal_dur(Duration mean, Duration stddev);
+  Duration lognormal_dur(Duration median, double sigma);
+
+  // An independent child stream; deterministic function of this stream.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+// Fills `n` random bits (used for payload generation in experiments).
+std::vector<int> random_bits(Rng& rng, std::size_t n);
+
+}  // namespace mes

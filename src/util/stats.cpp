@@ -1,0 +1,170 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mes {
+
+void RunningStats::add(double x)
+{
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const
+{
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p)
+{
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0)
+{
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument{"Histogram: need bins > 0 and hi > lo"};
+  }
+}
+
+void Histogram::add(double x)
+{
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const
+{
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+std::size_t Histogram::mode_bin() const
+{
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t symbols)
+    : symbols_{symbols}, counts_(symbols * symbols, 0)
+{
+  if (symbols == 0) throw std::invalid_argument{"ConfusionMatrix: symbols == 0"};
+}
+
+void ConfusionMatrix::add(std::size_t sent, std::size_t decoded)
+{
+  if (sent >= symbols_ || decoded >= symbols_) {
+    throw std::out_of_range{"ConfusionMatrix::add"};
+  }
+  ++counts_[sent * symbols_ + decoded];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t sent, std::size_t decoded) const
+{
+  if (sent >= symbols_ || decoded >= symbols_) {
+    throw std::out_of_range{"ConfusionMatrix::at"};
+  }
+  return counts_[sent * symbols_ + decoded];
+}
+
+std::size_t ConfusionMatrix::errors() const
+{
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < symbols_; ++i) diag += at(i, i);
+  return total_ - diag;
+}
+
+double ConfusionMatrix::error_rate() const
+{
+  return total_ ? static_cast<double>(errors()) / static_cast<double>(total_)
+                : 0.0;
+}
+
+TwoMeans two_means_cluster(const std::vector<double>& values, int max_iters)
+{
+  TwoMeans result;
+  if (values.size() < 2) return result;
+  auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (lo == hi) {
+    result.low = result.high = lo;
+    result.low_count = values.size();
+    return result;
+  }
+  for (int iter = 0; iter < max_iters; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    double sum_lo = 0.0;
+    double sum_hi = 0.0;
+    std::size_t n_lo = 0;
+    std::size_t n_hi = 0;
+    for (double v : values) {
+      if (v <= mid) {
+        sum_lo += v;
+        ++n_lo;
+      } else {
+        sum_hi += v;
+        ++n_hi;
+      }
+    }
+    if (n_lo == 0 || n_hi == 0) break;
+    const double new_lo = sum_lo / static_cast<double>(n_lo);
+    const double new_hi = sum_hi / static_cast<double>(n_hi);
+    const bool converged = new_lo == lo && new_hi == hi;
+    lo = new_lo;
+    hi = new_hi;
+    result.low_count = n_lo;
+    result.high_count = n_hi;
+    if (converged) break;
+  }
+  result.low = lo;
+  result.high = hi;
+  const double denom = std::abs(hi) + std::abs(lo) + 1e-12;
+  result.separation = (hi - lo) / denom;
+
+  // Within-cluster dispersion around the converged centers.
+  const double mid = (lo + hi) / 2.0;
+  RunningStats low_stats;
+  RunningStats high_stats;
+  for (double v : values) {
+    (v <= mid ? low_stats : high_stats).add(v);
+  }
+  if (low_stats.count() > 1 && std::abs(low_stats.mean()) > 1e-12) {
+    result.low_cv = low_stats.stddev() / std::abs(low_stats.mean());
+  }
+  if (high_stats.count() > 1 && std::abs(high_stats.mean()) > 1e-12) {
+    result.high_cv = high_stats.stddev() / std::abs(high_stats.mean());
+  }
+  return result;
+}
+
+}  // namespace mes

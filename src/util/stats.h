@@ -1,0 +1,89 @@
+// Small statistics toolkit used by metrics, the detector and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mes {
+
+// Single-pass accumulator (Welford) for mean/variance plus extremes.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile over a stored sample (linear interpolation between ranks).
+double percentile(std::vector<double> values, double p);
+
+// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  // Index of the most populated bin.
+  std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Symbol-level confusion matrix: counts[sent][decoded].
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t symbols);
+  void add(std::size_t sent, std::size_t decoded);
+  std::size_t at(std::size_t sent, std::size_t decoded) const;
+  std::size_t symbols() const { return symbols_; }
+  std::size_t total() const { return total_; }
+  std::size_t errors() const;
+  double error_rate() const;
+
+ private:
+  std::size_t symbols_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// 1-D two-means clustering (k=2), returned as (low-center, high-center,
+// separation score in [0,1]). The detector uses the separation score to
+// spot the bimodal inter-release intervals a covert channel produces.
+struct TwoMeans {
+  double low = 0.0;
+  double high = 0.0;
+  double separation = 0.0;  // (high-low) / (high+low+eps), 0 when degenerate
+  std::size_t low_count = 0;
+  std::size_t high_count = 0;
+  // Coefficient of variation inside each cluster. A covert channel's
+  // inter-release intervals form two *tight* modes (one per symbol);
+  // benign lock traffic with think-time jitter spreads much wider.
+  double low_cv = 0.0;
+  double high_cv = 0.0;
+};
+TwoMeans two_means_cluster(const std::vector<double>& values,
+                           int max_iters = 32);
+
+}  // namespace mes

@@ -1,0 +1,99 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mes {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header))
+{
+  if (header_.empty()) throw std::invalid_argument{"TextTable: empty header"};
+}
+
+void TextTable::add_row(std::vector<std::string> row)
+{
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument{"TextTable: row width mismatch"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const
+{
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_line(header_) + sep;
+  for (const auto& row : rows_) out += render_line(row);
+  out += sep;
+  return out;
+}
+
+void TextTable::print(std::FILE* out) const
+{
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string TextTable::num(double v, int decimals)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::percent(double fraction, int decimals)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::kbps(double bits_per_sec, int decimals)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f kb/s", decimals, bits_per_sec / 1000.0);
+  return buf;
+}
+
+std::string render_series(const std::string& title, const std::vector<double>& xs,
+                          const std::vector<double>& ys, int decimals)
+{
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument{"render_series: size mismatch"};
+  }
+  std::string out = title + "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  %10.3f -> %.*f\n", xs[i], decimals, ys[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mes

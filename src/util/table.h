@@ -1,0 +1,38 @@
+// ASCII table renderer for the benchmark harness.
+//
+// Every bench binary prints its reproduction of a paper table/figure as a
+// plain text table so that `for b in build/bench/*; do $b; done` yields a
+// readable transcript that can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mes {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+  void print(std::FILE* out = stdout) const;
+
+  // Formatting helpers used throughout bench/ so numbers align with the
+  // precision the paper reports.
+  static std::string num(double v, int decimals = 3);
+  static std::string percent(double fraction, int decimals = 3);
+  static std::string kbps(double bits_per_sec, int decimals = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a single series as a compact "x -> y" listing (figures).
+std::string render_series(const std::string& title,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys, int decimals = 3);
+
+}  // namespace mes

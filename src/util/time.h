@@ -1,0 +1,137 @@
+// Strongly typed simulation time.
+//
+// All simulated clocks in mes run on integer nanoseconds. The paper's
+// channels are tuned in microseconds (tens to hundreds), so nanosecond
+// resolution leaves three decimal digits of headroom for the noise model
+// without ever hitting floating-point comparison artefacts inside the
+// event queue.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace mes {
+
+// A span of simulated time. Negative durations are representable (they
+// appear transiently in noise arithmetic) but never enter the event queue.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration ns(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration us(double v)
+  {
+    return Duration{static_cast<std::int64_t>(v * 1e3)};
+  }
+  static constexpr Duration ms(double v)
+  {
+    return Duration{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr Duration sec(double v)
+  {
+    return Duration{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max()
+  {
+    return Duration{INT64_MAX};
+  }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(double k) const
+  {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(double k) const
+  {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  constexpr double operator/(Duration o) const
+  {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o)
+  {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o)
+  {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+// An instant on the simulated clock, measured from simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t v) { return TimePoint{v}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const
+  {
+    return TimePoint{ns_ + d.count_ns()};
+  }
+  constexpr TimePoint operator-(Duration d) const
+  {
+    return TimePoint{ns_ - d.count_ns()};
+  }
+  constexpr Duration operator-(TimePoint o) const
+  {
+    return Duration::ns(ns_ - o.ns_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v)
+{
+  return Duration::ns(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v)
+{
+  return Duration::us(static_cast<double>(v));
+}
+constexpr Duration operator""_us(long double v)
+{
+  return Duration::us(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v)
+{
+  return Duration::ms(static_cast<double>(v));
+}
+constexpr Duration operator""_sec(unsigned long long v)
+{
+  return Duration::sec(static_cast<double>(v));
+}
+}  // namespace literals
+
+// "123.4us" style rendering for logs and reports.
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace mes

@@ -1,0 +1,464 @@
+// Channel-level tests: every mechanism x scenario combination, framing,
+// determinism, multi-bit alphabets and the documented failure modes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runner.h"
+#include "util/rng.h"
+
+namespace mes {
+namespace {
+
+ChannelReport transmit_random(ExperimentConfig cfg, std::size_t bits)
+{
+  Rng rng{cfg.seed ^ 0xFEEDFACEULL};
+  const std::size_t width = cfg.timing.symbol_bits;
+  const BitVec payload = BitVec::random(rng, bits - bits % width);
+  return run_transmission(cfg, payload);
+}
+
+ExperimentConfig base_config(Mechanism m, Scenario s)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = m;
+  cfg.scenario = s;
+  cfg.timing = paper_timeset(m, s);
+  cfg.seed = 0xC0FFEE;
+  return cfg;
+}
+
+// --- the full mechanism x scenario matrix --------------------------------------
+
+using MatrixParam = std::tuple<Mechanism, Scenario>;
+
+class ChannelMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ChannelMatrix, TransmitsWithLowBer)
+{
+  const auto [mechanism, scenario] = GetParam();
+  ExperimentConfig cfg = base_config(mechanism, scenario);
+  const ChannelReport rep = transmit_random(cfg, 2048);
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_LT(rep.ber, 0.03) << "BER " << rep.ber_percent() << "%";
+  EXPECT_GT(rep.throughput_bps, 1000.0);
+  EXPECT_EQ(rep.rx_latencies.size(), 2048u + cfg.sync_bits);
+}
+
+TEST_P(ChannelMatrix, DeterministicForSeed)
+{
+  const auto [mechanism, scenario] = GetParam();
+  const ExperimentConfig cfg = base_config(mechanism, scenario);
+  const ChannelReport a = transmit_random(cfg, 256);
+  const ChannelReport b = transmit_random(cfg, 256);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.received_payload, b.received_payload);
+  EXPECT_EQ(a.elapsed.count_ns(), b.elapsed.count_ns());
+  EXPECT_DOUBLE_EQ(a.throughput_bps, b.throughput_bps);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info)
+{
+  const auto [mechanism, scenario] = info.param;
+  std::string name = std::string{to_string(mechanism)} + "_" +
+                     to_string(scenario);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LocalAndSandbox, ChannelMatrix,
+    ::testing::Combine(::testing::Values(Mechanism::flock,
+                                         Mechanism::file_lock_ex,
+                                         Mechanism::mutex,
+                                         Mechanism::semaphore,
+                                         Mechanism::event,
+                                         Mechanism::waitable_timer),
+                       ::testing::Values(Scenario::local,
+                                         Scenario::cross_sandbox)),
+    matrix_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    CrossVmFileBacked, ChannelMatrix,
+    ::testing::Combine(::testing::Values(Mechanism::flock,
+                                         Mechanism::file_lock_ex),
+                       ::testing::Values(Scenario::cross_vm)),
+    matrix_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    SignalExtensionLocal, ChannelMatrix,
+    ::testing::Combine(::testing::Values(Mechanism::posix_signal),
+                       ::testing::Values(Scenario::local)),
+    matrix_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    ReadLockExtension, ChannelMatrix,
+    ::testing::Combine(::testing::Values(Mechanism::flock_shared),
+                       ::testing::Values(Scenario::local,
+                                         Scenario::cross_sandbox,
+                                         Scenario::cross_vm)),
+    matrix_name);
+
+// --- cross-boundary failure modes (Table VI) --------------------------------------
+
+class NamedObjectVm : public ::testing::TestWithParam<Mechanism> {};
+
+TEST_P(NamedObjectVm, FailsAcrossVmBoundary)
+{
+  ExperimentConfig cfg = base_config(GetParam(), Scenario::cross_vm);
+  const ChannelReport rep = transmit_random(cfg, 64);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("not visible"), std::string::npos)
+      << rep.failure_reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNamedMechanisms, NamedObjectVm,
+                         ::testing::Values(Mechanism::mutex,
+                                           Mechanism::semaphore,
+                                           Mechanism::event,
+                                           Mechanism::waitable_timer),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(CrossVm, Type2HypervisorBreaksFileChannelsToo)
+{
+  ExperimentConfig cfg = base_config(Mechanism::file_lock_ex,
+                                     Scenario::cross_vm);
+  cfg.hypervisor = HypervisorType::type2;
+  const ChannelReport rep = transmit_random(cfg, 64);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("volume"), std::string::npos);
+}
+
+TEST(SignalChannel, CrossNamespaceSetupFails)
+{
+  ExperimentConfig cfg = base_config(Mechanism::posix_signal,
+                                     Scenario::cross_sandbox);
+  const ChannelReport rep = transmit_random(cfg, 64);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("PID namespace"), std::string::npos);
+}
+
+// --- multi-bit alphabets (§VI) -------------------------------------------------------
+
+class MultibitWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultibitWidth, EventChannelCarriesWiderAlphabets)
+{
+  const std::size_t width = GetParam();
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::local);
+  cfg.timing.symbol_bits = width;
+  cfg.timing.interval = Duration::us(50);
+  cfg.sync_bits = width * 8;
+  Rng rng{cfg.seed};
+  const BitVec payload = BitVec::random(rng, 1024 - 1024 % width);
+  // Symbol errors can land in the preamble; the §V.B round protocol
+  // retries such rounds, so assert through it.
+  const RoundedReport rounded = run_with_retries(cfg, payload, 6);
+  const ChannelReport& rep = rounded.report;
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_LT(rep.ber, 0.05);
+  ASSERT_TRUE(rep.confusion.has_value());
+  EXPECT_EQ(rep.confusion->symbols(), std::size_t{1} << width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultibitWidth,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(Multibit, TwoBitBeatsOneBitThroughput)
+{
+  ExperimentConfig one = base_config(Mechanism::event, Scenario::local);
+  ExperimentConfig two = one;
+  two.timing.symbol_bits = 2;
+  two.timing.interval = Duration::us(50);
+  two.sync_bits = 16;
+  const ChannelReport r1 = transmit_random(one, 4096);
+  const ChannelReport r2 = transmit_random(two, 4096);
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_GT(r2.throughput_bps, r1.throughput_bps);
+}
+
+TEST(Multibit, ContentionChannelsRejectWideSymbols)
+{
+  ExperimentConfig cfg = base_config(Mechanism::flock, Scenario::local);
+  cfg.timing.symbol_bits = 2;
+  const ChannelReport rep = transmit_random(cfg, 64);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("cooperation"), std::string::npos);
+}
+
+// --- config validation ------------------------------------------------------------------
+
+TEST(Config, RejectsMisalignedFrameSections)
+{
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::local);
+  cfg.timing.symbol_bits = 2;
+  cfg.sync_bits = 7;  // not a multiple of the width
+  const ChannelReport rep = transmit_random(cfg, 64);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("multiple"), std::string::npos);
+}
+
+TEST(Config, RejectsZeroWidth)
+{
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::local);
+  cfg.timing.symbol_bits = 0;
+  const ChannelReport rep = run_transmission(cfg, BitVec::from_string("10"));
+  ASSERT_FALSE(rep.ok);
+}
+
+TEST(Config, TaxonomyMatchesTableOne)
+{
+  EXPECT_EQ(class_of(Mechanism::flock), ChannelClass::contention);
+  EXPECT_EQ(class_of(Mechanism::file_lock_ex), ChannelClass::contention);
+  EXPECT_EQ(class_of(Mechanism::mutex), ChannelClass::contention);
+  EXPECT_EQ(class_of(Mechanism::semaphore), ChannelClass::contention);
+  EXPECT_EQ(class_of(Mechanism::event), ChannelClass::cooperation);
+  EXPECT_EQ(class_of(Mechanism::waitable_timer), ChannelClass::cooperation);
+  EXPECT_EQ(class_of(Mechanism::posix_signal), ChannelClass::cooperation);
+  EXPECT_EQ(class_of(Mechanism::flock_shared), ChannelClass::contention);
+}
+
+TEST(Config, OsFlavorAssignsSleepFloor)
+{
+  EXPECT_EQ(flavor_of(Mechanism::flock), OsFlavor::linux_like);
+  EXPECT_EQ(flavor_of(Mechanism::event), OsFlavor::windows);
+  const auto linux_profile = make_profile(Scenario::local,
+                                          OsFlavor::linux_like);
+  EXPECT_DOUBLE_EQ(linux_profile.noise.sleep_floor.to_us(), 58.0);
+  const auto windows_profile = make_profile(Scenario::local,
+                                            OsFlavor::windows);
+  EXPECT_TRUE(windows_profile.noise.sleep_floor.is_zero());
+}
+
+TEST(Config, PaperTimesetsMatchTables)
+{
+  const TimingConfig flock_local =
+      paper_timeset(Mechanism::flock, Scenario::local);
+  EXPECT_DOUBLE_EQ(flock_local.t1.to_us(), 160.0);
+  EXPECT_DOUBLE_EQ(flock_local.t0.to_us(), 60.0);
+  const TimingConfig event_local =
+      paper_timeset(Mechanism::event, Scenario::local);
+  EXPECT_DOUBLE_EQ(event_local.t0.to_us(), 15.0);
+  EXPECT_DOUBLE_EQ(event_local.interval.to_us(), 65.0);
+  const TimingConfig sem_sandbox =
+      paper_timeset(Mechanism::semaphore, Scenario::cross_sandbox);
+  EXPECT_DOUBLE_EQ(sem_sandbox.t1.to_us(), 240.0);
+  const TimingConfig flock_vm =
+      paper_timeset(Mechanism::flock, Scenario::cross_vm);
+  EXPECT_DOUBLE_EQ(flock_vm.t1.to_us(), 200.0);
+}
+
+// --- §V.B requirements ---------------------------------------------------------------
+
+TEST(FineGrainedSync, DisablingItAccumulatesErrors)
+{
+  ExperimentConfig cfg = base_config(Mechanism::flock, Scenario::local);
+  cfg.fine_grained_sync = false;
+  cfg.max_events = 80'000'000;
+  const ChannelReport rep = transmit_random(cfg, 4096);
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  // Drift slips misalign the stream; errors accumulate toward 50%.
+  EXPECT_GT(rep.ber, 0.10);
+}
+
+TEST(Semaphore, ZeroInitialResourcesStalls)
+{
+  ExperimentConfig cfg = base_config(Mechanism::semaphore, Scenario::local);
+  cfg.semaphore_initial = 0;
+  cfg.max_events = 5'000'000;
+  const ChannelReport rep = transmit_random(cfg, 64);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("deadlock"), std::string::npos);
+}
+
+TEST(Semaphore, OverseedingBreaksMutualExclusion)
+{
+  ExperimentConfig cfg = base_config(Mechanism::semaphore, Scenario::local);
+  cfg.semaphore_initial = 3;
+  const ChannelReport rep = transmit_random(cfg, 512);
+  ASSERT_TRUE(rep.ok);
+  EXPECT_GT(rep.ber, 0.20);  // every '1' reads as '0'
+}
+
+// --- round protocol ------------------------------------------------------------------
+
+TEST(Rounds, RetriesUntilPreambleVerifies)
+{
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::local);
+  Rng rng{1};
+  const BitVec payload = BitVec::random(rng, 128);
+  const RoundedReport rounded = run_with_retries(cfg, payload, 4);
+  ASSERT_TRUE(rounded.report.ok);
+  EXPECT_TRUE(rounded.report.sync_ok);
+  EXPECT_GE(rounded.rounds_attempted, 1u);
+  EXPECT_LE(rounded.rounds_attempted, 4u);
+}
+
+TEST(Rounds, StructuralFailureStopsRetrying)
+{
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::cross_vm);
+  Rng rng{1};
+  const RoundedReport rounded =
+      run_with_retries(cfg, BitVec::random(rng, 32), 5);
+  EXPECT_FALSE(rounded.report.ok);
+  EXPECT_EQ(rounded.rounds_attempted, 1u);  // retries are futile
+}
+
+// --- report integrity -------------------------------------------------------------------
+
+TEST(Report, CarriesSymbolTracesAndConfusion)
+{
+  ExperimentConfig cfg = base_config(Mechanism::mutex, Scenario::local);
+  const ChannelReport rep = transmit_random(cfg, 256);
+  ASSERT_TRUE(rep.ok);
+  EXPECT_EQ(rep.tx_symbols.size(), 256u + cfg.sync_bits);
+  EXPECT_EQ(rep.rx_symbols.size(), rep.tx_symbols.size());
+  ASSERT_TRUE(rep.confusion.has_value());
+  EXPECT_EQ(rep.confusion->total(), 256u);
+  EXPECT_GT(rep.elapsed.to_sec(), 0.0);
+  EXPECT_NEAR(rep.throughput_bps,
+              static_cast<double>(rep.tx_symbols.size()) /
+                  rep.elapsed.to_sec(),
+              1.0);
+}
+
+TEST(Report, TextPayloadSurvivesTransmission)
+{
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::local);
+  const BitVec payload = BitVec::from_text("key=0xDEADBEEF");
+  const RoundedReport rounded = run_with_retries(cfg, payload, 8);
+  ASSERT_TRUE(rounded.report.ok);
+  ASSERT_TRUE(rounded.report.sync_ok);
+  if (rounded.report.ber == 0.0) {
+    EXPECT_EQ(rounded.report.received_payload.to_text(), "key=0xDEADBEEF");
+  }
+}
+
+// --- ordering properties across mechanisms (Table IV shape) ------------------------------
+
+TEST(Shape, CooperationBeatsContentionThroughput)
+{
+  const ChannelReport event_rep =
+      transmit_random(base_config(Mechanism::event, Scenario::local), 2048);
+  const ChannelReport flock_rep =
+      transmit_random(base_config(Mechanism::flock, Scenario::local), 2048);
+  const ChannelReport sem_rep = transmit_random(
+      base_config(Mechanism::semaphore, Scenario::local), 2048);
+  ASSERT_TRUE(event_rep.ok);
+  ASSERT_TRUE(flock_rep.ok);
+  ASSERT_TRUE(sem_rep.ok);
+  EXPECT_GT(event_rep.throughput_bps, flock_rep.throughput_bps);
+  EXPECT_GT(flock_rep.throughput_bps, sem_rep.throughput_bps);
+}
+
+TEST(Shape, SandboxSlowerThanLocal)
+{
+  const ChannelReport local_rep =
+      transmit_random(base_config(Mechanism::event, Scenario::local), 2048);
+  const ChannelReport sandbox_rep = transmit_random(
+      base_config(Mechanism::event, Scenario::cross_sandbox), 2048);
+  ASSERT_TRUE(local_rep.ok);
+  ASSERT_TRUE(sandbox_rep.ok);
+  EXPECT_GT(local_rep.throughput_bps, sandbox_rep.throughput_bps);
+}
+
+TEST(Shape, VmSlowerThanSandbox)
+{
+  const ChannelReport sandbox_rep = transmit_random(
+      base_config(Mechanism::flock, Scenario::cross_sandbox), 2048);
+  const ChannelReport vm_rep =
+      transmit_random(base_config(Mechanism::flock, Scenario::cross_vm), 2048);
+  ASSERT_TRUE(sandbox_rep.ok);
+  ASSERT_TRUE(vm_rep.ok);
+  EXPECT_GT(sandbox_rep.throughput_bps, vm_rep.throughput_bps);
+}
+
+// --- timing-parameter properties (Figs. 9 & 10 shape) --------------------------------------
+
+class EventInterval : public ::testing::TestWithParam<double> {};
+
+TEST_P(EventInterval, BerStaysUnderTwoPercentAboveFifty)
+{
+  ExperimentConfig cfg = base_config(Mechanism::event, Scenario::local);
+  cfg.timing.interval = Duration::us(GetParam());
+  const ChannelReport rep = transmit_random(cfg, 4096);
+  ASSERT_TRUE(rep.ok);
+  EXPECT_LT(rep.ber, 0.02) << "ti=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SafeIntervals, EventInterval,
+                         ::testing::Values(50.0, 70.0, 90.0, 110.0, 130.0));
+
+TEST(Shape, TinyIntervalRaisesEventBer)
+{
+  ExperimentConfig narrow = base_config(Mechanism::event, Scenario::local);
+  narrow.timing.interval = Duration::us(30);
+  ExperimentConfig wide = base_config(Mechanism::event, Scenario::local);
+  wide.timing.interval = Duration::us(90);
+  const ChannelReport n = transmit_random(narrow, 8192);
+  const ChannelReport w = transmit_random(wide, 8192);
+  ASSERT_TRUE(n.ok);
+  ASSERT_TRUE(w.ok);
+  EXPECT_GT(n.ber, w.ber);
+}
+
+TEST(Shape, SubGranularitySleepRaisesEventBer)
+{
+  ExperimentConfig tiny = base_config(Mechanism::event, Scenario::local);
+  tiny.timing.t0 = Duration::us(5);
+  const ChannelReport t = transmit_random(tiny, 4096);
+  const ChannelReport ok_rep =
+      transmit_random(base_config(Mechanism::event, Scenario::local), 4096);
+  ASSERT_TRUE(t.ok);
+  ASSERT_TRUE(ok_rep.ok);
+  EXPECT_GT(t.ber, ok_rep.ber * 2);
+}
+
+class FlockHold : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlockHold, ThroughputTracksInverseHoldTime)
+{
+  ExperimentConfig cfg = base_config(Mechanism::flock, Scenario::local);
+  cfg.timing.t1 = Duration::us(GetParam());
+  const ChannelReport rep = transmit_random(cfg, 1024);
+  ASSERT_TRUE(rep.ok);
+  // Mean bit time is ~(t1 + t0)/2 plus ~45us overhead; allow wide slack.
+  const double expected_bps =
+      1e6 / ((GetParam() + 60.0) / 2.0 + 45.0);
+  EXPECT_NEAR(rep.throughput_bps, expected_bps, expected_bps * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(HoldTimes, FlockHold,
+                         ::testing::Values(140.0, 180.0, 220.0, 280.0));
+
+TEST(Shape, FlockBerConcaveInHoldTime)
+{
+  auto ber_at = [&](double t1_us) {
+    ExperimentConfig cfg = base_config(Mechanism::flock, Scenario::local);
+    cfg.timing.t1 = Duration::us(t1_us);
+    const ChannelReport rep = transmit_random(cfg, 16384);
+    EXPECT_TRUE(rep.ok);
+    return rep.ber;
+  };
+  const double left = ber_at(110);
+  const double mid = ber_at(185);
+  const double right = ber_at(320);
+  EXPECT_GT(left, mid * 1.5);
+  EXPECT_GT(right, mid * 1.5);
+}
+
+}  // namespace
+}  // namespace mes

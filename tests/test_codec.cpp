@@ -1,0 +1,172 @@
+// Unit tests for the codec: symbol schedules, latency classification,
+// preamble calibration and framing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "codec/frame.h"
+#include "codec/symbols.h"
+#include "util/rng.h"
+
+namespace mes::codec {
+namespace {
+
+// --- SymbolSchedule ---------------------------------------------------------------
+
+TEST(SymbolSchedule, HoldTimesAreEvenlySpaced)
+{
+  const SymbolSchedule s{2, Duration::us(15), Duration::us(50)};
+  EXPECT_EQ(s.alphabet_size(), 4u);
+  EXPECT_DOUBLE_EQ(s.hold_time(0).to_us(), 15.0);
+  EXPECT_DOUBLE_EQ(s.hold_time(1).to_us(), 65.0);
+  EXPECT_DOUBLE_EQ(s.hold_time(2).to_us(), 115.0);
+  EXPECT_DOUBLE_EQ(s.hold_time(3).to_us(), 165.0);
+  EXPECT_THROW(s.hold_time(4), std::out_of_range);
+}
+
+TEST(SymbolSchedule, ValidatesConstruction)
+{
+  EXPECT_THROW(SymbolSchedule(0, Duration::us(1), Duration::us(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SymbolSchedule(9, Duration::us(1), Duration::us(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SymbolSchedule(1, Duration::us(1), Duration::zero()),
+               std::invalid_argument);
+}
+
+TEST(SymbolSchedule, EncodeMsbFirst)
+{
+  const SymbolSchedule s{2, Duration::us(15), Duration::us(50)};
+  const auto symbols = s.encode(BitVec::from_string("00011011"));
+  EXPECT_EQ(symbols, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(SymbolSchedule, EncodeRejectsMisalignedBits)
+{
+  const SymbolSchedule s{2, Duration::us(15), Duration::us(50)};
+  EXPECT_THROW(s.encode(BitVec::from_string("101")), std::invalid_argument);
+}
+
+TEST(SymbolSchedule, EncodeDecodeRoundTrip)
+{
+  Rng rng{5};
+  for (std::size_t width = 1; width <= 4; ++width) {
+    const SymbolSchedule s{width, Duration::us(10), Duration::us(40)};
+    const BitVec bits = BitVec::random(rng, width * 64);
+    EXPECT_EQ(s.decode(s.encode(bits)), bits) << "width " << width;
+  }
+}
+
+TEST(SymbolSchedule, BinaryEncodeIsIdentity)
+{
+  const SymbolSchedule s{1, Duration::us(15), Duration::us(65)};
+  const auto symbols = s.encode(BitVec::from_string("1011"));
+  EXPECT_EQ(symbols, (std::vector<std::size_t>{1, 0, 1, 1}));
+}
+
+// --- LatencyClassifier --------------------------------------------------------------
+
+TEST(LatencyClassifier, BinaryThreshold)
+{
+  const auto c = LatencyClassifier::binary(Duration::us(90));
+  EXPECT_EQ(c.classify(Duration::us(20)), 0u);
+  EXPECT_EQ(c.classify(Duration::us(90)), 0u);   // boundary maps low
+  EXPECT_EQ(c.classify(Duration::us(91)), 1u);
+  EXPECT_EQ(c.classify(Duration::us(5000)), 1u);
+  EXPECT_EQ(c.alphabet_size(), 2u);
+}
+
+TEST(LatencyClassifier, MultiLevelMidpoints)
+{
+  // Levels at 40, 90, 140, 190 -> thresholds 65, 115, 165.
+  const LatencyClassifier c{4, Duration::us(40), Duration::us(50)};
+  EXPECT_EQ(c.classify(Duration::us(10)), 0u);
+  EXPECT_EQ(c.classify(Duration::us(64)), 0u);
+  EXPECT_EQ(c.classify(Duration::us(66)), 1u);
+  EXPECT_EQ(c.classify(Duration::us(114)), 1u);
+  EXPECT_EQ(c.classify(Duration::us(116)), 2u);
+  EXPECT_EQ(c.classify(Duration::us(166)), 3u);
+  EXPECT_EQ(c.classify(Duration::us(10000)), 3u);
+  EXPECT_DOUBLE_EQ(c.threshold(0).to_us(), 65.0);
+  EXPECT_DOUBLE_EQ(c.threshold(2).to_us(), 165.0);
+}
+
+TEST(LatencyClassifier, RejectsDegenerateAlphabet)
+{
+  EXPECT_THROW(LatencyClassifier(1, Duration::us(10), Duration::us(10)),
+               std::invalid_argument);
+}
+
+TEST(CalibrateBinary, MidpointOfAlternatingPreamble)
+{
+  // Preamble 1,0,1,0: highs ~200, lows ~40 -> threshold ~120.
+  const std::vector<Duration> lats = {
+      Duration::us(205), Duration::us(38), Duration::us(195),
+      Duration::us(42)};
+  const auto c = calibrate_binary(lats, Duration::us(999));
+  EXPECT_EQ(c.classify(Duration::us(110)), 0u);
+  EXPECT_EQ(c.classify(Duration::us(130)), 1u);
+}
+
+TEST(CalibrateBinary, FallsBackOnShortOrDegeneratePreamble)
+{
+  const auto short_preamble = calibrate_binary(
+      {Duration::us(10), Duration::us(20)}, Duration::us(77));
+  EXPECT_EQ(short_preamble.classify(Duration::us(76)), 0u);
+  EXPECT_EQ(short_preamble.classify(Duration::us(78)), 1u);
+
+  // Inverted levels (highs not higher): fallback too.
+  const std::vector<Duration> inverted = {
+      Duration::us(10), Duration::us(200), Duration::us(12),
+      Duration::us(190)};
+  const auto c = calibrate_binary(inverted, Duration::us(55));
+  EXPECT_EQ(c.classify(Duration::us(54)), 0u);
+  EXPECT_EQ(c.classify(Duration::us(56)), 1u);
+}
+
+// --- framing ---------------------------------------------------------------------------
+
+TEST(Frame, PrependsAlternatingPreamble)
+{
+  const Frame f = make_frame(BitVec::from_string("1100"), 6);
+  EXPECT_EQ(f.bits.to_string(), "1010101100");
+  EXPECT_EQ(f.sync_bits, 6u);
+}
+
+TEST(Frame, CheckAndStripAcceptsExactPreamble)
+{
+  const auto payload = check_and_strip(BitVec::from_string("1010101100"), 6);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(payload->to_string(), "1100");
+}
+
+TEST(Frame, CheckAndStripRejectsCorruptPreamble)
+{
+  EXPECT_FALSE(check_and_strip(BitVec::from_string("1110101100"), 6));
+  EXPECT_FALSE(check_and_strip(BitVec::from_string("10101"), 6));  // short
+}
+
+TEST(Frame, ZeroSyncBitsPassthrough)
+{
+  const Frame f = make_frame(BitVec::from_string("101"), 0);
+  EXPECT_EQ(f.bits.to_string(), "101");
+  const auto payload = check_and_strip(f.bits, 0);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(payload->to_string(), "101");
+}
+
+TEST(Frame, RoundTripThroughCodec)
+{
+  Rng rng{9};
+  const BitVec payload = BitVec::random(rng, 64);
+  const Frame f = make_frame(payload, 8);
+  const SymbolSchedule s{1, Duration::us(15), Duration::us(65)};
+  const auto symbols = s.encode(f.bits);
+  const BitVec decoded_bits = s.decode(symbols);
+  const auto recovered = check_and_strip(decoded_bits, 8);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, payload);
+}
+
+}  // namespace
+}  // namespace mes::codec

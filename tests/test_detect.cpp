@@ -1,0 +1,175 @@
+// Detector tests: the covert-channel signature versus benign traffic.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "detect/detector.h"
+#include "util/rng.h"
+
+namespace mes::detect {
+namespace {
+
+using os::Kernel;
+using os::OpKind;
+
+// Builds a synthetic op trace: `pids` hitting one object with the given
+// inter-op interval generator.
+template <typename NextInterval>
+std::vector<Kernel::OpRecord> synth_trace(std::vector<os::Pid> pids,
+                                          std::size_t ops,
+                                          NextInterval next_interval)
+{
+  std::vector<Kernel::OpRecord> trace;
+  TimePoint t = TimePoint::origin();
+  for (std::size_t i = 0; i < ops; ++i) {
+    t = t + Duration::us(next_interval());
+    trace.push_back(Kernel::OpRecord{t, pids[i % pids.size()],
+                                     OpKind::set_event, 7});
+  }
+  return trace;
+}
+
+TEST(Detector, FlagsBimodalTwoPartyTraffic)
+{
+  // The sender (pid 100) signals one object with bimodal gaps; the
+  // receiver (pid 101) touches it shortly after each signal.
+  Rng rng{3};
+  std::vector<os::Kernel::OpRecord> trace;
+  TimePoint t = TimePoint::origin();
+  int bit = 0;
+  for (int i = 0; i < 400; ++i) {
+    bit ^= 1;
+    t = t + Duration::us(bit ? rng.normal(77.0, 3.0) : rng.normal(142.0, 4.0));
+    trace.push_back({t, 100, os::OpKind::set_event, 7});
+    trace.push_back({t + Duration::us(6), 101, os::OpKind::wait, 7});
+  }
+  Detector detector;
+  EXPECT_TRUE(detector.channel_detected(trace));
+  const auto findings = detector.analyze(trace);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].object, 7u);
+  EXPECT_GT(findings[0].bimodality, 0.2);
+  EXPECT_LT(findings[0].mode_cv, 0.25);
+  EXPECT_DOUBLE_EQ(findings[0].dominance, 1.0);
+}
+
+TEST(Detector, IgnoresWideSpreadThinkTimes)
+{
+  Rng rng{5};
+  const auto trace = synth_trace({100, 101}, 600, [&] {
+    return rng.uniform(20.0, 900.0);  // benign jittery lock usage
+  });
+  Detector detector;
+  EXPECT_FALSE(detector.channel_detected(trace));
+}
+
+TEST(Detector, IgnoresManyPartyTraffic)
+{
+  Rng rng{7};
+  int bit = 0;
+  // Six processes sharing the object: dominance of the top two is low.
+  const auto trace = synth_trace({1, 2, 3, 4, 5, 6}, 600, [&] {
+    bit ^= 1;
+    return bit ? rng.normal(77.0, 3.0) : rng.normal(142.0, 4.0);
+  });
+  Detector detector;
+  EXPECT_FALSE(detector.channel_detected(trace));
+  const auto findings = detector.analyze(trace);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_LT(findings[0].dominance, 0.9);
+}
+
+TEST(Detector, MinOpsGateSkipsIdleObjects)
+{
+  std::vector<os::Kernel::OpRecord> trace;
+  TimePoint t = TimePoint::origin();
+  int bit = 0;
+  for (int i = 0; i < 16; ++i) {
+    bit ^= 1;
+    t = t + Duration::us(bit ? 77.0 : 142.0);
+    trace.push_back({t, 100, os::OpKind::set_event, 7});
+    trace.push_back({t + Duration::us(6), 101, os::OpKind::wait, 7});
+  }
+  Detector detector;  // default min_ops = 64
+  EXPECT_TRUE(detector.analyze(trace).empty());
+  DetectorConfig relaxed;
+  relaxed.min_ops = 16;
+  EXPECT_FALSE(Detector{relaxed}.analyze(trace).empty());
+}
+
+TEST(Detector, FlagsRealSimulatedChannelTrace)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.seed = 77;
+  TraceOut trace;
+  Rng rng{1};
+  const ChannelReport rep =
+      run_transmission(cfg, BitVec::random(rng, 2048), &trace);
+  ASSERT_TRUE(rep.ok);
+  ASSERT_FALSE(trace.ops.empty());
+  Detector detector;
+  EXPECT_TRUE(detector.channel_detected(trace.ops));
+}
+
+TEST(Detector, FlagsContentionChannelTraceToo)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::mutex;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::mutex, Scenario::local);
+  cfg.seed = 78;
+  TraceOut trace;
+  Rng rng{2};
+  const ChannelReport rep =
+      run_transmission(cfg, BitVec::random(rng, 2048), &trace);
+  ASSERT_TRUE(rep.ok);
+  Detector detector;
+  const auto findings = detector.analyze(trace.ops);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_TRUE(findings[0].flagged);
+}
+
+TEST(Detector, EmptyTraceYieldsNothing)
+{
+  Detector detector;
+  EXPECT_TRUE(detector.analyze({}).empty());
+  EXPECT_FALSE(detector.channel_detected({}));
+}
+
+TEST(Detector, FindingToStringMentionsKeyFields)
+{
+  Finding f;
+  f.object = 42;
+  f.pid_a = 1;
+  f.pid_b = 2;
+  f.ops = 100;
+  f.flagged = true;
+  const std::string s = to_string(f);
+  EXPECT_NE(s.find("object 42"), std::string::npos);
+  EXPECT_NE(s.find("FLAGGED"), std::string::npos);
+}
+
+TEST(Mitigation, FuzzRaisesChannelBer)
+{
+  auto ber_with_fuzz = [](double fuzz_us) {
+    ExperimentConfig cfg;
+    cfg.mechanism = Mechanism::event;
+    cfg.scenario = Scenario::local;
+    cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+    cfg.mitigation_fuzz = Duration::us(fuzz_us);
+    cfg.seed = 5;
+    Rng rng{5};
+    const ChannelReport rep = run_transmission(cfg, BitVec::random(rng, 4096));
+    EXPECT_TRUE(rep.ok);
+    return rep.ber;
+  };
+  const double clean = ber_with_fuzz(0.0);
+  const double fuzzed = ber_with_fuzz(120.0);
+  EXPECT_LT(clean, 0.02);
+  EXPECT_GT(fuzzed, 0.10);
+}
+
+}  // namespace
+}  // namespace mes::detect

@@ -1,0 +1,177 @@
+// Tests for the FEC layer (Hamming(7,4) + interleaving) and the
+// capacity analysis.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/capacity.h"
+#include "codec/fec.h"
+#include "core/runner.h"
+#include "util/rng.h"
+
+namespace mes::codec {
+namespace {
+
+TEST(Hamming74, RoundTripCleanChannel)
+{
+  Rng rng{3};
+  const BitVec data = BitVec::random(rng, 64);
+  const BitVec coded = Hamming74::encode(data);
+  EXPECT_EQ(coded.size(), 64u / 4u * 7u);
+  const auto decoded = Hamming74::decode(coded);
+  EXPECT_EQ(decoded.data, data);
+  EXPECT_EQ(decoded.corrected, 0u);
+}
+
+TEST(Hamming74, CorrectsAnySingleBitErrorPerBlock)
+{
+  Rng rng{5};
+  const BitVec data = BitVec::random(rng, 4);
+  const BitVec coded = Hamming74::encode(data);
+  for (std::size_t flip = 0; flip < 7; ++flip) {
+    std::vector<int> corrupted = coded.bits();
+    corrupted[flip] ^= 1;
+    const auto decoded = Hamming74::decode(BitVec{corrupted});
+    EXPECT_EQ(decoded.data, data) << "flipped bit " << flip;
+    EXPECT_EQ(decoded.corrected, 1u);
+  }
+}
+
+TEST(Hamming74, DoubleErrorEscapesCorrection)
+{
+  const BitVec data = BitVec::from_string("1010");
+  const BitVec coded = Hamming74::encode(data);
+  std::vector<int> corrupted = coded.bits();
+  corrupted[0] ^= 1;
+  corrupted[3] ^= 1;
+  const auto decoded = Hamming74::decode(BitVec{corrupted});
+  EXPECT_NE(decoded.data, data);  // miscorrects, as Hamming must
+}
+
+TEST(Hamming74, ValidatesBlockSizes)
+{
+  EXPECT_THROW(Hamming74::encode(BitVec::from_string("101")),
+               std::invalid_argument);
+  EXPECT_THROW(Hamming74::decode(BitVec::from_string("101010")),
+               std::invalid_argument);
+}
+
+TEST(Interleaver, RoundTripIsIdentity)
+{
+  Rng rng{7};
+  for (const std::size_t depth : {1u, 2u, 7u, 8u}) {
+    const BitVec bits = BitVec::random(rng, 56);
+    EXPECT_EQ(deinterleave(interleave(bits, depth), depth), bits)
+        << "depth " << depth;
+  }
+}
+
+TEST(Interleaver, SpreadsBursts)
+{
+  // A burst of `depth` consecutive errors lands in distinct codewords
+  // after deinterleaving.
+  const std::size_t depth = 7;
+  BitVec zeros{std::vector<int>(56, 0)};
+  BitVec coded = interleave(zeros, depth);
+  std::vector<int> hit = coded.bits();
+  for (std::size_t i = 20; i < 20 + depth; ++i) hit[i] = 1;  // the burst
+  const BitVec spread = deinterleave(BitVec{hit}, depth);
+  // Count errors per 7-bit codeword: none may exceed 1.
+  for (std::size_t block = 0; block < spread.size() / 7; ++block) {
+    int errors = 0;
+    for (std::size_t k = 0; k < 7; ++k) errors += spread[block * 7 + k];
+    EXPECT_LE(errors, 1) << "block " << block;
+  }
+}
+
+TEST(FecPipeline, ProtectRecoverRoundTrip)
+{
+  Rng rng{11};
+  const BitVec data = BitVec::random(rng, 128);
+  const BitVec coded = fec_protect(data, 7);
+  const auto recovered = fec_recover(coded, 7);
+  EXPECT_EQ(recovered.data.slice(0, data.size()), data);
+}
+
+TEST(FecPipeline, ReducesResidualErrorsAtChannelBer)
+{
+  // At the channel's working BER (~0.6%), Hamming(7,4) cuts the residual
+  // error rate by roughly two orders of magnitude. Aggregate over many
+  // payloads: double-flips inside one block are rare but not impossible,
+  // so the property is statistical, not per-run.
+  Rng rng{13};
+  std::size_t raw_flips = 0;
+  std::size_t residual = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const BitVec data = BitVec::random(rng, 512);
+    const BitVec coded = fec_protect(data, 7);
+    std::vector<int> noisy = coded.bits();
+    for (auto& b : noisy) {
+      if (rng.bernoulli(0.006)) {
+        b ^= 1;
+        ++raw_flips;
+      }
+    }
+    const auto recovered = fec_recover(BitVec{noisy}, 7);
+    residual += data.hamming_distance(recovered.data.slice(0, data.size()));
+  }
+  EXPECT_GT(raw_flips, 50u);          // the channel really was noisy
+  EXPECT_LT(residual * 10, raw_flips);  // >90% of damage repaired
+}
+
+TEST(FecPipeline, EndToEndOverSimulatedChannel)
+{
+  Rng rng{17};
+  const BitVec key = BitVec::random(rng, 128);
+  const BitVec protected_payload = fec_protect(key, 7);
+
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.seed = 0xFEC;
+  const ChannelReport rep = run_transmission(cfg, protected_payload);
+  ASSERT_TRUE(rep.ok);
+  const auto recovered = fec_recover(rep.received_payload, 7);
+  EXPECT_EQ(recovered.data.slice(0, key.size()), key);
+}
+
+}  // namespace
+}  // namespace mes::codec
+
+namespace mes::analysis {
+namespace {
+
+TEST(Capacity, BinaryEntropyShape)
+{
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.11), 0.4999, 0.001);
+}
+
+TEST(Capacity, BscCapacity)
+{
+  EXPECT_DOUBLE_EQ(bsc_capacity(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(bsc_capacity(0.5), 0.0);
+  EXPECT_NEAR(bsc_capacity(0.006), 0.947, 0.002);  // the channels' regime
+  // Symmetric: p > 0.5 clamps (a channel that inverts is still a channel).
+  EXPECT_DOUBLE_EQ(bsc_capacity(0.7), 0.0);
+}
+
+TEST(Capacity, EffectiveRate)
+{
+  EXPECT_NEAR(effective_capacity_bps(13105.0, 0.00554), 12466.0, 50.0);
+  EXPECT_DOUBLE_EQ(effective_capacity_bps(1000.0, 0.0), 1000.0);
+}
+
+TEST(Capacity, HammingBlockFailure)
+{
+  EXPECT_DOUBLE_EQ(hamming74_block_failure(0.0), 0.0);
+  // At p = 0.6%: P(fail) ~ C(7,2) p^2 = 21 * 3.6e-5 ~ 7.4e-4.
+  EXPECT_NEAR(hamming74_block_failure(0.006), 7.4e-4, 1e-4);
+  EXPECT_GT(hamming74_block_failure(0.05), hamming74_block_failure(0.006));
+}
+
+}  // namespace
+}  // namespace mes::analysis

@@ -1,0 +1,204 @@
+// Integration tests: end-to-end attack flows across module boundaries —
+// the scenarios the examples/ directory demonstrates, held to assertions.
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.h"
+#include "codec/frame.h"
+#include "core/runner.h"
+#include "detect/detector.h"
+#include "util/rng.h"
+
+namespace mes {
+namespace {
+
+TEST(EndToEnd, KeyExfiltrationOverEveryLocalMechanism)
+{
+  // A 128-bit key leaves the restricted environment over each channel.
+  Rng key_rng{0x5EC4E7};
+  const BitVec key = BitVec::random(key_rng, 128);
+  for (const Mechanism m :
+       {Mechanism::flock, Mechanism::file_lock_ex, Mechanism::mutex,
+        Mechanism::semaphore, Mechanism::event, Mechanism::waitable_timer,
+        Mechanism::posix_signal}) {
+    ExperimentConfig cfg;
+    cfg.mechanism = m;
+    cfg.scenario = Scenario::local;
+    cfg.timing = paper_timeset(m, Scenario::local);
+    cfg.seed = 0xE2E;
+    const RoundedReport rounded = run_with_retries(cfg, key, 8);
+    ASSERT_TRUE(rounded.report.ok) << to_string(m) << ": "
+                                   << rounded.report.failure_reason;
+    EXPECT_TRUE(rounded.report.sync_ok) << to_string(m);
+    EXPECT_LE(key.hamming_distance(rounded.report.received_payload), 3u)
+        << to_string(m);
+  }
+}
+
+TEST(EndToEnd, SandboxEscapeCarriesText)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::cross_sandbox;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::cross_sandbox);
+  cfg.seed = 0x5B0;
+  const BitVec secret = BitVec::from_text("TOKEN:a1b2c3");
+  const RoundedReport rounded = run_with_retries(cfg, secret, 8);
+  ASSERT_TRUE(rounded.report.ok);
+  ASSERT_TRUE(rounded.report.sync_ok);
+  EXPECT_LE(secret.hamming_distance(rounded.report.received_payload), 2u);
+}
+
+TEST(EndToEnd, CrossVmOnlyFileBackedMechanismsSurvive)
+{
+  Rng rng{0xCC};
+  const BitVec payload = BitVec::random(rng, 512);
+  std::size_t working = 0;
+  std::size_t failing = 0;
+  for (const Mechanism m :
+       {Mechanism::flock, Mechanism::file_lock_ex, Mechanism::mutex,
+        Mechanism::semaphore, Mechanism::event, Mechanism::waitable_timer}) {
+    ExperimentConfig cfg;
+    cfg.mechanism = m;
+    cfg.scenario = Scenario::cross_vm;
+    cfg.timing = paper_timeset(m, Scenario::cross_vm);
+    const ChannelReport rep = run_transmission(cfg, payload);
+    if (rep.ok) {
+      ++working;
+      EXPECT_TRUE(m == Mechanism::flock || m == Mechanism::file_lock_ex);
+      EXPECT_LT(rep.ber, 0.03);
+    } else {
+      ++failing;
+    }
+  }
+  EXPECT_EQ(working, 2u);
+  EXPECT_EQ(failing, 4u);
+}
+
+TEST(EndToEnd, AttackerCalibratesFromPreambleWithoutPriorKnowledge)
+{
+  // Deliberately disable the a-priori threshold refinement and rely on
+  // preamble calibration alone with a skewed initial estimate.
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.sync_bits = 16;  // longer calibration preamble
+  cfg.seed = 0xCA1;
+  Rng rng{0xCA1};
+  const BitVec payload = BitVec::random(rng, 1024);
+  const ChannelReport with = run_transmission(cfg, payload);
+  cfg.recalibrate_from_preamble = false;
+  const ChannelReport without = run_transmission(cfg, payload);
+  ASSERT_TRUE(with.ok);
+  ASSERT_TRUE(without.ok);
+  // Both decode here (the estimate happens to be good), but calibration
+  // must never be worse.
+  EXPECT_LE(with.ber, without.ber + 1e-9);
+}
+
+TEST(EndToEnd, DetectorSeesTheAttackItsTraceProves)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.seed = 0xDE7;
+  TraceOut trace;
+  Rng rng{0xDE7};
+  const ChannelReport rep =
+      run_transmission(cfg, BitVec::random(rng, 1024), &trace);
+  ASSERT_TRUE(rep.ok);
+  EXPECT_LT(rep.ber, 0.02);
+  detect::Detector detector;
+  EXPECT_TRUE(detector.channel_detected(trace.ops));
+}
+
+TEST(EndToEnd, MitigationKillsChannelButDetectorStillHelps)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.mitigation_fuzz = Duration::us(200);
+  cfg.seed = 0x311;
+  Rng rng{0x311};
+  const ChannelReport rep = run_transmission(cfg, BitVec::random(rng, 2048));
+  ASSERT_TRUE(rep.ok);
+  EXPECT_GT(rep.ber, 0.2);  // channel effectively dead
+}
+
+TEST(Sweeps, GridRunsEveryPointDeterministically)
+{
+  const auto make = [](double x, double s) {
+    ExperimentConfig cfg;
+    cfg.mechanism = Mechanism::event;
+    cfg.scenario = Scenario::local;
+    cfg.timing.t0 = Duration::us(x);
+    cfg.timing.interval = Duration::us(s);
+    return cfg;
+  };
+  const auto a = analysis::sweep_grid({15, 25}, {65, 90}, 512, 7, make);
+  const auto b = analysis::sweep_grid({15, 25}, {65, 90}, 512, 7, make);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].ok);
+    EXPECT_DOUBLE_EQ(a[i].ber, b[i].ber);
+    EXPECT_DOUBLE_EQ(a[i].throughput_bps, b[i].throughput_bps);
+  }
+}
+
+TEST(Sweeps, MultiPairAggregatesNearLinearly)
+{
+  ExperimentConfig base;
+  base.mechanism = Mechanism::event;
+  base.scenario = Scenario::local;
+  base.timing = paper_timeset(Mechanism::event, Scenario::local);
+  base.seed = 0x3117;
+  const auto one = analysis::run_multi_pair(base, 1, 1024);
+  const auto eight = analysis::run_multi_pair(base, 8, 1024);
+  ASSERT_GT(one.aggregate_bps, 0.0);
+  EXPECT_NEAR(eight.aggregate_bps / one.aggregate_bps, 8.0, 1.0);
+  EXPECT_LT(eight.mean_ber, 0.03);
+}
+
+TEST(Trace, StreamContainsBothEndpoints)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::semaphore;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::semaphore, Scenario::local);
+  TraceOut trace;
+  Rng rng{0x7124};
+  const ChannelReport rep =
+      run_transmission(cfg, BitVec::random(rng, 128), &trace);
+  ASSERT_TRUE(rep.ok);
+  std::set<os::Pid> pids;
+  for (const auto& op : trace.ops) pids.insert(op.pid);
+  EXPECT_EQ(pids.size(), 2u);
+  // Time stamps are monotone.
+  for (std::size_t i = 1; i < trace.ops.size(); ++i) {
+    EXPECT_LE(trace.ops[i - 1].at, trace.ops[i].at);
+  }
+}
+
+TEST(Framing, SyncSequenceSurvivesFullStack)
+{
+  // The received frame's preamble section, reclassified post hoc, always
+  // matches the alternating pattern when sync_ok is reported.
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.seed = 0xF1A;
+  Rng rng{0xF1A};
+  const ChannelReport rep = run_transmission(cfg, BitVec::random(rng, 256));
+  ASSERT_TRUE(rep.ok);
+  if (rep.sync_ok) {
+    for (std::size_t i = 0; i < cfg.sync_bits; ++i) {
+      EXPECT_EQ(rep.rx_symbols[i], static_cast<std::size_t>(i % 2 == 0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mes

@@ -1,0 +1,131 @@
+// Native backend tests: the same protocols against real Linux
+// primitives. Timings are millisecond-scale and assertions lenient —
+// these run inside noisy CI containers, and their job is to prove the
+// end-to-end mechanics, not to benchmark.
+#include <gtest/gtest.h>
+
+#include "native/flock_channel.h"
+#include "native/native_common.h"
+#include "util/rng.h"
+
+namespace mes::native {
+namespace {
+
+NativeTiming lenient_timing()
+{
+  return NativeTiming{};  // the defaults are already container-lenient
+}
+
+// Best of three: scheduler hiccups in a container are real; what the
+// suite proves is that the channel works, not that it never retries
+// (the paper's round protocol retries too, §V.B).
+NativeReport transmit_with_retry(NativeChannel& channel, const BitVec& payload,
+                                 const NativeTiming& timing)
+{
+  NativeReport best;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    NativeReport rep = channel.transmit(payload, timing, 8);
+    if (rep.ok && rep.sync_ok && rep.ber <= 0.10) return rep;
+    if (!best.ok || (rep.ok && rep.ber < best.ber)) best = rep;
+  }
+  return best;
+}
+
+TEST(NativeEventFd, TransmitsShortPayload)
+{
+  const auto channel = make_native_eventfd();
+  Rng rng{1};
+  const BitVec payload = BitVec::random(rng, 32);
+  const NativeReport rep = transmit_with_retry(*channel, payload,
+                                               lenient_timing());
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_LE(rep.ber, 0.15);
+  EXPECT_EQ(rep.latencies_us.size(), payload.size() + 8);
+  EXPECT_GT(rep.throughput_bps, 0.0);
+}
+
+TEST(NativeEventFd, DistinguishableLatencyLevels)
+{
+  const auto channel = make_native_eventfd();
+  const BitVec payload = BitVec::from_string("11110000");
+  const NativeReport rep = transmit_with_retry(*channel, payload,
+                                               lenient_timing());
+  ASSERT_TRUE(rep.ok) << rep.error;
+  if (rep.ber == 0.0) {
+    // '1' latencies (t0+interval ~ 14ms) clearly exceed '0' (~6ms).
+    const auto& lat = rep.latencies_us;
+    const std::size_t n = lat.size();
+    EXPECT_GT(lat[n - 8], lat[n - 1] * 1.5);
+  }
+}
+
+TEST(NativeSemaphore, TransmitsAsLock)
+{
+  const auto channel = make_native_semaphore();
+  Rng rng{2};
+  const BitVec payload = BitVec::random(rng, 32);
+  const NativeReport rep = transmit_with_retry(*channel, payload,
+                                               lenient_timing());
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(rep.sync_ok);
+  // POSIX semaphores hand off unfairly (§V.B's fair-pattern caveat made
+  // real); the sender's yield gap mitigates but cannot eliminate probe
+  // losses, so the bar is looser than flock's FIFO-queued channel.
+  EXPECT_LE(rep.ber, 0.25);
+}
+
+TEST(NativeFlock, TransmitsBetweenTwoDescriptions)
+{
+  const auto channel = make_native_flock("/tmp");
+  Rng rng{3};
+  const BitVec payload = BitVec::random(rng, 24);
+  const NativeReport rep = transmit_with_retry(*channel, payload,
+                                               lenient_timing());
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_LE(rep.ber, 0.20);
+}
+
+TEST(NativeFlock, SenderFailsOnMissingFile)
+{
+  const std::string err = flock_send("/nonexistent/dir/x.lock",
+                                     BitVec::from_string("1"),
+                                     lenient_timing());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(NativeFlock, ReceiverFailsOnMissingFile)
+{
+  std::string err;
+  const auto lat = flock_receive("/nonexistent/dir/x.lock", 4,
+                                 lenient_timing(), 1000.0, &err);
+  EXPECT_FALSE(lat.has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ScoreReception, DecodesFromLatencies)
+{
+  // Preamble 1,0,1,0,1,0,1,0 then payload 1,1,0.
+  const std::vector<double> lats = {60, 10, 58, 11, 61, 12, 59, 10,
+                                    62, 60, 9};
+  const NativeReport rep = score_reception(BitVec::from_string("110"), 8, lats,
+                                           35.0, std::chrono::milliseconds{5});
+  ASSERT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_EQ(rep.ber, 0.0);
+  EXPECT_EQ(rep.received_payload.to_string(), "110");
+  EXPECT_GT(rep.throughput_bps, 0.0);
+}
+
+TEST(ScoreReception, ReportsSyncFailureOnCorruptPreamble)
+{
+  const std::vector<double> lats = {10, 10, 58, 11, 61, 12, 59, 10, 62};
+  const NativeReport rep = score_reception(BitVec::from_string("1"), 8, lats,
+                                           35.0, std::chrono::milliseconds{5});
+  ASSERT_TRUE(rep.ok);
+  EXPECT_FALSE(rep.sync_ok);
+}
+
+}  // namespace
+}  // namespace mes::native

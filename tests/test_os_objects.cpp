@@ -1,0 +1,695 @@
+// Unit tests for the NT-style object manager (Fig. 4 substrate):
+// handle tables, named directory, Event/Mutex/Semaphore/Timer semantics
+// and WaitForSingleObject.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/win_objects.h"
+#include "scenario/profile.h"
+#include "sim/simulator.h"
+
+namespace mes::os {
+namespace {
+
+// Quiet noise so semantics tests assert exact behaviour, not timing.
+sim::NoiseParams quiet_noise()
+{
+  sim::NoiseParams p;
+  p.op_cost_base = Duration::us(1);
+  p.op_cost_jitter = Duration::zero();
+  p.wake_latency_median = Duration::us(1);
+  p.wake_latency_sigma = 0.0;
+  p.sleep_overshoot_median = Duration::us(0.1);
+  p.sleep_overshoot_sigma = 0.0;
+  p.block_rate_hz = 0.0;
+  p.penalty_ramp_per_us = 0.0;
+  p.corruption_rate = 0.0;
+  p.notify_path_base = Duration::zero();
+  p.notify_path_jitter = Duration::zero();
+  return p;
+}
+
+struct World {
+  sim::Simulator sim{1};
+  Kernel kernel{sim, quiet_noise()};
+};
+
+// --- handle / fd tables ---------------------------------------------------------
+
+TEST(Process, HandleValuesAreMultiplesOfFour)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h1 = w.kernel.objects().create_event(p, "", ResetMode::auto_reset,
+                                                    false);
+  const Handle h2 = w.kernel.objects().create_event(p, "", ResetMode::auto_reset,
+                                                    false);
+  EXPECT_EQ(h1, 4);
+  EXPECT_EQ(h2, 8);
+}
+
+TEST(Process, SameObjectDifferentHandleValuesAcrossProcesses)
+{
+  // Fig. 4: handles to one kernel object generally differ per process.
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  w.kernel.objects().create_event(b, "warmup", ResetMode::auto_reset, false);
+  const Handle ha = w.kernel.objects().create_event(a, "X",
+                                                    ResetMode::auto_reset, false);
+  const Handle hb = w.kernel.objects().open_event(b, "X");
+  EXPECT_NE(ha, hb);
+  EXPECT_EQ(a.lookup_object(ha).get(), b.lookup_object(hb).get());
+}
+
+TEST(Process, CloseHandleRemovesEntry)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_event(p, "", ResetMode::auto_reset,
+                                                   false);
+  EXPECT_TRUE(w.kernel.objects().close_handle(p, h));
+  EXPECT_EQ(p.lookup_object(h), nullptr);
+  EXPECT_FALSE(w.kernel.objects().close_handle(p, h));
+}
+
+TEST(Process, FdTableReusesLowestFreeDescriptor)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Fd a = p.insert_fd(100);
+  const Fd b = p.insert_fd(101);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  p.remove_fd(a);
+  EXPECT_EQ(p.insert_fd(102), 0);  // POSIX lowest-free rule
+}
+
+TEST(ObjectManager, NamedObjectsPruneAfterAllHandlesClose)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_event(p, "gone",
+                                                   ResetMode::auto_reset, false);
+  EXPECT_NE(w.kernel.objects().find_named(0, "gone"), nullptr);
+  w.kernel.objects().close_handle(p, h);
+  EXPECT_EQ(w.kernel.objects().find_named(0, "gone"), nullptr);
+}
+
+TEST(ObjectManager, CreateExistingNameReturnsSameObject)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h1 = w.kernel.objects().create_event(p, "dup",
+                                                    ResetMode::auto_reset, false);
+  const Handle h2 = w.kernel.objects().create_event(p, "dup",
+                                                    ResetMode::manual_reset, true);
+  EXPECT_EQ(p.lookup_object(h1).get(), p.lookup_object(h2).get());
+  // The original reset mode wins (CreateEvent ignores new parameters).
+  const auto ev = std::static_pointer_cast<EventObject>(p.lookup_object(h2));
+  EXPECT_EQ(ev->mode(), ResetMode::auto_reset);
+}
+
+TEST(ObjectManager, TypeMismatchOnOpenFails)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.kernel.objects().create_event(p, "typed", ResetMode::auto_reset, false);
+  EXPECT_EQ(w.kernel.objects().open_mutex(p, "typed"), kInvalidHandle);
+  EXPECT_EQ(w.kernel.objects().open_semaphore(p, "typed"), kInvalidHandle);
+}
+
+TEST(ObjectManager, NamespaceIsolationBlocksCrossVmOpen)
+{
+  World w;
+  w.kernel.objects().set_namespace_sharing(false);
+  Process& vm1 = w.kernel.create_process("vm1", 1);
+  Process& vm2 = w.kernel.create_process("vm2", 2);
+  w.kernel.objects().create_event(vm1, "secret", ResetMode::auto_reset, false);
+  EXPECT_EQ(w.kernel.objects().open_event(vm2, "secret"), kInvalidHandle);
+  // Same namespace still resolves.
+  Process& vm1b = w.kernel.create_process("vm1b", 1);
+  EXPECT_NE(w.kernel.objects().open_event(vm1b, "secret"), kInvalidHandle);
+}
+
+// --- Event ----------------------------------------------------------------------
+
+struct EventWorld : World {
+  Process& creator = kernel.create_process("creator", 0);
+  Process& other = kernel.create_process("other", 0);
+};
+
+sim::Proc wait_and_log(Kernel& k, Process& p, Handle h,
+                       std::vector<WaitStatus>& log,
+                       Duration timeout = Duration::max())
+{
+  const WaitStatus status =
+      co_await k.objects().wait_for_single_object(p, h, timeout);
+  log.push_back(status);
+}
+
+sim::Proc set_after(Kernel& k, Process& p, Handle h, Duration delay)
+{
+  co_await k.sleep(p, delay);
+  co_await k.objects().set_event(p, h);
+}
+
+TEST(Event, SignaledStateSatisfiesWaitImmediately)
+{
+  EventWorld w;
+  const Handle h = w.kernel.objects().create_event(
+      w.creator, "e", ResetMode::auto_reset, /*initially_signaled=*/true);
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, w.creator, h, log));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::object_0);
+}
+
+TEST(Event, AutoResetConsumesSignal)
+{
+  EventWorld w;
+  const Handle h = w.kernel.objects().create_event(
+      w.creator, "e", ResetMode::auto_reset, true);
+  const Handle h_other = w.kernel.objects().open_event(w.other, "e");
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, w.creator, h, log));
+  w.sim.spawn(wait_and_log(w.kernel, w.other, h_other, log,
+                           Duration::us(500)));  // should time out
+  w.sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], WaitStatus::object_0);
+  EXPECT_EQ(log[1], WaitStatus::timed_out);
+}
+
+TEST(Event, ManualResetWakesAllWaiters)
+{
+  EventWorld w;
+  const Handle h = w.kernel.objects().create_event(
+      w.creator, "e", ResetMode::manual_reset, false);
+  const Handle h2 = w.kernel.objects().open_event(w.other, "e");
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, w.creator, h, log));
+  w.sim.spawn(wait_and_log(w.kernel, w.other, h2, log));
+  Process& setter = w.kernel.create_process("setter", 0);
+  const Handle hs = w.kernel.objects().open_event(setter, "e");
+  w.sim.spawn(set_after(w.kernel, setter, hs, Duration::us(100)));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log.size(), 2u);
+  // Manual-reset events stay signaled after waking everyone.
+  const auto ev =
+      std::static_pointer_cast<EventObject>(w.creator.lookup_object(h));
+  EXPECT_TRUE(ev->signaled());
+}
+
+TEST(Event, AutoResetSetWakesExactlyOne)
+{
+  EventWorld w;
+  const Handle h = w.kernel.objects().create_event(
+      w.creator, "e", ResetMode::auto_reset, false);
+  const Handle h2 = w.kernel.objects().open_event(w.other, "e");
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, w.creator, h, log, Duration::ms(1)));
+  w.sim.spawn(wait_and_log(w.kernel, w.other, h2, log, Duration::ms(1)));
+  Process& setter = w.kernel.create_process("setter", 0);
+  const Handle hs = w.kernel.objects().open_event(setter, "e");
+  w.sim.spawn(set_after(w.kernel, setter, hs, Duration::us(50)));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], WaitStatus::object_0);   // FIFO: first waiter wakes
+  EXPECT_EQ(log[1], WaitStatus::timed_out);  // second times out
+}
+
+TEST(Event, ResetClearsSignal)
+{
+  EventWorld w;
+  const Handle h = w.kernel.objects().create_event(
+      w.creator, "e", ResetMode::manual_reset, true);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h,
+                         std::vector<WaitStatus>& log)
+    {
+      co_await k.objects().reset_event(p, h);
+      const WaitStatus s = co_await k.objects().wait_for_single_object(
+          p, h, Duration::us(200));
+      log.push_back(s);
+    }
+  };
+  std::vector<WaitStatus> log;
+  w.sim.spawn(Runner::run(w.kernel, w.creator, h, log));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::timed_out);
+}
+
+TEST(Event, SetWhileNobodyWaitsLatches)
+{
+  EventWorld w;
+  const Handle h = w.kernel.objects().create_event(
+      w.creator, "e", ResetMode::auto_reset, false);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h,
+                         std::vector<WaitStatus>& log)
+    {
+      co_await k.objects().set_event(p, h);
+      // The signal is remembered for the next wait.
+      const WaitStatus s = co_await k.objects().wait_for_single_object(p, h);
+      log.push_back(s);
+    }
+  };
+  std::vector<WaitStatus> log;
+  w.sim.spawn(Runner::run(w.kernel, w.creator, h, log));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::object_0);
+}
+
+// --- Mutex ----------------------------------------------------------------------
+
+sim::Proc hold_mutex(Kernel& k, Process& p, Handle h, Duration hold,
+                     std::vector<int>& order, int id)
+{
+  co_await k.objects().wait_for_single_object(p, h);
+  order.push_back(id);
+  co_await k.sleep(p, hold);
+  co_await k.objects().release_mutex(p, h);
+}
+
+TEST(Mutex, ProvidesMutualExclusionInFifoOrder)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  Process& c = w.kernel.create_process("c", 0);
+  const Handle ha = w.kernel.objects().create_mutex(a, "m", false);
+  const Handle hb = w.kernel.objects().open_mutex(b, "m");
+  const Handle hc = w.kernel.objects().open_mutex(c, "m");
+  std::vector<int> order;
+  w.sim.spawn(hold_mutex(w.kernel, a, ha, Duration::us(100), order, 1));
+  w.sim.spawn(hold_mutex(w.kernel, b, hb, Duration::us(100), order, 2));
+  w.sim.spawn(hold_mutex(w.kernel, c, hc, Duration::us(100), order, 3));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mutex, RecursiveAcquisitionBySameOwner)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_mutex(p, "m", false);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h, bool& done)
+    {
+      co_await k.objects().wait_for_single_object(p, h);
+      co_await k.objects().wait_for_single_object(p, h);  // recursion
+      co_await k.objects().release_mutex(p, h);
+      co_await k.objects().release_mutex(p, h);
+      done = true;
+    }
+  };
+  bool done = false;
+  w.sim.spawn(Runner::run(w.kernel, p, h, done));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_TRUE(done);
+}
+
+TEST(Mutex, ReleaseByNonOwnerThrows)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  w.kernel.objects().create_mutex(a, "m", /*initially_owned=*/true);
+  const Handle hb = w.kernel.objects().open_mutex(b, "m");
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h)
+    {
+      co_await k.objects().release_mutex(p, h);
+    }
+  };
+  w.sim.spawn(Runner::run(w.kernel, b, hb));
+  EXPECT_THROW(w.sim.run(), std::logic_error);
+}
+
+TEST(Mutex, InitiallyOwnedBlocksOthers)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  const Handle ha = w.kernel.objects().create_mutex(a, "m", true);
+  const Handle hb = w.kernel.objects().open_mutex(b, "m");
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, b, hb, log, Duration::us(100)));
+  struct Releaser {
+    static sim::Proc run(Kernel& k, Process& p, Handle h)
+    {
+      co_await k.sleep(p, Duration::us(300));
+      co_await k.objects().release_mutex(p, h);
+    }
+  };
+  w.sim.spawn(Releaser::run(w.kernel, a, ha));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::timed_out);
+}
+
+TEST(Mutex, AbandonedMutexReportsToNextAcquirer)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  w.kernel.objects().create_mutex(a, "m", true);
+  const Handle hb = w.kernel.objects().open_mutex(b, "m");
+  w.kernel.terminate_process(a);
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, b, hb, log));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::abandoned);
+}
+
+// --- Semaphore ---------------------------------------------------------------------
+
+TEST(Semaphore, CreationValidatesCounts)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  EXPECT_EQ(w.kernel.objects().create_semaphore(p, "s", -1, 5), kInvalidHandle);
+  EXPECT_EQ(w.kernel.objects().create_semaphore(p, "s", 3, 0), kInvalidHandle);
+  EXPECT_EQ(w.kernel.objects().create_semaphore(p, "s", 6, 5), kInvalidHandle);
+  EXPECT_NE(w.kernel.objects().create_semaphore(p, "s", 2, 5), kInvalidHandle);
+}
+
+sim::Proc take_n(Kernel& k, Process& p, Handle h, int n,
+                 std::vector<WaitStatus>& log, Duration timeout)
+{
+  for (int i = 0; i < n; ++i) {
+    const WaitStatus s =
+        co_await k.objects().wait_for_single_object(p, h, timeout);
+    log.push_back(s);
+  }
+}
+
+TEST(Semaphore, CountLimitsConcurrentHolders)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_semaphore(p, "s", 2, 10);
+  std::vector<WaitStatus> log;
+  w.sim.spawn(take_n(w.kernel, p, h, 3, log, Duration::us(200)));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], WaitStatus::object_0);
+  EXPECT_EQ(log[1], WaitStatus::object_0);
+  EXPECT_EQ(log[2], WaitStatus::timed_out);  // count exhausted
+}
+
+TEST(Semaphore, ReleaseFailsBeyondMaximum)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_semaphore(p, "s", 2, 2);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h, std::vector<bool>& ok)
+    {
+      const bool over = co_await k.objects().release_semaphore(p, h, 1);
+      ok.push_back(over);
+      const WaitStatus s = co_await k.objects().wait_for_single_object(p, h);
+      (void)s;
+      const bool fits = co_await k.objects().release_semaphore(p, h, 1);
+      ok.push_back(fits);
+      const bool zero = co_await k.objects().release_semaphore(p, h, 0);
+      ok.push_back(zero);
+    }
+  };
+  std::vector<bool> ok;
+  w.sim.spawn(Runner::run(w.kernel, p, h, ok));
+  w.sim.run();
+  ASSERT_EQ(ok.size(), 3u);
+  EXPECT_FALSE(ok[0]);  // 2 + 1 > max 2
+  EXPECT_TRUE(ok[1]);   // back to 2 after one take
+  EXPECT_FALSE(ok[2]);  // zero-count release is invalid
+}
+
+TEST(Semaphore, ReleaseWakesBlockedWaiterDirectly)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  const Handle ha = w.kernel.objects().create_semaphore(a, "s", 0, 10);
+  const Handle hb = w.kernel.objects().open_semaphore(b, "s");
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, b, hb, log));
+  struct Producer {
+    static sim::Proc run(Kernel& k, Process& p, Handle h)
+    {
+      co_await k.sleep(p, Duration::us(100));
+      const bool ok = co_await k.objects().release_semaphore(p, h, 1);
+      if (!ok) throw std::runtime_error{"release failed"};
+    }
+  };
+  w.sim.spawn(Producer::run(w.kernel, a, ha));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::object_0);
+  // Direct grant never inflates the count.
+  const auto sem =
+      std::static_pointer_cast<SemaphoreObject>(a.lookup_object(ha));
+  EXPECT_EQ(sem->count(), 0);
+}
+
+// --- WaitableTimer ---------------------------------------------------------------
+
+TEST(Timer, FiresAtDueTime)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h =
+      w.kernel.objects().create_waitable_timer(p, "t", ResetMode::auto_reset);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h, TimePoint& woke)
+    {
+      co_await k.objects().set_waitable_timer(p, h, Duration::us(500));
+      co_await k.objects().wait_for_single_object(p, h);
+      woke = k.sim().now();
+    }
+  };
+  TimePoint woke;
+  w.sim.spawn(Runner::run(w.kernel, p, h, woke));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_GE(woke.to_us(), 500.0);
+  EXPECT_LT(woke.to_us(), 520.0);
+}
+
+TEST(Timer, CancelPreventsFiring)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h =
+      w.kernel.objects().create_waitable_timer(p, "t", ResetMode::auto_reset);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h,
+                         std::vector<WaitStatus>& log)
+    {
+      co_await k.objects().set_waitable_timer(p, h, Duration::us(500));
+      co_await k.objects().cancel_waitable_timer(p, h);
+      const WaitStatus s = co_await k.objects().wait_for_single_object(
+          p, h, Duration::ms(2));
+      log.push_back(s);
+    }
+  };
+  std::vector<WaitStatus> log;
+  w.sim.spawn(Runner::run(w.kernel, p, h, log));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::timed_out);
+}
+
+TEST(Timer, PeriodicTimerFiresRepeatedly)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h =
+      w.kernel.objects().create_waitable_timer(p, "t", ResetMode::auto_reset);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h,
+                         std::vector<double>& wakes)
+    {
+      co_await k.objects().set_waitable_timer(p, h, Duration::us(100),
+                                              Duration::us(100));
+      for (int i = 0; i < 3; ++i) {
+        co_await k.objects().wait_for_single_object(p, h);
+        wakes.push_back(k.sim().now().to_us());
+      }
+      co_await k.objects().cancel_waitable_timer(p, h);
+    }
+  };
+  std::vector<double> wakes;
+  w.sim.spawn(Runner::run(w.kernel, p, h, wakes));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  ASSERT_EQ(wakes.size(), 3u);
+  EXPECT_NEAR(wakes[1] - wakes[0], 100.0, 20.0);
+  EXPECT_NEAR(wakes[2] - wakes[1], 100.0, 20.0);
+}
+
+TEST(Timer, RearmInvalidatesOldExpiration)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h =
+      w.kernel.objects().create_waitable_timer(p, "t", ResetMode::auto_reset);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h, TimePoint& woke)
+    {
+      co_await k.objects().set_waitable_timer(p, h, Duration::us(100));
+      // Re-arm further out before the first due time arrives.
+      co_await k.objects().set_waitable_timer(p, h, Duration::us(800));
+      co_await k.objects().wait_for_single_object(p, h);
+      woke = k.sim().now();
+    }
+  };
+  TimePoint woke;
+  w.sim.spawn(Runner::run(w.kernel, p, h, woke));
+  w.sim.run();
+  EXPECT_GE(woke.to_us(), 800.0);
+}
+
+TEST(Timer, NegativeDueTimeThrows)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h =
+      w.kernel.objects().create_waitable_timer(p, "t", ResetMode::auto_reset);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h)
+    {
+      co_await k.objects().set_waitable_timer(p, h, Duration::us(-5));
+    }
+  };
+  w.sim.spawn(Runner::run(w.kernel, p, h));
+  EXPECT_THROW(w.sim.run(), std::logic_error);
+}
+
+// --- WFSO generic / signals ---------------------------------------------------------
+
+TEST(WaitForSingleObject, BadHandleFails)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  std::vector<WaitStatus> log;
+  w.sim.spawn(wait_and_log(w.kernel, p, 1234, log));
+  w.sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], WaitStatus::failed);
+}
+
+TEST(Signals, PendingSignalSatisfiesImmediately)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  struct Runner {
+    static sim::Proc sender(Kernel& k, Process& s, Process& t)
+    {
+      co_await k.kill(s, t);
+    }
+    static sim::Proc receiver(Kernel& k, Process& p, bool& got)
+    {
+      co_await k.sleep(p, Duration::us(200));  // signal arrives first
+      const auto outcome = co_await k.sigwait(p);
+      got = outcome == sim::WaitOutcome::signaled;
+    }
+  };
+  bool got = false;
+  w.sim.spawn(Runner::sender(w.kernel, a, b));
+  w.sim.spawn(Runner::receiver(w.kernel, b, got));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_TRUE(got);
+}
+
+TEST(Signals, SigwaitBlocksUntilKill)
+{
+  World w;
+  Process& a = w.kernel.create_process("a", 0);
+  Process& b = w.kernel.create_process("b", 0);
+  struct Runner {
+    static sim::Proc sender(Kernel& k, Process& s, Process& t)
+    {
+      co_await k.sleep(s, Duration::us(300));
+      co_await k.kill(s, t);
+    }
+    static sim::Proc receiver(Kernel& k, Process& p, TimePoint& woke)
+    {
+      co_await k.sigwait(p);
+      woke = k.sim().now();
+    }
+  };
+  TimePoint woke;
+  w.sim.spawn(Runner::sender(w.kernel, a, b));
+  w.sim.spawn(Runner::receiver(w.kernel, b, woke));
+  w.sim.run();
+  EXPECT_GE(woke.to_us(), 300.0);
+}
+
+// --- mitigation fuzz hook -------------------------------------------------------------
+
+TEST(Kernel, OpFuzzInflatesOperationTime)
+{
+  World w;
+  w.kernel.set_op_fuzz(Duration::us(100));
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_event(p, "", ResetMode::auto_reset,
+                                                   true);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h, Duration& took)
+    {
+      const TimePoint start = k.sim().now();
+      for (int i = 0; i < 50; ++i) {
+        co_await k.objects().set_event(p, h);
+      }
+      took = k.sim().now() - start;
+    }
+  };
+  Duration took;
+  w.sim.spawn(Runner::run(w.kernel, p, h, took));
+  w.sim.run();
+  // 50 ops with uniform(0,100us) fuzz should cost far more than the
+  // 50us of bare (1us) op costs.
+  EXPECT_GT(took.to_us(), 1000.0);
+}
+
+TEST(Kernel, TraceRecordsOps)
+{
+  World w;
+  w.kernel.enable_trace(true);
+  Process& p = w.kernel.create_process("p", 0);
+  const Handle h = w.kernel.objects().create_event(p, "", ResetMode::auto_reset,
+                                                   true);
+  struct Runner {
+    static sim::Proc run(Kernel& k, Process& p, Handle h)
+    {
+      co_await k.objects().set_event(p, h);
+      co_await k.objects().wait_for_single_object(p, h);
+    }
+  };
+  w.sim.spawn(Runner::run(w.kernel, p, h));
+  w.sim.run();
+  ASSERT_EQ(w.kernel.trace().size(), 2u);
+  EXPECT_EQ(w.kernel.trace()[0].kind, OpKind::set_event);
+  EXPECT_EQ(w.kernel.trace()[1].kind, OpKind::wait);
+  EXPECT_EQ(w.kernel.trace()[0].pid, p.pid());
+}
+
+}  // namespace
+}  // namespace mes::os

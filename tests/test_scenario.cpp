@@ -1,0 +1,97 @@
+// Scenario-profile tests: noise regimes and visibility topologies.
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "scenario/profile.h"
+
+namespace mes {
+namespace {
+
+TEST(Profile, LocalSharesEverything)
+{
+  const ScenarioProfile p = make_profile(Scenario::local, OsFlavor::windows);
+  EXPECT_EQ(p.scenario, Scenario::local);
+  EXPECT_TRUE(p.topology.shared_object_namespace);
+  EXPECT_TRUE(p.topology.shared_file_volume);
+  EXPECT_EQ(p.topology.trojan_ns, p.topology.spy_ns);
+}
+
+TEST(Profile, SandboxSeparatesNamespaceIdsButSharesResources)
+{
+  const ScenarioProfile p =
+      make_profile(Scenario::cross_sandbox, OsFlavor::windows);
+  EXPECT_NE(p.topology.trojan_ns, p.topology.spy_ns);
+  EXPECT_TRUE(p.topology.shared_object_namespace);
+  EXPECT_TRUE(p.topology.shared_file_volume);
+}
+
+TEST(Profile, Type1VmSharesVolumeNotNamespaces)
+{
+  const ScenarioProfile p = make_profile(Scenario::cross_vm,
+                                         OsFlavor::windows,
+                                         HypervisorType::type1);
+  EXPECT_FALSE(p.topology.shared_object_namespace);
+  EXPECT_TRUE(p.topology.shared_file_volume);
+  EXPECT_NE(p.topology.trojan_ns, p.topology.spy_ns);
+}
+
+TEST(Profile, Type2VmSharesNothing)
+{
+  const ScenarioProfile p = make_profile(Scenario::cross_vm,
+                                         OsFlavor::windows,
+                                         HypervisorType::type2);
+  EXPECT_FALSE(p.topology.shared_object_namespace);
+  EXPECT_FALSE(p.topology.shared_file_volume);
+}
+
+TEST(Profile, VmDefaultsToType1)
+{
+  const ScenarioProfile p = make_profile(Scenario::cross_vm,
+                                         OsFlavor::windows);
+  EXPECT_EQ(p.hypervisor, HypervisorType::type1);
+}
+
+TEST(Profile, IsolationLayersRaiseCosts)
+{
+  const auto local = make_profile(Scenario::local, OsFlavor::windows);
+  const auto sandbox = make_profile(Scenario::cross_sandbox,
+                                    OsFlavor::windows);
+  const auto vm = make_profile(Scenario::cross_vm, OsFlavor::windows);
+  EXPECT_LT(local.noise.op_cost_base, sandbox.noise.op_cost_base);
+  EXPECT_LT(sandbox.noise.op_cost_base, vm.noise.op_cost_base);
+  EXPECT_LT(local.noise.notify_path_base, sandbox.noise.notify_path_base);
+  EXPECT_LT(sandbox.noise.notify_path_base, vm.noise.notify_path_base);
+  EXPECT_LT(local.noise.block_rate_hz, vm.noise.block_rate_hz);
+}
+
+TEST(Profile, LinuxFlavorPinsSleepFloor)
+{
+  const auto lin = make_profile(Scenario::local, OsFlavor::linux_like);
+  const auto win = make_profile(Scenario::local, OsFlavor::windows);
+  EXPECT_DOUBLE_EQ(lin.noise.sleep_floor.to_us(), 58.0);
+  EXPECT_TRUE(win.noise.sleep_floor.is_zero());
+}
+
+TEST(Profile, NamesRender)
+{
+  EXPECT_STREQ(to_string(Scenario::local), "local");
+  EXPECT_STREQ(to_string(Scenario::cross_sandbox), "cross-sandbox");
+  EXPECT_STREQ(to_string(Scenario::cross_vm), "cross-VM");
+  EXPECT_STREQ(to_string(HypervisorType::type1), "type-1");
+  EXPECT_STREQ(to_string(HypervisorType::none), "none");
+}
+
+TEST(Mechanism, NamesMatchThePaper)
+{
+  EXPECT_STREQ(to_string(Mechanism::flock), "flock");
+  EXPECT_STREQ(to_string(Mechanism::file_lock_ex), "FileLockEX");
+  EXPECT_STREQ(to_string(Mechanism::mutex), "Mutex");
+  EXPECT_STREQ(to_string(Mechanism::semaphore), "Semaphore");
+  EXPECT_STREQ(to_string(Mechanism::event), "Event");
+  EXPECT_STREQ(to_string(Mechanism::waitable_timer), "Timer");
+  EXPECT_STREQ(to_string(ChannelClass::contention), "contention");
+  EXPECT_STREQ(to_string(ChannelClass::cooperation), "cooperation");
+}
+
+}  // namespace
+}  // namespace mes

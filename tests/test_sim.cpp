@@ -1,0 +1,371 @@
+// Unit tests for the discrete-event simulator kernel.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/barrier.h"
+#include "sim/noise.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_queue.h"
+
+namespace mes::sim {
+namespace {
+
+using mes::Duration;
+using mes::TimePoint;
+
+Proc record_at(Simulator& sim, Duration delay, std::vector<int>& log, int id)
+{
+  co_await sim.delay(delay);
+  log.push_back(id);
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(record_at(sim, Duration::us(30), log, 3));
+  sim.spawn(record_at(sim, Duration::us(10), log, 1));
+  sim.spawn(record_at(sim, Duration::us(20), log, 2));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(r.end_time.count_ns(), Duration::us(30).count_ns());
+}
+
+TEST(Simulator, SimultaneousEventsFireInInsertionOrder)
+{
+  Simulator sim;
+  std::vector<int> log;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn(record_at(sim, Duration::us(5), log, i));
+  }
+  sim.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesMonotonically)
+{
+  Simulator sim;
+  std::vector<TimePoint> stamps;
+  sim.call_after(Duration::us(5), [&] { stamps.push_back(sim.now()); });
+  sim.call_after(Duration::us(5), [&] { stamps.push_back(sim.now()); });
+  sim.call_after(Duration::us(1), [&] { stamps.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_LE(stamps[0], stamps[1]);
+  EXPECT_LE(stamps[1], stamps[2]);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast)
+{
+  Simulator sim;
+  EXPECT_THROW(sim.call_after(Duration::us(-1), [] {}), std::logic_error);
+}
+
+Proc thrower(Simulator& sim)
+{
+  co_await sim.delay(Duration::us(1));
+  throw std::runtime_error{"boom"};
+}
+
+TEST(Simulator, RootExceptionPropagatesFromRun)
+{
+  Simulator sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Proc child_task(Simulator& sim, std::vector<int>& log)
+{
+  log.push_back(1);
+  co_await sim.delay(Duration::us(10));
+  log.push_back(2);
+}
+
+Proc parent_task(Simulator& sim, std::vector<int>& log)
+{
+  log.push_back(0);
+  co_await child_task(sim, log);
+  log.push_back(3);
+}
+
+TEST(Task, NestedAwaitRunsChildToCompletion)
+{
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(parent_task(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task<int> answer(Simulator& sim)
+{
+  co_await sim.delay(Duration::us(1));
+  co_return 42;
+}
+
+Proc consume_answer(Simulator& sim, int& out)
+{
+  out = co_await answer(sim);
+}
+
+TEST(Task, ValueReturningTask)
+{
+  Simulator sim;
+  int out = 0;
+  sim.spawn(consume_answer(sim, out));
+  sim.run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<int> throwing_child(Simulator& sim)
+{
+  co_await sim.delay(Duration::us(1));
+  throw std::logic_error{"child failed"};
+}
+
+Proc catching_parent(Simulator& sim, bool& caught)
+{
+  try {
+    (void)co_await throwing_child(sim);
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ChildExceptionCatchableInParent)
+{
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(catching_parent(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Proc waiter(Simulator& sim, WaitQueue& q, std::vector<int>& log, int id,
+            Duration timeout)
+{
+  const WaitOutcome outcome = co_await q.wait(sim, timeout);
+  log.push_back(outcome == WaitOutcome::signaled ? id : -id);
+}
+
+Proc notifier(Simulator& sim, WaitQueue& q, Duration delay, int count)
+{
+  co_await sim.delay(delay);
+  for (int i = 0; i < count; ++i) q.notify_one(sim);
+}
+
+TEST(WaitQueue, FifoWakesLongestWaiterFirst)
+{
+  Simulator sim;
+  WaitQueue q{WakeOrder::fifo};
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 1, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 2, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 3, Duration::max()));
+  sim.spawn(notifier(sim, q, Duration::us(10), 3));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WaitQueue, LifoWakesMostRecentWaiterFirst)
+{
+  Simulator sim;
+  WaitQueue q{WakeOrder::lifo};
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 1, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 2, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 3, Duration::max()));
+  sim.spawn(notifier(sim, q, Duration::us(10), 3));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(WaitQueue, TimeoutFiresWhenNeverNotified)
+{
+  Simulator sim;
+  WaitQueue q;
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 7, Duration::us(50)));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log, (std::vector<int>{-7}));
+  EXPECT_EQ(r.end_time.count_ns(), Duration::us(50).count_ns());
+}
+
+TEST(WaitQueue, NotifySkipsTimedOutWaiters)
+{
+  Simulator sim;
+  WaitQueue q;
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 1, Duration::us(5)));   // times out first
+  sim.spawn(waiter(sim, q, log, 2, Duration::max()));
+  sim.spawn(notifier(sim, q, Duration::us(10), 1));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log, (std::vector<int>{-1, 2}));
+}
+
+TEST(WaitQueue, NotifyOnEmptyQueueReturnsFalse)
+{
+  Simulator sim;
+  WaitQueue q;
+  EXPECT_FALSE(q.notify_one(sim));
+  EXPECT_EQ(q.notify_all(sim), 0u);
+}
+
+TEST(WaitQueue, NotifyLatencyDelaysResumption)
+{
+  Simulator sim;
+  WaitQueue q;
+  TimePoint woken_at;
+  struct Helper {
+    static Proc run(Simulator& sim, WaitQueue& q, TimePoint& woken_at)
+    {
+      co_await q.wait(sim);
+      woken_at = sim.now();
+    }
+    static Proc kick(Simulator& sim, WaitQueue& q)
+    {
+      co_await sim.delay(Duration::us(10));
+      q.notify_one(sim, Duration::us(7));
+    }
+  };
+  sim.spawn(Helper::run(sim, q, woken_at));
+  sim.spawn(Helper::kick(sim, q));
+  sim.run();
+  EXPECT_EQ(woken_at.count_ns(), Duration::us(17).count_ns());
+}
+
+Proc barrier_party(Simulator& sim, Barrier& b, Duration arrive_after,
+                   std::vector<std::pair<int, TimePoint>>& log, int id)
+{
+  co_await sim.delay(arrive_after);
+  co_await b.arrive(sim);
+  log.push_back({id, sim.now()});
+}
+
+TEST(Barrier, ReleasesAllPartiesTogether)
+{
+  Simulator sim;
+  Barrier b{2};
+  std::vector<std::pair<int, TimePoint>> log;
+  sim.spawn(barrier_party(sim, b, Duration::us(5), log, 1));
+  sim.spawn(barrier_party(sim, b, Duration::us(20), log, 2));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  ASSERT_EQ(log.size(), 2u);
+  // Both released at the late arriver's time.
+  EXPECT_EQ(log[0].second.count_ns(), Duration::us(20).count_ns());
+  EXPECT_EQ(log[1].second.count_ns(), Duration::us(20).count_ns());
+}
+
+Proc barrier_loop(Simulator& sim, Barrier& b, Duration step, int cycles,
+                  int& completed)
+{
+  for (int i = 0; i < cycles; ++i) {
+    co_await sim.delay(step);
+    co_await b.arrive(sim);
+    ++completed;
+  }
+}
+
+TEST(Barrier, IsReusableAcrossCycles)
+{
+  Simulator sim;
+  Barrier b{2};
+  int done_a = 0;
+  int done_b = 0;
+  sim.spawn(barrier_loop(sim, b, Duration::us(3), 5, done_a));
+  sim.spawn(barrier_loop(sim, b, Duration::us(9), 5, done_b));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(done_a, 5);
+  EXPECT_EQ(done_b, 5);
+}
+
+TEST(Noise, SleepRespectsFloor)
+{
+  NoiseParams p;
+  p.sleep_floor = Duration::us(58);
+  p.sleep_overshoot_median = Duration::us(2);
+  p.sleep_overshoot_sigma = 0.2;
+  p.block_rate_hz = 0.0;
+  NoiseModel model{p};
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const Duration d = model.sleep_time(rng, Duration::us(10));
+    EXPECT_GE(d, Duration::us(58));
+  }
+}
+
+TEST(Noise, InterferenceScalesWithWindow)
+{
+  NoiseParams p;
+  p.block_rate_hz = 20000.0;  // high rate so the sample is dense
+  NoiseModel model{p};
+  Rng rng{11};
+  double short_total = 0.0;
+  double long_total = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    short_total += model.interference_over(rng, Duration::us(50)).to_us();
+    long_total += model.interference_over(rng, Duration::us(500)).to_us();
+  }
+  EXPECT_GT(long_total, short_total * 4);
+}
+
+TEST(Noise, PostWaitPenaltyZeroBelowKnee)
+{
+  NoiseParams p;
+  p.penalty_knee = Duration::us(200);
+  NoiseModel model{p};
+  Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(model.post_wait_penalty(rng, Duration::us(150)).count_ns(), 0);
+  }
+}
+
+TEST(Noise, PostWaitPenaltyAppearsAboveKnee)
+{
+  NoiseParams p;
+  p.penalty_knee = Duration::us(200);
+  p.penalty_ramp_per_us = 1.0;  // always fires above the knee
+  NoiseModel model{p};
+  Rng rng{3};
+  const Duration penalty = model.post_wait_penalty(rng, Duration::us(400));
+  EXPECT_GT(penalty, Duration::zero());
+}
+
+TEST(Noise, OpCostNeverBelowQuarterBase)
+{
+  NoiseParams p;
+  p.op_cost_base = Duration::us(10);
+  p.op_cost_jitter = Duration::us(50);  // absurd jitter to stress the floor
+  p.block_rate_hz = 0.0;
+  NoiseModel model{p};
+  Rng rng{5};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(model.op_cost(rng), Duration::us(2.5));
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+  auto run_once = [] {
+    Simulator sim{1234};
+    NoiseModel model{NoiseParams{}};
+    std::vector<std::int64_t> samples;
+    for (int i = 0; i < 16; ++i) {
+      samples.push_back(model.op_cost(sim.rng()).count_ns());
+    }
+    return samples;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mes::sim

@@ -1,0 +1,437 @@
+// Unit tests for the utility layer: time, rng, bitvec, stats, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/bitvec.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/time.h"
+
+namespace mes {
+namespace {
+
+using namespace mes::literals;
+
+// --- Duration / TimePoint ----------------------------------------------------
+
+TEST(Duration, ConstructionAndConversion)
+{
+  EXPECT_EQ(Duration::us(1.0).count_ns(), 1000);
+  EXPECT_EQ(Duration::ms(1.0).count_ns(), 1'000'000);
+  EXPECT_EQ(Duration::sec(1.0).count_ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::us(12.5).to_us(), 12.5);
+  EXPECT_DOUBLE_EQ(Duration::sec(2.0).to_sec(), 2.0);
+}
+
+TEST(Duration, Arithmetic)
+{
+  const Duration a = Duration::us(10);
+  const Duration b = Duration::us(4);
+  EXPECT_EQ((a + b).to_us(), 14.0);
+  EXPECT_EQ((a - b).to_us(), 6.0);
+  EXPECT_EQ((a * 2.0).to_us(), 20.0);
+  EXPECT_EQ((a / 2.0).to_us(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((-b).to_us(), -4.0);
+}
+
+TEST(Duration, ComparisonAndFlags)
+{
+  EXPECT_LT(Duration::us(1), Duration::us(2));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((Duration::us(1) - Duration::us(5)).is_negative());
+  EXPECT_FALSE(Duration::us(5).is_negative());
+}
+
+TEST(Duration, CompoundAssignment)
+{
+  Duration d = Duration::us(5);
+  d += Duration::us(3);
+  EXPECT_EQ(d.to_us(), 8.0);
+  d -= Duration::us(8);
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(Duration, Literals)
+{
+  EXPECT_EQ((15_us).count_ns(), 15'000);
+  EXPECT_EQ((2_ms).count_ns(), 2'000'000);
+  EXPECT_EQ((1_sec).count_ns(), 1'000'000'000);
+  EXPECT_EQ((100_ns).count_ns(), 100);
+}
+
+TEST(TimePoint, ArithmeticWithDurations)
+{
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::us(50);
+  EXPECT_EQ((t1 - t0).to_us(), 50.0);
+  EXPECT_EQ((t1 - Duration::us(20)).count_ns(), Duration::us(30).count_ns());
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimeFormatting, HumanReadable)
+{
+  EXPECT_EQ(to_string(Duration::ns(500)), "500ns");
+  EXPECT_EQ(to_string(Duration::us(1.5)), "1.500us");
+  EXPECT_EQ(to_string(Duration::ms(2.25)), "2.250ms");
+  EXPECT_EQ(to_string(Duration::sec(3)), "3.000s");
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+  Rng rng{9};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, UniformRange)
+{
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+  Rng rng{13};
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+  Rng rng{17};
+  double sum = 0.0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.exponential(25.0);
+  EXPECT_NEAR(sum / kTrials, 25.0, 0.5);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+  Rng rng{19};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian)
+{
+  Rng rng{23};
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(rng.lognormal_median(12.0, 0.5));
+  EXPECT_NEAR(percentile(xs, 50.0), 12.0, 0.3);
+  EXPECT_EQ(rng.lognormal_median(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge)
+{
+  Rng rng{29};
+  double sum_small = 0.0;
+  double sum_large = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum_small += static_cast<double>(rng.poisson(3.0));
+    sum_large += static_cast<double>(rng.poisson(100.0));
+  }
+  EXPECT_NEAR(sum_small / kTrials, 3.0, 0.1);
+  EXPECT_NEAR(sum_large / kTrials, 100.0, 1.0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, DurationHelpersNeverNegative)
+{
+  Rng rng{31};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(rng.normal_dur(Duration::us(1), Duration::us(50)).count_ns(), 0);
+    EXPECT_GE(rng.exponential_dur(Duration::us(10)).count_ns(), 0);
+    EXPECT_GE(rng.lognormal_dur(Duration::us(10), 1.0).count_ns(), 0);
+  }
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+  Rng parent{37};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// --- BitVec --------------------------------------------------------------------
+
+TEST(BitVec, FromStringRoundTrip)
+{
+  const BitVec v = BitVec::from_string("10110001");
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.to_string(), "10110001");
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[7], 1);
+  EXPECT_EQ(v[1], 0);
+}
+
+TEST(BitVec, FromStringRejectsGarbage)
+{
+  EXPECT_THROW(BitVec::from_string("10a1"), std::invalid_argument);
+}
+
+TEST(BitVec, VectorConstructorValidates)
+{
+  EXPECT_THROW(BitVec(std::vector<int>{0, 1, 2}), std::invalid_argument);
+  EXPECT_NO_THROW(BitVec(std::vector<int>{0, 1, 1, 0}));
+}
+
+TEST(BitVec, TextRoundTrip)
+{
+  const std::string text = "MES-Attacks!";
+  const BitVec v = BitVec::from_text(text);
+  EXPECT_EQ(v.size(), text.size() * 8);
+  EXPECT_EQ(v.to_text(), text);
+}
+
+TEST(BitVec, BytesBigEndianBitOrder)
+{
+  const BitVec v = BitVec::from_bytes({0x80, 0x01});
+  EXPECT_EQ(v.to_string(), "1000000000000001");
+  EXPECT_EQ(v.to_bytes(), (std::vector<std::uint8_t>{0x80, 0x01}));
+}
+
+TEST(BitVec, ToBytesRequiresMultipleOf8)
+{
+  EXPECT_THROW(BitVec::from_string("101").to_bytes(), std::invalid_argument);
+}
+
+TEST(BitVec, AlternatingPreamble)
+{
+  EXPECT_EQ(BitVec::alternating(6).to_string(), "101010");
+  EXPECT_EQ(BitVec::alternating(0).size(), 0u);
+  EXPECT_EQ(BitVec::alternating(1).to_string(), "1");
+}
+
+TEST(BitVec, CountsAndHamming)
+{
+  const BitVec a = BitVec::from_string("110010");
+  EXPECT_EQ(a.count_ones(), 3u);
+  EXPECT_EQ(a.count_zeros(), 3u);
+  const BitVec b = BitVec::from_string("110011");
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVec, HammingCountsLengthMismatchAsErrors)
+{
+  const BitVec a = BitVec::from_string("1111");
+  const BitVec b = BitVec::from_string("11");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(b.hamming_distance(a), 2u);
+}
+
+TEST(BitVec, SliceAndAppend)
+{
+  BitVec v = BitVec::from_string("10101100");
+  EXPECT_EQ(v.slice(2, 4).to_string(), "1011");
+  EXPECT_EQ(v.slice(6, 100).to_string(), "00");  // clamps
+  EXPECT_THROW(v.slice(9, 1), std::out_of_range);
+  v.append(BitVec::from_string("11"));
+  EXPECT_EQ(v.to_string(), "1010110011");
+}
+
+TEST(BitVec, RandomHasRoughlyHalfOnes)
+{
+  Rng rng{41};
+  const BitVec v = BitVec::random(rng, 10000);
+  EXPECT_NEAR(static_cast<double>(v.count_ones()) / 10000.0, 0.5, 0.03);
+}
+
+// --- Stats ----------------------------------------------------------------------
+
+TEST(RunningStats, BasicMoments)
+{
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle)
+{
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);
+  h.add(9.9);
+  h.add(-100.0);  // clamps to bin 0
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, ModeBin)
+{
+  Histogram h{0.0, 3.0, 3};
+  h.add(0.1);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.mode_bin(), 1u);
+  EXPECT_THROW(Histogram(0.0, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, CountsAndErrorRate)
+{
+  ConfusionMatrix m{2};
+  m.add(0, 0);
+  m.add(0, 0);
+  m.add(1, 1);
+  m.add(1, 0);  // one error
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_EQ(m.errors(), 1u);
+  EXPECT_DOUBLE_EQ(m.error_rate(), 0.25);
+  EXPECT_EQ(m.at(1, 0), 1u);
+  EXPECT_THROW(m.add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(TwoMeans, SeparatesBimodalData)
+{
+  std::vector<double> xs;
+  Rng rng{43};
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(rng.normal(20.0, 1.0));
+    xs.push_back(rng.normal(100.0, 2.0));
+  }
+  const TwoMeans tm = two_means_cluster(xs);
+  EXPECT_NEAR(tm.low, 20.0, 1.0);
+  EXPECT_NEAR(tm.high, 100.0, 1.0);
+  EXPECT_GT(tm.separation, 0.6);
+  EXPECT_LT(tm.low_cv, 0.1);
+  EXPECT_LT(tm.high_cv, 0.1);
+}
+
+TEST(TwoMeans, UnimodalDataShowsLowSeparation)
+{
+  std::vector<double> xs;
+  Rng rng{47};
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  const TwoMeans tm = two_means_cluster(xs);
+  EXPECT_LT(tm.separation, 0.25);
+}
+
+TEST(TwoMeans, DegenerateInputs)
+{
+  EXPECT_EQ(two_means_cluster({}).separation, 0.0);
+  EXPECT_EQ(two_means_cluster({5.0}).separation, 0.0);
+  const TwoMeans same = two_means_cluster({3.0, 3.0, 3.0});
+  EXPECT_EQ(same.separation, 0.0);
+  EXPECT_EQ(same.low, 3.0);
+}
+
+// --- TextTable -------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns)
+{
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsBadShapes)
+{
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumberFormatters)
+{
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::percent(0.01234, 2), "1.23%");
+  EXPECT_EQ(TextTable::kbps(13105.0, 3), "13.105 kb/s");
+}
+
+TEST(RenderSeries, FormatsAndValidates)
+{
+  const std::string out = render_series("t", {1.0, 2.0}, {3.0, 4.0}, 1);
+  EXPECT_NE(out.find("t\n"), std::string::npos);
+  EXPECT_THROW(render_series("t", {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mes

@@ -1,0 +1,531 @@
+// Unit tests for the VFS (Fig. 5 substrate): fd tables, open-file
+// descriptions, i-node lock state, flock(2) and LockFileEx semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/vfs.h"
+#include "sim/simulator.h"
+
+namespace mes::os {
+namespace {
+
+sim::NoiseParams quiet_noise()
+{
+  sim::NoiseParams p;
+  p.op_cost_base = Duration::us(1);
+  p.op_cost_jitter = Duration::zero();
+  p.wake_latency_median = Duration::us(1);
+  p.wake_latency_sigma = 0.0;
+  p.sleep_overshoot_median = Duration::us(0.1);
+  p.sleep_overshoot_sigma = 0.0;
+  p.sleep_floor = Duration::zero();
+  p.block_rate_hz = 0.0;
+  p.penalty_ramp_per_us = 0.0;
+  p.corruption_rate = 0.0;
+  p.notify_path_base = Duration::zero();
+  p.notify_path_jitter = Duration::zero();
+  return p;
+}
+
+struct World {
+  sim::Simulator sim{1};
+  Kernel kernel{sim, quiet_noise()};
+  Vfs& vfs = kernel.vfs();
+};
+
+// --- path / fd plumbing ----------------------------------------------------------
+
+TEST(Vfs, CreateAndOpen)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
+  EXPECT_EQ(w.vfs.create_file(0, "/f"), kErrExists);
+  const Fd fd = w.vfs.open(p, "/f");
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(w.vfs.open(p, "/missing"), kErrNoEntry);
+}
+
+TEST(Vfs, ReadOnlyFileRefusesWriteOpen)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/ro", /*read_only=*/true);
+  EXPECT_EQ(w.vfs.open(p, "/ro", OpenMode::read_write), kErrAccess);
+  EXPECT_GE(w.vfs.open(p, "/ro", OpenMode::read_only), 0);
+}
+
+TEST(Vfs, EachOpenCreatesDistinctDescription)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/f");
+  const Fd a = w.vfs.open(p, "/f");
+  const Fd b = w.vfs.open(p, "/f");
+  EXPECT_NE(p.lookup_fd(a), p.lookup_fd(b));
+  EXPECT_EQ(w.vfs.open_file_count(), 2u);
+}
+
+TEST(Vfs, DupSharesDescription)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/f");
+  const Fd a = w.vfs.open(p, "/f");
+  const Fd b = w.vfs.dup(p, a);
+  EXPECT_GE(b, 0);
+  EXPECT_EQ(p.lookup_fd(a), p.lookup_fd(b));
+  EXPECT_EQ(w.vfs.open_file_count(), 1u);
+  EXPECT_EQ(w.vfs.close(p, a), kOk);
+  EXPECT_EQ(w.vfs.open_file_count(), 1u);  // refcount keeps it alive
+  EXPECT_EQ(w.vfs.close(p, b), kOk);
+  EXPECT_EQ(w.vfs.open_file_count(), 0u);
+  EXPECT_EQ(w.vfs.close(p, b), kErrBadFd);
+}
+
+TEST(Vfs, SharedVolumeControlsCrossNamespaceVisibility)
+{
+  World w;
+  Process& vm1 = w.kernel.create_process("vm1", 1);
+  Process& vm2 = w.kernel.create_process("vm2", 2);
+  // Shared volume: both namespaces resolve the same path.
+  w.vfs.create_file(1, "/shared/x");
+  EXPECT_GE(w.vfs.open(vm2, "/shared/x"), 0);
+
+  // Private volumes: the path no longer resolves across.
+  World w2;
+  w2.vfs.set_shared_volume(false);
+  Process& a = w2.kernel.create_process("a", 1);
+  Process& b = w2.kernel.create_process("b", 2);
+  w2.vfs.create_file(1, "/shared/x");
+  EXPECT_GE(w2.vfs.open(a, "/shared/x"), 0);
+  EXPECT_EQ(w2.vfs.open(b, "/shared/x"), kErrNoEntry);
+}
+
+// --- flock ------------------------------------------------------------------------
+
+struct FlockWorld : World {
+  Process& a = kernel.create_process("a", 0);
+  Process& b = kernel.create_process("b", 0);
+  Fd fa = -1;
+  Fd fb = -1;
+  FlockWorld()
+  {
+    vfs.create_file(0, "/lockfile", true, true);
+    fa = vfs.open(a, "/lockfile");
+    fb = vfs.open(b, "/lockfile");
+  }
+};
+
+sim::Proc flock_once(Vfs& vfs, Process& p, Fd fd, FlockOp op, bool nb,
+                     std::vector<int>& results)
+{
+  const int rc = co_await vfs.flock(p, fd, op, nb);
+  results.push_back(rc);
+}
+
+TEST(Flock, ExclusiveConflictsAcrossDescriptions)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<int>& results)
+    {
+      int rc = co_await vfs.flock(a, fa, FlockOp::exclusive);
+      results.push_back(rc);
+      rc = co_await vfs.flock(b, fb, FlockOp::exclusive, /*nonblocking=*/true);
+      results.push_back(rc);  // EWOULDBLOCK
+      rc = co_await vfs.flock(a, fa, FlockOp::unlock);
+      results.push_back(rc);
+      rc = co_await vfs.flock(b, fb, FlockOp::exclusive, true);
+      results.push_back(rc);  // now free
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kErrWouldBlock, kOk, kOk}));
+}
+
+TEST(Flock, SharedLocksCoexistButExcludeWriters)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<int>& results)
+    {
+      int rc = co_await vfs.flock(a, fa, FlockOp::shared);
+      results.push_back(rc);
+      rc = co_await vfs.flock(b, fb, FlockOp::shared, true);
+      results.push_back(rc);  // shared + shared: ok
+      rc = co_await vfs.flock(b, fb, FlockOp::exclusive, true);
+      results.push_back(rc);  // upgrade blocked by a's shared lock
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kOk, kErrWouldBlock}));
+}
+
+TEST(Flock, BlockingWaiterWakesOnUnlock)
+{
+  FlockWorld w;
+  std::vector<double> acquired_at;
+  struct Holder {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k)
+    {
+      int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
+      (void)rc;
+      co_await k.sleep(p, Duration::us(400));
+      rc = co_await vfs.flock(p, fd, FlockOp::unlock);
+      (void)rc;
+    }
+  };
+  struct Waiter {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k,
+                         std::vector<double>& at)
+    {
+      co_await k.sleep(p, Duration::us(50));  // let the holder lock first
+      const int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
+      EXPECT_EQ(rc, kOk);
+      at.push_back(k.sim().now().to_us());
+    }
+  };
+  w.sim.spawn(Holder::run(w.vfs, w.a, w.fa, w.kernel));
+  w.sim.spawn(Waiter::run(w.vfs, w.b, w.fb, w.kernel, acquired_at));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  ASSERT_EQ(acquired_at.size(), 1u);
+  EXPECT_GE(acquired_at[0], 400.0);
+}
+
+TEST(Flock, DupFdSharesLockOwnership)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, std::vector<int>& results)
+    {
+      const Fd dup_fd = vfs.dup(a, fa);
+      int rc = co_await vfs.flock(a, fa, FlockOp::exclusive);
+      results.push_back(rc);
+      // Same description: never self-conflicts.
+      rc = co_await vfs.flock(a, dup_fd, FlockOp::exclusive, true);
+      results.push_back(rc);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kOk}));
+}
+
+TEST(Flock, CloseReleasesLocksAndWakesWaiters)
+{
+  FlockWorld w;
+  bool b_acquired = false;
+  struct Holder {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k)
+    {
+      int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
+      (void)rc;
+      co_await k.sleep(p, Duration::us(200));
+      vfs.close(p, fd);  // close without unlock
+    }
+  };
+  struct Waiter {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k, bool& got)
+    {
+      co_await k.sleep(p, Duration::us(50));
+      const int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
+      got = rc == kOk;
+    }
+  };
+  w.sim.spawn(Holder::run(w.vfs, w.a, w.fa, w.kernel));
+  w.sim.spawn(Waiter::run(w.vfs, w.b, w.fb, w.kernel, b_acquired));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_TRUE(b_acquired);
+}
+
+TEST(Flock, UnlockWithoutLockIsHarmless)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  w.sim.spawn(flock_once(w.vfs, w.a, w.fa, FlockOp::unlock, false, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk}));
+}
+
+TEST(Flock, BadFdReported)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  w.sim.spawn(flock_once(w.vfs, w.a, 999, FlockOp::exclusive, false, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kErrBadFd}));
+}
+
+TEST(Flock, FifoFairnessAmongWaiters)
+{
+  World w;
+  w.vfs.create_file(0, "/q");
+  Process& holder = w.kernel.create_process("holder", 0);
+  const Fd fh = w.vfs.open(holder, "/q");
+  std::vector<int> order;
+  struct Holder {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k)
+    {
+      int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
+      (void)rc;
+      co_await k.sleep(p, Duration::us(500));
+      rc = co_await vfs.flock(p, fd, FlockOp::unlock);
+      (void)rc;
+    }
+  };
+  struct Waiter {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k, int id,
+                         Duration arrive, std::vector<int>& order)
+    {
+      co_await k.sleep(p, arrive);
+      int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
+      (void)rc;
+      order.push_back(id);
+      rc = co_await vfs.flock(p, fd, FlockOp::unlock);
+      (void)rc;
+    }
+  };
+  w.sim.spawn(Holder::run(w.vfs, holder, fh, w.kernel));
+  for (int i = 1; i <= 3; ++i) {
+    Process& p = w.kernel.create_process("w" + std::to_string(i), 0);
+    const Fd fd = w.vfs.open(p, "/q");
+    w.sim.spawn(Waiter::run(w.vfs, p, fd, w.kernel, i,
+                            Duration::us(50.0 * i), order));
+  }
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// --- LockFileEx range locks -----------------------------------------------------------
+
+TEST(RangeLocks, OverlapConflictsDisjointCoexists)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<int>& results)
+    {
+      int rc = co_await vfs.lock_file_ex(a, fa, 0, 100, LockMode::exclusive);
+      results.push_back(rc);
+      // Overlapping exclusive from another description: blocked.
+      rc = co_await vfs.lock_file_ex(b, fb, 50, 100, LockMode::exclusive,
+                                     /*fail_immediately=*/true);
+      results.push_back(rc);
+      // Disjoint region: fine.
+      rc = co_await vfs.lock_file_ex(b, fb, 100, 50, LockMode::exclusive, true);
+      results.push_back(rc);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kErrWouldBlock, kOk}));
+}
+
+TEST(RangeLocks, SharedRangesCoexist)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<int>& results)
+    {
+      int rc = co_await vfs.lock_file_ex(a, fa, 0, 100, LockMode::shared);
+      results.push_back(rc);
+      rc = co_await vfs.lock_file_ex(b, fb, 0, 100, LockMode::shared, true);
+      results.push_back(rc);
+      rc = co_await vfs.lock_file_ex(b, fb, 0, 100, LockMode::exclusive, true);
+      results.push_back(rc);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kOk, kErrWouldBlock}));
+}
+
+TEST(RangeLocks, UnlockRequiresExactRegion)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, std::vector<int>& results)
+    {
+      int rc = co_await vfs.lock_file_ex(a, fa, 10, 20, LockMode::exclusive);
+      results.push_back(rc);
+      rc = co_await vfs.unlock_file_ex(a, fa, 10, 19);  // wrong length
+      results.push_back(rc);
+      rc = co_await vfs.unlock_file_ex(a, fa, 10, 20);  // exact
+      results.push_back(rc);
+      rc = co_await vfs.unlock_file_ex(a, fa, 10, 20);  // already gone
+      results.push_back(rc);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, results));
+  w.sim.run();
+  EXPECT_EQ(results,
+            (std::vector<int>{kOk, kErrInvalid, kOk, kErrInvalid}));
+}
+
+TEST(RangeLocks, SameDescriptionLocksStack)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, std::vector<int>& results)
+    {
+      int rc = co_await vfs.lock_file_ex(a, fa, 0, 50, LockMode::exclusive);
+      results.push_back(rc);
+      rc = co_await vfs.lock_file_ex(a, fa, 0, 50, LockMode::exclusive, true);
+      results.push_back(rc);  // Windows: same handle may stack locks
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kOk}));
+}
+
+TEST(RangeLocks, ZeroLengthInvalid)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, std::vector<int>& results)
+    {
+      const int rc =
+          co_await vfs.lock_file_ex(a, fa, 0, 0, LockMode::exclusive, true);
+      results.push_back(rc);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kErrInvalid}));
+}
+
+TEST(RangeLocks, WaiterWakesOnExactUnlock)
+{
+  FlockWorld w;
+  bool acquired = false;
+  struct Holder {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k)
+    {
+      int rc = co_await vfs.lock_file_ex(p, fd, 0, 100, LockMode::exclusive);
+      (void)rc;
+      co_await k.sleep(p, Duration::us(300));
+      rc = co_await vfs.unlock_file_ex(p, fd, 0, 100);
+      (void)rc;
+    }
+  };
+  struct Waiter {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, Kernel& k, bool& got)
+    {
+      co_await k.sleep(p, Duration::us(50));
+      const int rc = co_await vfs.lock_file_ex(p, fd, 0, 100,
+                                               LockMode::exclusive);
+      got = rc == kOk;
+    }
+  };
+  w.sim.spawn(Holder::run(w.vfs, w.a, w.fa, w.kernel));
+  w.sim.spawn(Waiter::run(w.vfs, w.b, w.fb, w.kernel, acquired));
+  const auto r = w.sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_TRUE(acquired);
+}
+
+// --- IO & the threat model --------------------------------------------------------------
+
+TEST(Io, WritingSharedReadOnlyFileFails)
+{
+  // §III: the covert channel exists precisely because the shared file
+  // cannot carry data directly.
+  FlockWorld w;
+  std::vector<long> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, std::vector<long>& rs)
+    {
+      const long wr = co_await vfs.write(a, fa, 0, 16);
+      rs.push_back(wr);
+      const long rd = co_await vfs.read(a, fa, 0, 16);
+      rs.push_back(rd);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<long>{kErrAccess, 16}));
+}
+
+TEST(Io, MandatoryLockBlocksForeignReaders)
+{
+  FlockWorld w;  // /lockfile has mandatory locking
+  std::vector<long> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<long>& rs)
+    {
+      int rc = co_await vfs.flock(a, fa, FlockOp::exclusive);
+      (void)rc;
+      const long foreign = co_await vfs.read(b, fb, 0, 8);
+      rs.push_back(foreign);  // blocked by the mandatory lock
+      const long own = co_await vfs.read(a, fa, 0, 8);
+      rs.push_back(own);  // owner still reads
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<long>{kErrWouldBlock, 8}));
+}
+
+TEST(Io, WritableFileAcceptsWrites)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/rw", /*read_only=*/false);
+  const Fd fd = w.vfs.open(p, "/rw", OpenMode::read_write);
+  std::vector<long> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd, std::vector<long>& rs)
+    {
+      const long wr = co_await vfs.write(p, fd, 0, 32);
+      rs.push_back(wr);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, p, fd, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<long>{32}));
+}
+
+TEST(Inode, IntrospectionReflectsLockState)
+{
+  FlockWorld w;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa)
+    {
+      const int rc = co_await vfs.flock(a, fa, FlockOp::exclusive);
+      EXPECT_EQ(rc, kOk);
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa));
+  w.sim.run();
+  Inode* node = w.vfs.inode_by_path(0, "/lockfile");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->flock_held_exclusively());
+  EXPECT_EQ(node->flock_holder_count(), 1u);
+  EXPECT_TRUE(node->read_only());
+  EXPECT_TRUE(node->mandatory_locking());
+  EXPECT_EQ(w.vfs.inode_of(w.a, w.fa), node);
+}
+
+}  // namespace
+}  // namespace mes::os

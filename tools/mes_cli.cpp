@@ -1,0 +1,302 @@
+// mes_cli — command-line driver for MES channel experiments.
+//
+//   mes_cli run   --mechanism event --scenario local --bits 20000
+//   mes_cli run   --mechanism flock --t1 180 --t0 60 --seed 9 --fec
+//   mes_cli sweep --mechanism flock --param t1 --from 110 --to 320 --step 15
+//   mes_cli text  --mechanism event --message "hello covert world"
+//   mes_cli list
+//
+// Everything the bench harness measures, reachable without recompiling.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/capacity.h"
+#include "analysis/sweep.h"
+#include "codec/fec.h"
+#include "core/runner.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mes;
+
+const std::map<std::string, Mechanism>& mechanism_names()
+{
+  static const std::map<std::string, Mechanism> names = {
+      {"flock", Mechanism::flock},
+      {"filelockex", Mechanism::file_lock_ex},
+      {"mutex", Mechanism::mutex},
+      {"semaphore", Mechanism::semaphore},
+      {"event", Mechanism::event},
+      {"timer", Mechanism::waitable_timer},
+      {"signal", Mechanism::posix_signal},
+      {"flock-sh", Mechanism::flock_shared},
+  };
+  return names;
+}
+
+const std::map<std::string, Scenario>& scenario_names()
+{
+  static const std::map<std::string, Scenario> names = {
+      {"local", Scenario::local},
+      {"sandbox", Scenario::cross_sandbox},
+      {"vm", Scenario::cross_vm},
+  };
+  return names;
+}
+
+struct Options {
+  std::string command;
+  Mechanism mechanism = Mechanism::event;
+  Scenario scenario = Scenario::local;
+  HypervisorType hypervisor = HypervisorType::none;
+  std::size_t bits = 4096;
+  std::uint64_t seed = 1;
+  std::size_t width = 1;
+  bool fec = false;
+  std::string message;
+  // Overrides; negative = use the paper timeset.
+  double t1 = -1.0, t0 = -1.0, interval = -1.0, fuzz = 0.0;
+  // Sweep controls.
+  std::string param = "t1";
+  double from = 110.0, to = 320.0, step = 15.0;
+};
+
+void usage()
+{
+  std::printf(
+      "usage: mes_cli <run|sweep|text|list> [options]\n"
+      "  --mechanism M   flock|filelockex|mutex|semaphore|event|timer|"
+      "signal|flock-sh\n"
+      "  --scenario S    local|sandbox|vm     --hypervisor type1|type2\n"
+      "  --bits N        payload bits (run/sweep points)\n"
+      "  --seed N        RNG seed             --width W   symbol bits\n"
+      "  --t1 US --t0 US --interval US        timing overrides\n"
+      "  --fuzz US       mitigation timing fuzz\n"
+      "  --fec           Hamming(7,4)+interleave the payload\n"
+      "  --message TEXT  payload for `text`\n"
+      "  --param P --from A --to B --step D   sweep controls "
+      "(t1|t0|interval)\n");
+}
+
+bool parse(int argc, char** argv, Options& opt)
+{
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--mechanism") {
+      const char* v = next();
+      if (!v || !mechanism_names().contains(v)) return false;
+      opt.mechanism = mechanism_names().at(v);
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v || !scenario_names().contains(v)) return false;
+      opt.scenario = scenario_names().at(v);
+    } else if (arg == "--hypervisor") {
+      const char* v = next();
+      if (!v) return false;
+      opt.hypervisor = std::strcmp(v, "type2") == 0 ? HypervisorType::type2
+                                                    : HypervisorType::type1;
+    } else if (arg == "--bits") {
+      const char* v = next();
+      if (!v) return false;
+      opt.bits = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--width") {
+      const char* v = next();
+      if (!v) return false;
+      opt.width = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--t1" || arg == "--t0" || arg == "--interval" ||
+               arg == "--fuzz" || arg == "--from" || arg == "--to" ||
+               arg == "--step") {
+      const char* v = next();
+      if (!v) return false;
+      const double value = std::strtod(v, nullptr);
+      if (arg == "--t1") opt.t1 = value;
+      else if (arg == "--t0") opt.t0 = value;
+      else if (arg == "--interval") opt.interval = value;
+      else if (arg == "--fuzz") opt.fuzz = value;
+      else if (arg == "--from") opt.from = value;
+      else if (arg == "--to") opt.to = value;
+      else opt.step = value;
+    } else if (arg == "--fec") {
+      opt.fec = true;
+    } else if (arg == "--param") {
+      const char* v = next();
+      if (!v) return false;
+      opt.param = v;
+    } else if (arg == "--message") {
+      const char* v = next();
+      if (!v) return false;
+      opt.message = v;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+ExperimentConfig config_from(const Options& opt)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = opt.mechanism;
+  cfg.scenario = opt.scenario;
+  cfg.hypervisor = opt.hypervisor;
+  cfg.timing = paper_timeset(opt.mechanism, opt.scenario);
+  if (opt.t1 >= 0) cfg.timing.t1 = Duration::us(opt.t1);
+  if (opt.t0 >= 0) cfg.timing.t0 = Duration::us(opt.t0);
+  if (opt.interval >= 0) cfg.timing.interval = Duration::us(opt.interval);
+  cfg.timing.symbol_bits = opt.width;
+  cfg.sync_bits = 8 * opt.width;
+  cfg.mitigation_fuzz = Duration::us(opt.fuzz);
+  cfg.seed = opt.seed;
+  return cfg;
+}
+
+void print_report(const ChannelReport& rep, std::size_t payload_bits)
+{
+  if (!rep.ok) {
+    std::printf("FAILED: %s\n", rep.failure_reason.c_str());
+    return;
+  }
+  std::printf("mechanism : %s (%s), scenario %s\n", to_string(rep.mechanism),
+              to_string(class_of(rep.mechanism)), to_string(rep.scenario));
+  std::printf("payload   : %zu bits, preamble %s\n", payload_bits,
+              rep.sync_ok ? "verified" : "FAILED");
+  std::printf("BER       : %.4f%%\n", rep.ber_percent());
+  std::printf("TR        : %.3f kb/s   (BSC capacity bound %.3f kb/s)\n",
+              rep.throughput_kbps(),
+              analysis::effective_capacity_bps(rep.throughput_bps, rep.ber) /
+                  1000.0);
+  std::printf("elapsed   : %s\n", to_string(rep.elapsed).c_str());
+}
+
+int cmd_run(const Options& opt)
+{
+  ExperimentConfig cfg = config_from(opt);
+  Rng rng{opt.seed ^ 0xC11u};
+  const std::size_t n = opt.bits - opt.bits % opt.width;
+  const BitVec secret = BitVec::random(rng, n);
+  if (!opt.fec) {
+    const ChannelReport rep = run_transmission(cfg, secret);
+    print_report(rep, secret.size());
+    return rep.ok ? 0 : 1;
+  }
+  const BitVec coded = codec::fec_protect(secret, 7);
+  const ChannelReport rep = run_transmission(cfg, coded);
+  print_report(rep, coded.size());
+  if (!rep.ok) return 1;
+  const auto recovered = codec::fec_recover(rep.received_payload, 7);
+  const std::size_t residual =
+      secret.hamming_distance(recovered.data.slice(0, secret.size()));
+  std::printf("FEC       : corrected %zu codewords; residual errors %zu "
+              "(%.4f%%); goodput %.3f kb/s\n",
+              recovered.corrected, residual,
+              100.0 * static_cast<double>(residual) /
+                  static_cast<double>(secret.size()),
+              rep.throughput_kbps() * 4.0 / 7.0);
+  return 0;
+}
+
+int cmd_sweep(const Options& opt)
+{
+  std::vector<double> xs;
+  for (double x = opt.from; x <= opt.to + 1e-9; x += opt.step) {
+    xs.push_back(x);
+  }
+  const auto points = analysis::sweep(
+      xs, opt.bits, opt.seed, [&](double x) {
+        Options point = opt;
+        if (opt.param == "t1") point.t1 = x;
+        else if (opt.param == "t0") point.t0 = x;
+        else point.interval = x;
+        return config_from(point);
+      });
+  TextTable table({opt.param + "(us)", "BER(%)", "TR(kb/s)",
+                   "capacity(kb/s)"});
+  for (const auto& p : points) {
+    table.add_row(
+        {TextTable::num(p.x, 0),
+         p.ok ? TextTable::num(p.ber * 100.0, 3) : "-",
+         p.ok ? TextTable::num(p.throughput_bps / 1000.0, 3) : "-",
+         p.ok ? TextTable::num(analysis::effective_capacity_bps(
+                                   p.throughput_bps, p.ber) /
+                                   1000.0,
+                               3)
+              : p.failure});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_text(const Options& opt)
+{
+  if (opt.message.empty()) {
+    std::fprintf(stderr, "text requires --message\n");
+    return 2;
+  }
+  ExperimentConfig cfg = config_from(opt);
+  const BitVec payload = BitVec::from_text(opt.message);
+  const RoundedReport rounded = run_with_retries(cfg, payload);
+  print_report(rounded.report, payload.size());
+  if (rounded.report.ok && rounded.report.sync_ok) {
+    std::printf("rounds    : %zu\n", rounded.rounds_attempted);
+    std::printf("received  : \"%s\"\n",
+                rounded.report.ber == 0.0
+                    ? rounded.report.received_payload.to_text().c_str()
+                    : "<bit errors>");
+  }
+  return rounded.report.ok ? 0 : 1;
+}
+
+int cmd_list()
+{
+  TextTable table({"mechanism", "class", "OS", "local Timeset"});
+  for (const auto& [name, mechanism] : mechanism_names()) {
+    const TimingConfig t = paper_timeset(mechanism, Scenario::local);
+    char buf[64];
+    if (class_of(mechanism) == ChannelClass::contention) {
+      std::snprintf(buf, sizeof buf, "t1=%.0f t0=%.0f", t.t1.to_us(),
+                    t.t0.to_us());
+    } else {
+      std::snprintf(buf, sizeof buf, "tw0=%.0f ti=%.0f", t.t0.to_us(),
+                    t.interval.to_us());
+    }
+    table.add_row({name, to_string(class_of(mechanism)),
+                   flavor_of(mechanism) == OsFlavor::windows ? "windows"
+                                                             : "linux",
+                   buf});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.command == "run") return cmd_run(opt);
+  if (opt.command == "sweep") return cmd_sweep(opt);
+  if (opt.command == "text") return cmd_text(opt);
+  if (opt.command == "list") return cmd_list();
+  usage();
+  return 2;
+}
