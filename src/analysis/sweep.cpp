@@ -1,85 +1,54 @@
 #include "analysis/sweep.h"
 
 #include <algorithm>
-#include <future>
-#include <thread>
 
 #include "codec/frame.h"
-#include "core/channel.h"
-#include "os/vfs.h"
-#include "os/win_objects.h"
-#include "sim/simulator.h"
+#include "exec/campaign.h"
+#include "exec/env.h"
+#include "exec/seed.h"
 #include "util/rng.h"
 
 namespace mes::analysis {
-
-namespace {
-
-std::uint64_t point_seed(std::uint64_t base, double x, double s)
-{
-  // Stable per-point stream: hash the parameters into the seed.
-  const auto xi = static_cast<std::uint64_t>(x * 1000.0);
-  const auto si = static_cast<std::uint64_t>(s * 1000.0);
-  std::uint64_t h = base ^ (xi * 0x9e3779b97f4a7c15ULL);
-  h ^= si + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-SweepPoint run_point(double x, double s, std::size_t bits,
-                     std::uint64_t seed_base,
-                     const std::function<ExperimentConfig(double, double)>&
-                         make_config)
-{
-  SweepPoint point;
-  point.x = x;
-  point.series = s;
-  ExperimentConfig cfg = make_config(x, s);
-  cfg.seed = point_seed(seed_base, x, s);
-  Rng payload_rng{cfg.seed ^ 0xabcdef12345ULL};
-  const std::size_t width = cfg.timing.symbol_bits;
-  const std::size_t n = bits - bits % std::max<std::size_t>(width, 1);
-  const BitVec payload = BitVec::random(payload_rng, n);
-  const ChannelReport rep = run_transmission(cfg, payload);
-  point.ok = rep.ok;
-  point.failure = rep.failure_reason;
-  point.ber = rep.ber;
-  point.throughput_bps = rep.throughput_bps;
-  return point;
-}
-
-}  // namespace
 
 std::vector<SweepPoint> sweep_grid(
     const std::vector<double>& xs, const std::vector<double>& series,
     std::size_t bits_per_point, std::uint64_t seed_base,
     const std::function<ExperimentConfig(double, double)>& make_config)
 {
-  struct Job {
-    double x;
-    double s;
-  };
-  std::vector<Job> jobs;
-  for (double s : series) {
-    for (double x : xs) jobs.push_back(Job{x, s});
+  // Sweep points are campaign cells with hand-built coordinates: the
+  // swept parameter is the timing axis, the series the repeat axis.
+  // Seeds route through the same splitmix64 mixer as every other grid,
+  // keyed on the parameter *values* so refining a sweep keeps the
+  // points it shares with the previous grid.
+  std::vector<exec::CampaignCell> cells;
+  cells.reserve(xs.size() * series.size());
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+      exec::CampaignCell cell;
+      cell.coord =
+          exec::CellCoord{0, 0, xi, si, cells.size()};
+      cell.config = make_config(xs[xi], series[si]);
+      cell.config.seed = exec::mix_seed(
+          seed_base,
+          {exec::coord_bits(xs[xi]), exec::coord_bits(series[si])});
+      cell.payload_bits = bits_per_point;
+      cells.push_back(std::move(cell));
+    }
   }
 
-  std::vector<SweepPoint> points(jobs.size());
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(std::min(workers, jobs.size()));
-  for (std::size_t w = 0; w < std::min(workers, jobs.size()); ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= jobs.size()) return;
-        points[i] = run_point(jobs[i].x, jobs[i].s, bits_per_point, seed_base,
-                              make_config);
-      }
-    });
+  const std::vector<exec::CellResult> results =
+      exec::CampaignRunner{}.run_cells(std::move(cells));
+
+  std::vector<SweepPoint> points(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SweepPoint& point = points[i];
+    point.x = xs[results[i].cell.coord.timing];
+    point.series = series[results[i].cell.coord.repeat];
+    point.ok = results[i].report.ok;
+    point.failure = results[i].report.failure_reason;
+    point.ber = results[i].report.ber;
+    point.throughput_bps = results[i].report.throughput_bps;
   }
-  for (auto& t : pool) t.join();
   return points;
 }
 
@@ -99,69 +68,42 @@ MultiPairResult run_multi_pair(const ExperimentConfig& base,
   result.pairs = pairs;
   if (pairs == 0) return result;
 
-  const ScenarioProfile profile =
-      make_profile(base.scenario, flavor_of(base.mechanism), base.hypervisor);
-  sim::Simulator simulator{base.seed};
-  os::Kernel kernel{simulator, profile.noise, base.fairness};
-  kernel.objects().set_namespace_sharing(
-      profile.topology.shared_object_namespace);
-  kernel.vfs().set_shared_volume(profile.topology.shared_file_volume);
+  // All pairs share one simulation (§V.C.1's multi-process scaling
+  // argument); the env hands each its own channel and resource tag.
+  exec::ExperimentEnv env{base};
+  const codec::SymbolSchedule schedule = env.schedule();
 
-  const ChannelClass klass = class_of(base.mechanism);
-  const std::size_t width = base.timing.symbol_bits;
-  const codec::SymbolSchedule schedule =
-      klass == ChannelClass::cooperation
-          ? codec::SymbolSchedule{width, base.timing.t0, base.timing.interval}
-          : codec::SymbolSchedule{1, Duration::zero(), base.timing.t1};
-
-  struct Pair {
-    std::unique_ptr<core::Channel> channel;
-    std::unique_ptr<core::RunContext> ctx;
+  struct PairTx {
     BitVec payload;
     std::vector<std::size_t> symbols;
-    core::RxResult rx;
+    exec::ExperimentEnv::Endpoint* endpoint = nullptr;
   };
-  std::deque<Pair> all;
+  std::vector<PairTx> live;
+  live.reserve(pairs);
   Rng payload_rng{base.seed ^ 0x5eedULL};
 
   for (std::size_t i = 0; i < pairs; ++i) {
-    Pair p;
-    p.channel = core::make_channel(base.mechanism);
+    PairTx p;
     p.payload = BitVec::random(payload_rng, bits_per_pair);
     const codec::Frame frame = codec::make_frame(p.payload, base.sync_bits);
     p.symbols = schedule.encode(frame.bits);
-
-    os::Process& trojan = kernel.create_process(
-        "trojan" + std::to_string(i), profile.topology.trojan_ns);
-    os::Process& spy = kernel.create_process("spy" + std::to_string(i),
-                                             profile.topology.spy_ns);
-    const long zeros = static_cast<long>(
-        std::count(p.symbols.begin(), p.symbols.end(), std::size_t{0}));
-    const double threshold_us = klass == ChannelClass::contention
-                                    ? (10.0 + base.timing.t1.to_us()) / 2.0
-                                    : base.timing.t0.to_us() + 25.0 +
-                                          base.timing.interval.to_us() / 2.0;
-    p.ctx = std::make_unique<core::RunContext>(core::RunContext{
-        kernel, trojan, spy, base.timing, schedule,
-        codec::LatencyClassifier::binary(Duration::us(threshold_us)),
-        base.loop_cost, base.tag + "_" + std::to_string(i), zeros});
-    if (!p.channel->setup(*p.ctx).empty()) continue;
-    all.push_back(std::move(p));
+    exec::ExperimentEnv::Endpoint& ep = env.add_pair();
+    if (!ep.error.empty()) continue;
+    p.endpoint = &ep;
+    live.push_back(std::move(p));
   }
 
-  for (auto& p : all) {
-    simulator.spawn(p.channel->trojan_run(*p.ctx, p.symbols));
-    simulator.spawn(p.channel->spy_run(*p.ctx, p.symbols.size(), p.rx));
-  }
-  const sim::RunResult run = simulator.run();
+  for (PairTx& p : live) env.spawn_transmission(*p.endpoint, p.symbols);
+  const sim::RunResult run = env.run();
   const Duration elapsed = run.end_time - TimePoint::origin();
   if (!(elapsed > Duration::zero())) return result;
 
+  const std::size_t width = std::max<std::size_t>(base.timing.symbol_bits, 1);
   std::size_t total_bits = 0;
   double ber_sum = 0.0;
-  for (auto& p : all) {
+  for (const PairTx& p : live) {
     total_bits += p.symbols.size() * width;
-    const BitVec rx_bits = schedule.decode(p.rx.symbols);
+    const BitVec rx_bits = schedule.decode(p.endpoint->rx.symbols);
     const auto stripped = codec::check_and_strip(rx_bits, base.sync_bits);
     const BitVec got = stripped.value_or(
         rx_bits.slice(std::min(base.sync_bits, rx_bits.size()),
@@ -172,7 +114,8 @@ MultiPairResult run_multi_pair(const ExperimentConfig& base,
                          static_cast<double>(p.payload.size());
   }
   result.aggregate_bps = static_cast<double>(total_bits) / elapsed.to_sec();
-  result.mean_ber = all.empty() ? 0.0 : ber_sum / static_cast<double>(all.size());
+  result.mean_ber =
+      live.empty() ? 0.0 : ber_sum / static_cast<double>(live.size());
   return result;
 }
 

@@ -18,6 +18,9 @@
 
 namespace mes::core {
 
+// Default post-rendezvous linger (see RunContext::spy_guard).
+inline constexpr double kDefaultSpyGuardUs = 25.0;
+
 struct RunContext {
   os::Kernel& kernel;
   os::Process& trojan;
@@ -42,7 +45,7 @@ struct RunContext {
   // How long the Spy lingers after the rendezvous before probing, so
   // the Trojan's acquire always wins the post-rendezvous race even
   // under dispatch-latency skew.
-  Duration spy_guard = Duration::us(25.0);
+  Duration spy_guard = Duration::us(kDefaultSpyGuardUs);
 };
 
 struct RxResult {

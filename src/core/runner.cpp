@@ -4,33 +4,12 @@
 
 #include "codec/frame.h"
 #include "core/channel.h"
-#include "os/vfs.h"
-#include "os/win_objects.h"
+#include "exec/env.h"
 #include "sim/simulator.h"
 
 namespace mes {
 
 namespace {
-
-// A-priori overhead estimates the attacker uses for the *initial*
-// decision threshold; the preamble calibration refines them. Derived
-// from the op-cost constants (two probe ops for contention; sleep +
-// signal + wake for cooperation).
-constexpr double kProbeOverheadUs = 10.0;
-constexpr double kCoopOverheadUs = 25.0;
-
-codec::LatencyClassifier initial_classifier(ChannelClass klass,
-                                            const TimingConfig& timing)
-{
-  if (klass == ChannelClass::contention) {
-    const double threshold_us =
-        (kProbeOverheadUs + timing.t1.to_us()) / 2.0;
-    return codec::LatencyClassifier::binary(Duration::us(threshold_us));
-  }
-  const std::size_t alphabet = std::size_t{1} << timing.symbol_bits;
-  return codec::LatencyClassifier{
-      alphabet, timing.t0 + Duration::us(kCoopOverheadUs), timing.interval};
-}
 
 // Re-derives the classifier from the preamble measurements: binary
 // channels take the midpoint of the two observed levels; wider alphabets
@@ -80,84 +59,33 @@ ChannelReport run_transmission(const ExperimentConfig& cfg,
 
   const ChannelClass klass = class_of(cfg.mechanism);
   const std::size_t width = cfg.timing.symbol_bits;
-  if (width == 0) {
-    rep.failure_reason = "symbol width must be at least 1 bit";
+  if (std::string err = exec::validate_config(cfg); !err.empty()) {
+    rep.failure_reason = err;
     return rep;
   }
-  if (width > 1 && klass == ChannelClass::contention) {
-    rep.failure_reason =
-        "multi-bit symbols require a cooperation channel (§VI)";
-    return rep;
-  }
-  if (cfg.sync_bits % width != 0 || payload.size() % width != 0) {
+  if (payload.size() % width != 0) {
     rep.failure_reason = "frame sections must be multiples of symbol width";
     return rep;
   }
 
   const codec::Frame frame = codec::make_frame(payload, cfg.sync_bits);
-  const codec::SymbolSchedule schedule =
-      klass == ChannelClass::cooperation
-          ? codec::SymbolSchedule{width, cfg.timing.t0, cfg.timing.interval}
-          : codec::SymbolSchedule{1, Duration::zero(), cfg.timing.t1};
-  const codec::LatencyClassifier classifier =
-      initial_classifier(klass, cfg.timing);
 
-  const ScenarioProfile profile =
-      make_profile(cfg.scenario, flavor_of(cfg.mechanism), cfg.hypervisor);
+  exec::ExperimentEnv env{cfg};
+  if (trace != nullptr) env.kernel().enable_trace(true);
 
-  sim::Simulator simulator{cfg.seed};
-  os::Kernel kernel{simulator, profile.noise, cfg.fairness};
-  kernel.objects().set_namespace_sharing(
-      profile.topology.shared_object_namespace);
-  kernel.vfs().set_shared_volume(profile.topology.shared_file_volume);
-  if (cfg.mitigation_fuzz > Duration::zero()) {
-    kernel.set_op_fuzz(cfg.mitigation_fuzz);
-  }
-  if (cfg.enable_trace || trace != nullptr) kernel.enable_trace(true);
-
-  os::Process& trojan =
-      kernel.create_process("trojan", profile.topology.trojan_ns);
-  os::Process& spy = kernel.create_process("spy", profile.topology.spy_ns);
-
+  const codec::SymbolSchedule schedule = env.schedule();
+  const codec::LatencyClassifier classifier = env.initial_classifier();
   const std::vector<std::size_t> symbols = schedule.encode(frame.bits);
 
-  core::RunContext ctx{kernel,
-                       trojan,
-                       spy,
-                       cfg.timing,
-                       schedule,
-                       classifier,
-                       cfg.loop_cost,
-                       cfg.tag,
-                       // Semaphore-as-lock priming: exactly one unit
-                       // free (Tables II/III; 0 stalls, >=2 breaks
-                       // mutual exclusion).
-                       cfg.semaphore_initial >= 0 ? cfg.semaphore_initial
-                                                  : 1};
-  if (cfg.fine_grained_sync && klass == ChannelClass::contention) {
-    ctx.bit_sync = std::make_shared<sim::Barrier>(2);
-    // The Spy's post-rendezvous guard scales with the hold time so that
-    // second-scale proofs of concept (Fig. 8) tolerate the bounded
-    // scheduler penalties that microsecond channels absorb within their
-    // margins.
-    ctx.spy_guard = std::max(ctx.spy_guard, cfg.timing.t1 * 0.02);
-  }
-
-  auto channel = core::make_channel(cfg.mechanism);
-  if (!channel) {
-    rep.failure_reason = "unknown mechanism";
-    return rep;
-  }
-  if (std::string err = channel->setup(ctx); !err.empty()) {
-    rep.failure_reason = err;
+  exec::ExperimentEnv::Endpoint& ep = env.add_pair();
+  if (!ep.error.empty()) {
+    rep.failure_reason = ep.error;
     return rep;
   }
 
-  core::RxResult rx;
-  simulator.spawn(channel->trojan_run(ctx, symbols), "trojan");
-  simulator.spawn(channel->spy_run(ctx, symbols.size(), rx), "spy");
-  const sim::RunResult run = simulator.run(cfg.max_events);
-  if (trace != nullptr) trace->ops = kernel.trace();
+  env.spawn_transmission(ep, symbols);
+  const sim::RunResult run = env.run();
+  if (trace != nullptr) trace->ops = env.kernel().trace();
   if (run.hit_event_limit) {
     rep.failure_reason = "simulation event limit reached";
     return rep;
@@ -168,6 +96,7 @@ ChannelReport run_transmission(const ExperimentConfig& cfg,
         "resources, Table II)";
     return rep;
   }
+  const core::RxResult& rx = ep.rx;
 
   // Decode. Optionally recalibrate the classifier from the preamble the
   // way a real Spy does, then re-classify every measured latency.

@@ -1,0 +1,274 @@
+#include "exec/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "exec/seed.h"
+#include "exec/thread_pool.h"
+#include "util/rng.h"
+
+namespace mes::exec {
+
+namespace {
+
+std::string scenario_key(const ScenarioSpec& s)
+{
+  std::string key = to_string(s.scenario);
+  if (s.hypervisor != HypervisorType::none) {
+    key += std::string{"@"} + to_string(s.hypervisor);
+  }
+  return key;
+}
+
+// Stable-order grouping: stats come out in first-appearance order, i.e.
+// plan order, so tables render in the order the plan named the axes.
+std::vector<GroupStats> group_by(
+    const std::vector<CellResult>& cells,
+    const std::function<std::string(const CellResult&)>& key_of)
+{
+  std::vector<GroupStats> groups;
+  std::map<std::string, std::size_t> index;
+  for (const CellResult& cell : cells) {
+    const std::string key = key_of(cell);
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(GroupStats{});
+      groups.back().key = key;
+    }
+    GroupStats& g = groups[it->second];
+    ++g.cells;
+    if (!cell.report.ok) continue;
+    ++g.ok;
+    if (cell.report.sync_ok) ++g.sync_ok;
+    g.mean_ber += cell.report.ber;
+    g.max_ber = std::max(g.max_ber, cell.report.ber);
+    g.mean_throughput_bps += cell.report.throughput_bps;
+  }
+  for (GroupStats& g : groups) {
+    if (g.ok == 0) continue;
+    g.mean_ber /= static_cast<double>(g.ok);
+    g.mean_throughput_bps /= static_cast<double>(g.ok);
+  }
+  return groups;
+}
+
+std::string point_key(const CampaignCell& cell)
+{
+  std::string key = cell.label;
+  // Strip the "#rep" suffix so replicates of one point share a key.
+  if (const auto pos = key.rfind('#'); pos != std::string::npos) {
+    key.resize(pos);
+  }
+  return key;
+}
+
+void json_escape(std::ostream& out, const std::string& s)
+{
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_group_json(std::ostream& out, const std::vector<GroupStats>& groups)
+{
+  out << "[";
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const GroupStats& g = groups[i];
+    if (i > 0) out << ",";
+    out << "{\"key\":";
+    json_escape(out, g.key);
+    out << ",\"cells\":" << g.cells << ",\"ok\":" << g.ok
+        << ",\"sync_ok\":" << g.sync_ok << ",\"mean_ber\":" << g.mean_ber
+        << ",\"max_ber\":" << g.max_ber
+        << ",\"mean_throughput_bps\":" << g.mean_throughput_bps << "}";
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::vector<CampaignCell> expand(const ExperimentPlan& plan)
+{
+  std::vector<CampaignCell> cells;
+  cells.reserve(plan.cell_count());
+  for (std::size_t mi = 0; mi < plan.mechanisms.size(); ++mi) {
+    for (std::size_t si = 0; si < plan.scenarios.size(); ++si) {
+      for (std::size_t ti = 0; ti < plan.timings.size(); ++ti) {
+        for (std::size_t ri = 0; ri < plan.repeats; ++ri) {
+          CampaignCell cell;
+          cell.coord = CellCoord{mi, si, ti, ri, cells.size()};
+
+          const Mechanism m = plan.mechanisms[mi];
+          const ScenarioSpec& scen = plan.scenarios[si];
+          const TimingSpec& timing = plan.timings[ti];
+
+          cell.config = plan.base;
+          cell.config.mechanism = m;
+          cell.config.scenario = scen.scenario;
+          cell.config.hypervisor = scen.hypervisor;
+          cell.config.timing =
+              timing.timing ? *timing.timing
+                            : paper_timeset(m, scen.scenario);
+          cell.config.seed = mix_seed(plan.seed_base, {mi, si, ti, ri});
+          if (plan.tweak) plan.tweak(cell.config, cell.coord);
+
+          cell.label = to_string(m);
+          cell.label += '/';
+          cell.label += scenario_key(scen);
+          if (plan.timings.size() > 1 || timing.timing) {
+            cell.label += '/';
+            cell.label += timing.label;
+          }
+          if (plan.repeats > 1) {
+            cell.label += '#';
+            cell.label += std::to_string(ri);
+          }
+          cell.payload_bits = plan.payload_bits;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+BitVec cell_payload(const CampaignCell& cell)
+{
+  Rng payload_rng{cell.config.seed ^ 0xabcdef12345ULL};
+  const std::size_t width =
+      std::max<std::size_t>(cell.config.timing.symbol_bits, 1);
+  const std::size_t n = cell.payload_bits - cell.payload_bits % width;
+  return BitVec::random(payload_rng, n);
+}
+
+ChannelReport run_cell(const CampaignCell& cell)
+{
+  return run_transmission(cell.config, cell_payload(cell));
+}
+
+CampaignRunner::CampaignRunner(std::size_t jobs)
+    : jobs_{jobs == 0 ? ThreadPool::hardware_jobs() : jobs}
+{
+}
+
+std::vector<CellResult> CampaignRunner::run_cells(
+    std::vector<CampaignCell> cells) const
+{
+  std::vector<CellResult> results(cells.size());
+  parallel_for(cells.size(), jobs_, [&](std::size_t i) {
+    results[i].report = run_cell(cells[i]);
+    results[i].cell = std::move(cells[i]);
+  });
+  return results;
+}
+
+CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
+{
+  CampaignResult result;
+  result.cells = run_cells(expand(plan));
+  result.points = group_by(result.cells, [](const CellResult& c) {
+    return point_key(c.cell);
+  });
+  result.by_mechanism = group_by(result.cells, [](const CellResult& c) {
+    return std::string{to_string(c.cell.config.mechanism)};
+  });
+  result.by_scenario = group_by(result.cells, [](const CellResult& c) {
+    std::string key = to_string(c.cell.config.scenario);
+    if (c.cell.config.hypervisor != HypervisorType::none) {
+      key += std::string{"@"} + to_string(c.cell.config.hypervisor);
+    }
+    return key;
+  });
+  return result;
+}
+
+void write_csv(std::ostream& out, const CampaignResult& result)
+{
+  out << "label,mechanism,scenario,hypervisor,t1_us,t0_us,interval_us,"
+         "symbol_bits,repeat,seed,payload_bits,ok,sync_ok,ber,"
+         "throughput_bps,elapsed_us,failure\n";
+  for (const CellResult& c : result.cells) {
+    const ExperimentConfig& cfg = c.cell.config;
+    const ChannelReport& rep = c.report;
+    out << c.cell.label << ',' << to_string(cfg.mechanism) << ','
+        << to_string(cfg.scenario) << ',' << to_string(cfg.hypervisor) << ','
+        << cfg.timing.t1.to_us() << ',' << cfg.timing.t0.to_us() << ','
+        << cfg.timing.interval.to_us() << ',' << cfg.timing.symbol_bits << ','
+        << c.cell.coord.repeat << ',' << cfg.seed << ','
+        << c.cell.payload_bits << ',' << (rep.ok ? 1 : 0) << ','
+        << (rep.sync_ok ? 1 : 0) << ',' << rep.ber << ','
+        << rep.throughput_bps << ',' << rep.elapsed.to_us() << ",\""
+        << rep.failure_reason << "\"\n";
+  }
+}
+
+void write_json(std::ostream& out, const CampaignResult& result)
+{
+  out << "{\"cells\":[";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& c = result.cells[i];
+    const ExperimentConfig& cfg = c.cell.config;
+    const ChannelReport& rep = c.report;
+    if (i > 0) out << ",";
+    out << "{\"label\":";
+    json_escape(out, c.cell.label);
+    out << ",\"mechanism\":\"" << to_string(cfg.mechanism)
+        << "\",\"scenario\":\"" << to_string(cfg.scenario)
+        << "\",\"hypervisor\":\"" << to_string(cfg.hypervisor)
+        << "\",\"timing\":{\"t1_us\":" << cfg.timing.t1.to_us()
+        << ",\"t0_us\":" << cfg.timing.t0.to_us()
+        << ",\"interval_us\":" << cfg.timing.interval.to_us()
+        << ",\"symbol_bits\":" << cfg.timing.symbol_bits << "}"
+        << ",\"seed\":" << cfg.seed
+        << ",\"payload_bits\":" << c.cell.payload_bits
+        << ",\"ok\":" << (rep.ok ? "true" : "false")
+        << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
+        << ",\"ber\":" << rep.ber
+        << ",\"throughput_bps\":" << rep.throughput_bps
+        << ",\"elapsed_us\":" << rep.elapsed.to_us() << ",\"failure\":";
+    json_escape(out, rep.failure_reason);
+    out << "}";
+  }
+  out << "],\"points\":";
+  write_group_json(out, result.points);
+  out << ",\"by_mechanism\":";
+  write_group_json(out, result.by_mechanism);
+  out << ",\"by_scenario\":";
+  write_group_json(out, result.by_scenario);
+  out << "}\n";
+}
+
+std::string report_json(const ChannelReport& rep, std::size_t payload_bits)
+{
+  std::ostringstream out;
+  out << "{\"mechanism\":\"" << to_string(rep.mechanism)
+      << "\",\"scenario\":\"" << to_string(rep.scenario)
+      << "\",\"ok\":" << (rep.ok ? "true" : "false")
+      << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
+      << ",\"payload_bits\":" << payload_bits << ",\"ber\":" << rep.ber
+      << ",\"throughput_bps\":" << rep.throughput_bps
+      << ",\"elapsed_us\":" << rep.elapsed.to_us() << ",\"failure\":";
+  json_escape(out, rep.failure_reason);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace mes::exec

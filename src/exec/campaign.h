@@ -1,0 +1,141 @@
+// Campaign engine: expands an experiment plan into a grid of cells and
+// runs every cell's full simulator stack in parallel.
+//
+// The paper's results (Tables IV–VI, Figs. 8–11) are all grids of
+// independent transmissions — mechanism × scenario × timing × seed.
+// A plan names the axes once; the runner expands the cross product,
+// derives a deterministic per-cell seed (splitmix64 mix of base seed
+// and cell coordinates, exec/seed.h), runs each cell on a worker, and
+// aggregates ChannelReports into per-point and marginal statistics with
+// CSV/JSON emission. Parallel runs are bit-identical to serial ones:
+// every cell owns a private simulator stack and its result slot is
+// fixed by the plan order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/runner.h"
+
+namespace mes::exec {
+
+// Position of one cell in the plan's axes (indices into the axis
+// vectors, not values).
+struct CellCoord {
+  std::size_t mechanism = 0;
+  std::size_t scenario = 0;
+  std::size_t timing = 0;
+  std::size_t repeat = 0;
+  std::size_t flat = 0;  // row-major index over the whole grid
+};
+
+struct ScenarioSpec {
+  Scenario scenario = Scenario::local;
+  HypervisorType hypervisor = HypervisorType::none;
+};
+
+// One value of the timing axis. nullopt = the paper's Timeset for the
+// cell's (mechanism, scenario) — the default single-element axis.
+struct TimingSpec {
+  std::string label = "paper";
+  std::optional<TimingConfig> timing;
+};
+
+struct ExperimentPlan {
+  std::vector<Mechanism> mechanisms = {Mechanism::event};
+  std::vector<ScenarioSpec> scenarios = {{}};
+  std::vector<TimingSpec> timings = {{}};
+  std::size_t repeats = 1;  // seed-replicate axis
+  std::uint64_t seed_base = 1;
+  std::size_t payload_bits = 4096;
+  ExperimentConfig base;  // template for the non-axis knobs
+  // Last-chance per-cell hook (e.g. width-dependent sync_bits).
+  std::function<void(ExperimentConfig&, const CellCoord&)> tweak;
+
+  std::size_t cell_count() const
+  {
+    return mechanisms.size() * scenarios.size() * timings.size() * repeats;
+  }
+};
+
+// One fully resolved grid cell: config (cell seed included) + payload
+// size. The payload itself derives from the cell seed at run time.
+struct CampaignCell {
+  CellCoord coord;
+  std::string label;  // "mechanism/scenario[/timing][#repeat]"
+  ExperimentConfig config;
+  std::size_t payload_bits = 0;
+};
+
+// Row-major expansion: repeat varies fastest, then timing, scenario,
+// mechanism.
+std::vector<CampaignCell> expand(const ExperimentPlan& plan);
+
+struct CellResult {
+  CampaignCell cell;
+  ChannelReport report;
+};
+
+// Statistics over a group of cells (one grid point's seed replicates,
+// or a whole axis value for marginals). Means are over cells that ran.
+struct GroupStats {
+  std::string key;
+  std::size_t cells = 0;
+  std::size_t ok = 0;       // transmissions that ran structurally
+  std::size_t sync_ok = 0;  // preamble verified
+  double mean_ber = 0.0;
+  double max_ber = 0.0;
+  double mean_throughput_bps = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<CellResult> cells;         // plan order (row-major)
+  std::vector<GroupStats> points;        // per (mechanism, scenario, timing)
+  std::vector<GroupStats> by_mechanism;  // marginals over everything else
+  std::vector<GroupStats> by_scenario;
+};
+
+class CampaignRunner {
+ public:
+  // jobs == 0 picks the hardware concurrency; jobs == 1 runs serially
+  // on the calling thread (the determinism-test reference).
+  explicit CampaignRunner(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+
+  CampaignResult run(const ExperimentPlan& plan) const;
+
+  // Building block: runs prepared cells in place (analysis/sweep feeds
+  // hand-built cells through this).
+  std::vector<CellResult> run_cells(std::vector<CampaignCell> cells) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+// Runs one cell: derives the payload from the cell seed (truncated to a
+// symbol-width multiple) and transmits it. Shared by the runner and any
+// driver that wants a single cell inline.
+ChannelReport run_cell(const CampaignCell& cell);
+
+// Deterministic per-cell payload (what run_cell transmits).
+BitVec cell_payload(const CampaignCell& cell);
+
+// --- emission ---------------------------------------------------------
+
+// One row per cell: coordinates, config, BER/TR/sync.
+void write_csv(std::ostream& out, const CampaignResult& result);
+
+// Full structured dump: cells + per-point and marginal statistics.
+void write_json(std::ostream& out, const CampaignResult& result);
+
+// Single-report JSON object (mes_cli run --json).
+std::string report_json(const ChannelReport& report,
+                        std::size_t payload_bits);
+
+}  // namespace mes::exec

@@ -1,0 +1,131 @@
+#include "exec/env.h"
+
+#include <algorithm>
+
+#include "os/vfs.h"
+#include "os/win_objects.h"
+
+namespace mes::exec {
+
+namespace {
+
+// A-priori overhead estimates the attacker uses for the *initial*
+// decision threshold; the preamble calibration refines them. Derived
+// from the op-cost constants (two probe ops for contention; sleep +
+// signal + wake for cooperation).
+constexpr double kProbeOverheadUs = 10.0;
+constexpr double kCoopOverheadUs = 25.0;
+
+}  // namespace
+
+std::string validate_config(const ExperimentConfig& cfg)
+{
+  const std::size_t width = cfg.timing.symbol_bits;
+  if (width == 0) return "symbol width must be at least 1 bit";
+  if (width > 1 && class_of(cfg.mechanism) == ChannelClass::contention) {
+    return "multi-bit symbols require a cooperation channel (§VI)";
+  }
+  if (cfg.sync_bits % width != 0) {
+    return "frame sections must be multiples of symbol width";
+  }
+  return {};
+}
+
+ExperimentEnv::ExperimentEnv(const ExperimentConfig& cfg)
+    : cfg_{cfg},
+      profile_{make_profile(cfg.scenario, flavor_of(cfg.mechanism),
+                            cfg.hypervisor)},
+      simulator_{std::make_unique<sim::Simulator>(cfg.seed)},
+      kernel_{std::make_unique<os::Kernel>(*simulator_, profile_.noise,
+                                           cfg.fairness)}
+{
+  kernel_->objects().set_namespace_sharing(
+      profile_.topology.shared_object_namespace);
+  kernel_->vfs().set_shared_volume(profile_.topology.shared_file_volume);
+  if (cfg_.mitigation_fuzz > Duration::zero()) {
+    kernel_->set_op_fuzz(cfg_.mitigation_fuzz);
+  }
+  if (cfg_.enable_trace) kernel_->enable_trace(true);
+}
+
+codec::SymbolSchedule ExperimentEnv::schedule() const
+{
+  if (class_of(cfg_.mechanism) == ChannelClass::cooperation) {
+    return codec::SymbolSchedule{cfg_.timing.symbol_bits, cfg_.timing.t0,
+                                 cfg_.timing.interval};
+  }
+  return codec::SymbolSchedule{1, Duration::zero(), cfg_.timing.t1};
+}
+
+codec::LatencyClassifier ExperimentEnv::initial_classifier() const
+{
+  if (class_of(cfg_.mechanism) == ChannelClass::contention) {
+    const double threshold_us =
+        (kProbeOverheadUs + cfg_.timing.t1.to_us()) / 2.0;
+    return codec::LatencyClassifier::binary(Duration::us(threshold_us));
+  }
+  const std::size_t alphabet = std::size_t{1} << cfg_.timing.symbol_bits;
+  return codec::LatencyClassifier{alphabet,
+                                  cfg_.timing.t0 + Duration::us(kCoopOverheadUs),
+                                  cfg_.timing.interval};
+}
+
+ExperimentEnv::Endpoint& ExperimentEnv::add_pair()
+{
+  const std::size_t index = endpoints_.size();
+  const std::string suffix = index == 0 ? "" : std::to_string(index);
+  const std::string tag =
+      index == 0 ? cfg_.tag : cfg_.tag + "_" + std::to_string(index);
+
+  Endpoint& ep = endpoints_.emplace_back();
+
+  os::Process& trojan = kernel_->create_process("trojan" + suffix,
+                                                profile_.topology.trojan_ns);
+  os::Process& spy =
+      kernel_->create_process("spy" + suffix, profile_.topology.spy_ns);
+
+  ep.ctx = std::make_unique<core::RunContext>(core::RunContext{
+      .kernel = *kernel_,
+      .trojan = trojan,
+      .spy = spy,
+      .timing = cfg_.timing,
+      .schedule = schedule(),
+      .classifier = initial_classifier(),
+      .loop_cost = cfg_.loop_cost,
+      .tag = tag,
+      // Semaphore-as-lock priming: exactly one unit free (Tables II/III;
+      // 0 stalls, >= 2 breaks mutual exclusion).
+      .initial_resources =
+          cfg_.semaphore_initial >= 0 ? cfg_.semaphore_initial : 1,
+      .bit_sync = nullptr,
+      .spy_guard = Duration::us(core::kDefaultSpyGuardUs)});
+  const ChannelClass klass = class_of(cfg_.mechanism);
+  if (cfg_.fine_grained_sync && klass == ChannelClass::contention) {
+    ep.ctx->bit_sync = std::make_shared<sim::Barrier>(2);
+    // The Spy's post-rendezvous guard scales with the hold time so that
+    // second-scale proofs of concept (Fig. 8) tolerate the bounded
+    // scheduler penalties that microsecond channels absorb within their
+    // margins.
+    ep.ctx->spy_guard = std::max(ep.ctx->spy_guard, cfg_.timing.t1 * 0.02);
+  }
+
+  ep.channel = core::make_channel(cfg_.mechanism);
+  if (!ep.channel) {
+    ep.error = "unknown mechanism";
+    return ep;
+  }
+  ep.error = ep.channel->setup(*ep.ctx);
+  return ep;
+}
+
+void ExperimentEnv::spawn_transmission(Endpoint& ep,
+                                       const std::vector<std::size_t>& symbols)
+{
+  simulator_->spawn(ep.channel->trojan_run(*ep.ctx, symbols), "trojan");
+  simulator_->spawn(ep.channel->spy_run(*ep.ctx, symbols.size(), ep.rx),
+                    "spy");
+}
+
+sim::RunResult ExperimentEnv::run() { return simulator_->run(cfg_.max_events); }
+
+}  // namespace mes::exec

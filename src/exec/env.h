@@ -1,0 +1,77 @@
+// ExperimentEnv: one built simulator stack, reusable across callers.
+//
+// Owns the construction pipeline every experiment shares — simulator →
+// noise profile → kernel → visibility topology → processes → channel —
+// so that single transmissions (core/runner), multi-pair batches
+// (analysis/sweep) and campaign cells (exec/campaign) all run the same
+// stack instead of three divergent copies. An env can host any number
+// of Trojan/Spy pairs inside one simulation; each pair gets its own
+// channel instance and resource tag.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/runner.h"
+#include "os/kernel.h"
+#include "sim/simulator.h"
+
+namespace mes::exec {
+
+// Structural invariants shared by every driver; "" when the config can
+// run at all (the per-topology checks happen later, in Channel::setup).
+std::string validate_config(const ExperimentConfig& cfg);
+
+class ExperimentEnv {
+ public:
+  explicit ExperimentEnv(const ExperimentConfig& cfg);
+
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+
+  // One Trojan/Spy pair with its channel and codec context, ready to
+  // transmit. `error` carries Channel::setup's topology verdict (the
+  // Table VI ✗ entries) when the pair cannot work.
+  struct Endpoint {
+    std::unique_ptr<core::Channel> channel;
+    std::unique_ptr<core::RunContext> ctx;
+    core::RxResult rx;
+    std::string error;
+  };
+
+  // Builds a process pair + channel. The first pair uses the config's
+  // own tag and the canonical "trojan"/"spy" process names (so a
+  // single-pair env is bit-identical to the historical monolithic
+  // runner); later pairs get indexed names and derived tags.
+  Endpoint& add_pair();
+
+  // Spawns both protocol roles of `ep` for `symbols` on the simulator.
+  void spawn_transmission(Endpoint& ep,
+                          const std::vector<std::size_t>& symbols);
+
+  // Drains the event queue (bounded by the config's max_events).
+  sim::RunResult run();
+
+  const ExperimentConfig& config() const { return cfg_; }
+  const ScenarioProfile& profile() const { return profile_; }
+  sim::Simulator& simulator() { return *simulator_; }
+  os::Kernel& kernel() { return *kernel_; }
+
+  // Symbol pacing for this config's channel class.
+  codec::SymbolSchedule schedule() const;
+  // The a-priori classifier a Spy starts from before any preamble
+  // calibration.
+  codec::LatencyClassifier initial_classifier() const;
+
+ private:
+  ExperimentConfig cfg_;
+  ScenarioProfile profile_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::deque<Endpoint> endpoints_;  // deque: stable refs as pairs grow
+};
+
+}  // namespace mes::exec

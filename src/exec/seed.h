@@ -1,0 +1,48 @@
+// Deterministic per-cell seed derivation for experiment campaigns.
+//
+// Every grid driver (campaign cells, sweep points, seed replicates)
+// derives its per-run seed here so that (a) the same coordinates always
+// reproduce the same transmission and (b) neighbouring coordinates land
+// in decorrelated RNG streams. The ad-hoc arithmetic hashes this
+// replaces could collide for nearby grid points (e.g. x and x+1 with
+// shifted series), silently running two "independent" points on the
+// same noise stream.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+
+namespace mes::exec {
+
+// splitmix64 finalizer (Steele/Lea/Vigna). Bijective on 64-bit words,
+// so distinct inputs can never merge at this stage.
+constexpr std::uint64_t splitmix64(std::uint64_t x)
+{
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Folds cell coordinates into a base seed, one splitmix64 round per
+// coordinate. Order-sensitive: (a, b) and (b, a) are different cells.
+constexpr std::uint64_t mix_seed(std::uint64_t base,
+                                 std::initializer_list<std::uint64_t> coords)
+{
+  std::uint64_t h = splitmix64(base);
+  for (const std::uint64_t c : coords) {
+    h = splitmix64(h + splitmix64(c));
+  }
+  return h;
+}
+
+// Coordinate view of a real-valued axis (sweep parameters): the exact
+// bit pattern, so any two distinct parameter values are distinct
+// coordinates regardless of scale.
+inline std::uint64_t coord_bits(double v)
+{
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace mes::exec

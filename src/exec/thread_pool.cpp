@@ -1,0 +1,100 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace mes::exec {
+
+std::size_t ThreadPool::hardware_jobs()
+{
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+  const std::size_t n = threads == 0 ? hardware_jobs() : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool()
+{
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job)
+{
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle()
+{
+  std::unique_lock<std::mutex> lock{mu_};
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop()
+{
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn)
+{
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::once_flag error_once;
+  std::atomic<std::size_t> next{0};
+  ThreadPool pool{std::min(jobs, n)};
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::call_once(error_once,
+                         [&] { first_error = std::current_exception(); });
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mes::exec

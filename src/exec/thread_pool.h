@@ -1,0 +1,58 @@
+// Fixed-size worker pool shared by every parallel experiment driver.
+//
+// One pool instance serves a whole campaign: cells queue up and drain
+// across the workers, each running a private simulator stack, so runs
+// never share mutable state and parallel results are bit-identical to
+// serial ones.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mes::exec {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a job. Jobs must not throw; wrap anything that can (see
+  // parallel_for) so a worker never unwinds through the loop.
+  void submit(std::function<void()> job);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  static std::size_t hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Runs fn(0) .. fn(n-1) across `jobs` workers and returns when all are
+// done. jobs <= 1 runs inline on the calling thread — the serial
+// reference the determinism tests compare against. The first exception
+// thrown by any index is rethrown here after the batch drains.
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mes::exec

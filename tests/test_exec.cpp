@@ -1,0 +1,209 @@
+// Tests for the exec layer: campaign engine, seed mixer, thread pool,
+// ExperimentEnv reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/campaign.h"
+#include "exec/env.h"
+#include "exec/seed.h"
+#include "exec/thread_pool.h"
+
+namespace mes {
+namespace {
+
+exec::ExperimentPlan small_plan()
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock,
+                     Mechanism::semaphore};
+  plan.scenarios = {{Scenario::local, HypervisorType::none},
+                    {Scenario::cross_sandbox, HypervisorType::none}};
+  plan.repeats = 2;
+  plan.seed_base = 0xCA4FA16;
+  plan.payload_bits = 512;
+  return plan;
+}
+
+// The acceptance property: a parallel campaign is bit-identical to the
+// same plan run serially. Every cell owns its whole simulator stack and
+// a fixed result slot, so worker interleaving must not be observable.
+TEST(Campaign, ParallelRunBitIdenticalToSerial)
+{
+  const exec::ExperimentPlan plan = small_plan();
+  const exec::CampaignResult serial = exec::CampaignRunner{1}.run(plan);
+  const exec::CampaignResult parallel = exec::CampaignRunner{4}.run(plan);
+
+  ASSERT_EQ(serial.cells.size(), plan.cell_count());
+  ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const ChannelReport& a = serial.cells[i].report;
+    const ChannelReport& b = parallel.cells[i].report;
+    EXPECT_EQ(serial.cells[i].cell.label, parallel.cells[i].cell.label);
+    EXPECT_EQ(serial.cells[i].cell.config.seed,
+              parallel.cells[i].cell.config.seed);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.sync_ok, b.sync_ok);
+    EXPECT_EQ(a.failure_reason, b.failure_reason);
+    EXPECT_DOUBLE_EQ(a.ber, b.ber);
+    EXPECT_DOUBLE_EQ(a.throughput_bps, b.throughput_bps);
+    EXPECT_EQ(a.sent_payload.to_string(), b.sent_payload.to_string());
+    EXPECT_EQ(a.received_payload.to_string(), b.received_payload.to_string());
+    ASSERT_EQ(a.rx_latencies.size(), b.rx_latencies.size());
+    for (std::size_t k = 0; k < a.rx_latencies.size(); ++k) {
+      EXPECT_EQ(a.rx_latencies[k].count_ns(), b.rx_latencies[k].count_ns());
+    }
+  }
+}
+
+TEST(Campaign, CellSeedsUniqueOverDenseGrid)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::flock, Mechanism::file_lock_ex,
+                     Mechanism::mutex, Mechanism::semaphore,
+                     Mechanism::event, Mechanism::waitable_timer};
+  plan.scenarios = {{Scenario::local, HypervisorType::none},
+                    {Scenario::cross_sandbox, HypervisorType::none},
+                    {Scenario::cross_vm, HypervisorType::type1}};
+  plan.timings.clear();
+  for (int t = 0; t < 8; ++t) plan.timings.push_back({std::to_string(t), {}});
+  plan.repeats = 16;
+
+  const std::vector<exec::CampaignCell> cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 6u * 3u * 8u * 16u);
+  std::set<std::uint64_t> seeds;
+  for (const exec::CampaignCell& cell : cells) seeds.insert(cell.config.seed);
+  EXPECT_EQ(seeds.size(), cells.size());
+}
+
+// The sweep-style mixer over real-valued coordinates: the arithmetic it
+// replaced collided for nearby (x, series) pairs; the splitmix64 fold
+// must keep a dense grid collision-free.
+TEST(Campaign, SweepSeedMixerHasNoCollisionsOnDenseGrid)
+{
+  std::set<std::uint64_t> seeds;
+  std::size_t n = 0;
+  for (double s = 0.0; s < 10.0; s += 1.0) {
+    for (double x = 100.0; x < 300.0; x += 0.5) {
+      seeds.insert(
+          exec::mix_seed(7, {exec::coord_bits(x), exec::coord_bits(s)}));
+      ++n;
+    }
+  }
+  EXPECT_EQ(seeds.size(), n);
+}
+
+TEST(Campaign, ExpandResolvesPaperTimesetPerCell)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock};
+  plan.scenarios = {{Scenario::local, HypervisorType::none}};
+  const auto cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 2u);
+  const TimingConfig event_t = paper_timeset(Mechanism::event, Scenario::local);
+  const TimingConfig flock_t = paper_timeset(Mechanism::flock, Scenario::local);
+  EXPECT_EQ(cells[0].config.timing.interval.count_ns(),
+            event_t.interval.count_ns());
+  EXPECT_EQ(cells[1].config.timing.t1.count_ns(), flock_t.t1.count_ns());
+}
+
+TEST(Campaign, RunCellMatchesDirectTransmission)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  plan.payload_bits = 256;
+  plan.seed_base = 42;
+  const auto cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 1u);
+
+  const ChannelReport via_campaign = exec::run_cell(cells[0]);
+  const ChannelReport direct =
+      run_transmission(cells[0].config, exec::cell_payload(cells[0]));
+  ASSERT_TRUE(via_campaign.ok);
+  EXPECT_DOUBLE_EQ(via_campaign.ber, direct.ber);
+  EXPECT_DOUBLE_EQ(via_campaign.throughput_bps, direct.throughput_bps);
+  EXPECT_EQ(via_campaign.received_payload.to_string(),
+            direct.received_payload.to_string());
+}
+
+TEST(Campaign, AggregatesPointAndMarginalStats)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock};
+  plan.scenarios = {{Scenario::local, HypervisorType::none}};
+  plan.repeats = 2;
+  plan.payload_bits = 256;
+  const exec::CampaignResult result = exec::CampaignRunner{1}.run(plan);
+
+  ASSERT_EQ(result.points.size(), 2u);  // one per mechanism, reps folded
+  for (const exec::GroupStats& g : result.points) {
+    EXPECT_EQ(g.cells, 2u);
+    EXPECT_EQ(g.ok, 2u);
+    EXPECT_GE(g.max_ber, g.mean_ber);
+    EXPECT_GT(g.mean_throughput_bps, 0.0);
+  }
+  ASSERT_EQ(result.by_scenario.size(), 1u);
+  EXPECT_EQ(result.by_scenario[0].cells, 4u);
+}
+
+TEST(ExperimentEnv, HostsMultiplePairsInOneSimulation)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.seed = 77;
+
+  exec::ExperimentEnv env{cfg};
+  auto& a = env.add_pair();
+  auto& b = env.add_pair();
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  ASSERT_TRUE(b.error.empty()) << b.error;
+  // Distinct tags keep the pairs' kernel objects private to each pair.
+  EXPECT_NE(a.ctx->tag, b.ctx->tag);
+  EXPECT_NE(a.ctx->trojan.pid(), b.ctx->trojan.pid());
+}
+
+TEST(ExperimentEnv, ReportsTopologyFailureAtSetup)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;  // named object: invisible cross-VM
+  cfg.scenario = Scenario::cross_vm;
+  cfg.hypervisor = HypervisorType::type1;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::cross_vm);
+
+  exec::ExperimentEnv env{cfg};
+  auto& ep = env.add_pair();
+  EXPECT_FALSE(ep.error.empty());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+  std::vector<std::atomic<int>> hits(1000);
+  exec::parallel_for(hits.size(), 8,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+  EXPECT_THROW(
+      exec::parallel_for(16, 4,
+                         [](std::size_t i) {
+                           if (i == 7) throw std::runtime_error{"boom"};
+                         }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInline)
+{
+  std::vector<std::size_t> order;
+  exec::parallel_for(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace mes

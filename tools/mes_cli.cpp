@@ -1,16 +1,20 @@
 // mes_cli — command-line driver for MES channel experiments.
 //
-//   mes_cli run   --mechanism event --scenario local --bits 20000
-//   mes_cli run   --mechanism flock --t1 180 --t0 60 --seed 9 --fec
-//   mes_cli sweep --mechanism flock --param t1 --from 110 --to 320 --step 15
-//   mes_cli text  --mechanism event --message "hello covert world"
+//   mes_cli run      --mechanism event --scenario local --bits 20000
+//   mes_cli run      --mechanism flock --t1 180 --t0 60 --seed 9 --fec
+//   mes_cli sweep    --mechanism flock --param t1 --from 110 --to 320 --step 15
+//   mes_cli campaign --mechanisms paper --scenarios local,sandbox --seeds 5
+//   mes_cli text     --mechanism event --message "hello covert world"
 //   mes_cli list
 //
 // Everything the bench harness measures, reachable without recompiling.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,7 @@
 #include "analysis/sweep.h"
 #include "codec/fec.h"
 #include "core/runner.h"
+#include "exec/campaign.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -65,23 +70,38 @@ struct Options {
   // Sweep controls.
   std::string param = "t1";
   double from = 110.0, to = 320.0, step = 15.0;
+  // Campaign controls.
+  std::string mechanisms = "paper";  // paper|all|comma list
+  std::string scenarios = "local";   // comma list of local|sandbox|vm
+  std::size_t repeats = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string csv;       // CSV output path ("-" = stdout)
+  bool json = false;     // machine-readable output (run/campaign)
 };
 
 void usage()
 {
   std::printf(
-      "usage: mes_cli <run|sweep|text|list> [options]\n"
+      "usage: mes_cli <run|sweep|campaign|text|list> [options]\n"
       "  --mechanism M   flock|filelockex|mutex|semaphore|event|timer|"
       "signal|flock-sh\n"
       "  --scenario S    local|sandbox|vm     --hypervisor type1|type2\n"
-      "  --bits N        payload bits (run/sweep points)\n"
+      "  --bits N        payload bits (run/sweep/campaign cells)\n"
       "  --seed N        RNG seed             --width W   symbol bits\n"
       "  --t1 US --t0 US --interval US        timing overrides\n"
       "  --fuzz US       mitigation timing fuzz\n"
       "  --fec           Hamming(7,4)+interleave the payload\n"
       "  --message TEXT  payload for `text`\n"
       "  --param P --from A --to B --step D   sweep controls "
-      "(t1|t0|interval)\n");
+      "(t1|t0|interval)\n"
+      "  --json          machine-readable output (run/campaign)\n"
+      "campaign options:\n"
+      "  --mechanisms L  paper|all|comma list (default paper: the six "
+      "Table IV MESMs)\n"
+      "  --scenarios L   comma list of local|sandbox|vm (default local)\n"
+      "  --seeds K       seed replicates per grid point (default 1)\n"
+      "  --jobs J        worker threads (default: hardware concurrency)\n"
+      "  --csv PATH      per-cell CSV emission ('-' = stdout)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt)
@@ -133,6 +153,28 @@ bool parse(int argc, char** argv, Options& opt)
       else opt.step = value;
     } else if (arg == "--fec") {
       opt.fec = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return false;
+      opt.repeats = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      opt.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--mechanisms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.mechanisms = v;
+    } else if (arg == "--scenarios") {
+      const char* v = next();
+      if (!v) return false;
+      opt.scenarios = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      opt.csv = v;
     } else if (arg == "--param") {
       const char* v = next();
       if (!v) return false;
@@ -186,10 +228,36 @@ void print_report(const ChannelReport& rep, std::size_t payload_bits)
 
 int cmd_run(const Options& opt)
 {
+  if (opt.width == 0) {
+    std::fprintf(stderr, "--width must be at least 1\n");
+    return 2;
+  }
   ExperimentConfig cfg = config_from(opt);
   Rng rng{opt.seed ^ 0xC11u};
   const std::size_t n = opt.bits - opt.bits % opt.width;
   const BitVec secret = BitVec::random(rng, n);
+  if (opt.json) {
+    const BitVec payload = opt.fec ? codec::fec_protect(secret, 7) : secret;
+    const ChannelReport rep = run_transmission(cfg, payload);
+    std::string json = exec::report_json(rep, payload.size());
+    if (opt.fec && rep.ok) {
+      const auto recovered = codec::fec_recover(rep.received_payload, 7);
+      const std::size_t residual = secret.hamming_distance(
+          recovered.data.slice(0, secret.size()));
+      char fec_buf[160];
+      std::snprintf(fec_buf, sizeof fec_buf,
+                    ",\"fec\":{\"corrected\":%zu,\"residual_errors\":%zu,"
+                    "\"residual_ber\":%g,\"goodput_bps\":%g}}",
+                    recovered.corrected, residual,
+                    secret.empty() ? 0.0
+                                   : static_cast<double>(residual) /
+                                         static_cast<double>(secret.size()),
+                    rep.throughput_bps * 4.0 / 7.0);
+      json.replace(json.size() - 1, 1, fec_buf);
+    }
+    std::printf("%s\n", json.c_str());
+    return rep.ok ? 0 : 1;
+  }
   if (!opt.fec) {
     const ChannelReport rep = run_transmission(cfg, secret);
     print_report(rep, secret.size());
@@ -240,6 +308,146 @@ int cmd_sweep(const Options& opt)
   }
   table.print();
   return 0;
+}
+
+std::vector<std::string> split_list(const std::string& csv_list)
+{
+  std::vector<std::string> items;
+  std::stringstream stream{csv_list};
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
+{
+  if (opt.mechanisms == "paper") {
+    plan.mechanisms = {Mechanism::flock, Mechanism::file_lock_ex,
+                       Mechanism::mutex, Mechanism::semaphore,
+                       Mechanism::event, Mechanism::waitable_timer};
+  } else if (opt.mechanisms == "all") {
+    plan.mechanisms.clear();
+    for (const auto& [name, mechanism] : mechanism_names()) {
+      (void)name;
+      plan.mechanisms.push_back(mechanism);
+    }
+  } else {
+    plan.mechanisms.clear();
+    for (const std::string& name : split_list(opt.mechanisms)) {
+      if (!mechanism_names().contains(name)) {
+        std::fprintf(stderr, "unknown mechanism %s\n", name.c_str());
+        return false;
+      }
+      plan.mechanisms.push_back(mechanism_names().at(name));
+    }
+  }
+
+  plan.scenarios.clear();
+  for (const std::string& name : split_list(opt.scenarios)) {
+    if (!scenario_names().contains(name)) {
+      std::fprintf(stderr, "unknown scenario %s\n", name.c_str());
+      return false;
+    }
+    const Scenario s = scenario_names().at(name);
+    plan.scenarios.push_back(
+        {s, s == Scenario::cross_vm
+                ? (opt.hypervisor == HypervisorType::none
+                       ? HypervisorType::type1
+                       : opt.hypervisor)
+                : HypervisorType::none});
+  }
+  if (plan.mechanisms.empty() || plan.scenarios.empty()) {
+    std::fprintf(stderr, "campaign needs at least one mechanism and one "
+                         "scenario\n");
+    return false;
+  }
+
+  plan.repeats = std::max<std::size_t>(opt.repeats, 1);
+  plan.seed_base = opt.seed;
+  plan.payload_bits = opt.bits;
+  // Per-cell timing starts from the paper Timeset of (mechanism,
+  // scenario); explicit flags override on top, like `run` does.
+  plan.tweak = [opt](ExperimentConfig& cfg, const exec::CellCoord&) {
+    if (opt.t1 >= 0) cfg.timing.t1 = Duration::us(opt.t1);
+    if (opt.t0 >= 0) cfg.timing.t0 = Duration::us(opt.t0);
+    if (opt.interval >= 0) cfg.timing.interval = Duration::us(opt.interval);
+    cfg.timing.symbol_bits = opt.width;
+    cfg.sync_bits = 8 * opt.width;
+    cfg.mitigation_fuzz = Duration::us(opt.fuzz);
+  };
+  return true;
+}
+
+int cmd_campaign(const Options& opt)
+{
+  exec::ExperimentPlan plan;
+  if (!campaign_plan(opt, plan)) return 2;
+
+  const exec::CampaignRunner runner{opt.jobs};
+  const exec::CampaignResult result = runner.run(plan);
+
+  if (!opt.csv.empty()) {
+    if (opt.csv == "-") {
+      exec::write_csv(std::cout, result);
+    } else {
+      std::ofstream out{opt.csv};
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", opt.csv.c_str());
+        return 1;
+      }
+      exec::write_csv(out, result);
+    }
+  }
+  // A campaign where *nothing* could run (every cell failed setup or
+  // validation) is a failure for scripts, like cmd_run's rep.ok.
+  std::size_t cells_ok = 0;
+  for (const exec::CellResult& c : result.cells) {
+    if (c.report.ok) ++cells_ok;
+  }
+  const int exit_code = cells_ok > 0 ? 0 : 1;
+
+  if (opt.json) {
+    exec::write_json(std::cout, result);
+    return exit_code;
+  }
+
+  std::printf("campaign: %zu cells (%zu mechanisms x %zu scenarios x %zu "
+              "seeds), %zu jobs\n",
+              result.cells.size(), plan.mechanisms.size(),
+              plan.scenarios.size(), plan.repeats, runner.jobs());
+  TextTable table({"point", "cells", "sync", "mean BER(%)", "max BER(%)",
+                   "mean TR(kb/s)", "capacity(kb/s)"});
+  for (const exec::GroupStats& g : result.points) {
+    table.add_row(
+        {g.key, std::to_string(g.cells),
+         std::to_string(g.sync_ok) + "/" + std::to_string(g.cells),
+         g.ok ? TextTable::num(g.mean_ber * 100.0, 3) : "-",
+         g.ok ? TextTable::num(g.max_ber * 100.0, 3) : "-",
+         g.ok ? TextTable::num(g.mean_throughput_bps / 1000.0, 3) : "-",
+         g.ok ? TextTable::num(analysis::effective_capacity_bps(
+                                   g.mean_throughput_bps, g.mean_ber) /
+                                   1000.0,
+                               3)
+              : "setup failed"});
+  }
+  table.print();
+
+  if (plan.scenarios.size() > 1) {
+    std::printf("\nmarginals by scenario:\n");
+    TextTable marg({"scenario", "cells", "sync", "mean BER(%)",
+                    "mean TR(kb/s)"});
+    for (const exec::GroupStats& g : result.by_scenario) {
+      marg.add_row(
+          {g.key, std::to_string(g.cells),
+           std::to_string(g.sync_ok) + "/" + std::to_string(g.cells),
+           g.ok ? TextTable::num(g.mean_ber * 100.0, 3) : "-",
+           g.ok ? TextTable::num(g.mean_throughput_bps / 1000.0, 3) : "-"});
+    }
+    marg.print();
+  }
+  return exit_code;
 }
 
 int cmd_text(const Options& opt)
@@ -295,6 +503,7 @@ int main(int argc, char** argv)
   }
   if (opt.command == "run") return cmd_run(opt);
   if (opt.command == "sweep") return cmd_sweep(opt);
+  if (opt.command == "campaign") return cmd_campaign(opt);
   if (opt.command == "text") return cmd_text(opt);
   if (opt.command == "list") return cmd_list();
   usage();
