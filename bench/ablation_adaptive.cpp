@@ -1,0 +1,216 @@
+// Ablation: adaptive rate control vs the fixed-rate grid (the proto
+// layer's reason to exist).
+//
+// For each scenario this bench runs, through the campaign engine, the
+// rate-vs-BER frontier of a flock link: every grid scale carries (a) a
+// raw fixed round — the frontier the paper found by hand — and (b) an
+// ARQ session at that fixed rate, whose goodput is what reliable
+// delivery actually achieves there. Then adaptive mode runs blind: it
+// calibrates against the live noise regime, picks its own rate, and
+// must land within 10% of the best fixed-rate ARQ cell's bandwidth at
+// equal-or-lower residual BER — replacing the grid search the fixed
+// rows needed with one calibration phase.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "exec/campaign.h"
+#include "proto/adaptive.h"
+#include "proto/calibrate.h"
+
+namespace {
+
+using namespace mes;
+
+constexpr std::size_t kPayloadBits = 2048;
+constexpr std::size_t kRepeats = 3;
+const std::vector<double> kScales = {0.25, 0.35, 0.5, 0.7, 1.0, 1.4, 2.0};
+
+struct PointAgg {
+  std::size_t cells = 0;
+  double ber = 0.0;         // mean over delivered cells
+  double goodput_bps = 0.0; // mean over ok cells
+  std::size_t retx = 0;
+  std::size_t delivered = 0;
+};
+
+// Aggregates one (protocol, timing-label) point from campaign cells.
+std::map<std::string, PointAgg> aggregate(
+    const std::vector<exec::CellResult>& cells)
+{
+  std::map<std::string, PointAgg> points;
+  for (const exec::CellResult& c : cells) {
+    if (!c.report.ok) continue;
+    std::string key = c.cell.label;
+    if (const auto pos = key.rfind('#'); pos != std::string::npos) {
+      key.resize(pos);
+    }
+    PointAgg& p = points[key];
+    ++p.cells;
+    p.ber += c.report.ber;
+    p.goodput_bps += c.report.throughput_bps;
+    if (c.report.proto) p.retx += c.report.proto->retransmits;
+    if (c.report.sync_ok) ++p.delivered;
+  }
+  for (auto& [key, p] : points) {
+    if (p.cells == 0) continue;
+    p.ber /= static_cast<double>(p.cells);
+    p.goodput_bps /= static_cast<double>(p.cells);
+  }
+  return points;
+}
+
+std::string scale_label(double s)
+{
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "x%.2f", s);
+  return buf;
+}
+
+bool run_scenario(Scenario scenario, HypervisorType hv)
+{
+  const Mechanism mech = Mechanism::flock;  // works across every boundary
+
+  // The frontier: every scale at fixed + arq protocol, via the campaign
+  // engine's timing and protocol axes.
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {mech};
+  plan.scenarios = {{scenario, hv}};
+  plan.timings.clear();
+  for (const double s : kScales) plan.timings.push_back({scale_label(s), {}});
+  plan.protocols = {{"fixed", ProtocolMode::fixed},
+                    {"arq", ProtocolMode::arq}};
+  plan.repeats = kRepeats;
+  plan.seed_base = 0xADA57;
+  plan.payload_bits = kPayloadBits;
+  plan.tweak = [](ExperimentConfig& cfg, const exec::CellCoord& coord) {
+    cfg.timing = scale_timing(cfg.timing, kScales[coord.timing]);
+  };
+  const exec::CampaignResult frontier = exec::CampaignRunner{}.run(plan);
+
+  // Adaptive mode: same link, no timing axis — it picks its own.
+  exec::ExperimentPlan adaptive_plan;
+  adaptive_plan.mechanisms = {mech};
+  adaptive_plan.scenarios = {{scenario, hv}};
+  adaptive_plan.protocols = {{"adaptive", ProtocolMode::adaptive}};
+  adaptive_plan.repeats = kRepeats;
+  adaptive_plan.seed_base = 0xADA57;
+  adaptive_plan.payload_bits = kPayloadBits;
+  const exec::CampaignResult adapted =
+      exec::CampaignRunner{}.run(adaptive_plan);
+
+  const auto points = aggregate(frontier.cells);
+
+  std::printf("\n-- %s / %s --\n", to_string(mech), to_string(scenario));
+  TextTable table({"scale", "fixed BER(%)", "fixed TR(kb/s)",
+                   "ARQ goodput(kb/s)", "ARQ retx", "delivered"});
+  double best_arq_bps = 0.0;
+  double best_arq_ber = 1.0;
+  std::string best_label;
+  for (const double s : kScales) {
+    const std::string base = std::string{to_string(mech)} + "/" +
+                             to_string(scenario) +
+                             (hv != HypervisorType::none
+                                  ? std::string{"@"} + to_string(hv)
+                                  : std::string{}) +
+                             "/" + scale_label(s);
+    const auto fixed_it = points.find(base + "/fixed");
+    const auto arq_it = points.find(base + "/arq");
+    const PointAgg* fx =
+        fixed_it != points.end() ? &fixed_it->second : nullptr;
+    const PointAgg* aq = arq_it != points.end() ? &arq_it->second : nullptr;
+    table.add_row(
+        {scale_label(s),
+         fx ? TextTable::num(fx->ber * 100.0, 2) : "-",
+         fx ? TextTable::num(fx->goodput_bps / 1000.0, 3) : "-",
+         aq ? TextTable::num(aq->goodput_bps / 1000.0, 3) : "-",
+         aq ? std::to_string(aq->retx) : "-",
+         aq ? std::to_string(aq->delivered) + "/" + std::to_string(aq->cells)
+            : "-"});
+    if (aq && aq->delivered == aq->cells &&
+        aq->goodput_bps > best_arq_bps) {
+      best_arq_bps = aq->goodput_bps;
+      best_arq_ber = aq->ber;
+      best_label = scale_label(s);
+    }
+  }
+  table.print();
+
+  PointAgg adaptive_agg;
+  double mean_scale = 0.0;
+  std::size_t scale_n = 0;
+  for (const exec::CellResult& c : adapted.cells) {
+    if (!c.report.ok) continue;
+    ++adaptive_agg.cells;
+    adaptive_agg.ber += c.report.ber;
+    adaptive_agg.goodput_bps += c.report.throughput_bps;
+    if (c.report.proto) adaptive_agg.retx += c.report.proto->retransmits;
+    if (c.report.sync_ok) ++adaptive_agg.delivered;
+    const TimingConfig paper = paper_timeset(mech, scenario);
+    if (paper.t1 > Duration::zero()) {
+      mean_scale += c.report.timing.t1 / paper.t1;
+      ++scale_n;
+    }
+  }
+  if (adaptive_agg.cells > 0) {
+    adaptive_agg.ber /= static_cast<double>(adaptive_agg.cells);
+    adaptive_agg.goodput_bps /= static_cast<double>(adaptive_agg.cells);
+  }
+
+  std::printf("adaptive : goodput %.3f kb/s, residual BER %.2f%%, "
+              "delivered %zu/%zu, mean chosen scale x%.2f\n",
+              adaptive_agg.goodput_bps / 1000.0, adaptive_agg.ber * 100.0,
+              adaptive_agg.delivered, adaptive_agg.cells,
+              scale_n ? mean_scale / static_cast<double>(scale_n) : 0.0);
+  std::printf("best grid: %s at %.3f kb/s (residual BER %.2f%%)\n",
+              best_label.c_str(), best_arq_bps / 1000.0,
+              best_arq_ber * 100.0);
+
+  const bool bandwidth_ok =
+      best_arq_bps > 0.0 && adaptive_agg.goodput_bps >= 0.9 * best_arq_bps;
+  const bool ber_ok = adaptive_agg.ber <= best_arq_ber + 1e-12;
+  std::printf("verdict  : %s (bandwidth %.0f%% of grid best, BER %s)\n",
+              bandwidth_ok && ber_ok ? "PASS" : "FAIL",
+              best_arq_bps > 0.0
+                  ? 100.0 * adaptive_agg.goodput_bps / best_arq_bps
+                  : 0.0,
+              ber_ok ? "equal-or-lower" : "HIGHER");
+  return bandwidth_ok && ber_ok;
+}
+
+void BM_CalibrateLink(benchmark::State& state)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.seed = 0xCA1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::calibrate_link(cfg).ok);
+  }
+}
+BENCHMARK(BM_CalibrateLink)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  mes::bench::print_header(
+      "Adaptive rate control vs the fixed-rate grid",
+      "the Timeset grid searches behind Tables IV-VI, automated");
+
+  bool all_pass = true;
+  all_pass &= run_scenario(Scenario::local, HypervisorType::none);
+  all_pass &= run_scenario(Scenario::cross_sandbox, HypervisorType::none);
+  all_pass &= run_scenario(Scenario::cross_vm, HypervisorType::type1);
+
+  std::printf("\noverall  : %s — calibration %s the per-cell grid search\n",
+              all_pass ? "PASS" : "FAIL",
+              all_pass ? "replaces" : "does not yet replace");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return all_pass ? 0 : 1;
+}

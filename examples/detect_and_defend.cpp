@@ -1,10 +1,16 @@
 // The defender's workflow (§VIII): detect a running MES channel from
 // kernel traces, then neutralize it with MESM timing fuzz — and see what
-// that fuzz would cost legitimate lock users.
+// that fuzz would cost legitimate lock users. The neutralization
+// verdict comes from the attacker's own calibration (proto/calibrate):
+// a channel is dead when no rate on the grid yields separable levels,
+// not when some hand-picked BER cutoff trips — because the modern
+// attacker is adaptive and will retreat down the rate grid first.
 #include <cstdio>
 
 #include "core/runner.h"
 #include "detect/detector.h"
+#include "proto/adaptive.h"
+#include "proto/calibrate.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -49,23 +55,47 @@ int main()
     return 1;
   }
 
-  // Step 3: respond with MESM timing fuzz and watch the channel die.
+  // Step 3: respond with MESM timing fuzz. The verdict per amplitude is
+  // what the *adaptive* attacker can still do: calibrate the link under
+  // the fuzz and deliver via ARQ, retreating down the rate grid until
+  // no rate has separable levels.
   std::printf("\napplying per-op timing fuzz:\n");
-  TextTable table({"fuzz (us)", "channel BER(%)", "channel TR(kb/s)",
-                   "verdict"});
+  TextTable table({"fuzz (us)", "fixed BER(%)", "fixed TR(kb/s)",
+                   "adapt rate", "adapt TR(kb/s)", "verdict"});
+  Rng payload_rng{0xDEF2};
+  const BitVec payload = BitVec::random(payload_rng, 1024);
   for (const double fuzz : {0.0, 40.0, 120.0, 250.0}) {
     const ChannelReport rep = run_channel(Duration::us(fuzz), nullptr);
+
+    ExperimentConfig cfg;
+    cfg.mechanism = Mechanism::event;
+    cfg.scenario = Scenario::local;
+    cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+    cfg.mitigation_fuzz = Duration::us(fuzz);
+    cfg.seed = 0xDEF3;
+    proto::Calibration cal;
+    const ChannelReport adapted =
+        proto::run_adaptive_transmission(cfg, payload, {}, &cal);
+    const bool survives = adapted.ok && adapted.sync_ok;
+
     table.add_row({TextTable::num(fuzz, 0),
                    TextTable::num(rep.ber_percent(), 2),
                    TextTable::num(rep.throughput_kbps(), 2),
-                   rep.ber > 0.15 ? "channel neutralized"
-                                  : (rep.ber > 0.02 ? "degraded" : "alive")});
+                   survives ? "x" + TextTable::num(cal.scale, 2) : "-",
+                   survives ? TextTable::num(adapted.throughput_kbps(), 2)
+                            : "-",
+                   !survives          ? "channel neutralized"
+                   : cal.scale > 1.0  ? "slowed, still delivering"
+                                      : "alive"});
   }
   table.print();
 
   std::printf("\ncost to a legitimate lock user: each MESM call gains up "
               "to the fuzz\namplitude in latency — ~125 us mean at 250 us "
               "fuzz — which is why the\npaper calls the closed-resource "
-              "channels \"difficult to isolate\" (§VIII).\n");
+              "channels \"difficult to isolate\" (§VIII). And an adaptive\n"
+              "sender keeps delivering (slower) until the fuzz exhausts "
+              "the whole rate\ngrid, so the defender pays that latency on "
+              "every lock in the system.\n");
   return 0;
 }

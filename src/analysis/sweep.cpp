@@ -25,8 +25,9 @@ std::vector<SweepPoint> sweep_grid(
   for (std::size_t si = 0; si < series.size(); ++si) {
     for (std::size_t xi = 0; xi < xs.size(); ++xi) {
       exec::CampaignCell cell;
-      cell.coord =
-          exec::CellCoord{0, 0, xi, si, cells.size()};
+      cell.coord.timing = xi;
+      cell.coord.repeat = si;
+      cell.coord.flat = cells.size();
       cell.config = make_config(xs[xi], series[si]);
       cell.config.seed = exec::mix_seed(
           seed_base,

@@ -22,4 +22,38 @@ std::optional<BitVec> check_and_strip(const BitVec& received,
   return received.slice(sync_bits, received.size() - sync_bits);
 }
 
+std::uint16_t crc16(const BitVec& bits)
+{
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const std::uint16_t in = bits[i] ? 1 : 0;
+    const std::uint16_t top = (crc >> 15) & 1;
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (top ^ in) crc ^= 0x1021;
+  }
+  return crc;
+}
+
+BitVec append_crc(const BitVec& bits)
+{
+  BitVec out = bits;
+  const std::uint16_t crc = crc16(bits);
+  for (std::size_t i = 0; i < kCrcBits; ++i) {
+    out.push_back((crc >> (kCrcBits - 1 - i)) & 1);
+  }
+  return out;
+}
+
+std::optional<BitVec> check_and_strip_crc(const BitVec& bits)
+{
+  if (bits.size() < kCrcBits) return std::nullopt;
+  const BitVec body = bits.slice(0, bits.size() - kCrcBits);
+  std::uint16_t got = 0;
+  for (std::size_t i = bits.size() - kCrcBits; i < bits.size(); ++i) {
+    got = static_cast<std::uint16_t>((got << 1) | (bits[i] ? 1 : 0));
+  }
+  if (got != crc16(body)) return std::nullopt;
+  return body;
+}
+
 }  // namespace mes::codec

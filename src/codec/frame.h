@@ -4,9 +4,14 @@
 // sync sequence is the pre-negotiated alternating pattern; the Spy
 // verifies it before trusting the data section, and its measured
 // latencies double as the classifier calibration set.
+//
+// The ARQ layer (mes::proto) additionally protects each frame body with
+// the CRC-16/CCITT checksum defined here: the preamble only proves the
+// Spy latched onto a round, the CRC proves the round's *data* survived.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "util/bitvec.h"
@@ -25,5 +30,18 @@ Frame make_frame(const BitVec& payload, std::size_t sync_bits);
 // prefix does not match (the Spy discards the round, §V.B).
 std::optional<BitVec> check_and_strip(const BitVec& received,
                                       std::size_t sync_bits);
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over a bit sequence of
+// any length — payloads here are bit-, not byte-, granular.
+std::uint16_t crc16(const BitVec& bits);
+
+inline constexpr std::size_t kCrcBits = 16;
+
+// [ bits | crc16(bits) ], MSB-first checksum.
+BitVec append_crc(const BitVec& bits);
+
+// Verifies and strips a trailing CRC appended by append_crc;
+// std::nullopt when the checksum (or the length) is wrong.
+std::optional<BitVec> check_and_strip_crc(const BitVec& bits);
 
 }  // namespace mes::codec

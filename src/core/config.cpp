@@ -51,6 +51,25 @@ const char* to_string(ChannelClass c)
   return c == ChannelClass::contention ? "contention" : "cooperation";
 }
 
+const char* to_string(ProtocolMode p)
+{
+  switch (p) {
+    case ProtocolMode::fixed: return "fixed";
+    case ProtocolMode::arq: return "arq";
+    case ProtocolMode::adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+TimingConfig scale_timing(const TimingConfig& t, double factor)
+{
+  TimingConfig out = t;
+  out.t1 = t.t1 * factor;
+  out.t0 = t.t0 * factor;
+  out.interval = t.interval * factor;
+  return out;
+}
+
 TimingConfig paper_timeset(Mechanism m, Scenario s)
 {
   using D = Duration;

@@ -50,4 +50,21 @@ struct TimingConfig {
 // return the closest configured setting so sweeps remain possible.
 TimingConfig paper_timeset(Mechanism m, Scenario s);
 
+// Uniformly rescales every symbol-duration knob (t1/t0/interval) —
+// the rate axis the adaptive layer searches. symbol_bits is untouched.
+TimingConfig scale_timing(const TimingConfig& t, double factor);
+
+// How a transmission is driven (mes::proto, the layer above the codec):
+//  * fixed    — one raw framed round at the configured Timeset (the
+//               paper's protocol, what run_transmission does);
+//  * arq      — sequence-numbered CRC frames with ack/nak over the
+//               reverse direction of the same MESM, at the configured
+//               fixed timing;
+//  * adaptive — calibrate symbol duration + classifier thresholds
+//               against the live noise regime first, then run ARQ at
+//               the chosen rate.
+enum class ProtocolMode { fixed, arq, adaptive };
+
+const char* to_string(ProtocolMode p);
+
 }  // namespace mes

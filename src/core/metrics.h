@@ -36,6 +36,20 @@ struct ChannelReport {
   // Symbol-level confusion over the data section (present when ok).
   std::optional<ConfusionMatrix> confusion;
 
+  // Filled by the protocol layer (mes::proto) when the transmission ran
+  // in ARQ or adaptive mode; absent for raw fixed-rate rounds.
+  struct ProtocolStats {
+    ProtocolMode mode = ProtocolMode::fixed;
+    std::size_t frames = 0;           // distinct data frames delivered
+    std::size_t frame_sends = 0;      // transmissions incl. retransmits
+    std::size_t retransmits = 0;
+    // Adaptive mode only: what the calibration phase decided.
+    double calibration_margin = 0.0;  // level separation / jitter
+    Duration calibration_time = Duration::zero();
+    std::size_t calibration_probes = 0;
+  };
+  std::optional<ProtocolStats> proto;
+
   double ber_percent() const { return ber * 100.0; }
   double throughput_kbps() const { return throughput_bps / 1000.0; }
 };

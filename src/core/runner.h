@@ -27,6 +27,13 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   os::LockFairness fairness = os::LockFairness::fair;
 
+  // How the transmission is driven. run_transmission itself always runs
+  // one raw fixed-rate round; the arq/adaptive modes are dispatched by
+  // the layers above (exec::run_cell, mes_cli) into mes::proto, which
+  // loops raw rounds under its framing. Carried here so campaign cells
+  // can put the protocol on a plan axis.
+  ProtocolMode protocol = ProtocolMode::fixed;
+
   // Per-iteration protocol-loop cost ("irrelevant instructions").
   Duration loop_cost = Duration::us(5.0);
 

@@ -8,6 +8,7 @@
 
 #include "exec/seed.h"
 #include "exec/thread_pool.h"
+#include "proto/adaptive.h"
 #include "util/rng.h"
 
 namespace mes::exec {
@@ -112,37 +113,54 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
   for (std::size_t mi = 0; mi < plan.mechanisms.size(); ++mi) {
     for (std::size_t si = 0; si < plan.scenarios.size(); ++si) {
       for (std::size_t ti = 0; ti < plan.timings.size(); ++ti) {
-        for (std::size_t ri = 0; ri < plan.repeats; ++ri) {
-          CampaignCell cell;
-          cell.coord = CellCoord{mi, si, ti, ri, cells.size()};
+        for (std::size_t pi = 0; pi < plan.protocols.size(); ++pi) {
+          for (std::size_t ri = 0; ri < plan.repeats; ++ri) {
+            CampaignCell cell;
+            cell.coord = CellCoord{mi, si, ti, pi, ri, cells.size()};
 
-          const Mechanism m = plan.mechanisms[mi];
-          const ScenarioSpec& scen = plan.scenarios[si];
-          const TimingSpec& timing = plan.timings[ti];
+            const Mechanism m = plan.mechanisms[mi];
+            const ScenarioSpec& scen = plan.scenarios[si];
+            const TimingSpec& timing = plan.timings[ti];
+            const ProtocolSpec& proto = plan.protocols[pi];
 
-          cell.config = plan.base;
-          cell.config.mechanism = m;
-          cell.config.scenario = scen.scenario;
-          cell.config.hypervisor = scen.hypervisor;
-          cell.config.timing =
-              timing.timing ? *timing.timing
-                            : paper_timeset(m, scen.scenario);
-          cell.config.seed = mix_seed(plan.seed_base, {mi, si, ti, ri});
-          if (plan.tweak) plan.tweak(cell.config, cell.coord);
+            cell.config = plan.base;
+            cell.config.mechanism = m;
+            cell.config.scenario = scen.scenario;
+            cell.config.hypervisor = scen.hypervisor;
+            cell.config.timing =
+                timing.timing ? *timing.timing
+                              : paper_timeset(m, scen.scenario);
+            cell.config.protocol = proto.mode;
+            // The protocol coordinate enters the seed mix only when the
+            // plan actually has a protocol axis: single-protocol plans
+            // keep their historical seed schedule (stored baselines
+            // stay comparable), and a single-protocol adaptive plan
+            // sees the same channel realization as its fixed twin.
+            cell.config.seed =
+                plan.protocols.size() > 1
+                    ? mix_seed(plan.seed_base, {mi, si, ti, pi, ri})
+                    : mix_seed(plan.seed_base, {mi, si, ti, ri});
+            if (plan.tweak) plan.tweak(cell.config, cell.coord);
 
-          cell.label = to_string(m);
-          cell.label += '/';
-          cell.label += scenario_key(scen);
-          if (plan.timings.size() > 1 || timing.timing) {
+            cell.label = to_string(m);
             cell.label += '/';
-            cell.label += timing.label;
+            cell.label += scenario_key(scen);
+            if (plan.timings.size() > 1 || timing.timing) {
+              cell.label += '/';
+              cell.label += timing.label;
+            }
+            if (plan.protocols.size() > 1 ||
+                proto.mode != ProtocolMode::fixed) {
+              cell.label += '/';
+              cell.label += proto.label;
+            }
+            if (plan.repeats > 1) {
+              cell.label += '#';
+              cell.label += std::to_string(ri);
+            }
+            cell.payload_bits = plan.payload_bits;
+            cells.push_back(std::move(cell));
           }
-          if (plan.repeats > 1) {
-            cell.label += '#';
-            cell.label += std::to_string(ri);
-          }
-          cell.payload_bits = plan.payload_bits;
-          cells.push_back(std::move(cell));
         }
       }
     }
@@ -161,7 +179,7 @@ BitVec cell_payload(const CampaignCell& cell)
 
 ChannelReport run_cell(const CampaignCell& cell)
 {
-  return run_transmission(cell.config, cell_payload(cell));
+  return proto::run_with_protocol(cell.config, cell_payload(cell));
 }
 
 CampaignRunner::CampaignRunner(std::size_t jobs)
@@ -202,20 +220,26 @@ CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
 
 void write_csv(std::ostream& out, const CampaignResult& result)
 {
-  out << "label,mechanism,scenario,hypervisor,t1_us,t0_us,interval_us,"
-         "symbol_bits,repeat,seed,payload_bits,ok,sync_ok,ber,"
-         "throughput_bps,elapsed_us,failure\n";
+  out << "label,mechanism,scenario,hypervisor,protocol,t1_us,t0_us,"
+         "interval_us,symbol_bits,repeat,seed,payload_bits,ok,sync_ok,ber,"
+         "throughput_bps,elapsed_us,frames,retransmits,failure\n";
   for (const CellResult& c : result.cells) {
     const ExperimentConfig& cfg = c.cell.config;
     const ChannelReport& rep = c.report;
+    // rep.timing is what the transmission actually ran at — for
+    // adaptive cells that is the *calibrated* rate, not the anchor.
+    const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
     out << c.cell.label << ',' << to_string(cfg.mechanism) << ','
         << to_string(cfg.scenario) << ',' << to_string(cfg.hypervisor) << ','
-        << cfg.timing.t1.to_us() << ',' << cfg.timing.t0.to_us() << ','
-        << cfg.timing.interval.to_us() << ',' << cfg.timing.symbol_bits << ','
+        << to_string(cfg.protocol) << ','
+        << t.t1.to_us() << ',' << t.t0.to_us() << ','
+        << t.interval.to_us() << ',' << t.symbol_bits << ','
         << c.cell.coord.repeat << ',' << cfg.seed << ','
         << c.cell.payload_bits << ',' << (rep.ok ? 1 : 0) << ','
         << (rep.sync_ok ? 1 : 0) << ',' << rep.ber << ','
-        << rep.throughput_bps << ',' << rep.elapsed.to_us() << ",\""
+        << rep.throughput_bps << ',' << rep.elapsed.to_us() << ','
+        << (rep.proto ? rep.proto->frames : 0) << ','
+        << (rep.proto ? rep.proto->retransmits : 0) << ",\""
         << rep.failure_reason << "\"\n";
   }
 }
@@ -227,23 +251,35 @@ void write_json(std::ostream& out, const CampaignResult& result)
     const CellResult& c = result.cells[i];
     const ExperimentConfig& cfg = c.cell.config;
     const ChannelReport& rep = c.report;
+    // As in write_csv: the timing the cell actually ran at.
+    const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
     if (i > 0) out << ",";
     out << "{\"label\":";
     json_escape(out, c.cell.label);
     out << ",\"mechanism\":\"" << to_string(cfg.mechanism)
         << "\",\"scenario\":\"" << to_string(cfg.scenario)
         << "\",\"hypervisor\":\"" << to_string(cfg.hypervisor)
-        << "\",\"timing\":{\"t1_us\":" << cfg.timing.t1.to_us()
-        << ",\"t0_us\":" << cfg.timing.t0.to_us()
-        << ",\"interval_us\":" << cfg.timing.interval.to_us()
-        << ",\"symbol_bits\":" << cfg.timing.symbol_bits << "}"
+        << "\",\"protocol\":\"" << to_string(cfg.protocol)
+        << "\",\"timing\":{\"t1_us\":" << t.t1.to_us()
+        << ",\"t0_us\":" << t.t0.to_us()
+        << ",\"interval_us\":" << t.interval.to_us()
+        << ",\"symbol_bits\":" << t.symbol_bits << "}"
         << ",\"seed\":" << cfg.seed
         << ",\"payload_bits\":" << c.cell.payload_bits
         << ",\"ok\":" << (rep.ok ? "true" : "false")
         << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
         << ",\"ber\":" << rep.ber
         << ",\"throughput_bps\":" << rep.throughput_bps
-        << ",\"elapsed_us\":" << rep.elapsed.to_us() << ",\"failure\":";
+        << ",\"elapsed_us\":" << rep.elapsed.to_us();
+    if (rep.proto) {
+      out << ",\"proto\":{\"frames\":" << rep.proto->frames
+          << ",\"frame_sends\":" << rep.proto->frame_sends
+          << ",\"retransmits\":" << rep.proto->retransmits
+          << ",\"calibration_margin\":" << rep.proto->calibration_margin
+          << ",\"calibration_us\":" << rep.proto->calibration_time.to_us()
+          << "}";
+    }
+    out << ",\"failure\":";
     json_escape(out, rep.failure_reason);
     out << "}";
   }
@@ -265,7 +301,20 @@ std::string report_json(const ChannelReport& rep, std::size_t payload_bits)
       << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
       << ",\"payload_bits\":" << payload_bits << ",\"ber\":" << rep.ber
       << ",\"throughput_bps\":" << rep.throughput_bps
-      << ",\"elapsed_us\":" << rep.elapsed.to_us() << ",\"failure\":";
+      << ",\"elapsed_us\":" << rep.elapsed.to_us();
+  if (rep.proto) {
+    out << ",\"proto\":{\"mode\":\"" << to_string(rep.proto->mode)
+        << "\",\"frames\":" << rep.proto->frames
+        << ",\"frame_sends\":" << rep.proto->frame_sends
+        << ",\"retransmits\":" << rep.proto->retransmits
+        << ",\"t1_us\":" << rep.timing.t1.to_us()
+        << ",\"t0_us\":" << rep.timing.t0.to_us()
+        << ",\"interval_us\":" << rep.timing.interval.to_us()
+        << ",\"calibration_margin\":" << rep.proto->calibration_margin
+        << ",\"calibration_us\":" << rep.proto->calibration_time.to_us()
+        << "}";
+  }
+  out << ",\"failure\":";
   json_escape(out, rep.failure_reason);
   out << "}";
   return out.str();

@@ -30,6 +30,7 @@ struct CellCoord {
   std::size_t mechanism = 0;
   std::size_t scenario = 0;
   std::size_t timing = 0;
+  std::size_t protocol = 0;
   std::size_t repeat = 0;
   std::size_t flat = 0;  // row-major index over the whole grid
 };
@@ -46,10 +47,18 @@ struct TimingSpec {
   std::optional<TimingConfig> timing;
 };
 
+// One value of the protocol axis: how the cell's transmission is driven
+// (raw fixed-rate round, ARQ at the fixed timing, or calibrate-then-ARQ).
+struct ProtocolSpec {
+  std::string label = "fixed";
+  ProtocolMode mode = ProtocolMode::fixed;
+};
+
 struct ExperimentPlan {
   std::vector<Mechanism> mechanisms = {Mechanism::event};
   std::vector<ScenarioSpec> scenarios = {{}};
   std::vector<TimingSpec> timings = {{}};
+  std::vector<ProtocolSpec> protocols = {{}};
   std::size_t repeats = 1;  // seed-replicate axis
   std::uint64_t seed_base = 1;
   std::size_t payload_bits = 4096;
@@ -59,7 +68,8 @@ struct ExperimentPlan {
 
   std::size_t cell_count() const
   {
-    return mechanisms.size() * scenarios.size() * timings.size() * repeats;
+    return mechanisms.size() * scenarios.size() * timings.size() *
+           protocols.size() * repeats;
   }
 };
 
@@ -72,8 +82,8 @@ struct CampaignCell {
   std::size_t payload_bits = 0;
 };
 
-// Row-major expansion: repeat varies fastest, then timing, scenario,
-// mechanism.
+// Row-major expansion: repeat varies fastest, then protocol, timing,
+// scenario, mechanism.
 std::vector<CampaignCell> expand(const ExperimentPlan& plan);
 
 struct CellResult {

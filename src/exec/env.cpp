@@ -48,26 +48,37 @@ ExperimentEnv::ExperimentEnv(const ExperimentConfig& cfg)
   if (cfg_.enable_trace) kernel_->enable_trace(true);
 }
 
-codec::SymbolSchedule ExperimentEnv::schedule() const
+codec::SymbolSchedule ExperimentEnv::schedule_for(
+    const TimingConfig& timing) const
 {
   if (class_of(cfg_.mechanism) == ChannelClass::cooperation) {
-    return codec::SymbolSchedule{cfg_.timing.symbol_bits, cfg_.timing.t0,
-                                 cfg_.timing.interval};
+    return codec::SymbolSchedule{timing.symbol_bits, timing.t0,
+                                 timing.interval};
   }
-  return codec::SymbolSchedule{1, Duration::zero(), cfg_.timing.t1};
+  return codec::SymbolSchedule{1, Duration::zero(), timing.t1};
+}
+
+codec::SymbolSchedule ExperimentEnv::schedule() const
+{
+  return schedule_for(cfg_.timing);
+}
+
+codec::LatencyClassifier initial_classifier_for(const ExperimentConfig& cfg)
+{
+  if (class_of(cfg.mechanism) == ChannelClass::contention) {
+    const double threshold_us =
+        (kProbeOverheadUs + cfg.timing.t1.to_us()) / 2.0;
+    return codec::LatencyClassifier::binary(Duration::us(threshold_us));
+  }
+  const std::size_t alphabet = std::size_t{1} << cfg.timing.symbol_bits;
+  return codec::LatencyClassifier{alphabet,
+                                  cfg.timing.t0 + Duration::us(kCoopOverheadUs),
+                                  cfg.timing.interval};
 }
 
 codec::LatencyClassifier ExperimentEnv::initial_classifier() const
 {
-  if (class_of(cfg_.mechanism) == ChannelClass::contention) {
-    const double threshold_us =
-        (kProbeOverheadUs + cfg_.timing.t1.to_us()) / 2.0;
-    return codec::LatencyClassifier::binary(Duration::us(threshold_us));
-  }
-  const std::size_t alphabet = std::size_t{1} << cfg_.timing.symbol_bits;
-  return codec::LatencyClassifier{alphabet,
-                                  cfg_.timing.t0 + Duration::us(kCoopOverheadUs),
-                                  cfg_.timing.interval};
+  return initial_classifier_for(cfg_);
 }
 
 ExperimentEnv::Endpoint& ExperimentEnv::add_pair()
@@ -99,6 +110,50 @@ ExperimentEnv::Endpoint& ExperimentEnv::add_pair()
           cfg_.semaphore_initial >= 0 ? cfg_.semaphore_initial : 1,
       .bit_sync = nullptr,
       .spy_guard = Duration::us(core::kDefaultSpyGuardUs)});
+  finish_endpoint(ep);
+  return ep;
+}
+
+ExperimentEnv::Endpoint& ExperimentEnv::add_reverse_pair(
+    const Endpoint& forward)
+{
+  Endpoint& ep = endpoints_.emplace_back();
+  if (forward.ctx == nullptr) {
+    ep.error = "reverse pair needs a built forward endpoint";
+    return ep;
+  }
+  ep.ctx = std::make_unique<core::RunContext>(core::RunContext{
+      .kernel = *kernel_,
+      // Role swap: the forward Spy now modulates the constraint time and
+      // the forward Trojan measures. Same processes, same noise streams.
+      .trojan = forward.ctx->spy,
+      .spy = forward.ctx->trojan,
+      .timing = forward.ctx->timing,
+      .schedule = forward.ctx->schedule,
+      .classifier = forward.ctx->classifier,
+      .loop_cost = forward.ctx->loop_cost,
+      .tag = forward.ctx->tag + "r",
+      .initial_resources = forward.ctx->initial_resources,
+      .bit_sync = nullptr,
+      .spy_guard = Duration::us(core::kDefaultSpyGuardUs)});
+  finish_endpoint(ep);
+  return ep;
+}
+
+void ExperimentEnv::set_link_tuning(Endpoint& ep, const TimingConfig& timing,
+                                    const codec::LatencyClassifier& classifier)
+{
+  ep.ctx->timing = timing;
+  ep.ctx->schedule = schedule_for(timing);
+  ep.ctx->classifier = classifier;
+  if (ep.ctx->bit_sync) {
+    ep.ctx->spy_guard = std::max(Duration::us(core::kDefaultSpyGuardUs),
+                                 timing.t1 * 0.02);
+  }
+}
+
+void ExperimentEnv::finish_endpoint(Endpoint& ep)
+{
   const ChannelClass klass = class_of(cfg_.mechanism);
   if (cfg_.fine_grained_sync && klass == ChannelClass::contention) {
     ep.ctx->bit_sync = std::make_shared<sim::Barrier>(2);
@@ -106,16 +161,16 @@ ExperimentEnv::Endpoint& ExperimentEnv::add_pair()
     // second-scale proofs of concept (Fig. 8) tolerate the bounded
     // scheduler penalties that microsecond channels absorb within their
     // margins.
-    ep.ctx->spy_guard = std::max(ep.ctx->spy_guard, cfg_.timing.t1 * 0.02);
+    ep.ctx->spy_guard =
+        std::max(ep.ctx->spy_guard, ep.ctx->timing.t1 * 0.02);
   }
 
   ep.channel = core::make_channel(cfg_.mechanism);
   if (!ep.channel) {
     ep.error = "unknown mechanism";
-    return ep;
+    return;
   }
   ep.error = ep.channel->setup(*ep.ctx);
-  return ep;
 }
 
 void ExperimentEnv::spawn_transmission(Endpoint& ep,

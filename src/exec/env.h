@@ -25,6 +25,10 @@ namespace mes::exec {
 // run at all (the per-topology checks happen later, in Channel::setup).
 std::string validate_config(const ExperimentConfig& cfg);
 
+// The a-priori classifier a Spy starts from before any preamble
+// calibration. Pure function of the config — no stack required.
+codec::LatencyClassifier initial_classifier_for(const ExperimentConfig& cfg);
+
 class ExperimentEnv {
  public:
   explicit ExperimentEnv(const ExperimentConfig& cfg);
@@ -48,6 +52,21 @@ class ExperimentEnv {
   // runner); later pairs get indexed names and derived tags.
   Endpoint& add_pair();
 
+  // Reverse-signaling hook for the ARQ layer: a channel over the SAME
+  // two processes as `forward`, with the roles swapped — the forward
+  // Spy drives the constraint/signal side and the forward Trojan
+  // measures. Gets its own resource (tag suffixed "r") and, for
+  // contention channels, its own rendezvous barrier. `error` carries the
+  // topology verdict exactly like add_pair (reverse visibility is
+  // symmetric in every modeled scenario, but the channel re-checks).
+  Endpoint& add_reverse_pair(const Endpoint& forward);
+
+  // Re-points an endpoint at different symbol durations + classifier
+  // (the calibration outcome) without rebuilding the stack. Affects
+  // subsequent spawn_transmission calls on that endpoint.
+  void set_link_tuning(Endpoint& ep, const TimingConfig& timing,
+                       const codec::LatencyClassifier& classifier);
+
   // Spawns both protocol roles of `ep` for `symbols` on the simulator.
   void spawn_transmission(Endpoint& ep,
                           const std::vector<std::size_t>& symbols);
@@ -67,6 +86,11 @@ class ExperimentEnv {
   codec::LatencyClassifier initial_classifier() const;
 
  private:
+  codec::SymbolSchedule schedule_for(const TimingConfig& timing) const;
+  // Shared tail of add_pair/add_reverse_pair: rendezvous barrier, spy
+  // guard, channel construction + setup.
+  void finish_endpoint(Endpoint& ep);
+
   ExperimentConfig cfg_;
   ScenarioProfile profile_;
   std::unique_ptr<sim::Simulator> simulator_;

@@ -68,6 +68,10 @@ std::string flock_send(const std::string& path, const BitVec& frame_bits,
     if (::flock(fd.get(), LOCK_UN) != 0) {
       return std::string{"flock_send: LOCK_UN failed: "} + std::strerror(errno);
     }
+    // Yield gap: without it the immediate re-acquire beats the woken
+    // receiver on a busy/single-CPU host and two holds merge into one
+    // probe (see NativeTiming::gap).
+    std::this_thread::sleep_for(timing.gap);
   }
   return {};
 }
@@ -125,10 +129,13 @@ std::optional<std::vector<double>> flock_receive(
     return std::nullopt;
   }
 
-  int spurious_budget = 2000;
+  // The sender idles for timing.gap after every hold, so a couple of
+  // probes per bit land in the gap by design — size the budget to the
+  // frame, with slack for genuine descheduling events.
+  int spurious_budget = 2000 + 8 * static_cast<int>(expected);
   while (latencies.size() < expected && spurious_budget > 0) {
-    // Give the sender the unlock->relock window; the next probe then
-    // queues behind its hold and measures it whole.
+    // Give the sender the unlock->relock (gap) window; the next probe
+    // then queues behind its hold and measures it whole.
     std::this_thread::sleep_for(std::chrono::microseconds(200));
     double latency = 0.0;
     if (!probe(&latency)) {

@@ -29,6 +29,13 @@ struct NativeTiming {
   std::chrono::microseconds t1{15000};      // contention hold for '1'
   std::chrono::microseconds t0{6000};       // '0' hold / pacing sleep
   std::chrono::microseconds interval{8000}; // cooperation level spacing
+  // Sender release-to-reacquire yield gap for the lock-shaped channels.
+  // Kernel lock handoff is not a scheduler handoff: on a loaded (or
+  // single-CPU) host the sender's next acquire wins before the woken
+  // receiver thread ever runs, merging adjacent holds into one probe —
+  // §V.B's fair-pattern requirement made real. The gap parks the sender
+  // long enough for the receiver to take and release its probe lock.
+  std::chrono::microseconds gap{2000};
 };
 
 struct NativeReport {

@@ -105,14 +105,14 @@ class NativeSemaphoreChannel final : public NativeChannel {
       // POSIX semaphores hand off *unfairly*: a woken waiter must
       // re-decrement and loses the race against the poster's immediate
       // next sem_wait — the very fair-pattern requirement of §V.B. The
-      // sender therefore yields a gap after each post so the blocked
-      // receiver can take its probe.
+      // sender therefore yields NativeTiming::gap after each post so
+      // the blocked receiver can take its probe.
       for (std::size_t i = 0; i < frame.bits.size() + 4; ++i) {
         sem_wait(&lock);
         const bool one = i < frame.bits.size() && frame.bits[i] == 1;
         std::this_thread::sleep_for(one ? timing.t1 : timing.t0);
         sem_post(&lock);
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::this_thread::sleep_for(timing.gap);
       }
     }
     const auto elapsed = std::chrono::steady_clock::now() - start;

@@ -1,0 +1,135 @@
+#include "proto/adaptive.h"
+
+#include <algorithm>
+
+#include "exec/env.h"
+#include "proto/link.h"
+
+namespace mes::proto {
+
+namespace {
+
+ChannelReport run_session(const ExperimentConfig& cfg, const BitVec& payload,
+                          const TimingConfig& timing,
+                          const codec::LatencyClassifier& classifier,
+                          const ArqOptions& opt, ProtocolMode mode)
+{
+  ChannelReport rep;
+  rep.mechanism = cfg.mechanism;
+  rep.scenario = cfg.scenario;
+  rep.timing = timing;
+  rep.sent_payload = payload;
+
+  if (std::string err = exec::validate_config(cfg); !err.empty()) {
+    rep.failure_reason = err;
+    return rep;
+  }
+
+  ExperimentConfig link_cfg = cfg;
+  link_cfg.timing = timing;
+  Link link{link_cfg, timing, classifier, opt.sync_bits};
+  if (!link.error().empty()) {
+    rep.failure_reason = link.error();
+    return rep;
+  }
+
+  ArqStats stats;
+  const auto delivered =
+      arq_deliver(payload, link.transport(), opt, &stats);
+
+  if (!link.error().empty()) {
+    rep.failure_reason = link.error();
+    return rep;
+  }
+
+  rep.ok = true;
+  rep.proto = ChannelReport::ProtocolStats{};
+  rep.proto->mode = mode;
+  rep.proto->frames = stats.frames;
+  rep.proto->frame_sends = stats.frame_sends;
+  rep.proto->retransmits = stats.retransmits;
+
+  rep.elapsed = link.elapsed();
+  if (delivered) {
+    rep.sync_ok = true;
+    rep.received_payload = *delivered;
+    rep.ber = payload.empty()
+                  ? 0.0
+                  : static_cast<double>(
+                        payload.hamming_distance(*delivered)) /
+                        static_cast<double>(payload.size());
+    if (rep.elapsed > Duration::zero()) {
+      rep.throughput_bps =
+          static_cast<double>(payload.size()) / rep.elapsed.to_sec();
+    }
+  } else {
+    // Retransmit bound exhausted: the session aborted undelivered.
+    rep.sync_ok = false;
+    rep.ber = 1.0;
+    rep.failure_reason = "ARQ: retransmit bound exhausted";
+  }
+  return rep;
+}
+
+}  // namespace
+
+ChannelReport run_arq_transmission(const ExperimentConfig& cfg,
+                                   const BitVec& payload,
+                                   const ArqOptions& opt)
+{
+  // The a-priori classifier, like a Spy that skipped calibration.
+  return run_session(cfg, payload, cfg.timing,
+                     exec::initial_classifier_for(cfg), opt,
+                     ProtocolMode::arq);
+}
+
+ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
+                                        const BitVec& payload,
+                                        const AdaptiveOptions& opt,
+                                        Calibration* cal_out)
+{
+  // The rate pick optimizes delivered frames/sec for the actual frame
+  // geometry this session will use.
+  AdaptiveOptions tuned = opt;
+  const std::size_t width =
+      class_of(cfg.mechanism) == ChannelClass::cooperation
+          ? std::max<std::size_t>(cfg.timing.symbol_bits, 1)
+          : 1;
+  tuned.calibration.frame_symbols =
+      (frame_wire_bits(opt.arq) + opt.arq.sync_bits + width - 1) / width;
+  tuned.calibration.fec_single_correcting = opt.arq.fec_depth > 0;
+
+  const Calibration cal = calibrate_link(cfg, tuned.calibration, opt.arq);
+  if (cal_out != nullptr) *cal_out = cal;
+  if (!cal.ok) {
+    ChannelReport rep;
+    rep.mechanism = cfg.mechanism;
+    rep.scenario = cfg.scenario;
+    rep.timing = cfg.timing;
+    rep.sent_payload = payload;
+    rep.failure_reason = cal.failure;
+    return rep;
+  }
+  ChannelReport rep = run_session(cfg, payload, cal.timing, cal.classifier,
+                                  opt.arq, ProtocolMode::adaptive);
+  if (rep.proto) {
+    rep.proto->calibration_margin = cal.margin;
+    rep.proto->calibration_time = cal.elapsed;
+    rep.proto->calibration_probes = cal.probes_sent;
+  }
+  return rep;
+}
+
+ChannelReport run_with_protocol(const ExperimentConfig& cfg,
+                                const BitVec& payload)
+{
+  switch (cfg.protocol) {
+    case ProtocolMode::fixed: return run_transmission(cfg, payload);
+    case ProtocolMode::arq: return run_arq_transmission(cfg, payload);
+    case ProtocolMode::adaptive:
+      return run_adaptive_transmission(cfg, payload);
+  }
+  return run_transmission(cfg, payload);
+}
+
+}  // namespace mes::proto

@@ -1,0 +1,50 @@
+// The adaptive transmission drivers: codec -> proto -> channel.
+//
+// run_arq_transmission runs the ARQ session (proto/arq) over one live
+// ExperimentEnv at the configured fixed timing: a forward endpoint for
+// data frames and a reverse endpoint — same two processes, roles
+// swapped — for the acks. run_adaptive_transmission calibrates first
+// (proto/calibrate) and runs the same session at the chosen rate with
+// the measured classifier.
+//
+// Both return a ChannelReport so campaign cells, the CLI and the
+// benches aggregate protocol runs exactly like raw rounds. Semantics
+// that differ from run_transmission:
+//  * received_payload is the reassembled (post-ARQ) payload, so ber is
+//    the *residual* error rate — 0 on any delivered session;
+//  * throughput_bps is goodput: payload bits over the full session
+//    (frames, retransmits and acks included; calibration excluded and
+//    reported separately in report.proto->calibration_time);
+//  * sync_ok means the session delivered within its retransmit bounds.
+#pragma once
+
+#include "core/runner.h"
+#include "proto/arq.h"
+#include "proto/calibrate.h"
+
+namespace mes::proto {
+
+struct AdaptiveOptions {
+  CalibrationOptions calibration;
+  ArqOptions arq;
+};
+
+// ARQ at the configured (fixed) timing; cfg.timing is used as-is.
+ChannelReport run_arq_transmission(const ExperimentConfig& cfg,
+                                   const BitVec& payload,
+                                   const ArqOptions& opt = {});
+
+// Calibrate, then ARQ at the calibrated rate. The returned
+// report.timing is the chosen TimingConfig. `cal_out`, when non-null,
+// receives the full calibration verdict.
+ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
+                                        const BitVec& payload,
+                                        const AdaptiveOptions& opt = {},
+                                        Calibration* cal_out = nullptr);
+
+// Protocol-mode dispatch used by exec::run_cell and the CLI: fixed ->
+// run_transmission, arq/adaptive -> the drivers above.
+ChannelReport run_with_protocol(const ExperimentConfig& cfg,
+                                const BitVec& payload);
+
+}  // namespace mes::proto

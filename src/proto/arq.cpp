@@ -1,0 +1,195 @@
+#include "proto/arq.h"
+
+#include <algorithm>
+
+#include "codec/fec.h"
+#include "codec/frame.h"
+
+namespace mes::proto {
+
+namespace {
+
+std::size_t body_bits(const ArqOptions& opt)
+{
+  return opt.seq_bits + 1 + opt.len_bits + opt.chunk_bits + codec::kCrcBits;
+}
+
+std::size_t ack_body_bits(const ArqOptions& opt)
+{
+  return opt.seq_bits + codec::kCrcBits;
+}
+
+// fec_protect pads its input to a nibble boundary, encodes 7 wire bits
+// per nibble, then pads the coded stream up to an interleaver-depth
+// multiple — the wire size must match that exactly or the recovery
+// side's deinterleave rejects the slice.
+std::size_t fec_wire_bits(std::size_t raw, const ArqOptions& opt)
+{
+  if (opt.fec_depth == 0) return raw;
+  std::size_t coded = (raw + 3) / 4 * codec::Hamming74::code_bits_per_block;
+  if (opt.fec_depth > 1 && coded % opt.fec_depth != 0) {
+    coded += opt.fec_depth - coded % opt.fec_depth;
+  }
+  return coded;
+}
+
+void append_field(BitVec& out, std::size_t value, std::size_t bits)
+{
+  for (std::size_t i = 0; i < bits; ++i) {
+    out.push_back((value >> (bits - 1 - i)) & 1);
+  }
+}
+
+std::size_t read_field(const BitVec& bits, std::size_t pos, std::size_t n)
+{
+  std::size_t value = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    value = (value << 1) | static_cast<std::size_t>(bits[pos + i]);
+  }
+  return value;
+}
+
+BitVec protect(const BitVec& body, const ArqOptions& opt)
+{
+  if (opt.fec_depth == 0) return body;
+  return codec::fec_protect(body, opt.fec_depth);
+}
+
+// Recovers the pre-FEC body; nullopt when the wire size cannot carry it.
+std::optional<BitVec> recover(const BitVec& wire, std::size_t raw_bits,
+                              const ArqOptions& opt)
+{
+  if (opt.fec_depth == 0) {
+    if (wire.size() < raw_bits) return std::nullopt;
+    return wire.slice(0, raw_bits);
+  }
+  if (wire.size() < fec_wire_bits(raw_bits, opt)) return std::nullopt;
+  const BitVec coded = wire.slice(0, fec_wire_bits(raw_bits, opt));
+  return codec::fec_recover(coded, opt.fec_depth).data.slice(0, raw_bits);
+}
+
+}  // namespace
+
+std::size_t frame_wire_bits(const ArqOptions& opt)
+{
+  return fec_wire_bits(body_bits(opt), opt);
+}
+
+std::size_t ack_wire_bits(const ArqOptions& opt)
+{
+  return fec_wire_bits(ack_body_bits(opt), opt);
+}
+
+std::size_t frame_count(std::size_t payload_bits, const ArqOptions& opt)
+{
+  if (payload_bits == 0) return 1;
+  return (payload_bits + opt.chunk_bits - 1) / opt.chunk_bits;
+}
+
+BitVec encode_frame(std::size_t seq, bool last, const BitVec& chunk,
+                    const ArqOptions& opt)
+{
+  BitVec body;
+  append_field(body, seq, opt.seq_bits);
+  body.push_back(last ? 1 : 0);
+  append_field(body, chunk.size(), opt.len_bits);
+  body.append(chunk);
+  for (std::size_t i = chunk.size(); i < opt.chunk_bits; ++i) {
+    body.push_back(0);
+  }
+  return protect(codec::append_crc(body), opt);
+}
+
+DecodedFrame decode_frame(const BitVec& wire, const ArqOptions& opt)
+{
+  DecodedFrame out;
+  const auto body = recover(wire, body_bits(opt), opt);
+  if (!body) return out;
+  const auto checked = codec::check_and_strip_crc(*body);
+  if (!checked) return out;
+  out.seq = read_field(*checked, 0, opt.seq_bits);
+  out.last = (*checked)[opt.seq_bits] != 0;
+  const std::size_t len = read_field(*checked, opt.seq_bits + 1, opt.len_bits);
+  if (len > opt.chunk_bits) return out;  // CRC collision on a bad length
+  out.chunk = checked->slice(opt.seq_bits + 1 + opt.len_bits, len);
+  out.crc_ok = true;
+  return out;
+}
+
+BitVec encode_ack(std::size_t next_seq, const ArqOptions& opt)
+{
+  BitVec body;
+  append_field(body, next_seq, opt.seq_bits);
+  return protect(codec::append_crc(body), opt);
+}
+
+DecodedAck decode_ack(const BitVec& wire, const ArqOptions& opt)
+{
+  DecodedAck out;
+  const auto body = recover(wire, ack_body_bits(opt), opt);
+  if (!body) return out;
+  const auto checked = codec::check_and_strip_crc(*body);
+  if (!checked) return out;
+  out.next_seq = read_field(*checked, 0, opt.seq_bits);
+  out.crc_ok = true;
+  return out;
+}
+
+std::optional<BitVec> arq_deliver(const BitVec& payload,
+                                  const Transport& transport,
+                                  const ArqOptions& opt, ArqStats* stats)
+{
+  const std::size_t seq_mod = std::size_t{1} << opt.seq_bits;
+  const std::size_t n_frames = frame_count(payload.size(), opt);
+
+  ArqStats local;
+  ArqStats& st = stats != nullptr ? *stats : local;
+  st = ArqStats{};
+
+  BitVec assembled;              // the receiver's reassembly buffer
+  std::size_t rx_expected = 0;   // receiver: next in-order seq (mod)
+
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    const std::size_t seq = i % seq_mod;
+    const bool last = i + 1 == n_frames;
+    const std::size_t offset = i * opt.chunk_bits;
+    const BitVec chunk = payload.slice(
+        offset, std::min(opt.chunk_bits, payload.size() - offset));
+    const BitVec wire = encode_frame(seq, last, chunk, opt);
+
+    bool advanced = false;
+    for (std::size_t round = 0; round < opt.max_rounds_per_frame; ++round) {
+      ++st.frame_sends;
+      if (round > 0) ++st.retransmits;
+      const auto rx = transport(wire, /*reverse=*/false);
+      if (!rx) return std::nullopt;
+
+      // Receiver side: deliver in-order CRC-clean frames, re-ack
+      // duplicates (a lost ack makes the sender resend a frame the
+      // receiver already holds), drop everything else.
+      const DecodedFrame frame = decode_frame(*rx, opt);
+      if (frame.crc_ok && frame.seq == rx_expected) {
+        assembled.append(frame.chunk);
+        rx_expected = (rx_expected + 1) % seq_mod;
+      }
+
+      ++st.ack_sends;
+      const auto ack_rx = transport(encode_ack(rx_expected, opt),
+                                    /*reverse=*/true);
+      if (!ack_rx) return std::nullopt;
+
+      // Sender side: a cumulative ack covering this frame advances the
+      // window; anything else (garbled ack, stale ack) retransmits.
+      const DecodedAck ack = decode_ack(*ack_rx, opt);
+      if (ack.crc_ok && ack.next_seq == (seq + 1) % seq_mod) {
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return std::nullopt;
+    ++st.frames;
+  }
+  return assembled;
+}
+
+}  // namespace mes::proto

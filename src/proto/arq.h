@@ -1,0 +1,101 @@
+// ARQ framing: reliable delivery over a lossy MES channel.
+//
+// FEC (codec/fec) fixes isolated symbol flips, but a noise burst — a
+// descheduled Spy, a merged hold, a fuzz spike — corrupts more bits per
+// codeword than Hamming can correct, and the round protocol's only
+// answer is to discard the whole round. This layer adds the classic
+// missing piece: the payload is cut into sequence-numbered frames, each
+// carrying a CRC-16 (codec/frame), and every frame is acknowledged over
+// the *reverse direction of the same mechanism* (the Spy holds the lock
+// / signals the event back). A frame that arrives corrupt is simply sent
+// again, bounded by `max_rounds_per_frame`.
+//
+// The protocol logic is transport-agnostic: a Transport callback carries
+// wire bits one way and returns what the far side measured. Tests drive
+// it over a seeded binary-symmetric channel; proto/adaptive binds it to
+// a live ExperimentEnv with a forward and a reverse endpoint.
+//
+// Frame layout (before FEC):
+//   [ seq | last(1) | len | chunk (zero-padded) | crc16 ]
+// Ack layout (before FEC):   [ next_expected_seq | crc16 ]
+// Both are Hamming(7,4)-protected and interleaved when fec_depth > 0,
+// so the CRC only has to catch what FEC could not repair.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "util/bitvec.h"
+
+namespace mes::proto {
+
+struct ArqOptions {
+  // Payload bits per frame. Large frames amortize the header + ack
+  // overhead (the wire efficiency is chunk / (frame + ack)); what caps
+  // them is the survival curve — P(frame delivered) decays in frame
+  // length times symbol error rate, and the calibration picks the rate
+  // where that product still clears ~90%.
+  std::size_t chunk_bits = 256;
+  std::size_t seq_bits = 8;      // stop-and-wait: 2^8 frames per session
+  std::size_t len_bits = 12;     // carries the last frame's short length
+  std::size_t sync_bits = 8;     // per-round preamble (used by the link)
+  std::size_t fec_depth = 7;     // interleave depth; 0 disables FEC
+  std::size_t max_rounds_per_frame = 12;
+};
+
+// --- frame codec ------------------------------------------------------
+
+// On-the-wire sizes (after FEC when enabled). Every data frame is the
+// same size — the receiver knows how many symbols to expect a priori.
+std::size_t frame_wire_bits(const ArqOptions& opt);
+std::size_t ack_wire_bits(const ArqOptions& opt);
+
+// Number of data frames a payload splits into (>= 1; an empty payload
+// still sends one empty `last` frame so the receiver sees the end).
+std::size_t frame_count(std::size_t payload_bits, const ArqOptions& opt);
+
+BitVec encode_frame(std::size_t seq, bool last, const BitVec& chunk,
+                    const ArqOptions& opt);
+
+struct DecodedFrame {
+  bool crc_ok = false;
+  std::size_t seq = 0;
+  bool last = false;
+  BitVec chunk;  // truncated to the transmitted length
+};
+DecodedFrame decode_frame(const BitVec& wire, const ArqOptions& opt);
+
+BitVec encode_ack(std::size_t next_seq, const ArqOptions& opt);
+
+struct DecodedAck {
+  bool crc_ok = false;
+  std::size_t next_seq = 0;
+};
+DecodedAck decode_ack(const BitVec& wire, const ArqOptions& opt);
+
+// --- session ----------------------------------------------------------
+
+// Carries `wire` bits across the channel (reverse = the ack direction)
+// and returns what the far side received, bit-for-bit as measured.
+// std::nullopt = structural failure (setup/deadlock), aborts the session.
+using Transport =
+    std::function<std::optional<BitVec>(const BitVec& wire, bool reverse)>;
+
+struct ArqStats {
+  std::size_t frames = 0;       // distinct frames delivered
+  std::size_t frame_sends = 0;  // forward transmissions incl. retransmits
+  std::size_t retransmits = 0;
+  std::size_t ack_sends = 0;
+};
+
+// Runs the stop-and-wait session: every chunk is (re)sent until the
+// receiver's cumulative ack covers it. Returns the reassembled payload
+// (bit-exact unless a CRC collision slipped through), or std::nullopt
+// when a frame exhausted max_rounds_per_frame or the transport failed.
+std::optional<BitVec> arq_deliver(const BitVec& payload,
+                                  const Transport& transport,
+                                  const ArqOptions& opt,
+                                  ArqStats* stats = nullptr);
+
+}  // namespace mes::proto

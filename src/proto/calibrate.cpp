@@ -1,0 +1,255 @@
+#include "proto/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/link.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mes::proto {
+
+namespace {
+
+// One candidate's measured statistics.
+struct LevelFit {
+  bool usable = false;
+  double separation_us = 0.0;
+  double jitter_us = 0.0;
+  double margin = 0.0;
+  double symbol_error = 0.0;   // in-sample, with the derived classifier
+  double us_per_symbol = 0.0;
+  std::vector<double> level_mean_us;  // indexed by symbol value
+};
+
+codec::LatencyClassifier classifier_from(const LevelFit& fit,
+                                         std::size_t alphabet)
+{
+  if (alphabet == 2) {
+    return codec::LatencyClassifier::binary(
+        Duration::us((fit.level_mean_us[0] + fit.level_mean_us[1]) / 2.0));
+  }
+  // Wider alphabets: anchor at the measured level 0 and space by the
+  // measured mean slope (the per-level means are near-affine in the
+  // symbol value by construction of the schedule).
+  const double slope =
+      (fit.level_mean_us[alphabet - 1] - fit.level_mean_us[0]) /
+      static_cast<double>(alphabet - 1);
+  return codec::LatencyClassifier{alphabet, Duration::us(fit.level_mean_us[0]),
+                                  Duration::us(slope)};
+}
+
+LevelFit fit_levels(const std::vector<std::size_t>& tx_symbols,
+                    const std::vector<Duration>& latencies,
+                    std::size_t alphabet, Duration elapsed)
+{
+  LevelFit fit;
+  const std::size_t n = std::min(tx_symbols.size(), latencies.size());
+  std::vector<RunningStats> per_level(alphabet);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tx_symbols[i] >= alphabet) continue;
+    per_level[tx_symbols[i]].add(latencies[i].to_us());
+  }
+  // Every level must have been probed a few times, or the fit says
+  // nothing about the alphabet's separability.
+  fit.level_mean_us.resize(alphabet, 0.0);
+  double worst_margin = 1e300;
+  double min_sep = 1e300;
+  double max_jitter = 0.0;
+  for (std::size_t k = 0; k < alphabet; ++k) {
+    if (per_level[k].count() < 3) return fit;
+    fit.level_mean_us[k] = per_level[k].mean();
+    if (k == 0) continue;
+    const double sep = per_level[k].mean() - per_level[k - 1].mean();
+    const double jitter =
+        per_level[k].stddev() + per_level[k - 1].stddev() + 1e-3;
+    if (sep <= 0.0) return fit;  // levels out of order: rate too fast
+    worst_margin = std::min(worst_margin, sep / jitter);
+    min_sep = std::min(min_sep, sep);
+    max_jitter = std::max(max_jitter, jitter);
+  }
+
+  // The error rate that matters is the one the derived thresholds
+  // actually produce on the probe — the latency tails are heavy
+  // (corruption events, post-park penalties), so this routinely exceeds
+  // what a Gaussian margin would predict.
+  const codec::LatencyClassifier cls = classifier_from(fit, alphabet);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cls.classify(latencies[i]) != tx_symbols[i]) ++errors;
+  }
+  // Zero observed errors on n probes still only bounds the rate: use
+  // the ~half-event prior so short probes don't claim perfection.
+  fit.symbol_error = std::max(static_cast<double>(errors),
+                              0.5) /
+                     static_cast<double>(n);
+  fit.us_per_symbol = elapsed.to_us() / static_cast<double>(n);
+  fit.usable = true;
+  fit.separation_us = min_sep;
+  fit.jitter_us = max_jitter;
+  fit.margin = worst_margin;
+  return fit;
+}
+
+}  // namespace
+
+double predicted_frame_rate(double symbol_error, double us_per_symbol,
+                            const CalibrationOptions& opt)
+{
+  const double p = std::clamp(symbol_error, 0.0, 0.5);
+  double frame_survival;
+  if (opt.fec_single_correcting) {
+    // Hamming(7,4): a codeword dies on >= 2 flipped symbols.
+    const double q = 1.0 - p;
+    const double cw_ok = std::pow(q, 7) + 7.0 * p * std::pow(q, 6);
+    frame_survival = std::pow(
+        cw_ok, static_cast<double>(opt.frame_symbols) / 7.0);
+  } else {
+    frame_survival = std::pow(1.0 - p,
+                              static_cast<double>(opt.frame_symbols));
+  }
+  const double frame_time_us =
+      static_cast<double>(opt.frame_symbols) * us_per_symbol;
+  return frame_survival / frame_time_us;
+}
+
+namespace {
+
+// Realized goodput of a short ARQ trial at one candidate rate: payload
+// bits over simulated link time, 0 when the trial failed to deliver.
+double trial_goodput(const ExperimentConfig& base, const TimingConfig& timing,
+                     const codec::LatencyClassifier& classifier,
+                     const ArqOptions& arq, const CalibrationOptions& opt,
+                     std::size_t grid_index, Duration* spent)
+{
+  ExperimentConfig cfg = base;
+  cfg.protocol = ProtocolMode::fixed;
+  cfg.timing = timing;
+  cfg.seed = base.seed ^ (0x7B1A1ULL + grid_index * 0x9e3779b97f4a7c15ULL);
+
+  Rng trial_rng{cfg.seed ^ 0x7B1A1DA7AULL};
+  const BitVec trial_payload =
+      BitVec::random(trial_rng, opt.trial_payload_bits);
+
+  Link link{cfg, timing, classifier, arq.sync_bits};
+  if (!link.error().empty()) return 0.0;
+
+  ArqOptions trial_arq = arq;
+  // A marginal rate should fail fast here, not grind through a long
+  // retransmit budget — that is the signal the pick needs.
+  trial_arq.max_rounds_per_frame =
+      std::min<std::size_t>(arq.max_rounds_per_frame, 4);
+  const auto delivered =
+      arq_deliver(trial_payload, link.transport(), trial_arq, nullptr);
+  const Duration elapsed = link.elapsed();
+  if (spent != nullptr) *spent += elapsed;
+  if (!delivered || *delivered != trial_payload ||
+      elapsed <= Duration::zero()) {
+    return 0.0;
+  }
+  return static_cast<double>(trial_payload.size()) / elapsed.to_sec();
+}
+
+}  // namespace
+
+Calibration calibrate_link(const ExperimentConfig& base,
+                           const CalibrationOptions& opt,
+                           const ArqOptions& arq)
+{
+  Calibration cal;
+  const std::size_t width = std::max<std::size_t>(base.timing.symbol_bits, 1);
+  const std::size_t alphabet = std::size_t{1} << width;
+
+  // The probe pattern is pre-negotiated (like the preamble): both ends
+  // derive it from the session seed, so the fit can pair every measured
+  // latency with the symbol that produced it.
+  Rng probe_rng{base.seed ^ 0xCA11B7A7E5EEDULL};
+  const BitVec probe_bits = BitVec::random(
+      probe_rng, opt.probe_symbols * width);
+
+  bool saw_structural_failure = false;
+  std::string first_failure;
+
+  struct Candidate {
+    std::size_t index;
+    LevelFit fit;
+    double score;
+  };
+  std::vector<Candidate> usable;
+
+  for (std::size_t gi = 0; gi < opt.scales.size(); ++gi) {
+    ExperimentConfig cfg = base;
+    cfg.protocol = ProtocolMode::fixed;
+    cfg.timing = scale_timing(base.timing, opt.scales[gi]);
+    cfg.seed = base.seed ^ (0x5CA1EULL + gi * 0x9e3779b97f4a7c15ULL);
+    // The fit classifies from the known pattern itself; the in-band
+    // preamble recalibration would only add noise.
+    cfg.recalibrate_from_preamble = false;
+
+    const ChannelReport rep = run_transmission(cfg, probe_bits);
+    if (!rep.ok) {
+      saw_structural_failure = true;
+      if (first_failure.empty()) first_failure = rep.failure_reason;
+      continue;
+    }
+    cal.probes_sent += rep.tx_symbols.size();
+    cal.elapsed += rep.elapsed;
+    const LevelFit fit = fit_levels(rep.tx_symbols, rep.rx_latencies,
+                                    alphabet, rep.elapsed);
+    if (!fit.usable || fit.margin < opt.min_margin) continue;
+    const double sigma = std::sqrt(
+        fit.symbol_error * (1.0 - fit.symbol_error) /
+        static_cast<double>(opt.probe_symbols));
+    const double p_ucb = fit.symbol_error + opt.error_ucb_sigma * sigma;
+    usable.push_back(
+        {gi, fit, predicted_frame_rate(p_ucb, fit.us_per_symbol, opt)});
+  }
+
+  if (usable.empty()) {
+    cal.failure = saw_structural_failure
+                      ? first_failure
+                      : "calibration: no rate produced separable levels";
+    return cal;
+  }
+
+  // Shortlist by analytic score, then let realized ARQ trials decide.
+  std::sort(usable.begin(), usable.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  const std::size_t shortlist =
+      opt.refine_candidates == 0
+          ? 1
+          : std::min(opt.refine_candidates, usable.size());
+
+  const Candidate* pick = &usable.front();
+  double pick_goodput = 0.0;
+  if (opt.refine_candidates > 0) {
+    for (std::size_t i = 0; i < shortlist; ++i) {
+      const Candidate& c = usable[i];
+      const TimingConfig timing =
+          scale_timing(base.timing, opt.scales[c.index]);
+      const double goodput =
+          trial_goodput(base, timing, classifier_from(c.fit, alphabet), arq,
+                        opt, c.index, &cal.elapsed);
+      if (goodput > pick_goodput) {
+        pick_goodput = goodput;
+        pick = &c;
+      }
+    }
+  }
+
+  cal.ok = true;
+  cal.grid_index = pick->index;
+  cal.scale = opt.scales[pick->index];
+  cal.timing = scale_timing(base.timing, cal.scale);
+  cal.classifier = classifier_from(pick->fit, alphabet);
+  cal.separation_us = pick->fit.separation_us;
+  cal.jitter_us = pick->fit.jitter_us;
+  cal.margin = pick->fit.margin;
+  cal.symbol_error = pick->fit.symbol_error;
+  cal.trial_goodput_bps = pick_goodput;
+  return cal;
+}
+
+}  // namespace mes::proto

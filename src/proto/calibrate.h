@@ -1,0 +1,98 @@
+// Link calibration: pick the symbol duration and classifier from the
+// live noise regime instead of the hand-tuned Timeset tables.
+//
+// The paper fixes one symbol duration per (mechanism, scenario) cell by
+// grid search. A real attacker cannot: the noise regime on the victim
+// box is unknown until measured. This phase sends short probe rounds of
+// a known pattern across a geometric grid of rate scales (fractions of
+// the configured Timeset) and, at each rate, measures three things
+// through the live channel: the latency-level separation vs jitter, the
+// actual symbol error rate of the derived classifier, and the wire time
+// per symbol. The pick maximizes *predicted ARQ goodput* — frames
+// survive per second, given the frame geometry — which is what a
+// Gaussian margin alone gets wrong: the noise model's corruption events
+// and scheduler penalties give the latency distribution heavy tails, so
+// two rates with comparable margins can differ several-fold in burst
+// rate. The classifier thresholds come from the *measured* level means,
+// not the a-priori operation-cost estimates in exec::ExperimentEnv.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "codec/symbols.h"
+#include "core/runner.h"
+#include "proto/arq.h"
+
+namespace mes::proto {
+
+struct CalibrationOptions {
+  // Rate grid, as multiples of the configured symbol durations, fastest
+  // first. The grid is geometric (~1.4x steps): BER walls are sharp in
+  // duration, so finer steps buy little.
+  std::vector<double> scales = {0.25, 0.35, 0.5, 0.7, 1.0, 1.4, 2.0};
+  // Known-pattern symbols per candidate rate. Sized so that the error
+  // rates that matter for frame survival (fractions of a percent to a
+  // few percent) are measurable, not just the level means: at 256
+  // probes a 3% symbol error rate shows ~8 events.
+  std::size_t probe_symbols = 256;
+  // Rates whose worst adjacent-level margin (separation over summed
+  // sigma) falls below this are excluded outright — their levels
+  // overlap and the error estimate is meaningless.
+  double min_margin = 1.0;
+  // The ARQ frame geometry the rate pick optimizes for: symbols per
+  // data frame on the wire, and whether FEC repairs single flips per
+  // codeword before the CRC judges the frame.
+  std::size_t frame_symbols = 534;
+  bool fec_single_correcting = true;
+  // The analytic screen scores an upper confidence bound on the
+  // measured error rate (p + z * binomial sigma), not the point
+  // estimate: the probe is short, and overestimating the channel costs
+  // retransmission storms while underestimating costs a grid step.
+  double error_ucb_sigma = 1.0;
+
+  // Refinement: the top candidates by analytic score then carry real
+  // ARQ trial frames — the analytic model is deliberately conservative
+  // (per-round recalibration and error clustering make fast rates
+  // survive better than symbol-independence predicts), so the final
+  // pick is the best *realized* trial goodput, which is exactly the
+  // quantity a session optimizes. 0 candidates disables refinement.
+  std::size_t refine_candidates = 3;
+  std::size_t trial_payload_bits = 1024;  // ~4 frames through the real ARQ
+};
+
+struct Calibration {
+  bool ok = false;
+  std::string failure;       // why not, when !ok (topology, deadlock)
+
+  std::size_t grid_index = 0;      // index into CalibrationOptions::scales
+  double scale = 1.0;
+  TimingConfig timing;             // the chosen durations
+  codec::LatencyClassifier classifier =
+      codec::LatencyClassifier::binary(Duration::zero());
+
+  double separation_us = 0.0;  // adjacent-level mean gap at the pick
+  double jitter_us = 0.0;      // summed adjacent-level stddev
+  double margin = 0.0;         // separation / jitter
+  double symbol_error = 0.0;   // measured probe error rate at the pick
+  double trial_goodput_bps = 0.0;  // realized ARQ trial rate at the pick
+  std::size_t probes_sent = 0;
+  Duration elapsed = Duration::zero();  // simulated time spent probing
+};
+
+// Probes the configured link across the rate grid. `base.timing` is the
+// anchor the scales multiply; everything else in `base` (mechanism,
+// scenario, noise, seed) describes the link being calibrated. `arq`
+// shapes the refinement trials (frame geometry, FEC depth).
+Calibration calibrate_link(const ExperimentConfig& base,
+                           const CalibrationOptions& opt = {},
+                           const ArqOptions& arq = {});
+
+// The rate pick's figure of merit: predicted frames delivered per
+// second, from a measured symbol error rate and per-symbol wire time.
+// Exposed so tests and benches can audit the decision.
+double predicted_frame_rate(double symbol_error, double us_per_symbol,
+                            const CalibrationOptions& opt);
+
+}  // namespace mes::proto

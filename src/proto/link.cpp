@@ -1,0 +1,89 @@
+#include "proto/link.h"
+
+#include <algorithm>
+
+#include "codec/frame.h"
+
+namespace mes::proto {
+
+Link::Link(const ExperimentConfig& cfg, const TimingConfig& timing,
+           const codec::LatencyClassifier& classifier, std::size_t sync_bits)
+    : env_{cfg},
+      width_{class_of(cfg.mechanism) == ChannelClass::cooperation
+                 ? std::max<std::size_t>(timing.symbol_bits, 1)
+                 : 1},
+      sync_bits_{(sync_bits + width_ - 1) / width_ * width_},
+      forward_{env_.add_pair()}
+{
+  if (!forward_.error.empty()) {
+    error_ = forward_.error;
+    return;
+  }
+  reverse_ = &env_.add_reverse_pair(forward_);
+  if (!reverse_->error.empty()) {
+    error_ = reverse_->error;
+    return;
+  }
+  env_.set_link_tuning(forward_, timing, classifier);
+  env_.set_link_tuning(*reverse_, timing, classifier);
+}
+
+Duration Link::elapsed()
+{
+  return env_.simulator().now() - TimePoint::origin();
+}
+
+std::optional<BitVec> Link::transfer(const BitVec& wire, bool reverse)
+{
+  if (!error_.empty()) return std::nullopt;
+  exec::ExperimentEnv::Endpoint& ep = reverse ? *reverse_ : forward_;
+
+  BitVec padded = wire;
+  while (padded.size() % width_ != 0) padded.push_back(0);
+  const codec::Frame frame = codec::make_frame(padded, sync_bits_);
+  const std::vector<std::size_t> symbols = ep.ctx->schedule.encode(frame.bits);
+
+  ep.rx = core::RxResult{};
+  env_.spawn_transmission(ep, symbols);
+  const sim::RunResult run = env_.run();
+  if (run.hit_event_limit) {
+    error_ = "simulation event limit reached";
+    return std::nullopt;
+  }
+  if (run.blocked_roots > 0) {
+    error_ = "protocol round deadlocked";
+    return std::nullopt;
+  }
+
+  // Per-round recalibration from the known preamble keeps the link
+  // honest under slow drift; the calibrated classifier is the anchor.
+  const std::vector<Duration>& lat = ep.rx.latencies;
+  const std::size_t sync_symbols = sync_bits_ / width_;
+  codec::LatencyClassifier cls = ep.ctx->classifier;
+  if (width_ == 1 && sync_symbols >= 2 && lat.size() >= sync_symbols) {
+    cls = codec::calibrate_binary(
+        std::vector<Duration>(
+            lat.begin(), lat.begin() + static_cast<long>(sync_symbols)),
+        ep.ctx->classifier.threshold(0));
+  }
+  std::vector<std::size_t> rx_symbols;
+  rx_symbols.reserve(lat.size());
+  for (const Duration l : lat) rx_symbols.push_back(cls.classify(l));
+
+  const BitVec rx_bits = ep.ctx->schedule.decode(rx_symbols);
+  if (rx_bits.size() < sync_bits_ + wire.size()) {
+    // Short reads cannot happen structurally (the Spy measures a fixed
+    // count); treat defensively as a garbled round.
+    return BitVec{};
+  }
+  return rx_bits.slice(sync_bits_, wire.size());
+}
+
+Transport Link::transport()
+{
+  return [this](const BitVec& wire, bool reverse) {
+    return transfer(wire, reverse);
+  };
+}
+
+}  // namespace mes::proto

@@ -1,0 +1,56 @@
+// One live, bidirectional, framed link over a single simulator stack.
+//
+// Binds the ARQ Transport (proto/arq) to an exec::ExperimentEnv: a
+// forward endpoint for data frames and a reverse endpoint — the same
+// two processes with the protocol roles swapped — for the acks. Every
+// transfer is one framed round (preamble + wire bits) run to
+// quiescence, so a session is a strict alternation of forward and
+// reverse phases on one simulated clock, through one persistent noise
+// regime. Used by proto/adaptive for payload sessions and by
+// proto/calibrate for trial frames during rate refinement.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "codec/symbols.h"
+#include "core/runner.h"
+#include "exec/env.h"
+#include "proto/arq.h"
+
+namespace mes::proto {
+
+class Link {
+ public:
+  // `timing` + `classifier` override the config's own (they carry the
+  // calibration outcome); `sync_bits` is rounded up to a symbol-width
+  // multiple.
+  Link(const ExperimentConfig& cfg, const TimingConfig& timing,
+       const codec::LatencyClassifier& classifier, std::size_t sync_bits);
+
+  // Non-empty when endpoint setup failed (topology verdicts) or a
+  // transfer died structurally; the session must abort.
+  const std::string& error() const { return error_; }
+
+  // Total simulated time this link's stack has consumed.
+  Duration elapsed();
+
+  // Carries `wire` bits one way and returns what the far side decoded
+  // (preamble stripped, truncated to the sent size). std::nullopt =
+  // structural failure; garbled rounds still return bits — the caller's
+  // CRC judges them.
+  std::optional<BitVec> transfer(const BitVec& wire, bool reverse);
+
+  // The same, as an ARQ Transport.
+  Transport transport();
+
+ private:
+  exec::ExperimentEnv env_;
+  std::size_t width_;
+  std::size_t sync_bits_;
+  exec::ExperimentEnv::Endpoint& forward_;
+  exec::ExperimentEnv::Endpoint* reverse_ = nullptr;
+  std::string error_;
+};
+
+}  // namespace mes::proto

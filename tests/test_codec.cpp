@@ -168,5 +168,43 @@ TEST(Frame, RoundTripThroughCodec)
   EXPECT_EQ(*recovered, payload);
 }
 
+TEST(Crc, MatchesCcittFalseCheckValue)
+{
+  // The CRC-16/CCITT-FALSE check string "123456789" -> 0x29B1.
+  const BitVec bits = BitVec::from_bytes(
+      {'1', '2', '3', '4', '5', '6', '7', '8', '9'});
+  EXPECT_EQ(crc16(bits), 0x29B1);
+}
+
+TEST(Crc, AppendCheckRoundTrip)
+{
+  Rng rng{11};
+  for (const std::size_t n : {0u, 1u, 7u, 64u, 333u}) {
+    const BitVec body = BitVec::random(rng, n);
+    const BitVec framed = append_crc(body);
+    ASSERT_EQ(framed.size(), n + kCrcBits);
+    const auto checked = check_and_strip_crc(framed);
+    ASSERT_TRUE(checked.has_value()) << n;
+    EXPECT_EQ(*checked, body);
+  }
+}
+
+TEST(Crc, DetectsEverySingleBitFlip)
+{
+  Rng rng{12};
+  const BitVec body = BitVec::random(rng, 96);
+  const BitVec framed = append_crc(body);
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    std::vector<int> bits = framed.bits();
+    bits[i] ^= 1;
+    EXPECT_FALSE(check_and_strip_crc(BitVec{bits}).has_value()) << i;
+  }
+}
+
+TEST(Crc, RejectsShortInput)
+{
+  EXPECT_FALSE(check_and_strip_crc(BitVec::from_string("1010")).has_value());
+}
+
 }  // namespace
 }  // namespace mes::codec

@@ -1,12 +1,18 @@
 // Tests for the exec layer: campaign engine, seed mixer, thread pool,
-// ExperimentEnv reuse.
+// ExperimentEnv reuse, CSV/JSON emission round-trips.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "analysis/sweep.h"
 #include "exec/campaign.h"
 #include "exec/env.h"
 #include "exec/seed.h"
@@ -178,6 +184,249 @@ TEST(ExperimentEnv, ReportsTopologyFailureAtSetup)
   exec::ExperimentEnv env{cfg};
   auto& ep = env.add_pair();
   EXPECT_FALSE(ep.error.empty());
+}
+
+// Regression: sweep cells build their CellCoord field-wise; a past
+// positional init silently shifted when the protocol axis was added,
+// reading series[flat] out of bounds.
+TEST(Campaign, SweepGridMapsCoordinatesBackToAxisValues)
+{
+  const std::vector<double> xs = {140.0, 155.0, 170.0};
+  const std::vector<double> series = {60.0, 80.0};
+  const auto points = analysis::sweep_grid(
+      xs, series, 128, 9, [](double x, double s) {
+        ExperimentConfig cfg;
+        cfg.mechanism = Mechanism::flock;
+        cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+        cfg.timing.t1 = Duration::us(x);
+        cfg.timing.t0 = Duration::us(s);
+        return cfg;
+      });
+  ASSERT_EQ(points.size(), xs.size() * series.size());
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+      const analysis::SweepPoint& p = points[si * xs.size() + xi];
+      EXPECT_DOUBLE_EQ(p.x, xs[xi]);
+      EXPECT_DOUBLE_EQ(p.series, series[si]);
+    }
+  }
+}
+
+TEST(Campaign, ProtocolAxisExpandsAndLabels)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  plan.protocols = {{"fixed", ProtocolMode::fixed},
+                    {"arq", ProtocolMode::arq}};
+  plan.payload_bits = 256;
+  const auto cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].config.protocol, ProtocolMode::fixed);
+  EXPECT_EQ(cells[1].config.protocol, ProtocolMode::arq);
+  EXPECT_NE(cells[0].config.seed, cells[1].config.seed);
+  EXPECT_NE(cells[0].label.find("/fixed"), std::string::npos);
+  EXPECT_NE(cells[1].label.find("/arq"), std::string::npos);
+
+  // The ARQ cell runs through the protocol layer and delivers exactly.
+  const ChannelReport rep = exec::run_cell(cells[1]);
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->mode, ProtocolMode::arq);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+}
+
+// --- emission round-trips ---------------------------------------------
+
+exec::ExperimentPlan emission_plan()
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock};
+  plan.scenarios = {{Scenario::local, HypervisorType::none}};
+  plan.protocols = {{"fixed", ProtocolMode::fixed},
+                    {"arq", ProtocolMode::arq}};
+  plan.repeats = 2;
+  plan.seed_base = 0xE21;
+  plan.payload_bits = 256;
+  return plan;
+}
+
+std::vector<std::string> split_csv_row(const std::string& line,
+                                       std::size_t fields)
+{
+  // The last field (failure) is quoted and may contain commas; split the
+  // first `fields - 1` on commas and keep the remainder whole.
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (std::size_t f = 0; f + 1 < fields; ++f) {
+    const std::size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) return out;
+    out.push_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  out.push_back(line.substr(pos));
+  return out;
+}
+
+void expect_near_rel(double got, double want, const std::string& what)
+{
+  // CSV/JSON print with default stream precision (6 significant
+  // digits); parse-back must match to that resolution.
+  const double tol = std::max(1e-9, std::abs(want) * 1e-5);
+  EXPECT_NEAR(got, want, tol) << what;
+}
+
+TEST(Emission, CsvRoundTripsAgainstInMemoryReports)
+{
+  const exec::CampaignResult result =
+      exec::CampaignRunner{1}.run(emission_plan());
+  std::ostringstream out;
+  exec::write_csv(out, result);
+
+  std::istringstream in{out.str()};
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const std::size_t n_fields = 20;
+  ASSERT_EQ(std::count(header.begin(), header.end(), ',') + 1u, n_fields);
+
+  std::size_t row_index = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_LT(row_index, result.cells.size());
+    const exec::CellResult& cell = result.cells[row_index];
+    const ChannelReport& rep = cell.report;
+    const auto fields = split_csv_row(line, n_fields);
+    ASSERT_EQ(fields.size(), n_fields) << line;
+
+    EXPECT_EQ(fields[0], cell.cell.label);
+    EXPECT_EQ(fields[1], to_string(cell.cell.config.mechanism));
+    EXPECT_EQ(fields[2], to_string(cell.cell.config.scenario));
+    EXPECT_EQ(fields[4], to_string(cell.cell.config.protocol));
+    // Timing columns carry what the cell actually ran at (rep.timing) —
+    // for adaptive cells that is the calibrated rate, not the anchor.
+    const TimingConfig& t =
+        rep.ok ? rep.timing : cell.cell.config.timing;
+    expect_near_rel(std::strtod(fields[5].c_str(), nullptr), t.t1.to_us(),
+                    "t1");
+    expect_near_rel(std::strtod(fields[6].c_str(), nullptr), t.t0.to_us(),
+                    "t0");
+    expect_near_rel(std::strtod(fields[7].c_str(), nullptr),
+                    t.interval.to_us(), "interval");
+    EXPECT_EQ(std::strtoull(fields[10].c_str(), nullptr, 10),
+              cell.cell.config.seed);
+    EXPECT_EQ(std::strtoul(fields[11].c_str(), nullptr, 10),
+              cell.cell.payload_bits);
+    EXPECT_EQ(fields[12], rep.ok ? "1" : "0");
+    EXPECT_EQ(fields[13], rep.sync_ok ? "1" : "0");
+    expect_near_rel(std::strtod(fields[14].c_str(), nullptr), rep.ber,
+                    "ber");
+    expect_near_rel(std::strtod(fields[15].c_str(), nullptr),
+                    rep.throughput_bps, "throughput");
+    expect_near_rel(std::strtod(fields[16].c_str(), nullptr),
+                    rep.elapsed.to_us(), "elapsed");
+    EXPECT_EQ(std::strtoul(fields[17].c_str(), nullptr, 10),
+              rep.proto ? rep.proto->frames : 0u);
+    EXPECT_EQ(std::strtoul(fields[18].c_str(), nullptr, 10),
+              rep.proto ? rep.proto->retransmits : 0u);
+    EXPECT_EQ(fields[19], "\"" + rep.failure_reason + "\"");
+    ++row_index;
+  }
+  EXPECT_EQ(row_index, result.cells.size());
+}
+
+// Minimal JSON field extraction for the round-trip check (the emitter
+// writes a fixed shape; this is a test reader, not a JSON library).
+double json_num(const std::string& obj, const std::string& key)
+{
+  const std::size_t at = obj.find("\"" + key + "\":");
+  EXPECT_NE(at, std::string::npos) << key;
+  return std::strtod(obj.c_str() + at + key.size() + 3, nullptr);
+}
+
+std::uint64_t json_u64(const std::string& obj, const std::string& key)
+{
+  const std::size_t at = obj.find("\"" + key + "\":");
+  EXPECT_NE(at, std::string::npos) << key;
+  return std::strtoull(obj.c_str() + at + key.size() + 3, nullptr, 10);
+}
+
+std::string json_str(const std::string& obj, const std::string& key)
+{
+  const std::size_t at = obj.find("\"" + key + "\":\"");
+  EXPECT_NE(at, std::string::npos) << key;
+  const std::size_t start = at + key.size() + 4;
+  return obj.substr(start, obj.find('"', start) - start);
+}
+
+TEST(Emission, JsonRoundTripsAgainstInMemoryReports)
+{
+  const exec::CampaignResult result =
+      exec::CampaignRunner{1}.run(emission_plan());
+  std::ostringstream out;
+  exec::write_json(out, result);
+  const std::string json = out.str();
+
+  // Walk the "cells" array object by object (brace matching).
+  const std::size_t cells_at = json.find("\"cells\":[");
+  ASSERT_NE(cells_at, std::string::npos);
+  std::size_t pos = cells_at + 9;
+  std::size_t cell_index = 0;
+  while (json[pos] == '{') {
+    int depth = 0;
+    std::size_t end = pos;
+    do {
+      if (json[end] == '{') ++depth;
+      if (json[end] == '}') --depth;
+      ++end;
+    } while (depth > 0);
+    const std::string obj = json.substr(pos, end - pos);
+
+    ASSERT_LT(cell_index, result.cells.size());
+    const exec::CellResult& cell = result.cells[cell_index];
+    const ChannelReport& rep = cell.report;
+    EXPECT_EQ(json_str(obj, "label"), cell.cell.label);
+    EXPECT_EQ(json_str(obj, "mechanism"),
+              to_string(cell.cell.config.mechanism));
+    EXPECT_EQ(json_str(obj, "protocol"),
+              to_string(cell.cell.config.protocol));
+    EXPECT_EQ(json_u64(obj, "seed"), cell.cell.config.seed);
+    expect_near_rel(json_num(obj, "ber"), rep.ber, "ber");
+    expect_near_rel(json_num(obj, "throughput_bps"), rep.throughput_bps,
+                    "throughput");
+    EXPECT_EQ(obj.find("\"ok\":true") != std::string::npos, rep.ok);
+    if (rep.proto) {
+      EXPECT_EQ(static_cast<std::size_t>(json_num(obj, "frames")),
+                rep.proto->frames);
+      EXPECT_EQ(static_cast<std::size_t>(json_num(obj, "retransmits")),
+                rep.proto->retransmits);
+    } else {
+      EXPECT_EQ(obj.find("\"proto\""), std::string::npos);
+    }
+
+    ++cell_index;
+    pos = end;
+    if (json[pos] == ',') ++pos;
+  }
+  EXPECT_EQ(cell_index, result.cells.size());
+
+  // The stats groups made it out too, one entry per in-memory group.
+  for (const char* key : {"points", "by_mechanism", "by_scenario"}) {
+    EXPECT_NE(json.find(std::string{"\""} + key + "\":["),
+              std::string::npos);
+  }
+}
+
+// The emission determinism contract: --jobs 1 and --jobs N campaigns
+// emit byte-identical CSV (and JSON), not merely equivalent reports.
+TEST(Emission, CsvIsByteIdenticalAcrossJobCounts)
+{
+  const exec::ExperimentPlan plan = emission_plan();
+  std::ostringstream serial_csv, parallel_csv, serial_json, parallel_json;
+  exec::write_csv(serial_csv, exec::CampaignRunner{1}.run(plan));
+  exec::write_csv(parallel_csv, exec::CampaignRunner{4}.run(plan));
+  exec::write_json(serial_json, exec::CampaignRunner{1}.run(plan));
+  exec::write_json(parallel_json, exec::CampaignRunner{4}.run(plan));
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce)

@@ -23,6 +23,7 @@
 #include "codec/fec.h"
 #include "core/runner.h"
 #include "exec/campaign.h"
+#include "proto/adaptive.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -64,6 +65,8 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t width = 1;
   bool fec = false;
+  bool adapt = false;  // run: calibrate + ARQ; campaign: adaptive axis
+  std::string protocols;  // campaign protocol axis (comma list)
   std::string message;
   // Overrides; negative = use the paper timeset.
   double t1 = -1.0, t0 = -1.0, interval = -1.0, fuzz = 0.0;
@@ -91,6 +94,9 @@ void usage()
       "  --t1 US --t0 US --interval US        timing overrides\n"
       "  --fuzz US       mitigation timing fuzz\n"
       "  --fec           Hamming(7,4)+interleave the payload\n"
+      "  --adapt         adaptive protocol: calibrate the rate against\n"
+      "                  the live noise, then deliver via ARQ (run/"
+      "campaign)\n"
       "  --message TEXT  payload for `text`\n"
       "  --param P --from A --to B --step D   sweep controls "
       "(t1|t0|interval)\n"
@@ -99,6 +105,7 @@ void usage()
       "  --mechanisms L  paper|all|comma list (default paper: the six "
       "Table IV MESMs)\n"
       "  --scenarios L   comma list of local|sandbox|vm (default local)\n"
+      "  --protocols L   comma list of fixed|arq|adaptive (default fixed)\n"
       "  --seeds K       seed replicates per grid point (default 1)\n"
       "  --jobs J        worker threads (default: hardware concurrency)\n"
       "  --csv PATH      per-cell CSV emission ('-' = stdout)\n");
@@ -153,6 +160,12 @@ bool parse(int argc, char** argv, Options& opt)
       else opt.step = value;
     } else if (arg == "--fec") {
       opt.fec = true;
+    } else if (arg == "--adapt") {
+      opt.adapt = true;
+    } else if (arg == "--protocols") {
+      const char* v = next();
+      if (!v) return false;
+      opt.protocols = v;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--seeds") {
@@ -189,6 +202,19 @@ bool parse(int argc, char** argv, Options& opt)
     }
   }
   return true;
+}
+
+std::string timing_string(Mechanism m, const TimingConfig& t)
+{
+  char buf[64];
+  if (class_of(m) == ChannelClass::contention) {
+    std::snprintf(buf, sizeof buf, "t1=%.0f t0=%.0f", t.t1.to_us(),
+                  t.t0.to_us());
+  } else {
+    std::snprintf(buf, sizeof buf, "tw0=%.0f ti=%.0f", t.t0.to_us(),
+                  t.interval.to_us());
+  }
+  return buf;
 }
 
 ExperimentConfig config_from(const Options& opt)
@@ -236,6 +262,35 @@ int cmd_run(const Options& opt)
   Rng rng{opt.seed ^ 0xC11u};
   const std::size_t n = opt.bits - opt.bits % opt.width;
   const BitVec secret = BitVec::random(rng, n);
+  if (opt.adapt) {
+    if (opt.fec) {
+      std::fprintf(stderr, "--fec and --adapt are mutually exclusive: the "
+                           "adaptive protocol already FEC-protects every "
+                           "ARQ frame\n");
+      return 2;
+    }
+    proto::Calibration cal;
+    const ChannelReport rep =
+        proto::run_adaptive_transmission(cfg, secret, {}, &cal);
+    if (opt.json) {
+      std::printf("%s\n", exec::report_json(rep, secret.size()).c_str());
+      return rep.ok && rep.sync_ok ? 0 : 1;
+    }
+    print_report(rep, secret.size());
+    if (cal.ok) {
+      std::printf("calibrated: %s (x%.2f), margin %.1f, symbol err "
+                  "%.2f%%, %zu probes in %s\n",
+                  timing_string(cfg.mechanism, cal.timing).c_str(),
+                  cal.scale, cal.margin, cal.symbol_error * 100.0,
+                  cal.probes_sent, to_string(cal.elapsed).c_str());
+    }
+    if (rep.proto) {
+      std::printf("ARQ       : %zu frames, %zu sends (%zu retransmits)\n",
+                  rep.proto->frames, rep.proto->frame_sends,
+                  rep.proto->retransmits);
+    }
+    return rep.ok && rep.sync_ok ? 0 : 1;
+  }
   if (opt.json) {
     const BitVec payload = opt.fec ? codec::fec_protect(secret, 7) : secret;
     const ChannelReport rep = run_transmission(cfg, payload);
@@ -364,6 +419,29 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
     return false;
   }
 
+  // Protocol axis: --protocols wins, --adapt alone means adaptive-only.
+  if (!opt.protocols.empty()) {
+    static const std::map<std::string, ProtocolMode> protocol_names = {
+        {"fixed", ProtocolMode::fixed},
+        {"arq", ProtocolMode::arq},
+        {"adaptive", ProtocolMode::adaptive},
+    };
+    plan.protocols.clear();
+    for (const std::string& name : split_list(opt.protocols)) {
+      if (!protocol_names.contains(name)) {
+        std::fprintf(stderr, "unknown protocol %s\n", name.c_str());
+        return false;
+      }
+      plan.protocols.push_back({name, protocol_names.at(name)});
+    }
+    if (plan.protocols.empty()) {
+      std::fprintf(stderr, "--protocols needs at least one value\n");
+      return false;
+    }
+  } else if (opt.adapt) {
+    plan.protocols = {{"adaptive", ProtocolMode::adaptive}};
+  }
+
   plan.repeats = std::max<std::size_t>(opt.repeats, 1);
   plan.seed_base = opt.seed;
   plan.payload_bits = opt.bits;
@@ -475,18 +553,10 @@ int cmd_list()
   TextTable table({"mechanism", "class", "OS", "local Timeset"});
   for (const auto& [name, mechanism] : mechanism_names()) {
     const TimingConfig t = paper_timeset(mechanism, Scenario::local);
-    char buf[64];
-    if (class_of(mechanism) == ChannelClass::contention) {
-      std::snprintf(buf, sizeof buf, "t1=%.0f t0=%.0f", t.t1.to_us(),
-                    t.t0.to_us());
-    } else {
-      std::snprintf(buf, sizeof buf, "tw0=%.0f ti=%.0f", t.t0.to_us(),
-                    t.interval.to_us());
-    }
     table.add_row({name, to_string(class_of(mechanism)),
                    flavor_of(mechanism) == OsFlavor::windows ? "windows"
                                                              : "linux",
-                   buf});
+                   timing_string(mechanism, t)});
   }
   table.print();
   return 0;
