@@ -66,7 +66,7 @@ MultiPairResult run_multi_pair(const ExperimentConfig& base,
                                std::size_t pairs, std::size_t bits_per_pair)
 {
   MultiPairResult result;
-  result.pairs = pairs;
+  result.pairs_requested = pairs;
   if (pairs == 0) return result;
 
   // All pairs share one simulation (§V.C.1's multi-process scaling
@@ -89,10 +89,15 @@ MultiPairResult run_multi_pair(const ExperimentConfig& base,
     const codec::Frame frame = codec::make_frame(p.payload, base.sync_bits);
     p.symbols = schedule.encode(frame.bits);
     exec::ExperimentEnv::Endpoint& ep = env.add_pair();
-    if (!ep.error.empty()) continue;
+    if (!ep.error.empty()) {
+      ++result.pairs_failed;
+      if (result.first_failure.empty()) result.first_failure = ep.error;
+      continue;
+    }
     p.endpoint = &ep;
     live.push_back(std::move(p));
   }
+  result.pairs = live.size();
 
   for (PairTx& p : live) env.spawn_transmission(*p.endpoint, p.symbols);
   const sim::RunResult run = env.run();

@@ -40,8 +40,14 @@ std::vector<SweepPoint> sweep(
 
 // Aggregate throughput of `pairs` concurrent Trojan/Spy pairs, all
 // inside one simulation (§V.C.1's multi-process scaling argument).
+// `pairs` is the LIVE count — pairs whose endpoints actually came up
+// and transmitted; per-pair rates must divide by it, not by the
+// requested count, or failed pairs silently deflate the average.
 struct MultiPairResult {
-  std::size_t pairs = 0;
+  std::size_t pairs = 0;           // live pairs that transmitted
+  std::size_t pairs_requested = 0;
+  std::size_t pairs_failed = 0;    // endpoints that failed setup
+  std::string first_failure;       // why, for the first failed pair
   double aggregate_bps = 0.0;
   double mean_ber = 0.0;
 };

@@ -47,6 +47,12 @@ struct ChannelReport {
     double calibration_margin = 0.0;  // level separation / jitter
     Duration calibration_time = Duration::zero();
     std::size_t calibration_probes = 0;
+    // Bonded mode only (proto/bond): sub-channel accounting. pairs is
+    // the live (calibrated) count, pairs_requested what the plan asked
+    // for; rebalances counts stripes re-queued off drained sub-channels.
+    std::size_t pairs = 1;
+    std::size_t pairs_requested = 1;
+    std::size_t rebalances = 0;
   };
   std::optional<ProtocolStats> proto;
 

@@ -1,6 +1,7 @@
 #include "exec/campaign.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <ostream>
@@ -9,6 +10,7 @@
 #include "exec/seed.h"
 #include "exec/thread_pool.h"
 #include "proto/adaptive.h"
+#include "proto/bond.h"
 #include "util/rng.h"
 
 namespace mes::exec {
@@ -66,6 +68,36 @@ std::string point_key(const CampaignCell& cell)
   return key;
 }
 
+// Metrics can be NaN/inf (a zero-elapsed cell divides by zero); the
+// JSON literals `nan`/`inf` a raw stream insert would produce are
+// invalid JSON and break every downstream parser. Non-finite -> null.
+void json_number(std::ostream& out, double v)
+{
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+// RFC-4180 quoting for free-text CSV fields: embedded quotes double,
+// and any field containing a quote, comma or newline is wrapped.
+void csv_field(std::ostream& out, const std::string& s, bool force_quote)
+{
+  const bool needs_quote =
+      force_quote || s.find_first_of("\",\n\r") != std::string::npos;
+  if (!needs_quote) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (const char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
 void json_escape(std::ostream& out, const std::string& s)
 {
   out << '"';
@@ -97,9 +129,13 @@ void write_group_json(std::ostream& out, const std::vector<GroupStats>& groups)
     out << "{\"key\":";
     json_escape(out, g.key);
     out << ",\"cells\":" << g.cells << ",\"ok\":" << g.ok
-        << ",\"sync_ok\":" << g.sync_ok << ",\"mean_ber\":" << g.mean_ber
-        << ",\"max_ber\":" << g.max_ber
-        << ",\"mean_throughput_bps\":" << g.mean_throughput_bps << "}";
+        << ",\"sync_ok\":" << g.sync_ok << ",\"mean_ber\":";
+    json_number(out, g.mean_ber);
+    out << ",\"max_ber\":";
+    json_number(out, g.max_ber);
+    out << ",\"mean_throughput_bps\":";
+    json_number(out, g.mean_throughput_bps);
+    out << "}";
   }
   out << "]";
 }
@@ -108,20 +144,24 @@ void write_group_json(std::ostream& out, const std::vector<GroupStats>& groups)
 
 std::vector<CampaignCell> expand(const ExperimentPlan& plan)
 {
+  const std::vector<std::size_t> pair_axis =
+      plan.pairs.empty() ? std::vector<std::size_t>{1} : plan.pairs;
   std::vector<CampaignCell> cells;
   cells.reserve(plan.cell_count());
   for (std::size_t mi = 0; mi < plan.mechanisms.size(); ++mi) {
-    for (std::size_t si = 0; si < plan.scenarios.size(); ++si) {
-      for (std::size_t ti = 0; ti < plan.timings.size(); ++ti) {
-        for (std::size_t pi = 0; pi < plan.protocols.size(); ++pi) {
+   for (std::size_t si = 0; si < plan.scenarios.size(); ++si) {
+    for (std::size_t ti = 0; ti < plan.timings.size(); ++ti) {
+      for (std::size_t pi = 0; pi < plan.protocols.size(); ++pi) {
+        for (std::size_t bi = 0; bi < pair_axis.size(); ++bi) {
           for (std::size_t ri = 0; ri < plan.repeats; ++ri) {
             CampaignCell cell;
-            cell.coord = CellCoord{mi, si, ti, pi, ri, cells.size()};
+            cell.coord = CellCoord{mi, si, ti, pi, bi, ri, cells.size()};
 
             const Mechanism m = plan.mechanisms[mi];
             const ScenarioSpec& scen = plan.scenarios[si];
             const TimingSpec& timing = plan.timings[ti];
             const ProtocolSpec& proto = plan.protocols[pi];
+            cell.bond_pairs = std::max<std::size_t>(pair_axis[bi], 1);
 
             cell.config = plan.base;
             cell.config.mechanism = m;
@@ -131,16 +171,27 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
                 timing.timing ? *timing.timing
                               : paper_timeset(m, scen.scenario);
             cell.config.protocol = proto.mode;
-            // The protocol coordinate enters the seed mix only when the
-            // plan actually has a protocol axis: single-protocol plans
-            // keep their historical seed schedule (stored baselines
-            // stay comparable), and a single-protocol adaptive plan
-            // sees the same channel realization as its fixed twin.
-            cell.config.seed =
-                plan.protocols.size() > 1
-                    ? mix_seed(plan.seed_base, {mi, si, ti, pi, ri})
-                    : mix_seed(plan.seed_base, {mi, si, ti, ri});
+            // Axis coordinates enter the seed mix only when the plan
+            // actually has that axis: single-protocol / single-pairs
+            // plans keep their historical seed schedule (stored
+            // baselines stay comparable), and a single-protocol
+            // adaptive plan sees the same channel realization as its
+            // fixed twin.
+            std::vector<std::uint64_t> coords = {mi, si, ti};
+            if (plan.protocols.size() > 1) coords.push_back(pi);
+            if (pair_axis.size() > 1) coords.push_back(bi);
+            coords.push_back(ri);
+            cell.config.seed = mix_seed(plan.seed_base, coords);
             if (plan.tweak) plan.tweak(cell.config, cell.coord);
+            // A bonded cell always runs the bonded adaptive stack
+            // (per-sub-channel calibration + striped ARQ); the config
+            // AND the label reflect that, so a protocol axis crossed
+            // with a pairs axis never claims a fixed/arq bonded cell
+            // that never ran — such cells are visibly seed replicates
+            // of the same adaptive point.
+            if (cell.bond_pairs > 1) {
+              cell.config.protocol = ProtocolMode::adaptive;
+            }
 
             cell.label = to_string(m);
             cell.label += '/';
@@ -150,9 +201,13 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
               cell.label += timing.label;
             }
             if (plan.protocols.size() > 1 ||
-                proto.mode != ProtocolMode::fixed) {
+                cell.config.protocol != ProtocolMode::fixed) {
               cell.label += '/';
-              cell.label += proto.label;
+              cell.label += cell.bond_pairs > 1 ? "adaptive" : proto.label;
+            }
+            if (pair_axis.size() > 1 || cell.bond_pairs > 1) {
+              cell.label += "/x";
+              cell.label += std::to_string(cell.bond_pairs);
             }
             if (plan.repeats > 1) {
               cell.label += '#';
@@ -164,6 +219,7 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
         }
       }
     }
+   }
   }
   return cells;
 }
@@ -179,6 +235,10 @@ BitVec cell_payload(const CampaignCell& cell)
 
 ChannelReport run_cell(const CampaignCell& cell)
 {
+  if (cell.bond_pairs > 1) {
+    return proto::run_bonded_transmission(cell.config, cell_payload(cell),
+                                          cell.bond_pairs);
+  }
   return proto::run_with_protocol(cell.config, cell_payload(cell));
 }
 
@@ -222,14 +282,16 @@ void write_csv(std::ostream& out, const CampaignResult& result)
 {
   out << "label,mechanism,scenario,hypervisor,protocol,t1_us,t0_us,"
          "interval_us,symbol_bits,repeat,seed,payload_bits,ok,sync_ok,ber,"
-         "throughput_bps,elapsed_us,frames,retransmits,failure\n";
+         "throughput_bps,elapsed_us,frames,retransmits,pairs,"
+         "aggregate_goodput_bps,stripe_rebalances,failure\n";
   for (const CellResult& c : result.cells) {
     const ExperimentConfig& cfg = c.cell.config;
     const ChannelReport& rep = c.report;
     // rep.timing is what the transmission actually ran at — for
     // adaptive cells that is the *calibrated* rate, not the anchor.
     const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
-    out << c.cell.label << ',' << to_string(cfg.mechanism) << ','
+    csv_field(out, c.cell.label, /*force_quote=*/false);
+    out << ',' << to_string(cfg.mechanism) << ','
         << to_string(cfg.scenario) << ',' << to_string(cfg.hypervisor) << ','
         << to_string(cfg.protocol) << ','
         << t.t1.to_us() << ',' << t.t0.to_us() << ','
@@ -239,8 +301,12 @@ void write_csv(std::ostream& out, const CampaignResult& result)
         << (rep.sync_ok ? 1 : 0) << ',' << rep.ber << ','
         << rep.throughput_bps << ',' << rep.elapsed.to_us() << ','
         << (rep.proto ? rep.proto->frames : 0) << ','
-        << (rep.proto ? rep.proto->retransmits : 0) << ",\""
-        << rep.failure_reason << "\"\n";
+        << (rep.proto ? rep.proto->retransmits : 0) << ','
+        << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs) << ','
+        << rep.throughput_bps << ','
+        << (rep.proto ? rep.proto->rebalances : 0) << ',';
+    csv_field(out, rep.failure_reason, /*force_quote=*/true);
+    out << "\n";
   }
 }
 
@@ -260,24 +326,37 @@ void write_json(std::ostream& out, const CampaignResult& result)
         << "\",\"scenario\":\"" << to_string(cfg.scenario)
         << "\",\"hypervisor\":\"" << to_string(cfg.hypervisor)
         << "\",\"protocol\":\"" << to_string(cfg.protocol)
-        << "\",\"timing\":{\"t1_us\":" << t.t1.to_us()
-        << ",\"t0_us\":" << t.t0.to_us()
-        << ",\"interval_us\":" << t.interval.to_us()
-        << ",\"symbol_bits\":" << t.symbol_bits << "}"
+        << "\",\"timing\":{\"t1_us\":";
+    json_number(out, t.t1.to_us());
+    out << ",\"t0_us\":";
+    json_number(out, t.t0.to_us());
+    out << ",\"interval_us\":";
+    json_number(out, t.interval.to_us());
+    out << ",\"symbol_bits\":" << t.symbol_bits << "}"
         << ",\"seed\":" << cfg.seed
         << ",\"payload_bits\":" << c.cell.payload_bits
+        << ",\"pairs\":"
+        << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs)
         << ",\"ok\":" << (rep.ok ? "true" : "false")
         << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
-        << ",\"ber\":" << rep.ber
-        << ",\"throughput_bps\":" << rep.throughput_bps
-        << ",\"elapsed_us\":" << rep.elapsed.to_us();
+        << ",\"ber\":";
+    json_number(out, rep.ber);
+    out << ",\"throughput_bps\":";
+    json_number(out, rep.throughput_bps);
+    out << ",\"aggregate_goodput_bps\":";
+    json_number(out, rep.throughput_bps);
+    out << ",\"elapsed_us\":";
+    json_number(out, rep.elapsed.to_us());
     if (rep.proto) {
       out << ",\"proto\":{\"frames\":" << rep.proto->frames
           << ",\"frame_sends\":" << rep.proto->frame_sends
           << ",\"retransmits\":" << rep.proto->retransmits
-          << ",\"calibration_margin\":" << rep.proto->calibration_margin
-          << ",\"calibration_us\":" << rep.proto->calibration_time.to_us()
-          << "}";
+          << ",\"calibration_margin\":";
+      json_number(out, rep.proto->calibration_margin);
+      out << ",\"calibration_us\":";
+      json_number(out, rep.proto->calibration_time.to_us());
+      out << ",\"pairs_requested\":" << rep.proto->pairs_requested
+          << ",\"stripe_rebalances\":" << rep.proto->rebalances << "}";
     }
     out << ",\"failure\":";
     json_escape(out, rep.failure_reason);
@@ -299,20 +378,30 @@ std::string report_json(const ChannelReport& rep, std::size_t payload_bits)
       << "\",\"scenario\":\"" << to_string(rep.scenario)
       << "\",\"ok\":" << (rep.ok ? "true" : "false")
       << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
-      << ",\"payload_bits\":" << payload_bits << ",\"ber\":" << rep.ber
-      << ",\"throughput_bps\":" << rep.throughput_bps
-      << ",\"elapsed_us\":" << rep.elapsed.to_us();
+      << ",\"payload_bits\":" << payload_bits << ",\"ber\":";
+  json_number(out, rep.ber);
+  out << ",\"throughput_bps\":";
+  json_number(out, rep.throughput_bps);
+  out << ",\"elapsed_us\":";
+  json_number(out, rep.elapsed.to_us());
   if (rep.proto) {
     out << ",\"proto\":{\"mode\":\"" << to_string(rep.proto->mode)
         << "\",\"frames\":" << rep.proto->frames
         << ",\"frame_sends\":" << rep.proto->frame_sends
         << ",\"retransmits\":" << rep.proto->retransmits
-        << ",\"t1_us\":" << rep.timing.t1.to_us()
-        << ",\"t0_us\":" << rep.timing.t0.to_us()
-        << ",\"interval_us\":" << rep.timing.interval.to_us()
-        << ",\"calibration_margin\":" << rep.proto->calibration_margin
-        << ",\"calibration_us\":" << rep.proto->calibration_time.to_us()
-        << "}";
+        << ",\"t1_us\":";
+    json_number(out, rep.timing.t1.to_us());
+    out << ",\"t0_us\":";
+    json_number(out, rep.timing.t0.to_us());
+    out << ",\"interval_us\":";
+    json_number(out, rep.timing.interval.to_us());
+    out << ",\"calibration_margin\":";
+    json_number(out, rep.proto->calibration_margin);
+    out << ",\"calibration_us\":";
+    json_number(out, rep.proto->calibration_time.to_us());
+    out << ",\"pairs\":" << rep.proto->pairs
+        << ",\"pairs_requested\":" << rep.proto->pairs_requested
+        << ",\"stripe_rebalances\":" << rep.proto->rebalances << "}";
   }
   out << ",\"failure\":";
   json_escape(out, rep.failure_reason);

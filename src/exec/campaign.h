@@ -31,6 +31,7 @@ struct CellCoord {
   std::size_t scenario = 0;
   std::size_t timing = 0;
   std::size_t protocol = 0;
+  std::size_t pairs = 0;
   std::size_t repeat = 0;
   std::size_t flat = 0;  // row-major index over the whole grid
 };
@@ -59,6 +60,11 @@ struct ExperimentPlan {
   std::vector<ScenarioSpec> scenarios = {{}};
   std::vector<TimingSpec> timings = {{}};
   std::vector<ProtocolSpec> protocols = {{}};
+  // Bonded-link axis (proto/bond): how many Trojan/Spy sub-channels
+  // stripe the cell's payload. Values > 1 run the bonded adaptive stack
+  // (per-sub-channel calibration + striped ARQ) regardless of the
+  // protocol axis; 1 runs the cell's own protocol mode.
+  std::vector<std::size_t> pairs = {1};
   std::size_t repeats = 1;  // seed-replicate axis
   std::uint64_t seed_base = 1;
   std::size_t payload_bits = 4096;
@@ -69,7 +75,7 @@ struct ExperimentPlan {
   std::size_t cell_count() const
   {
     return mechanisms.size() * scenarios.size() * timings.size() *
-           protocols.size() * repeats;
+           protocols.size() * pairs.size() * repeats;
   }
 };
 
@@ -77,13 +83,14 @@ struct ExperimentPlan {
 // size. The payload itself derives from the cell seed at run time.
 struct CampaignCell {
   CellCoord coord;
-  std::string label;  // "mechanism/scenario[/timing][#repeat]"
+  std::string label;  // "mechanism/scenario[/timing][/xN][#repeat]"
   ExperimentConfig config;
   std::size_t payload_bits = 0;
+  std::size_t bond_pairs = 1;  // > 1: stripe over a bonded link
 };
 
-// Row-major expansion: repeat varies fastest, then protocol, timing,
-// scenario, mechanism.
+// Row-major expansion: repeat varies fastest, then pairs, protocol,
+// timing, scenario, mechanism.
 std::vector<CampaignCell> expand(const ExperimentPlan& plan);
 
 struct CellResult {

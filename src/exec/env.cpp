@@ -49,9 +49,9 @@ ExperimentEnv::ExperimentEnv(const ExperimentConfig& cfg)
 }
 
 codec::SymbolSchedule ExperimentEnv::schedule_for(
-    const TimingConfig& timing) const
+    Mechanism m, const TimingConfig& timing) const
 {
-  if (class_of(cfg_.mechanism) == ChannelClass::cooperation) {
+  if (class_of(m) == ChannelClass::cooperation) {
     return codec::SymbolSchedule{timing.symbol_bits, timing.t0,
                                  timing.interval};
   }
@@ -60,7 +60,7 @@ codec::SymbolSchedule ExperimentEnv::schedule_for(
 
 codec::SymbolSchedule ExperimentEnv::schedule() const
 {
-  return schedule_for(cfg_.timing);
+  return schedule_for(cfg_.mechanism, cfg_.timing);
 }
 
 codec::LatencyClassifier initial_classifier_for(const ExperimentConfig& cfg)
@@ -83,12 +83,25 @@ codec::LatencyClassifier ExperimentEnv::initial_classifier() const
 
 ExperimentEnv::Endpoint& ExperimentEnv::add_pair()
 {
+  return add_pair(PairSpec{});
+}
+
+ExperimentEnv::Endpoint& ExperimentEnv::add_pair(const PairSpec& spec)
+{
   const std::size_t index = endpoints_.size();
   const std::string suffix = index == 0 ? "" : std::to_string(index);
   const std::string tag =
       index == 0 ? cfg_.tag : cfg_.tag + "_" + std::to_string(index);
 
   Endpoint& ep = endpoints_.emplace_back();
+  ep.mechanism = spec.mechanism.value_or(cfg_.mechanism);
+  const TimingConfig timing = spec.timing.value_or(cfg_.timing);
+
+  // The a-priori classifier for this pair's mechanism + timing (same
+  // estimate initial_classifier_for derives for a whole config).
+  ExperimentConfig pair_cfg = cfg_;
+  pair_cfg.mechanism = ep.mechanism;
+  pair_cfg.timing = timing;
 
   os::Process& trojan = kernel_->create_process("trojan" + suffix,
                                                 profile_.topology.trojan_ns);
@@ -99,9 +112,9 @@ ExperimentEnv::Endpoint& ExperimentEnv::add_pair()
       .kernel = *kernel_,
       .trojan = trojan,
       .spy = spy,
-      .timing = cfg_.timing,
-      .schedule = schedule(),
-      .classifier = initial_classifier(),
+      .timing = timing,
+      .schedule = schedule_for(ep.mechanism, timing),
+      .classifier = initial_classifier_for(pair_cfg),
       .loop_cost = cfg_.loop_cost,
       .tag = tag,
       // Semaphore-as-lock priming: exactly one unit free (Tables II/III;
@@ -122,6 +135,7 @@ ExperimentEnv::Endpoint& ExperimentEnv::add_reverse_pair(
     ep.error = "reverse pair needs a built forward endpoint";
     return ep;
   }
+  ep.mechanism = forward.mechanism;
   ep.ctx = std::make_unique<core::RunContext>(core::RunContext{
       .kernel = *kernel_,
       // Role swap: the forward Spy now modulates the constraint time and
@@ -144,7 +158,7 @@ void ExperimentEnv::set_link_tuning(Endpoint& ep, const TimingConfig& timing,
                                     const codec::LatencyClassifier& classifier)
 {
   ep.ctx->timing = timing;
-  ep.ctx->schedule = schedule_for(timing);
+  ep.ctx->schedule = schedule_for(ep.mechanism, timing);
   ep.ctx->classifier = classifier;
   if (ep.ctx->bit_sync) {
     ep.ctx->spy_guard = std::max(Duration::us(core::kDefaultSpyGuardUs),
@@ -154,7 +168,7 @@ void ExperimentEnv::set_link_tuning(Endpoint& ep, const TimingConfig& timing,
 
 void ExperimentEnv::finish_endpoint(Endpoint& ep)
 {
-  const ChannelClass klass = class_of(cfg_.mechanism);
+  const ChannelClass klass = class_of(ep.mechanism);
   if (cfg_.fine_grained_sync && klass == ChannelClass::contention) {
     ep.ctx->bit_sync = std::make_shared<sim::Barrier>(2);
     // The Spy's post-rendezvous guard scales with the hold time so that
@@ -165,7 +179,7 @@ void ExperimentEnv::finish_endpoint(Endpoint& ep)
         std::max(ep.ctx->spy_guard, ep.ctx->timing.t1 * 0.02);
   }
 
-  ep.channel = core::make_channel(cfg_.mechanism);
+  ep.channel = core::make_channel(ep.mechanism);
   if (!ep.channel) {
     ep.error = "unknown mechanism";
     return;

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,15 @@ std::string validate_config(const ExperimentConfig& cfg);
 // calibration. Pure function of the config — no stack required.
 codec::LatencyClassifier initial_classifier_for(const ExperimentConfig& cfg);
 
+// Per-pair override of the env config's mechanism + timing. Lets one
+// simulation host heterogeneous pairs (the bonded link stripes across
+// e.g. 4x event + 2x flock); the default-constructed spec reproduces
+// the env config exactly.
+struct PairSpec {
+  std::optional<Mechanism> mechanism;
+  std::optional<TimingConfig> timing;
+};
+
 class ExperimentEnv {
  public:
   explicit ExperimentEnv(const ExperimentConfig& cfg);
@@ -40,6 +50,7 @@ class ExperimentEnv {
   // transmit. `error` carries Channel::setup's topology verdict (the
   // Table VI ✗ entries) when the pair cannot work.
   struct Endpoint {
+    Mechanism mechanism = Mechanism::event;
     std::unique_ptr<core::Channel> channel;
     std::unique_ptr<core::RunContext> ctx;
     core::RxResult rx;
@@ -49,8 +60,11 @@ class ExperimentEnv {
   // Builds a process pair + channel. The first pair uses the config's
   // own tag and the canonical "trojan"/"spy" process names (so a
   // single-pair env is bit-identical to the historical monolithic
-  // runner); later pairs get indexed names and derived tags.
+  // runner); later pairs get indexed names and derived tags. The spec
+  // overload swaps in a different mechanism and/or timing for this pair
+  // only — everything else (scenario, noise, seed) stays the env's.
   Endpoint& add_pair();
+  Endpoint& add_pair(const PairSpec& spec);
 
   // Reverse-signaling hook for the ARQ layer: a channel over the SAME
   // two processes as `forward`, with the roles swapped — the forward
@@ -86,7 +100,8 @@ class ExperimentEnv {
   codec::LatencyClassifier initial_classifier() const;
 
  private:
-  codec::SymbolSchedule schedule_for(const TimingConfig& timing) const;
+  codec::SymbolSchedule schedule_for(Mechanism m,
+                                     const TimingConfig& timing) const;
   // Shared tail of add_pair/add_reverse_pair: rendezvous barrier, spy
   // guard, channel construction + setup.
   void finish_endpoint(Endpoint& ep);

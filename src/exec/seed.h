@@ -12,6 +12,7 @@
 #include <bit>
 #include <cstdint>
 #include <initializer_list>
+#include <vector>
 
 namespace mes::exec {
 
@@ -29,6 +30,18 @@ constexpr std::uint64_t splitmix64(std::uint64_t x)
 // coordinate. Order-sensitive: (a, b) and (b, a) are different cells.
 constexpr std::uint64_t mix_seed(std::uint64_t base,
                                  std::initializer_list<std::uint64_t> coords)
+{
+  std::uint64_t h = splitmix64(base);
+  for (const std::uint64_t c : coords) {
+    h = splitmix64(h + splitmix64(c));
+  }
+  return h;
+}
+
+// Runtime-length coordinate list (axes that exist only conditionally,
+// e.g. the campaign's pairs axis). Same fold, same schedule.
+inline std::uint64_t mix_seed(std::uint64_t base,
+                              const std::vector<std::uint64_t>& coords)
 {
   std::uint64_t h = splitmix64(base);
   for (const std::uint64_t c : coords) {

@@ -91,10 +91,7 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
   // The rate pick optimizes delivered frames/sec for the actual frame
   // geometry this session will use.
   AdaptiveOptions tuned = opt;
-  const std::size_t width =
-      class_of(cfg.mechanism) == ChannelClass::cooperation
-          ? std::max<std::size_t>(cfg.timing.symbol_bits, 1)
-          : 1;
+  const std::size_t width = link_symbol_width(cfg.mechanism, cfg.timing);
   tuned.calibration.frame_symbols =
       (frame_wire_bits(opt.arq) + opt.arq.sync_bits + width - 1) / width;
   tuned.calibration.fec_single_correcting = opt.arq.fec_depth > 0;

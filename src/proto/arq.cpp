@@ -135,6 +135,48 @@ DecodedAck decode_ack(const BitVec& wire, const ArqOptions& opt)
   return out;
 }
 
+namespace {
+
+constexpr std::size_t kWaveBits = 8;
+
+std::size_t sack_body_bits(std::size_t slots)
+{
+  return kWaveBits + slots + codec::kCrcBits;
+}
+
+}  // namespace
+
+std::size_t sack_wire_bits(std::size_t slots, const ArqOptions& opt)
+{
+  return fec_wire_bits(sack_body_bits(slots), opt);
+}
+
+BitVec encode_sack(std::size_t wave, const std::vector<int>& ok_slots,
+                   const ArqOptions& opt)
+{
+  BitVec body;
+  append_field(body, wave & ((std::size_t{1} << kWaveBits) - 1), kWaveBits);
+  for (const int ok : ok_slots) body.push_back(ok ? 1 : 0);
+  return protect(codec::append_crc(body), opt);
+}
+
+DecodedSack decode_sack(const BitVec& wire, std::size_t slots,
+                        const ArqOptions& opt)
+{
+  DecodedSack out;
+  const auto body = recover(wire, sack_body_bits(slots), opt);
+  if (!body) return out;
+  const auto checked = codec::check_and_strip_crc(*body);
+  if (!checked) return out;
+  out.wave = read_field(*checked, 0, kWaveBits);
+  out.ok.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    out.ok.push_back((*checked)[kWaveBits + i]);
+  }
+  out.crc_ok = true;
+  return out;
+}
+
 std::optional<BitVec> arq_deliver(const BitVec& payload,
                                   const Transport& transport,
                                   const ArqOptions& opt, ArqStats* stats)

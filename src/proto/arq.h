@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "util/bitvec.h"
 
@@ -73,6 +74,24 @@ struct DecodedAck {
   std::size_t next_seq = 0;
 };
 DecodedAck decode_ack(const BitVec& wire, const ArqOptions& opt);
+
+// Selective ack for burst waves (proto/bond): one reverse round per
+// wave acknowledges every frame slot of that wave's burst at once.
+// Layout (before FEC): [ wave mod 2^8 | ok bitmap (`slots` bits) | crc16 ].
+// The wave echo lets the sender discard a stale or misaligned sack; a
+// garbled sack (CRC fail) simply retransmits the whole burst.
+std::size_t sack_wire_bits(std::size_t slots, const ArqOptions& opt);
+
+BitVec encode_sack(std::size_t wave, const std::vector<int>& ok_slots,
+                   const ArqOptions& opt);
+
+struct DecodedSack {
+  bool crc_ok = false;
+  std::size_t wave = 0;
+  std::vector<int> ok;  // one flag per slot
+};
+DecodedSack decode_sack(const BitVec& wire, std::size_t slots,
+                        const ArqOptions& opt);
 
 // --- session ----------------------------------------------------------
 

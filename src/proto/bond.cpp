@@ -1,0 +1,416 @@
+#include "proto/bond.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "exec/env.h"
+#include "exec/seed.h"
+#include "proto/link.h"
+#include "util/rng.h"
+
+namespace mes::proto {
+
+namespace {
+
+// Resolved per-sub-channel config: the base with this channel's
+// mechanism + timing anchor swapped in.
+ExperimentConfig channel_config(const ExperimentConfig& base,
+                                const BondChannelSpec& spec, std::size_t index)
+{
+  ExperimentConfig cfg = base;
+  cfg.mechanism = spec.mechanism;
+  cfg.timing = spec.timing ? *spec.timing
+                           : paper_timeset(spec.mechanism, base.scenario);
+  // Multi-bit symbols only survive on cooperation channels; a mixed
+  // bond keeps the base width there and falls back to binary symbols
+  // on contention sub-channels.
+  cfg.timing.symbol_bits = link_symbol_width(spec.mechanism, base.timing);
+  cfg.protocol = ProtocolMode::fixed;
+  // Decorrelated calibration stacks per sub-channel.
+  cfg.seed = exec::mix_seed(base.seed, {0xB0DDULL, index});
+  return cfg;
+}
+
+// Flips the round into seeded noise: what a collapsed margin looks like
+// to the decoder, without reaching into the noise model mid-run.
+BitVec garble(const BitVec& wire, Rng& rng)
+{
+  BitVec out;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    out.push_back(static_cast<int>(rng.next_below(2)));
+  }
+  return out;
+}
+
+struct SubChannel {
+  BondChannelReport report;
+  Calibration cal;
+  std::unique_ptr<Link> link;
+  bool live = false;
+  std::size_t burst = 1;
+  std::vector<std::size_t> inflight;  // global stripe indices this wave
+  std::size_t dead_waves = 0;
+  std::size_t requeued_this_wave = 0;
+};
+
+}  // namespace
+
+BondReport bond_deliver(const ExperimentConfig& base, const BitVec& payload,
+                        const std::vector<BondChannelSpec>& specs,
+                        const BondOptions& opt)
+{
+  BondReport bond;
+  bond.pairs_requested = specs.size();
+  if (specs.empty()) {
+    bond.failure = "bond: no sub-channels requested";
+    return bond;
+  }
+
+  // --- phase 1: calibrate every sub-channel independently -------------
+  std::vector<SubChannel> channels(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SubChannel& ch = channels[i];
+    ch.report.mechanism = specs[i].mechanism;
+    const ExperimentConfig cfg = channel_config(base, specs[i], i);
+    if (std::string err = exec::validate_config(cfg); !err.empty()) {
+      ch.report.error = err;
+      continue;
+    }
+    CalibrationOptions tuned = opt.calibration;
+    const std::size_t width = link_symbol_width(cfg.mechanism, cfg.timing);
+    tuned.frame_symbols =
+        (frame_wire_bits(opt.arq) + opt.arq.sync_bits + width - 1) / width;
+    tuned.fec_single_correcting = opt.arq.fec_depth > 0;
+    ch.cal = calibrate_link(cfg, tuned, opt.arq);
+    bond.calibration_time += ch.cal.elapsed;
+    if (!ch.cal.ok) {
+      ch.report.error = ch.cal.failure;
+      continue;
+    }
+    ch.report.calibrated = true;
+    ch.report.timing = ch.cal.timing;
+    ch.report.margin = ch.cal.margin;
+    ch.report.weight_bps = ch.cal.trial_goodput_bps;
+    ch.live = true;
+  }
+
+  // --- phase 2: bond the survivors onto ONE simulation ----------------
+  exec::ExperimentEnv env{base};
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    SubChannel& ch = channels[i];
+    if (!ch.live) continue;
+    const ExperimentConfig cfg = channel_config(base, specs[i], i);
+    ch.link = std::make_unique<Link>(
+        env, exec::PairSpec{cfg.mechanism, cfg.timing}, ch.cal.timing,
+        ch.cal.classifier, opt.arq.sync_bits);
+    if (!ch.link->error().empty()) {
+      ch.report.error = ch.link->error();
+      ch.report.calibrated = false;
+      ch.live = false;
+    }
+  }
+  const auto live_count = [&channels] {
+    std::size_t n = 0;
+    for (const SubChannel& ch : channels) n += ch.live ? 1 : 0;
+    return n;
+  };
+  bond.pairs_live = live_count();
+  if (bond.pairs_live == 0) {
+    for (const SubChannel& ch : channels) {
+      if (!ch.report.error.empty()) {
+        bond.failure = ch.report.error;
+        break;
+      }
+    }
+    if (bond.failure.empty()) bond.failure = "bond: no sub-channel came up";
+    for (SubChannel& ch : channels) bond.channels.push_back(ch.report);
+    return bond;
+  }
+
+  // --- striping scheduler: weight bursts by calibrated goodput --------
+  // The fastest sub-channel carries max_burst stripes per wave; slower
+  // ones get proportionally fewer, so every sub-channel's burst takes
+  // about the same wire time and no one stalls the lockstep wave.
+  double w_max = 0.0;
+  for (const SubChannel& ch : channels) {
+    if (ch.live) w_max = std::max(w_max, ch.report.weight_bps);
+  }
+  const std::size_t burst_cap = std::max<std::size_t>(opt.max_burst, 1);
+  for (SubChannel& ch : channels) {
+    if (!ch.live) continue;
+    const std::size_t burst =
+        w_max > 0.0 && ch.report.weight_bps > 0.0
+            ? static_cast<std::size_t>(std::lround(
+                  static_cast<double>(burst_cap) * ch.report.weight_bps /
+                  w_max))
+            : 1;
+    ch.burst = std::clamp<std::size_t>(burst, 1, burst_cap);
+    ch.report.burst = ch.burst;
+  }
+
+  // --- phase 3: the wave loop -----------------------------------------
+  const std::size_t n_stripes = frame_count(payload.size(), opt.arq);
+  const std::size_t seq_mod = std::size_t{1} << opt.arq.seq_bits;
+  const std::size_t window = std::max<std::size_t>(seq_mod / 2, 1);
+  bond.stripes = n_stripes;
+
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < n_stripes; ++i) pending.push_back(i);
+  std::vector<char> delivered(n_stripes, 0);
+  std::size_t confirmed_floor = 0;  // sender: first undelivered stripe
+  std::size_t delivered_count = 0;
+
+  std::vector<std::optional<BitVec>> received(n_stripes);
+  std::size_t lowest_unfilled = 0;  // receiver: reassembly frontier
+
+  Rng fault_rng{base.seed ^ 0xFA017B0DDULL};
+  bond.ok = true;
+
+  const auto stripe_chunk = [&](std::size_t index) {
+    const std::size_t offset = index * opt.arq.chunk_bits;
+    return payload.slice(
+        offset, std::min(opt.arq.chunk_bits, payload.size() - offset));
+  };
+
+  for (std::size_t wave = 0; delivered_count < n_stripes; ++wave) {
+    if (wave >= opt.max_waves) {
+      bond.failure = "bond: wave bound exhausted";
+      break;
+    }
+    ++bond.waves;
+
+    // Forward half: deal pending stripes round-robin across the live
+    // sub-channels (one per turn, up to each channel's burst) so a
+    // short wave spreads over every pair instead of filling the first.
+    for (SubChannel& ch : channels) {
+      ch.inflight.clear();
+      ch.requeued_this_wave = 0;
+    }
+    bool dealt = true;
+    while (dealt && !pending.empty() &&
+           pending.front() < confirmed_floor + window) {
+      dealt = false;
+      for (SubChannel& ch : channels) {
+        if (!ch.live || ch.inflight.size() >= ch.burst) continue;
+        if (pending.empty() ||
+            pending.front() >= confirmed_floor + window) {
+          break;
+        }
+        ch.inflight.push_back(pending.front());
+        pending.pop_front();
+        dealt = true;
+      }
+    }
+    bool posted_any = false;
+    for (SubChannel& ch : channels) {
+      if (!ch.live || ch.inflight.empty()) continue;
+      BitVec wire;
+      for (const std::size_t stripe : ch.inflight) {
+        wire.append(encode_frame(stripe % seq_mod, stripe + 1 == n_stripes,
+                                 stripe_chunk(stripe), opt.arq));
+      }
+      posted_any = ch.link->post(wire, /*reverse=*/false) || posted_any;
+      ch.report.stripe_sends += ch.inflight.size();
+      bond.stripe_sends += ch.inflight.size();
+    }
+    if (!posted_any) {
+      bond.failure = "bond: scheduler stalled (window closed)";
+      break;
+    }
+    sim::RunResult run = env.run();
+    if (run.hit_event_limit || run.blocked_roots > 0) {
+      bond.failure = run.hit_event_limit ? "simulation event limit reached"
+                                         : "bond wave deadlocked";
+      bond.ok = false;
+      break;
+    }
+
+    // Receiver half: decode each slot, fill the reassembly buffer,
+    // answer with a selective ack over the reverse direction.
+    const std::size_t frame_bits = frame_wire_bits(opt.arq);
+    for (SubChannel& ch : channels) {
+      if (!ch.live || ch.inflight.empty()) continue;
+      const std::size_t index =
+          static_cast<std::size_t>(&ch - channels.data());
+      auto rx = ch.link->collect();
+      if (!rx) {
+        ch.report.error = ch.link->error();
+        continue;
+      }
+      if (opt.fault && opt.fault(index, wave)) *rx = garble(*rx, fault_rng);
+
+      std::vector<int> ok_slots(ch.inflight.size(), 0);
+      for (std::size_t s = 0; s < ch.inflight.size(); ++s) {
+        if ((s + 1) * frame_bits > rx->size()) break;
+        const DecodedFrame frame =
+            decode_frame(rx->slice(s * frame_bits, frame_bits), opt.arq);
+        if (!frame.crc_ok) continue;
+        ok_slots[s] = 1;
+        // Map the wire sequence number back to a global stripe index:
+        // the first unfilled in-window index with a matching residue.
+        // No match = a duplicate of an already-filled stripe (a lost
+        // sack made the sender resend) — still acked positively.
+        const std::size_t hi =
+            std::min(n_stripes, lowest_unfilled + window);
+        for (std::size_t g = lowest_unfilled; g < hi; ++g) {
+          if (!received[g] && g % seq_mod == frame.seq) {
+            received[g] = frame.chunk;
+            break;
+          }
+        }
+      }
+      while (lowest_unfilled < n_stripes && received[lowest_unfilled]) {
+        ++lowest_unfilled;
+      }
+      ch.link->post(encode_sack(wave, ok_slots, opt.arq),
+                    /*reverse=*/true);
+    }
+    run = env.run();
+    if (run.hit_event_limit || run.blocked_roots > 0) {
+      bond.failure = run.hit_event_limit ? "simulation event limit reached"
+                                         : "bond ack wave deadlocked";
+      bond.ok = false;
+      break;
+    }
+
+    // Sender half: score the sack, advance or re-queue each stripe.
+    std::vector<std::size_t> requeue;
+    for (SubChannel& ch : channels) {
+      if (!ch.live || ch.inflight.empty()) continue;
+      const std::size_t index =
+          static_cast<std::size_t>(&ch - channels.data());
+      auto ack_rx = ch.link->collect();
+      if (ack_rx && opt.fault && opt.fault(index, wave)) {
+        *ack_rx = garble(*ack_rx, fault_rng);
+      }
+      DecodedSack sack;
+      if (ack_rx) {
+        sack = decode_sack(*ack_rx, ch.inflight.size(), opt.arq);
+      }
+      const bool sack_valid = sack.crc_ok && sack.wave == (wave & 0xff);
+      std::size_t advanced = 0;
+      for (std::size_t s = 0; s < ch.inflight.size(); ++s) {
+        const std::size_t stripe = ch.inflight[s];
+        if (sack_valid && sack.ok[s]) {
+          if (!delivered[stripe]) {
+            delivered[stripe] = 1;
+            ++delivered_count;
+          }
+          ++ch.report.stripes_delivered;
+          ++advanced;
+        } else {
+          requeue.push_back(stripe);
+          ++ch.requeued_this_wave;
+          ++bond.retransmits;
+        }
+      }
+      ch.dead_waves = advanced > 0 ? 0 : ch.dead_waves + 1;
+    }
+    while (confirmed_floor < n_stripes && delivered[confirmed_floor]) {
+      ++confirmed_floor;
+    }
+    std::sort(requeue.begin(), requeue.end());
+    pending.insert(pending.begin(), requeue.begin(), requeue.end());
+
+    // Degraded mode: drain collapsed sub-channels onto the survivors.
+    for (SubChannel& ch : channels) {
+      if (!ch.live || ch.dead_waves < opt.degrade_after) continue;
+      if (live_count() <= 1) continue;  // nothing to drain onto
+      ch.live = false;
+      ch.report.degraded = true;
+      bond.rebalances += ch.requeued_this_wave;
+    }
+  }
+
+  if (delivered_count == n_stripes) {
+    BitVec assembled;
+    for (std::size_t i = 0; i < n_stripes; ++i) {
+      assembled.append(*received[i]);
+    }
+    bond.received = std::move(assembled);
+    bond.delivered = true;
+  }
+  bond.elapsed = env.simulator().now() - TimePoint::origin();
+  if (bond.delivered && bond.elapsed > Duration::zero()) {
+    bond.aggregate_goodput_bps =
+        static_cast<double>(payload.size()) / bond.elapsed.to_sec();
+  }
+  for (SubChannel& ch : channels) bond.channels.push_back(ch.report);
+  return bond;
+}
+
+BondReport bond_deliver(const ExperimentConfig& base, const BitVec& payload,
+                        std::size_t pairs, const BondOptions& opt)
+{
+  std::vector<BondChannelSpec> specs(
+      pairs, BondChannelSpec{base.mechanism, base.timing});
+  return bond_deliver(base, payload, specs, opt);
+}
+
+ChannelReport run_bonded_transmission(const ExperimentConfig& base,
+                                      const BitVec& payload,
+                                      std::size_t pairs,
+                                      const BondOptions& opt, BondReport* out)
+{
+  const BondReport bond = bond_deliver(base, payload, pairs, opt);
+
+  ChannelReport rep;
+  rep.mechanism = base.mechanism;
+  rep.scenario = base.scenario;
+  rep.timing = base.timing;
+  rep.sent_payload = payload;
+  rep.ok = bond.ok;
+  if (!bond.ok) {
+    rep.failure_reason = bond.failure;
+    if (out != nullptr) *out = bond;
+    return rep;
+  }
+
+  // Conservative margin (the weakest live sub-channel) and the first
+  // live sub-channel's calibrated rate for the timing columns.
+  double min_margin = 0.0;
+  bool margin_set = false;
+  bool timing_set = false;
+  for (const BondChannelReport& ch : bond.channels) {
+    if (!ch.calibrated) continue;
+    min_margin = margin_set ? std::min(min_margin, ch.margin) : ch.margin;
+    margin_set = true;
+    if (!timing_set) {
+      rep.timing = ch.timing;
+      timing_set = true;
+    }
+  }
+  rep.elapsed = bond.elapsed;
+  rep.proto = ChannelReport::ProtocolStats{};
+  rep.proto->mode = ProtocolMode::adaptive;
+  rep.proto->frames = bond.stripes;
+  rep.proto->frame_sends = bond.stripe_sends;
+  rep.proto->retransmits = bond.retransmits;
+  rep.proto->calibration_margin = min_margin;
+  rep.proto->calibration_time = bond.calibration_time;
+  rep.proto->pairs = bond.pairs_live;
+  rep.proto->pairs_requested = bond.pairs_requested;
+  rep.proto->rebalances = bond.rebalances;
+
+  if (bond.delivered) {
+    rep.sync_ok = true;
+    rep.received_payload = bond.received;
+    rep.ber = payload.empty()
+                  ? 0.0
+                  : static_cast<double>(
+                        payload.hamming_distance(bond.received)) /
+                        static_cast<double>(payload.size());
+    rep.throughput_bps = bond.aggregate_goodput_bps;
+  } else {
+    rep.sync_ok = false;
+    rep.ber = 1.0;
+    rep.failure_reason = bond.failure.empty()
+                             ? "bond: transfer did not complete"
+                             : bond.failure;
+  }
+  if (out != nullptr) *out = bond;
+  return rep;
+}
+
+}  // namespace mes::proto

@@ -1,0 +1,122 @@
+// Bonded multi-pair link: MIMO striping of one payload across N
+// Trojan/Spy sub-channels inside a single simulation.
+//
+// MES-Attacks §V.C.1 argues an attacker controlling many pairs scales
+// transfer rate roughly linearly; analysis::run_multi_pair measures
+// that for N *independent* raw rounds, but no layer delivered one
+// payload faster. This one does. The bond:
+//
+//  * calibrates every sub-channel independently (proto/calibrate): own
+//    rate, own classifier, own goodput estimate — sub-channels may mix
+//    mechanisms (e.g. 4x event + 2x flock in one simulation);
+//  * attaches each calibrated sub-channel as a forward + reverse
+//    endpoint pair on ONE exec::ExperimentEnv, so all stripes share a
+//    simulated clock and noise regime and genuinely overlap in time;
+//  * cuts the payload into sequence-numbered stripes (ARQ frames,
+//    proto/arq) and schedules them in lockstep *waves*: each wave every
+//    live sub-channel carries a burst of stripes sized by its
+//    calibrated-goodput weight, so slow links don't stall fast ones;
+//  * acknowledges each wave with a per-slot selective ack (sack) over
+//    the sub-channel's reverse direction; unacked stripes re-queue;
+//  * drains a sub-channel whose delivery collapses mid-transfer
+//    (`degrade_after` consecutive dead waves) and re-queues its stripes
+//    on the survivors — the transfer completes at reduced goodput
+//    instead of stalling behind a dead link.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "proto/arq.h"
+#include "proto/calibrate.h"
+
+namespace mes::proto {
+
+// One sub-channel of the bond. Unset fields fall back to the base
+// config's mechanism / the paper Timeset for (mechanism, scenario).
+struct BondChannelSpec {
+  Mechanism mechanism = Mechanism::event;
+  std::optional<TimingConfig> timing;
+};
+
+struct BondOptions {
+  ArqOptions arq;                  // stripe geometry, shared by all
+  CalibrationOptions calibration;  // per-sub-channel rate search
+  // Stripes per sub-channel per wave: burst_i = clamp(round(w_i/w_min),
+  // 1, max_burst), w from calibrated goodput — the striping scheduler's
+  // weight. 1 disables bursting (pure one-stripe-per-wave lockstep).
+  std::size_t max_burst = 4;
+  // Consecutive waves with zero delivered stripes before a sub-channel
+  // is declared degraded and drained (its pending stripes re-queue on
+  // the survivors). Never drains the last live sub-channel.
+  std::size_t degrade_after = 3;
+  // Global wave bound; exhausting it aborts the transfer (the bonded
+  // analogue of ArqOptions::max_rounds_per_frame).
+  std::size_t max_waves = 96;
+  // Fault injection for tests and the degraded-mode bench: when set and
+  // true for (channel, wave), that sub-channel's received bits (both
+  // directions) are replaced by seeded noise from that wave on — the
+  // observable signature of a calibration margin collapsing mid-run.
+  std::function<bool(std::size_t channel, std::size_t wave)> fault;
+};
+
+struct BondChannelReport {
+  Mechanism mechanism = Mechanism::event;
+  bool calibrated = false;
+  std::string error;              // setup/calibration failure, when any
+  TimingConfig timing;            // the calibrated rate it ran at
+  double margin = 0.0;            // calibrated level margin
+  double weight_bps = 0.0;        // scheduler weight (calibrated goodput)
+  std::size_t burst = 0;          // stripes per wave the scheduler grants
+  std::size_t stripes_delivered = 0;
+  std::size_t stripe_sends = 0;   // forward slots incl. retransmits
+  bool degraded = false;          // drained mid-transfer
+};
+
+struct BondReport {
+  bool ok = false;         // >= 1 sub-channel came up and the bond ran
+  bool delivered = false;  // payload reassembled bit-exactly at the Spy
+  std::string failure;
+
+  BitVec received;
+  std::size_t pairs_requested = 0;
+  std::size_t pairs_live = 0;  // calibrated + set up, entered the bond
+
+  std::size_t stripes = 0;       // frame_count(payload)
+  std::size_t stripe_sends = 0;  // forward slots incl. retransmits
+  std::size_t retransmits = 0;
+  std::size_t rebalances = 0;    // stripes re-queued off drained channels
+  std::size_t waves = 0;
+
+  Duration elapsed = Duration::zero();           // transfer only
+  Duration calibration_time = Duration::zero();  // summed over channels
+  double aggregate_goodput_bps = 0.0;  // payload bits / elapsed
+
+  std::vector<BondChannelReport> channels;  // spec order
+};
+
+// Runs the bonded transfer: calibrate every spec, bond the survivors,
+// stripe `payload` across them. `base` carries the shared scenario,
+// noise regime, seed and ARQ-independent knobs.
+BondReport bond_deliver(const ExperimentConfig& base, const BitVec& payload,
+                        const std::vector<BondChannelSpec>& specs,
+                        const BondOptions& opt = {});
+
+// N homogeneous sub-channels of base.mechanism at the base timing.
+BondReport bond_deliver(const ExperimentConfig& base, const BitVec& payload,
+                        std::size_t pairs, const BondOptions& opt = {});
+
+// ChannelReport adapter used by exec::run_cell and the CLI: goodput
+// semantics match run_adaptive_transmission (throughput_bps is the
+// aggregate goodput, calibration time reported separately in proto->).
+// `out`, when non-null, receives the full bond verdict.
+ChannelReport run_bonded_transmission(const ExperimentConfig& base,
+                                      const BitVec& payload,
+                                      std::size_t pairs,
+                                      const BondOptions& opt = {},
+                                      BondReport* out = nullptr);
+
+}  // namespace mes::proto

@@ -6,37 +6,65 @@
 
 namespace mes::proto {
 
+std::size_t link_symbol_width(Mechanism m, const TimingConfig& timing)
+{
+  return class_of(m) == ChannelClass::cooperation
+             ? std::max<std::size_t>(timing.symbol_bits, 1)
+             : 1;
+}
+
 Link::Link(const ExperimentConfig& cfg, const TimingConfig& timing,
            const codec::LatencyClassifier& classifier, std::size_t sync_bits)
-    : env_{cfg},
-      width_{class_of(cfg.mechanism) == ChannelClass::cooperation
-                 ? std::max<std::size_t>(timing.symbol_bits, 1)
-                 : 1},
-      sync_bits_{(sync_bits + width_ - 1) / width_ * width_},
-      forward_{env_.add_pair()}
+    : owned_env_{std::make_unique<exec::ExperimentEnv>(cfg)},
+      env_{owned_env_.get()},
+      width_{link_symbol_width(cfg.mechanism, timing)},
+      sync_bits_{(sync_bits + width_ - 1) / width_ * width_}
 {
-  if (!forward_.error.empty()) {
-    error_ = forward_.error;
+  forward_ = &env_->add_pair();
+  if (!forward_->error.empty()) {
+    error_ = forward_->error;
     return;
   }
-  reverse_ = &env_.add_reverse_pair(forward_);
+  reverse_ = &env_->add_reverse_pair(*forward_);
   if (!reverse_->error.empty()) {
     error_ = reverse_->error;
     return;
   }
-  env_.set_link_tuning(forward_, timing, classifier);
-  env_.set_link_tuning(*reverse_, timing, classifier);
+  env_->set_link_tuning(*forward_, timing, classifier);
+  env_->set_link_tuning(*reverse_, timing, classifier);
+}
+
+Link::Link(exec::ExperimentEnv& env, const exec::PairSpec& spec,
+           const TimingConfig& timing,
+           const codec::LatencyClassifier& classifier, std::size_t sync_bits)
+    : env_{&env},
+      width_{link_symbol_width(spec.mechanism.value_or(env.config().mechanism),
+                               timing)},
+      sync_bits_{(sync_bits + width_ - 1) / width_ * width_}
+{
+  forward_ = &env_->add_pair(spec);
+  if (!forward_->error.empty()) {
+    error_ = forward_->error;
+    return;
+  }
+  reverse_ = &env_->add_reverse_pair(*forward_);
+  if (!reverse_->error.empty()) {
+    error_ = reverse_->error;
+    return;
+  }
+  env_->set_link_tuning(*forward_, timing, classifier);
+  env_->set_link_tuning(*reverse_, timing, classifier);
 }
 
 Duration Link::elapsed()
 {
-  return env_.simulator().now() - TimePoint::origin();
+  return env_->simulator().now() - TimePoint::origin();
 }
 
-std::optional<BitVec> Link::transfer(const BitVec& wire, bool reverse)
+bool Link::post(const BitVec& wire, bool reverse)
 {
-  if (!error_.empty()) return std::nullopt;
-  exec::ExperimentEnv::Endpoint& ep = reverse ? *reverse_ : forward_;
+  if (!error_.empty() || pending_) return false;
+  exec::ExperimentEnv::Endpoint& ep = reverse ? *reverse_ : *forward_;
 
   BitVec padded = wire;
   while (padded.size() % width_ != 0) padded.push_back(0);
@@ -44,16 +72,19 @@ std::optional<BitVec> Link::transfer(const BitVec& wire, bool reverse)
   const std::vector<std::size_t> symbols = ep.ctx->schedule.encode(frame.bits);
 
   ep.rx = core::RxResult{};
-  env_.spawn_transmission(ep, symbols);
-  const sim::RunResult run = env_.run();
-  if (run.hit_event_limit) {
-    error_ = "simulation event limit reached";
-    return std::nullopt;
-  }
-  if (run.blocked_roots > 0) {
-    error_ = "protocol round deadlocked";
-    return std::nullopt;
-  }
+  env_->spawn_transmission(ep, symbols);
+  pending_ = true;
+  pending_reverse_ = reverse;
+  pending_bits_ = wire.size();
+  return true;
+}
+
+std::optional<BitVec> Link::collect()
+{
+  if (!error_.empty() || !pending_) return std::nullopt;
+  pending_ = false;
+  exec::ExperimentEnv::Endpoint& ep =
+      pending_reverse_ ? *reverse_ : *forward_;
 
   // Per-round recalibration from the known preamble keeps the link
   // honest under slow drift; the calibrated classifier is the anchor.
@@ -71,12 +102,27 @@ std::optional<BitVec> Link::transfer(const BitVec& wire, bool reverse)
   for (const Duration l : lat) rx_symbols.push_back(cls.classify(l));
 
   const BitVec rx_bits = ep.ctx->schedule.decode(rx_symbols);
-  if (rx_bits.size() < sync_bits_ + wire.size()) {
+  if (rx_bits.size() < sync_bits_ + pending_bits_) {
     // Short reads cannot happen structurally (the Spy measures a fixed
     // count); treat defensively as a garbled round.
     return BitVec{};
   }
-  return rx_bits.slice(sync_bits_, wire.size());
+  return rx_bits.slice(sync_bits_, pending_bits_);
+}
+
+std::optional<BitVec> Link::transfer(const BitVec& wire, bool reverse)
+{
+  if (!post(wire, reverse)) return std::nullopt;
+  const sim::RunResult run = env_->run();
+  if (run.hit_event_limit) {
+    error_ = "simulation event limit reached";
+    return std::nullopt;
+  }
+  if (run.blocked_roots > 0) {
+    error_ = "protocol round deadlocked";
+    return std::nullopt;
+  }
+  return collect();
 }
 
 Transport Link::transport()

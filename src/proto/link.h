@@ -1,4 +1,4 @@
-// One live, bidirectional, framed link over a single simulator stack.
+// One live, bidirectional, framed link over a simulator stack.
 //
 // Binds the ARQ Transport (proto/arq) to an exec::ExperimentEnv: a
 // forward endpoint for data frames and a reverse endpoint — the same
@@ -8,8 +8,15 @@
 // reverse phases on one simulated clock, through one persistent noise
 // regime. Used by proto/adaptive for payload sessions and by
 // proto/calibrate for trial frames during rate refinement.
+//
+// A Link either owns its whole env (the single-pair session mode) or
+// attaches a new endpoint pair to an env it shares with other links
+// (the bonded mode, proto/bond): many links post rounds, the owner
+// drains the simulator once, and each link collects what its Spy
+// measured — so N sub-channels genuinely overlap on one clock.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -20,13 +27,25 @@
 
 namespace mes::proto {
 
+// Wire symbol width of a (mechanism, timing) pair: cooperation
+// channels carry timing.symbol_bits-wide symbols, contention channels
+// are always binary. The one width rule every proto layer shares.
+std::size_t link_symbol_width(Mechanism m, const TimingConfig& timing);
+
 class Link {
  public:
-  // `timing` + `classifier` override the config's own (they carry the
-  // calibration outcome); `sync_bits` is rounded up to a symbol-width
-  // multiple.
+  // Owns a fresh env built from `cfg`. `timing` + `classifier` override
+  // the config's own (they carry the calibration outcome); `sync_bits`
+  // is rounded up to a symbol-width multiple.
   Link(const ExperimentConfig& cfg, const TimingConfig& timing,
        const codec::LatencyClassifier& classifier, std::size_t sync_bits);
+
+  // Attaches to `env` as one more pair (plus its reverse pair), with a
+  // per-pair mechanism/timing override. The caller keeps driving the
+  // simulator: post(), then env.run(), then collect().
+  Link(exec::ExperimentEnv& env, const exec::PairSpec& spec,
+       const TimingConfig& timing, const codec::LatencyClassifier& classifier,
+       std::size_t sync_bits);
 
   // Non-empty when endpoint setup failed (topology verdicts) or a
   // transfer died structurally; the session must abort.
@@ -38,19 +57,35 @@ class Link {
   // Carries `wire` bits one way and returns what the far side decoded
   // (preamble stripped, truncated to the sent size). std::nullopt =
   // structural failure; garbled rounds still return bits — the caller's
-  // CRC judges them.
+  // CRC judges them. Equivalent to post + env.run + collect; only valid
+  // on an owning link (a shared env must be drained by its owner).
   std::optional<BitVec> transfer(const BitVec& wire, bool reverse);
 
-  // The same, as an ARQ Transport.
+  // Bonded-mode half-round: encodes + spawns one direction's round on
+  // the (shared) simulator without running it. Returns false when the
+  // link is already dead or a round is still pending collection.
+  bool post(const BitVec& wire, bool reverse);
+
+  // Decodes the posted round after the caller drained the simulator.
+  // std::nullopt = nothing pending / link dead.
+  std::optional<BitVec> collect();
+
+  // The same, as an ARQ Transport (owning mode only).
   Transport transport();
 
  private:
-  exec::ExperimentEnv env_;
+  std::unique_ptr<exec::ExperimentEnv> owned_env_;
+  exec::ExperimentEnv* env_;
   std::size_t width_;
   std::size_t sync_bits_;
-  exec::ExperimentEnv::Endpoint& forward_;
+  exec::ExperimentEnv::Endpoint* forward_ = nullptr;
   exec::ExperimentEnv::Endpoint* reverse_ = nullptr;
   std::string error_;
+
+  // The round in flight between post() and collect().
+  bool pending_ = false;
+  bool pending_reverse_ = false;
+  std::size_t pending_bits_ = 0;
 };
 
 }  // namespace mes::proto

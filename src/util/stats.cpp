@@ -50,13 +50,29 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x)
 {
-  const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Guard before the float->integer cast: for NaN, or for values whose
+  // scaled bin index exceeds the integer's range, that cast is
+  // undefined behavior — NaN samples are dropped (and counted), and
+  // out-of-range values (inf included) route to the edge bins.
+  if (std::isnan(x)) {
+    ++dropped_;
+    return;
+  }
   ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++counts_.back();
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::size_t>((x - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  // x just below hi_ can still round up to counts_.size().
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
 }
 
 double Histogram::bin_low(std::size_t i) const

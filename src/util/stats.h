@@ -30,8 +30,9 @@ class RunningStats {
 // Percentile over a stored sample (linear interpolation between ranks).
 double percentile(std::vector<double> values, double p);
 
-// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
-// edge bins so nothing is silently dropped.
+// Fixed-width histogram over [lo, hi); out-of-range values (infinities
+// included) clamp to the edge bins so nothing is silently lost, and NaN
+// samples are dropped but counted in dropped().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -39,6 +40,8 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  // NaN samples rejected by add() (they have no orderable bin).
+  std::size_t dropped() const { return dropped_; }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
   // Index of the most populated bin.
@@ -49,6 +52,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 // Symbol-level confusion matrix: counts[sent][decoded].

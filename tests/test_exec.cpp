@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -285,7 +287,7 @@ TEST(Emission, CsvRoundTripsAgainstInMemoryReports)
   std::istringstream in{out.str()};
   std::string header;
   ASSERT_TRUE(std::getline(in, header));
-  const std::size_t n_fields = 20;
+  const std::size_t n_fields = 23;
   ASSERT_EQ(std::count(header.begin(), header.end(), ',') + 1u, n_fields);
 
   std::size_t row_index = 0;
@@ -327,7 +329,13 @@ TEST(Emission, CsvRoundTripsAgainstInMemoryReports)
               rep.proto ? rep.proto->frames : 0u);
     EXPECT_EQ(std::strtoul(fields[18].c_str(), nullptr, 10),
               rep.proto ? rep.proto->retransmits : 0u);
-    EXPECT_EQ(fields[19], "\"" + rep.failure_reason + "\"");
+    EXPECT_EQ(std::strtoul(fields[19].c_str(), nullptr, 10),
+              rep.proto ? rep.proto->pairs : 1u);
+    expect_near_rel(std::strtod(fields[20].c_str(), nullptr),
+                    rep.throughput_bps, "aggregate_goodput");
+    EXPECT_EQ(std::strtoul(fields[21].c_str(), nullptr, 10),
+              rep.proto ? rep.proto->rebalances : 0u);
+    EXPECT_EQ(fields[22], "\"" + rep.failure_reason + "\"");
     ++row_index;
   }
   EXPECT_EQ(row_index, result.cells.size());
@@ -413,6 +421,302 @@ TEST(Emission, JsonRoundTripsAgainstInMemoryReports)
     EXPECT_NE(json.find(std::string{"\""} + key + "\":["),
               std::string::npos);
   }
+}
+
+// --- strict JSON validation -------------------------------------------
+
+// A strict (RFC 8259) JSON parser, just enough to *reject* what real
+// parsers reject — bare nan/inf literals above all. Returns the index
+// past the parsed value, or npos on any violation.
+std::size_t strict_json_value(const std::string& s, std::size_t at);
+
+std::size_t strict_json_ws(const std::string& s, std::size_t at)
+{
+  while (at < s.size() && (s[at] == ' ' || s[at] == '\t' || s[at] == '\n' ||
+                           s[at] == '\r')) {
+    ++at;
+  }
+  return at;
+}
+
+std::size_t strict_json_string(const std::string& s, std::size_t at)
+{
+  if (at >= s.size() || s[at] != '"') return std::string::npos;
+  ++at;
+  while (at < s.size() && s[at] != '"') {
+    if (s[at] == '\\') {
+      ++at;
+      if (at >= s.size()) return std::string::npos;
+      if (std::string{"\"\\/bfnrtu"}.find(s[at]) == std::string::npos) {
+        return std::string::npos;
+      }
+      if (s[at] == 'u') {
+        if (at + 4 >= s.size()) return std::string::npos;
+        for (int i = 1; i <= 4; ++i) {
+          if (!std::isxdigit(static_cast<unsigned char>(s[at + i]))) {
+            return std::string::npos;
+          }
+        }
+        at += 4;
+      }
+    } else if (static_cast<unsigned char>(s[at]) < 0x20) {
+      return std::string::npos;
+    }
+    ++at;
+  }
+  return at < s.size() ? at + 1 : std::string::npos;
+}
+
+std::size_t strict_json_number(const std::string& s, std::size_t at)
+{
+  const std::size_t start = at;
+  if (at < s.size() && s[at] == '-') ++at;
+  if (at >= s.size() || !std::isdigit(static_cast<unsigned char>(s[at]))) {
+    return std::string::npos;  // catches nan, inf, -inf
+  }
+  while (at < s.size() && std::isdigit(static_cast<unsigned char>(s[at]))) {
+    ++at;
+  }
+  if (at < s.size() && s[at] == '.') {
+    ++at;
+    if (at >= s.size() || !std::isdigit(static_cast<unsigned char>(s[at]))) {
+      return std::string::npos;
+    }
+    while (at < s.size() && std::isdigit(static_cast<unsigned char>(s[at]))) {
+      ++at;
+    }
+  }
+  if (at < s.size() && (s[at] == 'e' || s[at] == 'E')) {
+    ++at;
+    if (at < s.size() && (s[at] == '+' || s[at] == '-')) ++at;
+    if (at >= s.size() || !std::isdigit(static_cast<unsigned char>(s[at]))) {
+      return std::string::npos;
+    }
+    while (at < s.size() && std::isdigit(static_cast<unsigned char>(s[at]))) {
+      ++at;
+    }
+  }
+  return at > start ? at : std::string::npos;
+}
+
+std::size_t strict_json_value(const std::string& s, std::size_t at)
+{
+  at = strict_json_ws(s, at);
+  if (at >= s.size()) return std::string::npos;
+  if (s[at] == '"') return strict_json_string(s, at);
+  if (s[at] == '{') {
+    at = strict_json_ws(s, at + 1);
+    if (at < s.size() && s[at] == '}') return at + 1;
+    while (true) {
+      at = strict_json_string(s, strict_json_ws(s, at));
+      if (at == std::string::npos) return std::string::npos;
+      at = strict_json_ws(s, at);
+      if (at >= s.size() || s[at] != ':') return std::string::npos;
+      at = strict_json_value(s, at + 1);
+      if (at == std::string::npos) return std::string::npos;
+      at = strict_json_ws(s, at);
+      if (at < s.size() && s[at] == ',') {
+        ++at;
+        continue;
+      }
+      return at < s.size() && s[at] == '}' ? at + 1 : std::string::npos;
+    }
+  }
+  if (s[at] == '[') {
+    at = strict_json_ws(s, at + 1);
+    if (at < s.size() && s[at] == ']') return at + 1;
+    while (true) {
+      at = strict_json_value(s, at);
+      if (at == std::string::npos) return std::string::npos;
+      at = strict_json_ws(s, at);
+      if (at < s.size() && s[at] == ',') {
+        ++at;
+        continue;
+      }
+      return at < s.size() && s[at] == ']' ? at + 1 : std::string::npos;
+    }
+  }
+  if (s.compare(at, 4, "true") == 0) return at + 4;
+  if (s.compare(at, 5, "false") == 0) return at + 5;
+  if (s.compare(at, 4, "null") == 0) return at + 4;
+  return strict_json_number(s, at);
+}
+
+bool strict_json_parses(const std::string& s)
+{
+  const std::size_t end = strict_json_value(s, 0);
+  return end != std::string::npos && strict_json_ws(s, end) == s.size();
+}
+
+// A campaign result with every double metric forced non-finite: the
+// zero-elapsed-cell shape that used to emit the literal `nan` (invalid
+// JSON — it broke every downstream parser) into cells AND summaries.
+exec::CampaignResult non_finite_result()
+{
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+
+  exec::CampaignResult result;
+  exec::CellResult cell;
+  cell.cell.label = "forced/zero-elapsed";
+  cell.report.ok = true;
+  cell.report.sync_ok = true;
+  cell.report.ber = nan;
+  cell.report.throughput_bps = inf;
+  cell.report.proto = ChannelReport::ProtocolStats{};
+  cell.report.proto->calibration_margin = -inf;
+  result.cells.push_back(std::move(cell));
+
+  exec::GroupStats g;
+  g.key = "forced/zero-elapsed";
+  g.cells = 1;
+  g.ok = 1;
+  g.mean_ber = nan;
+  g.max_ber = nan;
+  g.mean_throughput_bps = inf;
+  result.points.push_back(g);
+  return result;
+}
+
+TEST(Emission, JsonStaysStrictlyParseableWithNonFiniteMetrics)
+{
+  std::ostringstream out;
+  exec::write_json(out, non_finite_result());
+  const std::string json = out.str();
+
+  EXPECT_TRUE(strict_json_parses(json)) << json;
+  // The non-finite metrics must surface as null, not vanish.
+  EXPECT_NE(json.find("\"ber\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"throughput_bps\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ber\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"calibration_margin\":null"), std::string::npos);
+}
+
+TEST(Emission, ReportJsonStaysStrictWithNonFiniteMetrics)
+{
+  ChannelReport rep;
+  rep.ok = true;
+  rep.ber = std::nan("");
+  rep.throughput_bps = std::numeric_limits<double>::infinity();
+  const std::string json = exec::report_json(rep, 128);
+  EXPECT_TRUE(strict_json_parses(json)) << json;
+  EXPECT_NE(json.find("\"ber\":null"), std::string::npos);
+}
+
+// The fixture sanity check: the validator itself must reject what this
+// suite exists to keep out.
+TEST(Emission, StrictJsonValidatorRejectsBareNanAndInf)
+{
+  EXPECT_TRUE(strict_json_parses("{\"a\":[1,2.5e-3,null,\"x\"]}"));
+  EXPECT_FALSE(strict_json_parses("{\"a\":nan}"));
+  EXPECT_FALSE(strict_json_parses("{\"a\":inf}"));
+  EXPECT_FALSE(strict_json_parses("{\"a\":-inf}"));
+  EXPECT_FALSE(strict_json_parses("{\"a\":1.}"));
+}
+
+// --- CSV quoting -------------------------------------------------------
+
+// RFC-4180 reader for one line: splits on commas outside quotes and
+// un-doubles embedded quotes.
+std::vector<std::string> csv_parse_row(const std::string& line)
+{
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+TEST(Emission, CsvRoundTripsLabelsWithQuotesAndCommas)
+{
+  // A label containing `", "` — the shape that used to split the row
+  // (unquoted label) and truncate the failure field (unescaped quote).
+  const std::string evil_label = "mech\", \"evil/local";
+  const std::string evil_failure = "failed, \"badly\"";
+
+  exec::CampaignResult result;
+  exec::CellResult cell;
+  cell.cell.label = evil_label;
+  cell.report.ok = false;
+  cell.report.failure_reason = evil_failure;
+  result.cells.push_back(std::move(cell));
+
+  std::ostringstream out;
+  exec::write_csv(out, result);
+  std::istringstream in{out.str()};
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+
+  const std::size_t n_fields =
+      static_cast<std::size_t>(
+          std::count(header.begin(), header.end(), ',')) + 1;
+  const std::vector<std::string> fields = csv_parse_row(row);
+  ASSERT_EQ(fields.size(), n_fields) << row;
+  EXPECT_EQ(fields.front(), evil_label);
+  EXPECT_EQ(fields.back(), evil_failure);
+}
+
+// --- bonded pairs axis -------------------------------------------------
+
+TEST(Campaign, PairsAxisExpandsLabelsAndSeeds)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  plan.pairs = {1, 4};
+  plan.payload_bits = 512;
+  const auto cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].bond_pairs, 1u);
+  EXPECT_EQ(cells[1].bond_pairs, 4u);
+  EXPECT_NE(cells[0].label.find("/x1"), std::string::npos);
+  EXPECT_NE(cells[1].label.find("/x4"), std::string::npos);
+  EXPECT_NE(cells[0].config.seed, cells[1].config.seed);
+  // A bonded cell runs the bonded adaptive stack; the config says so.
+  EXPECT_EQ(cells[0].config.protocol, ProtocolMode::fixed);
+  EXPECT_EQ(cells[1].config.protocol, ProtocolMode::adaptive);
+}
+
+TEST(Campaign, BondedCellDeliversThroughRunCell)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  plan.pairs = {2};
+  plan.payload_bits = 512;
+  plan.seed_base = 0xB0DDCE11;
+  const auto cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].bond_pairs, 2u);
+
+  const ChannelReport rep = exec::run_cell(cells[0]);
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->pairs, 2u);
+  EXPECT_EQ(rep.proto->pairs_requested, 2u);
 }
 
 // The emission determinism contract: --jobs 1 and --jobs N campaigns

@@ -11,6 +11,7 @@
 #include "exec/env.h"
 #include "proto/adaptive.h"
 #include "proto/arq.h"
+#include "proto/bond.h"
 #include "proto/calibrate.h"
 #include "proto/link.h"
 #include "util/rng.h"
@@ -106,6 +107,25 @@ TEST(ArqFrame, RoundTripsAtEveryFecDepth)
     ASSERT_TRUE(ack.crc_ok) << depth;
     EXPECT_EQ(ack.next_seq, 9u) << depth;
   }
+}
+
+TEST(ArqSack, RoundTripAndCorruptionDetection)
+{
+  const proto::ArqOptions opt;
+  const std::vector<int> ok_slots = {1, 0, 1, 1};
+  const BitVec wire = proto::encode_sack(37, ok_slots, opt);
+  EXPECT_EQ(wire.size(), proto::sack_wire_bits(ok_slots.size(), opt));
+
+  const proto::DecodedSack sack =
+      proto::decode_sack(wire, ok_slots.size(), opt);
+  ASSERT_TRUE(sack.crc_ok);
+  EXPECT_EQ(sack.wave, 37u);
+  EXPECT_EQ(sack.ok, ok_slots);
+
+  std::vector<int> bits = wire.bits();
+  for (std::size_t i = 0; i < 20; ++i) bits[i] ^= 1;
+  EXPECT_FALSE(
+      proto::decode_sack(BitVec{bits}, ok_slots.size(), opt).crc_ok);
 }
 
 TEST(ArqAck, RoundTripAndCorruptionDetection)
@@ -409,6 +429,158 @@ TEST(Calibration, FailsCleanlyWhenNoTopologyWorks)
   const proto::Calibration cal = proto::calibrate_link(cfg);
   EXPECT_FALSE(cal.ok);
   EXPECT_FALSE(cal.failure.empty());
+}
+
+// --- bonded link (proto/bond) -----------------------------------------
+
+ExperimentConfig bond_base(std::uint64_t seed)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Short single-scale calibration so the bond tests spend their time in
+// the striping logic, not the rate search it already has tests for.
+proto::BondOptions cheap_bond_options()
+{
+  proto::BondOptions opt;
+  opt.calibration.scales = {1.0};
+  opt.calibration.probe_symbols = 64;
+  opt.calibration.refine_candidates = 0;
+  return opt;
+}
+
+// The tentpole property: any payload length in [0, 4096] stripes over
+// N sub-channels and reassembles bit-exactly from the per-stripe
+// sequence numbers, chunk-boundary cases included.
+TEST(BondSession, ReassemblesEveryPayloadLengthBitExact)
+{
+  const proto::BondOptions opt = cheap_bond_options();
+  const std::size_t chunk = opt.arq.chunk_bits;
+  const std::vector<std::size_t> lengths = {
+      0, 1, 2, chunk - 1, chunk, chunk + 1, 1000, 2048, 4096};
+  for (const std::size_t n : lengths) {
+    Rng rng{0xB0DD + n};
+    const BitVec payload = BitVec::random(rng, n);
+    const proto::BondReport bond =
+        proto::bond_deliver(bond_base(0x51 + n), payload, 4, opt);
+    ASSERT_TRUE(bond.ok) << n << ": " << bond.failure;
+    ASSERT_TRUE(bond.delivered) << n << ": " << bond.failure;
+    EXPECT_EQ(bond.received, payload) << n;
+    EXPECT_EQ(bond.pairs_live, 4u) << n;
+    EXPECT_EQ(bond.stripes, proto::frame_count(n, opt.arq)) << n;
+  }
+}
+
+// Per-stripe sequence numbers survive wrap-around: more stripes than
+// the seq space (2^seq_bits) forces the sender's window discipline and
+// the receiver's residue resolution to agree across the wrap.
+TEST(BondSession, ReassemblesThroughSequenceNumberWrap)
+{
+  proto::BondOptions opt = cheap_bond_options();
+  opt.arq.chunk_bits = 16;
+  opt.max_waves = 2000;
+  Rng rng{0x33AA};
+  const BitVec payload = BitVec::random(rng, 6000);  // 375 stripes > 256
+  const proto::BondReport bond =
+      proto::bond_deliver(bond_base(0x77), payload, 2, opt);
+  ASSERT_TRUE(bond.delivered) << bond.failure;
+  EXPECT_EQ(bond.received, payload);
+  EXPECT_GT(bond.stripes, std::size_t{1} << opt.arq.seq_bits);
+}
+
+// Degraded mode: a sub-channel noise-killed mid-transfer is drained
+// after `degrade_after` dead waves, its stripes re-queue on the
+// survivors, and the payload still arrives bit-exactly.
+TEST(BondSession, DrainsNoiseKilledSubChannelAndStillDelivers)
+{
+  proto::BondOptions opt = cheap_bond_options();
+  opt.fault = [](std::size_t channel, std::size_t wave) {
+    return channel == 0 && wave >= 1;
+  };
+  Rng rng{0xDEAD1};
+  const BitVec payload = BitVec::random(rng, 2048);
+  const proto::BondReport bond =
+      proto::bond_deliver(bond_base(0x91), payload, 4, opt);
+  ASSERT_TRUE(bond.delivered) << bond.failure;
+  EXPECT_EQ(bond.received, payload);
+  ASSERT_EQ(bond.channels.size(), 4u);
+  EXPECT_TRUE(bond.channels[0].degraded);
+  EXPECT_GE(bond.rebalances, 1u);
+  EXPECT_GT(bond.retransmits, 0u);
+  // The survivors carried the re-queued stripes.
+  EXPECT_FALSE(bond.channels[1].degraded);
+}
+
+// Mixed mechanisms bond inside ONE simulation: cooperation (event) and
+// contention (flock) sub-channels stripe the same payload.
+TEST(BondSession, MixesMechanismsInOneSimulation)
+{
+  const std::vector<proto::BondChannelSpec> specs = {
+      {Mechanism::event, {}}, {Mechanism::event, {}},
+      {Mechanism::flock, {}}};
+  Rng rng{0x3117};
+  const BitVec payload = BitVec::random(rng, 1024);
+  const proto::BondReport bond =
+      proto::bond_deliver(bond_base(0xA3), payload, specs,
+                          cheap_bond_options());
+  ASSERT_TRUE(bond.delivered) << bond.failure;
+  EXPECT_EQ(bond.received, payload);
+  EXPECT_EQ(bond.pairs_live, 3u);
+  ASSERT_EQ(bond.channels.size(), 3u);
+  EXPECT_EQ(bond.channels[2].mechanism, Mechanism::flock);
+  EXPECT_TRUE(bond.channels[2].calibrated);
+  EXPECT_GT(bond.channels[2].stripes_delivered, 0u);
+}
+
+// A sub-channel whose topology cannot work (event cross-VM, Table VI ✗)
+// never joins the bond; the survivors deliver and the report carries
+// the live count — the denominator bug run_multi_pair had.
+TEST(BondSession, ReportsLivePairsWhenASpecCannotWork)
+{
+  ExperimentConfig base = bond_base(0xC5);
+  base.scenario = Scenario::cross_vm;
+  base.hypervisor = HypervisorType::type1;
+  base.mechanism = Mechanism::flock;
+  base.timing = paper_timeset(Mechanism::flock, Scenario::cross_vm);
+
+  proto::BondOptions opt = cheap_bond_options();
+  opt.calibration.probe_symbols = 128;
+  const std::vector<proto::BondChannelSpec> specs = {
+      {Mechanism::flock, {}}, {Mechanism::event, {}}};
+  Rng rng{0x2217};
+  const BitVec payload = BitVec::random(rng, 512);
+  const proto::BondReport bond =
+      proto::bond_deliver(base, payload, specs, opt);
+  ASSERT_TRUE(bond.ok) << bond.failure;
+  EXPECT_EQ(bond.pairs_requested, 2u);
+  EXPECT_EQ(bond.pairs_live, 1u);
+  EXPECT_FALSE(bond.channels[1].calibrated);
+  EXPECT_FALSE(bond.channels[1].error.empty());
+  ASSERT_TRUE(bond.delivered) << bond.failure;
+  EXPECT_EQ(bond.received, payload);
+}
+
+TEST(BondSession, AdapterReportsAggregateGoodputAndPairs)
+{
+  Rng rng{0x8181};
+  const BitVec payload = BitVec::random(rng, 1024);
+  proto::BondReport bond;
+  const ChannelReport rep = proto::run_bonded_transmission(
+      bond_base(0xD7), payload, 3, cheap_bond_options(), &bond);
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_EQ(rep.received_payload, payload);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->pairs, 3u);
+  EXPECT_EQ(rep.proto->pairs_requested, 3u);
+  EXPECT_DOUBLE_EQ(rep.throughput_bps, bond.aggregate_goodput_bps);
+  EXPECT_GT(rep.throughput_bps, 0.0);
 }
 
 }  // namespace

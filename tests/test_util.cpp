@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -338,6 +339,25 @@ TEST(Histogram, BinningAndClamping)
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+// Regression: add() used to scale-and-cast to ptrdiff_t *before*
+// clamping — UB for NaN and for samples whose scaled index overflows
+// the integer. Non-finite and huge samples must be handled pre-cast.
+TEST(Histogram, GuardsNonFiniteAndOverflowingSamples)
+{
+  Histogram h{0.0, 10.0, 4};
+  h.add(std::numeric_limits<double>::quiet_NaN());  // dropped, counted
+  h.add(std::numeric_limits<double>::infinity());   // top edge bin
+  h.add(-std::numeric_limits<double>::infinity());  // bottom edge bin
+  h.add(1e300);   // scaled index overflows any integer: top edge bin
+  h.add(-1e300);  // bottom edge bin
+  h.add(5.0);     // ordinary in-range sample still bins normally
+  EXPECT_EQ(h.dropped(), 1u);
+  EXPECT_EQ(h.total(), 5u);  // everything but the NaN
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 2u);
 }
 
 TEST(Histogram, ModeBin)

@@ -24,6 +24,7 @@
 #include "core/runner.h"
 #include "exec/campaign.h"
 #include "proto/adaptive.h"
+#include "proto/bond.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -66,7 +67,9 @@ struct Options {
   std::size_t width = 1;
   bool fec = false;
   bool adapt = false;  // run: calibrate + ARQ; campaign: adaptive axis
+  std::size_t bond = 1;   // run: stripe over N bonded sub-channels
   std::string protocols;  // campaign protocol axis (comma list)
+  std::string pairs;      // campaign bonded-pairs axis (comma list)
   std::string message;
   // Overrides; negative = use the paper timeset.
   double t1 = -1.0, t0 = -1.0, interval = -1.0, fuzz = 0.0;
@@ -97,6 +100,9 @@ void usage()
       "  --adapt         adaptive protocol: calibrate the rate against\n"
       "                  the live noise, then deliver via ARQ (run/"
       "campaign)\n"
+      "  --bond N        bonded link: stripe the payload across N\n"
+      "                  calibrated sub-channel pairs in one simulation\n"
+      "                  (run; implies the adaptive stack per pair)\n"
       "  --message TEXT  payload for `text`\n"
       "  --param P --from A --to B --step D   sweep controls "
       "(t1|t0|interval)\n"
@@ -106,6 +112,8 @@ void usage()
       "Table IV MESMs)\n"
       "  --scenarios L   comma list of local|sandbox|vm (default local)\n"
       "  --protocols L   comma list of fixed|arq|adaptive (default fixed)\n"
+      "  --pairs L       comma list of bonded pair counts, e.g. 1,4,8\n"
+      "                  (cells with N > 1 stripe over a bonded link)\n"
       "  --seeds K       seed replicates per grid point (default 1)\n"
       "  --jobs J        worker threads (default: hardware concurrency)\n"
       "  --csv PATH      per-cell CSV emission ('-' = stdout)\n");
@@ -162,10 +170,24 @@ bool parse(int argc, char** argv, Options& opt)
       opt.fec = true;
     } else if (arg == "--adapt") {
       opt.adapt = true;
+    } else if (arg == "--bond") {
+      const char* v = next();
+      if (!v) return false;
+      // strtoull wraps negatives to huge values; reject both outright
+      // (4096 sub-channels is already far past the useful range).
+      opt.bond = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (v[0] == '-' || opt.bond == 0 || opt.bond > 4096) {
+        std::fprintf(stderr, "--bond wants 1..4096 pairs\n");
+        return false;
+      }
     } else if (arg == "--protocols") {
       const char* v = next();
       if (!v) return false;
       opt.protocols = v;
+    } else if (arg == "--pairs") {
+      const char* v = next();
+      if (!v) return false;
+      opt.pairs = v;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--seeds") {
@@ -262,6 +284,44 @@ int cmd_run(const Options& opt)
   Rng rng{opt.seed ^ 0xC11u};
   const std::size_t n = opt.bits - opt.bits % opt.width;
   const BitVec secret = BitVec::random(rng, n);
+  if (opt.bond > 1) {
+    if (opt.fec) {
+      std::fprintf(stderr, "--fec and --bond are mutually exclusive: the "
+                           "bonded link already FEC-protects every "
+                           "stripe\n");
+      return 2;
+    }
+    proto::BondReport bond;
+    const ChannelReport rep =
+        proto::run_bonded_transmission(cfg, secret, opt.bond, {}, &bond);
+    if (opt.json) {
+      std::printf("%s\n", exec::report_json(rep, secret.size()).c_str());
+      return rep.ok && rep.sync_ok ? 0 : 1;
+    }
+    print_report(rep, secret.size());
+    TextTable table({"sub-channel", "mechanism", "calibrated", "margin",
+                     "weight(kb/s)", "burst", "delivered", "sends",
+                     "state"});
+    for (std::size_t i = 0; i < bond.channels.size(); ++i) {
+      const proto::BondChannelReport& ch = bond.channels[i];
+      table.add_row(
+          {std::to_string(i), to_string(ch.mechanism),
+           ch.calibrated ? "yes" : "no",
+           ch.calibrated ? TextTable::num(ch.margin, 1) : "-",
+           ch.calibrated ? TextTable::num(ch.weight_bps / 1000.0, 3) : "-",
+           std::to_string(ch.burst),
+           std::to_string(ch.stripes_delivered),
+           std::to_string(ch.stripe_sends),
+           ch.degraded ? "DEGRADED" : (ch.calibrated ? "ok" : ch.error)});
+    }
+    table.print();
+    std::printf("bond      : %zu/%zu pairs live, %zu stripes in %zu waves "
+                "(%zu retransmits, %zu rebalanced), aggregate %.3f kb/s\n",
+                bond.pairs_live, bond.pairs_requested, bond.stripes,
+                bond.waves, bond.retransmits, bond.rebalances,
+                bond.aggregate_goodput_bps / 1000.0);
+    return rep.ok && rep.sync_ok ? 0 : 1;
+  }
   if (opt.adapt) {
     if (opt.fec) {
       std::fprintf(stderr, "--fec and --adapt are mutually exclusive: the "
@@ -442,6 +502,26 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
     plan.protocols = {{"adaptive", ProtocolMode::adaptive}};
   }
 
+  // Bonded-pairs axis: cells with N > 1 stripe the payload over a
+  // bonded link of N calibrated sub-channels (proto/bond).
+  if (!opt.pairs.empty()) {
+    plan.pairs.clear();
+    for (const std::string& item : split_list(opt.pairs)) {
+      const std::size_t n_pairs =
+          static_cast<std::size_t>(std::strtoull(item.c_str(), nullptr, 10));
+      // Negatives wrap through strtoull; reject them with the zeros.
+      if (item[0] == '-' || n_pairs == 0 || n_pairs > 4096) {
+        std::fprintf(stderr, "--pairs values must be 1..4096\n");
+        return false;
+      }
+      plan.pairs.push_back(n_pairs);
+    }
+    if (plan.pairs.empty()) {
+      std::fprintf(stderr, "--pairs needs at least one value\n");
+      return false;
+    }
+  }
+
   plan.repeats = std::max<std::size_t>(opt.repeats, 1);
   plan.seed_base = opt.seed;
   plan.payload_bits = opt.bits;
@@ -492,9 +572,10 @@ int cmd_campaign(const Options& opt)
   }
 
   std::printf("campaign: %zu cells (%zu mechanisms x %zu scenarios x %zu "
-              "seeds), %zu jobs\n",
+              "protocols x %zu pair counts x %zu seeds), %zu jobs\n",
               result.cells.size(), plan.mechanisms.size(),
-              plan.scenarios.size(), plan.repeats, runner.jobs());
+              plan.scenarios.size(), plan.protocols.size(),
+              plan.pairs.size(), plan.repeats, runner.jobs());
   TextTable table({"point", "cells", "sync", "mean BER(%)", "max BER(%)",
                    "mean TR(kb/s)", "capacity(kb/s)"});
   for (const exec::GroupStats& g : result.points) {
