@@ -25,7 +25,7 @@ namespace {
 using namespace mes;
 
 constexpr std::size_t kPayloadBits = 2048;
-constexpr std::size_t kRepeats = 3;
+constexpr std::size_t kRepeats = 6;
 const std::vector<double> kScales = {0.25, 0.35, 0.5, 0.7, 1.0, 1.4, 2.0};
 
 struct PointAgg {

@@ -62,6 +62,50 @@ std::vector<SweepPoint> sweep(
                     [&](double x, double) { return make_config(x); });
 }
 
+std::vector<ScenarioMatrixCell> scenario_matrix(
+    const std::vector<Mechanism>& mechanisms,
+    const std::vector<std::string>& scenario_names, ProtocolMode protocol,
+    std::size_t payload_bits, std::uint64_t seed_base, std::size_t repeats)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = mechanisms;
+  plan.scenarios.clear();
+  for (const std::string& name : scenario_names) {
+    plan.scenarios.push_back(exec::named_scenario(name));
+  }
+  plan.protocols = {{to_string(protocol), protocol}};
+  plan.repeats = std::max<std::size_t>(repeats, 1);
+  plan.seed_base = seed_base;
+  plan.payload_bits = payload_bits;
+
+  const exec::CampaignResult result = exec::CampaignRunner{}.run(plan);
+
+  // Fold seed replicates: a point "delivers" when every replicate did.
+  std::vector<ScenarioMatrixCell> cells;
+  for (const exec::CellResult& c : result.cells) {
+    const std::size_t point = c.cell.coord.flat / plan.repeats;
+    if (point >= cells.size()) {
+      cells.push_back(ScenarioMatrixCell{});
+      cells.back().scenario = c.cell.config.scenario_name;
+      cells.back().mechanism = c.cell.config.mechanism;
+      cells.back().ran = true;
+      cells.back().delivered = true;
+    }
+    ScenarioMatrixCell& cell = cells[point];
+    cell.ran = cell.ran && c.report.ok;
+    cell.delivered = cell.delivered && c.report.sync_ok;
+    cell.ber += c.report.ber / static_cast<double>(plan.repeats);
+    cell.goodput_bps +=
+        c.report.throughput_bps / static_cast<double>(plan.repeats);
+    if (c.report.proto) {
+      cell.drift_events += c.report.proto->drift_events;
+      cell.recalibrations += c.report.proto->recalibrations;
+    }
+    if (cell.failure.empty()) cell.failure = c.report.failure_reason;
+  }
+  return cells;
+}
+
 MultiPairResult run_multi_pair(const ExperimentConfig& base,
                                std::size_t pairs, std::size_t bits_per_pair)
 {

@@ -55,4 +55,27 @@ MultiPairResult run_multi_pair(const ExperimentConfig& base,
                                std::size_t pairs,
                                std::size_t bits_per_pair);
 
+// Mechanism x scenario-library matrix: every mechanism against every
+// named scenario (registry keys), one protocol mode throughout. This is
+// the survivability map behind bench/ablation_scenarios and the README
+// table — Table VI's "which mechanisms cross which boundary" question,
+// asked of the whole library. Runs through the campaign engine
+// (parallel, deterministic per seed).
+struct ScenarioMatrixCell {
+  std::string scenario;  // registry key
+  Mechanism mechanism = Mechanism::event;
+  bool ran = false;       // setup succeeded (topology allowed it)
+  bool delivered = false; // sync_ok / session completed
+  double ber = 0.0;
+  double goodput_bps = 0.0;
+  std::size_t drift_events = 0;
+  std::size_t recalibrations = 0;
+  std::string failure;
+};
+std::vector<ScenarioMatrixCell> scenario_matrix(
+    const std::vector<Mechanism>& mechanisms,
+    const std::vector<std::string>& scenario_names, ProtocolMode protocol,
+    std::size_t payload_bits, std::uint64_t seed_base,
+    std::size_t repeats = 1);
+
 }  // namespace mes::analysis

@@ -18,9 +18,10 @@ sim::Proc rendezvous(core::RunContext& ctx, os::Process& proc, bool receiver)
 {
   co_await ctx.bit_sync->arrive(ctx.kernel.sim());
   const sim::NoiseModel& noise = ctx.kernel.noise();
+  const TimePoint now = ctx.kernel.sim().now();
   const Duration dispatch = receiver
-                                ? noise.rx_dispatch_latency(proc.rng())
-                                : noise.dispatch_latency(proc.rng());
+                                ? noise.rx_dispatch_latency(proc.rng(), now)
+                                : noise.dispatch_latency(proc.rng(), now);
   co_await ctx.kernel.sim().delay(dispatch + proc.take_pending_penalty());
 }
 
@@ -66,7 +67,8 @@ sim::Proc ContentionBase::spy_run(core::RunContext& ctx, std::size_t expected,
       co_await release(ctx, spy);
       const Duration latency = k.sim().now() - start;
       if (ctx.classifier.classify(latency) != 0) {
-        const Duration reading = k.noise().apply_corruption(spy.rng(), latency);
+        const Duration reading =
+            k.noise().apply_corruption(spy.rng(), k.sim().now(), latency);
         out.latencies.push_back(reading);
         out.symbols.push_back(ctx.classifier.classify(reading));
         anchored = true;
@@ -92,7 +94,8 @@ sim::Proc ContentionBase::spy_run(core::RunContext& ctx, std::size_t expected,
     co_await acquire(ctx, spy);
     co_await release(ctx, spy);
     const Duration latency =
-        k.noise().apply_corruption(spy.rng(), k.sim().now() - start);
+        k.noise().apply_corruption(spy.rng(), k.sim().now(),
+                                   k.sim().now() - start);
     const std::size_t symbol = ctx.classifier.classify(latency);
     out.latencies.push_back(latency);
     out.symbols.push_back(symbol);

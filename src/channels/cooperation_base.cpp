@@ -31,7 +31,7 @@ sim::Proc CooperationBase::spy_run(core::RunContext& ctx, std::size_t expected,
     const bool signaled = co_await wait(ctx, timeout);
     Duration latency = k.sim().now() - start;
     if (signaled) {
-      latency = k.noise().apply_corruption(spy.rng(), latency);
+      latency = k.noise().apply_corruption(spy.rng(), k.sim().now(), latency);
     }
     out.latencies.push_back(latency);
     out.symbols.push_back(ctx.classifier.classify(latency));

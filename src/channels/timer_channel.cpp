@@ -26,7 +26,8 @@ sim::Proc TimerChannel::signal(core::RunContext& ctx)
   // SetWaitableTimer converts a due time and programs the timer queue —
   // measurably heavier than SetEvent (about half an extra op), which is
   // what separates the Timer and Event rows of Table IV.
-  co_await k.sim().delay(k.noise().op_cost(ctx.trojan.rng()) * 0.5);
+  co_await k.sim().delay(
+      k.noise().op_cost(ctx.trojan.rng(), k.sim().now()) * 0.5);
   co_await k.objects().set_waitable_timer(ctx.trojan, trojan_h_,
                                           Duration::zero());
 }

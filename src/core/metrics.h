@@ -17,7 +17,8 @@ struct ChannelReport {
   std::string failure_reason;     // why not, when !ok
 
   Mechanism mechanism = Mechanism::event;
-  Scenario scenario = Scenario::local;
+  Scenario scenario = Scenario::local;  // anchor class
+  std::string scenario_name;  // registry key; empty = to_string(scenario)
   TimingConfig timing;
 
   BitVec sent_payload;      // data section only (sync stripped)
@@ -53,6 +54,24 @@ struct ChannelReport {
     std::size_t pairs = 1;
     std::size_t pairs_requested = 1;
     std::size_t rebalances = 0;
+    // Drift-aware adaptive sessions (proto/drift): how often the link
+    // flagged a calibration-stale regime and re-calibrated online, and
+    // the steady-state rate it recovered to after the last pass.
+    std::size_t drift_events = 0;
+    std::size_t recalibrations = 0;
+    double recovered_goodput_bps = 0.0;
+    Duration recovery_spent = Duration::zero();  // stale rounds + re-probes
+    // Per noise-phase accounting, in first-observation order. Only
+    // populated by drift-aware sessions; empty under stationary noise
+    // with no drift (so legacy emissions are unchanged).
+    struct PhaseStats {
+      std::size_t phase = 0;        // NoiseModel::phase_at id
+      std::size_t frames = 0;       // frames delivered within the phase
+      std::size_t retransmits = 0;
+      Duration elapsed = Duration::zero();
+      double goodput_bps = 0.0;     // delivered payload bits / elapsed
+    };
+    std::vector<PhaseStats> phases;
   };
   std::optional<ProtocolStats> proto;
 

@@ -54,6 +54,7 @@ ChannelReport run_transmission(const ExperimentConfig& cfg,
   ChannelReport rep;
   rep.mechanism = cfg.mechanism;
   rep.scenario = cfg.scenario;
+  rep.scenario_name = cfg.scenario_name;
   rep.timing = cfg.timing;
   rep.sent_payload = payload;
 

@@ -21,6 +21,11 @@ struct ExperimentConfig {
   Mechanism mechanism = Mechanism::event;
   Scenario scenario = Scenario::local;
   HypervisorType hypervisor = HypervisorType::none;  // cross-VM only
+  // Registry scenario key (scenario/registry.h). When set, it wins: the
+  // profile is resolved by name and `scenario` is only the resolved
+  // anchor class (Timeset row, reporting fallback). Empty = the legacy
+  // enum path, which resolves to the same registry entries.
+  std::string scenario_name;
   TimingConfig timing = paper_timeset(Mechanism::event, Scenario::local);
 
   std::size_t sync_bits = 8;   // preamble length (§V.B)

@@ -11,19 +11,49 @@
 #include "exec/thread_pool.h"
 #include "proto/adaptive.h"
 #include "proto/bond.h"
+#include "scenario/registry.h"
 #include "util/rng.h"
 
 namespace mes::exec {
 
 namespace {
 
-std::string scenario_key(const ScenarioSpec& s)
+// One value of the scenario axis after registry resolution (expand()
+// canonicalizes aliases, anchors the Timeset class and settles the
+// hypervisor once per axis value).
+struct ResolvedScenario {
+  Scenario scenario = Scenario::local;
+  std::string name;  // canonical registry key; empty = legacy enum value
+  HypervisorType hypervisor = HypervisorType::none;
+};
+
+// The scenario identifier labels and group keys share. Built from the
+// *resolved* hypervisor so a cell's label, CSV column and marginal key
+// always agree — including for scenarios that fix or default their
+// hypervisor internally (shared-volume is type-2 by construction).
+std::string scenario_key(const ResolvedScenario& s)
 {
-  std::string key = to_string(s.scenario);
+  std::string key = s.name.empty() ? to_string(s.scenario) : s.name;
   if (s.hypervisor != HypervisorType::none) {
     key += std::string{"@"} + to_string(s.hypervisor);
   }
   return key;
+}
+
+// The scenario value a cell reports (CSV/JSON column, grouping key):
+// the registry name when the cell was addressed by one, else the
+// legacy enum string — byte-identical for legacy plans either way,
+// since the registry names the three paper cells with those strings.
+std::string scenario_value(const ExperimentConfig& cfg)
+{
+  return cfg.scenario_name.empty() ? to_string(cfg.scenario)
+                                   : cfg.scenario_name;
+}
+
+std::string scenario_value(const ChannelReport& rep)
+{
+  return rep.scenario_name.empty() ? to_string(rep.scenario)
+                                   : rep.scenario_name;
 }
 
 // Stable-order grouping: stats come out in first-appearance order, i.e.
@@ -120,6 +150,36 @@ void json_escape(std::ostream& out, const std::string& s)
   out << '"';
 }
 
+// Drift-aware session accounting: emitted only when the session saw a
+// non-trivial regime (several phases, a drift event, a recalibration),
+// so legacy emissions stay byte-identical.
+void write_drift_json(std::ostream& out,
+                      const ChannelReport::ProtocolStats& proto)
+{
+  if (proto.drift_events == 0 && proto.recalibrations == 0 &&
+      proto.phases.size() < 2) {
+    return;
+  }
+  out << ",\"drift\":{\"events\":" << proto.drift_events
+      << ",\"recalibrations\":" << proto.recalibrations
+      << ",\"recovered_goodput_bps\":";
+  json_number(out, proto.recovered_goodput_bps);
+  out << ",\"recovery_spent_us\":";
+  json_number(out, proto.recovery_spent.to_us());
+  out << ",\"phases\":[";
+  for (std::size_t i = 0; i < proto.phases.size(); ++i) {
+    const auto& ph = proto.phases[i];
+    if (i > 0) out << ",";
+    out << "{\"phase\":" << ph.phase << ",\"frames\":" << ph.frames
+        << ",\"retransmits\":" << ph.retransmits << ",\"elapsed_us\":";
+    json_number(out, ph.elapsed.to_us());
+    out << ",\"goodput_bps\":";
+    json_number(out, ph.goodput_bps);
+    out << "}";
+  }
+  out << "]}";
+}
+
 void write_group_json(std::ostream& out, const std::vector<GroupStats>& groups)
 {
   out << "[";
@@ -142,12 +202,39 @@ void write_group_json(std::ostream& out, const std::vector<GroupStats>& groups)
 
 }  // namespace
 
+ScenarioSpec named_scenario(std::string name, HypervisorType hv)
+{
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.hypervisor = hv;
+  return spec;
+}
+
 std::vector<CampaignCell> expand(const ExperimentPlan& plan)
 {
   const std::vector<std::size_t> pair_axis =
       plan.pairs.empty() ? std::vector<std::size_t>{1} : plan.pairs;
   std::vector<CampaignCell> cells;
   cells.reserve(plan.cell_count());
+  // Resolve the scenario axis once: the registry key canonicalizes (the
+  // alias the plan used is not what cells report), the anchor class
+  // selects the Timeset row, and the hypervisor becomes the one the
+  // profile actually builds with — cross-VM defaults to type-1 when the
+  // spec left it open. (OsFlavor only affects the sleep floor, never
+  // the hypervisor, so one build per axis value suffices.)
+  std::vector<ResolvedScenario> scenario_axis;
+  scenario_axis.reserve(plan.scenarios.size());
+  for (const ScenarioSpec& scen : plan.scenarios) {
+    if (scen.name.empty()) {
+      scenario_axis.push_back({scen.scenario, {}, scen.hypervisor});
+    } else {
+      const scenario::ScenarioDef& def = scenario::scenario_or_throw(scen.name);
+      scenario_axis.push_back(
+          {def.legacy, def.name,
+           def.build(OsFlavor::windows, scen.hypervisor).hypervisor});
+    }
+  }
+
   for (std::size_t mi = 0; mi < plan.mechanisms.size(); ++mi) {
    for (std::size_t si = 0; si < plan.scenarios.size(); ++si) {
     for (std::size_t ti = 0; ti < plan.timings.size(); ++ti) {
@@ -158,18 +245,19 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
             cell.coord = CellCoord{mi, si, ti, pi, bi, ri, cells.size()};
 
             const Mechanism m = plan.mechanisms[mi];
-            const ScenarioSpec& scen = plan.scenarios[si];
+            const ResolvedScenario& rscen = scenario_axis[si];
             const TimingSpec& timing = plan.timings[ti];
             const ProtocolSpec& proto = plan.protocols[pi];
             cell.bond_pairs = std::max<std::size_t>(pair_axis[bi], 1);
 
             cell.config = plan.base;
             cell.config.mechanism = m;
-            cell.config.scenario = scen.scenario;
-            cell.config.hypervisor = scen.hypervisor;
+            cell.config.scenario = rscen.scenario;
+            cell.config.scenario_name = rscen.name;
+            cell.config.hypervisor = rscen.hypervisor;
             cell.config.timing =
                 timing.timing ? *timing.timing
-                              : paper_timeset(m, scen.scenario);
+                              : paper_timeset(m, cell.config.scenario);
             cell.config.protocol = proto.mode;
             // Axis coordinates enter the seed mix only when the plan
             // actually has that axis: single-protocol / single-pairs
@@ -195,7 +283,7 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
 
             cell.label = to_string(m);
             cell.label += '/';
-            cell.label += scenario_key(scen);
+            cell.label += scenario_key(rscen);
             if (plan.timings.size() > 1 || timing.timing) {
               cell.label += '/';
               cell.label += timing.label;
@@ -269,7 +357,7 @@ CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
     return std::string{to_string(c.cell.config.mechanism)};
   });
   result.by_scenario = group_by(result.cells, [](const CellResult& c) {
-    std::string key = to_string(c.cell.config.scenario);
+    std::string key = scenario_value(c.cell.config);
     if (c.cell.config.hypervisor != HypervisorType::none) {
       key += std::string{"@"} + to_string(c.cell.config.hypervisor);
     }
@@ -292,7 +380,7 @@ void write_csv(std::ostream& out, const CampaignResult& result)
     const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
     csv_field(out, c.cell.label, /*force_quote=*/false);
     out << ',' << to_string(cfg.mechanism) << ','
-        << to_string(cfg.scenario) << ',' << to_string(cfg.hypervisor) << ','
+        << scenario_value(cfg) << ',' << to_string(cfg.hypervisor) << ','
         << to_string(cfg.protocol) << ','
         << t.t1.to_us() << ',' << t.t0.to_us() << ','
         << t.interval.to_us() << ',' << t.symbol_bits << ','
@@ -323,7 +411,7 @@ void write_json(std::ostream& out, const CampaignResult& result)
     out << "{\"label\":";
     json_escape(out, c.cell.label);
     out << ",\"mechanism\":\"" << to_string(cfg.mechanism)
-        << "\",\"scenario\":\"" << to_string(cfg.scenario)
+        << "\",\"scenario\":\"" << scenario_value(cfg)
         << "\",\"hypervisor\":\"" << to_string(cfg.hypervisor)
         << "\",\"protocol\":\"" << to_string(cfg.protocol)
         << "\",\"timing\":{\"t1_us\":";
@@ -356,7 +444,9 @@ void write_json(std::ostream& out, const CampaignResult& result)
       out << ",\"calibration_us\":";
       json_number(out, rep.proto->calibration_time.to_us());
       out << ",\"pairs_requested\":" << rep.proto->pairs_requested
-          << ",\"stripe_rebalances\":" << rep.proto->rebalances << "}";
+          << ",\"stripe_rebalances\":" << rep.proto->rebalances;
+      write_drift_json(out, *rep.proto);
+      out << "}";
     }
     out << ",\"failure\":";
     json_escape(out, rep.failure_reason);
@@ -375,7 +465,7 @@ std::string report_json(const ChannelReport& rep, std::size_t payload_bits)
 {
   std::ostringstream out;
   out << "{\"mechanism\":\"" << to_string(rep.mechanism)
-      << "\",\"scenario\":\"" << to_string(rep.scenario)
+      << "\",\"scenario\":\"" << scenario_value(rep)
       << "\",\"ok\":" << (rep.ok ? "true" : "false")
       << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
       << ",\"payload_bits\":" << payload_bits << ",\"ber\":";
@@ -401,7 +491,9 @@ std::string report_json(const ChannelReport& rep, std::size_t payload_bits)
     json_number(out, rep.proto->calibration_time.to_us());
     out << ",\"pairs\":" << rep.proto->pairs
         << ",\"pairs_requested\":" << rep.proto->pairs_requested
-        << ",\"stripe_rebalances\":" << rep.proto->rebalances << "}";
+        << ",\"stripe_rebalances\":" << rep.proto->rebalances;
+    write_drift_json(out, *rep.proto);
+    out << "}";
   }
   out << ",\"failure\":";
   json_escape(out, rep.failure_reason);

@@ -36,10 +36,18 @@ struct CellCoord {
   std::size_t flat = 0;  // row-major index over the whole grid
 };
 
+// One value of the scenario axis. The registry name wins when set
+// (any key from scenario/registry.h); the legacy enum fields remain so
+// historical plans keep their exact seed schedule and labels.
 struct ScenarioSpec {
   Scenario scenario = Scenario::local;
   HypervisorType hypervisor = HypervisorType::none;
+  std::string name;  // registry key; empty = legacy enum value
 };
+
+// Convenience: the registry-name spec ("noisy-local", "cross-VM", ...).
+ScenarioSpec named_scenario(std::string name,
+                            HypervisorType hv = HypervisorType::none);
 
 // One value of the timing axis. nullopt = the paper's Timeset for the
 // cell's (mechanism, scenario) — the default single-element axis.

@@ -4,10 +4,22 @@
 
 #include "os/vfs.h"
 #include "os/win_objects.h"
+#include "scenario/registry.h"
 
 namespace mes::exec {
 
 namespace {
+
+// Registry resolution: a named scenario wins; the legacy enum resolves
+// to the same registry entries via make_profile.
+ScenarioProfile resolve_profile(const ExperimentConfig& cfg)
+{
+  if (!cfg.scenario_name.empty()) {
+    return scenario::scenario_or_throw(cfg.scenario_name)
+        .build(flavor_of(cfg.mechanism), cfg.hypervisor);
+  }
+  return make_profile(cfg.scenario, flavor_of(cfg.mechanism), cfg.hypervisor);
+}
 
 // A-priori overhead estimates the attacker uses for the *initial*
 // decision threshold; the preamble calibration refines them. Derived
@@ -20,6 +32,10 @@ constexpr double kCoopOverheadUs = 25.0;
 
 std::string validate_config(const ExperimentConfig& cfg)
 {
+  if (!cfg.scenario_name.empty() &&
+      scenario::find_scenario(cfg.scenario_name) == nullptr) {
+    return "unknown scenario '" + cfg.scenario_name + "'";
+  }
   const std::size_t width = cfg.timing.symbol_bits;
   if (width == 0) return "symbol width must be at least 1 bit";
   if (width > 1 && class_of(cfg.mechanism) == ChannelClass::contention) {
@@ -33,12 +49,16 @@ std::string validate_config(const ExperimentConfig& cfg)
 
 ExperimentEnv::ExperimentEnv(const ExperimentConfig& cfg)
     : cfg_{cfg},
-      profile_{make_profile(cfg.scenario, flavor_of(cfg.mechanism),
-                            cfg.hypervisor)},
+      profile_{resolve_profile(cfg)},
       simulator_{std::make_unique<sim::Simulator>(cfg.seed)},
-      kernel_{std::make_unique<os::Kernel>(*simulator_, profile_.noise,
+      kernel_{std::make_unique<os::Kernel>(*simulator_,
+                                           profile_.make_noise(cfg.seed),
                                            cfg.fairness)}
 {
+  // The resolved anchor class and hypervisor keep downstream reporting
+  // coherent when the env was addressed by name.
+  cfg_.scenario = profile_.scenario;
+  cfg_.hypervisor = profile_.hypervisor;
   kernel_->objects().set_namespace_sharing(
       profile_.topology.shared_object_namespace);
   kernel_->vfs().set_shared_volume(profile_.topology.shared_file_volume);

@@ -28,12 +28,19 @@ void stderr_trace(TimePoint at, Pid pid, OpKind kind, ObjectId object)
 
 }  // namespace
 
-Kernel::Kernel(sim::Simulator& sim, sim::NoiseParams noise,
+Kernel::Kernel(sim::Simulator& sim,
+               std::shared_ptr<const sim::NoiseModel> noise,
                LockFairness fairness)
-    : sim_{sim}, noise_{noise}, fairness_{fairness}
+    : sim_{sim}, noise_{std::move(noise)}, fairness_{fairness}
 {
   objects_ = std::make_unique<ObjectManager>(*this);
   vfs_ = std::make_unique<Vfs>(*this);
+}
+
+Kernel::Kernel(sim::Simulator& sim, sim::NoiseParams noise,
+               LockFairness fairness)
+    : Kernel{sim, std::make_shared<sim::StationaryNoise>(noise), fairness}
+{
 }
 
 Kernel::~Kernel() = default;
@@ -70,7 +77,7 @@ sim::Proc Kernel::charge_op(Process& proc, OpKind kind, ObjectId object)
   // they surface at the next re-dispatch point (the inter-bit
   // rendezvous), before the Spy's timestamp, where they can truncate a
   // measurement. A syscall mid-measurement would only lengthen it.
-  Duration cost = noise_.op_cost(proc.rng());
+  Duration cost = noise_->op_cost(proc.rng(), sim_.now());
   if (op_fuzz_ > Duration::zero()) {
     cost += Duration::us(proc.rng().uniform(0.0, op_fuzz_.to_us()));
   }
@@ -85,13 +92,14 @@ sim::Proc Kernel::sleep(Process& proc, Duration d)
   stderr_trace(sim_.now(), proc.pid(), OpKind::sleep, 0);
   // sleep() is one of the per-bit "instructions" in the paper's op
   // accounting (lock-sleep-unlock), so it pays a syscall cost too.
-  Duration cost = noise_.op_cost(proc.rng());
+  Duration cost = noise_->op_cost(proc.rng(), sim_.now());
   if (op_fuzz_ > Duration::zero()) {
     cost += Duration::us(proc.rng().uniform(0.0, op_fuzz_.to_us()));
   }
-  const Duration actual = noise_.sleep_time(proc.rng(), d);
+  const Duration actual = noise_->sleep_time(proc.rng(), sim_.now(), d);
   co_await sim_.delay(cost + actual);
-  proc.add_pending_penalty(noise_.post_wait_penalty(proc.rng(), actual));
+  proc.add_pending_penalty(
+      noise_->post_wait_penalty(proc.rng(), sim_.now(), actual));
 }
 
 sim::Task<sim::WaitOutcome> Kernel::park(Process& proc, Parker& parker,
@@ -100,14 +108,15 @@ sim::Task<sim::WaitOutcome> Kernel::park(Process& proc, Parker& parker,
   const TimePoint start = sim_.now();
   const sim::WaitOutcome outcome = co_await parker.slot.wait(sim_, timeout);
   const Duration waited = sim_.now() - start;
-  proc.add_pending_penalty(noise_.post_wait_penalty(proc.rng(), waited));
+  proc.add_pending_penalty(
+      noise_->post_wait_penalty(proc.rng(), sim_.now(), waited));
   co_return outcome;
 }
 
 bool Kernel::wake(Process& waker, Parker& parker)
 {
-  const Duration latency =
-      noise_.wake_latency(waker.rng()) + noise_.notify_path(waker.rng());
+  const Duration latency = noise_->wake_latency(waker.rng(), sim_.now()) +
+                           noise_->notify_path(waker.rng(), sim_.now());
   return parker.slot.notify_one(sim_, latency);
 }
 

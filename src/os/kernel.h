@@ -44,6 +44,10 @@ class Kernel {
     ObjectId object;
   };
 
+  // The noise regime may be time-varying (sim/noise_process); the
+  // NoiseParams overload wraps a stationary model.
+  Kernel(sim::Simulator& sim, std::shared_ptr<const sim::NoiseModel> noise,
+         LockFairness fairness = LockFairness::fair);
   Kernel(sim::Simulator& sim, sim::NoiseParams noise,
          LockFairness fairness = LockFairness::fair);
   ~Kernel();
@@ -52,7 +56,7 @@ class Kernel {
   Kernel& operator=(const Kernel&) = delete;
 
   sim::Simulator& sim() { return sim_; }
-  const sim::NoiseModel& noise() const { return noise_; }
+  const sim::NoiseModel& noise() const { return *noise_; }
   LockFairness fairness() const { return fairness_; }
   void set_fairness(LockFairness f) { fairness_ = f; }
 
@@ -109,7 +113,7 @@ class Kernel {
 
  private:
   sim::Simulator& sim_;
-  sim::NoiseModel noise_;
+  std::shared_ptr<const sim::NoiseModel> noise_;
   LockFairness fairness_;
   Duration op_fuzz_ = Duration::zero();
 

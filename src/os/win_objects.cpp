@@ -354,7 +354,8 @@ void ObjectManager::fire_timer(const std::shared_ptr<TimerObject>& timer,
   timer->signaled_ = true;
   // Timer expiry is a kernel-side interrupt; latency comes from the
   // kernel's own stream rather than any process.
-  const Duration latency = k_.noise().wake_latency(timer_rng_);
+  const Duration latency =
+      k_.noise().wake_latency(timer_rng_, k_.sim().now());
   if (timer->mode_ == ResetMode::auto_reset) {
     while (!timer->waiters_.empty()) {
       auto parker = timer->waiters_.front();

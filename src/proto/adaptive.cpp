@@ -1,22 +1,31 @@
 #include "proto/adaptive.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "exec/env.h"
+#include "proto/drift.h"
 #include "proto/link.h"
 
 namespace mes::proto {
 
 namespace {
 
+// `drift` non-null = the adaptive path: the session carries a
+// DriftMonitor that watches for calibration-stale failure runs and
+// recalibrates the live link online. `cal` shapes the re-probe scoring
+// (frame geometry); both are ignored for plain ARQ.
 ChannelReport run_session(const ExperimentConfig& cfg, const BitVec& payload,
                           const TimingConfig& timing,
                           const codec::LatencyClassifier& classifier,
-                          const ArqOptions& opt, ProtocolMode mode)
+                          const ArqOptions& opt, ProtocolMode mode,
+                          const DriftOptions* drift = nullptr,
+                          const CalibrationOptions* cal = nullptr)
 {
   ChannelReport rep;
   rep.mechanism = cfg.mechanism;
   rep.scenario = cfg.scenario;
+  rep.scenario_name = cfg.scenario_name;
   rep.timing = timing;
   rep.sent_payload = payload;
 
@@ -33,9 +42,24 @@ ChannelReport run_session(const ExperimentConfig& cfg, const BitVec& payload,
     return rep;
   }
 
+  // The drift monitor rides the session through the on_round hook;
+  // cfg.timing is the Timeset anchor its re-probe scales multiply.
+  std::unique_ptr<DriftMonitor> monitor;
+  ArqOptions arq = opt;
+  if (drift != nullptr) {
+    monitor = std::make_unique<DriftMonitor>(
+        link, cfg, cfg.timing, payload.size(), *drift,
+        cal != nullptr ? *cal : CalibrationOptions{}, opt);
+    arq.on_round = [&monitor](std::size_t seq, std::size_t round,
+                              bool advanced) {
+      monitor->on_round(seq, round, advanced);
+    };
+  }
+
   ArqStats stats;
   const auto delivered =
-      arq_deliver(payload, link.transport(), opt, &stats);
+      arq_deliver(payload, link.transport(), arq, &stats);
+  if (monitor) monitor->finish();
 
   if (!link.error().empty()) {
     rep.failure_reason = link.error();
@@ -48,6 +72,16 @@ ChannelReport run_session(const ExperimentConfig& cfg, const BitVec& payload,
   rep.proto->frames = stats.frames;
   rep.proto->frame_sends = stats.frame_sends;
   rep.proto->retransmits = stats.retransmits;
+  if (monitor) {
+    rep.proto->drift_events = monitor->stats().drift_events;
+    rep.proto->recalibrations = monitor->stats().recalibrations;
+    rep.proto->recovered_goodput_bps = monitor->stats().recovered_goodput_bps;
+    rep.proto->recovery_spent = monitor->stats().recovery_spent;
+    rep.proto->phases = monitor->stats().phases;
+    // What the link runs at *now* — after any online recalibration —
+    // is the session's effective rate.
+    rep.timing = link.timing();
+  }
 
   rep.elapsed = link.elapsed();
   if (delivered) {
@@ -102,13 +136,15 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
     ChannelReport rep;
     rep.mechanism = cfg.mechanism;
     rep.scenario = cfg.scenario;
+    rep.scenario_name = cfg.scenario_name;
     rep.timing = cfg.timing;
     rep.sent_payload = payload;
     rep.failure_reason = cal.failure;
     return rep;
   }
-  ChannelReport rep = run_session(cfg, payload, cal.timing, cal.classifier,
-                                  opt.arq, ProtocolMode::adaptive);
+  ChannelReport rep =
+      run_session(cfg, payload, cal.timing, cal.classifier, opt.arq,
+                  ProtocolMode::adaptive, &tuned.drift, &tuned.calibration);
   if (rep.proto) {
     rep.proto->calibration_margin = cal.margin;
     rep.proto->calibration_time = cal.elapsed;

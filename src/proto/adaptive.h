@@ -21,12 +21,17 @@
 #include "core/runner.h"
 #include "proto/arq.h"
 #include "proto/calibrate.h"
+#include "proto/drift.h"
 
 namespace mes::proto {
 
 struct AdaptiveOptions {
   CalibrationOptions calibration;
   ArqOptions arq;
+  // Mid-transfer drift detection + online recalibration (proto/drift).
+  // On by default: under stationary noise it never triggers, under a
+  // regime change it is what keeps the session alive.
+  DriftOptions drift;
 };
 
 // ARQ at the configured (fixed) timing; cfg.timing is used as-is.

@@ -223,7 +223,10 @@ std::optional<BitVec> arq_deliver(const BitVec& payload,
       // Sender side: a cumulative ack covering this frame advances the
       // window; anything else (garbled ack, stale ack) retransmits.
       const DecodedAck ack = decode_ack(*ack_rx, opt);
-      if (ack.crc_ok && ack.next_seq == (seq + 1) % seq_mod) {
+      const bool round_ok =
+          ack.crc_ok && ack.next_seq == (seq + 1) % seq_mod;
+      if (opt.on_round) opt.on_round(seq, round, round_ok);
+      if (round_ok) {
         advanced = true;
         break;
       }

@@ -43,6 +43,12 @@ struct ArqOptions {
   std::size_t sync_bits = 8;     // per-round preamble (used by the link)
   std::size_t fec_depth = 7;     // interleave depth; 0 disables FEC
   std::size_t max_rounds_per_frame = 12;
+
+  // Observer called after every data-frame round: (seq, round,
+  // advanced). The drift-aware layer (proto/drift) watches failure runs
+  // through it and recalibrates the link between rounds; empty = no-op.
+  std::function<void(std::size_t seq, std::size_t round, bool advanced)>
+      on_round;
 };
 
 // --- frame codec ------------------------------------------------------

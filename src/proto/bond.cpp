@@ -358,6 +358,7 @@ ChannelReport run_bonded_transmission(const ExperimentConfig& base,
   ChannelReport rep;
   rep.mechanism = base.mechanism;
   rep.scenario = base.scenario;
+  rep.scenario_name = base.scenario_name;
   rep.timing = base.timing;
   rep.sent_payload = payload;
   rep.ok = bond.ok;

@@ -93,6 +93,21 @@ LevelFit fit_levels(const std::vector<std::size_t>& tx_symbols,
 
 }  // namespace
 
+ProbeFit fit_probe(const std::vector<std::size_t>& tx_symbols,
+                   const std::vector<Duration>& latencies,
+                   std::size_t alphabet, Duration elapsed)
+{
+  ProbeFit out;
+  const LevelFit fit = fit_levels(tx_symbols, latencies, alphabet, elapsed);
+  if (!fit.usable) return out;
+  out.usable = true;
+  out.margin = fit.margin;
+  out.symbol_error = fit.symbol_error;
+  out.us_per_symbol = fit.us_per_symbol;
+  out.classifier = classifier_from(fit, alphabet);
+  return out;
+}
+
 double predicted_frame_rate(double symbol_error, double us_per_symbol,
                             const CalibrationOptions& opt)
 {

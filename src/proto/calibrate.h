@@ -59,7 +59,7 @@ struct CalibrationOptions {
   // pick is the best *realized* trial goodput, which is exactly the
   // quantity a session optimizes. 0 candidates disables refinement.
   std::size_t refine_candidates = 3;
-  std::size_t trial_payload_bits = 1024;  // ~4 frames through the real ARQ
+  std::size_t trial_payload_bits = 2048;  // ~8 frames through the real ARQ
 };
 
 struct Calibration {
@@ -94,5 +94,21 @@ Calibration calibrate_link(const ExperimentConfig& base,
 // Exposed so tests and benches can audit the decision.
 double predicted_frame_rate(double symbol_error, double us_per_symbol,
                             const CalibrationOptions& opt);
+
+// Refit from one known-pattern round measured through a live link (the
+// online-recalibration path, proto/drift): level means -> classifier,
+// margin and in-sample error, exactly as the offline calibration fits
+// its probes.
+struct ProbeFit {
+  bool usable = false;
+  double margin = 0.0;
+  double symbol_error = 0.0;
+  double us_per_symbol = 0.0;
+  codec::LatencyClassifier classifier =
+      codec::LatencyClassifier::binary(Duration::zero());
+};
+ProbeFit fit_probe(const std::vector<std::size_t>& tx_symbols,
+                   const std::vector<Duration>& latencies,
+                   std::size_t alphabet, Duration elapsed);
 
 }  // namespace mes::proto

@@ -1,0 +1,182 @@
+#include "proto/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "os/kernel.h"
+
+namespace mes::proto {
+
+DriftMonitor::DriftMonitor(Link& link, const ExperimentConfig& base,
+                           const TimingConfig& anchor,
+                           std::size_t payload_bits, const DriftOptions& opt,
+                           const CalibrationOptions& cal,
+                           const ArqOptions& arq)
+    : link_{link},
+      base_{base},
+      anchor_{anchor},
+      opt_{opt},
+      cal_{cal},
+      chunk_bits_{arq.chunk_bits},
+      payload_bits_{payload_bits},
+      width_{link_symbol_width(base.mechanism, anchor)},
+      probe_rng_{base.seed ^ 0xD21F7A11DEADULL}
+{
+}
+
+ChannelReport::ProtocolStats::PhaseStats& DriftMonitor::phase_entry(
+    std::size_t phase)
+{
+  for (std::size_t i = 0; i < stats_.phases.size(); ++i) {
+    if (stats_.phases[i].phase == phase) return stats_.phases[i];
+  }
+  stats_.phases.push_back({});
+  stats_.phases.back().phase = phase;
+  phase_bits_.push_back(0);
+  return stats_.phases.back();
+}
+
+ChannelReport::ProtocolStats::PhaseStats& DriftMonitor::attribute_elapsed()
+{
+  // Attribute the link time since the last observation to the phase in
+  // effect now (rounds are short relative to phases; the approximation
+  // only blurs the one round that straddles a boundary).
+  const Duration elapsed = link_.elapsed();
+  const std::size_t phase =
+      link_.env().kernel().noise().phase_at(link_.env().simulator().now());
+  auto& entry = phase_entry(phase);
+  entry.elapsed += elapsed - accounted_;
+  accounted_ = elapsed;
+  return entry;
+}
+
+void DriftMonitor::account_round(bool advanced)
+{
+  auto& entry = attribute_elapsed();
+  if (advanced) {
+    const std::size_t offset = frames_delivered_ * chunk_bits_;
+    const std::size_t bits =
+        std::min(chunk_bits_, payload_bits_ - std::min(offset, payload_bits_));
+    ++frames_delivered_;
+    delivered_bits_ += bits;
+    ++entry.frames;
+    const std::size_t index =
+        static_cast<std::size_t>(&entry - stats_.phases.data());
+    phase_bits_[index] += bits;
+  } else {
+    ++entry.retransmits;
+  }
+}
+
+void DriftMonitor::on_round(std::size_t, std::size_t, bool advanced)
+{
+  account_round(advanced);
+  if (advanced) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  if (!opt_.enabled) return;
+  if (consecutive_failures_ < opt_.trigger_rounds) return;
+  if (stats_.recalibrations >= opt_.max_recalibrations) return;
+  ++stats_.drift_events;
+  recalibrate();
+  consecutive_failures_ = 0;
+}
+
+void DriftMonitor::recalibrate()
+{
+  const std::size_t alphabet = std::size_t{1} << width_;
+  const TimingConfig previous_timing = link_.timing();
+  const codec::LatencyClassifier previous_classifier = link_.classifier();
+  const Duration started = link_.elapsed();
+
+  // Fresh known pattern per recalibration, deterministic per cell.
+  const BitVec pattern =
+      BitVec::random(probe_rng_, opt_.probe_symbols * width_);
+
+  // Probe a window around the current rate, not the whole grid: the
+  // optimum rarely moves more than a couple of grid steps per regime
+  // change, and every probe bleeds session time. One step faster, three
+  // slower (drift that *fires* usually means the regime got worse).
+  std::size_t current = 0;
+  double best_dist = 1e300;
+  for (std::size_t i = 0; i < opt_.scales.size(); ++i) {
+    const Duration scaled = scale_timing(anchor_, opt_.scales[i]).t1 +
+                            scale_timing(anchor_, opt_.scales[i]).interval;
+    const Duration now_t = previous_timing.t1 + previous_timing.interval;
+    const double dist = std::abs(scaled.to_us() - now_t.to_us());
+    if (dist < best_dist) {
+      best_dist = dist;
+      current = i;
+    }
+  }
+  const std::size_t lo = current > 0 ? current - 1 : 0;
+  const std::size_t hi = std::min(current + 3, opt_.scales.size() - 1);
+
+  bool have_best = false;
+  double best_score = 0.0;
+  TimingConfig best_timing;
+  codec::LatencyClassifier best_classifier = previous_classifier;
+
+  for (std::size_t gi = lo; gi <= hi; ++gi) {
+    const double scale = opt_.scales[gi];
+    const TimingConfig timing = scale_timing(anchor_, scale);
+    // The probe fit classifies from the known pattern; the classifier
+    // in force during the probe is irrelevant.
+    link_.retune(timing, previous_classifier);
+    const Link::ProbeResult pr = link_.probe(pattern);
+    if (!pr.ok) return;  // structural failure: the session will abort
+    const ProbeFit fit =
+        fit_probe(pr.tx_symbols, pr.latencies, alphabet, pr.elapsed);
+    attribute_elapsed();  // probes consume phase time, not retransmits
+    if (!fit.usable || fit.margin < opt_.min_margin) continue;
+    const double sigma =
+        std::sqrt(fit.symbol_error * (1.0 - fit.symbol_error) /
+                  static_cast<double>(opt_.probe_symbols));
+    const double p_ucb = fit.symbol_error + opt_.error_ucb_sigma * sigma;
+    const double score =
+        predicted_frame_rate(p_ucb, fit.us_per_symbol, cal_);
+    if (!have_best || score > best_score) {
+      have_best = true;
+      best_score = score;
+      best_timing = timing;
+      best_classifier = fit.classifier;
+    }
+  }
+
+  if (have_best) {
+    link_.retune(best_timing, best_classifier);
+    ++stats_.recalibrations;
+    last_recal_at_ = link_.elapsed();
+    bits_at_recal_ = delivered_bits_;
+  } else {
+    // No rate separated: restore the previous tuning and let the ARQ
+    // bound decide (a later trigger may find a usable regime).
+    link_.retune(previous_timing, previous_classifier);
+  }
+  stats_.recovery_spent += link_.elapsed() - started;
+}
+
+void DriftMonitor::finish()
+{
+  // Close the open phase interval and derive per-phase goodput.
+  if (!stats_.phases.empty()) attribute_elapsed();
+  for (std::size_t i = 0; i < stats_.phases.size(); ++i) {
+    auto& entry = stats_.phases[i];
+    if (entry.elapsed > Duration::zero()) {
+      entry.goodput_bps =
+          static_cast<double>(phase_bits_[i]) / entry.elapsed.to_sec();
+    }
+  }
+  if (stats_.recalibrations > 0) {
+    const Duration since = link_.elapsed() - last_recal_at_;
+    if (since > Duration::zero()) {
+      stats_.recovered_goodput_bps =
+          static_cast<double>(delivered_bits_ - bits_at_recal_) /
+          since.to_sec();
+    }
+  }
+}
+
+}  // namespace mes::proto

@@ -1,0 +1,106 @@
+// Calibration-drift detection and online recalibration.
+//
+// calibrate_link measures the noise regime once, up front. On a
+// non-stationary host (sim/noise_process) that calibration goes stale
+// the moment the regime shifts: the chosen rate starts shedding frames
+// and the session would grind through its retransmit budget and abort.
+// This layer watches the ARQ session for exactly that signature — a run
+// of consecutive failed rounds on one frame, where the calibrated rate
+// predicted ~90% frame survival — and, when it fires, re-probes the
+// *live* link across the rate grid (Link::probe, no stack rebuild, the
+// same simulated clock and noise timeline) and re-tunes the endpoints
+// to the best surviving rate. Transfers ride through a regime change
+// instead of dying with their stale Timeset.
+//
+// It also keeps per-noise-phase accounting (frames, retransmits,
+// goodput per NoiseModel phase id), which is how the scenario ablation
+// bench shows the recovery quantitatively.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metrics.h"
+#include "proto/calibrate.h"
+#include "proto/link.h"
+
+namespace mes::proto {
+
+struct DriftOptions {
+  bool enabled = true;
+  // A frame failing this many *consecutive* rounds flags drift. The
+  // calibrated pick targets high frame survival, so three straight
+  // losses is ~10^-3 under the measured regime — but routine after a
+  // shift.
+  std::size_t trigger_rounds = 3;
+  // Online re-probe: symbols per candidate rate. Shorter than the
+  // offline calibration (the session is bleeding time while stale).
+  std::size_t probe_symbols = 192;
+  std::size_t max_recalibrations = 8;
+  double min_margin = 1.0;
+  double error_ucb_sigma = 0.5;
+  // The online grid reaches past the offline one (2.8x / 4x): a hostile
+  // regime can demand rates slower than any the first calibration
+  // considered.
+  std::vector<double> scales = {0.25, 0.35, 0.5, 0.7,
+                                1.0,  1.4,  2.0, 2.8, 4.0};
+};
+
+struct DriftStats {
+  std::size_t drift_events = 0;     // failure runs that flagged drift
+  std::size_t recalibrations = 0;   // re-probes that changed the tuning
+  std::vector<ChannelReport::ProtocolStats::PhaseStats> phases;
+  // Steady-state rate after the *last* recalibration (payload bits
+  // delivered after it, over the time since it). 0 when the session
+  // never recalibrated. Separates "what the link recovered to" from
+  // the detection/re-probe transient that phase goodput averages in.
+  double recovered_goodput_bps = 0.0;
+  Duration recovery_spent = Duration::zero();  // stale rounds + probes
+};
+
+// Watches one ARQ session over `link`. Wire `on_round` into the
+// session's ArqOptions, call finish() when the session ends, then read
+// stats(). `anchor` is the Timeset the rate scales multiply; `cal` the
+// frame geometry the rate pick optimizes (frame_symbols, FEC).
+class DriftMonitor {
+ public:
+  DriftMonitor(Link& link, const ExperimentConfig& base,
+               const TimingConfig& anchor, std::size_t payload_bits,
+               const DriftOptions& opt, const CalibrationOptions& cal,
+               const ArqOptions& arq);
+
+  // The ArqOptions::on_round callback body.
+  void on_round(std::size_t seq, std::size_t round, bool advanced);
+
+  // Closes the open phase accounting (call once, after delivery).
+  void finish();
+
+  const DriftStats& stats() const { return stats_; }
+
+ private:
+  void account_round(bool advanced);
+  void recalibrate();
+  ChannelReport::ProtocolStats::PhaseStats& phase_entry(std::size_t phase);
+  ChannelReport::ProtocolStats::PhaseStats& attribute_elapsed();
+
+  Link& link_;
+  const ExperimentConfig base_;
+  const TimingConfig anchor_;
+  DriftOptions opt_;
+  CalibrationOptions cal_;
+  std::size_t chunk_bits_;
+  std::size_t payload_bits_;
+  std::size_t width_;
+
+  Rng probe_rng_;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t frames_delivered_ = 0;
+  std::size_t delivered_bits_ = 0;
+  Duration accounted_ = Duration::zero();  // link time already attributed
+  std::vector<std::size_t> phase_bits_;    // delivered bits per entry
+  Duration last_recal_at_ = Duration::zero();
+  std::size_t bits_at_recal_ = 0;
+  DriftStats stats_;
+};
+
+}  // namespace mes::proto

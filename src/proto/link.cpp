@@ -61,6 +61,54 @@ Duration Link::elapsed()
   return env_->simulator().now() - TimePoint::origin();
 }
 
+const TimingConfig& Link::timing() const
+{
+  return forward_->ctx->timing;
+}
+
+const codec::LatencyClassifier& Link::classifier() const
+{
+  return forward_->ctx->classifier;
+}
+
+void Link::retune(const TimingConfig& timing,
+                  const codec::LatencyClassifier& classifier)
+{
+  if (!error_.empty()) return;
+  env_->set_link_tuning(*forward_, timing, classifier);
+  env_->set_link_tuning(*reverse_, timing, classifier);
+}
+
+Link::ProbeResult Link::probe(const BitVec& pattern)
+{
+  ProbeResult result;
+  if (!error_.empty() || pending_) return result;
+
+  BitVec padded = pattern;
+  while (padded.size() % width_ != 0) padded.push_back(0);
+  const codec::Frame frame = codec::make_frame(padded, sync_bits_);
+  const std::vector<std::size_t> symbols =
+      forward_->ctx->schedule.encode(frame.bits);
+
+  const TimePoint started = env_->simulator().now();
+  forward_->rx = core::RxResult{};
+  env_->spawn_transmission(*forward_, symbols);
+  const sim::RunResult run = env_->run();
+  if (run.hit_event_limit) {
+    error_ = "simulation event limit reached";
+    return result;
+  }
+  if (run.blocked_roots > 0) {
+    error_ = "probe round deadlocked";
+    return result;
+  }
+  result.ok = true;
+  result.tx_symbols = symbols;
+  result.latencies = forward_->rx.latencies;
+  result.elapsed = env_->simulator().now() - started;
+  return result;
+}
+
 bool Link::post(const BitVec& wire, bool reverse)
 {
   if (!error_.empty() || pending_) return false;

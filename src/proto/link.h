@@ -54,6 +54,30 @@ class Link {
   // Total simulated time this link's stack has consumed.
   Duration elapsed();
 
+  // The stack under the link (noise regime introspection, phase ids).
+  exec::ExperimentEnv& env() { return *env_; }
+
+  // The timing / classifier the endpoints currently run at.
+  const TimingConfig& timing() const;
+  const codec::LatencyClassifier& classifier() const;
+
+  // Re-points both endpoints at a new timing + classifier without
+  // rebuilding the stack — the online-recalibration hook (proto/drift).
+  // The symbol width must not change (scale_timing never does).
+  void retune(const TimingConfig& timing,
+              const codec::LatencyClassifier& classifier);
+
+  // One known-pattern round through the live link at the current
+  // tuning, returning the raw Spy measurements for an online refit.
+  // Owning mode only, like transfer().
+  struct ProbeResult {
+    bool ok = false;
+    std::vector<std::size_t> tx_symbols;  // preamble included
+    std::vector<Duration> latencies;
+    Duration elapsed = Duration::zero();  // sim time the probe consumed
+  };
+  ProbeResult probe(const BitVec& pattern);
+
   // Carries `wire` bits one way and returns what the far side decoded
   // (preamble stripped, truncated to the sent size). std::nullopt =
   // structural failure; garbled rounds still return bits — the caller's

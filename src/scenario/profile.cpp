@@ -1,5 +1,7 @@
 #include "scenario/profile.h"
 
+#include "scenario/registry.h"
+
 namespace mes {
 
 const char* to_string(Scenario s)
@@ -22,113 +24,10 @@ const char* to_string(HypervisorType h)
   return "?";
 }
 
-namespace {
-
-// Baseline constants calibrated against the paper's own measurements;
-// see DESIGN.md §5 for the Table IV arithmetic they come from.
-sim::NoiseParams local_noise()
-{
-  sim::NoiseParams p;
-  // Cheap syscalls, expensive sleeps: the Table IV overhead arithmetic
-  // (~29 us/bit for 3-op channels) is dominated by the sleep overshoot,
-  // with each MESM call costing a few microseconds.
-  p.op_cost_base = Duration::us(3.0);
-  p.op_cost_jitter = Duration::us(0.5);
-  p.wake_latency_median = Duration::us(6.0);
-  p.wake_latency_sigma = 0.35;
-  p.sleep_floor = Duration::zero();
-  p.sleep_overshoot_median = Duration::us(12.0);
-  p.sleep_overshoot_sigma = 0.35;
-  p.block_rate_hz = 2500.0;
-  p.block_duration_median = Duration::us(10.0);
-  p.block_duration_sigma = 0.45;
-  p.penalty_knee = Duration::us(210.0);
-  p.penalty_ramp_per_us = 2.2e-4;
-  p.penalty_extra_median = Duration::us(60.0);
-  p.penalty_extra_sigma = 0.50;
-  p.penalty_scale = 1.0;
-  p.notify_path_base = Duration::us(1.5);
-  p.notify_path_jitter = Duration::us(0.3);
-  return p;
-}
-
-sim::NoiseParams sandbox_noise()
-{
-  // The sandbox (Firejail / Sandboxie) interposes on the syscall path:
-  // every operation pays a shim, jitter grows, and signals cross an
-  // extra boundary ("break the isolation mechanism", §V.C.2).
-  sim::NoiseParams p = local_noise();
-  p.op_cost_base = Duration::us(4.0);
-  p.op_cost_jitter = Duration::us(0.8);
-  p.wake_latency_median = Duration::us(7.5);
-  p.wake_latency_sigma = 0.40;
-  p.sleep_overshoot_median = Duration::us(14.0);
-  p.block_rate_hz = 3200.0;
-  p.corruption_rate = 0.0068;
-  p.notify_path_base = Duration::us(4.0);
-  p.notify_path_jitter = Duration::us(0.8);
-  return p;
-}
-
-sim::NoiseParams vm_noise()
-{
-  // Crossing VMs adds virtualized interrupt delivery and a longer
-  // signal path; TR drops accordingly (§V.C.3, Table VI).
-  sim::NoiseParams p = local_noise();
-  p.op_cost_base = Duration::us(5.5);
-  p.op_cost_jitter = Duration::us(1.2);
-  p.wake_latency_median = Duration::us(10.0);
-  p.wake_latency_sigma = 0.45;
-  p.sleep_overshoot_median = Duration::us(16.0);
-  p.block_rate_hz = 4200.0;
-  p.block_duration_sigma = 0.50;
-  p.corruption_rate = 0.0078;
-  p.notify_path_base = Duration::us(12.0);
-  p.notify_path_jitter = Duration::us(2.5);
-  return p;
-}
-
-}  // namespace
-
 ScenarioProfile make_profile(Scenario scenario, OsFlavor flavor,
                              HypervisorType hypervisor)
 {
-  ScenarioProfile profile;
-  profile.scenario = scenario;
-  profile.name = to_string(scenario);
-
-  switch (scenario) {
-    case Scenario::local:
-      profile.noise = local_noise();
-      profile.topology = Topology{0, 0, true, true};
-      break;
-    case Scenario::cross_sandbox:
-      // The sandboxed Trojan lives in its own namespace id, but the
-      // sandbox does not virtualize the object manager or the volume —
-      // it only restricts *writing* (§III) — so both remain shared.
-      profile.noise = sandbox_noise();
-      profile.topology = Topology{1, 0, true, true};
-      break;
-    case Scenario::cross_vm: {
-      profile.noise = vm_noise();
-      if (hypervisor == HypervisorType::none) {
-        hypervisor = HypervisorType::type1;  // the paper's working setup
-      }
-      const bool shared_volume = hypervisor == HypervisorType::type1;
-      // Named kernel objects never cross a VM boundary: each guest has
-      // its own session namespace (§V.C.3).
-      profile.topology = Topology{1, 2, false, shared_volume};
-      break;
-    }
-  }
-  profile.hypervisor = hypervisor;
-
-  if (flavor == OsFlavor::linux_like) {
-    // §V.C.1: the Linux scheduler needs ~58 us to wake a sleeper, which
-    // is why the paper pins flock's tt0 at 60 us.
-    profile.noise.sleep_floor = Duration::us(58.0);
-  }
-  return profile;
+  return scenario::legacy_def(scenario).build(flavor, hypervisor);
 }
 
 }  // namespace mes

@@ -1,18 +1,29 @@
-// Deployment scenarios (§V.A): local, cross-sandbox, cross-VM.
+// Deployment scenarios: who the Trojan and Spy are to each other.
 //
 // A scenario bundles (a) the timing-noise regime — isolation layers add
-// per-operation latency and jitter — and (b) the *visibility topology*:
-// which namespaces the Trojan and Spy live in, whether named kernel
-// objects resolve across them, and whether they see a shared file
-// volume. The topology is what reproduces Table VI's finding that only
-// file-backed mechanisms survive a VM boundary, and only under a type-1
-// hypervisor.
+// per-operation latency and jitter, co-tenant workloads make it vary
+// over time — and (b) the *visibility topology*: which namespaces the
+// Trojan and Spy live in, whether named kernel objects resolve across
+// them, and whether they see a shared file volume. The topology is what
+// reproduces Table VI's finding that only file-backed mechanisms
+// survive a VM boundary, and only under a type-1 hypervisor.
+//
+// The paper's three cells (local, cross-sandbox, cross-VM; §V.A) are
+// the `Scenario` enum. It survives as the *anchor class* — the nearest
+// paper cell, which is what selects a Timeset row — but scenarios
+// themselves are open-ended: the string-keyed registry in
+// scenario/registry.h composes profiles from isolation and workload
+// layers, and everything downstream (campaigns, CLI, benches)
+// addresses them by name.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "os/types.h"
 #include "sim/noise.h"
+#include "sim/noise_process.h"
 
 namespace mes {
 
@@ -37,17 +48,28 @@ struct Topology {
 };
 
 struct ScenarioProfile {
-  Scenario scenario = Scenario::local;
-  std::string name;
+  Scenario scenario = Scenario::local;  // anchor class (Timeset lookup)
+  std::string name;                     // registry key
   HypervisorType hypervisor = HypervisorType::none;
-  sim::NoiseParams noise;
+  sim::NoiseParams noise;      // base (phase-0 / stationary) parameters
+  sim::NoiseSpec noise_spec;   // how the regime varies over time
   Topology topology;
+  std::vector<std::string> layers;  // the composed layer stack, in order
+
+  // Instantiates the noise regime for one experiment. Stationary
+  // profiles ignore the seed; non-stationary ones derive their regime
+  // timeline from it (deterministic per cell).
+  std::shared_ptr<const sim::NoiseModel> make_noise(std::uint64_t seed) const
+  {
+    return sim::make_noise_model(noise_spec, noise, seed);
+  }
 };
 
 const char* to_string(Scenario s);
 const char* to_string(HypervisorType h);
 
-// Builds the calibrated profile for a scenario. For cross-VM the
+// Builds the calibrated profile for a legacy scenario via the registry
+// (the enum names resolve to the three paper entries). For cross-VM the
 // hypervisor type decides the topology (type-1 shares a host volume but
 // not object namespaces; type-2 shares nothing).
 ScenarioProfile make_profile(Scenario scenario, OsFlavor flavor,

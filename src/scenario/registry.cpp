@@ -1,0 +1,364 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mes::scenario {
+
+namespace {
+
+// Baseline constants calibrated against the paper's own measurements;
+// see DESIGN.md §5 for the Table IV arithmetic they come from. Every
+// isolation layer applies *deltas* on top of this base, so that the
+// legacy cells reproduce the historical constants exactly while layers
+// still compose (a sandbox inside a VM pays both boundaries).
+sim::NoiseParams local_noise()
+{
+  sim::NoiseParams p;
+  // Cheap syscalls, expensive sleeps: the Table IV overhead arithmetic
+  // (~29 us/bit for 3-op channels) is dominated by the sleep overshoot,
+  // with each MESM call costing a few microseconds.
+  p.op_cost_base = Duration::us(3.0);
+  p.op_cost_jitter = Duration::us(0.5);
+  p.wake_latency_median = Duration::us(6.0);
+  p.wake_latency_sigma = 0.35;
+  p.sleep_floor = Duration::zero();
+  p.sleep_overshoot_median = Duration::us(12.0);
+  p.sleep_overshoot_sigma = 0.35;
+  p.block_rate_hz = 2500.0;
+  p.block_duration_median = Duration::us(10.0);
+  p.block_duration_sigma = 0.45;
+  p.penalty_knee = Duration::us(210.0);
+  p.penalty_ramp_per_us = 2.2e-4;
+  p.penalty_extra_median = Duration::us(60.0);
+  p.penalty_extra_sigma = 0.50;
+  p.penalty_scale = 1.0;
+  p.notify_path_base = Duration::us(1.5);
+  p.notify_path_jitter = Duration::us(0.3);
+  return p;
+}
+
+// The sandbox (Firejail / Sandboxie) interposes on the syscall path:
+// every operation pays a shim, jitter grows, and signals cross an
+// extra boundary ("break the isolation mechanism", §V.C.2).
+void add_sandbox_shim(sim::NoiseParams& p)
+{
+  p.op_cost_base += Duration::us(1.0);
+  p.op_cost_jitter += Duration::us(0.3);
+  p.wake_latency_median += Duration::us(1.5);
+  p.wake_latency_sigma = std::max(p.wake_latency_sigma, 0.40);
+  p.sleep_overshoot_median += Duration::us(2.0);
+  p.block_rate_hz += 700.0;
+  p.corruption_rate += 0.0008;
+  p.notify_path_base += Duration::us(2.5);
+  p.notify_path_jitter += Duration::us(0.5);
+}
+
+// Crossing VMs adds virtualized interrupt delivery and a longer
+// signal path; TR drops accordingly (§V.C.3, Table VI).
+void add_vm_boundary(sim::NoiseParams& p)
+{
+  p.op_cost_base += Duration::us(2.5);
+  p.op_cost_jitter += Duration::us(0.7);
+  p.wake_latency_median += Duration::us(4.0);
+  p.wake_latency_sigma = std::max(p.wake_latency_sigma, 0.45);
+  p.sleep_overshoot_median += Duration::us(4.0);
+  p.block_rate_hz += 1700.0;
+  p.block_duration_sigma = std::max(p.block_duration_sigma, 0.50);
+  p.corruption_rate += 0.0018;
+  p.notify_path_base += Duration::us(10.5);
+  p.notify_path_jitter += Duration::us(2.2);
+}
+
+std::string load_label(const char* kind, double load)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s(x%g)", kind, load);
+  return buf;
+}
+
+}  // namespace
+
+ScenarioBuilder::ScenarioBuilder(std::string name)
+{
+  profile_.name = std::move(name);
+  profile_.noise = local_noise();
+}
+
+ScenarioBuilder& ScenarioBuilder::sandbox()
+{
+  add_sandbox_shim(profile_.noise);
+  // The sandboxed Trojan lives in its own namespace id, but the sandbox
+  // does not virtualize the object manager or the volume — it only
+  // restricts *writing* (§III) — so both remain shared.
+  profile_.topology.trojan_ns = next_ns_++;
+  if (profile_.scenario == Scenario::local) {
+    profile_.scenario = Scenario::cross_sandbox;
+  }
+  profile_.layers.push_back("sandbox");
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::vm(HypervisorType type)
+{
+  add_vm_boundary(profile_.noise);
+  // Named kernel objects never cross a VM boundary: each guest has its
+  // own session namespace (§V.C.3); only a type-1 hypervisor backs a
+  // volume both guests can reach.
+  profile_.topology.trojan_ns = next_ns_++;
+  profile_.topology.spy_ns = next_ns_++;
+  profile_.topology.shared_object_namespace = false;
+  profile_.topology.shared_file_volume = type == HypervisorType::type1;
+  profile_.hypervisor = type;
+  profile_.scenario = Scenario::cross_vm;
+  profile_.layers.push_back(type == HypervisorType::type1 ? "vm(type-1)"
+                                                          : "vm(type-2)");
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::shared_volume()
+{
+  profile_.topology.shared_file_volume = true;
+  profile_.layers.push_back("shared-volume");
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::calm(double factor)
+{
+  profile_.noise = sim::scale_load(profile_.noise, factor);
+  profile_.layers.push_back(load_label("calm", factor));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::noisy_neighbor(double load, Duration quiet,
+                                                 Duration busy)
+{
+  profile_.noise_spec.regime = sim::NoiseSpec::Regime::phased;
+  profile_.noise_spec.busy_load = load;
+  profile_.noise_spec.quiet_len = quiet;
+  profile_.noise_spec.busy_len = busy;
+  profile_.layers.push_back(load_label("noisy-neighbor", load));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::bursty_load(double load,
+                                              Duration quiet_dwell,
+                                              Duration busy_dwell)
+{
+  profile_.noise_spec.regime = sim::NoiseSpec::Regime::markov;
+  profile_.noise_spec.busy_load = load;
+  profile_.noise_spec.quiet_len = quiet_dwell;
+  profile_.noise_spec.busy_len = busy_dwell;
+  profile_.layers.push_back(load_label("bursty-load", load));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::migration_stalls(Duration mean_gap,
+                                                   Duration stall_max,
+                                                   double load)
+{
+  profile_.noise_spec.regime = sim::NoiseSpec::Regime::stalls;
+  profile_.noise_spec.busy_load = load;
+  profile_.noise_spec.quiet_len = mean_gap;
+  profile_.noise_spec.busy_len = stall_max;
+  profile_.layers.push_back(load_label("migration-stalls", load));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::regime_shift(double load, Duration at)
+{
+  profile_.noise_spec.regime = sim::NoiseSpec::Regime::shift;
+  profile_.noise_spec.busy_load = load;
+  profile_.noise_spec.quiet_len = at;
+  profile_.layers.push_back(load_label("regime-shift", load));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::anchor(Scenario s)
+{
+  profile_.scenario = s;
+  return *this;
+}
+
+ScenarioProfile ScenarioBuilder::build(OsFlavor flavor) const
+{
+  ScenarioProfile profile = profile_;
+  if (profile.layers.empty()) profile.layers.push_back("same-host");
+  if (flavor == OsFlavor::linux_like) {
+    // §V.C.1: the Linux scheduler needs ~58 us to wake a sleeper, which
+    // is why the paper pins flock's tt0 at 60 us.
+    profile.noise.sleep_floor = Duration::us(58.0);
+  }
+  return profile;
+}
+
+const std::vector<ScenarioDef>& library()
+{
+  static const std::vector<ScenarioDef> defs = [] {
+    std::vector<ScenarioDef> lib;
+    const auto add =
+        [&lib](std::string name, std::string summary,
+               std::vector<std::string> aliases, bool hypervisor_sensitive,
+               std::function<ScenarioProfile(OsFlavor, HypervisorType)>
+                   build) {
+          ScenarioDef def;
+          def.name = std::move(name);
+          def.summary = std::move(summary);
+          def.aliases = std::move(aliases);
+          def.hypervisor_sensitive = hypervisor_sensitive;
+          def.build = std::move(build);
+          // The display layer stack comes from an actual build, so the
+          // listing can never drift from what the factory produces.
+          const ScenarioProfile sample =
+              def.build(OsFlavor::windows, HypervisorType::none);
+          def.layers = sample.layers;
+          def.legacy = sample.scenario;
+          def.non_stationary =
+              sample.noise_spec.regime != sim::NoiseSpec::Regime::stationary;
+          lib.push_back(std::move(def));
+        };
+
+    // --- the three paper cells (Tables IV-VI) -------------------------
+    add("local",
+        "Trojan and Spy as two processes on one host",
+        {}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"local"}.build(f);
+         });
+    add("cross-sandbox",
+        "Trojan writes from inside a syscall-filter sandbox",
+        {"sandbox", "cross_sandbox"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"cross-sandbox"}.sandbox().build(f);
+         });
+    add("cross-VM",
+        "Trojan and Spy in sibling VMs (type-1 by default)",
+        {"vm", "cross-vm", "cross_vm"}, /*hypervisor_sensitive=*/true,
+        [](OsFlavor f, HypervisorType hv) {
+           if (hv == HypervisorType::none) {
+             hv = HypervisorType::type1;  // the paper's working setup
+           }
+           return ScenarioBuilder{"cross-VM"}.vm(hv).build(f);
+         });
+
+    // --- composed isolation ------------------------------------------
+    add("container-in-vm",
+        "sandboxed Trojan inside a guest VM (nested boundaries)",
+        {"container_in_vm", "nested"}, /*hypervisor_sensitive=*/true,
+        [](OsFlavor f, HypervisorType hv) {
+           if (hv == HypervisorType::none) hv = HypervisorType::type1;
+           return ScenarioBuilder{"container-in-vm"}
+               .vm(hv)
+               .sandbox()
+               .anchor(Scenario::cross_vm)
+               .build(f);
+         });
+    add("shared-volume",
+        "sealed type-2 guests joined only by a mapped volume",
+        {"shared_volume", "volume-only"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"shared-volume"}
+               .vm(HypervisorType::type2)
+               .shared_volume()
+               .build(f);
+         });
+
+    // --- workload variants -------------------------------------------
+    add("quiet-local",
+        "an idle host: background interference scaled down",
+        {"quiet_local", "idle"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"quiet-local"}.calm(0.4).build(f);
+         });
+    add("noisy-local",
+        "co-tenant with a periodic duty cycle (phased load)",
+        {"noisy_local", "noisy"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"noisy-local"}
+               .noisy_neighbor(3.0, Duration::us(120'000),
+                               Duration::us(60'000))
+               .build(f);
+         });
+    add("bursty-sandbox",
+        "sandbox boundary under Markov-modulated load bursts",
+        {"bursty_sandbox", "bursty"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"bursty-sandbox"}
+               .sandbox()
+               .bursty_load(3.5, Duration::us(80'000), Duration::us(40'000))
+               .build(f);
+         });
+    add("overcommitted-vm",
+        "VM boundary on an oversubscribed host (bursty heavy load)",
+        {"overcommitted_vm", "overcommitted"}, /*hypervisor_sensitive=*/true,
+        [](OsFlavor f, HypervisorType hv) {
+           if (hv == HypervisorType::none) hv = HypervisorType::type1;
+           return ScenarioBuilder{"overcommitted-vm"}
+               .vm(hv)
+               .bursty_load(5.0, Duration::us(60'000), Duration::us(90'000))
+               .build(f);
+         });
+    add("migrating-vm",
+        "VM boundary with live-migration/snapshot stalls",
+        {"migrating_vm", "migrating"}, /*hypervisor_sensitive=*/true,
+        [](OsFlavor f, HypervisorType hv) {
+           if (hv == HypervisorType::none) hv = HypervisorType::type1;
+           return ScenarioBuilder{"migrating-vm"}
+               .vm(hv)
+               .migration_stalls(Duration::us(250'000), Duration::us(30'000),
+                                 10.0)
+               .build(f);
+         });
+    add("regime-shift",
+        "quiet host that turns hostile mid-transfer (drift case)",
+        {"regime_shift", "shift"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"regime-shift"}
+               .calm(0.6)
+               .regime_shift(2.0, Duration::us(350'000))
+               .build(f);
+         });
+    return lib;
+  }();
+  return defs;
+}
+
+const ScenarioDef* find_scenario(std::string_view name)
+{
+  for (const ScenarioDef& def : library()) {
+    if (def.name == name) return &def;
+    if (std::find(def.aliases.begin(), def.aliases.end(), name) !=
+        def.aliases.end()) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
+const ScenarioDef& scenario_or_throw(std::string_view name)
+{
+  if (const ScenarioDef* def = find_scenario(name)) return *def;
+  std::string known;
+  for (const ScenarioDef& def : library()) {
+    if (!known.empty()) known += ", ";
+    known += def.name;
+  }
+  throw std::invalid_argument{"unknown scenario '" + std::string{name} +
+                              "'; known: " + known};
+}
+
+std::vector<std::string> scenario_names()
+{
+  std::vector<std::string> names;
+  names.reserve(library().size());
+  for (const ScenarioDef& def : library()) names.push_back(def.name);
+  return names;
+}
+
+const ScenarioDef& legacy_def(Scenario s)
+{
+  return *find_scenario(to_string(s));
+}
+
+}  // namespace mes::scenario

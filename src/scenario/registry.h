@@ -1,0 +1,96 @@
+// The scenario registry: a string-keyed library of deployment
+// scenarios composed from isolation and workload layers.
+//
+// The paper evaluates three cells; the ROADMAP wants "as many scenarios
+// as you can imagine". This registry makes a scenario a *value* built
+// by stacking layers — each isolation layer adds its noise deltas and
+// cuts visibility, each workload layer turns the regime non-stationary
+// — instead of a case in a closed enum. The three paper cells are
+// registry entries like any other (and resolve to byte-identical
+// profiles, regression-locked by tests/golden). Campaigns, the CLI and
+// the benches all address scenarios by registry name.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/profile.h"
+
+namespace mes::scenario {
+
+// Composes a ScenarioProfile layer by layer. Isolation layers apply
+// *additive* noise deltas, so they nest (a sandbox inside a VM pays
+// both boundaries); workload layers select the non-stationary regime.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::string name);
+
+  // --- isolation layers -------------------------------------------------
+  // Syscall-interposition sandbox (Firejail / Sandboxie) around the
+  // Trojan: every operation pays a shim; it does not virtualize the
+  // object manager or the volume (§III restricts *writing* only).
+  ScenarioBuilder& sandbox();
+  // VM boundary between Trojan and Spy: virtualized interrupt delivery,
+  // split object namespaces; a type-1 hypervisor shares a host-backed
+  // volume, a type-2 shares nothing (§V.C.3).
+  ScenarioBuilder& vm(HypervisorType type);
+  // Operator-mapped shared volume (overrides the hypervisor's default
+  // file visibility; the only channel across an otherwise sealed pair).
+  ScenarioBuilder& shared_volume();
+
+  // --- workload layers (pick at most one regime) -------------------------
+  // A calmer host: background interference scaled down.
+  ScenarioBuilder& calm(double factor);
+  // Periodic co-tenant duty cycle (phased busy/quiet neighbor).
+  ScenarioBuilder& noisy_neighbor(double load, Duration quiet, Duration busy);
+  // Markov-modulated load bursts (exponential dwells, random hops).
+  ScenarioBuilder& bursty_load(double load, Duration quiet_dwell,
+                               Duration busy_dwell);
+  // Rare long whole-host stalls (live migration / snapshot quiesce).
+  ScenarioBuilder& migration_stalls(Duration mean_gap, Duration stall_max,
+                                    double load);
+  // One-shot regime shift at a fixed instant (the sharpest drift case).
+  ScenarioBuilder& regime_shift(double load, Duration at);
+
+  // Overrides the anchor class (defaults: local, or the last isolation
+  // layer's nearest paper cell).
+  ScenarioBuilder& anchor(Scenario s);
+
+  ScenarioProfile build(OsFlavor flavor) const;
+
+ private:
+  ScenarioProfile profile_;
+  os::NamespaceId next_ns_ = 1;
+};
+
+// One registry entry: metadata plus the profile factory.
+struct ScenarioDef {
+  std::string name;     // canonical key (also the CSV/JSON scenario value)
+  std::string summary;
+  std::vector<std::string> aliases;
+  std::vector<std::string> layers;  // display copy of the layer stack
+  Scenario legacy = Scenario::local;  // anchor class / Timeset row
+  bool hypervisor_sensitive = false;  // honors ExperimentConfig::hypervisor
+  bool non_stationary = false;
+  std::function<ScenarioProfile(OsFlavor, HypervisorType)> build;
+};
+
+// The built-in library, in registration order (the three legacy cells
+// first). >= 8 entries, >= 3 non-stationary.
+const std::vector<ScenarioDef>& library();
+
+// Lookup by canonical name or alias; nullptr when unknown.
+const ScenarioDef* find_scenario(std::string_view name);
+
+// Lookup that throws std::invalid_argument with the known names listed.
+const ScenarioDef& scenario_or_throw(std::string_view name);
+
+// Canonical names, registration order.
+std::vector<std::string> scenario_names();
+
+// The registry entry a legacy enum value resolves to.
+const ScenarioDef& legacy_def(Scenario s);
+
+}  // namespace mes::scenario

@@ -5,88 +5,143 @@
 
 namespace mes::sim {
 
-Duration NoiseModel::op_cost(Rng& rng) const
+NoiseParams scale_load(const NoiseParams& p, double factor)
 {
-  Duration cost = rng.normal_dur(p_.op_cost_base, p_.op_cost_jitter);
+  if (factor == 1.0) return p;
+  NoiseParams out = p;
+  // Contention for the cores shows up first as more frequent, longer
+  // system blocks; then as jitter on every operation and a slower,
+  // noisier signal path. Medians scale sub-linearly (the scheduler
+  // still round-robins), tails and rates scale linearly.
+  const double sub = std::sqrt(factor);
+  out.op_cost_base = p.op_cost_base * sub;
+  out.op_cost_jitter = p.op_cost_jitter * factor;
+  out.wake_latency_median = p.wake_latency_median * sub;
+  out.wake_latency_sigma = std::min(1.2, p.wake_latency_sigma * sub);
+  out.sleep_overshoot_median = p.sleep_overshoot_median * sub;
+  out.block_rate_hz = p.block_rate_hz * factor;
+  out.block_duration_median = p.block_duration_median * sub;
+  out.notify_path_base = p.notify_path_base * sub;
+  out.notify_path_jitter = p.notify_path_jitter * factor;
+  out.rx_dispatch_median = p.rx_dispatch_median * sub;
+  out.corruption_rate = std::min(0.25, p.corruption_rate * factor);
+  return out;
+}
+
+NoiseParams shift_paths(const NoiseParams& p, double load)
+{
+  NoiseParams out = p;
+  out.op_cost_base += Duration::us(1.0 * load);
+  out.wake_latency_median += Duration::us(4.0 * load);
+  out.notify_path_base += Duration::us(3.0 * load);
+  out.sleep_overshoot_median += Duration::us(2.0 * load);
+  out.rx_dispatch_median += Duration::us(2.0 * load);
+  // The runqueue depth also shows up as somewhat more background
+  // blocking, but the tails (sigmas, corruption) stay put.
+  out.block_rate_hz *= 1.0 + load / 4.0;
+  return out;
+}
+
+Duration NoiseModel::op_cost(Rng& rng, TimePoint now) const
+{
+  const NoiseParams& p = params_at(now);
+  Duration cost = rng.normal_dur(p.op_cost_base, p.op_cost_jitter);
   // Never cheaper than a quarter of the base: a syscall has a hard floor.
-  cost = std::max(cost, p_.op_cost_base / 4.0);
-  return cost + interference_over(rng, cost);
+  cost = std::max(cost, p.op_cost_base / 4.0);
+  return cost + sample_interference(p, rng, cost);
 }
 
-Duration NoiseModel::wake_latency(Rng& rng) const
+Duration NoiseModel::wake_latency(Rng& rng, TimePoint now) const
 {
-  return rng.lognormal_dur(p_.wake_latency_median, p_.wake_latency_sigma);
+  const NoiseParams& p = params_at(now);
+  return rng.lognormal_dur(p.wake_latency_median, p.wake_latency_sigma);
 }
 
-Duration NoiseModel::notify_path(Rng& rng) const
+Duration NoiseModel::notify_path(Rng& rng, TimePoint now) const
 {
-  return rng.normal_dur(p_.notify_path_base, p_.notify_path_jitter);
+  const NoiseParams& p = params_at(now);
+  return rng.normal_dur(p.notify_path_base, p.notify_path_jitter);
 }
 
-Duration NoiseModel::sleep_time(Rng& rng, Duration requested) const
+Duration NoiseModel::sleep_time(Rng& rng, TimePoint now,
+                                Duration requested) const
 {
-  const Duration effective = std::max(requested, p_.sleep_floor);
-  Duration overshoot_median = p_.sleep_overshoot_median;
-  double overshoot_sigma = p_.sleep_overshoot_sigma;
-  if (p_.sleep_floor.is_zero() && effective < p_.short_sleep_knee &&
-      p_.short_sleep_knee > Duration::zero()) {
+  const NoiseParams& p = params_at(now);
+  const Duration effective = std::max(requested, p.sleep_floor);
+  Duration overshoot_median = p.sleep_overshoot_median;
+  double overshoot_sigma = p.sleep_overshoot_sigma;
+  if (p.sleep_floor.is_zero() && effective < p.short_sleep_knee &&
+      p.short_sleep_knee > Duration::zero()) {
     // Sub-granularity sleep: timer resolution dominates the request.
     const double req_us = std::max(1.0, effective.to_us());
-    const double scale = std::sqrt(p_.short_sleep_knee.to_us() / req_us);
+    const double scale = std::sqrt(p.short_sleep_knee.to_us() / req_us);
     overshoot_median = overshoot_median * scale;
-    overshoot_sigma *= p_.short_sleep_sigma_factor;
+    overshoot_sigma *= p.short_sleep_sigma_factor;
   }
   const Duration overshoot = rng.lognormal_dur(overshoot_median,
                                                overshoot_sigma);
-  return effective + overshoot + interference_over(rng, effective);
+  return effective + overshoot + sample_interference(p, rng, effective);
 }
 
-Duration NoiseModel::interference_over(Rng& rng, Duration window) const
+Duration NoiseModel::sample_interference(const NoiseParams& p, Rng& rng,
+                                         Duration window)
 {
-  if (p_.block_rate_hz <= 0.0 || !(window > Duration::zero())) {
+  if (p.block_rate_hz <= 0.0 || !(window > Duration::zero())) {
     return Duration::zero();
   }
-  const double expected = p_.block_rate_hz * window.to_sec();
+  const double expected = p.block_rate_hz * window.to_sec();
   const std::uint64_t hits = rng.poisson(expected);
   Duration total = Duration::zero();
   for (std::uint64_t i = 0; i < hits; ++i) {
-    total += rng.lognormal_dur(p_.block_duration_median,
-                               p_.block_duration_sigma);
+    total += rng.lognormal_dur(p.block_duration_median,
+                               p.block_duration_sigma);
   }
   return total;
 }
 
-Duration NoiseModel::dispatch_latency(Rng& rng) const
+Duration NoiseModel::interference_over(Rng& rng, TimePoint now,
+                                       Duration window) const
 {
-  return rng.lognormal_dur(p_.dispatch_median, p_.dispatch_sigma);
+  return sample_interference(params_at(now), rng, window);
 }
 
-Duration NoiseModel::rx_dispatch_latency(Rng& rng) const
+Duration NoiseModel::dispatch_latency(Rng& rng, TimePoint now) const
 {
-  return rng.lognormal_dur(p_.rx_dispatch_median, p_.rx_dispatch_sigma);
+  const NoiseParams& p = params_at(now);
+  return rng.lognormal_dur(p.dispatch_median, p.dispatch_sigma);
 }
 
-Duration NoiseModel::apply_corruption(Rng& rng, Duration measured) const
+Duration NoiseModel::rx_dispatch_latency(Rng& rng, TimePoint now) const
 {
-  if (!rng.bernoulli(p_.corruption_rate)) return measured;
+  const NoiseParams& p = params_at(now);
+  return rng.lognormal_dur(p.rx_dispatch_median, p.rx_dispatch_sigma);
+}
+
+Duration NoiseModel::apply_corruption(Rng& rng, TimePoint now,
+                                      Duration measured) const
+{
+  const NoiseParams& p = params_at(now);
+  if (!rng.bernoulli(p.corruption_rate)) return measured;
   if (rng.bernoulli(0.5)) {
-    return measured + rng.lognormal_dur(p_.corruption_extra_median,
-                                        p_.corruption_extra_sigma);
+    return measured + rng.lognormal_dur(p.corruption_extra_median,
+                                        p.corruption_extra_sigma);
   }
   return measured * rng.uniform(0.03, 0.35);
 }
 
-Duration NoiseModel::post_wait_penalty(Rng& rng, Duration waited) const
+Duration NoiseModel::post_wait_penalty(Rng& rng, TimePoint now,
+                                       Duration waited) const
 {
-  if (waited <= p_.penalty_knee) return Duration::zero();
-  const Duration excess = waited - p_.penalty_knee;
+  const NoiseParams& p = params_at(now);
+  if (waited <= p.penalty_knee) return Duration::zero();
+  const Duration excess = waited - p.penalty_knee;
   const double probability =
-      std::min(1.0, p_.penalty_ramp_per_us * excess.to_us());
+      std::min(1.0, p.penalty_ramp_per_us * excess.to_us());
   if (!rng.bernoulli(probability)) return Duration::zero();
   const Duration penalty =
-      rng.lognormal_dur(p_.penalty_extra_median, p_.penalty_extra_sigma) +
-      excess * p_.penalty_scale;
-  return std::min(penalty, p_.penalty_cap);
+      rng.lognormal_dur(p.penalty_extra_median, p.penalty_extra_sigma) +
+      excess * p.penalty_scale;
+  return std::min(penalty, p.penalty_cap);
 }
 
 }  // namespace mes::sim

@@ -16,7 +16,17 @@
 //    re-scheduled late. This is the "the number of times that the system
 //    is blocked will increase" effect the paper gives for the BER rise at
 //    tt1 >= 220 us in Fig. 10.
+//
+// The paper measures stationary hosts; real ones are not. NoiseModel is
+// therefore an interface over *time-varying* parameter sets: every
+// sampler resolves the parameters in effect at the simulated instant
+// `now` and draws from the caller's RNG stream. The stationary
+// implementation lives here; the non-stationary processes (Markov load
+// bursts, phased noisy neighbors, migration stalls) in sim/noise_process.
 #pragma once
+
+#include <cstddef>
+#include <string>
 
 #include "util/rng.h"
 #include "util/time.h"
@@ -88,42 +98,84 @@ struct NoiseParams {
   double corruption_extra_sigma = 0.6;
 };
 
-// Stateless sampler: every method draws from the caller's RNG stream so
-// per-process determinism is preserved regardless of interleaving.
+// Scales `p` by a background-load factor > 1 (a noisy co-tenant): more
+// frequent and longer system blocks, heavier jitter and corruption, a
+// slower signal path. factor == 1 returns `p` unchanged. Used by the
+// non-stationary processes and the scenario layers.
+NoiseParams scale_load(const NoiseParams& p, double factor);
+
+// Lengthens the scheduling and signal *paths* by near-constant offsets
+// (a co-tenant pinning the remaining cores: runqueues deepen, wakeups
+// and signal delivery queue behind it) while leaving the distribution
+// shapes mostly alone. This is the regime change that silently breaks a
+// calibrated latency classifier — every level mean moves — without
+// making the channel physically slower to operate once re-anchored.
+NoiseParams shift_paths(const NoiseParams& p, double load);
+
+// Interface: the parameter set may vary with simulated time, but every
+// sampler draws from the *caller's* RNG stream, so per-process
+// determinism is preserved regardless of event interleaving.
 class NoiseModel {
  public:
-  explicit NoiseModel(NoiseParams params) : p_{params} {}
+  virtual ~NoiseModel() = default;
 
-  const NoiseParams& params() const { return p_; }
+  // The parameter set in effect at simulated instant `now`.
+  virtual const NoiseParams& params_at(TimePoint now) const = 0;
+
+  // Stable phase id at `now` (0 for stationary models). Lets the
+  // protocol layer bucket per-phase metrics and detect regime changes.
+  virtual std::size_t phase_at(TimePoint /*now*/) const { return 0; }
+
+  virtual bool stationary() const { return true; }
+
+  // Human-readable regime description ("stationary", "markov[...]", ...).
+  virtual std::string describe() const { return "stationary"; }
+
+  // --- samplers (parameters resolved at `now`) --------------------------
 
   // Cost of one MESM operation, including any background block that
   // lands inside it.
-  Duration op_cost(Rng& rng) const;
+  Duration op_cost(Rng& rng, TimePoint now) const;
 
   // Latency between a release/signal and the waiter actually running.
-  Duration wake_latency(Rng& rng) const;
+  Duration wake_latency(Rng& rng, TimePoint now) const;
 
   // Signal path cost paid by the *notifier* (grows across VM boundaries).
-  Duration notify_path(Rng& rng) const;
+  Duration notify_path(Rng& rng, TimePoint now) const;
 
   // Actual duration of a requested sleep.
-  Duration sleep_time(Rng& rng, Duration requested) const;
+  Duration sleep_time(Rng& rng, TimePoint now, Duration requested) const;
 
   // Total background-interference delay accumulated over `window`.
-  Duration interference_over(Rng& rng, Duration window) const;
+  Duration interference_over(Rng& rng, TimePoint now, Duration window) const;
 
   // Extra scheduling delay suffered after having been parked for
   // `waited`; zero below the knee.
-  Duration post_wait_penalty(Rng& rng, Duration waited) const;
+  Duration post_wait_penalty(Rng& rng, TimePoint now, Duration waited) const;
 
   // Re-dispatch latency after a rendezvous (heavy-tailed).
-  Duration dispatch_latency(Rng& rng) const;
-  Duration rx_dispatch_latency(Rng& rng) const;
+  Duration dispatch_latency(Rng& rng, TimePoint now) const;
+  Duration rx_dispatch_latency(Rng& rng, TimePoint now) const;
 
   // Applies a rare measurement corruption to a Spy's measured latency:
   // with probability corruption_rate the reading is either inflated by
   // a large delay or truncated to a fraction of itself.
-  Duration apply_corruption(Rng& rng, Duration measured) const;
+  Duration apply_corruption(Rng& rng, TimePoint now, Duration measured) const;
+
+ protected:
+  // Shared sampler bodies over an explicit parameter set.
+  static Duration sample_interference(const NoiseParams& p, Rng& rng,
+                                      Duration window);
+};
+
+// The paper's model: one parameter set for the whole experiment.
+// Byte-compatible with the historical (pre-interface) NoiseModel.
+class StationaryNoise final : public NoiseModel {
+ public:
+  explicit StationaryNoise(NoiseParams params) : p_{params} {}
+
+  const NoiseParams& params() const { return p_; }
+  const NoiseParams& params_at(TimePoint) const override { return p_; }
 
  private:
   NoiseParams p_;

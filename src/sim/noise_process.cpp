@@ -1,0 +1,275 @@
+#include "sim/noise_process.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mes::sim {
+
+namespace {
+
+// Decorrelates the regime stream from the simulator/process streams
+// that are seeded from the same cell seed (splitmix-style odd mixer).
+constexpr std::uint64_t kRegimeStreamSalt = 0x9d5c7f26a3b1e84fULL;
+
+}  // namespace
+
+PiecewiseNoise::PiecewiseNoise(std::uint64_t seed)
+    : rng_{seed ^ kRegimeStreamSalt}
+{
+}
+
+const NoisePhase& PiecewiseNoise::phase_covering(TimePoint now) const
+{
+  const Duration t = now - TimePoint::origin();
+  while (horizon_ <= t) {
+    NoisePhase next = const_cast<PiecewiseNoise*>(this)->next_phase(
+        rng_, horizon_);
+    if (!(next.length > Duration::zero())) {
+      throw std::logic_error{"PiecewiseNoise: phase must have length"};
+    }
+    next.start = horizon_;
+    horizon_ += next.length;
+    phases_.push_back(std::move(next));
+  }
+  // Mostly-monotonic queries: the last phase is the common case.
+  if (phases_.back().start <= t) return phases_.back();
+  const auto it = std::upper_bound(
+      phases_.begin(), phases_.end(), t,
+      [](Duration v, const NoisePhase& ph) { return v < ph.start; });
+  return *(it - 1);
+}
+
+const NoiseParams& PiecewiseNoise::params_at(TimePoint now) const
+{
+  return phase_covering(now).params;
+}
+
+std::size_t PiecewiseNoise::phase_at(TimePoint now) const
+{
+  return phase_covering(now).phase_id;
+}
+
+// --- Markov ------------------------------------------------------------
+
+MarkovNoise::MarkovNoise(MarkovSpec spec, std::uint64_t seed)
+    : PiecewiseNoise{seed}, spec_{std::move(spec)}
+{
+  if (spec_.states.size() < 2 ||
+      spec_.mean_dwell.size() != spec_.states.size()) {
+    throw std::invalid_argument{
+        "MarkovNoise: need >= 2 states with matching dwell times"};
+  }
+}
+
+NoisePhase MarkovNoise::next_phase(Rng& rng, Duration)
+{
+  NoisePhase phase;
+  phase.phase_id = state_;
+  phase.params = spec_.states[state_];
+  phase.length = std::max(Duration::us(1.0),
+                          rng.exponential_dur(spec_.mean_dwell[state_]));
+  // Jump to a uniformly chosen *other* state.
+  const std::size_t hop =
+      1 + rng.next_below(spec_.states.size() - 1);
+  state_ = (state_ + hop) % spec_.states.size();
+  return phase;
+}
+
+std::string MarkovNoise::describe() const
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "markov[%zu states]", spec_.states.size());
+  return buf;
+}
+
+// --- Phased ------------------------------------------------------------
+
+PhasedNoise::PhasedNoise(PhasedSpec spec, std::uint64_t seed)
+    : PiecewiseNoise{seed}, spec_{std::move(spec)}
+{
+  if (!(spec_.quiet_len > Duration::zero()) ||
+      !(spec_.busy_len > Duration::zero())) {
+    throw std::invalid_argument{"PhasedNoise: zero-length duty cycle"};
+  }
+}
+
+NoisePhase PhasedNoise::next_phase(Rng& rng, Duration)
+{
+  if (!emitted_first_) {
+    emitted_first_ = true;
+    // Rotate the cycle by a seed-derived offset: the first (possibly
+    // truncated) piece lands somewhere inside the quiet+busy period.
+    const double period_us =
+        spec_.quiet_len.to_us() + spec_.busy_len.to_us();
+    const double cut_us =
+        spec_.randomize_offset ? rng.uniform(0.0, period_us) : 0.0;
+    NoisePhase phase;
+    if (cut_us < spec_.quiet_len.to_us()) {
+      phase.phase_id = 0;
+      phase.params = spec_.quiet;
+      phase.length = spec_.quiet_len - Duration::us(cut_us);
+      busy_next_ = true;
+    } else {
+      phase.phase_id = 1;
+      phase.params = spec_.busy;
+      phase.length =
+          Duration::us(period_us - cut_us);
+      busy_next_ = false;
+    }
+    phase.length = std::max(phase.length, Duration::us(1.0));
+    return phase;
+  }
+  NoisePhase phase;
+  phase.phase_id = busy_next_ ? 1 : 0;
+  phase.params = busy_next_ ? spec_.busy : spec_.quiet;
+  phase.length = busy_next_ ? spec_.busy_len : spec_.quiet_len;
+  busy_next_ = !busy_next_;
+  return phase;
+}
+
+std::string PhasedNoise::describe() const
+{
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "phased[%.0fms quiet / %.0fms busy]",
+                spec_.quiet_len.to_us() / 1000.0,
+                spec_.busy_len.to_us() / 1000.0);
+  return buf;
+}
+
+// --- Stalls ------------------------------------------------------------
+
+StallNoise::StallNoise(StallSpec spec, std::uint64_t seed)
+    : PiecewiseNoise{seed},
+      spec_{std::move(spec)},
+      stalled_{scale_load(spec_.base, spec_.stall_load)}
+{
+  if (!(spec_.mean_gap > Duration::zero()) ||
+      !(spec_.stall_max >= spec_.stall_min) ||
+      !(spec_.stall_min > Duration::zero())) {
+    throw std::invalid_argument{"StallNoise: invalid gap/stall lengths"};
+  }
+}
+
+NoisePhase StallNoise::next_phase(Rng& rng, Duration)
+{
+  NoisePhase phase;
+  if (stall_next_) {
+    phase.phase_id = 1;
+    phase.params = stalled_;
+    phase.length = Duration::us(rng.uniform(spec_.stall_min.to_us(),
+                                            spec_.stall_max.to_us()));
+  } else {
+    phase.phase_id = 0;
+    phase.params = spec_.base;
+    phase.length = std::max(Duration::us(1.0),
+                            rng.exponential_dur(spec_.mean_gap));
+  }
+  stall_next_ = !stall_next_;
+  return phase;
+}
+
+std::string StallNoise::describe() const
+{
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "stalls[~every %.0fms, %.0f-%.0fms]",
+                spec_.mean_gap.to_us() / 1000.0,
+                spec_.stall_min.to_us() / 1000.0,
+                spec_.stall_max.to_us() / 1000.0);
+  return buf;
+}
+
+// --- Shift -------------------------------------------------------------
+
+ShiftNoise::ShiftNoise(ShiftSpec spec, std::uint64_t seed)
+    : PiecewiseNoise{seed}, spec_{std::move(spec)}
+{
+  if (!(spec_.shift_at > Duration::zero())) {
+    throw std::invalid_argument{"ShiftNoise: shift must be after origin"};
+  }
+}
+
+NoisePhase ShiftNoise::next_phase(Rng&, Duration)
+{
+  NoisePhase phase;
+  if (!shifted_) {
+    shifted_ = true;
+    phase.phase_id = 0;
+    phase.params = spec_.before;
+    phase.length = spec_.shift_at;
+  } else {
+    phase.phase_id = 1;
+    phase.params = spec_.after;
+    // "Forever": one simulated hour per piece keeps the timeline short.
+    phase.length = Duration::us(3.6e9);
+  }
+  return phase;
+}
+
+std::string ShiftNoise::describe() const
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "shift[@%.0fms]",
+                spec_.shift_at.to_us() / 1000.0);
+  return buf;
+}
+
+// --- declarative spec --------------------------------------------------
+
+const char* to_string(NoiseSpec::Regime r)
+{
+  switch (r) {
+    case NoiseSpec::Regime::stationary: return "stationary";
+    case NoiseSpec::Regime::markov: return "markov";
+    case NoiseSpec::Regime::phased: return "phased";
+    case NoiseSpec::Regime::stalls: return "stalls";
+    case NoiseSpec::Regime::shift: return "shift";
+  }
+  return "?";
+}
+
+std::shared_ptr<const NoiseModel> make_noise_model(const NoiseSpec& spec,
+                                                   const NoiseParams& base,
+                                                   std::uint64_t seed)
+{
+  switch (spec.regime) {
+    case NoiseSpec::Regime::stationary:
+      return std::make_shared<StationaryNoise>(base);
+    case NoiseSpec::Regime::markov: {
+      MarkovSpec m;
+      m.states = {base, scale_load(base, spec.busy_load)};
+      m.mean_dwell = {spec.quiet_len, spec.busy_len};
+      return std::make_shared<MarkovNoise>(std::move(m), seed);
+    }
+    case NoiseSpec::Regime::phased: {
+      PhasedSpec p;
+      p.quiet = base;
+      p.busy = scale_load(base, spec.busy_load);
+      p.quiet_len = spec.quiet_len;
+      p.busy_len = spec.busy_len;
+      return std::make_shared<PhasedNoise>(std::move(p), seed);
+    }
+    case NoiseSpec::Regime::stalls: {
+      StallSpec s;
+      s.base = base;
+      s.mean_gap = spec.quiet_len;
+      s.stall_max = spec.busy_len;
+      s.stall_min = spec.busy_len / 5.0;
+      s.stall_load = spec.busy_load;
+      return std::make_shared<StallNoise>(std::move(s), seed);
+    }
+    case NoiseSpec::Regime::shift: {
+      ShiftSpec s;
+      s.before = base;
+      // A path-offset shift, not a tail explosion: the point of this
+      // regime is that a *stale calibration* dies while the channel
+      // itself stays workable at a re-anchored operating point.
+      s.after = shift_paths(base, spec.busy_load);
+      s.shift_at = spec.quiet_len;
+      return std::make_shared<ShiftNoise>(std::move(s), seed);
+    }
+  }
+  return std::make_shared<StationaryNoise>(base);
+}
+
+}  // namespace mes::sim

@@ -1,0 +1,178 @@
+// Non-stationary noise: the host's background load as a stochastic
+// process over simulated time.
+//
+// The paper evaluates stationary hosts, but both follow-up channels we
+// track (Sync+Sync's fsync channel, MeMoir's memory-usage channel)
+// report channel quality swinging with background load phases. These
+// models make that first-class: the parameter set handed to the
+// samplers is a piecewise-constant function of simulated time, with
+// the piece boundaries drawn *once, up front, from a dedicated RNG
+// stream derived from the experiment seed*. Queries never consume
+// randomness, so two processes interleaving their reads — or the same
+// experiment re-run under a different thread schedule — see the exact
+// same regime timeline. That is what keeps campaigns over
+// non-stationary scenarios byte-identical across --jobs counts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/noise.h"
+
+namespace mes::sim {
+
+// One piece of the regime timeline.
+struct NoisePhase {
+  Duration start = Duration::zero();  // measured from the sim origin
+  Duration length = Duration::zero();
+  std::size_t phase_id = 0;  // stable label (e.g. Markov state index)
+  NoiseParams params;
+};
+
+// Piecewise-constant noise regime. Subclasses generate the timeline
+// lazily (transfers can run for simulated minutes); generation order is
+// fixed by the dedicated RNG stream, never by query order.
+class PiecewiseNoise : public NoiseModel {
+ public:
+  const NoiseParams& params_at(TimePoint now) const override;
+  std::size_t phase_at(TimePoint now) const override;
+  bool stationary() const override { return false; }
+
+  // The timeline generated so far (tests / introspection).
+  const std::vector<NoisePhase>& phases() const { return phases_; }
+
+ protected:
+  explicit PiecewiseNoise(std::uint64_t seed);
+
+  // Appends the phase starting at `start`; must return positive length.
+  virtual NoisePhase next_phase(Rng& rng, Duration start) = 0;
+
+ private:
+  const NoisePhase& phase_covering(TimePoint now) const;
+  mutable std::vector<NoisePhase> phases_;
+  mutable Duration horizon_ = Duration::zero();
+  mutable Rng rng_;
+};
+
+// --- the three processes ----------------------------------------------
+
+// Markov-modulated load: the host hops between discrete load states
+// (e.g. quiet / busy / thrashing), dwelling an exponential time in
+// each, then moving to a uniformly chosen *other* state.
+struct MarkovSpec {
+  std::vector<NoiseParams> states;   // >= 2; index is the phase id
+  std::vector<Duration> mean_dwell;  // one per state
+};
+
+class MarkovNoise final : public PiecewiseNoise {
+ public:
+  MarkovNoise(MarkovSpec spec, std::uint64_t seed);
+  std::string describe() const override;
+
+ protected:
+  NoisePhase next_phase(Rng& rng, Duration start) override;
+
+ private:
+  MarkovSpec spec_;
+  std::size_t state_ = 0;
+};
+
+// Phased noisy neighbor: a co-tenant with a periodic duty cycle
+// (cron-like batch work). Deterministic period; the seed only rotates
+// the initial phase offset so replicate cells do not all start aligned.
+struct PhasedSpec {
+  NoiseParams quiet;
+  NoiseParams busy;
+  Duration quiet_len = Duration::us(200'000);
+  Duration busy_len = Duration::us(100'000);
+  bool randomize_offset = true;
+};
+
+class PhasedNoise final : public PiecewiseNoise {
+ public:
+  PhasedNoise(PhasedSpec spec, std::uint64_t seed);
+  std::string describe() const override;
+
+ protected:
+  NoisePhase next_phase(Rng& rng, Duration start) override;
+
+ private:
+  PhasedSpec spec_;
+  bool busy_next_ = false;
+  bool emitted_first_ = false;
+};
+
+// Migration / snapshot stalls: rare, long whole-host pauses (live
+// migration pre-copy, snapshot quiesce) where every operation crawls.
+// Exponential gaps between stalls, uniform stall lengths.
+struct StallSpec {
+  NoiseParams base;
+  Duration mean_gap = Duration::us(400'000);
+  Duration stall_min = Duration::us(8'000);
+  Duration stall_max = Duration::us(40'000);
+  double stall_load = 12.0;  // scale_load factor during the stall
+};
+
+class StallNoise final : public PiecewiseNoise {
+ public:
+  StallNoise(StallSpec spec, std::uint64_t seed);
+  std::string describe() const override;
+
+ protected:
+  NoisePhase next_phase(Rng& rng, Duration start) override;
+
+ private:
+  StallSpec spec_;
+  NoiseParams stalled_;  // precomputed scale_load(base, stall_load)
+  bool stall_next_ = false;
+};
+
+// One-shot regime shift: quiet until `shift_at`, then a heavier regime
+// forever. The sharpest drift case — what the drift-aware link must
+// survive (bench/ablation_scenarios).
+struct ShiftSpec {
+  NoiseParams before;
+  NoiseParams after;
+  Duration shift_at = Duration::us(350'000);
+};
+
+class ShiftNoise final : public PiecewiseNoise {
+ public:
+  ShiftNoise(ShiftSpec spec, std::uint64_t seed);
+  std::string describe() const override;
+
+ protected:
+  NoisePhase next_phase(Rng& rng, Duration start) override;
+
+ private:
+  ShiftSpec spec_;
+  bool shifted_ = false;
+};
+
+// --- declarative regime spec (what a scenario carries) -----------------
+
+// A buildable description of the regime: the scenario library stores
+// one of these; the experiment env instantiates it with the cell seed.
+struct NoiseSpec {
+  enum class Regime { stationary, markov, phased, stalls, shift };
+  Regime regime = Regime::stationary;
+
+  // Load factor of the elevated state relative to the scenario's base
+  // params (scale_load); ignored for stationary.
+  double busy_load = 4.0;
+  // Markov: mean dwell per state (quiet, busy). Phased: the duty cycle.
+  // Stalls: quiet_len = mean gap, busy_len = max stall. Shift: quiet_len
+  // = the shift instant.
+  Duration quiet_len = Duration::us(200'000);
+  Duration busy_len = Duration::us(100'000);
+};
+
+const char* to_string(NoiseSpec::Regime r);
+
+// Instantiates the regime over `base` with a dedicated RNG stream
+// derived from `seed` (decorrelated from every process stream).
+std::shared_ptr<const NoiseModel> make_noise_model(const NoiseSpec& spec,
+                                                   const NoiseParams& base,
+                                                   std::uint64_t seed);
+
+}  // namespace mes::sim

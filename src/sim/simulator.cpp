@@ -41,11 +41,19 @@ Simulator::~Simulator()
   }
 }
 
+void Simulator::push_event(Event ev)
+{
+  if (ev.at < now_) {
+    throw std::logic_error{"Simulator::call_at: time in the past"};
+  }
+  ev.seq = next_seq_++;
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+}
+
 void Simulator::call_at(TimePoint t, std::function<void()> fn)
 {
-  if (t < now_) throw std::logic_error{"Simulator::call_at: time in the past"};
-  queue_.push_back(Event{t, next_seq_++, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+  push_event(Event{t, 0, nullptr, std::move(fn)});
 }
 
 Simulator::Event Simulator::pop_next_event()
@@ -86,14 +94,17 @@ void Simulator::schedule_resume(std::coroutine_handle<> h, Duration after)
     });
     return;
   }
-  call_after(after, [h] { h.resume(); });
+  if (after.is_negative()) {
+    throw std::logic_error{"Simulator::call_after: negative delay"};
+  }
+  push_event(Event{now_ + after, 0, h, nullptr});
 }
 
 void Simulator::spawn(Proc proc, std::string name)
 {
   auto handle = proc.release();  // the simulator now owns the frame
   roots_.push_back(Root{handle, std::move(name)});
-  call_after(Duration::zero(), [handle] { handle.resume(); });
+  push_event(Event{now_, 0, handle, nullptr});
 }
 
 RunResult Simulator::run(std::uint64_t max_events)
@@ -123,7 +134,11 @@ RunResult Simulator::run(std::uint64_t max_events)
       std::fprintf(stderr, "  [ev seq=%llu t=%.3fus]\n",
                    (unsigned long long)ev.seq, ev.at.to_us());
     }
-    ev.fn();
+    if (ev.resume) {
+      ev.resume.resume();
+    } else {
+      ev.fn();
+    }
     ++result.events_processed;
   }
   result.end_time = now_;

@@ -77,10 +77,15 @@ class Simulator {
   static constexpr std::uint64_t kDefaultMaxEvents = 500'000'000ULL;
 
  private:
+  // Coroutine resumes are the hot path — virtually every simulated
+  // event is one. They carry the bare handle instead of a type-erased
+  // std::function, so pushing/popping a resume never constructs,
+  // moves or destroys a callable wrapper.
   struct Event {
     TimePoint at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::coroutine_handle<> resume;  // non-null: resume fast path
+    std::function<void()> fn;        // general callbacks otherwise
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const
@@ -95,6 +100,7 @@ class Simulator {
   };
 
   void rethrow_root_exception();
+  void push_event(Event ev);
   Event pop_next_event();
 
   TimePoint now_;

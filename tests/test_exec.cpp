@@ -14,11 +14,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "analysis/sweep.h"
 #include "exec/campaign.h"
 #include "exec/env.h"
 #include "exec/seed.h"
 #include "exec/thread_pool.h"
+#include "scenario/registry.h"
 
 namespace mes {
 namespace {
@@ -28,8 +31,8 @@ exec::ExperimentPlan small_plan()
   exec::ExperimentPlan plan;
   plan.mechanisms = {Mechanism::event, Mechanism::flock,
                      Mechanism::semaphore};
-  plan.scenarios = {{Scenario::local, HypervisorType::none},
-                    {Scenario::cross_sandbox, HypervisorType::none}};
+  plan.scenarios = {{Scenario::local, HypervisorType::none, {}},
+                    {Scenario::cross_sandbox, HypervisorType::none, {}}};
   plan.repeats = 2;
   plan.seed_base = 0xCA4FA16;
   plan.payload_bits = 512;
@@ -73,9 +76,9 @@ TEST(Campaign, CellSeedsUniqueOverDenseGrid)
   plan.mechanisms = {Mechanism::flock, Mechanism::file_lock_ex,
                      Mechanism::mutex, Mechanism::semaphore,
                      Mechanism::event, Mechanism::waitable_timer};
-  plan.scenarios = {{Scenario::local, HypervisorType::none},
-                    {Scenario::cross_sandbox, HypervisorType::none},
-                    {Scenario::cross_vm, HypervisorType::type1}};
+  plan.scenarios = {{Scenario::local, HypervisorType::none, {}},
+                    {Scenario::cross_sandbox, HypervisorType::none, {}},
+                    {Scenario::cross_vm, HypervisorType::type1, {}}};
   plan.timings.clear();
   for (int t = 0; t < 8; ++t) plan.timings.push_back({std::to_string(t), {}});
   plan.repeats = 16;
@@ -108,7 +111,7 @@ TEST(Campaign, ExpandResolvesPaperTimesetPerCell)
 {
   exec::ExperimentPlan plan;
   plan.mechanisms = {Mechanism::event, Mechanism::flock};
-  plan.scenarios = {{Scenario::local, HypervisorType::none}};
+  plan.scenarios = {{Scenario::local, HypervisorType::none, {}}};
   const auto cells = exec::expand(plan);
   ASSERT_EQ(cells.size(), 2u);
   const TimingConfig event_t = paper_timeset(Mechanism::event, Scenario::local);
@@ -141,7 +144,7 @@ TEST(Campaign, AggregatesPointAndMarginalStats)
 {
   exec::ExperimentPlan plan;
   plan.mechanisms = {Mechanism::event, Mechanism::flock};
-  plan.scenarios = {{Scenario::local, HypervisorType::none}};
+  plan.scenarios = {{Scenario::local, HypervisorType::none, {}}};
   plan.repeats = 2;
   plan.payload_bits = 256;
   const exec::CampaignResult result = exec::CampaignRunner{1}.run(plan);
@@ -237,13 +240,138 @@ TEST(Campaign, ProtocolAxisExpandsAndLabels)
   EXPECT_DOUBLE_EQ(rep.ber, 0.0);
 }
 
+// --- the scenario registry as a campaign axis --------------------------
+
+TEST(Campaign, UnknownScenarioNameFailsAtExpansion)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  plan.scenarios = {exec::named_scenario("no-such-scenario")};
+  EXPECT_THROW(exec::expand(plan), std::invalid_argument);
+}
+
+TEST(Campaign, AliasedScenarioNamesCanonicalizeInLabelsAndConfigs)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  // "noisy" is an alias; cells must report the canonical key.
+  plan.scenarios = {exec::named_scenario("noisy")};
+  const auto cells = exec::expand(plan);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].config.scenario_name, "noisy-local");
+  EXPECT_EQ(cells[0].config.scenario, Scenario::local);  // anchor class
+  EXPECT_NE(cells[0].label.find("noisy-local"), std::string::npos);
+}
+
+// The regression lock for the refactor: the three legacy scenarios,
+// addressed through the registry by name, must reproduce the CSV/JSON
+// a pre-registry build emitted for the identical plan — byte for byte
+// (fixtures generated at the last enum-based commit; see tests/golden).
+exec::ExperimentPlan golden_plan()
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::flock, Mechanism::file_lock_ex,
+                     Mechanism::mutex, Mechanism::semaphore,
+                     Mechanism::event, Mechanism::waitable_timer};
+  plan.scenarios = {exec::named_scenario("local"),
+                    exec::named_scenario("cross-sandbox"),
+                    exec::named_scenario("cross-VM", HypervisorType::type1)};
+  plan.repeats = 2;
+  plan.seed_base = 0x1E6AC7;
+  plan.payload_bits = 512;
+  return plan;
+}
+
+std::string read_golden(const char* name)
+{
+  std::ifstream in{std::string{MES_GOLDEN_DIR} + "/" + name,
+                   std::ios::binary};
+  EXPECT_TRUE(in.good()) << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Campaign, LegacyScenariosThroughRegistryMatchGoldenBytes)
+{
+  const exec::CampaignResult result =
+      exec::CampaignRunner{1}.run(golden_plan());
+  std::ostringstream csv, json;
+  exec::write_csv(csv, result);
+  exec::write_json(json, result);
+  EXPECT_EQ(csv.str(), read_golden("legacy_campaign.csv"));
+  EXPECT_EQ(json.str(), read_golden("legacy_campaign.json"));
+}
+
+// Determinism under *non-stationary* noise: the regime timeline derives
+// from the cell seed alone, so worker interleaving must stay invisible
+// even when the noise itself is a stochastic process.
+TEST(Emission, CsvIsByteIdenticalAcrossJobCountsUnderNonStationaryNoise)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock};
+  plan.scenarios = {exec::named_scenario("noisy-local"),
+                    exec::named_scenario("bursty-sandbox")};
+  plan.repeats = 2;
+  plan.seed_base = 0x405E5;
+  plan.payload_bits = 256;
+
+  const exec::CampaignResult serial = exec::CampaignRunner{1}.run(plan);
+  const exec::CampaignResult parallel = exec::CampaignRunner{4}.run(plan);
+  std::ostringstream serial_csv, parallel_csv, serial_json, parallel_json;
+  exec::write_csv(serial_csv, serial);
+  exec::write_csv(parallel_csv, parallel);
+  exec::write_json(serial_json, serial);
+  exec::write_json(parallel_json, parallel);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+}
+
+std::vector<std::string> split_csv_row(const std::string& line,
+                                       std::size_t fields);
+
+TEST(Emission, CsvCarriesScenarioNamesAndRoundTrips)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event};
+  plan.scenarios = {exec::named_scenario("quiet-local"),
+                    exec::named_scenario("noisy-local")};
+  plan.payload_bits = 256;
+  const exec::CampaignResult result = exec::CampaignRunner{1}.run(plan);
+
+  std::ostringstream out;
+  exec::write_csv(out, result);
+  std::istringstream in{out.str()};
+  std::string header, line;
+  ASSERT_TRUE(std::getline(in, header));
+  std::size_t row = 0;
+  while (std::getline(in, line)) {
+    const auto fields = split_csv_row(line, 23);
+    ASSERT_EQ(fields.size(), 23u);
+    EXPECT_EQ(fields[2], result.cells[row].cell.config.scenario_name);
+    ++row;
+  }
+  EXPECT_EQ(row, 2u);
+  // The scenario marginals group by registry name.
+  ASSERT_EQ(result.by_scenario.size(), 2u);
+  EXPECT_EQ(result.by_scenario[0].key, "quiet-local");
+  EXPECT_EQ(result.by_scenario[1].key, "noisy-local");
+
+  std::ostringstream json;
+  exec::write_json(json, result);
+  EXPECT_NE(json.str().find("\"scenario\":\"quiet-local\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"scenario\":\"noisy-local\""),
+            std::string::npos);
+}
+
 // --- emission round-trips ---------------------------------------------
 
 exec::ExperimentPlan emission_plan()
 {
   exec::ExperimentPlan plan;
   plan.mechanisms = {Mechanism::event, Mechanism::flock};
-  plan.scenarios = {{Scenario::local, HypervisorType::none}};
+  plan.scenarios = {{Scenario::local, HypervisorType::none, {}}};
   plan.protocols = {{"fixed", ProtocolMode::fixed},
                     {"arq", ProtocolMode::arq}};
   plan.repeats = 2;

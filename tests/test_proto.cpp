@@ -583,5 +583,126 @@ TEST(BondSession, AdapterReportsAggregateGoodputAndPairs)
   EXPECT_GT(rep.throughput_bps, 0.0);
 }
 
+// --- drift detection + online recalibration ----------------------------
+
+TEST(Drift, OnRoundHookSeesEveryRoundWithItsOutcome)
+{
+  Rng rng{99};
+  proto::ArqOptions opt;
+  opt.chunk_bits = 64;
+  std::size_t calls = 0;
+  std::size_t advanced = 0;
+  opt.on_round = [&](std::size_t, std::size_t round, bool ok) {
+    ++calls;
+    if (ok) ++advanced;
+    EXPECT_LT(round, opt.max_rounds_per_frame);
+  };
+  Rng payload_rng{7};
+  const BitVec payload = BitVec::random(payload_rng, 256);
+  proto::ArqStats stats;
+  const auto got = proto::arq_deliver(payload, bsc(rng, 0.01), opt, &stats);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(calls, stats.frame_sends);
+  EXPECT_EQ(advanced, stats.frames);
+}
+
+// The drift case end-to-end on the regime-shift scenario: the quiet
+// host turns hostile at t=350ms, the calibrated multi-level classifier
+// goes stale, and only the drift-aware session survives. Mirrors
+// bench/ablation_scenarios at one seed so the property is gated in
+// tier 1, not just the bench.
+ExperimentConfig regime_shift_config()
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario_name = "regime-shift";
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.timing.symbol_bits = 2;
+  cfg.sync_bits = 16;
+  cfg.seed = 0x5CE7A210 + 0x3000;  // a bench seed whose stale link dies
+  return cfg;
+}
+
+TEST(Drift, AdaptiveSessionSurvivesARegimeShiftOnlyWithRecalibration)
+{
+  Rng payload_rng{0x5CE7A210 ^ 0xD21FULL};
+  const BitVec payload = BitVec::random(payload_rng, 4096);
+
+  proto::AdaptiveOptions with_drift;
+  const ChannelReport alive = proto::run_adaptive_transmission(
+      regime_shift_config(), payload, with_drift);
+  ASSERT_TRUE(alive.ok) << alive.failure_reason;
+  EXPECT_TRUE(alive.sync_ok);
+  EXPECT_DOUBLE_EQ(alive.ber, 0.0);
+  ASSERT_TRUE(alive.proto.has_value());
+  EXPECT_GE(alive.proto->drift_events, 1u);
+  EXPECT_GE(alive.proto->recalibrations, 1u);
+  EXPECT_GT(alive.proto->recovered_goodput_bps, 0.0);
+  // Both noise phases were observed and accounted.
+  ASSERT_GE(alive.proto->phases.size(), 2u);
+
+  proto::AdaptiveOptions frozen;
+  frozen.drift.enabled = false;
+  const ChannelReport dead = proto::run_adaptive_transmission(
+      regime_shift_config(), payload, frozen);
+  ASSERT_TRUE(dead.ok);
+  EXPECT_FALSE(dead.sync_ok);
+  EXPECT_EQ(dead.failure_reason, "ARQ: retransmit bound exhausted");
+  EXPECT_EQ(dead.proto->recalibrations, 0u);
+}
+
+TEST(Drift, MonitorStaysQuietUnderStationaryNoise)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.seed = 0xCA1F;
+  Rng payload_rng{3};
+  const BitVec payload = BitVec::random(payload_rng, 1024);
+  const ChannelReport rep =
+      proto::run_adaptive_transmission(cfg, payload, {});
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->drift_events, 0u);
+  EXPECT_EQ(rep.proto->recalibrations, 0u);
+}
+
+TEST(Drift, LinkRetuneAndProbeOperateOnTheLiveStack)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.seed = 0x11;
+
+  proto::Link link{cfg, cfg.timing,
+                   exec::initial_classifier_for(cfg), 8};
+  ASSERT_TRUE(link.error().empty()) << link.error();
+
+  Rng rng{5};
+  const BitVec pattern = BitVec::random(rng, 64);
+  const proto::Link::ProbeResult first = link.probe(pattern);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.tx_symbols.size(), first.latencies.size());
+  EXPECT_GT(first.elapsed, Duration::zero());
+
+  const proto::ProbeFit fit = proto::fit_probe(
+      first.tx_symbols, first.latencies, 2, first.elapsed);
+  ASSERT_TRUE(fit.usable);
+  EXPECT_GT(fit.margin, 0.0);
+
+  // Retune to half rate: a second probe runs measurably faster wire
+  // symbols at the new timing.
+  const TimingConfig slower = scale_timing(cfg.timing, 2.0);
+  link.retune(slower, fit.classifier);
+  EXPECT_EQ(link.timing().t1.count_ns(), slower.t1.count_ns());
+  const proto::Link::ProbeResult second = link.probe(pattern);
+  ASSERT_TRUE(second.ok);
+  EXPECT_GT(second.elapsed, first.elapsed);
+}
+
 }  // namespace
 }  // namespace mes

@@ -1,8 +1,14 @@
-// Scenario-profile tests: noise regimes and visibility topologies.
+// Scenario-profile tests: noise regimes, visibility topologies, and the
+// string-keyed registry of composable scenarios.
 #include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
 
 #include "core/config.h"
 #include "scenario/profile.h"
+#include "scenario/registry.h"
+#include "sim/noise_process.h"
 
 namespace mes {
 namespace {
@@ -79,6 +85,117 @@ TEST(Profile, NamesRender)
   EXPECT_STREQ(to_string(Scenario::cross_vm), "cross-VM");
   EXPECT_STREQ(to_string(HypervisorType::type1), "type-1");
   EXPECT_STREQ(to_string(HypervisorType::none), "none");
+}
+
+// --- the registry -----------------------------------------------------
+
+TEST(Registry, LibraryIsBigEnoughAndNamesAreUnique)
+{
+  const auto& lib = scenario::library();
+  EXPECT_GE(lib.size(), 8u);
+  std::size_t non_stationary = 0;
+  std::set<std::string> names;
+  for (const auto& def : lib) {
+    names.insert(def.name);
+    if (def.non_stationary) ++non_stationary;
+    // Every entry builds a working profile whose name matches its key.
+    const ScenarioProfile p = def.build(OsFlavor::windows,
+                                        HypervisorType::none);
+    EXPECT_EQ(p.name, def.name);
+    EXPECT_FALSE(p.layers.empty()) << def.name;
+  }
+  EXPECT_EQ(names.size(), lib.size());
+  EXPECT_GE(non_stationary, 3u);
+}
+
+TEST(Registry, UnknownNamesFailLoudly)
+{
+  EXPECT_EQ(scenario::find_scenario("no-such-scenario"), nullptr);
+  try {
+    scenario::scenario_or_throw("no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message lists the known names so the CLI error is actionable.
+    EXPECT_NE(std::string{e.what()}.find("local"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("no-such-scenario"),
+              std::string::npos);
+  }
+}
+
+TEST(Registry, LegacyNamesAndAliasesResolveToCanonicalEntries)
+{
+  // The enum strings are canonical keys.
+  for (const Scenario s : {Scenario::local, Scenario::cross_sandbox,
+                           Scenario::cross_vm}) {
+    const scenario::ScenarioDef* def = scenario::find_scenario(to_string(s));
+    ASSERT_NE(def, nullptr);
+    EXPECT_EQ(def->legacy, s);
+  }
+  // Historical CLI spellings stay valid as aliases.
+  EXPECT_EQ(scenario::find_scenario("sandbox")->name, "cross-sandbox");
+  EXPECT_EQ(scenario::find_scenario("vm")->name, "cross-VM");
+  EXPECT_EQ(scenario::find_scenario("cross_vm")->name, "cross-VM");
+  EXPECT_EQ(scenario::find_scenario("noisy")->name, "noisy-local");
+}
+
+TEST(Registry, LegacyProfilesAreIdenticalThroughTheRegistry)
+{
+  // make_profile delegates to the registry; the constants must be the
+  // calibrated ones (regression-locked end-to-end by the golden
+  // campaign test in test_exec).
+  const ScenarioProfile direct = make_profile(Scenario::cross_sandbox,
+                                              OsFlavor::windows);
+  const ScenarioProfile named =
+      scenario::scenario_or_throw("cross-sandbox")
+          .build(OsFlavor::windows, HypervisorType::none);
+  EXPECT_EQ(direct.noise.op_cost_base.count_ns(),
+            named.noise.op_cost_base.count_ns());
+  EXPECT_EQ(direct.noise.block_rate_hz, named.noise.block_rate_hz);
+  EXPECT_EQ(direct.topology.trojan_ns, named.topology.trojan_ns);
+  EXPECT_DOUBLE_EQ(named.noise.op_cost_base.to_us(), 4.0);
+  EXPECT_DOUBLE_EQ(named.noise.notify_path_base.to_us(), 4.0);
+}
+
+TEST(Registry, LayersComposeAdditively)
+{
+  // A sandbox nested inside a VM pays both boundaries on top of the
+  // same base — strictly more than either alone.
+  const ScenarioProfile vm = make_profile(Scenario::cross_vm,
+                                          OsFlavor::windows);
+  const ScenarioProfile nested =
+      scenario::scenario_or_throw("container-in-vm")
+          .build(OsFlavor::windows, HypervisorType::none);
+  EXPECT_GT(nested.noise.op_cost_base, vm.noise.op_cost_base);
+  EXPECT_GT(nested.noise.notify_path_base, vm.noise.notify_path_base);
+  EXPECT_GT(nested.noise.block_rate_hz, vm.noise.block_rate_hz);
+  // Both boundaries show in the topology: split object namespaces from
+  // the VM, and the Trojan renamed again by the sandbox.
+  EXPECT_FALSE(nested.topology.shared_object_namespace);
+  EXPECT_NE(nested.topology.trojan_ns, vm.topology.trojan_ns);
+  ASSERT_EQ(nested.layers.size(), 2u);
+  EXPECT_EQ(nested.layers[0], "vm(type-1)");
+  EXPECT_EQ(nested.layers[1], "sandbox");
+}
+
+TEST(Registry, SharedVolumeOpensOnlyTheFileChannel)
+{
+  const ScenarioProfile p = scenario::scenario_or_throw("shared-volume")
+                                .build(OsFlavor::windows,
+                                       HypervisorType::none);
+  EXPECT_FALSE(p.topology.shared_object_namespace);
+  EXPECT_TRUE(p.topology.shared_file_volume);
+  EXPECT_EQ(p.hypervisor, HypervisorType::type2);
+}
+
+TEST(Registry, NoiseModelsMatchTheDeclaredRegime)
+{
+  const auto stationary = make_profile(Scenario::local, OsFlavor::windows)
+                              .make_noise(1);
+  EXPECT_TRUE(stationary->stationary());
+  const auto phased = scenario::scenario_or_throw("noisy-local")
+                          .build(OsFlavor::windows, HypervisorType::none)
+                          .make_noise(1);
+  EXPECT_FALSE(phased->stationary());
 }
 
 TEST(Mechanism, NamesMatchThePaper)

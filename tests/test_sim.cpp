@@ -1,11 +1,13 @@
 // Unit tests for the discrete-event simulator kernel.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/barrier.h"
 #include "sim/noise.h"
+#include "sim/noise_process.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 #include "sim/wait_queue.h"
@@ -295,10 +297,10 @@ TEST(Noise, SleepRespectsFloor)
   p.sleep_overshoot_median = Duration::us(2);
   p.sleep_overshoot_sigma = 0.2;
   p.block_rate_hz = 0.0;
-  NoiseModel model{p};
+  StationaryNoise model{p};
   Rng rng{7};
   for (int i = 0; i < 100; ++i) {
-    const Duration d = model.sleep_time(rng, Duration::us(10));
+    const Duration d = model.sleep_time(rng, TimePoint::origin(), Duration::us(10));
     EXPECT_GE(d, Duration::us(58));
   }
 }
@@ -307,13 +309,13 @@ TEST(Noise, InterferenceScalesWithWindow)
 {
   NoiseParams p;
   p.block_rate_hz = 20000.0;  // high rate so the sample is dense
-  NoiseModel model{p};
+  StationaryNoise model{p};
   Rng rng{11};
   double short_total = 0.0;
   double long_total = 0.0;
   for (int i = 0; i < 400; ++i) {
-    short_total += model.interference_over(rng, Duration::us(50)).to_us();
-    long_total += model.interference_over(rng, Duration::us(500)).to_us();
+    short_total += model.interference_over(rng, TimePoint::origin(), Duration::us(50)).to_us();
+    long_total += model.interference_over(rng, TimePoint::origin(), Duration::us(500)).to_us();
   }
   EXPECT_GT(long_total, short_total * 4);
 }
@@ -322,10 +324,10 @@ TEST(Noise, PostWaitPenaltyZeroBelowKnee)
 {
   NoiseParams p;
   p.penalty_knee = Duration::us(200);
-  NoiseModel model{p};
+  StationaryNoise model{p};
   Rng rng{3};
   for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(model.post_wait_penalty(rng, Duration::us(150)).count_ns(), 0);
+    EXPECT_EQ(model.post_wait_penalty(rng, TimePoint::origin(), Duration::us(150)).count_ns(), 0);
   }
 }
 
@@ -334,9 +336,9 @@ TEST(Noise, PostWaitPenaltyAppearsAboveKnee)
   NoiseParams p;
   p.penalty_knee = Duration::us(200);
   p.penalty_ramp_per_us = 1.0;  // always fires above the knee
-  NoiseModel model{p};
+  StationaryNoise model{p};
   Rng rng{3};
-  const Duration penalty = model.post_wait_penalty(rng, Duration::us(400));
+  const Duration penalty = model.post_wait_penalty(rng, TimePoint::origin(), Duration::us(400));
   EXPECT_GT(penalty, Duration::zero());
 }
 
@@ -346,21 +348,145 @@ TEST(Noise, OpCostNeverBelowQuarterBase)
   p.op_cost_base = Duration::us(10);
   p.op_cost_jitter = Duration::us(50);  // absurd jitter to stress the floor
   p.block_rate_hz = 0.0;
-  NoiseModel model{p};
+  StationaryNoise model{p};
   Rng rng{5};
   for (int i = 0; i < 500; ++i) {
-    EXPECT_GE(model.op_cost(rng), Duration::us(2.5));
+    EXPECT_GE(model.op_cost(rng, TimePoint::origin()), Duration::us(2.5));
   }
+}
+
+// --- non-stationary noise processes ------------------------------------
+
+NoiseSpec phased_spec()
+{
+  NoiseSpec spec;
+  spec.regime = NoiseSpec::Regime::phased;
+  spec.busy_load = 4.0;
+  spec.quiet_len = Duration::us(50'000);
+  spec.busy_len = Duration::us(25'000);
+  return spec;
+}
+
+TEST(NoiseProcess, TimelineIsDeterministicAndQueryOrderIndependent)
+{
+  const NoiseParams base;
+  const auto a = make_noise_model(phased_spec(), base, 42);
+  const auto b = make_noise_model(phased_spec(), base, 42);
+
+  // b queried forward, a queried in a scattered order: phase ids and
+  // parameter sets must agree at every instant regardless.
+  std::vector<double> ts = {400'000, 10, 90'000, 250'000, 1'000, 175'000};
+  for (const double t : ts) {
+    const TimePoint at = TimePoint::origin() + Duration::us(t);
+    (void)a->phase_at(at);
+  }
+  for (double t = 0; t < 500'000; t += 7'000) {
+    const TimePoint at = TimePoint::origin() + Duration::us(t);
+    EXPECT_EQ(a->phase_at(at), b->phase_at(at)) << t;
+    EXPECT_EQ(a->params_at(at).block_rate_hz, b->params_at(at).block_rate_hz)
+        << t;
+  }
+}
+
+TEST(NoiseProcess, DifferentSeedsRotateThePhase)
+{
+  const NoiseParams base;
+  const auto a = make_noise_model(phased_spec(), base, 1);
+  const auto b = make_noise_model(phased_spec(), base, 2);
+  std::size_t differs = 0;
+  for (double t = 0; t < 300'000; t += 5'000) {
+    const TimePoint at = TimePoint::origin() + Duration::us(t);
+    if (a->phase_at(at) != b->phase_at(at)) ++differs;
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(NoiseProcess, PhasedAlternatesAndElevatesLoad)
+{
+  const NoiseParams base;
+  const auto model = make_noise_model(phased_spec(), base, 9);
+  bool saw_quiet = false;
+  bool saw_busy = false;
+  for (double t = 0; t < 300'000; t += 1'000) {
+    const TimePoint at = TimePoint::origin() + Duration::us(t);
+    const std::size_t phase = model->phase_at(at);
+    if (phase == 0) {
+      saw_quiet = true;
+      EXPECT_EQ(model->params_at(at).block_rate_hz, base.block_rate_hz);
+    } else {
+      saw_busy = true;
+      EXPECT_GT(model->params_at(at).block_rate_hz, base.block_rate_hz);
+    }
+  }
+  EXPECT_TRUE(saw_quiet);
+  EXPECT_TRUE(saw_busy);
+}
+
+TEST(NoiseProcess, ShiftFlipsExactlyOnceAtTheConfiguredInstant)
+{
+  NoiseSpec spec;
+  spec.regime = NoiseSpec::Regime::shift;
+  spec.busy_load = 2.0;
+  spec.quiet_len = Duration::us(100'000);
+  const NoiseParams base;
+  const auto model = make_noise_model(spec, base, 5);
+  EXPECT_EQ(model->phase_at(TimePoint::origin() + Duration::us(99'999)), 0u);
+  EXPECT_EQ(model->phase_at(TimePoint::origin() + Duration::us(100'001)), 1u);
+  // And it never goes back.
+  EXPECT_EQ(model->phase_at(TimePoint::origin() + Duration::us(5e9)), 1u);
+}
+
+TEST(NoiseProcess, MarkovDwellsThenHops)
+{
+  NoiseSpec spec;
+  spec.regime = NoiseSpec::Regime::markov;
+  spec.busy_load = 3.0;
+  spec.quiet_len = Duration::us(20'000);
+  spec.busy_len = Duration::us(10'000);
+  const NoiseParams base;
+  const auto model = make_noise_model(spec, base, 77);
+  std::set<std::size_t> seen;
+  std::size_t transitions = 0;
+  std::size_t last = model->phase_at(TimePoint::origin());
+  for (double t = 0; t < 500'000; t += 500) {
+    const std::size_t phase =
+        model->phase_at(TimePoint::origin() + Duration::us(t));
+    seen.insert(phase);
+    if (phase != last) ++transitions;
+    last = phase;
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_GT(transitions, 3u);
+}
+
+TEST(NoiseProcess, ScaleLoadIsMonotoneInTheLoadFactor)
+{
+  const NoiseParams base;
+  const NoiseParams busy = scale_load(base, 4.0);
+  EXPECT_GT(busy.block_rate_hz, base.block_rate_hz);
+  EXPECT_GT(busy.op_cost_base, base.op_cost_base);
+  EXPECT_GT(busy.corruption_rate, base.corruption_rate);
+  EXPECT_EQ(scale_load(base, 1.0).block_rate_hz, base.block_rate_hz);
+}
+
+TEST(NoiseProcess, ShiftPathsMovesMediansNotTails)
+{
+  const NoiseParams base;
+  const NoiseParams shifted = shift_paths(base, 2.0);
+  EXPECT_GT(shifted.wake_latency_median, base.wake_latency_median);
+  EXPECT_GT(shifted.notify_path_base, base.notify_path_base);
+  EXPECT_DOUBLE_EQ(shifted.wake_latency_sigma, base.wake_latency_sigma);
+  EXPECT_DOUBLE_EQ(shifted.corruption_rate, base.corruption_rate);
 }
 
 TEST(Simulator, DeterministicAcrossRuns)
 {
   auto run_once = [] {
     Simulator sim{1234};
-    NoiseModel model{NoiseParams{}};
+    StationaryNoise model{NoiseParams{}};
     std::vector<std::int64_t> samples;
     for (int i = 0; i < 16; ++i) {
-      samples.push_back(model.op_cost(sim.rng()).count_ns());
+      samples.push_back(model.op_cost(sim.rng(), TimePoint::origin()).count_ns());
     }
     return samples;
   };

@@ -3,11 +3,13 @@
 //   mes_cli run      --mechanism event --scenario local --bits 20000
 //   mes_cli run      --mechanism flock --t1 180 --t0 60 --seed 9 --fec
 //   mes_cli sweep    --mechanism flock --param t1 --from 110 --to 320 --step 15
-//   mes_cli campaign --mechanisms paper --scenarios local,sandbox --seeds 5
+//   mes_cli campaign --mechanisms paper --scenarios local,noisy-local --seeds 5
 //   mes_cli text     --mechanism event --message "hello covert world"
 //   mes_cli list
+//   mes_cli list-scenarios
 //
 // Everything the bench harness measures, reachable without recompiling.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +27,7 @@
 #include "exec/campaign.h"
 #include "proto/adaptive.h"
 #include "proto/bond.h"
+#include "scenario/registry.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -47,20 +50,17 @@ const std::map<std::string, Mechanism>& mechanism_names()
   return names;
 }
 
-const std::map<std::string, Scenario>& scenario_names()
+// Scenario flags resolve through the registry: any canonical name or
+// alias from scenario/registry.h ("local", "vm", "noisy-local", ...).
+const scenario::ScenarioDef* resolve_scenario(const std::string& name)
 {
-  static const std::map<std::string, Scenario> names = {
-      {"local", Scenario::local},
-      {"sandbox", Scenario::cross_sandbox},
-      {"vm", Scenario::cross_vm},
-  };
-  return names;
+  return scenario::find_scenario(name);
 }
 
 struct Options {
   std::string command;
   Mechanism mechanism = Mechanism::event;
-  Scenario scenario = Scenario::local;
+  std::string scenario = "local";  // registry key or alias
   HypervisorType hypervisor = HypervisorType::none;
   std::size_t bits = 4096;
   std::uint64_t seed = 1;
@@ -88,10 +88,13 @@ struct Options {
 void usage()
 {
   std::printf(
-      "usage: mes_cli <run|sweep|campaign|text|list> [options]\n"
+      "usage: mes_cli <run|sweep|campaign|text|list|list-scenarios> "
+      "[options]\n"
       "  --mechanism M   flock|filelockex|mutex|semaphore|event|timer|"
       "signal|flock-sh\n"
-      "  --scenario S    local|sandbox|vm     --hypervisor type1|type2\n"
+      "  --scenario S    any scenario-library name (see list-scenarios);\n"
+      "                  local|sandbox|vm still work as aliases\n"
+      "  --hypervisor H  type1|type2 (hypervisor-sensitive scenarios)\n"
       "  --bits N        payload bits (run/sweep/campaign cells)\n"
       "  --seed N        RNG seed             --width W   symbol bits\n"
       "  --t1 US --t0 US --interval US        timing overrides\n"
@@ -110,7 +113,8 @@ void usage()
       "campaign options:\n"
       "  --mechanisms L  paper|all|comma list (default paper: the six "
       "Table IV MESMs)\n"
-      "  --scenarios L   comma list of local|sandbox|vm (default local)\n"
+      "  --scenarios L   comma list of scenario-library names "
+      "(default local)\n"
       "  --protocols L   comma list of fixed|arq|adaptive (default fixed)\n"
       "  --pairs L       comma list of bonded pair counts, e.g. 1,4,8\n"
       "                  (cells with N > 1 stripe over a bonded link)\n"
@@ -134,8 +138,13 @@ bool parse(int argc, char** argv, Options& opt)
       opt.mechanism = mechanism_names().at(v);
     } else if (arg == "--scenario") {
       const char* v = next();
-      if (!v || !scenario_names().contains(v)) return false;
-      opt.scenario = scenario_names().at(v);
+      if (!v) return false;
+      if (resolve_scenario(v) == nullptr) {
+        std::fprintf(stderr, "unknown scenario %s (try list-scenarios)\n",
+                     v);
+        return false;
+      }
+      opt.scenario = v;
     } else if (arg == "--hypervisor") {
       const char* v = next();
       if (!v) return false;
@@ -243,9 +252,11 @@ ExperimentConfig config_from(const Options& opt)
 {
   ExperimentConfig cfg;
   cfg.mechanism = opt.mechanism;
-  cfg.scenario = opt.scenario;
+  const scenario::ScenarioDef& def = *resolve_scenario(opt.scenario);
+  cfg.scenario = def.legacy;         // the Timeset anchor
+  cfg.scenario_name = def.name;
   cfg.hypervisor = opt.hypervisor;
-  cfg.timing = paper_timeset(opt.mechanism, opt.scenario);
+  cfg.timing = paper_timeset(opt.mechanism, cfg.scenario);
   if (opt.t1 >= 0) cfg.timing.t1 = Duration::us(opt.t1);
   if (opt.t0 >= 0) cfg.timing.t0 = Duration::us(opt.t0);
   if (opt.interval >= 0) cfg.timing.interval = Duration::us(opt.interval);
@@ -461,17 +472,21 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
 
   plan.scenarios.clear();
   for (const std::string& name : split_list(opt.scenarios)) {
-    if (!scenario_names().contains(name)) {
-      std::fprintf(stderr, "unknown scenario %s\n", name.c_str());
+    const scenario::ScenarioDef* def = resolve_scenario(name);
+    if (def == nullptr) {
+      std::fprintf(stderr, "unknown scenario %s (try list-scenarios)\n",
+                   name.c_str());
       return false;
     }
-    const Scenario s = scenario_names().at(name);
-    plan.scenarios.push_back(
-        {s, s == Scenario::cross_vm
-                ? (opt.hypervisor == HypervisorType::none
-                       ? HypervisorType::type1
-                       : opt.hypervisor)
-                : HypervisorType::none});
+    // The hypervisor flag only matters for hypervisor-sensitive
+    // scenarios; the legacy cross-VM default (type-1) is preserved so
+    // historical invocations keep their exact labels and seeds.
+    plan.scenarios.push_back(exec::named_scenario(
+        def->name, def->hypervisor_sensitive
+                       ? (opt.hypervisor == HypervisorType::none
+                              ? HypervisorType::type1
+                              : opt.hypervisor)
+                       : HypervisorType::none));
   }
   if (plan.mechanisms.empty() || plan.scenarios.empty()) {
     std::fprintf(stderr, "campaign needs at least one mechanism and one "
@@ -629,6 +644,40 @@ int cmd_text(const Options& opt)
   return rounded.report.ok ? 0 : 1;
 }
 
+int cmd_list_scenarios()
+{
+  TextTable table({"scenario", "layers", "noise regime", "anchor",
+                   "aliases"});
+  for (const scenario::ScenarioDef& def : scenario::library()) {
+    const ScenarioProfile profile =
+        def.build(OsFlavor::windows, HypervisorType::none);
+    std::string layers;
+    for (const std::string& layer : profile.layers) {
+      if (!layers.empty()) layers += " + ";
+      layers += layer;
+    }
+    std::string aliases;
+    for (const std::string& alias : def.aliases) {
+      if (!aliases.empty()) aliases += ",";
+      aliases += alias;
+    }
+    table.add_row({def.name, layers,
+                   profile.make_noise(1)->describe(),
+                   to_string(def.legacy), aliases});
+  }
+  table.print();
+  std::printf("%zu scenarios (%zu non-stationary); campaign axis: "
+              "--scenarios name,name,...\n",
+              scenario::library().size(),
+              static_cast<std::size_t>(
+                  std::count_if(scenario::library().begin(),
+                                scenario::library().end(),
+                                [](const scenario::ScenarioDef& d) {
+                                  return d.non_stationary;
+                                })));
+  return 0;
+}
+
 int cmd_list()
 {
   TextTable table({"mechanism", "class", "OS", "local Timeset"});
@@ -657,6 +706,7 @@ int main(int argc, char** argv)
   if (opt.command == "campaign") return cmd_campaign(opt);
   if (opt.command == "text") return cmd_text(opt);
   if (opt.command == "list") return cmd_list();
+  if (opt.command == "list-scenarios") return cmd_list_scenarios();
   usage();
   return 2;
 }
