@@ -6,23 +6,35 @@
 #pragma once
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "api/session.h"
+#include "api/spec.h"
 #include "core/runner.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace mes::bench {
 
-// One full framed transmission of `bits` random payload bits.
+// One full framed transmission of `bits` random payload bits, through
+// the public façade (the session's first transfer runs on cfg.seed
+// exactly, so tables stay byte-identical to the direct runner call).
 inline ChannelReport run_random(ExperimentConfig cfg, std::size_t bits)
 {
   Rng payload_rng{cfg.seed ^ 0xabcdef12345ULL};
   const std::size_t width = cfg.timing.symbol_bits;
   const std::size_t n = bits - bits % (width == 0 ? 1 : width);
   const BitVec payload = BitVec::random(payload_rng, n);
-  return run_transmission(cfg, payload);
+  api::Session session = api::Session::open(api::to_specs(cfg));
+  // A bench config the spec layer rejects is a harness bug; fail loudly
+  // instead of recording a zeroed report as a clean measurement.
+  if (!session.is_open()) {
+    throw std::runtime_error{"bench config failed spec validation: " +
+                             session.error()};
+  }
+  return session.transfer(payload);
 }
 
 inline std::string timeset_string(Mechanism m, const TimingConfig& t)

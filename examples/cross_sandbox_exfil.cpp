@@ -3,12 +3,14 @@
 // The Trojan runs inside a sandbox (Firejail / Sandboxie) whose policy
 // blocks it from writing anywhere the outside can read — but the MESM
 // kernel objects still span the boundary. This example surveys every
-// mechanism in the cross-sandbox scenario, picks the fastest one that
-// clears 1% BER, and exfiltrates an access token through it.
+// mechanism in the cross-sandbox scenario through the public façade
+// (one SessionSpec per mechanism, same code path), picks the fastest
+// one that clears 1% BER, and exfiltrates an access token through a
+// byte-stream Session with the §V.B retry protocol.
 #include <cstdio>
 #include <vector>
 
-#include "core/runner.h"
+#include "api/session.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -17,7 +19,6 @@ int main()
   using namespace mes;
 
   const std::string token = "AKIA-MES-5EC2ET";
-  const BitVec payload = BitVec::from_text(token);
 
   const std::vector<Mechanism> mechanisms = {
       Mechanism::flock,     Mechanism::file_lock_ex, Mechanism::mutex,
@@ -32,13 +33,13 @@ int main()
   double best_tr = 0.0;
   bool have_best = false;
   for (const Mechanism m : mechanisms) {
-    ExperimentConfig cfg;
-    cfg.mechanism = m;
-    cfg.scenario = Scenario::cross_sandbox;
-    cfg.timing = paper_timeset(m, Scenario::cross_sandbox);
-    cfg.seed = 0x5b0c;
-    Rng rng{cfg.seed};
-    const ChannelReport rep = run_transmission(cfg, BitVec::random(rng, 2048));
+    api::SessionSpec spec;
+    spec.stack.mechanism = m;
+    spec.stack.scenario = "cross-sandbox";
+    spec.stack.seed = 0x5b0c;
+    api::Session session = api::Session::open(spec);
+    Rng rng{spec.stack.seed};
+    const ChannelReport rep = session.transfer(BitVec::random(rng, 2048));
     if (!rep.ok) {
       table.add_row({to_string(m), to_string(class_of(m)), "-", "-",
                      rep.failure_reason});
@@ -61,23 +62,22 @@ int main()
   }
 
   std::printf("\nSelected %s; exfiltrating %zu-bit token...\n",
-              to_string(best), payload.size());
-  ExperimentConfig cfg;
-  cfg.mechanism = best;
-  cfg.scenario = Scenario::cross_sandbox;
-  cfg.timing = paper_timeset(best, Scenario::cross_sandbox);
-  cfg.seed = 0x70c3;
-  const RoundedReport rounded = run_with_retries(cfg, payload);
-  if (!rounded.report.ok || !rounded.report.sync_ok) {
+              to_string(best), token.size() * 8);
+  api::SessionSpec spec;
+  spec.stack.mechanism = best;
+  spec.stack.scenario = "cross-sandbox";
+  spec.stack.seed = 0x70c3;
+  spec.max_rounds = 8;  // §V.B: retry until the preamble verifies
+  api::Session session = api::Session::open(spec);
+  if (!session.send_text(token)) {
     std::printf("exfiltration failed\n");
     return 1;
   }
+  const ChannelReport& rep = session.last_report();
   std::printf("received outside the sandbox: \"%s\"  (BER %.3f%%, %zu "
               "round%s)\n",
-              rounded.report.ber == 0.0
-                  ? rounded.report.received_payload.to_text().c_str()
-                  : "<bit errors>",
-              rounded.report.ber_percent(), rounded.rounds_attempted,
-              rounded.rounds_attempted == 1 ? "" : "s");
+              rep.ber == 0.0 ? session.recv_text().c_str() : "<bit errors>",
+              rep.ber_percent(), session.stats().rounds,
+              session.stats().rounds == 1 ? "" : "s");
   return 0;
 }

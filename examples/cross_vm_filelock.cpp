@@ -4,12 +4,14 @@
 // and never resolve across the boundary — only a lock on a file both
 // guests can see survives, and only when the hypervisor (type-1, like
 // Hyper-V or KVM with a shared mount) actually shares a volume. This
-// example demonstrates the visibility rules and then leaks a message
-// through FileLockEX on the shared read-only volume.
+// example demonstrates the visibility rules through the public façade —
+// the same Session interface either works or reports the topology
+// verdict — and then leaks a message through FileLockEX on the shared
+// read-only volume.
 #include <cstdio>
 #include <vector>
 
-#include "core/runner.h"
+#include "api/session.h"
 #include "util/rng.h"
 
 namespace {
@@ -22,14 +24,14 @@ void survey(mes::HypervisorType hypervisor)
        {Mechanism::event, Mechanism::mutex, Mechanism::semaphore,
         Mechanism::waitable_timer, Mechanism::flock,
         Mechanism::file_lock_ex}) {
-    ExperimentConfig cfg;
-    cfg.mechanism = m;
-    cfg.scenario = Scenario::cross_vm;
-    cfg.hypervisor = hypervisor;
-    cfg.timing = paper_timeset(m, Scenario::cross_vm);
-    cfg.seed = 0xcc77;
+    api::SessionSpec spec;
+    spec.stack.mechanism = m;
+    spec.stack.scenario = "cross-VM";
+    spec.stack.hypervisor = hypervisor;
+    spec.stack.seed = 0xcc77;
+    api::Session session = api::Session::open(spec);
     Rng rng{1};
-    const ChannelReport rep = run_transmission(cfg, BitVec::random(rng, 64));
+    const ChannelReport rep = session.transfer(BitVec::random(rng, 64));
     std::printf("  %-11s : %s\n", to_string(m),
                 rep.ok ? "WORKS" : rep.failure_reason.c_str());
   }
@@ -46,28 +48,26 @@ int main()
   survey(HypervisorType::type2);
 
   const std::string secret = "vm-escape:ok";
-  const BitVec payload = BitVec::from_text(secret);
   std::printf("\nLeaking \"%s\" from guest 1 to guest 2 over FileLockEX "
               "(type-1 hypervisor)...\n",
               secret.c_str());
 
-  ExperimentConfig cfg;
-  cfg.mechanism = Mechanism::file_lock_ex;
-  cfg.scenario = Scenario::cross_vm;
-  cfg.hypervisor = HypervisorType::type1;
-  cfg.timing = paper_timeset(Mechanism::file_lock_ex, Scenario::cross_vm);
-  cfg.seed = 0x5ed1;
-  const RoundedReport rounded = run_with_retries(cfg, payload);
-  if (!rounded.report.ok) {
-    std::printf("failed: %s\n", rounded.report.failure_reason.c_str());
+  api::SessionSpec spec;
+  spec.stack.mechanism = Mechanism::file_lock_ex;
+  spec.stack.scenario = "cross-VM";
+  spec.stack.hypervisor = HypervisorType::type1;
+  spec.stack.seed = 0x5ed1;
+  spec.max_rounds = 8;  // §V.B retry protocol
+  api::Session session = api::Session::open(spec);
+  session.send_text(secret);
+  const ChannelReport& rep = session.last_report();
+  if (!rep.ok) {
+    std::printf("failed: %s\n", rep.failure_reason.c_str());
     return 1;
   }
   std::printf("guest 2 received: \"%s\"  BER=%.3f%%  TR=%.3f kb/s "
               "(paper: 0.713%%, 6.552 kb/s)\n",
-              rounded.report.ber == 0.0
-                  ? rounded.report.received_payload.to_text().c_str()
-                  : "<bit errors>",
-              rounded.report.ber_percent(),
-              rounded.report.throughput_kbps());
+              rep.ber == 0.0 ? session.recv_text().c_str() : "<bit errors>",
+              rep.ber_percent(), rep.throughput_kbps());
   return 0;
 }

@@ -44,14 +44,10 @@ int main()
   cfg.seed = 0x1eaf;
 
   TraceOut trace;
-  // One framed round; §V.B's retry loop kicks in if the preamble fails.
-  RoundedReport rounded;
-  for (std::size_t round = 0; round < 8; ++round) {
-    ++rounded.rounds_attempted;
-    cfg.seed += round;
-    rounded.report = run_transmission(cfg, key, &trace);
-    if (rounded.report.ok && rounded.report.sync_ok) break;
-  }
+  // One framed round; §V.B's retry loop kicks in if the preamble fails,
+  // salting retry seeds through the splitmix64 mixer. The trace carries
+  // the defender's view of the round that delivered.
+  const RoundedReport rounded = run_with_retries(cfg, key, 8, &trace);
   const ChannelReport& rep = rounded.report;
   if (!rep.ok) {
     std::printf("transmission failed: %s\n", rep.failure_reason.c_str());

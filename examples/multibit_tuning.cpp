@@ -7,7 +7,7 @@
 // paying — emerges from the sweep.
 #include <cstdio>
 
-#include "core/runner.h"
+#include "api/session.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -26,18 +26,22 @@ int main()
 
   for (const std::size_t width : {1u, 2u, 3u}) {
     for (const double interval : {40.0, 50.0, 65.0}) {
-      ExperimentConfig cfg;
-      cfg.mechanism = Mechanism::event;
-      cfg.scenario = Scenario::local;
-      cfg.timing.t0 = Duration::us(15);
-      cfg.timing.interval = Duration::us(interval);
-      cfg.timing.symbol_bits = width;
-      cfg.sync_bits = width * 8;
-      cfg.seed = 0x7u + width * 131 + static_cast<std::uint64_t>(interval);
-      Rng rng{cfg.seed};
+      api::SessionSpec spec;
+      spec.stack.mechanism = Mechanism::event;
+      spec.stack.scenario = "local";
+      spec.stack.seed =
+          0x7u + width * 131 + static_cast<std::uint64_t>(interval);
+      TimingConfig timing;
+      timing.t0 = Duration::us(15);
+      timing.interval = Duration::us(interval);
+      spec.link.timing = timing;
+      spec.link.symbol_bits = width;
+      spec.link.sync_bits = width * 8;
+      api::Session session = api::Session::open(spec);
+      Rng rng{spec.stack.seed};
       const std::size_t bits = 20000 - 20000 % width;
       const ChannelReport rep =
-          run_transmission(cfg, BitVec::random(rng, bits));
+          session.transfer(BitVec::random(rng, bits));
       if (!rep.ok) continue;
 
       char levels[64];

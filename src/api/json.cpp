@@ -1,0 +1,527 @@
+#include "api/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace mes::api {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what)
+{
+  throw std::invalid_argument{"json: " + what};
+}
+
+[[noreturn]] void fail_at(const std::string& what, std::size_t at)
+{
+  throw std::invalid_argument{"json: " + what + " at offset " +
+                              std::to_string(at)};
+}
+
+// Shortest decimal form that parses back to exactly `v`.
+std::string format_double(double v)
+{
+  if (!std::isfinite(v)) return "null";  // repo-wide non-finite convention
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void escape_into(std::string& out, const std::string& s)
+{
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Recursive-descent parser over the whole document.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Json parse_document()
+  {
+    Json v = parse_value();
+    skip_ws();
+    if (at_ != text_.size()) fail_at("trailing content", at_);
+    return v;
+  }
+
+ private:
+  void skip_ws()
+  {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  char peek()
+  {
+    if (at_ >= text_.size()) fail_at("unexpected end of input", at_);
+    return text_[at_];
+  }
+
+  void expect(char c)
+  {
+    if (peek() != c) {
+      fail_at(std::string{"expected '"} + c + "'", at_);
+    }
+    ++at_;
+  }
+
+  bool literal(std::string_view word)
+  {
+    if (text_.substr(at_, word.size()) != word) return false;
+    at_ += word.size();
+    return true;
+  }
+
+  Json parse_value()
+  {
+    // Recursive descent: bound the depth so a pathological document is
+    // a parse error, not a stack overflow.
+    if (depth_ >= kMaxDepth) fail_at("nesting too deep", at_);
+    ++depth_;
+    skip_ws();
+    const char c = peek();
+    Json v;
+    if (c == '{') v = parse_object();
+    else if (c == '[') v = parse_array();
+    else if (c == '"') v = Json::str(parse_string());
+    else if (literal("true")) v = Json::boolean(true);
+    else if (literal("false")) v = Json::boolean(false);
+    else if (literal("null")) v = Json{};
+    else v = parse_number();
+    --depth_;
+    return v;
+  }
+
+  Json parse_object()
+  {
+    Json obj = Json::object();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail_at("duplicate key \"" + key + "\"", at_);
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array()
+  {
+    Json arr = Json::array();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string()
+  {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_ >= text_.size()) fail_at("unterminated string", at_);
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail_at("raw control byte in string", at_ - 1);
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = at_ < text_.size() ? text_[at_++] : '\0';
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // The specs only ever escape control bytes; full \u handling
+          // (surrogate pairs included) keeps arbitrary hand-written
+          // documents valid UTF-8 on the way through.
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail_at("lone low surrogate", at_ - 6);
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (at_ + 2 > text_.size() || text_[at_] != '\\' ||
+                text_[at_ + 1] != 'u') {
+              fail_at("high surrogate without a pair", at_);
+            }
+            at_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail_at("high surrogate without a low surrogate", at_ - 6);
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail_at("bad escape", at_ - 1);
+      }
+    }
+  }
+
+  unsigned parse_hex4()
+  {
+    if (at_ + 4 > text_.size()) fail_at("truncated \\u escape", at_);
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[at_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail_at("bad \\u escape", at_ - 1);
+    }
+    return code;
+  }
+
+  Json parse_number()
+  {
+    const std::size_t start = at_;
+    if (at_ < text_.size() && text_[at_] == '-') ++at_;
+    if (at_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+      fail_at("invalid value", start);  // catches nan/inf and stray tokens
+    }
+    // RFC 8259: no leading zeros ("0123" would read as 123, an
+    // octal-intent seed silently running a different experiment).
+    if (text_[at_] == '0' && at_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[at_ + 1]))) {
+      fail_at("leading zeros are not allowed", at_);
+    }
+    auto digits = [&] {
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        ++at_;
+      }
+    };
+    digits();
+    if (at_ < text_.size() && text_[at_] == '.') {
+      ++at_;
+      if (at_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        fail_at("digits must follow '.'", at_);
+      }
+      digits();
+    }
+    if (at_ < text_.size() && (text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+      if (at_ < text_.size() && (text_[at_] == '+' || text_[at_] == '-')) ++at_;
+      if (at_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        fail_at("digits must follow exponent", at_);
+      }
+      digits();
+    }
+    const std::string token{text_.substr(start, at_ - start)};
+    // Integer tokens go through the exact 64-bit factories so as_u64 /
+    // as_i64 re-read them losslessly; anything else (or an integer too
+    // wide for 64 bits) is a double.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      errno = 0;
+      if (token.front() == '-') {
+        const std::int64_t v = std::strtoll(token.c_str(), nullptr, 10);
+        if (errno != ERANGE) return Json::number(v);
+      } else {
+        const std::uint64_t v = std::strtoull(token.c_str(), nullptr, 10);
+        if (errno != ERANGE) return Json::number(v);
+      }
+    }
+    const double v = std::strtod(token.c_str(), nullptr);
+    // A token that overflows to infinity would serialize back as null
+    // (the repo-wide non-finite convention) — a silent round-trip
+    // change, so it is a parse error instead. (Underflow to 0.0 is
+    // harmless and stays accepted.)
+    if (!std::isfinite(v)) fail_at("number out of range", start);
+    return Json::number(v);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::boolean(bool v)
+{
+  Json j;
+  j.type_ = Type::boolean;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v)
+{
+  Json j;
+  j.type_ = Type::number;
+  j.num_ = v;
+  j.text_ = format_double(v);
+  return j;
+}
+
+Json Json::number(std::uint64_t v)
+{
+  Json j;
+  j.type_ = Type::number;
+  j.num_ = static_cast<double>(v);
+  j.text_ = std::to_string(v);
+  return j;
+}
+
+Json Json::number(std::int64_t v)
+{
+  Json j;
+  j.type_ = Type::number;
+  j.num_ = static_cast<double>(v);
+  j.text_ = std::to_string(v);
+  return j;
+}
+
+Json Json::str(std::string v)
+{
+  Json j;
+  j.type_ = Type::string;
+  j.text_ = std::move(v);
+  return j;
+}
+
+Json Json::array()
+{
+  Json j;
+  j.type_ = Type::array;
+  return j;
+}
+
+Json Json::object()
+{
+  Json j;
+  j.type_ = Type::object;
+  return j;
+}
+
+bool Json::as_bool() const
+{
+  if (type_ != Type::boolean) fail("expected a boolean");
+  return bool_;
+}
+
+double Json::as_double() const
+{
+  if (type_ != Type::number) fail("expected a number");
+  return num_;
+}
+
+std::uint64_t Json::as_u64() const
+{
+  if (type_ != Type::number) fail("expected a number");
+  // Integer token only: no sign, no fraction, no exponent.
+  if (text_.empty() || text_.find_first_not_of("0123456789") != std::string::npos) {
+    fail("expected an unsigned integer, got '" + text_ + "'");
+  }
+  errno = 0;
+  const std::uint64_t v = std::strtoull(text_.c_str(), nullptr, 10);
+  if (errno == ERANGE) fail("integer out of 64-bit range: '" + text_ + "'");
+  return v;
+}
+
+std::int64_t Json::as_i64() const
+{
+  if (type_ != Type::number) fail("expected a number");
+  std::string digits = text_;
+  const bool negative = !digits.empty() && digits.front() == '-';
+  if (negative) digits.erase(digits.begin());
+  if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+    fail("expected an integer, got '" + text_ + "'");
+  }
+  errno = 0;
+  const std::int64_t v = std::strtoll(text_.c_str(), nullptr, 10);
+  if (errno == ERANGE) fail("integer out of 64-bit range: '" + text_ + "'");
+  return v;
+}
+
+const std::string& Json::as_string() const
+{
+  if (type_ != Type::string) fail("expected a string");
+  return text_;
+}
+
+const std::vector<Json>& Json::items() const
+{
+  if (type_ != Type::array) fail("expected an array");
+  return items_;
+}
+
+Json& Json::push(Json v)
+{
+  if (type_ != Type::array) fail("expected an array");
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const
+{
+  if (type_ != Type::object) fail("expected an object");
+  return members_;
+}
+
+const Json* Json::find(std::string_view key) const
+{
+  if (type_ != Type::object) fail("expected an object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json v)
+{
+  if (type_ != Type::object) fail("expected an object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+void Json::write(std::string& out, int indent, int depth) const
+{
+  const bool pretty = indent > 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::null_v: out += "null"; break;
+    case Type::boolean: out += bool_ ? "true" : "false"; break;
+    case Type::number: out += text_.empty() ? format_double(num_) : text_; break;
+    case Type::string: escape_into(out, text_); break;
+    case Type::array: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::object: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        escape_into(out, members_[i].first);
+        out += pretty ? ": " : ":";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const
+{
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Json::pretty(int indent) const
+{
+  std::string out;
+  write(out, indent > 0 ? indent : 2, 0);
+  out += '\n';
+  return out;
+}
+
+Json Json::parse(std::string_view text)
+{
+  return Parser{text}.parse_document();
+}
+
+}  // namespace mes::api

@@ -1,0 +1,89 @@
+// Minimal JSON document model for the public spec layer (mes::api).
+//
+// The campaign engine already *emits* JSON (exec/campaign.cpp); what the
+// spec layer adds is the other direction — plans and session specs are
+// data (`mes_cli campaign --plan plan.json`), so they must parse back
+// losslessly. This is a strict RFC-8259 subset: objects keep insertion
+// order (spec round-trips are byte-stable), numbers remember their raw
+// token so 64-bit seeds survive exactly (a double would shave the low
+// bits off e.g. 15877410703883005819), and doubles print with the
+// shortest representation that round-trips.
+//
+// Deliberately not a general-purpose library: no comments, no trailing
+// commas, no NaN/Inf literals (the emission convention repo-wide is
+// `null` for non-finite metrics), errors throw std::invalid_argument
+// with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mes::api {
+
+class Json {
+ public:
+  enum class Type { null_v, boolean, number, string, array, object };
+
+  Json() = default;  // null
+
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number(std::uint64_t v);
+  static Json number(std::int64_t v);
+  static Json number(int v) { return number(static_cast<std::int64_t>(v)); }
+  static Json str(std::string v);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null_v; }
+  bool is_object() const { return type_ == Type::object; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_number() const { return type_ == Type::number; }
+  bool is_bool() const { return type_ == Type::boolean; }
+
+  // Typed accessors; std::invalid_argument on a type mismatch (the spec
+  // parsers wrap these with the offending field name).
+  bool as_bool() const;
+  double as_double() const;
+  // Exact 64-bit reads: reject negatives / fractions / out-of-range
+  // instead of silently rounding through a double.
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+
+  // Array access.
+  const std::vector<Json>& items() const;
+  Json& push(Json v);  // returns the stored element
+
+  // Object access (insertion-ordered).
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  const Json* find(std::string_view key) const;  // nullptr when absent
+  Json& set(std::string key, Json v);            // append or replace
+
+  // Compact single-line emission (strings escaped like the campaign
+  // emitter: \" \\ \n \t and \u00xx for other control bytes).
+  std::string dump() const;
+  // Indented emission for human-edited templates (`mes_cli plan`).
+  std::string pretty(int indent = 2) const;
+
+  // Strict parse of a complete document; std::invalid_argument with a
+  // byte offset on any violation (trailing garbage included).
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::null_v;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string text_;  // string value, or the raw number token
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace mes::api

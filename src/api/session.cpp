@@ -1,0 +1,211 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/seed.h"
+
+namespace mes::api {
+
+namespace {
+
+// Seed-salt domain separating per-transfer streams from the §V.B
+// retry-round streams (run_with_retries mixes bare round indices).
+constexpr std::uint64_t kTransferSaltDomain = 0x5E55101234ULL;
+
+ChannelReport failed_report(const ExperimentConfig& cfg, std::string why)
+{
+  ChannelReport rep;
+  rep.mechanism = cfg.mechanism;
+  rep.scenario = cfg.scenario;
+  rep.scenario_name = cfg.scenario_name;
+  rep.timing = cfg.timing;
+  rep.failure_reason = std::move(why);
+  return rep;
+}
+
+proto::ArqOptions arq_options_from(const SessionSpec& spec)
+{
+  proto::ArqOptions arq;
+  arq.chunk_bits = spec.chunk_bits;
+  arq.fec_depth = spec.fec_depth;
+  arq.max_rounds_per_frame = spec.max_rounds_per_frame;
+  arq.sync_bits = spec.link.sync_bits;  // per-round preamble (§V.B)
+  return arq;
+}
+
+proto::CalibrationOptions calibration_options_from(const SessionSpec& spec)
+{
+  proto::CalibrationOptions cal;
+  cal.probe_symbols = spec.link.probe_symbols;
+  cal.min_margin = spec.link.min_margin;
+  return cal;
+}
+
+proto::DriftOptions drift_options_from(const SessionSpec& spec)
+{
+  proto::DriftOptions drift;
+  drift.enabled = spec.link.drift;
+  drift.trigger_rounds = spec.link.drift_trigger_rounds;
+  drift.max_recalibrations = spec.link.drift_max_recalibrations;
+  // The margin floor is one policy across the offline calibration and
+  // the online retune — a drifted link must not re-admit rates the
+  // user's spec excluded. (probe_symbols deliberately stays at the
+  // drift layer's shorter default: the session is bleeding time while
+  // stale; see drift.h.)
+  drift.min_margin = spec.link.min_margin;
+  return drift;
+}
+
+}  // namespace
+
+Session Session::open(SessionSpec spec)
+{
+  Session session;
+  session.spec_ = std::move(spec);
+  // Resolve the config even when validation fails: the closed session's
+  // failure reports must carry the spec's real mechanism/scenario
+  // labels, like the legacy runner's failure path stamped its cfg.
+  session.config_ = from_specs(session.spec_);
+  if (std::string err = session.spec_.validate(); !err.empty()) {
+    session.error_ = std::move(err);
+    return session;
+  }
+  session.open_ = true;
+  return session;
+}
+
+ChannelReport Session::transfer(const BitVec& payload)
+{
+  if (!open_) {
+    last_report_ = failed_report(
+        config_, error_.empty() ? "session is closed" : error_);
+    return last_report_;
+  }
+
+  ExperimentConfig cfg = config_;
+  // Transfer 0 runs on the spec seed exactly (the legacy single-shot
+  // drivers, bit for bit); later transfers salt it so repeated sends
+  // never replay one noise realization. The leading domain constant
+  // keeps the transfer salts off run_with_retries' single-coordinate
+  // retry salts: without it, transfer 0's retry round k and transfer k
+  // would share mix_seed(seed, {k}) — the same RNG stream.
+  if (stats_.transfers > 0) {
+    cfg.seed = exec::mix_seed(
+        config_.seed,
+        {kTransferSaltDomain, static_cast<std::uint64_t>(stats_.transfers)});
+  }
+
+  ChannelReport rep;
+  if (spec_.link.pairs > 1) {
+    // Bonded striping implies the per-pair adaptive stack (proto/bond).
+    proto::BondOptions opt;
+    opt.arq = arq_options_from(spec_);
+    opt.calibration = calibration_options_from(spec_);
+    proto::BondReport bond;
+    rep = proto::run_bonded_transmission(cfg, payload, spec_.link.pairs, opt,
+                                         &bond);
+    bond_ = std::move(bond);
+    calibration_.reset();
+  } else {
+    switch (spec_.protocol) {
+      case ProtocolMode::fixed: {
+        TraceOut* trace = spec_.stack.trace ? &trace_ : nullptr;
+        if (spec_.max_rounds > 1) {
+          const RoundedReport rounded =
+              run_with_retries(cfg, payload, spec_.max_rounds, trace);
+          stats_.rounds += rounded.rounds_attempted;
+          rep = rounded.report;
+        } else {
+          stats_.rounds += 1;
+          rep = run_transmission(cfg, payload, trace);
+        }
+        break;
+      }
+      case ProtocolMode::arq:
+        rep = proto::run_arq_transmission(cfg, payload,
+                                          arq_options_from(spec_));
+        break;
+      case ProtocolMode::adaptive: {
+        proto::AdaptiveOptions opt;
+        opt.arq = arq_options_from(spec_);
+        opt.calibration = calibration_options_from(spec_);
+        opt.drift = drift_options_from(spec_);
+        proto::Calibration cal;
+        rep = proto::run_adaptive_transmission(cfg, payload, opt, &cal);
+        calibration_ = std::move(cal);
+        bond_.reset();
+        break;
+      }
+    }
+  }
+
+  ++stats_.transfers;
+  if (rep.ok && rep.sync_ok && rep.ber == 0.0) ++stats_.delivered;
+  stats_.last_ber = rep.ber;
+  stats_.elapsed += rep.elapsed;
+  if (rep.proto) {
+    stats_.frames += rep.proto->frames;
+    stats_.retransmits += rep.proto->retransmits;
+    stats_.drift_events += rep.proto->drift_events;
+    stats_.recalibrations += rep.proto->recalibrations;
+  }
+  if (rep.ok && rep.sync_ok) {
+    stats_.bytes_received += rep.received_payload.size() / 8;
+  }
+  if (stats_.elapsed > Duration::zero()) {
+    stats_.goodput_bps =
+        static_cast<double>(stats_.bytes_received) * 8.0 /
+        stats_.elapsed.to_sec();
+  }
+  last_report_ = rep;
+  return last_report_;
+}
+
+bool Session::send(const std::vector<std::uint8_t>& bytes)
+{
+  BitVec payload = BitVec::from_bytes(bytes);
+  // Wider alphabets pace whole symbols; pad with zero bits and let
+  // recv() drop the trailing partial byte.
+  const std::size_t width = std::max<std::size_t>(spec_.link.symbol_bits, 1);
+  while (payload.size() % width != 0) payload.push_back(0);
+
+  const ChannelReport rep = transfer(payload);
+  // Bytes count as sent once the Trojan actually drove the channel —
+  // a closed session or a setup/topology failure never touched the
+  // wire, so stats() ratios keep an honest denominator.
+  if (rep.ok) stats_.bytes_sent += bytes.size();
+  if (!rep.ok || !rep.sync_ok) return false;
+
+  const std::size_t usable_bits =
+      std::min(rep.received_payload.size(), payload.size());
+  const std::vector<std::uint8_t> received =
+      rep.received_payload.slice(0, usable_bits - usable_bits % 8).to_bytes();
+  rx_buffer_.insert(rx_buffer_.end(), received.begin(), received.end());
+  return true;
+}
+
+bool Session::send_text(const std::string& text)
+{
+  return send(std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+std::vector<std::uint8_t> Session::recv()
+{
+  return std::exchange(rx_buffer_, {});
+}
+
+std::string Session::recv_text()
+{
+  const std::vector<std::uint8_t> bytes = recv();
+  return std::string{bytes.begin(), bytes.end()};
+}
+
+void Session::close()
+{
+  if (!open_) return;
+  open_ = false;
+  error_ = "session is closed";
+}
+
+}  // namespace mes::api

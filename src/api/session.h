@@ -1,0 +1,122 @@
+// mes::api::Session — the duplex byte-stream façade over every
+// mechanism, protocol and scenario.
+//
+// The paper frames MES channels as a usable transport: Trojan and Spy
+// exchange arbitrary data through mutex/semaphore/event constraints.
+// Session is that transport as an object. `open()` takes a layered
+// SessionSpec, resolves it once, and `send()` / `recv()` move bytes
+// through whatever machinery the spec selects — a raw fixed-rate round,
+// the §V.B retry protocol, ARQ, calibrate-then-ARQ with drift-aware
+// recalibration, or a bonded multi-pair stripe — behind one interface.
+// The per-mode dispatch that used to be duplicated across
+// exec::run_cell, mes_cli and the examples lives in `transfer()`, and
+// only there.
+//
+// Determinism: transfer k runs on the spec seed salted with k through
+// the splitmix64 mixer (exec/seed.h), so the first transfer reproduces
+// the legacy single-shot drivers bit-exactly and repeated sends land in
+// decorrelated noise streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/spec.h"
+#include "core/metrics.h"
+#include "proto/adaptive.h"
+#include "proto/bond.h"
+
+namespace mes::api {
+
+// Running totals over every transfer the session carried.
+struct SessionStats {
+  std::size_t transfers = 0;      // send()/transfer() calls that ran
+  std::size_t delivered = 0;      // arrived intact (sync ok, zero BER)
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t rounds = 0;         // §V.B retry rounds (fixed mode)
+  std::size_t frames = 0;         // ARQ frames delivered
+  std::size_t retransmits = 0;
+  std::size_t drift_events = 0;
+  std::size_t recalibrations = 0;
+  Duration elapsed = Duration::zero();  // simulated wire time, summed
+  double last_ber = 0.0;
+  // Payload bits pushed over the summed wire time (calibration time
+  // excluded, matching the protocol layer's goodput semantics).
+  double goodput_bps = 0.0;
+};
+
+class Session {
+ public:
+  // Validates and resolves the spec. A structurally invalid spec leaves
+  // the session closed with error() set; open() never throws. Runtime
+  // topology verdicts (e.g. Event across a VM boundary) surface in the
+  // per-transfer reports instead, exactly like the legacy drivers.
+  static Session open(SessionSpec spec);
+
+  bool is_open() const { return open_; }
+  const std::string& error() const { return error_; }
+  const SessionSpec& spec() const { return spec_; }
+
+  // One framed transfer of `payload` through the machinery the spec
+  // selects. The single dispatch point every driver shares (run_cell,
+  // the CLI, the benches); send()/recv() ride on it. Returns the full
+  // verdict; the same report is retained as last_report().
+  ChannelReport transfer(const BitVec& payload);
+
+  // Byte-stream side: send() pushes bytes Trojan -> Spy (padded to a
+  // whole number of symbols with zero bits when the alphabet demands
+  // it) and returns whether the transfer ran and the preamble verified
+  // — i.e. the bytes landed, possibly with bit errors on a raw
+  // fixed-mode link (a covert channel is noisy; arq/adaptive/bonded
+  // specs make the stream bit-exact, and stats().delivered counts the
+  // error-free transfers). recv() drains every whole byte the Spy
+  // reassembled since the last recv(), exactly as measured.
+  bool send(const std::vector<std::uint8_t>& bytes);
+  bool send_text(const std::string& text);
+  std::vector<std::uint8_t> recv();
+  std::string recv_text();
+
+  const SessionStats& stats() const { return stats_; }
+  const ChannelReport& last_report() const { return last_report_; }
+
+  // Mode-specific visibility: the calibration verdict of the last
+  // adaptive transfer, the bond verdict of the last bonded transfer.
+  const std::optional<proto::Calibration>& calibration() const
+  {
+    return calibration_;
+  }
+  const std::optional<proto::BondReport>& bond() const { return bond_; }
+
+  // The defender's view: the kernel op trace of the last fixed-mode
+  // transfer, populated when stack.trace is set (the detector's input —
+  // see examples/leak_key_local). Protocol-mode transfers build their
+  // stacks inside mes::proto and do not surface a trace.
+  const std::vector<os::Kernel::OpRecord>& trace() const
+  {
+    return trace_.ops;
+  }
+
+  // Idempotent; further send/transfer calls fail with a closed-session
+  // report. Buffered recv() bytes stay readable.
+  void close();
+
+ private:
+  Session() = default;
+
+  SessionSpec spec_;
+  ExperimentConfig config_;  // from_specs(spec_), resolved once
+  bool open_ = false;
+  std::string error_;
+
+  SessionStats stats_;
+  ChannelReport last_report_;
+  std::optional<proto::Calibration> calibration_;
+  std::optional<proto::BondReport> bond_;
+  TraceOut trace_;
+  std::vector<std::uint8_t> rx_buffer_;
+};
+
+}  // namespace mes::api

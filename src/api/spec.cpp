@@ -1,0 +1,719 @@
+#include "api/spec.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/registry.h"
+
+namespace mes::api {
+
+namespace {
+
+[[noreturn]] void bad_field(const std::string& field, const std::string& why)
+{
+  throw std::invalid_argument{"spec: field \"" + field + "\": " + why};
+}
+
+// Field readers: absent keys keep the default (specs are forward- and
+// hand-editable), wrong types / unknown enum strings throw with the
+// field name attached.
+template <typename T, typename Reader>
+T read_or(const Json& obj, const std::string& key, T fallback, Reader read)
+{
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  try {
+    return read(*v);
+  } catch (const std::invalid_argument& e) {
+    bad_field(key, e.what());
+  }
+}
+
+std::uint64_t read_u64(const Json& obj, const std::string& key,
+                       std::uint64_t fallback)
+{
+  return read_or(obj, key, fallback,
+                 [](const Json& v) { return v.as_u64(); });
+}
+
+std::size_t read_size(const Json& obj, const std::string& key,
+                      std::size_t fallback)
+{
+  return read_or(obj, key, fallback, [](const Json& v) {
+    return static_cast<std::size_t>(v.as_u64());
+  });
+}
+
+double read_double(const Json& obj, const std::string& key, double fallback)
+{
+  return read_or(obj, key, fallback,
+                 [](const Json& v) { return v.as_double(); });
+}
+
+bool read_bool(const Json& obj, const std::string& key, bool fallback)
+{
+  return read_or(obj, key, fallback,
+                 [](const Json& v) { return v.as_bool(); });
+}
+
+std::string read_string(const Json& obj, const std::string& key,
+                        std::string fallback)
+{
+  return read_or(obj, key, std::move(fallback),
+                 [](const Json& v) { return v.as_string(); });
+}
+
+// Durations ride as integer nanoseconds: exact both ways (a double of
+// microseconds would already wobble at 0.3 us).
+Duration read_duration_ns(const Json& obj, const std::string& key,
+                          Duration fallback)
+{
+  return read_or(obj, key, fallback,
+                 [](const Json& v) { return Duration::ns(v.as_i64()); });
+}
+
+template <typename T>
+T read_enum(const Json& obj, const std::string& key, T fallback,
+            std::optional<T> (*parse)(std::string_view), const char* what)
+{
+  return read_or(obj, key, fallback, [&](const Json& v) {
+    const std::optional<T> parsed = parse(v.as_string());
+    if (!parsed) {
+      throw std::invalid_argument{std::string{"unknown "} + what + " '" +
+                                  v.as_string() + "'"};
+    }
+    return *parsed;
+  });
+}
+
+// The keys a spec object may carry; anything else is a typo the CLI
+// satellite exists to catch ("siilently ignored" config is the bug
+// class this layer removes).
+void reject_unknown_keys(const Json& obj, const char* what,
+                         std::initializer_list<std::string_view> known)
+{
+  for (const auto& [key, value] : obj.members()) {
+    bool ok = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::invalid_argument{std::string{"spec: unknown "} + what +
+                                  " field \"" + key + "\""};
+    }
+  }
+}
+
+Json timing_to_json(const TimingConfig& t)
+{
+  Json obj = Json::object();
+  obj.set("t1_ns", Json::number(t.t1.count_ns()));
+  obj.set("t0_ns", Json::number(t.t0.count_ns()));
+  obj.set("interval_ns", Json::number(t.interval.count_ns()));
+  return obj;
+}
+
+TimingConfig timing_from_json(const Json& obj)
+{
+  reject_unknown_keys(obj, "timing", {"t1_ns", "t0_ns", "interval_ns"});
+  TimingConfig t;
+  t.t1 = read_duration_ns(obj, "t1_ns", Duration::zero());
+  t.t0 = read_duration_ns(obj, "t0_ns", Duration::zero());
+  t.interval = read_duration_ns(obj, "interval_ns", Duration::zero());
+  return t;
+}
+
+}  // namespace
+
+// --- name tables -------------------------------------------------------
+
+const std::vector<std::pair<std::string, Mechanism>>& mechanism_names()
+{
+  static const std::vector<std::pair<std::string, Mechanism>> names = {
+      {"flock", Mechanism::flock},
+      {"filelockex", Mechanism::file_lock_ex},
+      {"mutex", Mechanism::mutex},
+      {"semaphore", Mechanism::semaphore},
+      {"event", Mechanism::event},
+      {"timer", Mechanism::waitable_timer},
+      {"signal", Mechanism::posix_signal},
+      {"flock-sh", Mechanism::flock_shared},
+  };
+  return names;
+}
+
+const char* mechanism_key(Mechanism m)
+{
+  for (const auto& [name, mechanism] : mechanism_names()) {
+    if (mechanism == m) return name.c_str();
+  }
+  return "?";
+}
+
+std::optional<Mechanism> parse_mechanism(std::string_view name)
+{
+  for (const auto& [key, mechanism] : mechanism_names()) {
+    if (name == key || name == to_string(mechanism)) return mechanism;
+  }
+  return std::nullopt;
+}
+
+const char* hypervisor_key(HypervisorType h)
+{
+  return to_string(h);  // "none" | "type-1" | "type-2"
+}
+
+std::optional<HypervisorType> parse_hypervisor(std::string_view name)
+{
+  if (name == "none") return HypervisorType::none;
+  if (name == "type-1" || name == "type1") return HypervisorType::type1;
+  if (name == "type-2" || name == "type2") return HypervisorType::type2;
+  return std::nullopt;
+}
+
+std::optional<ProtocolMode> parse_protocol(std::string_view name)
+{
+  if (name == "fixed") return ProtocolMode::fixed;
+  if (name == "arq") return ProtocolMode::arq;
+  if (name == "adaptive") return ProtocolMode::adaptive;
+  return std::nullopt;
+}
+
+const char* fairness_key(os::LockFairness f)
+{
+  return f == os::LockFairness::fair ? "fair" : "unfair";
+}
+
+std::optional<os::LockFairness> parse_fairness(std::string_view name)
+{
+  if (name == "fair") return os::LockFairness::fair;
+  if (name == "unfair") return os::LockFairness::unfair;
+  return std::nullopt;
+}
+
+// --- StackSpec ---------------------------------------------------------
+
+std::string StackSpec::validate() const
+{
+  if (scenario.empty()) return "stack.scenario must name a scenario";
+  if (scenario::find_scenario(scenario) == nullptr) {
+    return "stack.scenario: unknown scenario '" + scenario +
+           "' (try `mes_cli list-scenarios`)";
+  }
+  if (mitigation_fuzz.is_negative()) {
+    return "stack.mitigation_fuzz_ns must be >= 0";
+  }
+  if (loop_cost.is_negative()) return "stack.loop_cost_ns must be >= 0";
+  if (max_events == 0) return "stack.max_events must be >= 1";
+  return {};
+}
+
+Json StackSpec::to_json() const
+{
+  Json obj = Json::object();
+  obj.set("mechanism", Json::str(mechanism_key(mechanism)));
+  obj.set("scenario", Json::str(scenario));
+  obj.set("hypervisor", Json::str(hypervisor_key(hypervisor)));
+  obj.set("seed", Json::number(seed));
+  obj.set("fairness", Json::str(fairness_key(fairness)));
+  obj.set("semaphore_initial",
+          Json::number(static_cast<std::int64_t>(semaphore_initial)));
+  obj.set("mitigation_fuzz_ns", Json::number(mitigation_fuzz.count_ns()));
+  obj.set("loop_cost_ns", Json::number(loop_cost.count_ns()));
+  obj.set("fine_grained_sync", Json::boolean(fine_grained_sync));
+  obj.set("recalibrate_from_preamble",
+          Json::boolean(recalibrate_from_preamble));
+  obj.set("trace", Json::boolean(trace));
+  obj.set("tag", Json::str(tag));
+  obj.set("max_events", Json::number(max_events));
+  return obj;
+}
+
+StackSpec StackSpec::from_json(const Json& j)
+{
+  reject_unknown_keys(j, "stack",
+                      {"mechanism", "scenario", "hypervisor", "seed",
+                       "fairness", "semaphore_initial", "mitigation_fuzz_ns",
+                       "loop_cost_ns", "fine_grained_sync",
+                       "recalibrate_from_preamble", "trace", "tag",
+                       "max_events"});
+  StackSpec s;
+  s.mechanism =
+      read_enum(j, "mechanism", s.mechanism, parse_mechanism, "mechanism");
+  s.scenario = read_string(j, "scenario", s.scenario);
+  s.hypervisor = read_enum(j, "hypervisor", s.hypervisor, parse_hypervisor,
+                           "hypervisor");
+  s.seed = read_u64(j, "seed", s.seed);
+  s.fairness = read_enum(j, "fairness", s.fairness, parse_fairness,
+                         "fairness");
+  s.semaphore_initial = static_cast<long>(read_or(
+      j, "semaphore_initial", static_cast<std::int64_t>(s.semaphore_initial),
+      [](const Json& v) { return v.as_i64(); }));
+  s.mitigation_fuzz = read_duration_ns(j, "mitigation_fuzz_ns",
+                                       s.mitigation_fuzz);
+  s.loop_cost = read_duration_ns(j, "loop_cost_ns", s.loop_cost);
+  s.fine_grained_sync = read_bool(j, "fine_grained_sync",
+                                  s.fine_grained_sync);
+  s.recalibrate_from_preamble =
+      read_bool(j, "recalibrate_from_preamble", s.recalibrate_from_preamble);
+  s.trace = read_bool(j, "trace", s.trace);
+  s.tag = read_string(j, "tag", s.tag);
+  s.max_events = read_u64(j, "max_events", s.max_events);
+  return s;
+}
+
+// --- LinkSpec ----------------------------------------------------------
+
+std::string LinkSpec::validate() const
+{
+  // The codec's SymbolSchedule carries 1..8 bits per symbol and throws
+  // outside that range; the spec layer promises failures surface as
+  // validation errors, never as aborts mid-transfer.
+  if (symbol_bits == 0 || symbol_bits > 8) {
+    return "link.symbol_bits must be 1..8";
+  }
+  if (sync_bits == 0) return "link.sync_bits must be >= 1";
+  if (sync_bits % symbol_bits != 0) {
+    return "link.sync_bits must be a multiple of link.symbol_bits";
+  }
+  if (probe_symbols == 0) return "link.probe_symbols must be >= 1";
+  if (min_margin < 0.0) return "link.min_margin must be >= 0";
+  if (drift_trigger_rounds == 0) {
+    return "link.drift_trigger_rounds must be >= 1";
+  }
+  if (pairs == 0 || pairs > 4096) return "link.pairs must be 1..4096";
+  if (timing) {
+    if (timing->t1.is_negative() || timing->t0.is_negative() ||
+        timing->interval.is_negative()) {
+      return "link.timing durations must be >= 0";
+    }
+  }
+  return {};
+}
+
+Json LinkSpec::to_json() const
+{
+  Json obj = Json::object();
+  obj.set("timing", timing ? timing_to_json(*timing)
+                           : Json::str("paper"));
+  obj.set("symbol_bits", Json::number(static_cast<std::uint64_t>(symbol_bits)));
+  obj.set("sync_bits", Json::number(static_cast<std::uint64_t>(sync_bits)));
+  obj.set("probe_symbols",
+          Json::number(static_cast<std::uint64_t>(probe_symbols)));
+  obj.set("min_margin", Json::number(min_margin));
+  obj.set("drift", Json::boolean(drift));
+  obj.set("drift_trigger_rounds",
+          Json::number(static_cast<std::uint64_t>(drift_trigger_rounds)));
+  obj.set("drift_max_recalibrations",
+          Json::number(static_cast<std::uint64_t>(drift_max_recalibrations)));
+  obj.set("pairs", Json::number(static_cast<std::uint64_t>(pairs)));
+  return obj;
+}
+
+LinkSpec LinkSpec::from_json(const Json& j)
+{
+  reject_unknown_keys(j, "link",
+                      {"timing", "symbol_bits", "sync_bits", "probe_symbols",
+                       "min_margin", "drift", "drift_trigger_rounds",
+                       "drift_max_recalibrations", "pairs"});
+  LinkSpec s;
+  if (const Json* t = j.find("timing"); t != nullptr && !t->is_null()) {
+    if (t->is_string()) {
+      if (t->as_string() != "paper") {
+        bad_field("timing", "expected \"paper\" or a timing object");
+      }
+      s.timing.reset();
+    } else {
+      try {
+        s.timing = timing_from_json(*t);
+      } catch (const std::invalid_argument& e) {
+        bad_field("timing", e.what());
+      }
+    }
+  }
+  s.symbol_bits = read_size(j, "symbol_bits", s.symbol_bits);
+  s.sync_bits = read_size(j, "sync_bits", s.sync_bits);
+  s.probe_symbols = read_size(j, "probe_symbols", s.probe_symbols);
+  s.min_margin = read_double(j, "min_margin", s.min_margin);
+  s.drift = read_bool(j, "drift", s.drift);
+  s.drift_trigger_rounds =
+      read_size(j, "drift_trigger_rounds", s.drift_trigger_rounds);
+  s.drift_max_recalibrations =
+      read_size(j, "drift_max_recalibrations", s.drift_max_recalibrations);
+  s.pairs = read_size(j, "pairs", s.pairs);
+  return s;
+}
+
+// --- SessionSpec -------------------------------------------------------
+
+std::string SessionSpec::validate() const
+{
+  if (std::string err = stack.validate(); !err.empty()) return err;
+  if (std::string err = link.validate(); !err.empty()) return err;
+  if (chunk_bits == 0) return "session.chunk_bits must be >= 1";
+  if (max_rounds_per_frame == 0) {
+    return "session.max_rounds_per_frame must be >= 1";
+  }
+  if (max_rounds == 0) return "session.max_rounds must be >= 1";
+  // A bonded link runs the per-pair adaptive stack by construction
+  // (proto/bond calibrates every sub-channel); a spec claiming fixed or
+  // arq over pairs > 1 would be silently ignored — reject it instead.
+  if (link.pairs > 1 && protocol != ProtocolMode::adaptive) {
+    return "session.protocol must be \"adaptive\" when link.pairs > 1 "
+           "(bonded links calibrate every sub-channel)";
+  }
+  return {};
+}
+
+Json SessionSpec::to_json() const
+{
+  Json obj = Json::object();
+  obj.set("stack", stack.to_json());
+  obj.set("link", link.to_json());
+  obj.set("protocol", Json::str(to_string(protocol)));
+  obj.set("chunk_bits", Json::number(static_cast<std::uint64_t>(chunk_bits)));
+  obj.set("fec_depth", Json::number(static_cast<std::uint64_t>(fec_depth)));
+  obj.set("max_rounds_per_frame",
+          Json::number(static_cast<std::uint64_t>(max_rounds_per_frame)));
+  obj.set("max_rounds", Json::number(static_cast<std::uint64_t>(max_rounds)));
+  return obj;
+}
+
+std::string SessionSpec::to_json_text() const
+{
+  return to_json().pretty();
+}
+
+SessionSpec SessionSpec::from_json(const Json& j)
+{
+  reject_unknown_keys(j, "session",
+                      {"stack", "link", "protocol", "chunk_bits", "fec_depth",
+                       "max_rounds_per_frame", "max_rounds"});
+  SessionSpec s;
+  if (const Json* stack = j.find("stack"); stack != nullptr) {
+    s.stack = StackSpec::from_json(*stack);
+  }
+  if (const Json* link = j.find("link"); link != nullptr) {
+    s.link = LinkSpec::from_json(*link);
+  }
+  s.protocol = read_enum(j, "protocol", s.protocol, parse_protocol,
+                         "protocol");
+  s.chunk_bits = read_size(j, "chunk_bits", s.chunk_bits);
+  s.fec_depth = read_size(j, "fec_depth", s.fec_depth);
+  s.max_rounds_per_frame =
+      read_size(j, "max_rounds_per_frame", s.max_rounds_per_frame);
+  s.max_rounds = read_size(j, "max_rounds", s.max_rounds);
+  return s;
+}
+
+SessionSpec SessionSpec::parse(std::string_view text)
+{
+  return from_json(Json::parse(text));
+}
+
+// --- legacy adapter ----------------------------------------------------
+
+SessionSpec to_specs(const ExperimentConfig& cfg, std::size_t pairs)
+{
+  SessionSpec spec;
+  spec.stack.mechanism = cfg.mechanism;
+  spec.stack.scenario =
+      cfg.scenario_name.empty() ? to_string(cfg.scenario) : cfg.scenario_name;
+  spec.stack.hypervisor = cfg.hypervisor;
+  spec.stack.seed = cfg.seed;
+  spec.stack.fairness = cfg.fairness;
+  spec.stack.semaphore_initial = cfg.semaphore_initial;
+  spec.stack.mitigation_fuzz = cfg.mitigation_fuzz;
+  spec.stack.loop_cost = cfg.loop_cost;
+  spec.stack.fine_grained_sync = cfg.fine_grained_sync;
+  spec.stack.recalibrate_from_preamble = cfg.recalibrate_from_preamble;
+  spec.stack.trace = cfg.enable_trace;
+  spec.stack.tag = cfg.tag;
+  spec.stack.max_events = cfg.max_events;
+
+  // Explicit timing: the config is concrete. link.symbol_bits is the
+  // authoritative width (from_specs re-applies it over the timing), so
+  // the embedded copy is normalized to its default — otherwise the JSON
+  // wire, which only carries t1/t0/interval, would break spec equality
+  // after a round-trip.
+  spec.link.timing = cfg.timing;
+  spec.link.timing->symbol_bits = 1;
+  spec.link.symbol_bits = cfg.timing.symbol_bits;
+  spec.link.sync_bits = cfg.sync_bits;
+  spec.link.pairs = pairs == 0 ? 1 : pairs;
+
+  // expand() forces bonded cells to the adaptive stack; the lifted spec
+  // states it so the invariant validates instead of being implied.
+  spec.protocol =
+      spec.link.pairs > 1 ? ProtocolMode::adaptive : cfg.protocol;
+  return spec;
+}
+
+ExperimentConfig from_specs(const SessionSpec& spec)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = spec.stack.mechanism;
+  // Resolve through the registry like every other driver: the canonical
+  // name is what cells report, the anchor class selects the Timeset
+  // row. Unknown names pass through so validate_config reports them at
+  // run time (the legacy failure path, not an exception).
+  if (const scenario::ScenarioDef* def =
+          scenario::find_scenario(spec.stack.scenario);
+      def != nullptr) {
+    cfg.scenario = def->legacy;
+    cfg.scenario_name = def->name;
+  } else {
+    cfg.scenario_name = spec.stack.scenario;
+  }
+  cfg.hypervisor = spec.stack.hypervisor;
+  cfg.seed = spec.stack.seed;
+  cfg.fairness = spec.stack.fairness;
+  cfg.semaphore_initial = spec.stack.semaphore_initial;
+  cfg.mitigation_fuzz = spec.stack.mitigation_fuzz;
+  cfg.loop_cost = spec.stack.loop_cost;
+  cfg.fine_grained_sync = spec.stack.fine_grained_sync;
+  cfg.recalibrate_from_preamble = spec.stack.recalibrate_from_preamble;
+  cfg.enable_trace = spec.stack.trace;
+  cfg.tag = spec.stack.tag;
+  cfg.max_events = spec.stack.max_events;
+
+  cfg.timing = spec.link.timing
+                   ? *spec.link.timing
+                   : paper_timeset(cfg.mechanism, cfg.scenario);
+  cfg.timing.symbol_bits = spec.link.symbol_bits;
+  cfg.sync_bits = spec.link.sync_bits;
+
+  cfg.protocol = spec.protocol;
+  return cfg;
+}
+
+// --- PlanSpec ----------------------------------------------------------
+
+std::string PlanSpec::validate() const
+{
+  if (mechanisms.empty()) return "plan.mechanisms must name at least one";
+  if (scenarios.empty()) return "plan.scenarios must name at least one";
+  if (timings.empty()) return "plan.timings must name at least one";
+  if (protocols.empty()) return "plan.protocols must name at least one";
+  if (pairs.empty()) return "plan.pairs must name at least one";
+  for (const PlanScenario& s : scenarios) {
+    if (scenario::find_scenario(s.name) == nullptr) {
+      return "plan.scenarios: unknown scenario '" + s.name + "'";
+    }
+  }
+  for (const std::size_t n : pairs) {
+    if (n == 0 || n > 4096) return "plan.pairs values must be 1..4096";
+  }
+  if (repeats == 0) return "plan.repeats must be >= 1";
+  if (payload_bits == 0) return "plan.payload_bits must be >= 1";
+  if (std::string err = session.validate(); !err.empty()) return err;
+  // The axes own these; a base-session value would be silently
+  // overwritten per cell, which is exactly the bug class validate()
+  // exists to reject.
+  if (session.link.timing) {
+    return "plan.session.link.timing is owned by the timings axis — name "
+           "the timing there";
+  }
+  if (session.link.pairs != 1) {
+    return "plan.session.link.pairs is owned by the pairs axis";
+  }
+  if (session.stack.hypervisor != HypervisorType::none) {
+    return "plan.session.stack.hypervisor is owned by the scenarios axis "
+           "(per-entry \"hypervisor\")";
+  }
+  if (session.stack.scenario != "local") {
+    return "plan.session.stack.scenario is owned by the scenarios axis";
+  }
+  if (session.protocol != ProtocolMode::fixed) {
+    return "plan.session.protocol is owned by the protocols axis";
+  }
+  if (session.stack.seed != 1) {
+    return "plan.session.stack.seed is owned by plan.seed_base";
+  }
+  return {};
+}
+
+Json PlanSpec::to_json() const
+{
+  Json obj = Json::object();
+  Json mechs = Json::array();
+  for (const Mechanism m : mechanisms) mechs.push(Json::str(mechanism_key(m)));
+  obj.set("mechanisms", std::move(mechs));
+
+  Json scens = Json::array();
+  for (const PlanScenario& s : scenarios) {
+    Json entry = Json::object();
+    entry.set("name", Json::str(s.name));
+    if (s.hypervisor != HypervisorType::none) {
+      entry.set("hypervisor", Json::str(hypervisor_key(s.hypervisor)));
+    }
+    scens.push(std::move(entry));
+  }
+  obj.set("scenarios", std::move(scens));
+
+  Json times = Json::array();
+  for (const PlanTiming& t : timings) {
+    Json entry = Json::object();
+    entry.set("label", Json::str(t.label));
+    if (t.timing) entry.set("timing", timing_to_json(*t.timing));
+    times.push(std::move(entry));
+  }
+  obj.set("timings", std::move(times));
+
+  Json protos = Json::array();
+  for (const ProtocolMode p : protocols) protos.push(Json::str(to_string(p)));
+  obj.set("protocols", std::move(protos));
+
+  Json pair_axis = Json::array();
+  for (const std::size_t n : pairs) {
+    pair_axis.push(Json::number(static_cast<std::uint64_t>(n)));
+  }
+  obj.set("pairs", std::move(pair_axis));
+
+  obj.set("repeats", Json::number(static_cast<std::uint64_t>(repeats)));
+  obj.set("seed_base", Json::number(seed_base));
+  obj.set("payload_bits",
+          Json::number(static_cast<std::uint64_t>(payload_bits)));
+  obj.set("session", session.to_json());
+  return obj;
+}
+
+std::string PlanSpec::to_json_text() const
+{
+  return to_json().pretty();
+}
+
+PlanSpec PlanSpec::from_json(const Json& j)
+{
+  reject_unknown_keys(j, "plan",
+                      {"mechanisms", "scenarios", "timings", "protocols",
+                       "pairs", "repeats", "seed_base", "payload_bits",
+                       "session"});
+  PlanSpec p;
+  if (const Json* mechs = j.find("mechanisms"); mechs != nullptr) {
+    p.mechanisms.clear();
+    for (const Json& m : mechs->items()) {
+      const std::optional<Mechanism> parsed = parse_mechanism(m.as_string());
+      if (!parsed) bad_field("mechanisms", "unknown mechanism '" + m.as_string() + "'");
+      p.mechanisms.push_back(*parsed);
+    }
+  }
+  if (const Json* scens = j.find("scenarios"); scens != nullptr) {
+    p.scenarios.clear();
+    for (const Json& s : scens->items()) {
+      PlanScenario entry;
+      if (s.is_string()) {
+        entry.name = s.as_string();
+      } else {
+        reject_unknown_keys(s, "scenario", {"name", "hypervisor"});
+        entry.name = read_string(s, "name", entry.name);
+        entry.hypervisor = read_enum(s, "hypervisor", entry.hypervisor,
+                                     parse_hypervisor, "hypervisor");
+      }
+      p.scenarios.push_back(std::move(entry));
+    }
+  }
+  if (const Json* times = j.find("timings"); times != nullptr) {
+    p.timings.clear();
+    for (const Json& t : times->items()) {
+      PlanTiming entry;
+      reject_unknown_keys(t, "timing", {"label", "timing"});
+      entry.label = read_string(t, "label", entry.label);
+      if (const Json* explicit_timing = t.find("timing");
+          explicit_timing != nullptr && !explicit_timing->is_null()) {
+        entry.timing = timing_from_json(*explicit_timing);
+      }
+      p.timings.push_back(std::move(entry));
+    }
+  }
+  if (const Json* protos = j.find("protocols"); protos != nullptr) {
+    p.protocols.clear();
+    for (const Json& proto : protos->items()) {
+      const std::optional<ProtocolMode> parsed =
+          parse_protocol(proto.as_string());
+      if (!parsed) {
+        bad_field("protocols", "unknown protocol '" + proto.as_string() + "'");
+      }
+      p.protocols.push_back(*parsed);
+    }
+  }
+  if (const Json* pair_axis = j.find("pairs"); pair_axis != nullptr) {
+    p.pairs.clear();
+    for (const Json& n : pair_axis->items()) {
+      p.pairs.push_back(static_cast<std::size_t>(n.as_u64()));
+    }
+  }
+  p.repeats = read_size(j, "repeats", p.repeats);
+  p.seed_base = read_u64(j, "seed_base", p.seed_base);
+  p.payload_bits = read_size(j, "payload_bits", p.payload_bits);
+  if (const Json* session = j.find("session"); session != nullptr) {
+    p.session = SessionSpec::from_json(*session);
+  }
+  return p;
+}
+
+PlanSpec PlanSpec::parse(std::string_view text)
+{
+  return from_json(Json::parse(text));
+}
+
+exec::ExperimentPlan PlanSpec::to_plan() const
+{
+  if (std::string err = validate(); !err.empty()) {
+    throw std::invalid_argument{err};
+  }
+  exec::ExperimentPlan plan;
+  plan.mechanisms = mechanisms;
+
+  plan.scenarios.clear();
+  for (const PlanScenario& s : scenarios) {
+    const scenario::ScenarioDef& def = scenario::scenario_or_throw(s.name);
+    // The CLI's historical resolution: the hypervisor knob only matters
+    // for hypervisor-sensitive scenarios, and those default to type-1.
+    plan.scenarios.push_back(exec::named_scenario(
+        def.name, def.hypervisor_sensitive
+                      ? (s.hypervisor == HypervisorType::none
+                             ? HypervisorType::type1
+                             : s.hypervisor)
+                      : HypervisorType::none));
+  }
+
+  plan.timings.clear();
+  std::vector<bool> timing_is_paper;
+  for (const PlanTiming& t : timings) {
+    exec::TimingSpec spec;
+    spec.label = t.label;
+    if (t.timing) {
+      TimingConfig timing = *t.timing;
+      timing.symbol_bits = session.link.symbol_bits;
+      spec.timing = timing;
+    }
+    timing_is_paper.push_back(!t.timing.has_value());
+    plan.timings.push_back(std::move(spec));
+  }
+
+  plan.protocols.clear();
+  for (const ProtocolMode p : protocols) {
+    plan.protocols.push_back({to_string(p), p});
+  }
+  plan.pairs = pairs;
+  plan.repeats = repeats;
+  plan.seed_base = seed_base;
+  plan.payload_bits = payload_bits;
+  plan.base = from_specs(session);
+
+  // expand() re-resolves paper Timesets per (mechanism, scenario), which
+  // resets the symbol width to the tables' 1; the link spec's width must
+  // survive that, exactly like the CLI's per-cell tweak always did.
+  const std::size_t width = session.link.symbol_bits;
+  plan.tweak = [width, timing_is_paper](ExperimentConfig& cfg,
+                                        const exec::CellCoord& coord) {
+    if (timing_is_paper[coord.timing]) cfg.timing.symbol_bits = width;
+  };
+  return plan;
+}
+
+}  // namespace mes::api

@@ -1,0 +1,191 @@
+// The layered experiment specification — the public face of the library.
+//
+// `ExperimentConfig` (core/runner.h) grew flat: stack, link and session
+// concerns share one struct, and every driver (exec::run_cell, the CLI,
+// the examples) re-assembled its own dispatch around it. The spec layer
+// splits it along the architecture's own seams:
+//
+//   StackSpec   — who talks to whom through what: mechanism, scenario
+//                 (registry name), hypervisor, seed, fairness and the
+//                 other noise/stack knobs;
+//   LinkSpec    — how fast and how reliably the wire runs: timing
+//                 (explicit or the paper Timeset), symbol width,
+//                 preamble, calibration policy, drift policy, bonded
+//                 pair count;
+//   SessionSpec — how payloads are delivered over the link: protocol
+//                 mode, ARQ payload framing, fixed-mode retry rounds.
+//                 Nests the other two; this is what `Session::open`
+//                 takes and what `mes_cli plan --print` emits.
+//   PlanSpec    — a campaign as data: axis lists over the specs plus
+//                 the shared base SessionSpec; `mes_cli campaign --plan
+//                 plan.json` parses one and expands it through the
+//                 campaign engine.
+//
+// Every spec has `validate()` ("" = ok) and a lossless JSON round-trip
+// (to_json / from_json; Duration fields serialize as integer
+// nanoseconds so 42.5 us survives exactly, seeds as exact u64).
+// `to_specs` / `from_specs` adapt the legacy ExperimentConfig both
+// ways; the golden campaign fixtures lock that adapter byte-exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/json.h"
+#include "core/runner.h"
+#include "exec/campaign.h"
+#include "os/types.h"
+
+namespace mes::api {
+
+// --- name tables shared by the specs and the CLI -----------------------
+
+// Canonical lowercase mechanism keys, registration order: "flock",
+// "filelockex", "mutex", "semaphore", "event", "timer", "signal",
+// "flock-sh".
+const std::vector<std::pair<std::string, Mechanism>>& mechanism_names();
+const char* mechanism_key(Mechanism m);
+// Accepts the canonical key or the display form (to_string(m)).
+std::optional<Mechanism> parse_mechanism(std::string_view name);
+
+const char* hypervisor_key(HypervisorType h);  // "none" | "type-1" | "type-2"
+std::optional<HypervisorType> parse_hypervisor(std::string_view name);
+
+std::optional<ProtocolMode> parse_protocol(std::string_view name);
+
+const char* fairness_key(os::LockFairness f);  // "fair" | "unfair"
+std::optional<os::LockFairness> parse_fairness(std::string_view name);
+
+// --- the layered specs -------------------------------------------------
+
+struct StackSpec {
+  Mechanism mechanism = Mechanism::event;
+  std::string scenario = "local";  // registry key or alias
+  HypervisorType hypervisor = HypervisorType::none;
+  std::uint64_t seed = 1;
+  os::LockFairness fairness = os::LockFairness::fair;
+  long semaphore_initial = -1;  // <0 = the working default of 1
+  Duration mitigation_fuzz = Duration::zero();
+  Duration loop_cost = Duration::us(5.0);
+  bool fine_grained_sync = true;
+  bool recalibrate_from_preamble = true;
+  bool trace = false;  // record the kernel op trace (detector input)
+  std::string tag = "0";
+  std::uint64_t max_events = sim::Simulator::kDefaultMaxEvents;
+
+  std::string validate() const;  // "" = ok
+  Json to_json() const;
+  static StackSpec from_json(const Json& j);  // throws std::invalid_argument
+
+  friend bool operator==(const StackSpec&, const StackSpec&) = default;
+};
+
+struct LinkSpec {
+  // nullopt = the paper Timeset row for (mechanism, scenario anchor),
+  // resolved when the session opens. symbol_bits below always wins.
+  std::optional<TimingConfig> timing;
+  std::size_t symbol_bits = 1;
+  std::size_t sync_bits = 8;  // preamble length (§V.B)
+  // Calibration policy (adaptive and bonded sessions).
+  std::size_t probe_symbols = 256;
+  double min_margin = 1.0;
+  // Drift policy (adaptive sessions; proto/drift).
+  bool drift = true;
+  std::size_t drift_trigger_rounds = 3;
+  std::size_t drift_max_recalibrations = 8;
+  // Bonded striping (proto/bond): > 1 stripes each payload across this
+  // many calibrated Trojan/Spy sub-channels in one simulation.
+  std::size_t pairs = 1;
+
+  std::string validate() const;
+  Json to_json() const;
+  static LinkSpec from_json(const Json& j);
+
+  friend bool operator==(const LinkSpec&, const LinkSpec&) = default;
+};
+
+struct SessionSpec {
+  StackSpec stack;
+  LinkSpec link;
+  ProtocolMode protocol = ProtocolMode::fixed;
+  // Payload framing (the ARQ geometry; arq/adaptive/bonded sessions).
+  std::size_t chunk_bits = 256;
+  std::size_t fec_depth = 7;  // Hamming(7,4) interleave depth; 0 = off
+  std::size_t max_rounds_per_frame = 12;
+  // Fixed-mode delivery: §V.B round-protocol retries per transfer.
+  std::size_t max_rounds = 1;
+
+  std::string validate() const;  // validates the nested specs too
+  Json to_json() const;
+  std::string to_json_text() const;  // pretty, trailing newline
+  static SessionSpec from_json(const Json& j);
+  static SessionSpec parse(std::string_view text);  // throws
+
+  friend bool operator==(const SessionSpec&, const SessionSpec&) = default;
+};
+
+// --- legacy adapter ----------------------------------------------------
+
+// The flat config, lifted into the layered spec. `pairs` carries the
+// bonded-cell axis that never lived inside ExperimentConfig.
+SessionSpec to_specs(const ExperimentConfig& cfg, std::size_t pairs = 1);
+
+// The spec, lowered onto the flat config (scenario resolved through the
+// registry to its canonical name + anchor class; unknown names pass
+// through so the run reports the failure exactly like the legacy path).
+ExperimentConfig from_specs(const SessionSpec& spec);
+
+// --- campaigns as data -------------------------------------------------
+
+struct PlanScenario {
+  std::string name = "local";  // registry key or alias
+  HypervisorType hypervisor = HypervisorType::none;
+
+  friend bool operator==(const PlanScenario&, const PlanScenario&) = default;
+};
+
+struct PlanTiming {
+  std::string label = "paper";
+  // nullopt = paper Timeset per cell. An explicit value carries only
+  // t1/t0/interval; the symbol width is always session.link.symbol_bits
+  // (to_plan applies it, the JSON wire does not carry a width here).
+  std::optional<TimingConfig> timing;
+
+  friend bool operator==(const PlanTiming&, const PlanTiming&) = default;
+};
+
+struct PlanSpec {
+  std::vector<Mechanism> mechanisms = {Mechanism::event};
+  std::vector<PlanScenario> scenarios = {{}};
+  std::vector<PlanTiming> timings = {{}};
+  std::vector<ProtocolMode> protocols = {ProtocolMode::fixed};
+  std::vector<std::size_t> pairs = {1};
+  std::size_t repeats = 1;
+  std::uint64_t seed_base = 1;
+  std::size_t payload_bits = 4096;
+  // Non-axis knobs: the base every cell starts from (framing, symbol
+  // width, preamble, fairness, noise knobs, calibration/drift policy).
+  // Fields the axes own — scenario, hypervisor, protocol, timing,
+  // pairs, seed — must stay at their defaults here; validate() rejects
+  // a base value the expansion would silently overwrite.
+  SessionSpec session;
+
+  std::string validate() const;
+  Json to_json() const;
+  std::string to_json_text() const;
+  static PlanSpec from_json(const Json& j);
+  static PlanSpec parse(std::string_view text);  // throws
+
+  // Lowers onto the campaign engine's plan (scenarios resolved like the
+  // CLI always did: hypervisor-sensitive entries default to type-1).
+  // Throws std::invalid_argument on an unknown scenario or mechanism.
+  exec::ExperimentPlan to_plan() const;
+
+  friend bool operator==(const PlanSpec&, const PlanSpec&) = default;
+};
+
+}  // namespace mes::api

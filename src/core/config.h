@@ -43,6 +43,8 @@ struct TimingConfig {
   Duration t0 = Duration::zero();
   Duration interval = Duration::zero();
   std::size_t symbol_bits = 1;
+
+  friend bool operator==(const TimingConfig&, const TimingConfig&) = default;
 };
 
 // The Timeset rows of Tables IV (local), V (cross-sandbox) and

@@ -5,6 +5,7 @@
 #include "codec/frame.h"
 #include "core/channel.h"
 #include "exec/env.h"
+#include "exec/seed.h"
 #include "sim/simulator.h"
 
 namespace mes {
@@ -162,14 +163,23 @@ ChannelReport run_transmission(const ExperimentConfig& cfg,
 }
 
 RoundedReport run_with_retries(const ExperimentConfig& config,
-                               const BitVec& payload, std::size_t max_rounds)
+                               const BitVec& payload, std::size_t max_rounds,
+                               TraceOut* trace)
 {
   RoundedReport out;
   ExperimentConfig cfg = config;
   for (std::size_t round = 0; round < max_rounds; ++round) {
     ++out.rounds_attempted;
-    cfg.seed = config.seed + round * 0x9e3779b9ULL;
-    out.report = run_transmission(cfg, payload);
+    // Round 0 is the configured transmission, bit for bit; retry rounds
+    // salt the seed through the splitmix64 mixer. The additive offset
+    // this replaces could collide with a neighbouring campaign cell's
+    // seed (base + k lands on another cell's base), silently replaying
+    // its RNG stream.
+    cfg.seed = round == 0
+                   ? config.seed
+                   : exec::mix_seed(config.seed,
+                                    {static_cast<std::uint64_t>(round)});
+    out.report = run_transmission(cfg, payload, trace);
     if (out.report.ok && out.report.sync_ok) return out;
     if (!out.report.ok) return out;  // structural failure, retries futile
   }

@@ -73,15 +73,23 @@ struct TraceOut {
   std::vector<os::Kernel::OpRecord> ops;
 };
 
-// Runs one framed transmission of `payload`.
+// Runs one framed transmission of `payload`. This is the innermost
+// driver; the public entry point for applications is the layered spec +
+// session façade in api/session.h, which dispatches here for fixed-mode
+// transfers.
 ChannelReport run_transmission(const ExperimentConfig& config,
                                const BitVec& payload,
                                TraceOut* trace = nullptr);
 
 // Round protocol (§V.B): retries (with fresh timing randomness) until
-// the Spy verifies the preamble, up to `max_rounds`.
+// the Spy verifies the preamble, up to `max_rounds`. Round 0 runs on
+// the configured seed; retry rounds salt it through the splitmix64
+// mixer (exec/seed.h) so they never collide with a campaign cell's
+// stream. `trace`, when non-null, receives the kernel op trace of the
+// last round attempted (the one the report describes).
 RoundedReport run_with_retries(const ExperimentConfig& config,
                                const BitVec& payload,
-                               std::size_t max_rounds = 8);
+                               std::size_t max_rounds = 8,
+                               TraceOut* trace = nullptr);
 
 }  // namespace mes

@@ -7,10 +7,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "api/session.h"
+#include "api/spec.h"
 #include "exec/seed.h"
 #include "exec/thread_pool.h"
-#include "proto/adaptive.h"
-#include "proto/bond.h"
 #include "scenario/registry.h"
 #include "util/rng.h"
 
@@ -323,11 +323,17 @@ BitVec cell_payload(const CampaignCell& cell)
 
 ChannelReport run_cell(const CampaignCell& cell)
 {
-  if (cell.bond_pairs > 1) {
-    return proto::run_bonded_transmission(cell.config, cell_payload(cell),
-                                          cell.bond_pairs);
-  }
-  return proto::run_with_protocol(cell.config, cell_payload(cell));
+  // Every cell goes through the public façade: the session's first
+  // transfer runs on the cell seed exactly, so fixed-protocol cells are
+  // bit-identical to the per-mode dispatch this replaced (locked by
+  // tests/golden). One intentional semantic change: ARQ/adaptive cells
+  // now frame their per-round preamble with cfg.sync_bits instead of
+  // the protocol layer's hardcoded 8 — for width-1 cells (every stored
+  // baseline) the values coincide, and for wider alphabets the old
+  // default was not even a whole number of symbols.
+  api::Session session =
+      api::Session::open(api::to_specs(cell.config, cell.bond_pairs));
+  return session.transfer(cell_payload(cell));
 }
 
 CampaignRunner::CampaignRunner(std::size_t jobs)
@@ -346,10 +352,10 @@ std::vector<CellResult> CampaignRunner::run_cells(
   return results;
 }
 
-CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
+CampaignResult aggregate_cells(std::vector<CellResult> cells)
 {
   CampaignResult result;
-  result.cells = run_cells(expand(plan));
+  result.cells = std::move(cells);
   result.points = group_by(result.cells, [](const CellResult& c) {
     return point_key(c.cell);
   });
@@ -364,6 +370,11 @@ CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
     return key;
   });
   return result;
+}
+
+CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
+{
+  return aggregate_cells(run_cells(expand(plan)));
 }
 
 void write_csv(std::ostream& out, const CampaignResult& result)

@@ -125,6 +125,12 @@ struct CampaignResult {
   std::vector<GroupStats> by_scenario;
 };
 
+// Folds finished cells into the per-point and marginal statistics (plan
+// order preserved). CampaignRunner::run is run_cells + this; exposed so
+// drivers that run cells themselves (e.g. through mes::api::Session)
+// aggregate identically.
+CampaignResult aggregate_cells(std::vector<CellResult> cells);
+
 class CampaignRunner {
  public:
   // jobs == 0 picks the hardware concurrency; jobs == 1 runs serially

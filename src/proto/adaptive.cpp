@@ -156,11 +156,19 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
 ChannelReport run_with_protocol(const ExperimentConfig& cfg,
                                 const BitVec& payload)
 {
+  // Same preamble policy as the façade (api::Session::transfer): the
+  // ARQ rounds frame with the config's sync_bits, not the ArqOptions
+  // default — the two dispatch points must not diverge.
+  ArqOptions arq;
+  arq.sync_bits = cfg.sync_bits;
   switch (cfg.protocol) {
     case ProtocolMode::fixed: return run_transmission(cfg, payload);
-    case ProtocolMode::arq: return run_arq_transmission(cfg, payload);
-    case ProtocolMode::adaptive:
-      return run_adaptive_transmission(cfg, payload);
+    case ProtocolMode::arq: return run_arq_transmission(cfg, payload, arq);
+    case ProtocolMode::adaptive: {
+      AdaptiveOptions opt;
+      opt.arq = arq;
+      return run_adaptive_transmission(cfg, payload, opt);
+    }
   }
   return run_transmission(cfg, payload);
 }

@@ -8,8 +8,10 @@
 // the measured classifier.
 //
 // Both return a ChannelReport so campaign cells, the CLI and the
-// benches aggregate protocol runs exactly like raw rounds. Semantics
-// that differ from run_transmission:
+// benches aggregate protocol runs exactly like raw rounds. Applications
+// reach these drivers through the public façade (api/session.h), whose
+// Session::transfer is the one dispatch point over fixed / ARQ /
+// adaptive / bonded modes. Semantics that differ from run_transmission:
 //  * received_payload is the reassembled (post-ARQ) payload, so ber is
 //    the *residual* error rate — 0 on any delivered session;
 //  * throughput_bps is goodput: payload bits over the full session
@@ -47,8 +49,12 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
                                         const AdaptiveOptions& opt = {},
                                         Calibration* cal_out = nullptr);
 
-// Protocol-mode dispatch used by exec::run_cell and the CLI: fixed ->
-// run_transmission, arq/adaptive -> the drivers above.
+// Protocol-mode dispatch at the proto layer: fixed -> run_transmission,
+// arq/adaptive -> the drivers above, framing ARQ rounds with the
+// config's sync_bits (the same preamble policy as the façade).
+// Production callers go through api::Session::transfer, which adds the
+// full spec-driven option derivation on top; this stays as the
+// proto-local building block.
 ChannelReport run_with_protocol(const ExperimentConfig& cfg,
                                 const BitVec& payload);
 

@@ -1,0 +1,783 @@
+// Tests for the public façade (mes::api): the JSON document model, the
+// layered spec round-trips (every field, defaults, invalid-value
+// rejection), the legacy ExperimentConfig adapter, the Session duplex
+// byte-stream over every protocol mode, and the golden-equivalence
+// lock: Session over the adapter reproduces the legacy campaign
+// emissions byte for byte.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "api/session.h"
+#include "api/spec.h"
+#include "exec/campaign.h"
+#include "exec/seed.h"
+#include "proto/adaptive.h"
+#include "util/rng.h"
+
+namespace mes {
+namespace {
+
+// --- the JSON document model ------------------------------------------
+
+TEST(Json, ParsesAndDumpsRoundTrip)
+{
+  const std::string text =
+      R"({"a":1,"b":-2.5,"c":"x\"y","d":[true,false,null],"e":{}})";
+  const api::Json doc = api::Json::parse(text);
+  EXPECT_EQ(doc.dump(), text);
+  EXPECT_EQ(doc.find("a")->as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(doc.find("b")->as_double(), -2.5);
+  EXPECT_EQ(doc.find("c")->as_string(), "x\"y");
+  EXPECT_EQ(doc.find("d")->items().size(), 3u);
+  EXPECT_TRUE(doc.find("d")->items()[2].is_null());
+}
+
+TEST(Json, U64SeedsSurviveExactly)
+{
+  // 15877410703883005819 > 2^63: a double round-trip would shave bits.
+  const api::Json doc = api::Json::parse("{\"seed\":15877410703883005819}");
+  EXPECT_EQ(doc.find("seed")->as_u64(), 15877410703883005819ULL);
+  EXPECT_EQ(doc.dump(), "{\"seed\":15877410703883005819}");
+}
+
+TEST(Json, DoublesUseShortestRoundTrip)
+{
+  const api::Json v = api::Json::number(0.1);
+  EXPECT_EQ(v.dump(), "0.1");
+  EXPECT_DOUBLE_EQ(api::Json::parse(v.dump()).as_double(), 0.1);
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+  for (const char* bad :
+       {"{\"a\":nan}", "{\"a\":inf}", "{\"a\":1,}", "[1 2]", "{'a':1}",
+        "{\"a\":1}x", "{\"a\":1,\"a\":2}", "\"unterminated", "{\"a\":01e}",
+        "{\"seed\":0123}", "{\"a\":-01}", "tru"}) {
+    EXPECT_THROW((void)api::Json::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8AndLoneSurrogatesAreRejected)
+{
+  // \ud83d\ude00 is U+1F600 — one 4-byte UTF-8 sequence, not CESU-8.
+  const api::Json doc = api::Json::parse("{\"tag\":\"\\ud83d\\ude00\"}");
+  EXPECT_EQ(doc.find("tag")->as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW((void)api::Json::parse("\"\\ud83d\""), std::invalid_argument);
+  EXPECT_THROW((void)api::Json::parse("\"\\ude00\""), std::invalid_argument);
+  EXPECT_THROW((void)api::Json::parse("\"\\ud83dx\""), std::invalid_argument);
+}
+
+TEST(Json, DeeplyNestedDocumentsAreAParseErrorNotAStackOverflow)
+{
+  std::string deep;
+  for (int i = 0; i < 200000; ++i) deep += '[';
+  EXPECT_THROW((void)api::Json::parse(deep), std::invalid_argument);
+}
+
+TEST(Json, ExactIntegerReadsRejectFractionsAndNegatives)
+{
+  EXPECT_THROW((void)api::Json::parse("1.5").as_u64(), std::invalid_argument);
+  EXPECT_THROW((void)api::Json::parse("-3").as_u64(), std::invalid_argument);
+  EXPECT_EQ(api::Json::parse("-3").as_i64(), -3);
+  EXPECT_THROW((void)api::Json::parse("\"3\"").as_u64(),
+               std::invalid_argument);
+}
+
+// --- spec JSON round-trips --------------------------------------------
+
+TEST(Spec, DefaultSessionSpecRoundTripsThroughJson)
+{
+  const api::SessionSpec spec;
+  const api::SessionSpec back = api::SessionSpec::parse(spec.to_json_text());
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(spec.validate(), "");
+}
+
+// Every field pushed off its default, including sub-microsecond timing
+// (299 ns would not survive a microsecond double).
+api::SessionSpec exhaustive_spec()
+{
+  api::SessionSpec spec;
+  spec.stack.mechanism = Mechanism::flock_shared;
+  spec.stack.scenario = "noisy-local";
+  spec.stack.hypervisor = HypervisorType::type2;
+  spec.stack.seed = 15877410703883005819ULL;
+  spec.stack.fairness = os::LockFairness::unfair;
+  spec.stack.semaphore_initial = 3;
+  spec.stack.mitigation_fuzz = Duration::ns(1234);
+  spec.stack.loop_cost = Duration::ns(299);
+  spec.stack.fine_grained_sync = false;
+  spec.stack.recalibrate_from_preamble = false;
+  spec.stack.trace = true;
+  spec.stack.tag = "t\"ag,1";
+  spec.stack.max_events = 12345678901ULL;
+  TimingConfig timing;
+  timing.t1 = Duration::ns(42500);
+  timing.t0 = Duration::ns(299);
+  timing.interval = Duration::ns(65001);
+  spec.link.timing = timing;
+  spec.link.symbol_bits = 2;
+  spec.link.sync_bits = 16;
+  spec.link.probe_symbols = 128;
+  spec.link.min_margin = 1.75;
+  spec.link.drift = false;
+  spec.link.drift_trigger_rounds = 5;
+  spec.link.drift_max_recalibrations = 2;
+  spec.link.pairs = 4;
+  spec.protocol = ProtocolMode::adaptive;
+  spec.chunk_bits = 128;
+  spec.fec_depth = 0;
+  spec.max_rounds_per_frame = 7;
+  spec.max_rounds = 3;
+  return spec;
+}
+
+TEST(Spec, EveryFieldRoundTripsThroughJson)
+{
+  const api::SessionSpec spec = exhaustive_spec();
+  EXPECT_EQ(spec.validate(), "");
+  const api::SessionSpec back = api::SessionSpec::parse(spec.to_json_text());
+  EXPECT_EQ(back, spec);
+  // And compactly, through the document model.
+  const api::SessionSpec again =
+      api::SessionSpec::from_json(api::Json::parse(spec.to_json().dump()));
+  EXPECT_EQ(again, spec);
+}
+
+TEST(Spec, AbsentFieldsKeepDefaults)
+{
+  const api::SessionSpec spec =
+      api::SessionSpec::parse("{\"stack\":{\"mechanism\":\"flock\"}}");
+  EXPECT_EQ(spec.stack.mechanism, Mechanism::flock);
+  EXPECT_EQ(spec.stack.scenario, "local");
+  EXPECT_EQ(spec.link.pairs, 1u);
+  EXPECT_EQ(spec.protocol, ProtocolMode::fixed);
+}
+
+TEST(Spec, ParseRejectsUnknownEnumStringsAndKeys)
+{
+  for (const char* bad : {
+           "{\"stack\":{\"mechanism\":\"mootex\"}}",
+           "{\"stack\":{\"hypervisor\":\"type-9\"}}",
+           "{\"stack\":{\"fairness\":\"rigged\"}}",
+           "{\"protocol\":\"telepathy\"}",
+           "{\"stack\":{\"seed\":-1}}",
+           "{\"stack\":{\"seed\":1.5}}",
+           "{\"link\":{\"timing\":\"fast\"}}",
+           "{\"link\":{\"timing\":{\"t1_us\":100}}}",  // _ns, not _us
+           "{\"link\":{\"paris\":2}}",                 // typo'd key
+           "{\"chunk_bits\":\"many\"}",
+       }) {
+    EXPECT_THROW((void)api::SessionSpec::parse(bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Spec, ValidateRejectsOutOfRangeValues)
+{
+  const auto invalid = [](auto mutate) {
+    api::SessionSpec spec;
+    mutate(spec);
+    return spec.validate();
+  };
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.stack.scenario = "mars"; }),
+            "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.link.symbol_bits = 0; }), "");
+  // > 8 would abort inside the codec's SymbolSchedule; validate()
+  // promises a clean error instead.
+  EXPECT_NE(invalid([](api::SessionSpec& s) {
+              s.link.symbol_bits = 9;
+              s.link.sync_bits = 9;
+            }),
+            "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.link.sync_bits = 0; }), "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) {
+              s.link.symbol_bits = 3;
+              s.link.sync_bits = 8;  // not a multiple of the width
+            }),
+            "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.link.pairs = 0; }), "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.link.pairs = 5000; }), "");
+  // Bonded links run the per-pair adaptive stack; a fixed/arq protocol
+  // over pairs > 1 would be silently ignored, so it is invalid.
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.link.pairs = 4; }), "");
+  EXPECT_EQ(invalid([](api::SessionSpec& s) {
+              s.link.pairs = 4;
+              s.protocol = ProtocolMode::adaptive;
+            }),
+            "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.chunk_bits = 0; }), "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.max_rounds = 0; }), "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) { s.max_rounds_per_frame = 0; }),
+            "");
+  EXPECT_NE(invalid([](api::SessionSpec& s) {
+              s.stack.mitigation_fuzz = Duration::ns(-1);
+            }),
+            "");
+}
+
+// --- the legacy adapter ------------------------------------------------
+
+ExperimentConfig exhaustive_config()
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::semaphore;
+  cfg.scenario = Scenario::cross_sandbox;
+  cfg.scenario_name = "cross-sandbox";
+  cfg.hypervisor = HypervisorType::type1;
+  cfg.timing = paper_timeset(Mechanism::semaphore, Scenario::cross_sandbox);
+  cfg.timing.t1 = Duration::ns(123456);
+  cfg.sync_bits = 24;
+  cfg.seed = 0xFEEDFACECAFEBEEFULL;
+  cfg.fairness = os::LockFairness::unfair;
+  cfg.protocol = ProtocolMode::arq;
+  cfg.loop_cost = Duration::us(7.5);
+  cfg.recalibrate_from_preamble = false;
+  cfg.fine_grained_sync = false;
+  cfg.semaphore_initial = 2;
+  cfg.mitigation_fuzz = Duration::us(3.0);
+  cfg.enable_trace = true;
+  cfg.tag = "42";
+  cfg.max_events = 777777;
+  return cfg;
+}
+
+TEST(Adapter, FromSpecsInvertsToSpecsFieldByField)
+{
+  const ExperimentConfig cfg = exhaustive_config();
+  const api::SessionSpec spec = api::to_specs(cfg);
+  const ExperimentConfig back = api::from_specs(spec);
+
+  EXPECT_EQ(back.mechanism, cfg.mechanism);
+  EXPECT_EQ(back.scenario, cfg.scenario);
+  EXPECT_EQ(back.scenario_name, cfg.scenario_name);
+  EXPECT_EQ(back.hypervisor, cfg.hypervisor);
+  EXPECT_EQ(back.timing, cfg.timing);
+  EXPECT_EQ(back.sync_bits, cfg.sync_bits);
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_EQ(back.fairness, cfg.fairness);
+  EXPECT_EQ(back.protocol, cfg.protocol);
+  EXPECT_EQ(back.loop_cost.count_ns(), cfg.loop_cost.count_ns());
+  EXPECT_EQ(back.recalibrate_from_preamble, cfg.recalibrate_from_preamble);
+  EXPECT_EQ(back.fine_grained_sync, cfg.fine_grained_sync);
+  EXPECT_EQ(back.semaphore_initial, cfg.semaphore_initial);
+  EXPECT_EQ(back.mitigation_fuzz.count_ns(), cfg.mitigation_fuzz.count_ns());
+  EXPECT_EQ(back.enable_trace, cfg.enable_trace);
+  EXPECT_EQ(back.tag, cfg.tag);
+  EXPECT_EQ(back.max_events, cfg.max_events);
+
+  // The adapter survives the JSON wire too.
+  const ExperimentConfig wired = api::from_specs(
+      api::SessionSpec::parse(spec.to_json_text()));
+  EXPECT_EQ(wired.timing, cfg.timing);
+  EXPECT_EQ(wired.seed, cfg.seed);
+
+  // Lifting with a bonded pair count canonicalizes the protocol to
+  // adaptive — expand() forces exactly that for bonded cells, and the
+  // spec layer validates it instead of implying it.
+  const api::SessionSpec bonded = api::to_specs(cfg, 3);
+  EXPECT_EQ(bonded.link.pairs, 3u);
+  EXPECT_EQ(bonded.protocol, ProtocolMode::adaptive);
+  EXPECT_EQ(bonded.validate(), "");
+}
+
+TEST(Adapter, LiftedSpecsSurviveTheJsonWireEvenWithWideSymbols)
+{
+  // The timing object on the wire carries only t1/t0/interval;
+  // link.symbol_bits is the authoritative width. A config with a wide
+  // alphabet must still round-trip to an *equal* spec.
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.timing.symbol_bits = 2;
+  cfg.sync_bits = 16;
+  const api::SessionSpec spec = api::to_specs(cfg);
+  EXPECT_EQ(spec.link.symbol_bits, 2u);
+  EXPECT_EQ(api::SessionSpec::parse(spec.to_json_text()), spec);
+  EXPECT_EQ(api::from_specs(spec).timing, cfg.timing);
+}
+
+TEST(Adapter, ScenarioAliasesCanonicalizeThroughFromSpecs)
+{
+  api::SessionSpec spec;
+  spec.stack.scenario = "noisy";  // alias of noisy-local
+  const ExperimentConfig cfg = api::from_specs(spec);
+  EXPECT_EQ(cfg.scenario_name, "noisy-local");
+  EXPECT_EQ(cfg.scenario, Scenario::local);  // anchor class
+}
+
+// --- the Session façade ------------------------------------------------
+
+api::SessionSpec local_event_spec(std::uint64_t seed)
+{
+  api::SessionSpec spec;
+  spec.stack.mechanism = Mechanism::event;
+  spec.stack.scenario = "local";
+  spec.stack.seed = seed;
+  return spec;
+}
+
+TEST(Session, FixedTransferMatchesDirectRunnerBitForBit)
+{
+  const api::SessionSpec spec = local_event_spec(0xA11CE);
+  api::Session session = api::Session::open(spec);
+  ASSERT_TRUE(session.is_open()) << session.error();
+
+  Rng rng{1};
+  const BitVec payload = BitVec::random(rng, 512);
+  const ChannelReport via_facade = session.transfer(payload);
+  const ChannelReport direct =
+      run_transmission(api::from_specs(spec), payload);
+  ASSERT_TRUE(via_facade.ok) << via_facade.failure_reason;
+  EXPECT_DOUBLE_EQ(via_facade.ber, direct.ber);
+  EXPECT_DOUBLE_EQ(via_facade.throughput_bps, direct.throughput_bps);
+  EXPECT_EQ(via_facade.received_payload, direct.received_payload);
+  EXPECT_EQ(via_facade.elapsed.count_ns(), direct.elapsed.count_ns());
+}
+
+TEST(Session, ArqModeDeliversExactlyThroughTheFacade)
+{
+  api::SessionSpec spec = local_event_spec(0xA2);
+  spec.protocol = ProtocolMode::arq;
+  api::Session session = api::Session::open(spec);
+  Rng rng{2};
+  const ChannelReport rep = session.transfer(BitVec::random(rng, 512));
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->mode, ProtocolMode::arq);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+  EXPECT_EQ(session.stats().frames, rep.proto->frames);
+}
+
+TEST(Session, LinkSyncBitsDriveTheArqPreamble)
+{
+  // The spec's preamble knob must reach the ARQ link: a longer
+  // preamble spends more wire time per round, deterministically.
+  Rng rng{9};
+  const BitVec payload = BitVec::random(rng, 256);
+  api::SessionSpec short_sync = local_event_spec(0x51);
+  short_sync.protocol = ProtocolMode::arq;
+  api::SessionSpec long_sync = short_sync;
+  long_sync.link.sync_bits = 24;
+  const ChannelReport a =
+      api::Session::open(short_sync).transfer(payload);
+  const ChannelReport b = api::Session::open(long_sync).transfer(payload);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_NE(a.elapsed.count_ns(), b.elapsed.count_ns());
+}
+
+TEST(Session, AdaptiveModeCalibratesAndExposesTheVerdict)
+{
+  api::SessionSpec spec = local_event_spec(0xA3);
+  spec.protocol = ProtocolMode::adaptive;
+  api::Session session = api::Session::open(spec);
+  Rng rng{3};
+  const ChannelReport rep = session.transfer(BitVec::random(rng, 512));
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->mode, ProtocolMode::adaptive);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+  ASSERT_TRUE(session.calibration().has_value());
+  EXPECT_TRUE(session.calibration()->ok);
+  EXPECT_GT(session.calibration()->margin, 0.0);
+}
+
+TEST(Session, BondedModeStripesAcrossPairs)
+{
+  api::SessionSpec spec = local_event_spec(0xB0DDCE11);
+  spec.link.pairs = 2;
+  spec.protocol = ProtocolMode::adaptive;  // bonded implies adaptive
+  api::Session session = api::Session::open(spec);
+  Rng rng{4};
+  const ChannelReport rep = session.transfer(BitVec::random(rng, 512));
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_EQ(rep.proto->pairs, 2u);
+  ASSERT_TRUE(session.bond().has_value());
+  EXPECT_EQ(session.bond()->pairs_live, 2u);
+}
+
+// The drift-aware path through the same interface: the regime-shift
+// scenario turns hostile mid-transfer and the session recalibrates
+// online (mirrors test_proto's direct-driver test at the same seed).
+TEST(Session, DriftAwareAdaptiveSurvivesARegimeShift)
+{
+  api::SessionSpec spec;
+  spec.stack.mechanism = Mechanism::event;
+  spec.stack.scenario = "regime-shift";
+  spec.stack.seed = 0x5CE7A210 + 0x3000;
+  spec.link.symbol_bits = 2;
+  spec.link.sync_bits = 16;
+  spec.protocol = ProtocolMode::adaptive;
+  api::Session session = api::Session::open(spec);
+  ASSERT_TRUE(session.is_open()) << session.error();
+
+  Rng payload_rng{0x5CE7A210 ^ 0xD21FULL};
+  const ChannelReport rep =
+      session.transfer(BitVec::random(payload_rng, 4096));
+  ASSERT_TRUE(rep.ok) << rep.failure_reason;
+  EXPECT_TRUE(rep.sync_ok);
+  EXPECT_DOUBLE_EQ(rep.ber, 0.0);
+  ASSERT_TRUE(rep.proto.has_value());
+  EXPECT_GE(rep.proto->drift_events, 1u);
+  EXPECT_GE(rep.proto->recalibrations, 1u);
+  EXPECT_GE(session.stats().drift_events, 1u);
+  EXPECT_GE(session.stats().recalibrations, 1u);
+}
+
+TEST(Session, ByteStreamSendRecvRoundTripsText)
+{
+  // ARQ mode: the byte stream is reliable, so repeated sends must
+  // round-trip bit-exactly regardless of the noise realization each
+  // salted transfer happens to draw.
+  api::SessionSpec spec = local_event_spec(2027);
+  spec.protocol = ProtocolMode::arq;
+  api::Session session = api::Session::open(spec);
+  ASSERT_TRUE(session.send_text("MES!"));
+  EXPECT_EQ(session.recv_text(), "MES!");
+  EXPECT_EQ(session.recv_text(), "");  // drained
+
+  ASSERT_TRUE(session.send_text("more"));
+  EXPECT_EQ(session.recv_text(), "more");
+  EXPECT_EQ(session.stats().transfers, 2u);
+  EXPECT_EQ(session.stats().bytes_sent, 8u);
+  EXPECT_EQ(session.stats().bytes_received, 8u);
+}
+
+TEST(Session, FixedModeByteStreamDeliversWhatTheSpyMeasured)
+{
+  // Fixed mode is a raw round: recv() hands over exactly what arrived,
+  // bit errors included — the report says whether it was clean.
+  api::Session session = api::Session::open(local_event_spec(2027));
+  ASSERT_TRUE(session.send_text("MES!"));
+  const std::vector<std::uint8_t> got = session.recv();
+  EXPECT_EQ(got,
+            session.last_report().received_payload.slice(0, 32).to_bytes());
+}
+
+TEST(Session, SaltedTransfersDifferFromAReplay)
+{
+  api::Session session = api::Session::open(local_event_spec(99));
+  Rng rng{5};
+  const BitVec payload = BitVec::random(rng, 256);
+  const ChannelReport first = session.transfer(payload);
+  const ChannelReport second = session.transfer(payload);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  // Same payload, same spec — different noise realization.
+  EXPECT_NE(first.rx_latencies, second.rx_latencies);
+
+  // And the salt schedule is deterministic: a fresh session replays it.
+  api::Session replay = api::Session::open(local_event_spec(99));
+  const ChannelReport r1 = replay.transfer(payload);
+  const ChannelReport r2 = replay.transfer(payload);
+  EXPECT_DOUBLE_EQ(r1.ber, first.ber);
+  EXPECT_DOUBLE_EQ(r2.ber, second.ber);
+  EXPECT_EQ(r2.received_payload, second.received_payload);
+}
+
+TEST(Session, TransferSaltsLiveInTheirOwnDomainAwayFromRetryRounds)
+{
+  // run_with_retries salts retry round k as mix_seed(S, {k}); transfer
+  // k must NOT land on the same stream, or transfer 0's retry round k
+  // would replay transfer k's noise realization.
+  const std::uint64_t seed = 0xD07A11;
+  api::Session session = api::Session::open(local_event_spec(seed));
+  Rng rng{8};
+  const BitVec payload = BitVec::random(rng, 256);
+  (void)session.transfer(payload);  // transfer 0: the spec seed itself
+  const ChannelReport transfer1 = session.transfer(payload);
+
+  ExperimentConfig retry_cfg = api::from_specs(local_event_spec(seed));
+  retry_cfg.seed = exec::mix_seed(seed, {1});  // retry round 1's seed
+  const ChannelReport retry1 = run_transmission(retry_cfg, payload);
+  ASSERT_TRUE(transfer1.ok);
+  ASSERT_TRUE(retry1.ok);
+  EXPECT_NE(transfer1.rx_latencies, retry1.rx_latencies);
+}
+
+TEST(Session, WiderAlphabetsPadBytePayloadsToWholeSymbols)
+{
+  api::SessionSpec spec = local_event_spec(7);
+  spec.link.symbol_bits = 3;
+  spec.link.sync_bits = 24;
+  api::Session session = api::Session::open(spec);
+  ASSERT_TRUE(session.is_open()) << session.error();
+  ASSERT_TRUE(session.send_text("Z"));  // 8 bits -> padded to 9
+  EXPECT_EQ(session.recv_text(), "Z");
+}
+
+TEST(Session, InvalidSpecFailsAtOpenNotAtTransfer)
+{
+  api::SessionSpec spec;
+  spec.stack.mechanism = Mechanism::flock;
+  spec.stack.scenario = "cross-sandbox";
+  spec.link.symbol_bits = 0;
+  api::Session session = api::Session::open(spec);
+  EXPECT_FALSE(session.is_open());
+  EXPECT_NE(session.error(), "");
+  const ChannelReport rep = session.transfer(BitVec::from_text("x"));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.failure_reason, session.error());
+  // The failure report carries the spec's real identity, like the
+  // legacy runner's failure path stamped its cfg.
+  EXPECT_EQ(rep.mechanism, Mechanism::flock);
+  EXPECT_EQ(rep.scenario_name, "cross-sandbox");
+}
+
+TEST(Session, TopologyVerdictsSurfacePerTransferLikeTheLegacyDrivers)
+{
+  // Event never resolves across a VM boundary (Table VI); the spec is
+  // structurally fine, the transfer reports the verdict.
+  api::SessionSpec spec;
+  spec.stack.mechanism = Mechanism::event;
+  spec.stack.scenario = "cross-VM";
+  spec.stack.hypervisor = HypervisorType::type1;
+  api::Session session = api::Session::open(spec);
+  ASSERT_TRUE(session.is_open()) << session.error();
+  const ChannelReport rep = session.transfer(BitVec::from_text("x"));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason, "");
+}
+
+TEST(Session, StackTraceKnobSurfacesTheKernelOpTrace)
+{
+  api::SessionSpec spec = local_event_spec(0x7ACE);
+  spec.stack.trace = true;
+  api::Session session = api::Session::open(spec);
+  EXPECT_TRUE(session.trace().empty());
+  Rng rng{10};
+  ASSERT_TRUE(session.transfer(BitVec::random(rng, 128)).ok);
+  EXPECT_FALSE(session.trace().empty());  // the detector's input
+}
+
+TEST(Session, CloseStopsTransfersButKeepsTheBuffer)
+{
+  api::Session session = api::Session::open(local_event_spec(11));
+  ASSERT_TRUE(session.send_text("hi"));
+  session.close();
+  EXPECT_FALSE(session.is_open());
+  EXPECT_FALSE(session.send_text("more"));
+  EXPECT_EQ(session.recv_text(), "hi");
+}
+
+// --- retry-round seed salting (run_with_retries) -----------------------
+
+TEST(Retries, FirstRoundRunsOnTheConfiguredSeedExactly)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::event;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::event, Scenario::local);
+  cfg.seed = 1234;
+  Rng rng{6};
+  const BitVec payload = BitVec::random(rng, 128);
+  const RoundedReport rounded = run_with_retries(cfg, payload, 4);
+  ASSERT_TRUE(rounded.report.ok);
+  if (rounded.rounds_attempted == 1) {
+    const ChannelReport direct = run_transmission(cfg, payload);
+    EXPECT_EQ(rounded.report.received_payload, direct.received_payload);
+    EXPECT_DOUBLE_EQ(rounded.report.ber, direct.ber);
+  }
+}
+
+// --- golden equivalence: Session over the adapter ----------------------
+
+std::string read_golden(const char* name)
+{
+  std::ifstream in{std::string{MES_GOLDEN_DIR} + "/" + name,
+                   std::ios::binary};
+  EXPECT_TRUE(in.good()) << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// The legacy golden plan (tests/test_exec.cpp), run cell by cell
+// through api::Session over the to_specs adapter instead of the
+// campaign runner: the emissions must still match the pre-façade
+// fixtures byte for byte.
+TEST(Golden, SessionOverAdapterReproducesLegacyCampaignBytes)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::flock, Mechanism::file_lock_ex,
+                     Mechanism::mutex, Mechanism::semaphore,
+                     Mechanism::event, Mechanism::waitable_timer};
+  plan.scenarios = {exec::named_scenario("local"),
+                    exec::named_scenario("cross-sandbox"),
+                    exec::named_scenario("cross-VM", HypervisorType::type1)};
+  plan.repeats = 2;
+  plan.seed_base = 0x1E6AC7;
+  plan.payload_bits = 512;
+
+  std::vector<exec::CellResult> results;
+  for (const exec::CampaignCell& cell : exec::expand(plan)) {
+    api::Session session =
+        api::Session::open(api::to_specs(cell.config, cell.bond_pairs));
+    exec::CellResult result;
+    result.report = session.transfer(exec::cell_payload(cell));
+    result.cell = cell;
+    results.push_back(std::move(result));
+  }
+  const exec::CampaignResult result =
+      exec::aggregate_cells(std::move(results));
+
+  std::ostringstream csv, json;
+  exec::write_csv(csv, result);
+  exec::write_json(json, result);
+  EXPECT_EQ(csv.str(), read_golden("legacy_campaign.csv"));
+  EXPECT_EQ(json.str(), read_golden("legacy_campaign.json"));
+}
+
+// --- campaigns as data (PlanSpec) --------------------------------------
+
+TEST(Plan, DefaultPlanRoundTripsThroughJson)
+{
+  const api::PlanSpec plan;
+  EXPECT_EQ(plan.validate(), "");
+  EXPECT_EQ(api::PlanSpec::parse(plan.to_json_text()), plan);
+}
+
+TEST(Plan, EveryAxisRoundTripsThroughJson)
+{
+  api::PlanSpec plan;
+  plan.mechanisms = {Mechanism::flock, Mechanism::event};
+  plan.scenarios = {{"local", HypervisorType::none},
+                    {"cross-VM", HypervisorType::type2}};
+  TimingConfig fast;
+  fast.t0 = Duration::us(10);
+  fast.interval = Duration::us(40);
+  plan.timings = {{"paper", {}}, {"fast", fast}};
+  plan.protocols = {ProtocolMode::fixed, ProtocolMode::adaptive};
+  plan.pairs = {1, 4};
+  plan.repeats = 3;
+  plan.seed_base = 0xC0FFEE;
+  plan.payload_bits = 1024;
+  plan.session = exhaustive_spec();
+  plan.session.stack.scenario = "local";  // axes own the scenario
+  EXPECT_EQ(api::PlanSpec::parse(plan.to_json_text()), plan);
+}
+
+TEST(Plan, ToPlanExpandsLikeTheCampaignEngine)
+{
+  api::PlanSpec plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock};
+  plan.scenarios = {{"local", HypervisorType::none},
+                    {"cross-VM", HypervisorType::none}};
+  plan.protocols = {ProtocolMode::fixed, ProtocolMode::arq};
+  plan.repeats = 2;
+  plan.seed_base = 0xCA4FA16;
+  plan.payload_bits = 256;
+
+  const exec::ExperimentPlan lowered = plan.to_plan();
+  const auto cells = exec::expand(lowered);
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);
+  // Hypervisor-sensitive scenarios default to type-1, like the CLI.
+  EXPECT_EQ(cells[4].config.scenario_name, "cross-VM");
+  EXPECT_EQ(cells[4].config.hypervisor, HypervisorType::type1);
+  // Seeds are the campaign engine's own schedule (same as a hand-built
+  // ExperimentPlan with these axes).
+  exec::ExperimentPlan manual;
+  manual.mechanisms = plan.mechanisms;
+  manual.scenarios = {exec::named_scenario("local"),
+                      exec::named_scenario("cross-VM", HypervisorType::type1)};
+  manual.protocols = {{"fixed", ProtocolMode::fixed},
+                      {"arq", ProtocolMode::arq}};
+  manual.repeats = 2;
+  manual.seed_base = 0xCA4FA16;
+  manual.payload_bits = 256;
+  const auto manual_cells = exec::expand(manual);
+  ASSERT_EQ(manual_cells.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].config.seed, manual_cells[i].config.seed);
+    EXPECT_EQ(cells[i].label, manual_cells[i].label);
+  }
+}
+
+TEST(Plan, SymbolWidthSurvivesPaperTimesetResolution)
+{
+  api::PlanSpec plan;
+  plan.session.link.symbol_bits = 2;
+  plan.session.link.sync_bits = 16;
+  const auto cells = exec::expand(plan.to_plan());
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].config.timing.symbol_bits, 2u);
+  EXPECT_EQ(cells[0].config.sync_bits, 16u);
+}
+
+TEST(Plan, ValidateRejectsAxisOwnedBaseSessionFields)
+{
+  const auto invalid = [](auto mutate) {
+    api::PlanSpec plan;
+    mutate(plan);
+    return plan.validate();
+  };
+  EXPECT_NE(invalid([](api::PlanSpec& p) {
+              p.session.link.timing = TimingConfig{};
+            }),
+            "");
+  EXPECT_NE(invalid([](api::PlanSpec& p) {
+              p.session.link.pairs = 4;
+              p.session.protocol = ProtocolMode::adaptive;
+            }),
+            "");
+  EXPECT_NE(invalid([](api::PlanSpec& p) {
+              p.session.stack.hypervisor = HypervisorType::type1;
+            }),
+            "");
+  EXPECT_NE(invalid([](api::PlanSpec& p) {
+              p.session.stack.scenario = "noisy-local";
+            }),
+            "");
+  EXPECT_NE(invalid([](api::PlanSpec& p) {
+              p.session.protocol = ProtocolMode::arq;
+            }),
+            "");
+  EXPECT_NE(invalid([](api::PlanSpec& p) { p.session.stack.seed = 7; }),
+            "");
+}
+
+TEST(Json, OverflowingDoublesAreAParseError)
+{
+  EXPECT_THROW((void)api::Json::parse("{\"m\":1e999}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::Json::parse("{\"m\":-1e999}"),
+               std::invalid_argument);
+  // Underflow collapses to 0.0 and stays accepted.
+  EXPECT_DOUBLE_EQ(api::Json::parse("1e-999").as_double(), 0.0);
+}
+
+TEST(Plan, ValidateAndToPlanRejectUnknownScenarios)
+{
+  api::PlanSpec plan;
+  plan.scenarios = {{"atlantis", HypervisorType::none}};
+  EXPECT_NE(plan.validate(), "");
+  EXPECT_THROW((void)plan.to_plan(), std::invalid_argument);
+}
+
+// The checked-in CI smoke plan stays parseable, valid, and small.
+TEST(Plan, CheckedInSmokePlanParsesAndExpands)
+{
+  std::ifstream in{std::string{MES_PLANS_DIR} + "/smoke.json",
+                   std::ios::binary};
+  ASSERT_TRUE(in.good()) << "plans/smoke.json missing";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const api::PlanSpec plan = api::PlanSpec::parse(buf.str());
+  EXPECT_EQ(plan.validate(), "");
+  const auto cells = exec::expand(plan.to_plan());
+  EXPECT_GE(cells.size(), 2u);
+  EXPECT_LE(cells.size(), 64u);  // a smoke, not a campaign
+}
+
+}  // namespace
+}  // namespace mes

@@ -2,31 +2,43 @@
 //
 //   mes_cli run      --mechanism event --scenario local --bits 20000
 //   mes_cli run      --mechanism flock --t1 180 --t0 60 --seed 9 --fec
+//   mes_cli run      --spec session.json --json
 //   mes_cli sweep    --mechanism flock --param t1 --from 110 --to 320 --step 15
 //   mes_cli campaign --mechanisms paper --scenarios local,noisy-local --seeds 5
+//   mes_cli campaign --plan plans/smoke.json --json
+//   mes_cli plan     --print            (default SessionSpec template)
+//   mes_cli plan     --print-campaign   (default campaign plan template)
 //   mes_cli text     --mechanism event --message "hello covert world"
 //   mes_cli list
 //   mes_cli list-scenarios
 //
 // Everything the bench harness measures, reachable without recompiling.
+// All experiment construction goes through the public façade
+// (mes::api): flags build a SessionSpec / PlanSpec, files parse into
+// one, and transfers run through api::Session. Unknown flags, flags on
+// the wrong subcommand and unknown subcommands are hard errors (exit 2
+// with usage), never silently ignored.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/capacity.h"
 #include "analysis/sweep.h"
+#include "api/session.h"
+#include "api/spec.h"
 #include "codec/fec.h"
 #include "core/runner.h"
 #include "exec/campaign.h"
-#include "proto/adaptive.h"
-#include "proto/bond.h"
 #include "scenario/registry.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -35,26 +47,24 @@ namespace {
 
 using namespace mes;
 
-const std::map<std::string, Mechanism>& mechanism_names()
-{
-  static const std::map<std::string, Mechanism> names = {
-      {"flock", Mechanism::flock},
-      {"filelockex", Mechanism::file_lock_ex},
-      {"mutex", Mechanism::mutex},
-      {"semaphore", Mechanism::semaphore},
-      {"event", Mechanism::event},
-      {"timer", Mechanism::waitable_timer},
-      {"signal", Mechanism::posix_signal},
-      {"flock-sh", Mechanism::flock_shared},
-  };
-  return names;
-}
-
 // Scenario flags resolve through the registry: any canonical name or
 // alias from scenario/registry.h ("local", "vm", "noisy-local", ...).
 const scenario::ScenarioDef* resolve_scenario(const std::string& name)
 {
   return scenario::find_scenario(name);
+}
+
+// The CLI's historical mechanism order (a std::map, i.e. alphabetical
+// by key). `list` rows and the `--mechanisms all` axis both keep it so
+// pre-façade invocations reproduce their exact output and per-cell
+// seed schedule.
+std::vector<std::pair<std::string, Mechanism>> mechanisms_alphabetical()
+{
+  std::vector<std::pair<std::string, Mechanism>> names =
+      api::mechanism_names();
+  std::sort(names.begin(), names.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return names;
 }
 
 struct Options {
@@ -71,6 +81,10 @@ struct Options {
   std::string protocols;  // campaign protocol axis (comma list)
   std::string pairs;      // campaign bonded-pairs axis (comma list)
   std::string message;
+  std::string spec_path;  // run: SessionSpec JSON file
+  std::string plan_path;  // campaign: PlanSpec JSON file
+  bool print_session = false;   // plan --print
+  bool print_campaign = false;  // plan --print-campaign
   // Overrides; negative = use the paper timeset.
   double t1 = -1.0, t0 = -1.0, interval = -1.0, fuzz = 0.0;
   // Sweep controls.
@@ -78,17 +92,21 @@ struct Options {
   double from = 110.0, to = 320.0, step = 15.0;
   // Campaign controls.
   std::string mechanisms = "paper";  // paper|all|comma list
-  std::string scenarios = "local";   // comma list of local|sandbox|vm
+  std::string scenarios = "local";   // comma list of scenario names
   std::size_t repeats = 1;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string csv;       // CSV output path ("-" = stdout)
   bool json = false;     // machine-readable output (run/campaign)
+
+  // Which flags the command line actually carried (conflict checks).
+  std::set<std::string> seen;
+  bool has(const char* flag) const { return seen.contains(flag); }
 };
 
 void usage()
 {
   std::printf(
-      "usage: mes_cli <run|sweep|campaign|text|list|list-scenarios> "
+      "usage: mes_cli <run|sweep|campaign|plan|text|list|list-scenarios> "
       "[options]\n"
       "  --mechanism M   flock|filelockex|mutex|semaphore|event|timer|"
       "signal|flock-sh\n"
@@ -99,18 +117,24 @@ void usage()
       "  --seed N        RNG seed             --width W   symbol bits\n"
       "  --t1 US --t0 US --interval US        timing overrides\n"
       "  --fuzz US       mitigation timing fuzz\n"
-      "  --fec           Hamming(7,4)+interleave the payload\n"
+      "  --fec           Hamming(7,4)+interleave the payload (run)\n"
       "  --adapt         adaptive protocol: calibrate the rate against\n"
       "                  the live noise, then deliver via ARQ (run/"
       "campaign)\n"
       "  --bond N        bonded link: stripe the payload across N\n"
       "                  calibrated sub-channel pairs in one simulation\n"
       "                  (run; implies the adaptive stack per pair)\n"
+      "  --spec FILE     run a SessionSpec JSON file (see `plan --print`)\n"
       "  --message TEXT  payload for `text`\n"
       "  --param P --from A --to B --step D   sweep controls "
       "(t1|t0|interval)\n"
       "  --json          machine-readable output (run/campaign)\n"
+      "plan options:\n"
+      "  --print             emit the default SessionSpec JSON template\n"
+      "  --print-campaign    emit the default campaign PlanSpec template\n"
       "campaign options:\n"
+      "  --plan FILE     expand a PlanSpec JSON file instead of axis "
+      "flags\n"
       "  --mechanisms L  paper|all|comma list (default paper: the six "
       "Table IV MESMs)\n"
       "  --scenarios L   comma list of scenario-library names "
@@ -123,114 +147,258 @@ void usage()
       "  --csv PATH      per-cell CSV emission ('-' = stdout)\n");
 }
 
+// Flag registry: which flags exist at all, whether they take a value,
+// which subcommands they apply to, and whether they configure the
+// experiment itself (`configures`) — the latter is what decides which
+// flags conflict with a `--spec`/`--plan` file, so there is exactly
+// one table to extend. Anything off this table — a misspelled flag, a
+// campaign flag on `run` — is a hard parse error.
+struct FlagDef {
+  const char* name;
+  bool has_value;
+  const char* commands;  // space-separated subcommand list
+  bool configures = false;
+};
+
+const std::vector<FlagDef>& flag_defs()
+{
+  static const std::vector<FlagDef> defs = {
+      {"--mechanism", true, "run sweep text", true},
+      {"--scenario", true, "run sweep text", true},
+      {"--hypervisor", true, "run sweep text campaign", true},
+      {"--bits", true, "run sweep campaign", true},
+      {"--seed", true, "run sweep text campaign", true},
+      {"--width", true, "run sweep text campaign", true},
+      {"--t1", true, "run sweep text campaign", true},
+      {"--t0", true, "run sweep text campaign", true},
+      {"--interval", true, "run sweep text campaign", true},
+      {"--fuzz", true, "run sweep text campaign", true},
+      {"--fec", false, "run", true},
+      {"--adapt", false, "run campaign", true},
+      {"--bond", true, "run", true},
+      {"--spec", true, "run"},
+      {"--message", true, "text"},
+      {"--param", true, "sweep"},
+      {"--from", true, "sweep"},
+      {"--to", true, "sweep"},
+      {"--step", true, "sweep"},
+      {"--json", false, "run campaign"},
+      {"--plan", true, "campaign"},
+      {"--mechanisms", true, "campaign", true},
+      {"--scenarios", true, "campaign", true},
+      {"--protocols", true, "campaign", true},
+      {"--pairs", true, "campaign", true},
+      {"--seeds", true, "campaign", true},
+      {"--jobs", true, "campaign"},
+      {"--csv", true, "campaign"},
+      {"--print", false, "plan"},
+      {"--print-campaign", false, "plan"},
+  };
+  return defs;
+}
+
+bool command_allows(const FlagDef& def, const std::string& command)
+{
+  std::stringstream stream{def.commands};
+  std::string item;
+  while (stream >> item) {
+    if (item == command) return true;
+  }
+  return false;
+}
+
+// A spec/plan file IS the configuration; any config-shaping flag the
+// command line also carried would silently fight it. Derived from the
+// one flag table so new flags inherit the check. `allowed` lists the
+// file-compatible exceptions (e.g. `run --spec` still takes --bits:
+// payload size is not part of a SessionSpec).
+bool reject_file_conflicts(const Options& opt, const char* file_flag,
+                           std::initializer_list<const char*> allowed)
+{
+  for (const FlagDef& def : flag_defs()) {
+    if (!def.configures || !command_allows(def, opt.command) ||
+        !opt.has(def.name)) {
+      continue;
+    }
+    bool exempt = false;
+    for (const char* name : allowed) {
+      if (std::strcmp(def.name, name) == 0) {
+        exempt = true;
+        break;
+      }
+    }
+    if (exempt) continue;
+    std::fprintf(stderr, "%s conflicts with %s (edit the file instead)\n",
+                 def.name, file_flag);
+    return false;
+  }
+  return true;
+}
+
+bool parse_flag_value(const std::string& flag, const char* value,
+                      Options& opt)
+{
+  // Numeric values parse strictly: the whole token must be a number,
+  // or the flag errors out — `--seed banana` or `--bits 2Ok` must not
+  // silently run an experiment at 0.
+  const auto numeric = [&](auto parse) {
+    errno = 0;
+    char* end = nullptr;
+    auto parsed = parse(value, &end);
+    if (value[0] == '\0' || end == nullptr || *end != '\0' ||
+        errno == ERANGE || value[0] == '-') {
+      std::fprintf(stderr, "option %s wants a number, got '%s'\n",
+                   flag.c_str(), value);
+      return std::optional<decltype(parsed)>{};
+    }
+    return std::optional{parsed};
+  };
+  const auto u64_of = [&](std::uint64_t& out) {
+    // Base 0: hex seeds ("0x1E6AC7") stay supported.
+    const auto v = numeric([](const char* s, char** end) {
+      return std::strtoull(s, end, 0);
+    });
+    if (v) out = *v;
+    return v.has_value();
+  };
+  const auto size_of = [&](std::size_t& out) {
+    const auto v = numeric([](const char* s, char** end) {
+      return std::strtoull(s, end, 10);
+    });
+    if (v) out = static_cast<std::size_t>(*v);
+    return v.has_value();
+  };
+  if (flag == "--mechanism") {
+    const std::optional<Mechanism> m = api::parse_mechanism(value);
+    if (!m) {
+      std::fprintf(stderr, "unknown mechanism %s (try `mes_cli list`)\n",
+                   value);
+      return false;
+    }
+    opt.mechanism = *m;
+    return true;
+  }
+  if (flag == "--scenario") {
+    if (resolve_scenario(value) == nullptr) {
+      std::fprintf(stderr, "unknown scenario %s (try list-scenarios)\n",
+                   value);
+      return false;
+    }
+    opt.scenario = value;
+    return true;
+  }
+  if (flag == "--hypervisor") {
+    const std::optional<HypervisorType> h = api::parse_hypervisor(value);
+    if (!h || *h == HypervisorType::none) {
+      std::fprintf(stderr, "--hypervisor wants type1 or type2\n");
+      return false;
+    }
+    opt.hypervisor = *h;
+    return true;
+  }
+  if (flag == "--bits") return size_of(opt.bits);
+  if (flag == "--seed") return u64_of(opt.seed);
+  if (flag == "--width") return size_of(opt.width);
+  if (flag == "--t1" || flag == "--t0" || flag == "--interval" ||
+      flag == "--fuzz" || flag == "--from" || flag == "--to" ||
+      flag == "--step") {
+    const auto parsed = numeric([](const char* s, char** end) {
+      return std::strtod(s, end);
+    });
+    if (!parsed) return false;
+    const double v = *parsed;
+    if (flag == "--step" && v == 0.0) {
+      std::fprintf(stderr, "--step must be nonzero (a zero step sweeps "
+                           "forever)\n");
+      return false;
+    }
+    if (flag == "--t1") opt.t1 = v;
+    else if (flag == "--t0") opt.t0 = v;
+    else if (flag == "--interval") opt.interval = v;
+    else if (flag == "--fuzz") opt.fuzz = v;
+    else if (flag == "--from") opt.from = v;
+    else if (flag == "--to") opt.to = v;
+    else opt.step = v;
+    return true;
+  }
+  if (flag == "--bond") {
+    if (!size_of(opt.bond)) return false;
+    if (opt.bond == 0 || opt.bond > 4096) {
+      std::fprintf(stderr, "--bond wants 1..4096 pairs\n");
+      return false;
+    }
+    return true;
+  }
+  if (flag == "--spec") { opt.spec_path = value; return true; }
+  if (flag == "--message") { opt.message = value; return true; }
+  if (flag == "--param") { opt.param = value; return true; }
+  if (flag == "--plan") { opt.plan_path = value; return true; }
+  if (flag == "--mechanisms") { opt.mechanisms = value; return true; }
+  if (flag == "--scenarios") { opt.scenarios = value; return true; }
+  if (flag == "--protocols") { opt.protocols = value; return true; }
+  if (flag == "--pairs") { opt.pairs = value; return true; }
+  if (flag == "--seeds") return size_of(opt.repeats);
+  if (flag == "--jobs") return size_of(opt.jobs);
+  if (flag == "--csv") { opt.csv = value; return true; }
+  return false;
+}
+
 bool parse(int argc, char** argv, Options& opt)
 {
   if (argc < 2) return false;
   opt.command = argv[1];
+  static const std::set<std::string> commands = {
+      "run", "sweep", "campaign", "plan", "text", "list", "list-scenarios"};
+  if (!commands.contains(opt.command)) {
+    std::fprintf(stderr, "unknown command '%s'\n", opt.command.c_str());
+    return false;
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--mechanism") {
-      const char* v = next();
-      if (!v || !mechanism_names().contains(v)) return false;
-      opt.mechanism = mechanism_names().at(v);
-    } else if (arg == "--scenario") {
-      const char* v = next();
-      if (!v) return false;
-      if (resolve_scenario(v) == nullptr) {
-        std::fprintf(stderr, "unknown scenario %s (try list-scenarios)\n",
-                     v);
-        return false;
+    const FlagDef* def = nullptr;
+    for (const FlagDef& candidate : flag_defs()) {
+      if (arg == candidate.name) {
+        def = &candidate;
+        break;
       }
-      opt.scenario = v;
-    } else if (arg == "--hypervisor") {
-      const char* v = next();
-      if (!v) return false;
-      opt.hypervisor = std::strcmp(v, "type2") == 0 ? HypervisorType::type2
-                                                    : HypervisorType::type1;
-    } else if (arg == "--bits") {
-      const char* v = next();
-      if (!v) return false;
-      opt.bits = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-    } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      opt.seed = std::strtoull(v, nullptr, 0);
-    } else if (arg == "--width") {
-      const char* v = next();
-      if (!v) return false;
-      opt.width = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-    } else if (arg == "--t1" || arg == "--t0" || arg == "--interval" ||
-               arg == "--fuzz" || arg == "--from" || arg == "--to" ||
-               arg == "--step") {
-      const char* v = next();
-      if (!v) return false;
-      const double value = std::strtod(v, nullptr);
-      if (arg == "--t1") opt.t1 = value;
-      else if (arg == "--t0") opt.t0 = value;
-      else if (arg == "--interval") opt.interval = value;
-      else if (arg == "--fuzz") opt.fuzz = value;
-      else if (arg == "--from") opt.from = value;
-      else if (arg == "--to") opt.to = value;
-      else opt.step = value;
-    } else if (arg == "--fec") {
-      opt.fec = true;
-    } else if (arg == "--adapt") {
-      opt.adapt = true;
-    } else if (arg == "--bond") {
-      const char* v = next();
-      if (!v) return false;
-      // strtoull wraps negatives to huge values; reject both outright
-      // (4096 sub-channels is already far past the useful range).
-      opt.bond = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-      if (v[0] == '-' || opt.bond == 0 || opt.bond > 4096) {
-        std::fprintf(stderr, "--bond wants 1..4096 pairs\n");
-        return false;
-      }
-    } else if (arg == "--protocols") {
-      const char* v = next();
-      if (!v) return false;
-      opt.protocols = v;
-    } else if (arg == "--pairs") {
-      const char* v = next();
-      if (!v) return false;
-      opt.pairs = v;
-    } else if (arg == "--json") {
-      opt.json = true;
-    } else if (arg == "--seeds") {
-      const char* v = next();
-      if (!v) return false;
-      opt.repeats = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-    } else if (arg == "--jobs") {
-      const char* v = next();
-      if (!v) return false;
-      opt.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-    } else if (arg == "--mechanisms") {
-      const char* v = next();
-      if (!v) return false;
-      opt.mechanisms = v;
-    } else if (arg == "--scenarios") {
-      const char* v = next();
-      if (!v) return false;
-      opt.scenarios = v;
-    } else if (arg == "--csv") {
-      const char* v = next();
-      if (!v) return false;
-      opt.csv = v;
-    } else if (arg == "--param") {
-      const char* v = next();
-      if (!v) return false;
-      opt.param = v;
-    } else if (arg == "--message") {
-      const char* v = next();
-      if (!v) return false;
-      opt.message = v;
-    } else {
+    }
+    if (def == nullptr) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return false;
     }
+    if (!command_allows(*def, opt.command)) {
+      std::fprintf(stderr, "option %s does not apply to '%s'\n", arg.c_str(),
+                   opt.command.c_str());
+      return false;
+    }
+    const char* value = nullptr;
+    if (def->has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option %s needs a value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+      // A flag of this subcommand in value position means the value was
+      // forgotten: `run --seed --json` must not silently run seed 0
+      // without JSON output. Only same-command flags are checked, so an
+      // off-command flag name stays usable as a literal value (e.g.
+      // `text --message "--json"`).
+      for (const FlagDef& other : flag_defs()) {
+        if (value == std::string_view{other.name} &&
+            command_allows(other, opt.command)) {
+          std::fprintf(stderr, "option %s needs a value (got the flag %s)\n",
+                       arg.c_str(), value);
+          return false;
+        }
+      }
+    }
+    opt.seen.insert(arg);
+    if (arg == "--fec") opt.fec = true;
+    else if (arg == "--adapt") opt.adapt = true;
+    else if (arg == "--json") opt.json = true;
+    else if (arg == "--print") opt.print_session = true;
+    else if (arg == "--print-campaign") opt.print_campaign = true;
+    else if (!parse_flag_value(arg, value, opt)) return false;
   }
   return true;
 }
@@ -248,23 +416,42 @@ std::string timing_string(Mechanism m, const TimingConfig& t)
   return buf;
 }
 
+// The façade construction every flags-driven command shares: flags ->
+// layered SessionSpec. Timing overrides land on the paper Timeset of
+// (mechanism, anchor scenario), exactly like the legacy config builder.
+api::SessionSpec spec_from(const Options& opt)
+{
+  api::SessionSpec spec;
+  spec.stack.mechanism = opt.mechanism;
+  spec.stack.scenario = opt.scenario;
+  spec.stack.hypervisor = opt.hypervisor;
+  spec.stack.seed = opt.seed;
+  spec.stack.mitigation_fuzz = Duration::us(opt.fuzz);
+
+  if (opt.t1 >= 0 || opt.t0 >= 0 || opt.interval >= 0) {
+    const scenario::ScenarioDef& def = *resolve_scenario(opt.scenario);
+    TimingConfig timing = paper_timeset(opt.mechanism, def.legacy);
+    if (opt.t1 >= 0) timing.t1 = Duration::us(opt.t1);
+    if (opt.t0 >= 0) timing.t0 = Duration::us(opt.t0);
+    if (opt.interval >= 0) timing.interval = Duration::us(opt.interval);
+    spec.link.timing = timing;
+  }
+  spec.link.symbol_bits = opt.width;
+  spec.link.sync_bits = 8 * opt.width;
+
+  // --bond implies the per-pair adaptive stack (the usage text says
+  // so); the spec layer validates that invariant.
+  if (opt.bond > 1) {
+    spec.link.pairs = opt.bond;
+    spec.protocol = ProtocolMode::adaptive;
+  }
+  if (opt.adapt) spec.protocol = ProtocolMode::adaptive;
+  return spec;
+}
+
 ExperimentConfig config_from(const Options& opt)
 {
-  ExperimentConfig cfg;
-  cfg.mechanism = opt.mechanism;
-  const scenario::ScenarioDef& def = *resolve_scenario(opt.scenario);
-  cfg.scenario = def.legacy;         // the Timeset anchor
-  cfg.scenario_name = def.name;
-  cfg.hypervisor = opt.hypervisor;
-  cfg.timing = paper_timeset(opt.mechanism, cfg.scenario);
-  if (opt.t1 >= 0) cfg.timing.t1 = Duration::us(opt.t1);
-  if (opt.t0 >= 0) cfg.timing.t0 = Duration::us(opt.t0);
-  if (opt.interval >= 0) cfg.timing.interval = Duration::us(opt.interval);
-  cfg.timing.symbol_bits = opt.width;
-  cfg.sync_bits = 8 * opt.width;
-  cfg.mitigation_fuzz = Duration::us(opt.fuzz);
-  cfg.seed = opt.seed;
-  return cfg;
+  return api::from_specs(spec_from(opt));
 }
 
 void print_report(const ChannelReport& rep, std::size_t payload_bits)
@@ -285,31 +472,74 @@ void print_report(const ChannelReport& rep, std::size_t payload_bits)
   std::printf("elapsed   : %s\n", to_string(rep.elapsed).c_str());
 }
 
+bool read_file(const std::string& path, std::string& out)
+{
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+// Shared --spec/--plan loader: read, parse (Spec::parse), report the
+// parse error with the file path. One implementation for both paths.
+template <typename Spec>
+bool load_spec_file(const std::string& path, Spec& out)
+{
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  try {
+    out = Spec::parse(text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
 int cmd_run(const Options& opt)
 {
-  if (opt.width == 0) {
-    std::fprintf(stderr, "--width must be at least 1\n");
+  api::SessionSpec spec;
+  if (!opt.spec_path.empty()) {
+    if (!reject_file_conflicts(opt, "--spec", {"--bits"})) return 2;
+    if (!load_spec_file(opt.spec_path, spec)) return 2;
+  } else {
+    if (opt.width == 0) {
+      std::fprintf(stderr, "--width must be at least 1\n");
+      return 2;
+    }
+    spec = spec_from(opt);
+  }
+
+  api::Session session = api::Session::open(spec);
+  if (!session.is_open()) {
+    std::fprintf(stderr, "invalid spec: %s\n", session.error().c_str());
     return 2;
   }
-  ExperimentConfig cfg = config_from(opt);
-  Rng rng{opt.seed ^ 0xC11u};
-  const std::size_t n = opt.bits - opt.bits % opt.width;
+
+  const std::size_t width = std::max<std::size_t>(spec.link.symbol_bits, 1);
+  Rng rng{spec.stack.seed ^ 0xC11u};
+  const std::size_t n = opt.bits - opt.bits % width;
   const BitVec secret = BitVec::random(rng, n);
-  if (opt.bond > 1) {
+
+  if (spec.link.pairs > 1) {
     if (opt.fec) {
       std::fprintf(stderr, "--fec and --bond are mutually exclusive: the "
                            "bonded link already FEC-protects every "
                            "stripe\n");
       return 2;
     }
-    proto::BondReport bond;
-    const ChannelReport rep =
-        proto::run_bonded_transmission(cfg, secret, opt.bond, {}, &bond);
+    const ChannelReport rep = session.transfer(secret);
     if (opt.json) {
       std::printf("%s\n", exec::report_json(rep, secret.size()).c_str());
       return rep.ok && rep.sync_ok ? 0 : 1;
     }
     print_report(rep, secret.size());
+    const proto::BondReport& bond = *session.bond();
     TextTable table({"sub-channel", "mechanism", "calibrated", "margin",
                      "weight(kb/s)", "burst", "delivered", "sends",
                      "state"});
@@ -333,25 +563,25 @@ int cmd_run(const Options& opt)
                 bond.aggregate_goodput_bps / 1000.0);
     return rep.ok && rep.sync_ok ? 0 : 1;
   }
-  if (opt.adapt) {
+
+  if (spec.protocol != ProtocolMode::fixed) {
     if (opt.fec) {
       std::fprintf(stderr, "--fec and --adapt are mutually exclusive: the "
                            "adaptive protocol already FEC-protects every "
                            "ARQ frame\n");
       return 2;
     }
-    proto::Calibration cal;
-    const ChannelReport rep =
-        proto::run_adaptive_transmission(cfg, secret, {}, &cal);
+    const ChannelReport rep = session.transfer(secret);
     if (opt.json) {
       std::printf("%s\n", exec::report_json(rep, secret.size()).c_str());
       return rep.ok && rep.sync_ok ? 0 : 1;
     }
     print_report(rep, secret.size());
-    if (cal.ok) {
+    if (session.calibration() && session.calibration()->ok) {
+      const proto::Calibration& cal = *session.calibration();
       std::printf("calibrated: %s (x%.2f), margin %.1f, symbol err "
                   "%.2f%%, %zu probes in %s\n",
-                  timing_string(cfg.mechanism, cal.timing).c_str(),
+                  timing_string(spec.stack.mechanism, cal.timing).c_str(),
                   cal.scale, cal.margin, cal.symbol_error * 100.0,
                   cal.probes_sent, to_string(cal.elapsed).c_str());
     }
@@ -362,9 +592,10 @@ int cmd_run(const Options& opt)
     }
     return rep.ok && rep.sync_ok ? 0 : 1;
   }
+
   if (opt.json) {
     const BitVec payload = opt.fec ? codec::fec_protect(secret, 7) : secret;
-    const ChannelReport rep = run_transmission(cfg, payload);
+    const ChannelReport rep = session.transfer(payload);
     std::string json = exec::report_json(rep, payload.size());
     if (opt.fec && rep.ok) {
       const auto recovered = codec::fec_recover(rep.received_payload, 7);
@@ -385,12 +616,12 @@ int cmd_run(const Options& opt)
     return rep.ok ? 0 : 1;
   }
   if (!opt.fec) {
-    const ChannelReport rep = run_transmission(cfg, secret);
+    const ChannelReport rep = session.transfer(secret);
     print_report(rep, secret.size());
     return rep.ok ? 0 : 1;
   }
   const BitVec coded = codec::fec_protect(secret, 7);
-  const ChannelReport rep = run_transmission(cfg, coded);
+  const ChannelReport rep = session.transfer(coded);
   print_report(rep, coded.size());
   if (!rep.ok) return 1;
   const auto recovered = codec::fec_recover(rep.received_payload, 7);
@@ -447,7 +678,8 @@ std::vector<std::string> split_list(const std::string& csv_list)
   return items;
 }
 
-bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
+// Flags -> campaign PlanSpec (the same data `--plan file.json` parses).
+bool plan_spec_from(const Options& opt, api::PlanSpec& plan)
 {
   if (opt.mechanisms == "paper") {
     plan.mechanisms = {Mechanism::flock, Mechanism::file_lock_ex,
@@ -455,38 +687,30 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
                        Mechanism::event, Mechanism::waitable_timer};
   } else if (opt.mechanisms == "all") {
     plan.mechanisms.clear();
-    for (const auto& [name, mechanism] : mechanism_names()) {
+    for (const auto& [name, mechanism] : mechanisms_alphabetical()) {
       (void)name;
       plan.mechanisms.push_back(mechanism);
     }
   } else {
     plan.mechanisms.clear();
     for (const std::string& name : split_list(opt.mechanisms)) {
-      if (!mechanism_names().contains(name)) {
+      const std::optional<Mechanism> m = api::parse_mechanism(name);
+      if (!m) {
         std::fprintf(stderr, "unknown mechanism %s\n", name.c_str());
         return false;
       }
-      plan.mechanisms.push_back(mechanism_names().at(name));
+      plan.mechanisms.push_back(*m);
     }
   }
 
   plan.scenarios.clear();
   for (const std::string& name : split_list(opt.scenarios)) {
-    const scenario::ScenarioDef* def = resolve_scenario(name);
-    if (def == nullptr) {
+    if (resolve_scenario(name) == nullptr) {
       std::fprintf(stderr, "unknown scenario %s (try list-scenarios)\n",
                    name.c_str());
       return false;
     }
-    // The hypervisor flag only matters for hypervisor-sensitive
-    // scenarios; the legacy cross-VM default (type-1) is preserved so
-    // historical invocations keep their exact labels and seeds.
-    plan.scenarios.push_back(exec::named_scenario(
-        def->name, def->hypervisor_sensitive
-                       ? (opt.hypervisor == HypervisorType::none
-                              ? HypervisorType::type1
-                              : opt.hypervisor)
-                       : HypervisorType::none));
+    plan.scenarios.push_back({name, opt.hypervisor});
   }
   if (plan.mechanisms.empty() || plan.scenarios.empty()) {
     std::fprintf(stderr, "campaign needs at least one mechanism and one "
@@ -496,25 +720,21 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
 
   // Protocol axis: --protocols wins, --adapt alone means adaptive-only.
   if (!opt.protocols.empty()) {
-    static const std::map<std::string, ProtocolMode> protocol_names = {
-        {"fixed", ProtocolMode::fixed},
-        {"arq", ProtocolMode::arq},
-        {"adaptive", ProtocolMode::adaptive},
-    };
     plan.protocols.clear();
     for (const std::string& name : split_list(opt.protocols)) {
-      if (!protocol_names.contains(name)) {
+      const std::optional<ProtocolMode> mode = api::parse_protocol(name);
+      if (!mode) {
         std::fprintf(stderr, "unknown protocol %s\n", name.c_str());
         return false;
       }
-      plan.protocols.push_back({name, protocol_names.at(name)});
+      plan.protocols.push_back(*mode);
     }
     if (plan.protocols.empty()) {
       std::fprintf(stderr, "--protocols needs at least one value\n");
       return false;
     }
   } else if (opt.adapt) {
-    plan.protocols = {{"adaptive", ProtocolMode::adaptive}};
+    plan.protocols = {ProtocolMode::adaptive};
   }
 
   // Bonded-pairs axis: cells with N > 1 stripe the payload over a
@@ -522,10 +742,13 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
   if (!opt.pairs.empty()) {
     plan.pairs.clear();
     for (const std::string& item : split_list(opt.pairs)) {
+      char* end = nullptr;
       const std::size_t n_pairs =
-          static_cast<std::size_t>(std::strtoull(item.c_str(), nullptr, 10));
-      // Negatives wrap through strtoull; reject them with the zeros.
-      if (item[0] == '-' || n_pairs == 0 || n_pairs > 4096) {
+          static_cast<std::size_t>(std::strtoull(item.c_str(), &end, 10));
+      // Strict: the whole item must be a number ("4x" is a typo, not
+      // 4), negatives wrap through strtoull, and 4096 caps the range.
+      if (item[0] == '-' || *end != '\0' || n_pairs == 0 ||
+          n_pairs > 4096) {
         std::fprintf(stderr, "--pairs values must be 1..4096\n");
         return false;
       }
@@ -540,23 +763,42 @@ bool campaign_plan(const Options& opt, exec::ExperimentPlan& plan)
   plan.repeats = std::max<std::size_t>(opt.repeats, 1);
   plan.seed_base = opt.seed;
   plan.payload_bits = opt.bits;
-  // Per-cell timing starts from the paper Timeset of (mechanism,
-  // scenario); explicit flags override on top, like `run` does.
-  plan.tweak = [opt](ExperimentConfig& cfg, const exec::CellCoord&) {
-    if (opt.t1 >= 0) cfg.timing.t1 = Duration::us(opt.t1);
-    if (opt.t0 >= 0) cfg.timing.t0 = Duration::us(opt.t0);
-    if (opt.interval >= 0) cfg.timing.interval = Duration::us(opt.interval);
-    cfg.timing.symbol_bits = opt.width;
-    cfg.sync_bits = 8 * opt.width;
-    cfg.mitigation_fuzz = Duration::us(opt.fuzz);
-  };
+  plan.session.link.symbol_bits = opt.width;
+  plan.session.link.sync_bits = 8 * opt.width;
+  plan.session.stack.mitigation_fuzz = Duration::us(opt.fuzz);
   return true;
 }
 
 int cmd_campaign(const Options& opt)
 {
+  api::PlanSpec plan_spec;
+  if (!opt.plan_path.empty()) {
+    if (!reject_file_conflicts(opt, "--plan", {})) return 2;
+    if (!load_spec_file(opt.plan_path, plan_spec)) return 2;
+  } else if (!plan_spec_from(opt, plan_spec)) {
+    return 2;
+  }
+
   exec::ExperimentPlan plan;
-  if (!campaign_plan(opt, plan)) return 2;
+  try {
+    plan = plan_spec.to_plan();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid plan: %s\n", e.what());
+    return 2;
+  }
+  // Explicit timing flags override on top of the per-cell Timeset, like
+  // `run` does (flags path only; a plan file names its timings axis).
+  if (opt.t1 >= 0 || opt.t0 >= 0 || opt.interval >= 0) {
+    const auto inner = plan.tweak;
+    const double t1 = opt.t1, t0 = opt.t0, interval = opt.interval;
+    plan.tweak = [inner, t1, t0, interval](ExperimentConfig& cfg,
+                                           const exec::CellCoord& coord) {
+      if (inner) inner(cfg, coord);
+      if (t1 >= 0) cfg.timing.t1 = Duration::us(t1);
+      if (t0 >= 0) cfg.timing.t0 = Duration::us(t0);
+      if (interval >= 0) cfg.timing.interval = Duration::us(interval);
+    };
+  }
 
   const exec::CampaignRunner runner{opt.jobs};
   const exec::CampaignResult result = runner.run(plan);
@@ -624,24 +866,45 @@ int cmd_campaign(const Options& opt)
   return exit_code;
 }
 
+int cmd_plan(const Options& opt)
+{
+  if (opt.print_session == opt.print_campaign) {
+    std::fprintf(stderr, "plan wants exactly one of --print (SessionSpec "
+                         "template) or --print-campaign (campaign "
+                         "template)\n");
+    return 2;
+  }
+  if (opt.print_session) {
+    std::fputs(api::SessionSpec{}.to_json_text().c_str(), stdout);
+  } else {
+    std::fputs(api::PlanSpec{}.to_json_text().c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_text(const Options& opt)
 {
   if (opt.message.empty()) {
     std::fprintf(stderr, "text requires --message\n");
     return 2;
   }
-  ExperimentConfig cfg = config_from(opt);
-  const BitVec payload = BitVec::from_text(opt.message);
-  const RoundedReport rounded = run_with_retries(cfg, payload);
-  print_report(rounded.report, payload.size());
-  if (rounded.report.ok && rounded.report.sync_ok) {
-    std::printf("rounds    : %zu\n", rounded.rounds_attempted);
-    std::printf("received  : \"%s\"\n",
-                rounded.report.ber == 0.0
-                    ? rounded.report.received_payload.to_text().c_str()
-                    : "<bit errors>");
+  api::SessionSpec spec = spec_from(opt);
+  spec.max_rounds = 8;  // §V.B round protocol
+  api::Session session = api::Session::open(spec);
+  if (!session.is_open()) {
+    std::fprintf(stderr, "invalid spec: %s\n", session.error().c_str());
+    return 2;
   }
-  return rounded.report.ok ? 0 : 1;
+  session.send_text(opt.message);
+  const ChannelReport& rep = session.last_report();
+  print_report(rep, opt.message.size() * 8);
+  if (rep.ok && rep.sync_ok) {
+    std::printf("rounds    : %zu\n", session.stats().rounds);
+    const std::string received = session.recv_text();
+    std::printf("received  : \"%s\"\n",
+                rep.ber == 0.0 ? received.c_str() : "<bit errors>");
+  }
+  return rep.ok ? 0 : 1;
 }
 
 int cmd_list_scenarios()
@@ -681,7 +944,7 @@ int cmd_list_scenarios()
 int cmd_list()
 {
   TextTable table({"mechanism", "class", "OS", "local Timeset"});
-  for (const auto& [name, mechanism] : mechanism_names()) {
+  for (const auto& [name, mechanism] : mechanisms_alphabetical()) {
     const TimingConfig t = paper_timeset(mechanism, Scenario::local);
     table.add_row({name, to_string(class_of(mechanism)),
                    flavor_of(mechanism) == OsFlavor::windows ? "windows"
@@ -704,6 +967,7 @@ int main(int argc, char** argv)
   if (opt.command == "run") return cmd_run(opt);
   if (opt.command == "sweep") return cmd_sweep(opt);
   if (opt.command == "campaign") return cmd_campaign(opt);
+  if (opt.command == "plan") return cmd_plan(opt);
   if (opt.command == "text") return cmd_text(opt);
   if (opt.command == "list") return cmd_list();
   if (opt.command == "list-scenarios") return cmd_list_scenarios();
