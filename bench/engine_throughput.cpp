@@ -1,0 +1,279 @@
+// Simulator hot-path microbenches: the events/sec trajectory.
+//
+// Every campaign cell is a private simulator run, so campaign wall time
+// at the million-cell scale is simulator throughput. Three microbenches
+// stress the three hot paths separately:
+//
+//   timer_churn  — pure delay() traffic: schedule_resume + heap churn,
+//                  the path PR 4 moved to bare coroutine handles;
+//   lock_convoy  — a WaitQueue hand-off chain: wait()/notify_one with a
+//                  mix of timed and infinite waits, the parking-lot
+//                  allocation path;
+//   notify_storm — notify_all over a wide waiter set each round, the
+//                  batched-wakeup path.
+//
+// Emits BENCH_engine.json (cwd) so CI archives events/sec next to
+// BENCH_bond.json / BENCH_scenarios.json; the workflow soft-checks the
+// numbers against the committed baseline (warn-only — CI hardware
+// varies, the trajectory is what matters).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_queue.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mes;
+using sim::Proc;
+using sim::Simulator;
+using sim::WaitQueue;
+
+struct MicrobenchResult {
+  std::uint64_t events = 0;    // simulator events dispatched
+  std::uint64_t wakeups = 0;   // waiter resumptions delivered
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double wakeups_per_sec = 0.0;
+};
+
+double wall_seconds(std::chrono::steady_clock::time_point start)
+{
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// --- timer_churn --------------------------------------------------------
+
+Proc churn_proc(Simulator& sim, int id, int rounds)
+{
+  for (int i = 0; i < rounds; ++i) {
+    // Spread the delays so the heap stays deep and pushes interleave.
+    co_await sim.delay(Duration::us(1.0 + (id * 7 + i) % 13));
+  }
+}
+
+MicrobenchResult run_timer_churn()
+{
+  constexpr int kProcs = 256;
+  constexpr int kRounds = 4000;
+  Simulator sim{42};
+  for (int p = 0; p < kProcs; ++p) {
+    sim.spawn(churn_proc(sim, p, kRounds));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const sim::RunResult r = sim.run();
+  MicrobenchResult out;
+  out.events = r.events_processed;
+  out.wakeups = r.events_processed;
+  out.wall_s = wall_seconds(start);
+  out.events_per_sec = static_cast<double>(out.events) / out.wall_s;
+  out.wakeups_per_sec = out.events_per_sec;
+  return out;
+}
+
+// --- lock_convoy --------------------------------------------------------
+
+Proc convoy_waiter(Simulator& sim, WaitQueue& q, int id, std::uint64_t& woken,
+                   bool& done)
+{
+  while (!done) {
+    // Every third waiter uses a finite timeout that mostly does not
+    // expire — the timeout bookkeeping is part of the measured path.
+    const Duration timeout =
+        (id % 3 == 0) ? Duration::us(500) : Duration::max();
+    const sim::WaitOutcome outcome = co_await q.wait(sim, timeout);
+    if (outcome == sim::WaitOutcome::signaled) ++woken;
+  }
+}
+
+Proc convoy_driver(Simulator& sim, WaitQueue& q, int rounds, bool& done)
+{
+  for (int i = 0; i < rounds; ++i) {
+    q.notify_one(sim, Duration::us(1));
+    co_await sim.delay(Duration::us(3));
+  }
+  done = true;
+  // Drain: wake everything so no waiter parks forever.
+  while (q.notify_all(sim) > 0) {
+    co_await sim.delay(Duration::us(1));
+  }
+}
+
+MicrobenchResult run_lock_convoy()
+{
+  constexpr int kWaiters = 64;
+  constexpr int kRounds = 120'000;
+  Simulator sim{7};
+  WaitQueue q;
+  std::uint64_t woken = 0;
+  bool done = false;
+  for (int w = 0; w < kWaiters; ++w) {
+    sim.spawn(convoy_waiter(sim, q, w, woken, done));
+  }
+  sim.spawn(convoy_driver(sim, q, kRounds, done));
+  const auto start = std::chrono::steady_clock::now();
+  const sim::RunResult r = sim.run();
+  MicrobenchResult out;
+  out.events = r.events_processed;
+  out.wakeups = woken;
+  out.wall_s = wall_seconds(start);
+  out.events_per_sec = static_cast<double>(out.events) / out.wall_s;
+  out.wakeups_per_sec = static_cast<double>(out.wakeups) / out.wall_s;
+  return out;
+}
+
+// --- notify_storm -------------------------------------------------------
+
+Proc storm_waiter(Simulator& sim, WaitQueue& q, std::uint64_t& woken,
+                  bool& done)
+{
+  while (!done) {
+    const sim::WaitOutcome outcome = co_await q.wait(sim);
+    (void)outcome;
+    ++woken;
+  }
+}
+
+Proc storm_driver(Simulator& sim, WaitQueue& q, int rounds,
+                  std::size_t waiters, bool& done)
+{
+  for (int i = 0; i < rounds; ++i) {
+    // Let the full set park again before the next storm.
+    while (q.size() < waiters) {
+      co_await sim.delay(Duration::us(1));
+    }
+    if (i + 1 == rounds) done = true;
+    q.notify_all(sim, Duration::us(2));
+  }
+}
+
+MicrobenchResult run_notify_storm()
+{
+  constexpr std::size_t kWaiters = 512;
+  constexpr int kRounds = 2'000;
+  Simulator sim{13};
+  WaitQueue q;
+  std::uint64_t woken = 0;
+  bool done = false;
+  for (std::size_t w = 0; w < kWaiters; ++w) {
+    sim.spawn(storm_waiter(sim, q, woken, done));
+  }
+  sim.spawn(storm_driver(sim, q, kRounds, kWaiters, done));
+  const auto start = std::chrono::steady_clock::now();
+  const sim::RunResult r = sim.run();
+  MicrobenchResult out;
+  out.events = r.events_processed;
+  out.wakeups = woken;
+  out.wall_s = wall_seconds(start);
+  out.events_per_sec = static_cast<double>(out.events) / out.wall_s;
+  out.wakeups_per_sec = static_cast<double>(out.wakeups) / out.wall_s;
+  return out;
+}
+
+// --- harness ------------------------------------------------------------
+
+// Wall-clock benches jitter; keep the best of three so the archived
+// trajectory tracks the engine, not the CI neighbours.
+template <typename Fn>
+MicrobenchResult best_of(Fn fn, int reps = 3)
+{
+  MicrobenchResult best = fn();
+  for (int i = 1; i < reps; ++i) {
+    const MicrobenchResult r = fn();
+    if (r.events_per_sec > best.events_per_sec) best = r;
+  }
+  return best;
+}
+
+void emit_json(const MicrobenchResult& churn, const MicrobenchResult& convoy,
+               const MicrobenchResult& storm)
+{
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"bench\":\"engine_throughput\",\n"
+      " \"timer_churn\":{\"events\":%llu,\"wall_s\":%.4f,"
+      "\"events_per_sec\":%.0f},\n"
+      " \"lock_convoy\":{\"events\":%llu,\"wakeups\":%llu,\"wall_s\":%.4f,"
+      "\"events_per_sec\":%.0f,\"wakeups_per_sec\":%.0f},\n"
+      " \"notify_storm\":{\"events\":%llu,\"wakeups\":%llu,\"wall_s\":%.4f,"
+      "\"events_per_sec\":%.0f,\"wakeups_per_sec\":%.0f}}\n",
+      static_cast<unsigned long long>(churn.events), churn.wall_s,
+      churn.events_per_sec,
+      static_cast<unsigned long long>(convoy.events),
+      static_cast<unsigned long long>(convoy.wakeups), convoy.wall_s,
+      convoy.events_per_sec, convoy.wakeups_per_sec,
+      static_cast<unsigned long long>(storm.events),
+      static_cast<unsigned long long>(storm.wakeups), storm.wall_s,
+      storm.events_per_sec, storm.wakeups_per_sec);
+  std::ofstream out{"BENCH_engine.json"};
+  if (out) {
+    out << buf;
+    std::printf("\nwrote BENCH_engine.json\n");
+  }
+}
+
+void BM_TimerChurn(benchmark::State& state)
+{
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_timer_churn().events);
+  }
+}
+BENCHMARK(BM_TimerChurn)->Unit(benchmark::kMillisecond);
+
+void BM_LockConvoy(benchmark::State& state)
+{
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_lock_convoy().events);
+  }
+}
+BENCHMARK(BM_LockConvoy)->Unit(benchmark::kMillisecond);
+
+void BM_NotifyStorm(benchmark::State& state)
+{
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_notify_storm().events);
+  }
+}
+BENCHMARK(BM_NotifyStorm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  mes::bench::print_header(
+      "Simulator engine throughput: timer churn, lock convoy, notify storm",
+      "the event-queue hot path behind Tables IV-VI campaign grids");
+
+  const MicrobenchResult churn = best_of(run_timer_churn);
+  const MicrobenchResult convoy = best_of(run_lock_convoy);
+  const MicrobenchResult storm = best_of(run_notify_storm);
+
+  mes::TextTable table({"microbench", "events", "wakeups", "wall(s)",
+                        "events/sec", "wakeups/sec"});
+  const auto row = [&](const char* name, const MicrobenchResult& r) {
+    table.add_row({name, std::to_string(r.events), std::to_string(r.wakeups),
+                   mes::TextTable::num(r.wall_s, 3),
+                   mes::TextTable::num(r.events_per_sec / 1e6, 2) + "M",
+                   mes::TextTable::num(r.wakeups_per_sec / 1e6, 2) + "M"});
+  };
+  row("timer_churn", churn);
+  row("lock_convoy", convoy);
+  row("notify_storm", storm);
+  table.print();
+
+  emit_json(churn, convoy, storm);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -509,6 +509,10 @@ std::string PlanSpec::validate() const
   }
   if (repeats == 0) return "plan.repeats must be >= 1";
   if (payload_bits == 0) return "plan.payload_bits must be >= 1";
+  if (shard_count == 0) return "plan.shard_count must be >= 1";
+  if (shard_index >= shard_count) {
+    return "plan.shard_index must be 0.." + std::to_string(shard_count - 1);
+  }
   if (std::string err = session.validate(); !err.empty()) return err;
   // The axes own these; a base-session value would be silently
   // overwritten per cell, which is exactly the bug class validate()
@@ -577,6 +581,12 @@ Json PlanSpec::to_json() const
   obj.set("seed_base", Json::number(seed_base));
   obj.set("payload_bits",
           Json::number(static_cast<std::uint64_t>(payload_bits)));
+  // Emitted only when sharded: the default keeps legacy plan round-trips
+  // (and their goldens) byte-identical.
+  if (shard_count > 1) {
+    obj.set("shard_index", Json::number(static_cast<std::uint64_t>(shard_index)));
+    obj.set("shard_count", Json::number(static_cast<std::uint64_t>(shard_count)));
+  }
   obj.set("session", session.to_json());
   return obj;
 }
@@ -591,7 +601,7 @@ PlanSpec PlanSpec::from_json(const Json& j)
   reject_unknown_keys(j, "plan",
                       {"mechanisms", "scenarios", "timings", "protocols",
                        "pairs", "repeats", "seed_base", "payload_bits",
-                       "session"});
+                       "shard_index", "shard_count", "session"});
   PlanSpec p;
   if (const Json* mechs = j.find("mechanisms"); mechs != nullptr) {
     p.mechanisms.clear();
@@ -649,6 +659,8 @@ PlanSpec PlanSpec::from_json(const Json& j)
   p.repeats = read_size(j, "repeats", p.repeats);
   p.seed_base = read_u64(j, "seed_base", p.seed_base);
   p.payload_bits = read_size(j, "payload_bits", p.payload_bits);
+  p.shard_index = read_size(j, "shard_index", p.shard_index);
+  p.shard_count = read_size(j, "shard_count", p.shard_count);
   if (const Json* session = j.find("session"); session != nullptr) {
     p.session = SessionSpec::from_json(*session);
   }

@@ -167,6 +167,13 @@ struct PlanSpec {
   std::size_t repeats = 1;
   std::uint64_t seed_base = 1;
   std::size_t payload_bits = 4096;
+  // Shard selector baked into the plan file: this process owns every
+  // cell with flat % shard_count == shard_index (exec/stream.h). The
+  // default (0 of 1) is the whole grid; `mes_cli campaign --shard i/N`
+  // overrides both. Seeds derive from cell coordinates, so sharding
+  // never changes what a cell computes.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   // Non-axis knobs: the base every cell starts from (framing, symbol
   // width, preamble, fairness, noise knobs, calibration/drift policy).
   // Fields the axes own — scenario, hypervisor, protocol, timing,

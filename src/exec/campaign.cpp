@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -56,44 +57,23 @@ std::string scenario_value(const ChannelReport& rep)
                                    : rep.scenario_name;
 }
 
-// Stable-order grouping: stats come out in first-appearance order, i.e.
-// plan order, so tables render in the order the plan named the axes.
-std::vector<GroupStats> group_by(
-    const std::vector<CellResult>& cells,
-    const std::function<std::string(const CellResult&)>& key_of)
-{
-  std::vector<GroupStats> groups;
-  std::map<std::string, std::size_t> index;
-  for (const CellResult& cell : cells) {
-    const std::string key = key_of(cell);
-    auto [it, inserted] = index.try_emplace(key, groups.size());
-    if (inserted) {
-      groups.push_back(GroupStats{});
-      groups.back().key = key;
-    }
-    GroupStats& g = groups[it->second];
-    ++g.cells;
-    if (!cell.report.ok) continue;
-    ++g.ok;
-    if (cell.report.sync_ok) ++g.sync_ok;
-    g.mean_ber += cell.report.ber;
-    g.max_ber = std::max(g.max_ber, cell.report.ber);
-    g.mean_throughput_bps += cell.report.throughput_bps;
-  }
-  for (GroupStats& g : groups) {
-    if (g.ok == 0) continue;
-    g.mean_ber /= static_cast<double>(g.ok);
-    g.mean_throughput_bps /= static_cast<double>(g.ok);
-  }
-  return groups;
-}
-
 std::string point_key(const CampaignCell& cell)
 {
   std::string key = cell.label;
   // Strip the "#rep" suffix so replicates of one point share a key.
   if (const auto pos = key.rfind('#'); pos != std::string::npos) {
     key.resize(pos);
+  }
+  return key;
+}
+
+// The by-scenario marginal key (same shape as the label's scenario
+// component: registry name plus "@hypervisor" when one is in play).
+std::string scenario_marginal_key(const ExperimentConfig& cfg)
+{
+  std::string key = scenario_value(cfg);
+  if (cfg.hypervisor != HypervisorType::none) {
+    key += std::string{"@"} + to_string(cfg.hypervisor);
   }
   return key;
 }
@@ -201,6 +181,85 @@ void write_group_json(std::ostream& out, const std::vector<GroupStats>& groups)
 }
 
 }  // namespace
+
+void GroupStats::fold(const ChannelReport& report)
+{
+  ++cells;
+  if (!report.ok) return;
+  ++ok;
+  if (report.sync_ok) ++sync_ok;
+  mean_ber += report.ber;  // running sum until finalize()
+  max_ber = std::max(max_ber, report.ber);
+  mean_throughput_bps += report.throughput_bps;
+}
+
+void GroupStats::merge(const GroupStats& other)
+{
+  cells += other.cells;
+  ok += other.ok;
+  sync_ok += other.sync_ok;
+  mean_ber += other.mean_ber;
+  max_ber = std::max(max_ber, other.max_ber);
+  mean_throughput_bps += other.mean_throughput_bps;
+}
+
+void GroupStats::finalize()
+{
+  if (ok == 0) return;
+  mean_ber /= static_cast<double>(ok);
+  mean_throughput_bps /= static_cast<double>(ok);
+}
+
+GroupStats& CampaignSummary::group(std::vector<GroupStats>& family,
+                                   std::map<std::string, std::size_t>& index,
+                                   const std::string& key)
+{
+  // Stable-order grouping: groups come out in first-appearance order,
+  // i.e. plan order, so tables render in the order the plan named the
+  // axes.
+  auto [it, inserted] = index.try_emplace(key, family.size());
+  if (inserted) {
+    family.push_back(GroupStats{});
+    family.back().key = key;
+  }
+  return family[it->second];
+}
+
+void CampaignSummary::fold(const CellResult& cell)
+{
+  ++cells_;
+  if (cell.report.ok) ++cells_ok_;
+  group(points, point_index_, point_key(cell.cell)).fold(cell.report);
+  group(by_mechanism, mechanism_index_,
+        std::string{to_string(cell.cell.config.mechanism)})
+      .fold(cell.report);
+  group(by_scenario, scenario_index_,
+        scenario_marginal_key(cell.cell.config))
+      .fold(cell.report);
+}
+
+void CampaignSummary::merge(const CampaignSummary& other)
+{
+  cells_ += other.cells_;
+  cells_ok_ += other.cells_ok_;
+  const auto merge_family = [this](std::vector<GroupStats>& family,
+                                   std::map<std::string, std::size_t>& index,
+                                   const std::vector<GroupStats>& from) {
+    for (const GroupStats& g : from) {
+      group(family, index, g.key).merge(g);
+    }
+  };
+  merge_family(points, point_index_, other.points);
+  merge_family(by_mechanism, mechanism_index_, other.by_mechanism);
+  merge_family(by_scenario, scenario_index_, other.by_scenario);
+}
+
+void CampaignSummary::finalize()
+{
+  for (GroupStats& g : points) g.finalize();
+  for (GroupStats& g : by_mechanism) g.finalize();
+  for (GroupStats& g : by_scenario) g.finalize();
+}
 
 ScenarioSpec named_scenario(std::string name, HypervisorType hv)
 {
@@ -354,22 +413,44 @@ std::vector<CellResult> CampaignRunner::run_cells(
 
 CampaignResult aggregate_cells(std::vector<CellResult> cells)
 {
+  CampaignSummary summary;
+  for (const CellResult& cell : cells) summary.fold(cell);
+  summary.finalize();
   CampaignResult result;
   result.cells = std::move(cells);
-  result.points = group_by(result.cells, [](const CellResult& c) {
-    return point_key(c.cell);
-  });
-  result.by_mechanism = group_by(result.cells, [](const CellResult& c) {
-    return std::string{to_string(c.cell.config.mechanism)};
-  });
-  result.by_scenario = group_by(result.cells, [](const CellResult& c) {
-    std::string key = scenario_value(c.cell.config);
-    if (c.cell.config.hypervisor != HypervisorType::none) {
-      key += std::string{"@"} + to_string(c.cell.config.hypervisor);
-    }
-    return key;
-  });
+  result.points = std::move(summary.points);
+  result.by_mechanism = std::move(summary.by_mechanism);
+  result.by_scenario = std::move(summary.by_scenario);
   return result;
+}
+
+CampaignSummary CampaignRunner::run_stream(
+    std::vector<CampaignCell> cells,
+    const std::function<void(const CellResult&)>& sink) const
+{
+  CampaignSummary summary;
+  std::mutex mu;
+  // Reorder window: finished cells park here until every earlier cell
+  // has finished, so the sink always sees plan order (the byte-identity
+  // and FP-sum-order contract) while workers run cells in any order.
+  std::map<std::size_t, CellResult> pending;
+  std::size_t next = 0;
+  parallel_for(cells.size(), jobs_, [&](std::size_t i) {
+    CellResult result;
+    result.report = run_cell(cells[i]);
+    result.cell = std::move(cells[i]);
+    const std::lock_guard<std::mutex> lock{mu};
+    pending.emplace(i, std::move(result));
+    while (!pending.empty() && pending.begin()->first == next) {
+      const CellResult current = std::move(pending.begin()->second);
+      pending.erase(pending.begin());
+      summary.fold(current);
+      if (sink) sink(current);
+      ++next;
+    }
+  });
+  summary.finalize();
+  return summary;
 }
 
 CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
@@ -377,99 +458,123 @@ CampaignResult CampaignRunner::run(const ExperimentPlan& plan) const
   return aggregate_cells(run_cells(expand(plan)));
 }
 
-void write_csv(std::ostream& out, const CampaignResult& result)
+void write_csv_header(std::ostream& out)
 {
   out << "label,mechanism,scenario,hypervisor,protocol,t1_us,t0_us,"
          "interval_us,symbol_bits,repeat,seed,payload_bits,ok,sync_ok,ber,"
          "throughput_bps,elapsed_us,frames,retransmits,pairs,"
          "aggregate_goodput_bps,stripe_rebalances,failure\n";
-  for (const CellResult& c : result.cells) {
-    const ExperimentConfig& cfg = c.cell.config;
-    const ChannelReport& rep = c.report;
-    // rep.timing is what the transmission actually ran at — for
-    // adaptive cells that is the *calibrated* rate, not the anchor.
-    const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
-    csv_field(out, c.cell.label, /*force_quote=*/false);
-    out << ',' << to_string(cfg.mechanism) << ','
-        << scenario_value(cfg) << ',' << to_string(cfg.hypervisor) << ','
-        << to_string(cfg.protocol) << ','
-        << t.t1.to_us() << ',' << t.t0.to_us() << ','
-        << t.interval.to_us() << ',' << t.symbol_bits << ','
-        << c.cell.coord.repeat << ',' << cfg.seed << ','
-        << c.cell.payload_bits << ',' << (rep.ok ? 1 : 0) << ','
-        << (rep.sync_ok ? 1 : 0) << ',' << rep.ber << ','
-        << rep.throughput_bps << ',' << rep.elapsed.to_us() << ','
-        << (rep.proto ? rep.proto->frames : 0) << ','
-        << (rep.proto ? rep.proto->retransmits : 0) << ','
-        << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs) << ','
-        << rep.throughput_bps << ','
-        << (rep.proto ? rep.proto->rebalances : 0) << ',';
-    csv_field(out, rep.failure_reason, /*force_quote=*/true);
-    out << "\n";
+}
+
+void write_csv_row(std::ostream& out, const CellResult& c)
+{
+  const ExperimentConfig& cfg = c.cell.config;
+  const ChannelReport& rep = c.report;
+  // rep.timing is what the transmission actually ran at — for
+  // adaptive cells that is the *calibrated* rate, not the anchor.
+  const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
+  csv_field(out, c.cell.label, /*force_quote=*/false);
+  out << ',' << to_string(cfg.mechanism) << ','
+      << scenario_value(cfg) << ',' << to_string(cfg.hypervisor) << ','
+      << to_string(cfg.protocol) << ','
+      << t.t1.to_us() << ',' << t.t0.to_us() << ','
+      << t.interval.to_us() << ',' << t.symbol_bits << ','
+      << c.cell.coord.repeat << ',' << cfg.seed << ','
+      << c.cell.payload_bits << ',' << (rep.ok ? 1 : 0) << ','
+      << (rep.sync_ok ? 1 : 0) << ',' << rep.ber << ','
+      << rep.throughput_bps << ',' << rep.elapsed.to_us() << ','
+      << (rep.proto ? rep.proto->frames : 0) << ','
+      << (rep.proto ? rep.proto->retransmits : 0) << ','
+      << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs) << ','
+      << rep.throughput_bps << ','
+      << (rep.proto ? rep.proto->rebalances : 0) << ',';
+  csv_field(out, rep.failure_reason, /*force_quote=*/true);
+  out << "\n";
+}
+
+void write_csv(std::ostream& out, const CampaignResult& result)
+{
+  write_csv_header(out);
+  for (const CellResult& c : result.cells) write_csv_row(out, c);
+}
+
+void write_json_open(std::ostream& out) { out << "{\"cells\":["; }
+
+void write_json_cell(std::ostream& out, const CellResult& c,
+                   std::size_t index)
+{
+  const ExperimentConfig& cfg = c.cell.config;
+  const ChannelReport& rep = c.report;
+  // As in write_csv: the timing the cell actually ran at.
+  const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
+  if (index > 0) out << ",";
+  out << "{\"label\":";
+  json_escape(out, c.cell.label);
+  out << ",\"mechanism\":\"" << to_string(cfg.mechanism)
+      << "\",\"scenario\":\"" << scenario_value(cfg)
+      << "\",\"hypervisor\":\"" << to_string(cfg.hypervisor)
+      << "\",\"protocol\":\"" << to_string(cfg.protocol)
+      << "\",\"timing\":{\"t1_us\":";
+  json_number(out, t.t1.to_us());
+  out << ",\"t0_us\":";
+  json_number(out, t.t0.to_us());
+  out << ",\"interval_us\":";
+  json_number(out, t.interval.to_us());
+  out << ",\"symbol_bits\":" << t.symbol_bits << "}"
+      << ",\"seed\":" << cfg.seed
+      << ",\"payload_bits\":" << c.cell.payload_bits
+      << ",\"pairs\":"
+      << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs)
+      << ",\"ok\":" << (rep.ok ? "true" : "false")
+      << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
+      << ",\"ber\":";
+  json_number(out, rep.ber);
+  out << ",\"throughput_bps\":";
+  json_number(out, rep.throughput_bps);
+  out << ",\"aggregate_goodput_bps\":";
+  json_number(out, rep.throughput_bps);
+  out << ",\"elapsed_us\":";
+  json_number(out, rep.elapsed.to_us());
+  if (rep.proto) {
+    out << ",\"proto\":{\"frames\":" << rep.proto->frames
+        << ",\"frame_sends\":" << rep.proto->frame_sends
+        << ",\"retransmits\":" << rep.proto->retransmits
+        << ",\"calibration_margin\":";
+    json_number(out, rep.proto->calibration_margin);
+    out << ",\"calibration_us\":";
+    json_number(out, rep.proto->calibration_time.to_us());
+    out << ",\"pairs_requested\":" << rep.proto->pairs_requested
+        << ",\"stripe_rebalances\":" << rep.proto->rebalances;
+    write_drift_json(out, *rep.proto);
+    out << "}";
   }
+  out << ",\"failure\":";
+  json_escape(out, rep.failure_reason);
+  out << "}";
+}
+
+void write_json_close(std::ostream& out,
+                      const std::vector<GroupStats>& points,
+                      const std::vector<GroupStats>& by_mechanism,
+                      const std::vector<GroupStats>& by_scenario)
+{
+  out << "],\"points\":";
+  write_group_json(out, points);
+  out << ",\"by_mechanism\":";
+  write_group_json(out, by_mechanism);
+  out << ",\"by_scenario\":";
+  write_group_json(out, by_scenario);
+  out << "}\n";
 }
 
 void write_json(std::ostream& out, const CampaignResult& result)
 {
-  out << "{\"cells\":[";
+  write_json_open(out);
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const CellResult& c = result.cells[i];
-    const ExperimentConfig& cfg = c.cell.config;
-    const ChannelReport& rep = c.report;
-    // As in write_csv: the timing the cell actually ran at.
-    const TimingConfig& t = rep.ok ? rep.timing : cfg.timing;
-    if (i > 0) out << ",";
-    out << "{\"label\":";
-    json_escape(out, c.cell.label);
-    out << ",\"mechanism\":\"" << to_string(cfg.mechanism)
-        << "\",\"scenario\":\"" << scenario_value(cfg)
-        << "\",\"hypervisor\":\"" << to_string(cfg.hypervisor)
-        << "\",\"protocol\":\"" << to_string(cfg.protocol)
-        << "\",\"timing\":{\"t1_us\":";
-    json_number(out, t.t1.to_us());
-    out << ",\"t0_us\":";
-    json_number(out, t.t0.to_us());
-    out << ",\"interval_us\":";
-    json_number(out, t.interval.to_us());
-    out << ",\"symbol_bits\":" << t.symbol_bits << "}"
-        << ",\"seed\":" << cfg.seed
-        << ",\"payload_bits\":" << c.cell.payload_bits
-        << ",\"pairs\":"
-        << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs)
-        << ",\"ok\":" << (rep.ok ? "true" : "false")
-        << ",\"sync_ok\":" << (rep.sync_ok ? "true" : "false")
-        << ",\"ber\":";
-    json_number(out, rep.ber);
-    out << ",\"throughput_bps\":";
-    json_number(out, rep.throughput_bps);
-    out << ",\"aggregate_goodput_bps\":";
-    json_number(out, rep.throughput_bps);
-    out << ",\"elapsed_us\":";
-    json_number(out, rep.elapsed.to_us());
-    if (rep.proto) {
-      out << ",\"proto\":{\"frames\":" << rep.proto->frames
-          << ",\"frame_sends\":" << rep.proto->frame_sends
-          << ",\"retransmits\":" << rep.proto->retransmits
-          << ",\"calibration_margin\":";
-      json_number(out, rep.proto->calibration_margin);
-      out << ",\"calibration_us\":";
-      json_number(out, rep.proto->calibration_time.to_us());
-      out << ",\"pairs_requested\":" << rep.proto->pairs_requested
-          << ",\"stripe_rebalances\":" << rep.proto->rebalances;
-      write_drift_json(out, *rep.proto);
-      out << "}";
-    }
-    out << ",\"failure\":";
-    json_escape(out, rep.failure_reason);
-    out << "}";
+    write_json_cell(out, result.cells[i], i);
   }
-  out << "],\"points\":";
-  write_group_json(out, result.points);
-  out << ",\"by_mechanism\":";
-  write_group_json(out, result.by_mechanism);
-  out << ",\"by_scenario\":";
-  write_group_json(out, result.by_scenario);
-  out << "}\n";
+  write_json_close(out, result.points, result.by_mechanism,
+                   result.by_scenario);
 }
 
 std::string report_json(const ChannelReport& rep, std::size_t payload_bits)

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -108,6 +109,12 @@ struct CellResult {
 
 // Statistics over a group of cells (one grid point's seed replicates,
 // or a whole axis value for marginals). Means are over cells that ran.
+//
+// Built online: fold() cells one at a time (the mean_* fields hold
+// running sums until finalize() divides them), so a streaming campaign
+// keeps O(points) state instead of every cell. The floating-point sums
+// accumulate in fold order — folding in plan order reproduces the
+// in-memory aggregation bit for bit.
 struct GroupStats {
   std::string key;
   std::size_t cells = 0;
@@ -116,6 +123,46 @@ struct GroupStats {
   double mean_ber = 0.0;
   double max_ber = 0.0;
   double mean_throughput_bps = 0.0;
+
+  void fold(const ChannelReport& report);
+  // Combines two partial aggregates (both un-finalized). Counts and
+  // maxima merge exactly; the sums add in argument order, so a merged
+  // mean is only bit-identical to a serial fold when the fold order was
+  // the concatenation. Byte-exact shard merges therefore re-fold the
+  // per-cell records in flat order instead (exec/stream.h).
+  void merge(const GroupStats& other);
+  void finalize();  // running sums -> means
+};
+
+// The three group families a campaign reports, maintained online:
+// memory is O(points), never O(cells). fold order defines every mean's
+// floating-point sum order, so folding in plan (flat-index) order is
+// bit-identical to aggregate_cells().
+class CampaignSummary {
+ public:
+  std::vector<GroupStats> points;        // per (mechanism, scenario, timing)
+  std::vector<GroupStats> by_mechanism;  // marginals over everything else
+  std::vector<GroupStats> by_scenario;
+
+  void fold(const CellResult& cell);
+  // Key-wise merge (groups unseen by *this* append in `other` order).
+  // Same bit-exactness caveat as GroupStats::merge.
+  void merge(const CampaignSummary& other);
+  void finalize();
+
+  std::size_t cells() const { return cells_; }
+  std::size_t cells_ok() const { return cells_ok_; }
+
+ private:
+  GroupStats& group(std::vector<GroupStats>& family,
+                    std::map<std::string, std::size_t>& index,
+                    const std::string& key);
+
+  std::map<std::string, std::size_t> point_index_;
+  std::map<std::string, std::size_t> mechanism_index_;
+  std::map<std::string, std::size_t> scenario_index_;
+  std::size_t cells_ = 0;
+  std::size_t cells_ok_ = 0;
 };
 
 struct CampaignResult {
@@ -145,6 +192,16 @@ class CampaignRunner {
   // hand-built cells through this).
   std::vector<CellResult> run_cells(std::vector<CampaignCell> cells) const;
 
+  // Streaming run: cells execute across the workers exactly as
+  // run_cells, but each finished CellResult is handed to `sink` in plan
+  // order as soon as every earlier cell has finished, then destroyed —
+  // memory stays O(in-flight window + points) instead of O(cells). The
+  // returned summary folds cells in plan order, so its groups are
+  // bit-identical to what aggregate_cells computes over the same cells.
+  CampaignSummary run_stream(
+      std::vector<CampaignCell> cells,
+      const std::function<void(const CellResult&)>& sink) const;
+
  private:
   std::size_t jobs_;
 };
@@ -164,6 +221,20 @@ void write_csv(std::ostream& out, const CampaignResult& result);
 
 // Full structured dump: cells + per-point and marginal statistics.
 void write_json(std::ostream& out, const CampaignResult& result);
+
+// Streaming building blocks (write_csv / write_json are exactly these,
+// so a streamed emission is byte-identical to the in-memory one).
+void write_csv_header(std::ostream& out);
+void write_csv_row(std::ostream& out, const CellResult& cell);
+// `{"cells":[` … one cell object per call (`index` drives the comma) …
+// `],"points":…}` with the groups.
+void write_json_open(std::ostream& out);
+void write_json_cell(std::ostream& out, const CellResult& cell,
+                     std::size_t index);
+void write_json_close(std::ostream& out,
+                      const std::vector<GroupStats>& points,
+                      const std::vector<GroupStats>& by_mechanism,
+                      const std::vector<GroupStats>& by_scenario);
 
 // Single-report JSON object (mes_cli run --json).
 std::string report_json(const ChannelReport& report,

@@ -1,0 +1,278 @@
+#include "exec/stream.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "api/json.h"
+#include "api/spec.h"
+
+namespace mes::exec {
+
+namespace {
+
+using api::Json;
+
+// Metrics can be NaN/inf (a zero-elapsed cell divides by zero). The
+// JSON model has no non-finite literals and the repo's emission
+// convention (null) is lossy, so records use tagged strings instead.
+Json metric_json(double v)
+{
+  if (std::isfinite(v)) return Json::number(v);
+  if (std::isnan(v)) return Json::str("nan");
+  return Json::str(v > 0 ? "inf" : "-inf");
+}
+
+double metric_from(const Json& j, const char* what)
+{
+  if (j.is_number()) return j.as_double();
+  if (j.is_string()) {
+    const std::string& s = j.as_string();
+    if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+    if (s == "inf") return std::numeric_limits<double>::infinity();
+    if (s == "-inf") return -std::numeric_limits<double>::infinity();
+  }
+  throw std::invalid_argument{std::string{"cell record: bad metric '"} +
+                              what + "'"};
+}
+
+const Json& field(const Json& obj, const char* key)
+{
+  const Json* j = obj.find(key);
+  if (j == nullptr) {
+    throw std::invalid_argument{std::string{"cell record: missing '"} + key +
+                                "'"};
+  }
+  return *j;
+}
+
+Json timing_json(const TimingConfig& t)
+{
+  Json obj = Json::object();
+  obj.set("t1_ns", Json::number(t.t1.count_ns()));
+  obj.set("t0_ns", Json::number(t.t0.count_ns()));
+  obj.set("interval_ns", Json::number(t.interval.count_ns()));
+  obj.set("symbol_bits", Json::number(static_cast<std::uint64_t>(
+                             t.symbol_bits)));
+  return obj;
+}
+
+TimingConfig timing_from(const Json& obj)
+{
+  TimingConfig t;
+  t.t1 = Duration::ns(field(obj, "t1_ns").as_i64());
+  t.t0 = Duration::ns(field(obj, "t0_ns").as_i64());
+  t.interval = Duration::ns(field(obj, "interval_ns").as_i64());
+  t.symbol_bits = static_cast<std::size_t>(field(obj, "symbol_bits").as_u64());
+  return t;
+}
+
+Json proto_json(const ChannelReport::ProtocolStats& p)
+{
+  Json obj = Json::object();
+  obj.set("mode", Json::str(to_string(p.mode)));
+  obj.set("frames", Json::number(static_cast<std::uint64_t>(p.frames)));
+  obj.set("frame_sends",
+          Json::number(static_cast<std::uint64_t>(p.frame_sends)));
+  obj.set("retransmits",
+          Json::number(static_cast<std::uint64_t>(p.retransmits)));
+  obj.set("calibration_margin", metric_json(p.calibration_margin));
+  obj.set("calibration_ns", Json::number(p.calibration_time.count_ns()));
+  obj.set("calibration_probes",
+          Json::number(static_cast<std::uint64_t>(p.calibration_probes)));
+  obj.set("pairs", Json::number(static_cast<std::uint64_t>(p.pairs)));
+  obj.set("pairs_requested",
+          Json::number(static_cast<std::uint64_t>(p.pairs_requested)));
+  obj.set("rebalances",
+          Json::number(static_cast<std::uint64_t>(p.rebalances)));
+  obj.set("drift_events",
+          Json::number(static_cast<std::uint64_t>(p.drift_events)));
+  obj.set("recalibrations",
+          Json::number(static_cast<std::uint64_t>(p.recalibrations)));
+  obj.set("recovered_goodput_bps", metric_json(p.recovered_goodput_bps));
+  obj.set("recovery_spent_ns", Json::number(p.recovery_spent.count_ns()));
+  Json phases = Json::array();
+  for (const auto& ph : p.phases) {
+    Json entry = Json::object();
+    entry.set("phase", Json::number(static_cast<std::uint64_t>(ph.phase)));
+    entry.set("frames", Json::number(static_cast<std::uint64_t>(ph.frames)));
+    entry.set("retransmits",
+              Json::number(static_cast<std::uint64_t>(ph.retransmits)));
+    entry.set("elapsed_ns", Json::number(ph.elapsed.count_ns()));
+    entry.set("goodput_bps", metric_json(ph.goodput_bps));
+    phases.push(std::move(entry));
+  }
+  obj.set("phases", std::move(phases));
+  return obj;
+}
+
+ChannelReport::ProtocolStats proto_from(const Json& obj)
+{
+  ChannelReport::ProtocolStats p;
+  const std::optional<ProtocolMode> mode =
+      api::parse_protocol(field(obj, "mode").as_string());
+  if (!mode) throw std::invalid_argument{"cell record: bad proto mode"};
+  p.mode = *mode;
+  p.frames = static_cast<std::size_t>(field(obj, "frames").as_u64());
+  p.frame_sends =
+      static_cast<std::size_t>(field(obj, "frame_sends").as_u64());
+  p.retransmits =
+      static_cast<std::size_t>(field(obj, "retransmits").as_u64());
+  p.calibration_margin =
+      metric_from(field(obj, "calibration_margin"), "calibration_margin");
+  p.calibration_time = Duration::ns(field(obj, "calibration_ns").as_i64());
+  p.calibration_probes =
+      static_cast<std::size_t>(field(obj, "calibration_probes").as_u64());
+  p.pairs = static_cast<std::size_t>(field(obj, "pairs").as_u64());
+  p.pairs_requested =
+      static_cast<std::size_t>(field(obj, "pairs_requested").as_u64());
+  p.rebalances = static_cast<std::size_t>(field(obj, "rebalances").as_u64());
+  p.drift_events =
+      static_cast<std::size_t>(field(obj, "drift_events").as_u64());
+  p.recalibrations =
+      static_cast<std::size_t>(field(obj, "recalibrations").as_u64());
+  p.recovered_goodput_bps =
+      metric_from(field(obj, "recovered_goodput_bps"),
+                  "recovered_goodput_bps");
+  p.recovery_spent = Duration::ns(field(obj, "recovery_spent_ns").as_i64());
+  for (const Json& entry : field(obj, "phases").items()) {
+    ChannelReport::ProtocolStats::PhaseStats ph;
+    ph.phase = static_cast<std::size_t>(field(entry, "phase").as_u64());
+    ph.frames = static_cast<std::size_t>(field(entry, "frames").as_u64());
+    ph.retransmits =
+        static_cast<std::size_t>(field(entry, "retransmits").as_u64());
+    ph.elapsed = Duration::ns(field(entry, "elapsed_ns").as_i64());
+    ph.goodput_bps = metric_from(field(entry, "goodput_bps"), "goodput_bps");
+    p.phases.push_back(std::move(ph));
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string ShardSpec::validate() const
+{
+  if (count == 0) return "shard count must be >= 1";
+  if (index >= count) {
+    return "shard index must be 0.." + std::to_string(count - 1);
+  }
+  return {};
+}
+
+std::vector<CampaignCell> shard_cells(std::vector<CampaignCell> cells,
+                                      const ShardSpec& shard)
+{
+  if (!shard.active()) return cells;
+  std::vector<CampaignCell> mine;
+  mine.reserve(cells.size() / shard.count + 1);
+  for (CampaignCell& cell : cells) {
+    if (shard.owns(cell.coord.flat)) mine.push_back(std::move(cell));
+  }
+  return mine;
+}
+
+std::string cell_record_line(const CellResult& cell)
+{
+  const ChannelReport& rep = cell.report;
+  Json obj = Json::object();
+  obj.set("flat",
+          Json::number(static_cast<std::uint64_t>(cell.cell.coord.flat)));
+  obj.set("ok", Json::boolean(rep.ok));
+  obj.set("sync_ok", Json::boolean(rep.sync_ok));
+  obj.set("ber", metric_json(rep.ber));
+  obj.set("throughput_bps", metric_json(rep.throughput_bps));
+  obj.set("elapsed_ns", Json::number(rep.elapsed.count_ns()));
+  obj.set("timing", timing_json(rep.timing));
+  obj.set("failure", Json::str(rep.failure_reason));
+  if (rep.proto) obj.set("proto", proto_json(*rep.proto));
+  return obj.dump();
+}
+
+CellRecord parse_cell_record(std::string_view line)
+{
+  const Json obj = Json::parse(line);
+  if (!obj.is_object()) {
+    throw std::invalid_argument{"cell record: not an object"};
+  }
+  CellRecord rec;
+  rec.flat = static_cast<std::size_t>(field(obj, "flat").as_u64());
+  ChannelReport& rep = rec.report;
+  rep.ok = field(obj, "ok").as_bool();
+  rep.sync_ok = field(obj, "sync_ok").as_bool();
+  rep.ber = metric_from(field(obj, "ber"), "ber");
+  rep.throughput_bps =
+      metric_from(field(obj, "throughput_bps"), "throughput_bps");
+  rep.elapsed = Duration::ns(field(obj, "elapsed_ns").as_i64());
+  rep.timing = timing_from(field(obj, "timing"));
+  rep.failure_reason = field(obj, "failure").as_string();
+  if (const Json* proto = obj.find("proto"); proto != nullptr) {
+    rep.proto = proto_from(*proto);
+  }
+  return rec;
+}
+
+std::map<std::size_t, ChannelReport> read_records(std::istream& in)
+{
+  std::map<std::size_t, ChannelReport> out;
+  std::string line;
+  // A parse error is only fatal when the stream continues past it: the
+  // last line of a checkpoint is allowed to be a torn write.
+  bool pending_error = false;
+  std::string pending_what;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (pending_error) throw std::invalid_argument{pending_what};
+    try {
+      CellRecord rec = parse_cell_record(line);
+      out.emplace(rec.flat, std::move(rec.report));
+    } catch (const std::invalid_argument& e) {
+      pending_error = true;
+      pending_what = e.what();
+    }
+  }
+  return out;
+}
+
+std::vector<CampaignCell> skip_completed(
+    std::vector<CampaignCell> cells,
+    const std::map<std::size_t, ChannelReport>& done)
+{
+  if (done.empty()) return cells;
+  std::vector<CampaignCell> remaining;
+  remaining.reserve(cells.size());
+  for (CampaignCell& cell : cells) {
+    if (!done.contains(cell.coord.flat)) {
+      remaining.push_back(std::move(cell));
+    }
+  }
+  return remaining;
+}
+
+CampaignSummary replay_records(
+    const ExperimentPlan& plan, const ShardSpec& shard,
+    std::map<std::size_t, ChannelReport> reports,
+    const std::function<void(const CellResult&)>& sink)
+{
+  std::vector<CampaignCell> cells = shard_cells(expand(plan), shard);
+  CampaignSummary summary;
+  for (CampaignCell& cell : cells) {
+    const auto it = reports.find(cell.coord.flat);
+    if (it == reports.end()) {
+      throw std::invalid_argument{
+          "replay: no record for cell #" + std::to_string(cell.coord.flat) +
+          " (" + cell.label + ") — incomplete shard set or checkpoint"};
+    }
+    CellResult result;
+    result.cell = std::move(cell);
+    result.report = std::move(it->second);
+    reports.erase(it);
+    summary.fold(result);
+    if (sink) sink(result);
+  }
+  summary.finalize();
+  return summary;
+}
+
+}  // namespace mes::exec

@@ -1,0 +1,111 @@
+// Sharded, streaming, resumable campaign execution.
+//
+// The campaign engine's in-memory path (run -> aggregate -> write_csv)
+// holds every CellResult until the end; at the paper's production scale
+// (millions of grid cells) that is the memory bottleneck, not the
+// simulator. This layer keeps campaigns O(points):
+//
+//   * ShardSpec     — deterministic row-major partition of the plan's
+//                     flat cell index across N independent processes;
+//   * cell records  — a JSONL stream of finished cells at full
+//                     precision, doubling as the shard output format
+//                     and the checkpoint manifest;
+//   * replay        — re-derives cell metadata from the plan (expand()
+//                     is deterministic) and re-folds the records in
+//                     flat order through the standard emitters, so a
+//                     shard merge or a checkpoint resume emits CSV/JSON
+//                     byte-identical to the single uninterrupted run.
+//
+// Byte-identity leans on two facts: per-cell seeds are splitmix64 mixes
+// of the base seed and the cell coordinates (exec/seed.h), so WHO runs
+// a cell never changes WHAT it computes; and records store doubles in
+// shortest-round-trip form and durations as exact integer nanoseconds,
+// so a report survives the file hop bit for bit. Floating-point means
+// are NOT merged from per-shard partial sums (addition is order
+// sensitive) — replay re-folds every cell in flat order instead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.h"
+#include "exec/campaign.h"
+
+namespace mes::exec {
+
+// Deterministic partition of the flat (row-major) cell index: shard i
+// of N owns every cell with flat % N == i. Round-robin keeps each
+// shard's work mix representative of the whole grid — a block split
+// would hand one process all the slow adaptive cells of an axis run.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool active() const { return count > 1; }
+  bool owns(std::size_t flat) const
+  {
+    return count <= 1 || flat % count == index;
+  }
+
+  std::string validate() const;  // "" = ok
+};
+
+// The shard's slice of the expanded plan, plan order preserved.
+std::vector<CampaignCell> shard_cells(std::vector<CampaignCell> cells,
+                                      const ShardSpec& shard);
+
+// --- cell records -------------------------------------------------------
+//
+// One JSON object per finished cell: the flat index plus every report
+// field the emitters and aggregates read. Cell metadata (label, config,
+// seed) is deliberately NOT stored — expand(plan) re-derives it — so a
+// record stays small and a record file is useless without its plan,
+// which is exactly the coupling a resumable campaign wants. Non-finite
+// metrics serialize as the strings "nan"/"inf"/"-inf" (the JSON layer
+// has no non-finite literals).
+
+struct CellRecord {
+  std::size_t flat = 0;
+  ChannelReport report;
+};
+
+// One compact JSON line (no trailing newline).
+std::string cell_record_line(const CellResult& cell);
+
+// Strict parse; throws std::invalid_argument on any malformed field.
+CellRecord parse_cell_record(std::string_view line);
+
+// Reads a whole record stream (shard output or checkpoint). A trailing
+// partial line — a run killed mid-write — is silently dropped; malformed
+// records anywhere else throw. Duplicate flat indices keep the first
+// occurrence (a resumed run never re-runs a recorded cell, so later
+// duplicates can only be identical).
+std::map<std::size_t, ChannelReport> read_records(std::istream& in);
+
+// Drops cells whose flat index already has a record (checkpoint
+// resume); plan order is preserved.
+std::vector<CampaignCell> skip_completed(
+    std::vector<CampaignCell> cells,
+    const std::map<std::size_t, ChannelReport>& done);
+
+// --- replay (merge / resume) ---------------------------------------------
+
+// Re-plays recorded reports through the standard emission path: every
+// plan cell the shard owns is re-derived in flat order, paired with its
+// record, handed to `sink`, and folded into the returned summary. A
+// merge of N complete shard record streams (shard = the whole grid)
+// therefore emits byte-identical CSV/JSON to the single-process run.
+// Throws std::invalid_argument when an owned cell has no record.
+// Consumes `reports` as it walks, so peak memory is the record map,
+// never records + results.
+CampaignSummary replay_records(
+    const ExperimentPlan& plan, const ShardSpec& shard,
+    std::map<std::size_t, ChannelReport> reports,
+    const std::function<void(const CellResult&)>& sink);
+
+}  // namespace mes::exec

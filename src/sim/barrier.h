@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "sim/simulator.h"
 #include "sim/wait_queue.h"
@@ -28,6 +29,12 @@ class Barrier {
       Barrier& b;
       Simulator& sim;
       Duration latency;
+      // The wait awaiter owns a pool slot once parked; holding it here
+      // (instead of a fire-and-forget await_suspend) lets await_resume
+      // release that slot.
+      decltype(std::declval<WaitQueue&>().wait(
+          std::declval<Simulator&>())) inner;
+      bool parked = false;
 
       bool await_ready()
       {
@@ -42,12 +49,15 @@ class Barrier {
       void await_suspend(std::coroutine_handle<> h)
       {
         ++b.arrived_;
-        auto wait_awaiter = b.queue_.wait(sim);
-        wait_awaiter.await_suspend(h);
+        parked = true;
+        inner.await_suspend(h);
       }
-      void await_resume() const noexcept {}
+      void await_resume()
+      {
+        if (parked) (void)inner.await_resume();
+      }
     };
-    return Awaiter{*this, sim, release_latency};
+    return Awaiter{*this, sim, release_latency, queue_.wait(sim)};
   }
 
  private:

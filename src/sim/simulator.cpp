@@ -5,7 +5,9 @@
 #include <cstring>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
+#include "sim/wait_queue.h"
 #include "util/log.h"
 
 namespace mes::sim {
@@ -41,25 +43,39 @@ Simulator::~Simulator()
   }
 }
 
-void Simulator::push_event(Event ev)
+void Simulator::push_event(Event ev, const char* what)
 {
   if (ev.at < now_) {
-    throw std::logic_error{"Simulator::call_at: time in the past"};
+    throw std::logic_error{std::string{what} + ": time in the past"};
   }
   ev.seq = next_seq_++;
-  queue_.push_back(std::move(ev));
+  queue_.push_back(ev);
   std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+}
+
+std::uint32_t Simulator::take_fn_slot(std::function<void()> fn)
+{
+  if (free_fn_slot_ != kNil) {
+    const std::uint32_t slot = free_fn_slot_;
+    free_fn_slot_ = fn_slots_[slot].next_free;
+    fn_slots_[slot].fn = std::move(fn);
+    return slot;
+  }
+  fn_slots_.push_back(FnSlot{std::move(fn), kNil});
+  return static_cast<std::uint32_t>(fn_slots_.size() - 1);
 }
 
 void Simulator::call_at(TimePoint t, std::function<void()> fn)
 {
-  push_event(Event{t, 0, nullptr, std::move(fn)});
+  push_event(Event{t, 0, nullptr, take_fn_slot(std::move(fn)), 0,
+                   EventKind::callback},
+             "Simulator::call_at");
 }
 
 Simulator::Event Simulator::pop_next_event()
 {
   std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
-  Event ev = std::move(queue_.back());
+  const Event ev = queue_.back();
   queue_.pop_back();
   return ev;
 }
@@ -74,6 +90,9 @@ void Simulator::call_after(Duration after, std::function<void()> fn)
 
 void Simulator::schedule_resume(std::coroutine_handle<> h, Duration after)
 {
+  if (after.is_negative()) {
+    throw std::logic_error{"Simulator::schedule_resume: negative delay"};
+  }
   static const bool check = std::getenv("MES_CHECK_FRAMES") != nullptr;
   if (check) {
     std::array<std::uint64_t, 8> snap;
@@ -94,17 +113,99 @@ void Simulator::schedule_resume(std::coroutine_handle<> h, Duration after)
     });
     return;
   }
-  if (after.is_negative()) {
-    throw std::logic_error{"Simulator::call_after: negative delay"};
-  }
-  push_event(Event{now_ + after, 0, h, nullptr});
+  push_event(Event{now_ + after, 0, h, kNil, 0, EventKind::resume},
+             "Simulator::schedule_resume");
 }
 
 void Simulator::spawn(Proc proc, std::string name)
 {
   auto handle = proc.release();  // the simulator now owns the frame
   roots_.push_back(Root{handle, std::move(name)});
-  push_event(Event{now_, 0, handle, nullptr});
+  push_event(Event{now_, 0, handle, kNil, 0, EventKind::resume},
+             "Simulator::spawn");
+}
+
+// --- wait-node pool ----------------------------------------------------
+
+std::uint32_t Simulator::alloc_wait_node(std::coroutine_handle<> h,
+                                         WaitQueue* owner)
+{
+  std::uint32_t idx;
+  if (free_wait_node_ != kNil) {
+    idx = free_wait_node_;
+    free_wait_node_ = wait_nodes_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(wait_nodes_.size());
+    wait_nodes_.push_back(WaitNode{});
+  }
+  WaitNode& node = wait_nodes_[idx];
+  node.handle = h;
+  node.owner = owner;
+  node.prev = kNil;
+  node.next = kNil;
+  node.state = WaitNode::State::parked;
+  ++wait_nodes_in_use_;
+  return idx;
+}
+
+void Simulator::free_wait_node(std::uint32_t idx)
+{
+  WaitNode& node = wait_nodes_[idx];
+  node.handle = nullptr;
+  node.owner = nullptr;
+  node.prev = kNil;
+  ++node.gen;  // invalidates any timeout event still in flight
+  node.state = WaitNode::State::free_slot;
+  node.next = free_wait_node_;
+  free_wait_node_ = idx;
+  --wait_nodes_in_use_;
+}
+
+void Simulator::schedule_wait_timeout(std::uint32_t idx, Duration timeout)
+{
+  if (timeout.is_negative()) {
+    throw std::logic_error{"WaitQueue::wait: negative timeout"};
+  }
+  push_event(Event{now_ + timeout, 0, nullptr, idx, wait_nodes_[idx].gen,
+                   EventKind::wait_timeout},
+             "WaitQueue::wait");
+}
+
+void Simulator::dispatch_wait_timeout(const Event& ev)
+{
+  WaitNode& node = wait_nodes_[ev.slot];
+  if (node.gen != ev.gen || node.state != WaitNode::State::parked) {
+    return;  // the wait already resolved (or the slot was recycled)
+  }
+  if (node.owner != nullptr) node.owner->unlink(*this, ev.slot);
+  node.state = WaitNode::State::timed_out;
+  const std::coroutine_handle<> h = node.handle;
+  // No pool access past this point: the resumed waiter may start new
+  // waits and grow (reallocate) the pool under us.
+  h.resume();
+}
+
+// --- coalesced wakeups --------------------------------------------------
+
+std::uint32_t Simulator::acquire_wake_batch()
+{
+  if (free_batch_slot_ != kNil) {
+    const std::uint32_t slot = free_batch_slot_;
+    free_batch_slot_ = batch_slots_[slot].next_free;
+    return slot;
+  }
+  batch_slots_.push_back(BatchSlot{});
+  return static_cast<std::uint32_t>(batch_slots_.size() - 1);
+}
+
+void Simulator::commit_wake_batch(std::uint32_t slot, Duration latency)
+{
+  if (latency.is_negative()) {
+    throw std::logic_error{"WaitQueue::notify_all: negative latency"};
+  }
+  push_event(Event{now_ + latency, 0, nullptr, slot, 0,
+                   EventKind::wake_batch},
+             "WaitQueue::notify_all");
 }
 
 RunResult Simulator::run(std::uint64_t max_events)
@@ -128,16 +229,47 @@ RunResult Simulator::run(std::uint64_t max_events)
                    static_cast<unsigned long long>(max_events));
       break;
     }
-    Event ev = pop_next_event();
+    const Event ev = pop_next_event();
     now_ = ev.at;
     if (trace_events) {
       std::fprintf(stderr, "  [ev seq=%llu t=%.3fus]\n",
                    (unsigned long long)ev.seq, ev.at.to_us());
     }
-    if (ev.resume) {
-      ev.resume.resume();
-    } else {
-      ev.fn();
+    switch (ev.kind) {
+      case EventKind::resume:
+        ev.resume.resume();
+        break;
+      case EventKind::callback: {
+        // Move the payload out and release the slot first: the callback
+        // may schedule new callbacks and reuse it.
+        std::function<void()> fn = std::move(fn_slots_[ev.slot].fn);
+        fn_slots_[ev.slot].fn = nullptr;
+        fn_slots_[ev.slot].next_free = free_fn_slot_;
+        free_fn_slot_ = ev.slot;
+        fn();
+        break;
+      }
+      case EventKind::wake_batch: {
+        // The batch vector is detached before resuming: a resumed
+        // waiter may trigger a fresh notify_all, which must not reuse
+        // or reallocate this slot mid-iteration.
+        std::vector<std::coroutine_handle<>> handles =
+            std::move(batch_slots_[ev.slot].handles);
+        for (const std::coroutine_handle<> h : handles) {
+          h.resume();
+        }
+        // Each resumed waiter counts as one delivered event, exactly as
+        // the unbatched path did; the loop adds the first below.
+        result.events_processed += handles.size() - 1;
+        handles.clear();
+        batch_slots_[ev.slot].handles = std::move(handles);  // keep capacity
+        batch_slots_[ev.slot].next_free = free_batch_slot_;
+        free_batch_slot_ = ev.slot;
+        break;
+      }
+      case EventKind::wait_timeout:
+        dispatch_wait_timeout(ev);
+        break;
     }
     ++result.events_processed;
   }

@@ -22,6 +22,8 @@
 
 namespace mes::sim {
 
+class WaitQueue;
+
 struct RunResult {
   std::uint64_t events_processed = 0;
   // Roots still suspended when the queue drained (deadlocked/starved).
@@ -76,16 +78,79 @@ class Simulator {
 
   static constexpr std::uint64_t kDefaultMaxEvents = 500'000'000ULL;
 
+  // --- wait-node pool (the WaitQueue parking lot) -----------------------
+  //
+  // Every blocked simulated process is a pool slot here rather than a
+  // heap node: WaitQueues hold intrusive index lists into this pool, so
+  // parking and waking never allocate on the steady state. Slots are
+  // recycled through a free list; `gen` is bumped on every release so a
+  // stale timeout event (pushed when the wait began, outliving the wake
+  // — and possibly the queue itself) detects the slot was reused and
+  // does nothing. A WaitQueue must always park on the same simulator,
+  // and that simulator must be declared before (destroyed after) the
+  // queue — true for every stack in the tree (ExperimentEnv tears the
+  // kernel down first; frames parked at simulator teardown release
+  // their queues while the pool is still alive).
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct WaitNode {
+    std::coroutine_handle<> handle;
+    WaitQueue* owner = nullptr;  // null once unlinked (woken/orphaned)
+    std::uint32_t prev = kNil;   // intrusive links within the owner queue
+    std::uint32_t next = kNil;
+    std::uint32_t gen = 0;
+    enum class State : std::uint8_t { free_slot, parked, woken, timed_out };
+    State state = State::free_slot;
+  };
+
+  std::uint32_t alloc_wait_node(std::coroutine_handle<> h, WaitQueue* owner);
+  WaitNode& wait_node(std::uint32_t idx) { return wait_nodes_[idx]; }
+  void free_wait_node(std::uint32_t idx);
+  // Pushes the timeout event for a freshly parked node (captures the
+  // node's current generation; fires as a no-op if the wait already
+  // resolved). `timeout` must be non-negative.
+  void schedule_wait_timeout(std::uint32_t idx, Duration timeout);
+  // Live slots currently allocated (parked or wake-in-flight); tests use
+  // this to pin the O(live) guarantee.
+  std::size_t wait_nodes_in_use() const { return wait_nodes_in_use_; }
+
+  // --- coalesced wakeups ------------------------------------------------
+  //
+  // notify_all on N waiters pushes ONE event whose payload is the wake
+  // order; dispatch resumes the handles back to back. Equal-time
+  // ordering is exactly what N consecutive single-resume pushes would
+  // have produced: the batch occupies the first sequence slot, and
+  // anything a resumed waiter schedules lands after it. Batch payloads
+  // are pooled vectors, so a storm allocates only until the pool warms.
+  std::uint32_t acquire_wake_batch();
+  std::vector<std::coroutine_handle<>>& wake_batch_handles(std::uint32_t slot)
+  {
+    return batch_slots_[slot].handles;
+  }
+  // Pushes the batch event (non-negative latency); the slot returns to
+  // the pool after it fires.
+  void commit_wake_batch(std::uint32_t slot, Duration latency);
+
  private:
   // Coroutine resumes are the hot path — virtually every simulated
-  // event is one. They carry the bare handle instead of a type-erased
-  // std::function, so pushing/popping a resume never constructs,
-  // moves or destroys a callable wrapper.
+  // event is one. The event is a POD: resumes carry the bare handle,
+  // and the cold std::function payload of call_at/call_after lives in a
+  // pooled side table indexed by `slot`, so pushing/popping never
+  // constructs, moves or destroys a callable wrapper.
+  enum class EventKind : std::uint8_t {
+    resume,        // `resume` handle (fast path)
+    callback,      // fn_slots_[slot]
+    wake_batch,    // batch_slots_[slot]
+    wait_timeout,  // wait_nodes_[slot], valid while gen matches
+  };
   struct Event {
     TimePoint at;
     std::uint64_t seq;
-    std::coroutine_handle<> resume;  // non-null: resume fast path
-    std::function<void()> fn;        // general callbacks otherwise
+    std::coroutine_handle<> resume;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    EventKind kind;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const
@@ -98,17 +163,37 @@ class Simulator {
     Proc::handle_type handle;
     std::string name;
   };
+  struct FnSlot {
+    std::function<void()> fn;
+    std::uint32_t next_free = kNil;
+  };
+  struct BatchSlot {
+    std::vector<std::coroutine_handle<>> handles;
+    std::uint32_t next_free = kNil;
+  };
 
   void rethrow_root_exception();
-  void push_event(Event ev);
+  // `what` names the public entry point for the time-in-the-past error.
+  void push_event(Event ev, const char* what);
   Event pop_next_event();
+  std::uint32_t take_fn_slot(std::function<void()> fn);
+  void dispatch_wait_timeout(const Event& ev);
 
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
-  // Min-heap on (time, seq) managed with push_heap/pop_heap so the
-  // handler can be moved out legally before execution.
+  // Min-heap on (time, seq) managed with push_heap/pop_heap so events
+  // can be moved out legally before execution.
   std::vector<Event> queue_;
   std::vector<Root> roots_;
+
+  std::vector<FnSlot> fn_slots_;
+  std::uint32_t free_fn_slot_ = kNil;
+  std::vector<WaitNode> wait_nodes_;
+  std::uint32_t free_wait_node_ = kNil;
+  std::size_t wait_nodes_in_use_ = 0;
+  std::vector<BatchSlot> batch_slots_;
+  std::uint32_t free_batch_slot_ = kNil;
+
   Rng rng_;
 };
 

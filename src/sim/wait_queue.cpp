@@ -2,50 +2,90 @@
 
 namespace mes::sim {
 
-std::size_t WaitQueue::size() const
+WaitQueue::~WaitQueue()
 {
-  std::size_t n = 0;
-  for (const auto& node : nodes_) {
-    if (!node->woken && !node->timed_out) ++n;
+  std::uint32_t idx = head_;
+  while (idx != Simulator::kNil) {
+    Simulator::WaitNode& node = sim_->wait_node(idx);
+    const std::uint32_t next = node.next;
+    node.owner = nullptr;  // orphaned: still parked, queue is gone
+    node.prev = Simulator::kNil;
+    node.next = Simulator::kNil;
+    idx = next;
   }
-  return n;
 }
 
-void WaitQueue::push(std::shared_ptr<Node> node)
+void WaitQueue::link_back(Simulator& sim, std::uint32_t idx)
 {
-  nodes_.push_back(std::move(node));
+  sim_ = &sim;
+  Simulator::WaitNode& node = sim.wait_node(idx);
+  node.prev = tail_;
+  node.next = Simulator::kNil;
+  if (tail_ != Simulator::kNil) {
+    sim.wait_node(tail_).next = idx;
+  } else {
+    head_ = idx;
+  }
+  tail_ = idx;
+  ++live_;
 }
 
-std::shared_ptr<WaitQueue::Node> WaitQueue::pop_live()
+void WaitQueue::unlink(Simulator& sim, std::uint32_t idx)
 {
-  while (!nodes_.empty()) {
-    std::shared_ptr<Node> node;
-    if (order_ == WakeOrder::fifo) {
-      node = nodes_.front();
-      nodes_.pop_front();
-    } else {
-      node = nodes_.back();
-      nodes_.pop_back();
-    }
-    if (!node->woken && !node->timed_out) return node;
-    // Timed-out nodes are removed lazily here.
+  Simulator::WaitNode& node = sim.wait_node(idx);
+  if (node.prev != Simulator::kNil) {
+    sim.wait_node(node.prev).next = node.next;
+  } else {
+    head_ = node.next;
   }
-  return nullptr;
+  if (node.next != Simulator::kNil) {
+    sim.wait_node(node.next).prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+  node.prev = Simulator::kNil;
+  node.next = Simulator::kNil;
+  node.owner = nullptr;
+  --live_;
+}
+
+std::uint32_t WaitQueue::pop(Simulator& sim)
+{
+  const std::uint32_t idx = (order_ == WakeOrder::fifo) ? head_ : tail_;
+  if (idx != Simulator::kNil) unlink(sim, idx);
+  return idx;
 }
 
 bool WaitQueue::notify_one(Simulator& sim, Duration latency)
 {
-  auto node = pop_live();
-  if (!node) return false;
-  node->woken = true;
-  sim.call_after(latency, [node] { node->handle.resume(); });
+  const std::uint32_t idx = pop(sim);
+  if (idx == Simulator::kNil) return false;
+  Simulator::WaitNode& node = sim.wait_node(idx);
+  node.state = Simulator::WaitNode::State::woken;
+  sim.schedule_resume(node.handle, latency);
   return true;
 }
 
 std::size_t WaitQueue::notify_all(Simulator& sim, Duration latency)
 {
+  if (live_ == 0) return 0;
+  if (live_ == 1) {
+    notify_one(sim, latency);
+    return 1;
+  }
+  // One coalesced wake event carries every handle; dispatch resumes them
+  // back to back in wake order, which matches what N single events with
+  // consecutive sequence numbers would have produced.
+  const std::uint32_t slot = sim.acquire_wake_batch();
+  auto& handles = sim.wake_batch_handles(slot);
   std::size_t n = 0;
-  while (notify_one(sim, latency)) ++n;
+  for (std::uint32_t idx = pop(sim); idx != Simulator::kNil; idx = pop(sim)) {
+    Simulator::WaitNode& node = sim.wait_node(idx);
+    node.state = Simulator::WaitNode::State::woken;
+    handles.push_back(node.handle);
+    ++n;
+  }
+  sim.commit_wake_batch(slot, latency);
   return n;
 }
 

@@ -5,12 +5,17 @@
 // *fair* (FIFO) competition — §V.B shows that unfair hand-off lets the Spy
 // monopolize the resource and destroys the channel — so both policies are
 // implemented and the ablation bench exercises the unfair one.
+//
+// The queue itself is just an intrusive index list into the simulator's
+// wait-node pool: parking, waking and timing out never allocate, nodes
+// are unlinked eagerly the moment they stop waiting (size() is O(1) over
+// live waiters, never over corpses), and notify_all coalesces the whole
+// wake into a single simulator event.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
-#include <memory>
+#include <utility>
 
 #include "sim/simulator.h"
 #include "util/time.h"
@@ -28,12 +33,22 @@ class WaitQueue {
  public:
   explicit WaitQueue(WakeOrder order = WakeOrder::fifo) : order_{order} {}
 
+  // The intrusive links point back at this queue; moving or copying it
+  // would strand them.
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // Orphans any still-parked waiter: it keeps its pool slot (freed when
+  // its coroutine eventually resumes and reads the outcome) but loses the
+  // back-pointer, so a pending timeout can still fire for it safely.
+  ~WaitQueue();
+
   WakeOrder order() const { return order_; }
   void set_order(WakeOrder order) { order_ = order; }
 
   // Number of live (not yet woken / timed out) waiters.
-  std::size_t size() const;
-  bool empty() const { return size() == 0; }
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
 
   // Awaitable: park the calling coroutine until notify; resumes after
   // `timeout` with WaitOutcome::timed_out if nothing woke it first.
@@ -44,30 +59,27 @@ class WaitQueue {
       WaitQueue& q;
       Simulator& sim;
       Duration timeout;
-      std::shared_ptr<Node> node;
+      std::uint32_t idx = Simulator::kNil;
 
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h)
       {
-        node = std::make_shared<Node>();
-        node->handle = h;
-        q.push(node);
+        idx = sim.alloc_wait_node(h, &q);
+        q.link_back(sim, idx);
         if (timeout != Duration::max()) {
-          auto n = node;
-          sim.call_after(timeout, [n] {
-            if (n->woken || n->timed_out) return;
-            n->timed_out = true;
-            n->handle.resume();
-          });
+          sim.schedule_wait_timeout(idx, timeout);
         }
       }
-      WaitOutcome await_resume() const
+      WaitOutcome await_resume()
       {
-        return node->timed_out ? WaitOutcome::timed_out
-                               : WaitOutcome::signaled;
+        const auto state = sim.wait_node(idx).state;
+        sim.free_wait_node(idx);
+        return state == Simulator::WaitNode::State::timed_out
+                   ? WaitOutcome::timed_out
+                   : WaitOutcome::signaled;
       }
     };
-    return Awaiter{*this, sim, timeout, nullptr};
+    return Awaiter{*this, sim, timeout};
   }
 
   // Wakes one parked process after `latency`; returns false if none was
@@ -75,22 +87,23 @@ class WaitQueue {
   // kernel object's business, e.g. an Event's signaled flag).
   bool notify_one(Simulator& sim, Duration latency = Duration::zero());
 
-  // Wakes every parked process (all after the same latency); returns the
-  // number woken.
+  // Wakes every parked process (all after the same latency) with one
+  // coalesced simulator event; returns the number woken.
   std::size_t notify_all(Simulator& sim, Duration latency = Duration::zero());
 
  private:
-  struct Node {
-    std::coroutine_handle<> handle;
-    bool woken = false;
-    bool timed_out = false;
-  };
+  friend class Simulator;  // timeout dispatch unlinks through the owner
 
-  void push(std::shared_ptr<Node> node);
-  std::shared_ptr<Node> pop_live();
+  void link_back(Simulator& sim, std::uint32_t idx);
+  void unlink(Simulator& sim, std::uint32_t idx);
+  // Detaches the next waiter per the wake order; kNil when empty.
+  std::uint32_t pop(Simulator& sim);
 
   WakeOrder order_;
-  std::deque<std::shared_ptr<Node>> nodes_;
+  Simulator* sim_ = nullptr;  // set on first park; one sim per queue
+  std::uint32_t head_ = Simulator::kNil;
+  std::uint32_t tail_ = Simulator::kNil;
+  std::size_t live_ = 0;
 };
 
 }  // namespace mes::sim

@@ -20,6 +20,7 @@
 #include "exec/campaign.h"
 #include "exec/env.h"
 #include "exec/seed.h"
+#include "exec/stream.h"
 #include "exec/thread_pool.h"
 #include "scenario/registry.h"
 
@@ -859,6 +860,240 @@ TEST(Emission, CsvIsByteIdenticalAcrossJobCounts)
   exec::write_json(parallel_json, exec::CampaignRunner{4}.run(plan));
   EXPECT_EQ(serial_csv.str(), parallel_csv.str());
   EXPECT_EQ(serial_json.str(), parallel_json.str());
+}
+
+// --- streaming / sharded / resumable execution -------------------------
+
+// A multi-axis plan exercising proto stats (arq cells) next to raw
+// fixed-rate cells, sized to split unevenly across 3 shards.
+exec::ExperimentPlan stream_plan()
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::flock};
+  plan.scenarios = {exec::named_scenario("local"),
+                    exec::named_scenario("noisy-local")};
+  plan.protocols = {{"fixed", ProtocolMode::fixed},
+                    {"arq", ProtocolMode::arq}};
+  plan.repeats = 2;
+  plan.seed_base = 0xB0A710AD;
+  plan.payload_bits = 256;
+  return plan;
+}
+
+std::string emit_csv(const exec::CampaignResult& result)
+{
+  std::ostringstream out;
+  exec::write_csv(out, result);
+  return out.str();
+}
+
+std::string emit_json(const exec::CampaignResult& result)
+{
+  std::ostringstream out;
+  exec::write_json(out, result);
+  return out.str();
+}
+
+TEST(Stream, RunStreamMatchesRunCellOrderAndAggregates)
+{
+  const exec::ExperimentPlan plan = stream_plan();
+  const exec::CampaignResult reference = exec::CampaignRunner{1}.run(plan);
+
+  std::vector<std::string> labels;
+  std::ostringstream csv;
+  exec::write_csv_header(csv);
+  const exec::CampaignSummary summary = exec::CampaignRunner{4}.run_stream(
+      exec::expand(plan), [&](const exec::CellResult& c) {
+        labels.push_back(c.cell.label);
+        exec::write_csv_row(csv, c);
+      });
+
+  // The sink sees cells in plan order regardless of worker interleaving.
+  ASSERT_EQ(labels.size(), reference.cells.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], reference.cells[i].cell.label);
+  }
+  EXPECT_EQ(csv.str(), emit_csv(reference));
+
+  // Group families match the in-memory aggregation bit for bit.
+  ASSERT_EQ(summary.points.size(), reference.points.size());
+  for (std::size_t i = 0; i < summary.points.size(); ++i) {
+    EXPECT_EQ(summary.points[i].key, reference.points[i].key);
+    EXPECT_EQ(summary.points[i].cells, reference.points[i].cells);
+    EXPECT_EQ(summary.points[i].mean_ber, reference.points[i].mean_ber);
+    EXPECT_EQ(summary.points[i].mean_throughput_bps,
+              reference.points[i].mean_throughput_bps);
+  }
+  EXPECT_EQ(summary.cells(), reference.cells.size());
+}
+
+TEST(Stream, ShardMergeByteIdenticalToSingleRun)
+{
+  const exec::ExperimentPlan plan = stream_plan();
+  const exec::CampaignResult reference = exec::CampaignRunner{1}.run(plan);
+
+  // Run each shard independently (parallel workers), collecting only the
+  // record stream each would write to disk.
+  const std::size_t kShards = 3;
+  std::ostringstream records;
+  std::size_t shard_cell_total = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const exec::ShardSpec shard{i, kShards};
+    std::vector<exec::CampaignCell> cells =
+        exec::shard_cells(exec::expand(plan), shard);
+    shard_cell_total += cells.size();
+    exec::CampaignRunner{4}.run_stream(
+        std::move(cells), [&](const exec::CellResult& c) {
+          records << exec::cell_record_line(c) << '\n';
+        });
+  }
+  EXPECT_EQ(shard_cell_total, plan.cell_count());
+
+  // Merge: replay the combined records through the standard emitters.
+  std::istringstream in{records.str()};
+  std::ostringstream csv, json;
+  exec::write_csv_header(csv);
+  exec::write_json_open(json);
+  std::size_t index = 0;
+  const exec::CampaignSummary merged = exec::replay_records(
+      plan, exec::ShardSpec{}, exec::read_records(in),
+      [&](const exec::CellResult& c) {
+        exec::write_csv_row(csv, c);
+        exec::write_json_cell(json, c, index);
+        ++index;
+      });
+  exec::write_json_close(json, merged.points, merged.by_mechanism,
+                         merged.by_scenario);
+
+  EXPECT_EQ(csv.str(), emit_csv(reference));
+  EXPECT_EQ(json.str(), emit_json(reference));
+}
+
+TEST(Stream, CheckpointResumeByteIdenticalToUninterruptedRun)
+{
+  const exec::ExperimentPlan plan = stream_plan();
+  const exec::CampaignResult reference = exec::CampaignRunner{1}.run(plan);
+
+  // Phase 1 "crashed" after 5 cells: only their records survive.
+  std::ostringstream checkpoint;
+  std::size_t finished = 0;
+  {
+    std::vector<exec::CampaignCell> cells = exec::expand(plan);
+    cells.resize(5);
+    exec::CampaignRunner{2}.run_stream(
+        std::move(cells), [&](const exec::CellResult& c) {
+          checkpoint << exec::cell_record_line(c) << '\n';
+          ++finished;
+        });
+  }
+  ASSERT_EQ(finished, 5u);
+
+  // Resume: skip recorded cells, run the rest, append their records.
+  std::istringstream done_in{checkpoint.str()};
+  const std::map<std::size_t, ChannelReport> done =
+      exec::read_records(done_in);
+  std::vector<exec::CampaignCell> remaining =
+      exec::skip_completed(exec::expand(plan), done);
+  EXPECT_EQ(remaining.size(), plan.cell_count() - 5);
+  exec::CampaignRunner{2}.run_stream(
+      std::move(remaining), [&](const exec::CellResult& c) {
+        checkpoint << exec::cell_record_line(c) << '\n';
+      });
+
+  // Emission replays the full record set in flat order.
+  std::istringstream in{checkpoint.str()};
+  std::ostringstream csv;
+  exec::write_csv_header(csv);
+  exec::replay_records(plan, exec::ShardSpec{}, exec::read_records(in),
+                       [&](const exec::CellResult& c) {
+                         exec::write_csv_row(csv, c);
+                       });
+  EXPECT_EQ(csv.str(), emit_csv(reference));
+}
+
+TEST(Stream, RecordRoundTripPreservesNonFiniteAndProtoStats)
+{
+  exec::CellResult cell;
+  cell.cell.coord.flat = 42;
+  ChannelReport& rep = cell.report;
+  rep.ok = true;
+  rep.sync_ok = true;
+  rep.ber = std::numeric_limits<double>::quiet_NaN();
+  rep.throughput_bps = std::numeric_limits<double>::infinity();
+  rep.elapsed = Duration::ns(123456789);
+  rep.timing.t1 = Duration::us(180);
+  rep.timing.t0 = Duration::us(60);
+  rep.timing.interval = Duration::us(250);
+  rep.timing.symbol_bits = 2;
+  rep.failure_reason = "quoted \"reason\", with commas\n";
+  rep.proto.emplace();
+  rep.proto->mode = ProtocolMode::adaptive;
+  rep.proto->frames = 7;
+  rep.proto->retransmits = 3;
+  rep.proto->calibration_margin = 1.25;
+  rep.proto->calibration_time = Duration::us(900);
+  rep.proto->phases.push_back({2, 5, 1, Duration::us(30), 1234.5});
+
+  const exec::CellRecord parsed =
+      exec::parse_cell_record(exec::cell_record_line(cell));
+  EXPECT_EQ(parsed.flat, 42u);
+  EXPECT_TRUE(parsed.report.ok);
+  EXPECT_TRUE(std::isnan(parsed.report.ber));
+  EXPECT_TRUE(std::isinf(parsed.report.throughput_bps));
+  EXPECT_EQ(parsed.report.elapsed.count_ns(), 123456789);
+  EXPECT_EQ(parsed.report.timing.t1.count_ns(), rep.timing.t1.count_ns());
+  EXPECT_EQ(parsed.report.timing.symbol_bits, 2u);
+  EXPECT_EQ(parsed.report.failure_reason, rep.failure_reason);
+  ASSERT_TRUE(parsed.report.proto.has_value());
+  EXPECT_EQ(parsed.report.proto->mode, ProtocolMode::adaptive);
+  EXPECT_EQ(parsed.report.proto->frames, 7u);
+  EXPECT_DOUBLE_EQ(parsed.report.proto->calibration_margin, 1.25);
+  ASSERT_EQ(parsed.report.proto->phases.size(), 1u);
+  EXPECT_EQ(parsed.report.proto->phases[0].phase, 2u);
+  EXPECT_DOUBLE_EQ(parsed.report.proto->phases[0].goodput_bps, 1234.5);
+}
+
+TEST(Stream, ReadRecordsToleratesTornTailButNotCorruption)
+{
+  exec::CellResult cell;
+  cell.cell.coord.flat = 7;
+  cell.report.ok = true;
+  const std::string line = exec::cell_record_line(cell);
+
+  // A torn final write (killed mid-append) is dropped silently.
+  {
+    std::istringstream in{line + "\n" + line.substr(0, line.size() / 2)};
+    const auto records = exec::read_records(in);
+    EXPECT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records.contains(7u));
+  }
+  // The same damage mid-file is corruption, not a torn tail.
+  {
+    std::istringstream in{line.substr(0, line.size() / 2) + "\n" + line};
+    EXPECT_THROW(exec::read_records(in), std::invalid_argument);
+  }
+  // A missing record for an owned cell fails the replay loudly.
+  {
+    exec::ExperimentPlan plan = stream_plan();
+    std::istringstream in{line + "\n"};
+    EXPECT_THROW(exec::replay_records(plan, exec::ShardSpec{},
+                                      exec::read_records(in), nullptr),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Stream, ShardSpecValidatesAndPartitions)
+{
+  EXPECT_EQ(exec::ShardSpec{}.validate(), "");
+  EXPECT_NE((exec::ShardSpec{0, 0}).validate(), "");
+  EXPECT_NE((exec::ShardSpec{4, 4}).validate(), "");
+  EXPECT_FALSE(exec::ShardSpec{}.active());
+  const exec::ShardSpec shard{1, 3};
+  EXPECT_TRUE(shard.active());
+  EXPECT_TRUE(shard.owns(1));
+  EXPECT_TRUE(shard.owns(4));
+  EXPECT_FALSE(shard.owns(0));
+  EXPECT_FALSE(shard.owns(3));
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce)

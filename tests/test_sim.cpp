@@ -479,6 +479,120 @@ TEST(NoiseProcess, ShiftPathsMovesMediansNotTails)
   EXPECT_DOUBLE_EQ(shifted.corruption_rate, base.corruption_rate);
 }
 
+Proc notify_all_at(Simulator& sim, WaitQueue& q, Duration delay)
+{
+  co_await sim.delay(delay);
+  q.notify_all(sim);
+}
+
+Proc mark_at(Simulator& sim, Duration delay, std::vector<int>& log, int id)
+{
+  co_await sim.delay(delay);
+  log.push_back(id);
+}
+
+// notify_all coalesces N wakes into one event; the wake order must stay
+// the queue's discipline, exactly as N single notify_one calls.
+TEST(WaitQueue, NotifyAllWakesFifoOrder)
+{
+  Simulator sim;
+  WaitQueue q{WakeOrder::fifo};
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 1, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 2, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 3, Duration::max()));
+  sim.spawn(notify_all_at(sim, q, Duration::us(10)));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WaitQueue, NotifyAllWakesLifoOrder)
+{
+  Simulator sim;
+  WaitQueue q{WakeOrder::lifo};
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 1, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 2, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 3, Duration::max()));
+  sim.spawn(notify_all_at(sim, q, Duration::us(10)));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{3, 2, 1}));
+}
+
+// The batch event takes its sequence slot when notify_all runs, so an
+// unrelated event already scheduled for the same instant (the marker's
+// delay, pushed at t=0) still fires first — identical to what N
+// individual wake events would have produced.
+TEST(WaitQueue, NotifyAllKeepsEqualTimeInsertionOrder)
+{
+  Simulator sim;
+  WaitQueue q{WakeOrder::fifo};
+  std::vector<int> log;
+  sim.spawn(waiter(sim, q, log, 1, Duration::max()));
+  sim.spawn(waiter(sim, q, log, 2, Duration::max()));
+  sim.spawn(notify_all_at(sim, q, Duration::us(10)));
+  sim.spawn(mark_at(sim, Duration::us(10), log, 99));
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(log, (std::vector<int>{99, 1, 2}));
+  EXPECT_EQ(r.end_time.count_ns(), Duration::us(10).count_ns());
+}
+
+Proc timed_churn(Simulator& sim, WaitQueue& q, int rounds,
+                 std::size_t& max_in_use)
+{
+  for (int i = 0; i < rounds; ++i) {
+    const WaitOutcome outcome = co_await q.wait(sim, Duration::us(1));
+    EXPECT_EQ(outcome, WaitOutcome::timed_out);
+    max_in_use = std::max(max_in_use, sim.wait_nodes_in_use());
+  }
+}
+
+// Regression for the parking-lot leak class: a long-lived queue that
+// sees thousands of expired timed waits must keep its size() and the
+// simulator's node pool at O(live waiters), not O(waits ever made).
+TEST(WaitQueue, TimedWaitChurnKeepsPoolAtLiveSize)
+{
+  Simulator sim;
+  WaitQueue q;
+  std::size_t max_in_use = 0;
+  for (int p = 0; p < 4; ++p) {
+    sim.spawn(timed_churn(sim, q, 1000, max_in_use));
+  }
+  const RunResult r = sim.run();
+  EXPECT_EQ(r.blocked_roots, 0u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(sim.wait_nodes_in_use(), 0u);
+  EXPECT_LE(max_in_use, 4u);
+}
+
+// The past/negative-delay guards must name the entry point that was
+// actually called (a "call_after" message out of schedule_resume sent
+// more than one debugging session to the wrong call site).
+TEST(Simulator, ErrorMessagesNameTheEntryPoint)
+{
+  Simulator sim;
+  try {
+    sim.call_at(TimePoint::origin() - Duration::us(1), [] {});
+    FAIL() << "call_at in the past must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "Simulator::call_at: time in the past");
+  }
+  try {
+    sim.call_after(Duration::us(-1), [] {});
+    FAIL() << "negative call_after must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "Simulator::call_after: negative delay");
+  }
+  try {
+    sim.schedule_resume(std::noop_coroutine(), Duration::us(-1));
+    FAIL() << "negative schedule_resume must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "Simulator::schedule_resume: negative delay");
+  }
+}
+
 TEST(Simulator, DeterministicAcrossRuns)
 {
   auto run_once = [] {

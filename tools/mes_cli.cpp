@@ -39,6 +39,7 @@
 #include "codec/fec.h"
 #include "core/runner.h"
 #include "exec/campaign.h"
+#include "exec/stream.h"
 #include "scenario/registry.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -97,6 +98,10 @@ struct Options {
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string csv;       // CSV output path ("-" = stdout)
   bool json = false;     // machine-readable output (run/campaign)
+  std::string shard;       // "i/N": run only cells with flat % N == i
+  std::string records;     // per-cell JSONL record output path
+  std::string checkpoint;  // resumable record file (read + append)
+  std::string merge;       // comma list of record files to merge
 
   // Which flags the command line actually carried (conflict checks).
   std::set<std::string> seen;
@@ -144,7 +149,19 @@ void usage()
       "                  (cells with N > 1 stripe over a bonded link)\n"
       "  --seeds K       seed replicates per grid point (default 1)\n"
       "  --jobs J        worker threads (default: hardware concurrency)\n"
-      "  --csv PATH      per-cell CSV emission ('-' = stdout)\n");
+      "  --csv PATH      per-cell CSV emission ('-' = stdout)\n"
+      "  --shard i/N     run only cells with flat %% N == i (one of N\n"
+      "                  independent processes over the same plan)\n"
+      "  --records PATH  stream finished cells to a JSONL record file\n"
+      "                  (the shard output / --merge input format)\n"
+      "  --checkpoint F  resumable run: skip cells already recorded in F,\n"
+      "                  append new cells as they finish, then emit the\n"
+      "                  full output (byte-identical to an uninterrupted "
+      "run)\n"
+      "  --merge LIST    comma list of record files: emit the merged\n"
+      "                  campaign without running any cells "
+      "(byte-identical\n"
+      "                  to the single-process run of the same plan)\n");
 }
 
 // Flag registry: which flags exist at all, whether they take a value,
@@ -191,6 +208,10 @@ const std::vector<FlagDef>& flag_defs()
       {"--seeds", true, "campaign", true},
       {"--jobs", true, "campaign"},
       {"--csv", true, "campaign"},
+      {"--shard", true, "campaign"},
+      {"--records", true, "campaign"},
+      {"--checkpoint", true, "campaign"},
+      {"--merge", true, "campaign"},
       {"--print", false, "plan"},
       {"--print-campaign", false, "plan"},
   };
@@ -340,6 +361,10 @@ bool parse_flag_value(const std::string& flag, const char* value,
   if (flag == "--seeds") return size_of(opt.repeats);
   if (flag == "--jobs") return size_of(opt.jobs);
   if (flag == "--csv") { opt.csv = value; return true; }
+  if (flag == "--shard") { opt.shard = value; return true; }
+  if (flag == "--records") { opt.records = value; return true; }
+  if (flag == "--checkpoint") { opt.checkpoint = value; return true; }
+  if (flag == "--merge") { opt.merge = value; return true; }
   return false;
 }
 
@@ -769,6 +794,31 @@ bool plan_spec_from(const Options& opt, api::PlanSpec& plan)
   return true;
 }
 
+// "--shard i/N" -> ShardSpec; strict like every other numeric flag.
+bool parse_shard(const std::string& text, exec::ShardSpec& shard)
+{
+  const std::size_t slash = text.find('/');
+  const auto number = [](const std::string& s, std::size_t& out) {
+    if (s.empty() || s[0] == '-') return false;
+    char* end = nullptr;
+    errno = 0;
+    out = static_cast<std::size_t>(std::strtoull(s.c_str(), &end, 10));
+    return end != nullptr && *end == '\0' && errno != ERANGE;
+  };
+  if (slash == std::string::npos ||
+      !number(text.substr(0, slash), shard.index) ||
+      !number(text.substr(slash + 1), shard.count)) {
+    std::fprintf(stderr, "--shard wants i/N (e.g. 0/4), got '%s'\n",
+                 text.c_str());
+    return false;
+  }
+  if (const std::string err = shard.validate(); !err.empty()) {
+    std::fprintf(stderr, "--shard: %s\n", err.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_campaign(const Options& opt)
 {
   api::PlanSpec plan_spec;
@@ -776,6 +826,25 @@ int cmd_campaign(const Options& opt)
     if (!reject_file_conflicts(opt, "--plan", {})) return 2;
     if (!load_spec_file(opt.plan_path, plan_spec)) return 2;
   } else if (!plan_spec_from(opt, plan_spec)) {
+    return 2;
+  }
+
+  // The shard the plan file baked in; an explicit --shard i/N wins.
+  exec::ShardSpec shard{plan_spec.shard_index, plan_spec.shard_count};
+  if (!opt.shard.empty() && !parse_shard(opt.shard, shard)) return 2;
+  if (!opt.merge.empty()) {
+    // A merge re-emits the whole grid from finished shard records; a
+    // shard selector or a checkpoint under it has no coherent meaning.
+    if (opt.has("--shard") || !opt.checkpoint.empty()) {
+      std::fprintf(stderr, "--merge conflicts with --shard/--checkpoint "
+                           "(a merge covers the whole grid)\n");
+      return 2;
+    }
+    shard = exec::ShardSpec{};
+  }
+  if (opt.json && opt.csv == "-") {
+    std::fprintf(stderr, "--json and --csv - both stream to stdout; "
+                         "give --csv a file path\n");
     return 2;
   }
 
@@ -800,42 +869,124 @@ int cmd_campaign(const Options& opt)
     };
   }
 
-  const exec::CampaignRunner runner{opt.jobs};
-  const exec::CampaignResult result = runner.run(plan);
-
+  // Output sinks. Everything streams: a finished cell is written and
+  // destroyed, so a million-cell campaign holds O(points), not O(cells).
+  std::ofstream csv_file;
+  std::ostream* csv = nullptr;
   if (!opt.csv.empty()) {
     if (opt.csv == "-") {
-      exec::write_csv(std::cout, result);
+      csv = &std::cout;
     } else {
-      std::ofstream out{opt.csv};
-      if (!out) {
+      csv_file.open(opt.csv);
+      if (!csv_file) {
         std::fprintf(stderr, "cannot open %s\n", opt.csv.c_str());
         return 1;
       }
-      exec::write_csv(out, result);
+      csv = &csv_file;
     }
   }
+  std::ofstream records_file;
+  if (!opt.records.empty()) {
+    records_file.open(opt.records);
+    if (!records_file) {
+      std::fprintf(stderr, "cannot open %s\n", opt.records.c_str());
+      return 1;
+    }
+  }
+  if (csv) exec::write_csv_header(*csv);
+  if (opt.json) exec::write_json_open(std::cout);
+  std::size_t emitted = 0;
+  const auto emit = [&](const exec::CellResult& c) {
+    if (records_file.is_open()) {
+      records_file << exec::cell_record_line(c) << '\n';
+    }
+    if (csv) exec::write_csv_row(*csv, c);
+    if (opt.json) exec::write_json_cell(std::cout, c, emitted);
+    ++emitted;
+  };
+
+  exec::CampaignSummary summary;
+  std::size_t resumed = 0;
+  try {
+    if (!opt.merge.empty()) {
+      std::map<std::size_t, ChannelReport> reports;
+      for (const std::string& path : split_list(opt.merge)) {
+        std::ifstream in{path};
+        if (!in) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          return 1;
+        }
+        reports.merge(exec::read_records(in));
+      }
+      summary = exec::replay_records(plan, shard, std::move(reports), emit);
+    } else {
+      std::vector<exec::CampaignCell> cells =
+          exec::shard_cells(exec::expand(plan), shard);
+      const exec::CampaignRunner runner{opt.jobs};
+      if (!opt.checkpoint.empty()) {
+        // Two-phase resumable run: (1) run only the unrecorded cells,
+        // appending each to the checkpoint as it finishes; (2) replay
+        // the now-complete record set through the output sinks. The
+        // emission never mixes fresh and recorded cells, so a resumed
+        // run's output is byte-identical to an uninterrupted one.
+        std::map<std::size_t, ChannelReport> done;
+        if (std::ifstream in{opt.checkpoint}; in) {
+          done = exec::read_records(in);
+        }
+        resumed = done.size();
+        cells = exec::skip_completed(std::move(cells), done);
+        done.clear();
+        {
+          std::ofstream ck{opt.checkpoint, std::ios::app};
+          if (!ck) {
+            std::fprintf(stderr, "cannot open %s\n", opt.checkpoint.c_str());
+            return 1;
+          }
+          runner.run_stream(std::move(cells),
+                            [&](const exec::CellResult& c) {
+                              ck << exec::cell_record_line(c) << '\n';
+                              ck.flush();  // survive a mid-run kill
+                            });
+        }
+        std::ifstream in{opt.checkpoint};
+        summary = exec::replay_records(plan, shard,
+                                       exec::read_records(in), emit);
+      } else {
+        summary = runner.run_stream(std::move(cells), emit);
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "campaign: %s\n", e.what());
+    return 1;
+  }
+
   // A campaign where *nothing* could run (every cell failed setup or
   // validation) is a failure for scripts, like cmd_run's rep.ok.
-  std::size_t cells_ok = 0;
-  for (const exec::CellResult& c : result.cells) {
-    if (c.report.ok) ++cells_ok;
-  }
-  const int exit_code = cells_ok > 0 ? 0 : 1;
+  const int exit_code = summary.cells_ok() > 0 ? 0 : 1;
 
   if (opt.json) {
-    exec::write_json(std::cout, result);
+    exec::write_json_close(std::cout, summary.points, summary.by_mechanism,
+                           summary.by_scenario);
     return exit_code;
   }
 
   std::printf("campaign: %zu cells (%zu mechanisms x %zu scenarios x %zu "
               "protocols x %zu pair counts x %zu seeds), %zu jobs\n",
-              result.cells.size(), plan.mechanisms.size(),
+              summary.cells(), plan.mechanisms.size(),
               plan.scenarios.size(), plan.protocols.size(),
-              plan.pairs.size(), plan.repeats, runner.jobs());
+              plan.pairs.size(), plan.repeats,
+              exec::CampaignRunner{opt.jobs}.jobs());
+  if (shard.active()) {
+    std::printf("shard %zu/%zu: %zu of %zu grid cells\n", shard.index,
+                shard.count, summary.cells(), plan.cell_count());
+  }
+  if (!opt.checkpoint.empty()) {
+    std::printf("checkpoint %s: %zu cells resumed, %zu run\n",
+                opt.checkpoint.c_str(), resumed, summary.cells() - resumed);
+  }
   TextTable table({"point", "cells", "sync", "mean BER(%)", "max BER(%)",
                    "mean TR(kb/s)", "capacity(kb/s)"});
-  for (const exec::GroupStats& g : result.points) {
+  for (const exec::GroupStats& g : summary.points) {
     table.add_row(
         {g.key, std::to_string(g.cells),
          std::to_string(g.sync_ok) + "/" + std::to_string(g.cells),
@@ -854,7 +1005,7 @@ int cmd_campaign(const Options& opt)
     std::printf("\nmarginals by scenario:\n");
     TextTable marg({"scenario", "cells", "sync", "mean BER(%)",
                     "mean TR(kb/s)"});
-    for (const exec::GroupStats& g : result.by_scenario) {
+    for (const exec::GroupStats& g : summary.by_scenario) {
       marg.add_row(
           {g.key, std::to_string(g.cells),
            std::to_string(g.sync_ok) + "/" + std::to_string(g.cells),
