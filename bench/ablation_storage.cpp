@@ -1,0 +1,351 @@
+// Ablation: the storage-sync channel family (Sync+Sync, Write+Sync) on
+// the page-cache/fsync model.
+//
+// Part 1 — survivability matrix: both storage mechanisms against the
+// baseline boundaries and the storage workload layers (disk-pressure,
+// journal-contention, writeback-storm), through the adaptive stack.
+// The Table VI question asked of a channel whose physical layer is
+// flush-device queueing rather than lock state: which boundaries does
+// it cross? (Type-2 cross-VM must fail setup — each guest flushes to
+// its own virtual disk, the paper's ✗.)
+//
+// Part 2 — ARQ delivery proof: bit-exact payload delivery over
+// Sync+Sync under every storage workload layer. The gate: at least two
+// storage scenarios deliver bit-exact, and disk-pressure is one of
+// them.
+//
+// Part 3 — the decision primitive: mean spy fsync latency when the
+// trojan is idle (bit 0) vs flushing (bit 1), per scenario. The
+// separation between those two columns is what the classifier lives
+// on; it must survive every workload layer.
+//
+// Emits BENCH_storage.json (cwd) so CI archives a perf trajectory
+// against bench/storage_baseline.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "bench/bench_common.h"
+#include "os/kernel.h"
+#include "os/page_cache.h"
+#include "os/vfs.h"
+#include "proto/adaptive.h"
+#include "scenario/registry.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mes;
+
+constexpr std::uint64_t kSeed = 0x570A26E1;
+constexpr std::size_t kMatrixBits = 1024;
+constexpr std::size_t kArqBits = 1024;
+
+const std::vector<Mechanism> kStorageMechanisms = {
+    Mechanism::sync_contention,
+    Mechanism::write_sync,
+};
+
+// The storage workload layers (the new registry entries) plus the
+// boundary baselines the family must be mapped against.
+const std::vector<std::string> kStorageScenarios = {
+    "disk-pressure", "journal-contention", "writeback-storm"};
+const std::vector<std::string> kMatrixScenarios = {
+    "local",           "disk-pressure", "journal-contention",
+    "writeback-storm", "cross-sandbox", "cross-vm"};
+
+// --- Part 1: storage mechanism x scenario survivability ----------------
+
+struct MatrixOut {
+  std::vector<analysis::ScenarioMatrixCell> cells;
+};
+
+MatrixOut run_matrix()
+{
+  MatrixOut out;
+  out.cells = analysis::scenario_matrix(kStorageMechanisms, kMatrixScenarios,
+                                        ProtocolMode::adaptive, kMatrixBits,
+                                        kSeed);
+
+  TextTable table({"scenario", "mechanism", "delivered", "goodput(kb/s)",
+                   "residual BER(%)", "state"});
+  for (const analysis::ScenarioMatrixCell& c : out.cells) {
+    table.add_row(
+        {c.scenario, to_string(c.mechanism), c.delivered ? "yes" : "no",
+         c.ran ? TextTable::num(c.goodput_bps / 1000.0, 3) : "-",
+         c.ran ? TextTable::num(c.ber * 100.0, 2) : "-",
+         c.ran ? (c.delivered ? "ok" : "UNDELIVERED") : c.failure});
+  }
+  table.print();
+
+  std::size_t survivors = 0;
+  for (const auto& c : out.cells) {
+    if (c.delivered) ++survivors;
+  }
+  std::printf("matrix   : %zu/%zu (storage mechanism, scenario) cells deliver "
+              "through the adaptive stack\n",
+              survivors, out.cells.size());
+  return out;
+}
+
+// --- Part 2: ARQ bit-exact delivery over the workload layers -----------
+
+struct ArqCell {
+  std::string scenario;
+  Mechanism mechanism = Mechanism::sync_contention;
+  bool bit_exact = false;
+  double goodput_bps = 0.0;
+  std::size_t frame_sends = 0;
+  std::size_t retransmits = 0;
+  std::string failure;
+};
+
+ArqCell run_arq_cell(Mechanism m, const std::string& scenario,
+                     std::uint64_t seed)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = m;
+  cfg.scenario_name = scenario;
+  cfg.timing = paper_timeset(m, Scenario::local);
+  cfg.seed = seed;
+
+  Rng rng{seed ^ 0xA12FULL};
+  const BitVec payload = BitVec::random(rng, kArqBits);
+  const ChannelReport rep = proto::run_arq_transmission(cfg, payload);
+
+  ArqCell cell;
+  cell.scenario = scenario;
+  cell.mechanism = m;
+  cell.bit_exact = rep.ok && rep.sync_ok && rep.received_payload == payload;
+  cell.goodput_bps = rep.throughput_bps;
+  if (rep.proto) {
+    cell.frame_sends = rep.proto->frame_sends;
+    cell.retransmits = rep.proto->retransmits;
+  }
+  if (!rep.ok) cell.failure = rep.failure_reason;
+  return cell;
+}
+
+struct ArqOut {
+  std::vector<ArqCell> cells;
+  bool pass = false;
+};
+
+ArqOut run_arq()
+{
+  std::printf("\n-- ARQ bit-exact delivery over the storage workload layers "
+              "(%zu payload bits) --\n",
+              static_cast<std::size_t>(kArqBits));
+  TextTable table({"scenario", "mechanism", "bit-exact", "goodput(kb/s)",
+                   "frame sends", "retransmits"});
+
+  ArqOut out;
+  std::size_t exact_sync_sync = 0;
+  bool disk_pressure_exact = false;
+  for (const std::string& scenario : kStorageScenarios) {
+    for (const Mechanism m : kStorageMechanisms) {
+      const ArqCell cell = run_arq_cell(m, scenario, kSeed + 0x77);
+      table.add_row({cell.scenario, to_string(cell.mechanism),
+                     cell.bit_exact ? "yes" : "NO",
+                     TextTable::num(cell.goodput_bps / 1000.0, 3),
+                     std::to_string(cell.frame_sends),
+                     std::to_string(cell.retransmits)});
+      if (m == Mechanism::sync_contention && cell.bit_exact) {
+        ++exact_sync_sync;
+        if (scenario == "disk-pressure") disk_pressure_exact = true;
+      }
+      out.cells.push_back(cell);
+    }
+  }
+  table.print();
+
+  // The gate: Sync+Sync must deliver bit-exact in >= 2 storage
+  // scenarios, one of which is the disk-pressure layer.
+  out.pass = exact_sync_sync >= 2 && disk_pressure_exact;
+  std::printf("arq      : Sync+Sync bit-exact in %zu/%zu storage scenarios "
+              "(disk-pressure %s)\n",
+              exact_sync_sync, kStorageScenarios.size(),
+              disk_pressure_exact ? "exact" : "NOT EXACT");
+  std::printf("verdict  : %s (gate: >= 2 bit-exact incl. disk-pressure)\n",
+              out.pass ? "PASS" : "FAIL");
+  return out;
+}
+
+// --- Part 3: the fsync-latency decision primitive ----------------------
+
+struct SeparationRow {
+  std::string scenario;
+  double mean0_us = 0.0;  // spy probe latency while the trojan idles
+  double mean1_us = 0.0;  // ... while the trojan flushes
+  double ratio = 0.0;
+};
+
+SeparationRow run_separation(const std::string& scenario, std::uint64_t seed)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::sync_contention;
+  cfg.scenario_name = scenario;
+  cfg.timing = paper_timeset(Mechanism::sync_contention, Scenario::local);
+  cfg.seed = seed;
+  const ChannelReport rep = mes::bench::run_random(cfg, 512);
+
+  SeparationRow row;
+  row.scenario = scenario;
+  double sum0 = 0.0;
+  double sum1 = 0.0;
+  std::size_t n0 = 0;
+  std::size_t n1 = 0;
+  const std::size_t n = std::min(rep.tx_symbols.size(), rep.rx_latencies.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rep.tx_symbols[i] == 0) {
+      sum0 += rep.rx_latencies[i].to_us();
+      ++n0;
+    } else {
+      sum1 += rep.rx_latencies[i].to_us();
+      ++n1;
+    }
+  }
+  if (n0 > 0) row.mean0_us = sum0 / static_cast<double>(n0);
+  if (n1 > 0) row.mean1_us = sum1 / static_cast<double>(n1);
+  if (row.mean0_us > 0.0) row.ratio = row.mean1_us / row.mean0_us;
+  return row;
+}
+
+std::vector<SeparationRow> run_separations()
+{
+  std::printf("\n-- spy fsync latency: trojan idle (0) vs flushing (1) --\n");
+  TextTable table({"scenario", "mean lat | 0 (us)", "mean lat | 1 (us)",
+                   "separation"});
+  std::vector<SeparationRow> rows;
+  for (const std::string& scenario : kMatrixScenarios) {
+    if (scenario == "cross-vm") continue;  // separate device timelines
+    const SeparationRow row = run_separation(scenario, kSeed + 0x3000);
+    table.add_row({row.scenario, TextTable::num(row.mean0_us, 1),
+                   TextTable::num(row.mean1_us, 1),
+                   TextTable::num(row.ratio, 1) + "x"});
+    rows.push_back(row);
+  }
+  table.print();
+  return rows;
+}
+
+// --- emission ----------------------------------------------------------
+
+// Strict-JSON double: non-finite metrics emit null, never `nan`/`inf`
+// (the BENCH_*.json artifact convention).
+void json_num(std::ostream& out, double v)
+{
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+std::string to_json(const MatrixOut& matrix, const ArqOut& arq,
+                    const std::vector<SeparationRow>& separations)
+{
+  std::ostringstream out;
+  out << "{\"matrix\":[";
+  for (std::size_t i = 0; i < matrix.cells.size(); ++i) {
+    const analysis::ScenarioMatrixCell& c = matrix.cells[i];
+    if (i > 0) out << ",";
+    out << "{\"scenario\":\"" << c.scenario << "\",\"mechanism\":\""
+        << to_string(c.mechanism) << "\",\"ran\":"
+        << (c.ran ? "true" : "false")
+        << ",\"delivered\":" << (c.delivered ? "true" : "false")
+        << ",\"goodput_bps\":";
+    json_num(out, c.ran ? c.goodput_bps : 0.0);
+    out << ",\"ber\":";
+    json_num(out, c.ran ? c.ber : 0.0);
+    out << "}";
+  }
+  out << "],\"arq\":[";
+  for (std::size_t i = 0; i < arq.cells.size(); ++i) {
+    const ArqCell& c = arq.cells[i];
+    if (i > 0) out << ",";
+    out << "{\"scenario\":\"" << c.scenario << "\",\"mechanism\":\""
+        << to_string(c.mechanism)
+        << "\",\"bit_exact\":" << (c.bit_exact ? "true" : "false")
+        << ",\"goodput_bps\":";
+    json_num(out, c.goodput_bps);
+    out << ",\"frame_sends\":" << c.frame_sends
+        << ",\"retransmits\":" << c.retransmits << "}";
+  }
+  out << "],\"separation\":[";
+  for (std::size_t i = 0; i < separations.size(); ++i) {
+    const SeparationRow& r = separations[i];
+    if (i > 0) out << ",";
+    out << "{\"scenario\":\"" << r.scenario << "\",\"mean0_us\":";
+    json_num(out, r.mean0_us);
+    out << ",\"mean1_us\":";
+    json_num(out, r.mean1_us);
+    out << ",\"ratio\":";
+    json_num(out, r.ratio);
+    out << "}";
+  }
+  out << "],\"pass\":" << (arq.pass ? "true" : "false") << "}\n";
+  return out.str();
+}
+
+// --- microbenchmarks ---------------------------------------------------
+
+void BM_PageCacheMarkDirty(benchmark::State& state)
+{
+  sim::Simulator sim{kSeed};
+  sim::NoiseParams quiet;
+  os::Kernel kernel{sim, quiet};
+  os::PageCache& cache = kernel.vfs().page_cache();
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    cache.mark_dirty(1, off, os::PageCache::kPageSize);
+    off = (off + os::PageCache::kPageSize) % (64 * os::PageCache::kPageSize);
+    benchmark::DoNotOptimize(cache.total_dirty_pages());
+  }
+}
+BENCHMARK(BM_PageCacheMarkDirty);
+
+void BM_StorageTransmission(benchmark::State& state)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::sync_contention;
+  cfg.scenario_name = "disk-pressure";
+  cfg.timing = paper_timeset(Mechanism::sync_contention, Scenario::local);
+  cfg.seed = kSeed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mes::bench::run_random(cfg, 512).ok);
+  }
+}
+BENCHMARK(BM_StorageTransmission)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  mes::bench::print_header(
+      "Storage-sync channel family on the page-cache/fsync model",
+      "Table I rows 9-10 (Write+Sync / Sync+Sync) over Table VI boundaries");
+
+  const MatrixOut matrix = run_matrix();
+  const ArqOut arq = run_arq();
+  const std::vector<SeparationRow> separations = run_separations();
+
+  const std::string json = to_json(matrix, arq, separations);
+  std::ofstream out{"BENCH_storage.json"};
+  if (out) {
+    out << json;
+    std::printf("\nwrote BENCH_storage.json\n");
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return arq.pass ? 0 : 1;
+}

@@ -141,6 +141,8 @@ const std::vector<std::pair<std::string, Mechanism>>& mechanism_names()
       {"timer", Mechanism::waitable_timer},
       {"signal", Mechanism::posix_signal},
       {"flock-sh", Mechanism::flock_shared},
+      {"sync-sync", Mechanism::sync_contention},
+      {"write-sync", Mechanism::write_sync},
   };
   return names;
 }

@@ -46,7 +46,7 @@ namespace mes::api {
 
 // Canonical lowercase mechanism keys, registration order: "flock",
 // "filelockex", "mutex", "semaphore", "event", "timer", "signal",
-// "flock-sh".
+// "flock-sh", "sync-sync", "write-sync".
 const std::vector<std::pair<std::string, Mechanism>>& mechanism_names();
 const char* mechanism_key(Mechanism m);
 // Accepts the canonical key or the display form (to_string(m)).

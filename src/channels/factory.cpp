@@ -7,7 +7,9 @@
 #include "channels/mutex_channel.h"
 #include "channels/semaphore_channel.h"
 #include "channels/signal_channel.h"
+#include "channels/sync_contention_channel.h"
 #include "channels/timer_channel.h"
+#include "channels/write_sync_channel.h"
 
 namespace mes::core {
 
@@ -30,6 +32,10 @@ std::unique_ptr<Channel> make_channel(Mechanism m)
       return std::make_unique<channels::SignalChannel>();
     case Mechanism::flock_shared:
       return std::make_unique<channels::FlockSharedChannel>();
+    case Mechanism::sync_contention:
+      return std::make_unique<channels::SyncContentionChannel>();
+    case Mechanism::write_sync:
+      return std::make_unique<channels::WriteSyncChannel>();
   }
   return nullptr;
 }

@@ -1,0 +1,114 @@
+#include "channels/storage_base.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "os/vfs.h"
+
+namespace mes::channels {
+
+namespace {
+
+// Same re-dispatch accounting as the lock channels (contention_base):
+// both endpoints pay a scheduler dispatch latency when released from
+// the per-bit rendezvous, plus any pending displaced-work penalty,
+// *before* the Spy takes its timestamp.
+sim::Proc rendezvous(core::RunContext& ctx, os::Process& proc, bool receiver)
+{
+  co_await ctx.bit_sync->arrive(ctx.kernel.sim());
+  const sim::NoiseModel& noise = ctx.kernel.noise();
+  const TimePoint now = ctx.kernel.sim().now();
+  const Duration dispatch = receiver
+                                ? noise.rx_dispatch_latency(proc.rng(), now)
+                                : noise.dispatch_latency(proc.rng(), now);
+  co_await ctx.kernel.sim().delay(dispatch + proc.take_pending_penalty());
+}
+
+}  // namespace
+
+std::string StorageSyncBase::setup(core::RunContext& ctx)
+{
+  os::Vfs& vfs = ctx.kernel.vfs();
+  // One flush device exists per host. Guests of a type-2 hypervisor
+  // each own a private virtual disk, so there is no shared queue to
+  // modulate — the storage analog of Table VI's ✗ entries.
+  if (!vfs.shared_volume()) {
+    return "storage-sync: no shared backing device across this boundary "
+           "(each guest flushes to its own virtual disk)";
+  }
+  // Private per-endpoint scratch files: the channel never reads or
+  // writes shared data, only the shared device timeline.
+  const std::string tpath = "/data/mes_storage_t_" + ctx.tag;
+  const std::string spath = "/data/mes_storage_s_" + ctx.tag;
+  vfs.create_file(ctx.trojan.namespace_id(), tpath);
+  vfs.create_file(ctx.spy.namespace_id(), spath);
+  trojan_fd_ = vfs.open(ctx.trojan, tpath, os::OpenMode::read_write);
+  if (trojan_fd_ < 0) {
+    return "storage-sync: trojan cannot open its scratch file";
+  }
+  spy_fd_ = vfs.open(ctx.spy, spath, os::OpenMode::read_write);
+  if (spy_fd_ < 0) return "storage-sync: spy cannot open its scratch file";
+  return {};
+}
+
+std::size_t StorageSyncBase::pages_for(const core::RunContext& ctx) const
+{
+  const double svc_us =
+      ctx.kernel.vfs().page_cache().params().page_service_base.to_us();
+  if (svc_us <= 0.0) return 1;
+  const double pages = ctx.timing.t1.to_us() / svc_us;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(pages + 0.5));
+}
+
+sim::Proc StorageSyncBase::trojan_run(core::RunContext& ctx,
+                                      std::vector<std::size_t> symbols)
+{
+  os::Kernel& k = ctx.kernel;
+  os::Process& trojan = ctx.trojan;
+  for (const std::size_t s : symbols) {
+    if (ctx.bit_sync) co_await rendezvous(ctx, trojan, false);
+    co_await k.sim().delay(core::jittered_loop_cost(ctx, trojan));
+    if (s != 0) {
+      co_await mark_one(ctx);
+    } else {
+      co_await k.sleep(trojan, ctx.timing.t0);
+    }
+  }
+}
+
+sim::Proc StorageSyncBase::spy_run(core::RunContext& ctx, std::size_t expected,
+                                   core::RxResult& out)
+{
+  os::Kernel& k = ctx.kernel;
+  os::Process& spy = ctx.spy;
+  os::Vfs& vfs = k.vfs();
+  out.symbols.reserve(expected);
+  out.latencies.reserve(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    if (ctx.bit_sync) {
+      co_await rendezvous(ctx, spy, true);
+      // Let the Trojan's batch reach the device first.
+      co_await k.sim().delay(ctx.spy_guard);
+    } else {
+      co_await k.sim().delay(core::jittered_loop_cost(ctx, spy));
+    }
+    const TimePoint start = k.sim().now();
+    const long wrote =
+        co_await vfs.write(spy, spy_fd_, 0, os::PageCache::kPageSize);
+    if (wrote < 0) throw std::runtime_error{"storage-sync: spy write failed"};
+    if (co_await vfs.fsync(spy, spy_fd_) != os::kOk) {
+      throw std::runtime_error{"storage-sync: spy fsync failed"};
+    }
+    const Duration latency = k.noise().apply_corruption(
+        spy.rng(), k.sim().now(), k.sim().now() - start);
+    const std::size_t symbol = ctx.classifier.classify(latency);
+    out.latencies.push_back(latency);
+    out.symbols.push_back(symbol);
+    // Protocol 1 line 11: pace the next probe after a short ('0') read.
+    // Under barrier sync the rendezvous paces instead.
+    if (!ctx.bit_sync && symbol == 0) co_await k.sleep(spy, ctx.timing.t0);
+  }
+  out.finished_at = k.sim().now();
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,47 @@
+// Shared protocol loops for the storage-sync channel family.
+//
+// These channels ride a different physical layer than the lock
+// channels: queueing delay in memory-disk synchronization (the page
+// cache's single flush device, os/page_cache.h). Neither endpoint
+// touches a shared file — each writes and fsyncs its *own* private
+// scratch file — so the §III read-only restriction on shared resources
+// is never violated; the only thing shared is the device timeline.
+//
+// Protocol (Protocol 1 re-keyed to the flush queue):
+//   Trojan, per bit:  '1' -> occupy the device (mechanism-specific:
+//                            fsync a batch of dirty pages, or merely
+//                            dirty them and let entanglement do it)
+//                     '0' -> sleep(t0)
+//   Spy, per bit:     timestamp; write one page to its own file;
+//                     fsync; timestamp; classify the fsync latency.
+//
+// The Trojan's batch size derives from t1 at runtime (t1 / per-page
+// service period), so the adaptive layer's rate axis — which rescales
+// t1 — also rescales the device occupancy, and calibration, ARQ, drift
+// recalibration and bonding run unchanged over the new noise shape.
+#pragma once
+
+#include "core/channel.h"
+
+namespace mes::channels {
+
+class StorageSyncBase : public core::Channel {
+ public:
+  std::string setup(core::RunContext& ctx) override;
+  sim::Proc trojan_run(core::RunContext& ctx,
+                       std::vector<std::size_t> symbols) override;
+  sim::Proc spy_run(core::RunContext& ctx, std::size_t expected,
+                    core::RxResult& out) override;
+
+ protected:
+  // The Trojan's '1' action: make the flush device busy for ~t1.
+  virtual sim::Proc mark_one(core::RunContext& ctx) = 0;
+
+  // Dirty-page batch that buys ~t1 of device occupancy.
+  std::size_t pages_for(const core::RunContext& ctx) const;
+
+  os::Fd trojan_fd_ = os::kInvalidFd;
+  os::Fd spy_fd_ = os::kInvalidFd;
+};
+
+}  // namespace mes::channels

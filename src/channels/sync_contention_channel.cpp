@@ -1,0 +1,22 @@
+#include "channels/sync_contention_channel.h"
+
+#include <stdexcept>
+
+#include "os/vfs.h"
+
+namespace mes::channels {
+
+sim::Proc SyncContentionChannel::mark_one(core::RunContext& ctx)
+{
+  os::Vfs& vfs = ctx.kernel.vfs();
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(pages_for(ctx)) * os::PageCache::kPageSize;
+  const long wrote = co_await vfs.write(ctx.trojan, trojan_fd_, 0, bytes);
+  if (wrote < 0) throw std::runtime_error{"sync+sync: trojan write failed"};
+  // The fsync itself blocks for ~t1 while the batch drains: the hold.
+  if (co_await vfs.fsync(ctx.trojan, trojan_fd_) != os::kOk) {
+    throw std::runtime_error{"sync+sync: trojan fsync failed"};
+  }
+}
+
+}  // namespace mes::channels

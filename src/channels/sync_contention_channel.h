@@ -1,0 +1,23 @@
+// Sync+Sync storage channel (after Jiang & Wang: a covert channel
+// built on fsync with storage).
+//
+// The Trojan encodes '1' by writing a batch of pages to its own file
+// and fsync-ing them — occupying the single flush device for ~t1 — and
+// '0' by sleeping t0. The Spy times a 1-page fsync of its own file:
+// while the Trojan's batch drains, the Spy's flush queues behind it and
+// the fsync returns late.
+#pragma once
+
+#include "channels/storage_base.h"
+
+namespace mes::channels {
+
+class SyncContentionChannel final : public StorageSyncBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::sync_contention; }
+
+ protected:
+  sim::Proc mark_one(core::RunContext& ctx) override;
+};
+
+}  // namespace mes::channels

@@ -1,0 +1,22 @@
+#include "channels/write_sync_channel.h"
+
+#include <stdexcept>
+
+#include "os/vfs.h"
+
+namespace mes::channels {
+
+sim::Proc WriteSyncChannel::mark_one(core::RunContext& ctx)
+{
+  os::Vfs& vfs = ctx.kernel.vfs();
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(pages_for(ctx)) * os::PageCache::kPageSize;
+  const long wrote = co_await vfs.write(ctx.trojan, trojan_fd_, 0, bytes);
+  if (wrote < 0) throw std::runtime_error{"write+sync: trojan write failed"};
+  // No fsync: the dirty pages are the signal. Hold the bit slot for t1
+  // while the Spy's entangled fsync (or the writeback daemon) pays for
+  // them.
+  co_await ctx.kernel.sleep(ctx.trojan, ctx.timing.t1);
+}
+
+}  // namespace mes::channels

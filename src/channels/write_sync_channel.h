@@ -1,0 +1,24 @@
+// Write+Sync storage channel (after Chen et al.: software cache write
+// channels exploiting memory-disk synchronization).
+//
+// The Trojan encodes '1' by merely *dirtying* a batch of pages in its
+// own file — it never calls fsync. The cost lands on the Spy instead:
+// under journal coupling (ext4 data=ordered) the Spy's own 1-page fsync
+// must flush the Trojan's dirty pages too, and even without coupling
+// the writeback daemon's flush occupies the device the Spy's fsync
+// queues behind. Either path inflates the probe latency to ~t1.
+#pragma once
+
+#include "channels/storage_base.h"
+
+namespace mes::channels {
+
+class WriteSyncChannel final : public StorageSyncBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::write_sync; }
+
+ protected:
+  sim::Proc mark_one(core::RunContext& ctx) override;
+};
+
+}  // namespace mes::channels

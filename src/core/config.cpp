@@ -10,6 +10,8 @@ ChannelClass class_of(Mechanism m)
     case Mechanism::mutex:
     case Mechanism::semaphore:
     case Mechanism::flock_shared:
+    case Mechanism::sync_contention:
+    case Mechanism::write_sync:
       return ChannelClass::contention;
     case Mechanism::event:
     case Mechanism::waitable_timer:
@@ -25,6 +27,8 @@ OsFlavor flavor_of(Mechanism m)
     case Mechanism::flock:
     case Mechanism::posix_signal:
     case Mechanism::flock_shared:
+    case Mechanism::sync_contention:
+    case Mechanism::write_sync:
       return OsFlavor::linux_like;
     default:
       return OsFlavor::windows;
@@ -42,6 +46,8 @@ const char* to_string(Mechanism m)
     case Mechanism::waitable_timer: return "Timer";
     case Mechanism::posix_signal: return "signal(ext)";
     case Mechanism::flock_shared: return "flock-SH(ext)";
+    case Mechanism::sync_contention: return "Sync+Sync(ext)";
+    case Mechanism::write_sync: return "Write+Sync(ext)";
   }
   return "?";
 }
@@ -90,6 +96,11 @@ TimingConfig paper_timeset(Mechanism m, Scenario s)
           t.t0 = D::us(60); t.interval = D::us(70); break;
         case Mechanism::flock_shared:
           t.t1 = D::us(160); t.t0 = D::us(60); break;
+        case Mechanism::sync_contention:
+        case Mechanism::write_sync:
+          // Storage-sync: t1 is the device occupancy the Trojan's dirty
+          // pages buy (~30 pages at ~8 us each); t0 the '0' sleep.
+          t.t1 = D::us(240); t.t0 = D::us(80); break;
       }
       break;
     case Scenario::cross_sandbox:
@@ -106,6 +117,9 @@ TimingConfig paper_timeset(Mechanism m, Scenario s)
           t.t0 = D::us(60); t.interval = D::us(80); break;
         case Mechanism::flock_shared:
           t.t1 = D::us(170); t.t0 = D::us(60); break;
+        case Mechanism::sync_contention:
+        case Mechanism::write_sync:
+          t.t1 = D::us(260); t.t0 = D::us(80); break;
       }
       break;
     case Scenario::cross_vm:
@@ -123,6 +137,9 @@ TimingConfig paper_timeset(Mechanism m, Scenario s)
           t.t0 = D::us(65); t.interval = D::us(95); break;
         case Mechanism::flock_shared:
           t.t1 = D::us(200); t.t0 = D::us(70); break;
+        case Mechanism::sync_contention:
+        case Mechanism::write_sync:
+          t.t1 = D::us(300); t.t0 = D::us(90); break;
       }
       break;
   }

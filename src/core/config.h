@@ -10,16 +10,21 @@
 namespace mes {
 
 // The six MESMs evaluated in the paper plus the POSIX-signal channel the
-// paper sketches as future work (§IV.A) and we implement as an extension.
+// paper sketches as future work (§IV.A) and the extension channels:
+// read-lock probes (§IV.D) and the storage-sync family, which rides
+// memory-disk synchronization queueing delay (Sync+Sync / Write+Sync)
+// instead of lock hand-off timing.
 enum class Mechanism {
-  flock,           // Linux whole-file lock        (contention)
-  file_lock_ex,    // Windows LockFileEx           (contention)
-  mutex,           // Windows Mutex                (contention)
-  semaphore,       // Windows Semaphore            (contention, special)
-  event,           // Windows Event                (cooperation)
-  waitable_timer,  // Windows WaitableTimer        (cooperation)
-  posix_signal,    // extension: signal delivery   (cooperation)
-  flock_shared,    // extension: read-lock probes  (contention, §IV.D)
+  flock,            // Linux whole-file lock        (contention)
+  file_lock_ex,     // Windows LockFileEx           (contention)
+  mutex,            // Windows Mutex                (contention)
+  semaphore,        // Windows Semaphore            (contention, special)
+  event,            // Windows Event                (cooperation)
+  waitable_timer,   // Windows WaitableTimer        (cooperation)
+  posix_signal,     // extension: signal delivery   (cooperation)
+  flock_shared,     // extension: read-lock probes  (contention, §IV.D)
+  sync_contention,  // extension: fsync-vs-fsync device queue (contention)
+  write_sync,       // extension: dirty pages vs fsync probe  (contention)
 };
 
 // Table I: mutual exclusion yields contention channels; synchronization

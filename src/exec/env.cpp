@@ -62,6 +62,7 @@ ExperimentEnv::ExperimentEnv(const ExperimentConfig& cfg)
   kernel_->objects().set_namespace_sharing(
       profile_.topology.shared_object_namespace);
   kernel_->vfs().set_shared_volume(profile_.topology.shared_file_volume);
+  kernel_->vfs().page_cache().configure(profile_.storage);
   if (cfg_.mitigation_fuzz > Duration::zero()) {
     kernel_->set_op_fuzz(cfg_.mitigation_fuzz);
   }

@@ -218,15 +218,19 @@ std::map<std::size_t, ChannelReport> read_records(std::istream& in)
   std::map<std::size_t, ChannelReport> out;
   std::string line;
   // A parse error is only fatal when the stream continues past it: the
-  // last line of a checkpoint is allowed to be a torn write.
+  // last line of a checkpoint is allowed to be a torn write. Any further
+  // line — even a blank one — proves the corrupt line was terminated by
+  // a newline and therefore not a torn tail.
   bool pending_error = false;
   std::string pending_what;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
     if (pending_error) throw std::invalid_argument{pending_what};
+    if (line.empty()) continue;
     try {
       CellRecord rec = parse_cell_record(line);
-      out.emplace(rec.flat, std::move(rec.report));
+      // A flat id can legitimately repeat (a cell re-run appended after
+      // a resume); the newest record is the authoritative one.
+      out.insert_or_assign(rec.flat, std::move(rec.report));
     } catch (const std::invalid_argument& e) {
       pending_error = true;
       pending_what = e.what();

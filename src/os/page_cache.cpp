@@ -1,0 +1,119 @@
+#include "os/page_cache.h"
+
+#include <algorithm>
+
+#include "os/kernel.h"
+#include "os/vfs.h"
+#include "sim/simulator.h"
+
+namespace mes::os {
+
+void PageCache::mark_dirty(InodeNum ino, std::uint64_t off, std::uint64_t len)
+{
+  if (len == 0) return;
+  const std::uint64_t first = off / kPageSize;
+  const std::uint64_t last = (off + len - 1) / kPageSize;
+  auto& pages = dirty_[ino];
+  for (std::uint64_t p = first; p <= last; ++p) pages.insert(p);
+  if (!daemon_running_) {
+    daemon_running_ = true;
+    k_.sim().spawn(writeback_daemon(), "writeback");
+  }
+}
+
+std::size_t PageCache::dirty_pages(InodeNum ino) const
+{
+  const auto it = dirty_.find(ino);
+  return it == dirty_.end() ? 0 : it->second.size();
+}
+
+std::size_t PageCache::total_dirty_pages() const
+{
+  std::size_t n = 0;
+  for (const auto& [ino, pages] : dirty_) n += pages.size();
+  return n;
+}
+
+std::size_t PageCache::take_dirty(InodeNum ino)
+{
+  const auto it = dirty_.find(ino);
+  if (it == dirty_.end()) return 0;
+  const std::size_t n = it->second.size();
+  dirty_.erase(it);
+  return n;
+}
+
+std::size_t PageCache::take_all_dirty()
+{
+  std::size_t n = 0;
+  for (const auto& [ino, pages] : dirty_) n += pages.size();
+  dirty_.clear();
+  return n;
+}
+
+Rng& PageCache::device_rng()
+{
+  if (!rng_ready_) {
+    rng_ = k_.sim().rng().fork();
+    rng_ready_ = true;
+  }
+  return rng_;
+}
+
+Duration PageCache::reserve_device(std::size_t pages)
+{
+  const TimePoint now = k_.sim().now();
+  const TimePoint start = std::max(now, device_free_at_);
+  // The phase in effect when service *starts* scales the whole batch:
+  // a busy co-tenant phase slows the flush device like it slows every
+  // other path. (Per-page phase resolution would let a batch straddle
+  // a boundary, but batches are short against regime dwell times.)
+  const sim::NoiseParams& at_start = k_.noise().params_at(start);
+  const sim::NoiseParams& at_origin = k_.noise().params_at(TimePoint::origin());
+  const double base_us = at_origin.op_cost_base.to_us();
+  const double phase_factor =
+      base_us > 0.0
+          ? std::clamp(at_start.op_cost_base.to_us() / base_us, 0.5, 10.0)
+          : 1.0;
+  Duration service = Duration::zero();
+  Rng& rng = device_rng();
+  for (std::size_t i = 0; i < pages; ++i) {
+    Duration per_page =
+        params_.page_service_base * (params_.device_load * phase_factor) +
+        rng.normal_dur(Duration::zero(), params_.page_service_jitter);
+    if (per_page < Duration::us(1.0)) per_page = Duration::us(1.0);
+    service += per_page;
+  }
+  device_free_at_ = start + service;
+  pages_flushed_ += pages;
+  return device_free_at_ - now;
+}
+
+sim::Task<int> PageCache::fsync(Process& /*proc*/, InodeNum ino)
+{
+  std::size_t pages = take_dirty(ino);
+  if (params_.journal_coupling) pages += take_all_dirty();
+  pages += params_.commit_pages;
+  const Duration wait = reserve_device(pages);
+  if (wait > Duration::zero()) co_await k_.sim().delay(wait);
+  ++flushes_;
+  co_return kOk;
+}
+
+sim::Proc PageCache::writeback_daemon()
+{
+  // Lazily started by the first dirtying write; exits as soon as the
+  // cache is clean so an idle daemon never keeps the event queue alive.
+  for (;;) {
+    co_await k_.sim().delay(params_.writeback_interval);
+    const std::size_t pages = take_all_dirty();
+    if (pages == 0) break;
+    ++writeback_passes_;
+    const Duration wait = reserve_device(pages);
+    if (wait > Duration::zero()) co_await k_.sim().delay(wait);
+    ++flushes_;
+  }
+  daemon_running_ = false;
+}
+
+}  // namespace mes::os

@@ -1,0 +1,130 @@
+// Simulated page cache + writeback + fsync (the storage-sync substrate).
+//
+// The storage-sync channel family (Write+Sync, Sync+Sync) rides a
+// different physical layer than the lock channels: queueing delay in
+// memory-disk synchronization. This model captures the three pieces
+// those attacks need:
+//
+//  * per-inode dirty-page tracking — Vfs::write dirties ceil(len/4096)
+//    pages; overlapping writes to the same page coalesce, as in a real
+//    page cache;
+//  * a writeback daemon — a lazily-spawned coroutine that wakes every
+//    `writeback_interval`, gathers all dirty pages and flushes them.
+//    It exits once the cache is clean (and is respawned by the next
+//    dirtying write), so the simulator's run-until-drain loop is never
+//    kept alive by an idle daemon;
+//  * a single flush device — one FIFO service timeline shared by every
+//    fsync and writeback pass. A flush reserves the device from
+//    max(now, device_free_at) for one service period per page; callers
+//    sleep until their reservation completes. The queueing delay this
+//    produces is the covert-channel observable: one process's dirty
+//    pages and fsyncs inflate another's fsync latency.
+//
+// Journal coupling models ext4's data=ordered entanglement (the effect
+// Sync+Sync and Write+Sync exploit on real hosts): an fsync of *any*
+// file also flushes every dirty page in the system plus a journal
+// commit record, so the Spy's own 1-page fsync directly pays for the
+// Trojan's writes even before the writeback daemon notices them.
+//
+// Per-page service time follows the time-varying NoiseModel: the phase
+// in effect at reservation time scales the service period by the ratio
+// of its op cost to the phase-0 op cost, so a noisy-neighbor or bursty
+// regime slows the flush device along with everything else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "os/types.h"
+#include "sim/task.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mes::os {
+
+class Kernel;
+class Process;
+
+// Tuning knobs carried on ScenarioProfile; the disk-pressure /
+// journal-contention / writeback-storm workload layers edit these.
+struct StorageParams {
+  // One page's device service period on an idle phase-0 host.
+  Duration page_service_base = Duration::us(8.0);
+  Duration page_service_jitter = Duration::us(0.9);  // normal stddev
+  // Static device slowdown (co-tenant I/O pressure); the time-varying
+  // noise phases multiply on top of this.
+  double device_load = 1.0;
+  // Journal commit records written by every fsync, even of a clean file.
+  std::size_t commit_pages = 1;
+  // ext4 data=ordered coupling: fsync flushes all dirty pages system-wide.
+  bool journal_coupling = true;
+  // Writeback daemon cadence (real kernels use seconds; the simulated
+  // channels live at microsecond scale).
+  Duration writeback_interval = Duration::us(300.0);
+
+  friend bool operator==(const StorageParams&, const StorageParams&) = default;
+};
+
+class PageCache {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  explicit PageCache(Kernel& kernel) : k_{kernel} {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  void configure(const StorageParams& p) { params_ = p; }
+  const StorageParams& params() const { return params_; }
+
+  // Called by Vfs::write after its permission checks pass: dirties the
+  // pages covering [off, off+len) and arms the writeback daemon.
+  void mark_dirty(InodeNum ino, std::uint64_t off, std::uint64_t len);
+
+  // The fsync body (Vfs::fsync charges the op cost first): flushes the
+  // inode's dirty pages — plus, under journal coupling, everyone
+  // else's — and the commit record through the device queue, sleeping
+  // until the reservation completes.
+  sim::Task<int> fsync(Process& proc, InodeNum ino);
+
+  // --- introspection (tests / benches) ----------------------------------
+  std::size_t dirty_pages(InodeNum ino) const;
+  std::size_t total_dirty_pages() const;
+  bool writeback_running() const { return daemon_running_; }
+  TimePoint device_free_at() const { return device_free_at_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t pages_flushed() const { return pages_flushed_; }
+  std::uint64_t writeback_passes() const { return writeback_passes_; }
+
+ private:
+  // Removes and counts the dirty pages of one inode / of every inode.
+  std::size_t take_dirty(InodeNum ino);
+  std::size_t take_all_dirty();
+
+  // Reserves `pages` service periods on the FIFO device timeline and
+  // returns the delay from now until that reservation completes.
+  Duration reserve_device(std::size_t pages);
+
+  // The device's private jitter stream, forked from the simulator's
+  // root stream on first use. Lazy so that a simulation which never
+  // writes a file (every legacy channel) leaves the fork order — and
+  // with it the per-process noise streams — untouched.
+  Rng& device_rng();
+
+  sim::Proc writeback_daemon();
+
+  Kernel& k_;
+  StorageParams params_;
+  std::map<InodeNum, std::set<std::uint64_t>> dirty_;  // ino -> page indices
+  TimePoint device_free_at_ = TimePoint::origin();
+  bool daemon_running_ = false;
+  bool rng_ready_ = false;
+  Rng rng_{0};
+  std::uint64_t flushes_ = 0;
+  std::uint64_t pages_flushed_ = 0;
+  std::uint64_t writeback_passes_ = 0;
+};
+
+}  // namespace mes::os

@@ -31,6 +31,7 @@ const char* to_string(OpKind k)
     case OpKind::unlock_file_ex: return "unlock_file_ex";
     case OpKind::file_read: return "file_read";
     case OpKind::file_write: return "file_write";
+    case OpKind::file_sync: return "file_sync";
     case OpKind::signal_send: return "signal_send";
   }
   return "?";

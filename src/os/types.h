@@ -41,6 +41,7 @@ enum class OpKind {
   unlock_file_ex,
   file_read,
   file_write,
+  file_sync,      // fsync through the page-cache flush queue
   signal_send,    // extension channel (POSIX-style signal)
 };
 

@@ -1,6 +1,7 @@
 #include "os/vfs.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace mes::os {
 
@@ -229,6 +230,11 @@ sim::Task<int> Vfs::lock_file_ex(Process& proc, Fd fd, std::uint64_t off,
                                  bool fail_immediately)
 {
   if (len == 0) co_return kErrInvalid;
+  // A range whose end would wrap past 2^64 has no consistent overlap
+  // semantics; reject it (the full range [0, UINT64_MAX) stays valid).
+  if (off > std::numeric_limits<std::uint64_t>::max() - len) {
+    co_return kErrInvalid;
+  }
   OpenFile* ofd = ofd_of(proc, fd);
   if (!ofd) co_return kErrBadFd;
   Inode* node = inode(ofd->ino);
@@ -307,8 +313,33 @@ sim::Task<long> Vfs::write(Process& proc, Fd fd, std::uint64_t off,
   // The covert-channel prerequisite (§III): shared files are read-only,
   // so no direct data transfer is possible.
   if (!ofd->writable || node->read_only()) co_return kErrAccess;
+  if (node->mandatory_locking()) {
+    // Mandatory exclusive locks block writers from other descriptions,
+    // exactly as they block readers above.
+    for (const auto& [holder, mode] : node->flock_holders_) {
+      if (holder != ofd->id && mode == LockMode::exclusive) {
+        co_return kErrWouldBlock;
+      }
+    }
+    for (const auto& r : node->ranges_) {
+      if (r.ofd_id != ofd->id && r.mode == LockMode::exclusive &&
+          r.overlaps(off, len)) {
+        co_return kErrWouldBlock;
+      }
+    }
+  }
   node->size_ = std::max(node->size_, off + len);
+  page_cache_.mark_dirty(node->ino(), off, len);
   co_return static_cast<long>(len);
+}
+
+sim::Task<int> Vfs::fsync(Process& proc, Fd fd)
+{
+  OpenFile* ofd = ofd_of(proc, fd);
+  if (!ofd) co_return kErrBadFd;
+  Inode* node = inode(ofd->ino);
+  co_await k_.charge_op(proc, OpKind::file_sync, node->trace_id());
+  co_return co_await page_cache_.fsync(proc, node->ino());
 }
 
 }  // namespace mes::os

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "os/kernel.h"
+#include "os/page_cache.h"
 #include "os/types.h"
 
 namespace mes::os {
@@ -53,7 +54,11 @@ struct RangeLock {
 
   bool overlaps(std::uint64_t o, std::uint64_t l) const
   {
-    return off < o + l && o < off + len;
+    // Two half-open ranges intersect iff each start precedes the other's
+    // end. Phrased with subtractions so full-range locks (len near
+    // UINT64_MAX) cannot wrap off + len around zero.
+    if (off >= o) return off - o < l;
+    return o - off < len;
   }
 };
 
@@ -143,13 +148,23 @@ class Vfs {
   sim::Task<int> unlock_file_ex(Process& proc, Fd fd, std::uint64_t off,
                                 std::uint64_t len);
 
-  // Minimal IO used by the threat-model tests: returns byte count or a
-  // negative error. Reads fail with kErrWouldBlock while another
-  // open-file description holds a mandatory exclusive lock.
+  // Minimal IO used by the threat-model tests and the storage-sync
+  // channels: returns byte count or a negative error. Both reads and
+  // writes fail with kErrWouldBlock while another open-file description
+  // holds a mandatory exclusive lock. A successful write dirties the
+  // covered pages in the page cache.
   sim::Task<long> read(Process& proc, Fd fd, std::uint64_t off,
                        std::uint64_t len);
   sim::Task<long> write(Process& proc, Fd fd, std::uint64_t off,
                         std::uint64_t len);
+
+  // fsync(2): flushes the file's dirty pages (plus, under journal
+  // coupling, everyone's) through the shared device queue. The queueing
+  // delay it observes is the storage-sync channel signal.
+  sim::Task<int> fsync(Process& proc, Fd fd);
+
+  PageCache& page_cache() { return page_cache_; }
+  const PageCache& page_cache() const { return page_cache_; }
 
   // Introspection.
   Inode* inode_by_path(NamespaceId ns, const std::string& path);
@@ -177,6 +192,7 @@ class Vfs {
   void pump_ranges(Process& waker, Inode& node);
 
   Kernel& k_;
+  PageCache page_cache_{k_};
   bool shared_volume_ = true;
 
   std::map<std::pair<NamespaceId, std::string>, InodeNum> paths_;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "os/page_cache.h"
 #include "os/types.h"
 #include "sim/noise.h"
 #include "sim/noise_process.h"
@@ -54,6 +55,9 @@ struct ScenarioProfile {
   sim::NoiseParams noise;      // base (phase-0 / stationary) parameters
   sim::NoiseSpec noise_spec;   // how the regime varies over time
   Topology topology;
+  // Flush-device model for the storage-sync channels; inert for every
+  // channel that never writes a file.
+  os::StorageParams storage;
   std::vector<std::string> layers;  // the composed layer stack, in order
 
   // Instantiates the noise regime for one experiment. Stationary

@@ -175,6 +175,32 @@ ScenarioBuilder& ScenarioBuilder::regime_shift(double load, Duration at)
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::disk_pressure(double load)
+{
+  profile_.storage.device_load *= load;
+  profile_.layers.push_back(load_label("disk-pressure", load));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::journal_contention(std::size_t extra_pages)
+{
+  profile_.storage.commit_pages += extra_pages;
+  profile_.storage.journal_coupling = true;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "journal-contention(+%zup)", extra_pages);
+  profile_.layers.push_back(buf);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::writeback_storm(Duration interval)
+{
+  profile_.storage.writeback_interval = interval;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "writeback-storm(%gus)", interval.to_us());
+  profile_.layers.push_back(buf);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::anchor(Scenario s)
 {
   profile_.scenario = s;
@@ -308,6 +334,33 @@ const std::vector<ScenarioDef>& library()
                .vm(hv)
                .migration_stalls(Duration::us(250'000), Duration::us(30'000),
                                  10.0)
+               .build(f);
+         });
+    // --- storage workloads (the flush-device model) -------------------
+    add("disk-pressure",
+        "co-tenant I/O pressure: a slow, contended flush device",
+        {"disk_pressure", "io-pressure"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"disk-pressure"}
+               .disk_pressure(3.0)
+               .build(f);
+         });
+    add("journal-contention",
+        "heavy journal commits entangle every fsync (data=ordered)",
+        {"journal_contention", "journal"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"journal-contention"}
+               .journal_contention(4)
+               .disk_pressure(1.5)
+               .build(f);
+         });
+    add("writeback-storm",
+        "aggressive writeback cadence under bursty co-tenant load",
+        {"writeback_storm", "writeback"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"writeback-storm"}
+               .writeback_storm(Duration::us(60.0))
+               .bursty_load(2.5, Duration::us(90'000), Duration::us(50'000))
                .build(f);
          });
     add("regime-shift",

@@ -54,6 +54,18 @@ class ScenarioBuilder {
   // One-shot regime shift at a fixed instant (the sharpest drift case).
   ScenarioBuilder& regime_shift(double load, Duration at);
 
+  // --- storage layers (the flush-device model; os/page_cache.h) ----------
+  // Co-tenant I/O pressure: the flush device serves every page `load`
+  // times slower, so queues build behind any batch.
+  ScenarioBuilder& disk_pressure(double load);
+  // Journal contention: every fsync commits `extra_pages` additional
+  // journal records through the shared device (and data=ordered
+  // coupling is forced on).
+  ScenarioBuilder& journal_contention(std::size_t extra_pages);
+  // Writeback storm: the dirty-page daemon flushes at `interval`
+  // instead of its lazy default, contending with foreground fsyncs.
+  ScenarioBuilder& writeback_storm(Duration interval);
+
   // Overrides the anchor class (defaults: local, or the last isolation
   // layer's nearest paper cell).
   ScenarioBuilder& anchor(Scenario s);

@@ -1082,6 +1082,50 @@ TEST(Stream, ReadRecordsToleratesTornTailButNotCorruption)
   }
 }
 
+TEST(Stream, ReadRecordsCorruptLineBeforeBlankLinesIsNotATornTail)
+{
+  // Regression: a corrupt line followed only by blank lines was
+  // silently swallowed as a torn tail. A torn write never has a
+  // newline after it, so *any* further line — blank included — proves
+  // the damage is mid-file corruption.
+  exec::CellResult cell;
+  cell.cell.coord.flat = 7;
+  cell.report.ok = true;
+  const std::string line = exec::cell_record_line(cell);
+
+  {
+    std::istringstream in{line + "\n" + line.substr(0, line.size() / 2) +
+                          "\n\n"};
+    EXPECT_THROW(exec::read_records(in), std::invalid_argument);
+  }
+  // Without the trailing newline the same bytes are a genuine torn tail.
+  {
+    std::istringstream in{line + "\n" + line.substr(0, line.size() / 2)};
+    EXPECT_EQ(exec::read_records(in).size(), 1u);
+  }
+}
+
+TEST(Stream, ReadRecordsLastRecordWinsForRepeatedFlatIds)
+{
+  // Regression: resume appends a fresh record for a cell whose earlier
+  // record may already be in the checkpoint; the reader kept the first
+  // (stalest) one.
+  exec::CellResult stale;
+  stale.cell.coord.flat = 7;
+  stale.report.ok = false;
+  stale.report.failure_reason = "stale";
+  exec::CellResult fresh = stale;
+  fresh.report.ok = true;
+  fresh.report.failure_reason.clear();
+
+  std::istringstream in{exec::cell_record_line(stale) + "\n" +
+                        exec::cell_record_line(fresh) + "\n"};
+  const std::map<std::size_t, ChannelReport> records = exec::read_records(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records.at(7u).ok);
+  EXPECT_EQ(records.at(7u).failure_reason, "");
+}
+
 TEST(Stream, ShardSpecValidatesAndPartitions)
 {
   EXPECT_EQ(exec::ShardSpec{}.validate(), "");

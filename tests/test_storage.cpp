@@ -1,0 +1,339 @@
+// Tests for the storage-sync substrate: page cache dirty tracking,
+// writeback daemon lifecycle, fsync flush-queue contention, and the
+// determinism contract of the storage channel family under the
+// disk-pressure / journal-contention / writeback-storm scenarios.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/campaign.h"
+#include "os/kernel.h"
+#include "os/page_cache.h"
+#include "os/vfs.h"
+#include "sim/simulator.h"
+
+namespace mes::os {
+namespace {
+
+sim::NoiseParams quiet_noise()
+{
+  sim::NoiseParams p;
+  p.op_cost_base = Duration::us(1);
+  p.op_cost_jitter = Duration::zero();
+  p.wake_latency_median = Duration::us(1);
+  p.wake_latency_sigma = 0.0;
+  p.sleep_overshoot_median = Duration::us(0.1);
+  p.sleep_overshoot_sigma = 0.0;
+  p.sleep_floor = Duration::zero();
+  p.block_rate_hz = 0.0;
+  p.penalty_ramp_per_us = 0.0;
+  p.corruption_rate = 0.0;
+  p.notify_path_base = Duration::zero();
+  p.notify_path_jitter = Duration::zero();
+  return p;
+}
+
+// Deterministic device: no per-page jitter, so latencies are exact.
+StorageParams exact_storage()
+{
+  StorageParams p;
+  p.page_service_jitter = Duration::zero();
+  return p;
+}
+
+struct World {
+  sim::Simulator sim{1};
+  Kernel kernel{sim, quiet_noise()};
+  Vfs& vfs = kernel.vfs();
+  PageCache& cache = vfs.page_cache();
+
+  World() { cache.configure(exact_storage()); }
+};
+
+// --- dirty-page tracking ---------------------------------------------------
+
+TEST(PageCache, MarkDirtySpansAndCoalescesPages)
+{
+  World w;
+  // One byte dirties one page; a straddling span dirties both sides.
+  w.cache.mark_dirty(7, 0, 1);
+  EXPECT_EQ(w.cache.dirty_pages(7), 1u);
+  w.cache.mark_dirty(7, PageCache::kPageSize - 2, 4);
+  EXPECT_EQ(w.cache.dirty_pages(7), 2u);
+  // Rewriting an already-dirty page coalesces instead of accumulating.
+  w.cache.mark_dirty(7, 100, 200);
+  EXPECT_EQ(w.cache.dirty_pages(7), 2u);
+  // A zero-length write dirties nothing.
+  w.cache.mark_dirty(7, 0, 0);
+  EXPECT_EQ(w.cache.dirty_pages(7), 2u);
+  // Other inodes are tracked independently.
+  w.cache.mark_dirty(8, 5 * PageCache::kPageSize, 1);
+  EXPECT_EQ(w.cache.dirty_pages(8), 1u);
+  EXPECT_EQ(w.cache.total_dirty_pages(), 3u);
+}
+
+TEST(PageCache, VfsWriteDirtiesPagesThroughTheCache)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/f");
+  const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
+  ASSERT_GE(fd, 0);
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& p, Fd fd)
+    {
+      long n = co_await vfs.write(p, fd, 0, PageCache::kPageSize + 1);
+      EXPECT_EQ(n, static_cast<long>(PageCache::kPageSize + 1));
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, p, fd));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+  // Two pages hit the device: the daemon flushed both dirtied pages
+  // before the event queue drained.
+  EXPECT_EQ(w.cache.total_dirty_pages(), 0u);
+  EXPECT_EQ(w.cache.pages_flushed(), 2u);
+  EXPECT_GE(w.cache.writeback_passes(), 1u);
+}
+
+// --- fsync semantics -------------------------------------------------------
+
+TEST(PageCache, FsyncFlushesDirtyPagesPlusCommitRecord)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/f");
+  const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
+  ASSERT_GE(fd, 0);
+  struct Runner {
+    static sim::Proc run(World& w, Process& p, Fd fd)
+    {
+      co_await w.vfs.write(p, fd, 0, 3 * PageCache::kPageSize);
+      EXPECT_EQ(co_await w.vfs.fsync(p, fd), kOk);
+      // Checked inside the coroutine: the writeback daemon has not had
+      // a chance to run yet, so the flush is attributable to fsync.
+      EXPECT_EQ(w.cache.total_dirty_pages(), 0u);
+      EXPECT_EQ(w.cache.flushes(), 1u);
+      // 3 dirty pages + the journal commit record.
+      EXPECT_EQ(w.cache.pages_flushed(),
+                3u + w.cache.params().commit_pages);
+    }
+  };
+  w.sim.spawn(Runner::run(w, p, fd));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+}
+
+TEST(PageCache, JournalCouplingFlushesForeignDirtyPages)
+{
+  // ext4 data=ordered: fsync of a *clean* file still pays for every
+  // dirty page in the system. This is the Write+Sync receive path.
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/a");
+  w.vfs.create_file(0, "/b");
+  const Fd fa = w.vfs.open(p, "/a", OpenMode::read_write);
+  const Fd fb = w.vfs.open(p, "/b", OpenMode::read_write);
+  ASSERT_GE(fa, 0);
+  ASSERT_GE(fb, 0);
+  struct Runner {
+    static sim::Proc run(World& w, Process& p, Fd fa, Fd fb)
+    {
+      co_await w.vfs.write(p, fa, 0, 4 * PageCache::kPageSize);
+      EXPECT_EQ(co_await w.vfs.fsync(p, fb), kOk);
+      EXPECT_EQ(w.cache.total_dirty_pages(), 0u);
+      EXPECT_EQ(w.cache.pages_flushed(),
+                4u + w.cache.params().commit_pages);
+    }
+  };
+  w.sim.spawn(Runner::run(w, p, fa, fb));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+}
+
+TEST(PageCache, NoJournalCouplingLeavesForeignPagesToWriteback)
+{
+  World w;
+  StorageParams params = exact_storage();
+  params.journal_coupling = false;
+  w.cache.configure(params);
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/a");
+  w.vfs.create_file(0, "/b");
+  const Fd fa = w.vfs.open(p, "/a", OpenMode::read_write);
+  const Fd fb = w.vfs.open(p, "/b", OpenMode::read_write);
+  struct Runner {
+    static sim::Proc run(World& w, Process& p, Fd fa, Fd fb)
+    {
+      co_await w.vfs.write(p, fa, 0, 4 * PageCache::kPageSize);
+      EXPECT_EQ(co_await w.vfs.fsync(p, fb), kOk);
+      // Only the commit record was flushed; /a's pages stay dirty until
+      // the writeback daemon's next pass.
+      EXPECT_EQ(w.cache.total_dirty_pages(), 4u);
+      EXPECT_EQ(w.cache.pages_flushed(), w.cache.params().commit_pages);
+    }
+  };
+  w.sim.spawn(Runner::run(w, p, fa, fb));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+  // ... and the daemon does clean them before the queue drains.
+  EXPECT_EQ(w.cache.total_dirty_pages(), 0u);
+}
+
+// --- flush-queue contention (the covert-channel observable) ----------------
+
+TEST(PageCache, QueuedFsyncInflatesSecondCallersLatency)
+{
+  // The Sync+Sync decision primitive: a spy fsync issued while the
+  // trojan's flush occupies the device takes visibly longer than the
+  // same fsync on an idle device.
+  auto spy_fsync_latency = [](std::size_t trojan_pages) {
+    World w;
+    Process& trojan = w.kernel.create_process("trojan", 0);
+    Process& spy = w.kernel.create_process("spy", 0);
+    w.vfs.create_file(0, "/t");
+    w.vfs.create_file(0, "/s");
+    const Fd ft = w.vfs.open(trojan, "/t", OpenMode::read_write);
+    const Fd fs = w.vfs.open(spy, "/s", OpenMode::read_write);
+    Duration latency = Duration::zero();
+    struct Trojan {
+      static sim::Proc run(World& w, Process& p, Fd fd, std::size_t pages)
+      {
+        if (pages == 0) co_return;
+        co_await w.vfs.write(p, fd, 0, pages * PageCache::kPageSize);
+        co_await w.vfs.fsync(p, fd);
+      }
+    };
+    struct Spy {
+      static sim::Proc run(World& w, Process& p, Fd fd, Duration& latency)
+      {
+        // Arrive just after the trojan's fsync has reserved the device.
+        co_await w.kernel.sleep(p, Duration::us(5));
+        co_await w.vfs.write(p, fd, 0, 1);
+        const TimePoint before = w.sim.now();
+        co_await w.vfs.fsync(p, fd);
+        latency = w.sim.now() - before;
+      }
+    };
+    w.sim.spawn(Trojan::run(w, trojan, ft, trojan_pages));
+    w.sim.spawn(Spy::run(w, spy, fs, latency));
+    EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+    return latency;
+  };
+
+  const Duration idle = spy_fsync_latency(0);
+  const Duration contended = spy_fsync_latency(30);
+  // The trojan holds the device for ~30 service periods; the spy's
+  // fsync must absorb most of that queueing delay.
+  EXPECT_GT(contended, idle + Duration::us(100));
+}
+
+TEST(PageCache, DeviceTimelineIsFifo)
+{
+  // Back-to-back reservations serialize: the device frees strictly
+  // later after each flush, and never runs backwards.
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/f");
+  const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
+  struct Runner {
+    static sim::Proc run(World& w, Process& p, Fd fd)
+    {
+      TimePoint prev = w.cache.device_free_at();
+      for (int i = 0; i < 3; ++i) {
+        co_await w.vfs.write(p, fd, 0, 2 * PageCache::kPageSize);
+        EXPECT_EQ(co_await w.vfs.fsync(p, fd), kOk);
+        EXPECT_GT(w.cache.device_free_at() - prev, Duration::zero());
+        EXPECT_GE(w.cache.device_free_at() - w.sim.now(),
+                  -Duration::us(0.001));
+        prev = w.cache.device_free_at();
+      }
+    }
+  };
+  w.sim.spawn(Runner::run(w, p, fd));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+  EXPECT_EQ(w.cache.flushes(), 3u);
+}
+
+// --- writeback daemon lifecycle --------------------------------------------
+
+TEST(PageCache, WritebackDaemonExitsWhenCleanAndRespawns)
+{
+  World w;
+  Process& p = w.kernel.create_process("p", 0);
+  w.vfs.create_file(0, "/f");
+  const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
+  struct Runner {
+    static sim::Proc run(World& w, Process& p, Fd fd)
+    {
+      co_await w.vfs.write(p, fd, 0, 1);
+      EXPECT_TRUE(w.cache.writeback_running());
+    }
+  };
+  // First generation: the dirtying write arms the daemon; the run only
+  // drains because the daemon exits once the cache is clean.
+  w.sim.spawn(Runner::run(w, p, fd));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+  EXPECT_FALSE(w.cache.writeback_running());
+  EXPECT_EQ(w.cache.total_dirty_pages(), 0u);
+  const std::uint64_t first_passes = w.cache.writeback_passes();
+  EXPECT_GE(first_passes, 1u);
+
+  // Second generation: a later write respawns it.
+  w.sim.spawn(Runner::run(w, p, fd));
+  EXPECT_EQ(w.sim.run().blocked_roots, 0u);
+  EXPECT_FALSE(w.cache.writeback_running());
+  EXPECT_GT(w.cache.writeback_passes(), first_passes);
+}
+
+}  // namespace
+}  // namespace mes::os
+
+// --- storage-channel campaign determinism ----------------------------------
+
+namespace mes {
+namespace {
+
+// Both storage mechanisms crossed with every storage scenario layer.
+exec::ExperimentPlan storage_plan()
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::sync_contention, Mechanism::write_sync};
+  plan.scenarios = {exec::named_scenario("disk-pressure"),
+                    exec::named_scenario("journal-contention"),
+                    exec::named_scenario("writeback-storm")};
+  plan.repeats = 2;
+  plan.seed_base = 0x57042A6E;
+  plan.payload_bits = 128;
+  return plan;
+}
+
+TEST(StorageCampaign, ByteIdenticalAcrossJobCounts)
+{
+  // The determinism contract extends to the storage channels: the
+  // device RNG and writeback timing must be independent of worker
+  // interleaving, so --jobs 1 and --jobs 4 emit identical bytes.
+  const exec::ExperimentPlan plan = storage_plan();
+  std::ostringstream serial_csv, parallel_csv, serial_json, parallel_json;
+  exec::write_csv(serial_csv, exec::CampaignRunner{1}.run(plan));
+  exec::write_csv(parallel_csv, exec::CampaignRunner{4}.run(plan));
+  exec::write_json(serial_json, exec::CampaignRunner{1}.run(plan));
+  exec::write_json(parallel_json, exec::CampaignRunner{4}.run(plan));
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+}
+
+TEST(StorageCampaign, ChannelsDeliverOnStorageScenarios)
+{
+  // Every (mechanism, storage scenario) cell must come up and decode
+  // with a usable error rate — no silent setup failures.
+  const exec::CampaignResult result =
+      exec::CampaignRunner{4}.run(storage_plan());
+  ASSERT_FALSE(result.cells.empty());
+  for (const exec::CellResult& c : result.cells) {
+    EXPECT_TRUE(c.report.ok) << c.cell.label << ": "
+                             << c.report.failure_reason;
+    EXPECT_LT(c.report.ber, 0.2) << c.cell.label;
+  }
+}
+
+}  // namespace
+}  // namespace mes

@@ -2,6 +2,8 @@
 // descriptions, i-node lock state, flock(2) and LockFileEx semantics.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "os/kernel.h"
@@ -525,6 +527,124 @@ TEST(Inode, IntrospectionReflectsLockState)
   EXPECT_TRUE(node->read_only());
   EXPECT_TRUE(node->mandatory_locking());
   EXPECT_EQ(w.vfs.inode_of(w.a, w.fa), node);
+}
+
+// A writable file with mandatory locking: the write-path enforcement
+// fixture (the shared channel files stay read-only; this one exists to
+// prove writes honor foreign locks).
+struct WritableLockWorld : World {
+  Process& a = kernel.create_process("a", 0);
+  Process& b = kernel.create_process("b", 0);
+  Fd fa = -1;
+  Fd fb = -1;
+  WritableLockWorld()
+  {
+    vfs.create_file(0, "/wlock", /*read_only=*/false,
+                    /*mandatory_locking=*/true);
+    fa = vfs.open(a, "/wlock", OpenMode::read_write);
+    fb = vfs.open(b, "/wlock", OpenMode::read_write);
+  }
+};
+
+TEST(Io, MandatoryLockBlocksForeignWriters)
+{
+  // Regression: write() used to ignore mandatory exclusive locks
+  // entirely — only read() checked them.
+  WritableLockWorld w;
+  std::vector<long> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<long>& rs)
+    {
+      int rc = co_await vfs.flock(a, fa, FlockOp::exclusive);
+      (void)rc;
+      const long foreign = co_await vfs.write(b, fb, 0, 8);
+      rs.push_back(foreign);  // blocked by the mandatory lock
+      const long own = co_await vfs.write(a, fa, 0, 8);
+      rs.push_back(own);  // owner still writes
+      rc = co_await vfs.flock(a, fa, FlockOp::unlock);
+      (void)rc;
+      const long after = co_await vfs.write(b, fb, 0, 8);
+      rs.push_back(after);  // unblocked once the lock drops
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<long>{kErrWouldBlock, 8, 8}));
+}
+
+TEST(Io, MandatoryRangeLockBlocksOverlappingForeignWrites)
+{
+  WritableLockWorld w;
+  std::vector<long> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<long>& rs)
+    {
+      const int rc =
+          co_await vfs.lock_file_ex(a, fa, 100, 50, LockMode::exclusive);
+      (void)rc;
+      rs.push_back(co_await vfs.write(b, fb, 120, 8));  // inside the range
+      rs.push_back(co_await vfs.write(b, fb, 0, 8));    // outside: fine
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<long>{kErrWouldBlock, 8}));
+}
+
+// --- full-range locks and the overlap overflow --------------------------------
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(RangeLocks, FullRangeLockConflictsWithEveryRange)
+{
+  // Regression: overlaps() computed off + len, which wraps for a
+  // full-range lock (off=0, len=UINT64_MAX) and made it conflict with
+  // nothing.
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, Process& b, Fd fb,
+                         std::vector<int>& rs)
+    {
+      rs.push_back(
+          co_await vfs.lock_file_ex(a, fa, 0, kMax, LockMode::exclusive));
+      // Any foreign range — tiny, huge, or far out — must conflict.
+      rs.push_back(co_await vfs.lock_file_ex(b, fb, 0, 1,
+                                             LockMode::exclusive, true));
+      rs.push_back(co_await vfs.lock_file_ex(b, fb, kMax - 1, 1,
+                                             LockMode::exclusive, true));
+      rs.push_back(co_await vfs.lock_file_ex(b, fb, 1u << 20, kMax >> 1,
+                                             LockMode::exclusive, true));
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, w.b, w.fb, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kOk, kErrWouldBlock, kErrWouldBlock,
+                                       kErrWouldBlock}));
+}
+
+TEST(RangeLocks, OverflowingRangeIsInvalid)
+{
+  FlockWorld w;
+  std::vector<int> results;
+  struct Runner {
+    static sim::Proc run(Vfs& vfs, Process& a, Fd fa, std::vector<int>& rs)
+    {
+      // off + len would pass 2^64: rejected outright.
+      rs.push_back(
+          co_await vfs.lock_file_ex(a, fa, 1, kMax, LockMode::exclusive));
+      rs.push_back(
+          co_await vfs.lock_file_ex(a, fa, kMax, 2, LockMode::exclusive));
+      // The boundary case off + len == 2^64 - 1 stays valid.
+      rs.push_back(
+          co_await vfs.lock_file_ex(a, fa, 1, kMax - 1, LockMode::exclusive));
+    }
+  };
+  w.sim.spawn(Runner::run(w.vfs, w.a, w.fa, results));
+  w.sim.run();
+  EXPECT_EQ(results, (std::vector<int>{kErrInvalid, kErrInvalid, kOk}));
 }
 
 }  // namespace
