@@ -10,8 +10,14 @@ std::string FileLockExChannel::setup(core::RunContext& ctx)
 {
   const std::string path = "/shared/mes_filelockex_" + ctx.tag + ".dat";
   os::Vfs& vfs = ctx.kernel.vfs();
-  vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
-                  /*mandatory_locking=*/true);
+  // kErrExists is fine — the pre-agreed path may already be there from a
+  // previous setup with this tag; any other failure poisons the opens.
+  const int created =
+      vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
+                      /*mandatory_locking=*/true);
+  if (created < 0 && created != os::kErrExists) {
+    return "FileLockEX: cannot create the pre-agreed shared file";
+  }
   trojan_fd_ = vfs.open(ctx.trojan, path, os::OpenMode::read_only);
   if (trojan_fd_ < 0) return "FileLockEX: trojan cannot open the shared file";
   spy_fd_ = vfs.open(ctx.spy, path, os::OpenMode::read_only);

@@ -11,8 +11,14 @@ std::string FlockChannel::setup(core::RunContext& ctx)
   const std::string path = "/shared/mes_flock_" + ctx.tag + ".txt";
   os::Vfs& vfs = ctx.kernel.vfs();
   // Pre-agreed shared file: read-only with mandatory locking (§IV.C).
-  vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
-                  /*mandatory_locking=*/true);
+  // kErrExists is fine — a previous setup with this tag already agreed
+  // on the path; any other failure would poison every later open.
+  const int created =
+      vfs.create_file(ctx.trojan.namespace_id(), path, /*read_only=*/true,
+                      /*mandatory_locking=*/true);
+  if (created < 0 && created != os::kErrExists) {
+    return "flock: cannot create the pre-agreed shared file";
+  }
   trojan_fd_ = vfs.open(ctx.trojan, path, os::OpenMode::read_only);
   if (trojan_fd_ < 0) return "flock: trojan cannot open the shared file";
   spy_fd_ = vfs.open(ctx.spy, path, os::OpenMode::read_only);

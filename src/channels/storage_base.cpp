@@ -40,8 +40,16 @@ std::string StorageSyncBase::setup(core::RunContext& ctx)
   // writes shared data, only the shared device timeline.
   const std::string tpath = "/data/mes_storage_t_" + ctx.tag;
   const std::string spath = "/data/mes_storage_s_" + ctx.tag;
-  vfs.create_file(ctx.trojan.namespace_id(), tpath);
-  vfs.create_file(ctx.spy.namespace_id(), spath);
+  // kErrExists is fine (re-setup with the same tag reuses the scratch
+  // files); anything else means the writes below would go nowhere.
+  const int t_created = vfs.create_file(ctx.trojan.namespace_id(), tpath);
+  if (t_created < 0 && t_created != os::kErrExists) {
+    return "storage-sync: cannot create the trojan scratch file";
+  }
+  const int s_created = vfs.create_file(ctx.spy.namespace_id(), spath);
+  if (s_created < 0 && s_created != os::kErrExists) {
+    return "storage-sync: cannot create the spy scratch file";
+  }
   trojan_fd_ = vfs.open(ctx.trojan, tpath, os::OpenMode::read_write);
   if (trojan_fd_ < 0) {
     return "storage-sync: trojan cannot open its scratch file";

@@ -81,13 +81,13 @@ class Kernel {
 
   // Parks the caller on `parker` until woken or timed out; applies
   // wake-side penalty on resume.
-  sim::Task<sim::WaitOutcome> park(Process& proc, Parker& parker,
+  [[nodiscard]] sim::Task<sim::WaitOutcome> park(Process& proc, Parker& parker,
                                    Duration timeout = Duration::max());
 
   // Wakes the process parked on `parker`. Returns false if it already
   // timed out (caller should then grant elsewhere). The waker pays the
   // notification; the sleeper pays wake-up latency.
-  bool wake(Process& waker, Parker& parker);
+  [[nodiscard]] bool wake(Process& waker, Parker& parker);
 
   // Fresh id for trace correlation.
   ObjectId next_object_id() { return ++last_object_id_; }
@@ -96,7 +96,7 @@ class Kernel {
   // Delivers one signal to `target`: wakes a sigwait-er or queues it.
   sim::Proc kill(Process& sender, Process& target);
   // Blocks until a signal arrives (or returns immediately if pending).
-  sim::Task<sim::WaitOutcome> sigwait(Process& proc,
+  [[nodiscard]] sim::Task<sim::WaitOutcome> sigwait(Process& proc,
                                       Duration timeout = Duration::max());
 
   // --- tracing (detector input) -------------------------------------------

@@ -87,7 +87,7 @@ class PageCache {
   // inode's dirty pages — plus, under journal coupling, everyone
   // else's — and the commit record through the device queue, sleeping
   // until the reservation completes.
-  sim::Task<int> fsync(Process& proc, InodeNum ino);
+  [[nodiscard]] sim::Task<int> fsync(Process& proc, InodeNum ino);
 
   // --- introspection (tests / benches) ----------------------------------
   std::size_t dirty_pages(InodeNum ino) const;

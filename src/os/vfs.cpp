@@ -121,8 +121,9 @@ bool Vfs::flock_compatible(const Inode& node, int ofd_id, LockMode mode) const
 void Vfs::pump_flock(Process& waker, Inode& node)
 {
   if (k_.fairness() == LockFairness::unfair) {
-    // Wake everyone; they re-compete and newcomers may barge.
-    for (auto& w : node.flock_waiters_) k_.wake(waker, *w.parker);
+    // Wake everyone; they re-compete and newcomers may barge. Nothing is
+    // granted at wake time, so a dead parker costs nothing.
+    for (auto& w : node.flock_waiters_) (void)k_.wake(waker, *w.parker);
     node.flock_waiters_.clear();
     return;
   }
@@ -182,6 +183,7 @@ sim::Task<int> Vfs::flock(Process& proc, Fd fd, FlockOp op, bool nonblocking)
     }
     auto parker = std::make_shared<Parker>();
     node->flock_waiters_.push_back(Inode::FlockWaiter{parker, ofd_id, mode});
+    // mes-lint: allow(checked-errors) infinite wait — park without a timeout can only resume signaled
     co_await k_.park(proc, *parker);
     if (k_.fairness() == LockFairness::fair) {
       // pump_flock() installed the lock before waking us.
@@ -209,7 +211,8 @@ bool Vfs::range_compatible(const Inode& node, int ofd_id, std::uint64_t off,
 void Vfs::pump_ranges(Process& waker, Inode& node)
 {
   if (k_.fairness() == LockFairness::unfair) {
-    for (auto& w : node.range_waiters_) k_.wake(waker, *w.parker);
+    // Broadcast wake grants no lock; waiters re-compete on resume.
+    for (auto& w : node.range_waiters_) (void)k_.wake(waker, *w.parker);
     node.range_waiters_.clear();
     return;
   }
@@ -252,6 +255,7 @@ sim::Task<int> Vfs::lock_file_ex(Process& proc, Fd fd, std::uint64_t off,
     auto parker = std::make_shared<Parker>();
     node->range_waiters_.push_back(
         Inode::RangeWaiter{parker, ofd_id, off, len, mode});
+    // mes-lint: allow(checked-errors) infinite wait — park without a timeout can only resume signaled
     co_await k_.park(proc, *parker);
     if (k_.fairness() == LockFairness::fair) co_return kOk;
   }

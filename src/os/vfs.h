@@ -123,29 +123,29 @@ class Vfs {
 
   // Creates a file visible from namespace `ns` (and from all namespaces
   // when the volume is shared). Returns the inode number, or kErrExists.
-  int create_file(NamespaceId ns, const std::string& path,
+  [[nodiscard]] int create_file(NamespaceId ns, const std::string& path,
                   bool read_only = false, bool mandatory_locking = false);
 
   // Opens `path` from the caller's namespace view. Returns fd >= 0 or a
   // negative error (kErrNoEntry, kErrAccess for writing a read-only file).
-  Fd open(Process& proc, const std::string& path,
+  [[nodiscard]] Fd open(Process& proc, const std::string& path,
           OpenMode mode = OpenMode::read_only);
   // Duplicates an fd; both share one open-file description (and locks).
-  Fd dup(Process& proc, Fd fd);
-  int close(Process& proc, Fd fd);
+  [[nodiscard]] Fd dup(Process& proc, Fd fd);
+  [[nodiscard]] int close(Process& proc, Fd fd);
 
   // flock(2). Blocking unless `nonblocking`; then kErrWouldBlock on
   // contention. Lock conversion releases the old lock first (as Linux
   // flock may), so a blocked conversion is not atomic.
-  sim::Task<int> flock(Process& proc, Fd fd, FlockOp op,
+  [[nodiscard]] sim::Task<int> flock(Process& proc, Fd fd, FlockOp op,
                        bool nonblocking = false);
 
   // LockFileEx / UnlockFileEx. Zero-length ranges are invalid. Unlock
   // must match a previously locked region exactly.
-  sim::Task<int> lock_file_ex(Process& proc, Fd fd, std::uint64_t off,
+  [[nodiscard]] sim::Task<int> lock_file_ex(Process& proc, Fd fd, std::uint64_t off,
                               std::uint64_t len, LockMode mode,
                               bool fail_immediately = false);
-  sim::Task<int> unlock_file_ex(Process& proc, Fd fd, std::uint64_t off,
+  [[nodiscard]] sim::Task<int> unlock_file_ex(Process& proc, Fd fd, std::uint64_t off,
                                 std::uint64_t len);
 
   // Minimal IO used by the threat-model tests and the storage-sync
@@ -153,15 +153,15 @@ class Vfs {
   // writes fail with kErrWouldBlock while another open-file description
   // holds a mandatory exclusive lock. A successful write dirties the
   // covered pages in the page cache.
-  sim::Task<long> read(Process& proc, Fd fd, std::uint64_t off,
+  [[nodiscard]] sim::Task<long> read(Process& proc, Fd fd, std::uint64_t off,
                        std::uint64_t len);
-  sim::Task<long> write(Process& proc, Fd fd, std::uint64_t off,
+  [[nodiscard]] sim::Task<long> write(Process& proc, Fd fd, std::uint64_t off,
                         std::uint64_t len);
 
   // fsync(2): flushes the file's dirty pages (plus, under journal
   // coupling, everyone's) through the shared device queue. The queueing
   // delay it observes is the storage-sync channel signal.
-  sim::Task<int> fsync(Process& proc, Fd fd);
+  [[nodiscard]] sim::Task<int> fsync(Process& proc, Fd fd);
 
   PageCache& page_cache() { return page_cache_; }
   const PageCache& page_cache() const { return page_cache_; }

@@ -94,6 +94,7 @@ class Simulator {
 
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
+  // mes-lint: hot-pod
   struct WaitNode {
     std::coroutine_handle<> handle;
     WaitQueue* owner = nullptr;  // null once unlinked (woken/orphaned)
@@ -144,6 +145,7 @@ class Simulator {
     wake_batch,    // batch_slots_[slot]
     wait_timeout,  // wait_nodes_[slot], valid while gen matches
   };
+  // mes-lint: hot-pod
   struct Event {
     TimePoint at;
     std::uint64_t seq;

@@ -29,6 +29,7 @@ enum class WakeOrder {
 
 enum class WaitOutcome { signaled, timed_out };
 
+// mes-lint: hot-pod
 class WaitQueue {
  public:
   explicit WaitQueue(WakeOrder order = WakeOrder::fifo) : order_{order} {}

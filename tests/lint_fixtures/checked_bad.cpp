@@ -1,0 +1,35 @@
+// Fixture: checked-errors violations — discarded error/outcome results
+// from the Vfs/Kernel call surface. After the mandatory-lock change,
+// kErrWouldBlock is a routine result; dropping it is a latent bug.
+#include <cstdint>
+
+namespace mes::channels {
+
+sim::Proc trojan_hold(core::RunContext& ctx, os::Fd fd)
+{
+  os::Vfs& vfs = ctx.kernel.vfs();
+  co_await vfs.flock(ctx.trojan, fd, os::FlockOp::exclusive);  // LINT-EXPECT: checked-errors
+  co_await vfs.write(ctx.trojan, fd, 0, 4096);  // LINT-EXPECT: checked-errors
+  co_await vfs.fsync(ctx.trojan, fd);  // LINT-EXPECT: checked-errors
+  co_await ctx.kernel.park(ctx.trojan, parker_, Duration::us(5.0));  // LINT-EXPECT: checked-errors
+
+  // Consumed results are clean in every shape.
+  const int rc = co_await vfs.flock(ctx.trojan, fd, os::FlockOp::unlock);
+  if (rc != os::kOk) ctx.fail(rc);
+  if (co_await vfs.fsync(ctx.trojan, fd) != os::kOk) ctx.fail(-1);
+  co_return;
+}
+
+std::string setup(core::RunContext& ctx)
+{
+  ctx.kernel.vfs().create_file(ctx.trojan.namespace_id(), "/shared/f");  // LINT-EXPECT: checked-errors
+  ctx.kernel.wake(ctx.trojan, parker_);  // LINT-EXPECT: checked-errors
+
+  // Consumed / explicitly discarded: clean.
+  const int created = ctx.kernel.vfs().create_file(ctx.spy.namespace_id(), "/shared/g");
+  if (created < 0) return "setup failed";
+  (void)ctx.kernel.wake(ctx.spy, parker_);
+  return {};
+}
+
+}  // namespace mes::channels

@@ -1,0 +1,26 @@
+// Fixture: checked-errors clean counterpart — every error result is
+// consumed, and void-returning simulator calls may be awaited bare.
+#include <cstdint>
+
+namespace mes::channels {
+
+sim::Proc trojan_hold(core::RunContext& ctx, os::Fd fd)
+{
+  os::Vfs& vfs = ctx.kernel.vfs();
+  // charge_op / sleep / delay return Proc (void): bare awaits are fine.
+  co_await ctx.kernel.charge_op(ctx.trojan, os::OpKind::flock_ex);
+  co_await ctx.kernel.sleep(ctx.trojan, Duration::us(10.0));
+  co_await ctx.kernel.sim().delay(Duration::us(1.0));
+
+  const int rc = co_await vfs.flock(ctx.trojan, fd, os::FlockOp::exclusive);
+  if (rc != os::kOk) ctx.fail(rc);
+  const long wrote = co_await vfs.write(ctx.trojan, fd, 0, 4096);
+  if (wrote < 0) ctx.fail(static_cast<int>(wrote));
+  if (co_await vfs.fsync(ctx.trojan, fd) != os::kOk) ctx.fail(-1);
+  const auto outcome =
+      co_await ctx.kernel.park(ctx.trojan, parker_, Duration::us(5.0));
+  if (outcome == sim::WaitOutcome::timed_out) ctx.fail(-2);
+  co_return;
+}
+
+}  // namespace mes::channels

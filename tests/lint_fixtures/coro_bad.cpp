@@ -1,0 +1,44 @@
+// Fixture: coro-lifetime violations. Scanned under the virtual path
+// src/channels/coro_bad.cpp (src/sim/ is the only resume-exempt tree).
+#include <coroutine>
+#include <string>
+#include <vector>
+
+namespace mes::channels {
+
+// A temporary bound to a const-ref parameter dies at the caller's first
+// suspension point; the coroutine frame keeps a dangling reference.
+sim::Task<int> send_label(core::RunContext& ctx, const std::string& label);  // LINT-EXPECT: coro-lifetime
+
+// Same bug, rvalue-reference flavour.
+sim::Proc drain_symbols(std::vector<std::size_t>&& symbols);  // LINT-EXPECT: coro-lifetime
+
+// Mutable lvalue refs cannot bind temporaries — the house idiom for
+// kernel-owned objects stays clean.
+sim::Task<int> probe(os::Process& proc, int rounds);
+
+sim::Proc spawn_all(Simulator& sim, int n)
+{
+  int live = n;
+  // The closure object usually dies before the frame's first resume.
+  auto worker = [&live](Simulator& s) -> sim::Task<void> {  // LINT-EXPECT: coro-lifetime
+    co_await s.delay(Duration::us(1.0));
+    --live;
+  };
+  spawn(worker);
+  // By-value captures live in the coroutine frame: clean.
+  auto counter = [n](Simulator& s) -> sim::Task<void> {
+    co_await s.delay(Duration::us(1.0));
+  };
+  spawn(counter);
+  // Plain by-ref lambdas that are NOT coroutines are fine too.
+  auto tally = [&live] { return live * 2; };
+  tally();
+}
+
+void kick(std::coroutine_handle<> h)
+{
+  h.resume();  // LINT-EXPECT: coro-lifetime
+}
+
+}  // namespace mes::channels

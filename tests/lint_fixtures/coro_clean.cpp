@@ -1,0 +1,31 @@
+// Fixture: coro-lifetime clean counterpart — by-value parameters,
+// by-value captures, resumes routed through the simulator.
+#include <coroutine>
+#include <string>
+#include <vector>
+
+namespace mes::channels {
+
+sim::Task<int> send_label(core::RunContext& ctx, std::string label);
+
+sim::Proc drain_symbols(std::vector<std::size_t> symbols);
+
+sim::Task<int> probe(os::Process& proc, int rounds);
+
+sim::Proc spawn_all(Simulator& sim, int n)
+{
+  auto worker = [n](Simulator& s) -> sim::Task<void> {
+    co_await s.delay(Duration::us(static_cast<double>(n)));
+  };
+  spawn(worker);
+}
+
+void kick(Simulator& sim, std::coroutine_handle<> h)
+{
+  sim.schedule_resume(h, Duration::zero());
+}
+
+// Non-coroutine functions may take const-refs freely.
+int classify(const std::vector<double>& latencies);
+
+}  // namespace mes::channels

@@ -1,0 +1,31 @@
+// Fixture: hot-path-pod violations — a struct opted in with the
+// hot-pod marker must stay POD (the event hot path dispatches millions
+// of these per second; one allocating member reintroduces a malloc per
+// event).
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mes::sim {
+
+// mes-lint: hot-pod
+struct Event {
+  std::uint64_t at = 0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> resume;
+  std::function<void()> payload;  // LINT-EXPECT: hot-path-pod
+  std::vector<int> extras;  // LINT-EXPECT: hot-path-pod
+  std::string label;  // LINT-EXPECT: hot-path-pod
+  virtual void fire();  // LINT-EXPECT: hot-path-pod
+};
+
+// No marker: an ordinary struct may hold whatever it wants.
+struct ColdReport {
+  std::string label;
+  std::vector<double> samples;
+  std::function<void()> on_flush;
+};
+
+}  // namespace mes::sim

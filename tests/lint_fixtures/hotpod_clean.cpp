@@ -1,0 +1,19 @@
+// Fixture: a marked hot-pod struct that actually is POD — bare handle,
+// integers, an enum. Zero findings expected.
+#include <coroutine>
+#include <cstdint>
+
+namespace mes::sim {
+
+// mes-lint: hot-pod
+struct Event {
+  enum class Kind : std::uint8_t { resume, callback };
+  std::uint64_t at = 0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> resume;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  Kind kind = Kind::resume;
+};
+
+}  // namespace mes::sim

@@ -1,0 +1,22 @@
+// Fixture: malformed suppressions. An allow() without a justification
+// (or naming an unknown rule) is itself a finding — and the underlying
+// violation stays reported, because the suppression never attaches.
+#include <chrono>
+
+namespace mes::proto {
+
+double bench_wall()
+{
+  // mes-lint: allow(no-wallclock)
+  const auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT: no-wallclock
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+sim::Proc broadcast(core::RunContext& ctx)
+{
+  // mes-lint: allow(not-a-real-rule) waking is harmless here
+  ctx.kernel.wake(ctx.trojan, parker_);  // LINT-EXPECT: checked-errors
+  co_return;
+}
+
+}  // namespace mes::proto

@@ -1,0 +1,21 @@
+// Fixture: valid suppressions — both placements (trailing on the
+// violating line, and a comment-only line directly above) silence the
+// named rule. Zero findings expected.
+#include <chrono>
+
+namespace mes::proto {
+
+double bench_wall()
+{
+  const auto t0 = std::chrono::steady_clock::now();  // mes-lint: allow(no-wallclock) measures real engine throughput, not a simulated result
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+sim::Proc broadcast(core::RunContext& ctx)
+{
+  // mes-lint: allow(checked-errors) broadcast wake grants nothing; waiters re-compete
+  ctx.kernel.wake(ctx.trojan, parker_);
+  co_return;
+}
+
+}  // namespace mes::proto

@@ -1,0 +1,53 @@
+// Fixture: no-unordered-iteration violations. Scanned under the
+// virtual path src/exec/unordered_bad.cpp (an emission path): the
+// iteration order of an unordered container leaks pointer values into
+// whatever is emitted from the loop.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mes::exec {
+
+struct CellIndex {
+  std::unordered_map<std::string, double> goodput_by_label;
+  std::unordered_set<int> seen_cells;
+};
+
+std::vector<std::string> emit_rows(const CellIndex& index)
+{
+  std::unordered_map<std::string, double> goodput_by_label =
+      index.goodput_by_label;
+  std::vector<std::string> rows;
+  for (const auto& [label, value] : goodput_by_label) {  // LINT-EXPECT: no-unordered-iteration
+    rows.push_back(label + "," + std::to_string(value));
+  }
+  return rows;
+}
+
+std::size_t walk_cells(CellIndex& index)
+{
+  std::unordered_set<int> seen_cells = index.seen_cells;
+  std::size_t n = 0;
+  for (auto it = seen_cells.begin(); it != seen_cells.end(); ++it) {  // LINT-EXPECT: no-unordered-iteration
+    ++n;
+  }
+  return n;
+}
+
+// Ordered containers iterate deterministically: must stay clean.
+double sum_ordered(const std::map<std::string, double>& by_label)
+{
+  double total = 0.0;
+  for (const auto& [label, value] : by_label) total += value;
+  return total;
+}
+
+// Membership tests without iteration are fine.
+bool has_cell(const CellIndex& index, int cell)
+{
+  return index.seen_cells.count(cell) > 0;
+}
+
+}  // namespace mes::exec

@@ -1,0 +1,26 @@
+// Fixture: ordered-container counterpart of unordered_bad.cpp. Zero
+// findings expected, on any path.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mes::exec {
+
+std::vector<std::string> emit_rows(const std::map<std::string, double>& by_label)
+{
+  std::vector<std::string> rows;
+  for (const auto& [label, value] : by_label) {
+    rows.push_back(label + "," + std::to_string(value));
+  }
+  return rows;
+}
+
+std::size_t walk_cells(const std::set<int>& cells)
+{
+  std::size_t n = 0;
+  for (auto it = cells.begin(); it != cells.end(); ++it) ++n;
+  return n;
+}
+
+}  // namespace mes::exec

@@ -1,0 +1,41 @@
+// Fixture: no-wallclock violations. Never compiled — scanned by
+// test_lint under the virtual path src/proto/wallclock_bad.cpp.
+// LINT-EXPECT markers name the finding expected on that line; lines
+// without a marker must stay clean.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace mes::proto {
+
+double probe_now()
+{
+  const auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT: no-wallclock
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+std::uint64_t host_entropy_seed()
+{
+  std::random_device rd;  // LINT-EXPECT: no-wallclock
+  return rd();
+}
+
+long wall_stamp()
+{
+  return std::time(nullptr);  // LINT-EXPECT: no-wallclock
+}
+
+int legacy_jitter()
+{
+  return rand() % 100;  // LINT-EXPECT: no-wallclock
+}
+
+// Member calls named like the banned short functions are NOT host
+// clocks: this is the simulated clock and must stay clean.
+template <typename Sim>
+double simulated_now(Sim& sim)
+{
+  return sim.time();
+}
+
+}  // namespace mes::proto

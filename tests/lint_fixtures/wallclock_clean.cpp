@@ -1,0 +1,25 @@
+// Fixture: the deterministic counterparts of wallclock_bad.cpp — the
+// simulated clock and the seeded Rng. Must produce zero findings.
+#include <cstdint>
+
+namespace mes::proto {
+
+template <typename Sim>
+double probe_now(Sim& sim)
+{
+  return sim.now().to_us();
+}
+
+template <typename Rng>
+std::uint64_t stream_seed(Rng& rng)
+{
+  return rng.next_u64();
+}
+
+template <typename Rng>
+int jitter(Rng& rng)
+{
+  return static_cast<int>(rng.next_below(100));
+}
+
+}  // namespace mes::proto

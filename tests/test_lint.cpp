@@ -1,0 +1,234 @@
+// mes_lint rule-engine tests: every rule is demonstrated live on a
+// minimal violating fixture (tests/lint_fixtures/) and its clean
+// counterpart. Fixtures carry `// LINT-EXPECT: <rule>` markers on the
+// lines where a finding must fire; the test compares the marker set
+// against the linter's output, so each rule's precision (fires exactly
+// where expected, nowhere else) is pinned — deterministic, tier-1.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+
+namespace {
+
+using mes::lint::Finding;
+using mes::lint::Options;
+using mes::lint::Rule;
+
+std::string read_fixture(const std::string& name)
+{
+  const std::string path = std::string{MES_LINT_FIXTURE_DIR} + "/" + name;
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+using LineRule = std::pair<std::size_t, std::string>;
+
+// The `// LINT-EXPECT: rule [rule...]` markers in a fixture.
+std::set<LineRule> expected_markers(const std::string& text)
+{
+  std::set<LineRule> out;
+  std::istringstream in{text};
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    const std::size_t pos = line.find("LINT-EXPECT:");
+    if (pos == std::string::npos) continue;
+    std::istringstream rules{line.substr(pos + 12)};
+    std::string rule;
+    while (rules >> rule) out.insert({n, rule});
+  }
+  return out;
+}
+
+std::set<LineRule> finding_set(const std::vector<Finding>& findings)
+{
+  std::set<LineRule> out;
+  for (const auto& f : findings) {
+    out.insert({f.line, std::string{mes::lint::rule_name(f.rule)}});
+  }
+  return out;
+}
+
+// Lints `fixture` as if it lived at `virtual_path` and checks the
+// findings against the fixture's own markers.
+void expect_markers(const std::string& fixture, const std::string& virtual_path)
+{
+  const std::string text = read_fixture(fixture);
+  const auto findings = mes::lint::lint_source(virtual_path, text);
+  EXPECT_EQ(finding_set(findings), expected_markers(text))
+      << fixture << " scanned as " << virtual_path;
+}
+
+// --- rule 1: no-wallclock --------------------------------------------------
+
+TEST(NoWallclock, FiresOnHostClocksAndEntropy)
+{
+  expect_markers("wallclock_bad.cpp", "src/proto/wallclock_bad.cpp");
+}
+
+TEST(NoWallclock, CleanOnSimulatedClockAndRng)
+{
+  expect_markers("wallclock_clean.cpp", "src/proto/wallclock_clean.cpp");
+}
+
+TEST(NoWallclock, NativeTreeIsExempt)
+{
+  // The identical violations under src/native/ are the native tier's
+  // whole purpose — the default options allow them by path.
+  const std::string text = read_fixture("wallclock_bad.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/native/wallclock_bad.cpp", text);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(NoWallclock, PathAllowlistIsPerRule)
+{
+  // An allowlist entry for a different rule does not leak.
+  Options opts;
+  opts.allow_paths.push_back({Rule::checked_errors, "src/proto/"});
+  const std::string text = read_fixture("wallclock_bad.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/proto/wallclock_bad.cpp", text, opts);
+  EXPECT_FALSE(findings.empty());
+}
+
+// --- rule 2: no-unordered-iteration ----------------------------------------
+
+TEST(NoUnorderedIteration, FiresOnEmissionPaths)
+{
+  expect_markers("unordered_bad.cpp", "src/exec/unordered_bad.cpp");
+}
+
+TEST(NoUnorderedIteration, CleanOnOrderedContainers)
+{
+  expect_markers("unordered_clean.cpp", "src/exec/unordered_clean.cpp");
+}
+
+TEST(NoUnorderedIteration, OnlyGuardsEmissionPaths)
+{
+  // The same iteration outside the emission set (e.g. src/detect/) is
+  // not result-affecting and stays unflagged.
+  const std::string text = read_fixture("unordered_bad.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/detect/unordered_bad.cpp", text);
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- rule 3: coro-lifetime -------------------------------------------------
+
+TEST(CoroLifetime, FiresOnDanglingProneSignaturesAndRawResumes)
+{
+  expect_markers("coro_bad.cpp", "src/channels/coro_bad.cpp");
+}
+
+TEST(CoroLifetime, CleanOnValueParamsAndScheduledResumes)
+{
+  expect_markers("coro_clean.cpp", "src/channels/coro_clean.cpp");
+}
+
+TEST(CoroLifetime, SimulatorInternalsMayResume)
+{
+  // Raw resume() is the simulator's own dispatch mechanism; only the
+  // resume finding is path-exempt, the signature rules still apply.
+  const std::string text = read_fixture("coro_bad.cpp");
+  const auto findings = mes::lint::lint_source("src/sim/coro_bad.cpp", text);
+  for (const auto& f : findings) {
+    EXPECT_EQ(mes::lint::rule_name(f.rule), "coro-lifetime");
+    EXPECT_TRUE(f.message.find("raw coroutine resume") == std::string::npos)
+        << f.message;
+  }
+  EXPECT_EQ(findings.size(), expected_markers(text).size() - 1);
+}
+
+// --- rule 4: hot-path-pod --------------------------------------------------
+
+TEST(HotPathPod, FiresInsideMarkedStructsOnly)
+{
+  expect_markers("hotpod_bad.cpp", "src/sim/hotpod_bad.h");
+}
+
+TEST(HotPathPod, CleanOnActualPod)
+{
+  expect_markers("hotpod_clean.cpp", "src/sim/hotpod_clean.h");
+}
+
+// --- rule 5: checked-errors ------------------------------------------------
+
+TEST(CheckedErrors, FiresOnDiscardedErrorResults)
+{
+  expect_markers("checked_bad.cpp", "src/channels/checked_bad.cpp");
+}
+
+TEST(CheckedErrors, CleanWhenResultsAreConsumed)
+{
+  expect_markers("checked_clean.cpp", "src/channels/checked_clean.cpp");
+}
+
+// --- suppressions ----------------------------------------------------------
+
+TEST(Suppression, InlineAllowWithJustificationSilences)
+{
+  const std::string text = read_fixture("suppress_ok.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/proto/suppress_ok.cpp", text);
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected findings";
+}
+
+TEST(Suppression, MissingJustificationOrUnknownRuleIsItsOwnFinding)
+{
+  const std::string text = read_fixture("suppress_bad.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/proto/suppress_bad.cpp", text);
+  const std::set<LineRule> expected{
+      {10, "bad-allow"},       // allow(no-wallclock) with no justification
+      {11, "no-wallclock"},    // ...so the violation stays reported
+      {17, "bad-allow"},       // allow(not-a-real-rule)
+      {18, "checked-errors"},  // ...and this one stays reported too
+  };
+  EXPECT_EQ(finding_set(findings), expected);
+}
+
+// --- plumbing --------------------------------------------------------------
+
+TEST(Plumbing, RuleNamesRoundTrip)
+{
+  for (std::size_t i = 0; i < mes::lint::kRuleCount; ++i) {
+    const auto r = static_cast<Rule>(i);
+    const auto back = mes::lint::rule_from_name(mes::lint::rule_name(r));
+    ASSERT_TRUE(back.has_value()) << mes::lint::rule_name(r);
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(mes::lint::rule_from_name("nope").has_value());
+}
+
+TEST(Plumbing, CppSourceFilter)
+{
+  EXPECT_TRUE(mes::lint::is_cpp_source("src/sim/simulator.cpp"));
+  EXPECT_TRUE(mes::lint::is_cpp_source("src/sim/simulator.h"));
+  EXPECT_FALSE(mes::lint::is_cpp_source("README.md"));
+  EXPECT_FALSE(mes::lint::is_cpp_source("plans/smoke.json"));
+}
+
+TEST(Plumbing, FindingsAreLineOrdered)
+{
+  const std::string text = read_fixture("checked_bad.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/channels/checked_bad.cpp", text);
+  ASSERT_FALSE(findings.empty());
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].line, findings[i].line);
+  }
+}
+
+}  // namespace

@@ -78,7 +78,7 @@ TEST(PageCache, VfsWriteDirtiesPagesThroughTheCache)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/f");
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
   const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
   ASSERT_GE(fd, 0);
   struct Runner {
@@ -103,7 +103,7 @@ TEST(PageCache, FsyncFlushesDirtyPagesPlusCommitRecord)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/f");
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
   const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
   ASSERT_GE(fd, 0);
   struct Runner {
@@ -130,8 +130,8 @@ TEST(PageCache, JournalCouplingFlushesForeignDirtyPages)
   // dirty page in the system. This is the Write+Sync receive path.
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/a");
-  w.vfs.create_file(0, "/b");
+  EXPECT_GT(w.vfs.create_file(0, "/a"), 0);
+  EXPECT_GT(w.vfs.create_file(0, "/b"), 0);
   const Fd fa = w.vfs.open(p, "/a", OpenMode::read_write);
   const Fd fb = w.vfs.open(p, "/b", OpenMode::read_write);
   ASSERT_GE(fa, 0);
@@ -157,8 +157,8 @@ TEST(PageCache, NoJournalCouplingLeavesForeignPagesToWriteback)
   params.journal_coupling = false;
   w.cache.configure(params);
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/a");
-  w.vfs.create_file(0, "/b");
+  EXPECT_GT(w.vfs.create_file(0, "/a"), 0);
+  EXPECT_GT(w.vfs.create_file(0, "/b"), 0);
   const Fd fa = w.vfs.open(p, "/a", OpenMode::read_write);
   const Fd fb = w.vfs.open(p, "/b", OpenMode::read_write);
   struct Runner {
@@ -189,8 +189,8 @@ TEST(PageCache, QueuedFsyncInflatesSecondCallersLatency)
     World w;
     Process& trojan = w.kernel.create_process("trojan", 0);
     Process& spy = w.kernel.create_process("spy", 0);
-    w.vfs.create_file(0, "/t");
-    w.vfs.create_file(0, "/s");
+    EXPECT_GT(w.vfs.create_file(0, "/t"), 0);
+    EXPECT_GT(w.vfs.create_file(0, "/s"), 0);
     const Fd ft = w.vfs.open(trojan, "/t", OpenMode::read_write);
     const Fd fs = w.vfs.open(spy, "/s", OpenMode::read_write);
     Duration latency = Duration::zero();
@@ -232,7 +232,7 @@ TEST(PageCache, DeviceTimelineIsFifo)
   // later after each flush, and never runs backwards.
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/f");
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
   const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
   struct Runner {
     static sim::Proc run(World& w, Process& p, Fd fd)
@@ -259,7 +259,7 @@ TEST(PageCache, WritebackDaemonExitsWhenCleanAndRespawns)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/f");
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
   const Fd fd = w.vfs.open(p, "/f", OpenMode::read_write);
   struct Runner {
     static sim::Proc run(World& w, Process& p, Fd fd)

@@ -54,7 +54,7 @@ TEST(Vfs, ReadOnlyFileRefusesWriteOpen)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/ro", /*read_only=*/true);
+  EXPECT_GT(w.vfs.create_file(0, "/ro", /*read_only=*/true), 0);
   EXPECT_EQ(w.vfs.open(p, "/ro", OpenMode::read_write), kErrAccess);
   EXPECT_GE(w.vfs.open(p, "/ro", OpenMode::read_only), 0);
 }
@@ -63,7 +63,7 @@ TEST(Vfs, EachOpenCreatesDistinctDescription)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/f");
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
   const Fd a = w.vfs.open(p, "/f");
   const Fd b = w.vfs.open(p, "/f");
   EXPECT_NE(p.lookup_fd(a), p.lookup_fd(b));
@@ -74,7 +74,7 @@ TEST(Vfs, DupSharesDescription)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/f");
+  EXPECT_GT(w.vfs.create_file(0, "/f"), 0);
   const Fd a = w.vfs.open(p, "/f");
   const Fd b = w.vfs.dup(p, a);
   EXPECT_GE(b, 0);
@@ -90,10 +90,10 @@ TEST(Vfs, DupSharesDescription)
 TEST(Vfs, SharedVolumeControlsCrossNamespaceVisibility)
 {
   World w;
-  Process& vm1 = w.kernel.create_process("vm1", 1);
+  w.kernel.create_process("vm1", 1);
   Process& vm2 = w.kernel.create_process("vm2", 2);
   // Shared volume: both namespaces resolve the same path.
-  w.vfs.create_file(1, "/shared/x");
+  EXPECT_GT(w.vfs.create_file(1, "/shared/x"), 0);
   EXPECT_GE(w.vfs.open(vm2, "/shared/x"), 0);
 
   // Private volumes: the path no longer resolves across.
@@ -101,7 +101,7 @@ TEST(Vfs, SharedVolumeControlsCrossNamespaceVisibility)
   w2.vfs.set_shared_volume(false);
   Process& a = w2.kernel.create_process("a", 1);
   Process& b = w2.kernel.create_process("b", 2);
-  w2.vfs.create_file(1, "/shared/x");
+  EXPECT_GT(w2.vfs.create_file(1, "/shared/x"), 0);
   EXPECT_GE(w2.vfs.open(a, "/shared/x"), 0);
   EXPECT_EQ(w2.vfs.open(b, "/shared/x"), kErrNoEntry);
 }
@@ -115,7 +115,7 @@ struct FlockWorld : World {
   Fd fb = -1;
   FlockWorld()
   {
-    vfs.create_file(0, "/lockfile", true, true);
+    EXPECT_GT(vfs.create_file(0, "/lockfile", true, true), 0);
     fa = vfs.open(a, "/lockfile");
     fb = vfs.open(b, "/lockfile");
   }
@@ -234,7 +234,7 @@ TEST(Flock, CloseReleasesLocksAndWakesWaiters)
       int rc = co_await vfs.flock(p, fd, FlockOp::exclusive);
       (void)rc;
       co_await k.sleep(p, Duration::us(200));
-      vfs.close(p, fd);  // close without unlock
+      (void)vfs.close(p, fd);  // close without unlock
     }
   };
   struct Waiter {
@@ -273,7 +273,7 @@ TEST(Flock, BadFdReported)
 TEST(Flock, FifoFairnessAmongWaiters)
 {
   World w;
-  w.vfs.create_file(0, "/q");
+  EXPECT_GT(w.vfs.create_file(0, "/q"), 0);
   Process& holder = w.kernel.create_process("holder", 0);
   const Fd fh = w.vfs.open(holder, "/q");
   std::vector<int> order;
@@ -493,7 +493,7 @@ TEST(Io, WritableFileAcceptsWrites)
 {
   World w;
   Process& p = w.kernel.create_process("p", 0);
-  w.vfs.create_file(0, "/rw", /*read_only=*/false);
+  EXPECT_GT(w.vfs.create_file(0, "/rw", /*read_only=*/false), 0);
   const Fd fd = w.vfs.open(p, "/rw", OpenMode::read_write);
   std::vector<long> results;
   struct Runner {
@@ -539,8 +539,9 @@ struct WritableLockWorld : World {
   Fd fb = -1;
   WritableLockWorld()
   {
-    vfs.create_file(0, "/wlock", /*read_only=*/false,
-                    /*mandatory_locking=*/true);
+    EXPECT_GT(vfs.create_file(0, "/wlock", /*read_only=*/false,
+                        /*mandatory_locking=*/true),
+              0);
     fa = vfs.open(a, "/wlock", OpenMode::read_write);
     fb = vfs.open(b, "/wlock", OpenMode::read_write);
   }

@@ -1,0 +1,879 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+
+namespace mes::lint {
+
+namespace {
+
+// ---------------------------------------------------------------- rules
+
+struct RuleInfo {
+  Rule rule;
+  std::string_view name;
+  std::string_view summary;
+};
+
+constexpr std::array<RuleInfo, kRuleCount> kRules{{
+    {Rule::no_wallclock, "no-wallclock",
+     "host clocks / entropy (steady_clock, system_clock, random_device, "
+     "rand, time) are banned outside src/native/ — simulated results must "
+     "never depend on the host"},
+    {Rule::no_unordered_iteration, "no-unordered-iteration",
+     "iterating an unordered_{map,set} on a result/emission path (exec, "
+     "proto, api, scenario, tools) leaks pointer nondeterminism into "
+     "CSV/JSON byte streams"},
+    {Rule::coro_lifetime, "coro-lifetime",
+     "Task/Proc coroutines must not take const-ref or rvalue-ref "
+     "parameters (temporaries dangle at the first suspend), must not be "
+     "by-reference-capturing lambdas, and handles are resumed only by the "
+     "simulator (Simulator::schedule_* / spawn)"},
+    {Rule::hot_path_pod, "hot-path-pod",
+     "structs marked `// mes-lint: hot-pod` (sim::Event, wait nodes) stay "
+     "POD: no std::function, virtual, or allocating containers — the "
+     "+600% event-dispatch win depends on it"},
+    {Rule::checked_errors, "checked-errors",
+     "error results of Vfs/Kernel calls (flock, lock_file_ex, fsync, "
+     "read, write, park, ...) must be consumed — kErrWouldBlock is a real "
+     "outcome under mandatory locking"},
+    {Rule::bad_allow, "bad-allow",
+     "malformed mes-lint directive (unknown rule name or allow() without "
+     "a justification); never suppressible"},
+}};
+
+// ------------------------------------------------------------- scrubber
+//
+// Pass 1 over the raw text: build a same-length "code view" where
+// comments, string/char literals and preprocessor lines are blanked to
+// spaces (newlines preserved, so token lines stay true), and collect
+// every comment for directive parsing.
+
+struct Comment {
+  std::size_t line;        // line the comment starts on (1-based)
+  bool code_before;        // non-whitespace code precedes it on that line
+  std::string text;        // comment body, delimiters stripped
+};
+
+struct ScrubResult {
+  std::string code;
+  std::vector<Comment> comments;
+};
+
+ScrubResult scrub(std::string_view text)
+{
+  ScrubResult out;
+  out.code.assign(text.size(), ' ');
+  std::size_t line = 1;
+  bool code_on_line = false;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto at = [&](std::size_t k) { return k < n ? text[k] : '\0'; };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      code_on_line = false;
+      ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '/') {
+      Comment com{line, code_on_line, {}};
+      i += 2;
+      while (i < n && text[i] != '\n') com.text.push_back(text[i++]);
+      out.comments.push_back(std::move(com));
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      Comment com{line, code_on_line, {}};
+      i += 2;
+      while (i < n && !(text[i] == '*' && at(i + 1) == '/')) {
+        if (text[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+          code_on_line = false;
+        }
+        com.text.push_back(text[i]);
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      out.comments.push_back(std::move(com));
+      continue;
+    }
+    if (c == '#' && !code_on_line) {
+      // Preprocessor directive: blank it (including continuations).
+      while (i < n) {
+        if (text[i] == '\n') {
+          if (i > 0 && text[i - 1] == '\\') {
+            out.code[i] = '\n';
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == 'R' && at(i + 1) == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, j);
+      end = end == std::string_view::npos ? n : end + close.size();
+      for (std::size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') {
+          out.code[k] = '\n';
+          ++line;
+        }
+      }
+      code_on_line = true;
+      i = end;
+      continue;
+    }
+    if (c == '\'' && i > 0 &&
+        (std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+         text[i - 1] == '_')) {
+      // Digit separator (1'000'000) — not a character literal.
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      code_on_line = true;
+      continue;
+    }
+    out.code[i] = c;
+    if (!std::isspace(static_cast<unsigned char>(c))) code_on_line = true;
+    ++i;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ tokenizer
+
+struct Token {
+  std::string_view text;
+  std::size_t line;
+  bool ident;  // identifier or keyword
+};
+
+std::vector<Token> tokenize(std::string_view code)
+{
+  std::vector<Token> toks;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < n) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident(code[j])) ++j;
+      toks.push_back({code.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuators the rules care about. `>>` is deliberately
+    // left as two tokens so template-argument matching stays simple.
+    if (c == ':' && i + 1 < n && code[i + 1] == ':') {
+      toks.push_back({code.substr(i, 2), line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && code[i + 1] == '>') {
+      toks.push_back({code.substr(i, 2), line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '&' && i + 1 < n && code[i + 1] == '&') {
+      toks.push_back({code.substr(i, 2), line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({code.substr(i, 1), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// ----------------------------------------------------------- directives
+
+struct Directives {
+  // line -> rules allowed on that line
+  std::vector<std::pair<std::size_t, Rule>> allows;
+  std::vector<std::size_t> hot_pod_lines;
+  std::vector<Finding> errors;  // bad-allow findings
+};
+
+// The line a comment-only directive applies to: the next line that
+// contains code (stacked comment lines skip through).
+std::size_t next_code_line(std::string_view code, std::size_t after)
+{
+  std::size_t line = 1;
+  std::size_t best = after + 1;
+  bool found = false;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (line > after && !found &&
+        !std::isspace(static_cast<unsigned char>(code[i]))) {
+      best = line;
+      found = true;
+      break;
+    }
+    if (code[i] == '\n') ++line;
+  }
+  return best;
+}
+
+std::string_view trim(std::string_view s)
+{
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Directives parse_directives(std::string_view path, const ScrubResult& scrubbed)
+{
+  Directives out;
+  for (const Comment& com : scrubbed.comments) {
+    // A directive is a comment that *starts* with `mes-lint:` — prose
+    // that merely mentions the syntax (docs, nested `// mes-lint: ...`
+    // examples) is not one.
+    std::string_view body = trim(com.text);
+    if (body.rfind("mes-lint:", 0) != 0) continue;
+    body = trim(body.substr(9));
+    if (body.rfind("hot-pod", 0) == 0) {
+      out.hot_pod_lines.push_back(com.line);
+      continue;
+    }
+    if (body.rfind("allow", 0) != 0) {
+      out.errors.push_back({std::string{path}, com.line, Rule::bad_allow,
+                            "unrecognized mes-lint directive: '" +
+                                std::string{body.substr(0, 40)} + "'"});
+      continue;
+    }
+    body.remove_prefix(5);
+    body = trim(body);
+    if (body.empty() || body.front() != '(') {
+      out.errors.push_back({std::string{path}, com.line, Rule::bad_allow,
+                            "allow directive needs (rule[, rule...])"});
+      continue;
+    }
+    const std::size_t close = body.find(')');
+    if (close == std::string_view::npos) {
+      out.errors.push_back({std::string{path}, com.line, Rule::bad_allow,
+                            "allow directive missing ')'"});
+      continue;
+    }
+    std::string_view rules = body.substr(1, close - 1);
+    const std::string_view reason = trim(body.substr(close + 1));
+
+    // A suppression must say *why*; reviewers read the reason, the
+    // checker only requires that one exists.
+    if (reason.empty()) {
+      out.errors.push_back({std::string{path}, com.line, Rule::bad_allow,
+                            "allow(" + std::string{rules} +
+                                ") has no justification — state why the "
+                                "finding is safe"});
+      continue;
+    }
+
+    const std::size_t target =
+        com.code_before ? com.line : next_code_line(scrubbed.code, com.line);
+    bool any = false;
+    while (!rules.empty()) {
+      const std::size_t comma = rules.find(',');
+      const std::string_view one = trim(rules.substr(0, comma));
+      rules = comma == std::string_view::npos ? std::string_view{}
+                                              : rules.substr(comma + 1);
+      if (one.empty()) continue;
+      const auto rule = rule_from_name(one);
+      if (!rule || *rule == Rule::bad_allow) {
+        out.errors.push_back({std::string{path}, com.line, Rule::bad_allow,
+                              "allow() names unknown rule '" +
+                                  std::string{one} + "'"});
+        continue;
+      }
+      out.allows.emplace_back(target, *rule);
+      any = true;
+    }
+    if (!any && out.errors.empty()) {
+      out.errors.push_back({std::string{path}, com.line, Rule::bad_allow,
+                            "allow() lists no rules"});
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- helpers
+
+bool starts_with(std::string_view s, std::string_view prefix)
+{
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Index of the matching closer for the opener at `open` (supports (), {},
+// <> and []); toks.size() if unbalanced.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view o, std::string_view c)
+{
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == c) {
+      --depth;
+      if (depth == 0) return i;
+    }
+    // Angle brackets never survive a statement end; bail so an operator<
+    // cannot swallow the rest of the file.
+    if (o == "<" && toks[i].text == ";") return toks.size();
+  }
+  return toks.size();
+}
+
+std::size_t prev_significant(std::size_t i) { return i == 0 ? 0 : i - 1; }
+
+// --------------------------------------------------------- rule engines
+
+class Linter {
+ public:
+  Linter(std::string_view path, const std::vector<Token>& toks)
+      : path_{path}, toks_{toks}
+  {
+  }
+
+  std::vector<Finding> run(const Directives& dirs)
+  {
+    rule_no_wallclock();
+    rule_no_unordered_iteration();
+    rule_coro_lifetime();
+    rule_hot_path_pod(dirs);
+    rule_checked_errors();
+    std::stable_sort(
+        findings_.begin(), findings_.end(),
+        [](const Finding& a, const Finding& b) { return a.line < b.line; });
+    return std::move(findings_);
+  }
+
+ private:
+  void add(std::size_t line, Rule rule, std::string message)
+  {
+    findings_.push_back({std::string{path_}, line, rule, std::move(message)});
+  }
+
+  const Token& tok(std::size_t i) const
+  {
+    static const Token sentinel{std::string_view{}, 0, false};
+    return i < toks_.size() ? toks_[i] : sentinel;
+  }
+
+  // ---- rule 1: no-wallclock -------------------------------------------
+  void rule_no_wallclock()
+  {
+    static const std::set<std::string_view> kAlwaysBanned{
+        "steady_clock",  "system_clock", "high_resolution_clock",
+        "random_device", "gettimeofday", "clock_gettime",
+        "timespec_get",  "localtime",    "gmtime",
+        "mktime",
+    };
+    // Common short names: only when *called*, and only unqualified or
+    // std-qualified (so member functions named time()/clock() on
+    // simulation types do not trip the rule).
+    static const std::set<std::string_view> kBannedCalls{
+        "time",
+        "clock",
+        "rand",
+        "srand",
+    };
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!toks_[i].ident) continue;
+      const std::string_view t = toks_[i].text;
+      if (kAlwaysBanned.count(t)) {
+        add(toks_[i].line, Rule::no_wallclock,
+            "'" + std::string{t} +
+                "' reads host time/entropy — simulated code must use "
+                "Simulator::now() or a seeded Rng (src/native/ is exempt)");
+        continue;
+      }
+      if (kBannedCalls.count(t) && tok(i + 1).text == "(") {
+        const Token& prev = tok(prev_significant(i));
+        if (i == 0 || (prev.text != "." && prev.text != "->" &&
+                       (prev.text != "::" ||
+                        (i >= 2 && toks_[i - 2].text == "std")))) {
+          // `::` qualification by anything but std is some other class's
+          // member; `.`/`->` is a member call on a simulation object.
+          if (prev.text == "::" && !(i >= 2 && toks_[i - 2].text == "std")) {
+            continue;
+          }
+          add(toks_[i].line, Rule::no_wallclock,
+              "call to '" + std::string{t} +
+                  "()' depends on the host — use the simulated clock or a "
+                  "seeded Rng");
+        }
+      }
+    }
+  }
+
+  // ---- rule 2: no-unordered-iteration ---------------------------------
+  void rule_no_unordered_iteration()
+  {
+    // Result/emission-affecting paths: anything that decides bits,
+    // timing, ordering, or bytes written to CSV/JSON.
+    static constexpr std::string_view kEmissionPaths[] = {
+        "src/exec/", "src/proto/", "src/api/", "src/scenario/", "tools/",
+    };
+    bool scoped = false;
+    for (const auto p : kEmissionPaths) {
+      if (starts_with(path_, p)) scoped = true;
+    }
+    if (!scoped) return;
+
+    static const std::set<std::string_view> kUnordered{
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+
+    // Pass 1: names declared (or returned) with an unordered type.
+    std::set<std::string_view> tainted;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!toks_[i].ident || !kUnordered.count(toks_[i].text)) continue;
+      std::size_t j = i + 1;
+      if (tok(j).text == "<") {
+        j = match_forward(toks_, j, "<", ">");
+        if (j >= toks_.size()) continue;
+        ++j;
+      }
+      while (tok(j).text == "&" || tok(j).text == "*" ||
+             tok(j).text == "const") {
+        ++j;
+      }
+      if (tok(j).ident) tainted.insert(tok(j).text);
+    }
+
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      // Range-for whose sequence mentions a tainted name.
+      if (toks_[i].ident && toks_[i].text == "for" && tok(i + 1).text == "(") {
+        const std::size_t close = match_forward(toks_, i + 1, "(", ")");
+        std::size_t colon = toks_.size();
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (toks_[k].text == ":") {
+            colon = k;
+            break;
+          }
+        }
+        for (std::size_t k = colon + 1; k < close; ++k) {
+          if (toks_[k].ident && tainted.count(toks_[k].text)) {
+            add(toks_[i].line, Rule::no_unordered_iteration,
+                "range-for over unordered container '" +
+                    std::string{toks_[k].text} +
+                    "' — iteration order is pointer-nondeterministic; use "
+                    "std::map/std::set or sort a copy first");
+            break;
+          }
+        }
+      }
+      // Explicit iterator walk: tainted.begin() and friends.
+      if (toks_[i].ident && tainted.count(toks_[i].text) &&
+          (tok(i + 1).text == "." || tok(i + 1).text == "->")) {
+        static const std::set<std::string_view> kIter{
+            "begin", "cbegin", "rbegin", "crbegin", "end", "cend"};
+        if (kIter.count(tok(i + 2).text) && tok(i + 3).text == "(") {
+          add(toks_[i].line, Rule::no_unordered_iteration,
+              "iterator over unordered container '" +
+                  std::string{toks_[i].text} +
+                  "' — iteration order is pointer-nondeterministic; use "
+                  "std::map/std::set or sort a copy first");
+        }
+      }
+    }
+  }
+
+  // ---- rule 3: coro-lifetime ------------------------------------------
+  void rule_coro_lifetime()
+  {
+    scan_coroutine_signatures();
+    scan_ref_capture_lambda_coroutines();
+    scan_raw_resumes();
+  }
+
+  // Task<...> name(params) / Proc name(params): const-ref and rvalue-ref
+  // parameters can bind temporaries that die at the caller's first
+  // suspension point, leaving the coroutine frame with a dangling
+  // reference. Mutable lvalue refs (`Process&`) cannot bind temporaries
+  // and are the house idiom for kernel-owned objects, so they pass.
+  void scan_coroutine_signatures()
+  {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!toks_[i].ident) continue;
+      std::size_t name_at = 0;
+      if (toks_[i].text == "Task" && tok(i + 1).text == "<") {
+        const std::size_t close = match_forward(toks_, i + 1, "<", ">");
+        if (close >= toks_.size()) continue;
+        name_at = close + 1;
+      } else if (toks_[i].text == "Proc") {
+        name_at = i + 1;
+      } else {
+        continue;
+      }
+      // Qualified definitions: Task<int> Vfs::flock(...).
+      while (tok(name_at).ident && tok(name_at + 1).text == "::") {
+        name_at += 2;
+      }
+      if (!tok(name_at).ident || tok(name_at + 1).text != "(") continue;
+      const std::string fn{tok(name_at).text};
+      const std::size_t open = name_at + 1;
+      const std::size_t close = match_forward(toks_, open, "(", ")");
+      if (close >= toks_.size()) continue;
+
+      std::size_t param_start = open + 1;
+      int depth = 0;
+      for (std::size_t k = open + 1; k <= close; ++k) {
+        if (tok(k).text == "(" || tok(k).text == "<" || tok(k).text == "[") {
+          ++depth;
+        }
+        if (tok(k).text == ")" || tok(k).text == ">" || tok(k).text == "]") {
+          --depth;
+        }
+        if ((tok(k).text == "," && depth == 0) || k == close) {
+          check_coro_param(fn, param_start, k);
+          param_start = k + 1;
+        }
+      }
+    }
+  }
+
+  void check_coro_param(const std::string& fn, std::size_t first,
+                        std::size_t last)
+  {
+    if (first >= last) return;
+    bool saw_const = false;
+    for (std::size_t k = first; k < last; ++k) {
+      if (tok(k).text == "=") break;  // default argument expression
+      if (tok(k).text == "const") saw_const = true;
+      if (tok(k).text == "&&") {
+        add(tok(k).line, Rule::coro_lifetime,
+            "coroutine '" + fn +
+                "' takes an rvalue-reference parameter — the temporary it "
+                "binds dies at the first suspension; take it by value");
+        return;
+      }
+      if (tok(k).text == "&" && saw_const) {
+        add(tok(k).line, Rule::coro_lifetime,
+            "coroutine '" + fn +
+                "' takes a const-reference parameter — a temporary bound "
+                "here dangles after the first suspension; take it by value");
+        return;
+      }
+    }
+  }
+
+  // A lambda whose capture list takes anything by reference and whose
+  // body contains co_await/co_return/co_yield: the captures live in the
+  // lambda object, which is typically destroyed long before the
+  // coroutine frame finishes.
+  void scan_ref_capture_lambda_coroutines()
+  {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (toks_[i].text != "[") continue;
+      if (i > 0) {
+        const Token& p = toks_[i - 1];
+        // Subscript, not a lambda introducer.
+        if (p.ident || p.text == "]" || p.text == ")") continue;
+      }
+      const std::size_t close = match_forward(toks_, i, "[", "]");
+      if (close >= toks_.size()) continue;
+      bool by_ref = false;
+      for (std::size_t k = i + 1; k < close; ++k) {
+        if (tok(k).text == "&" || tok(k).text == "&&") by_ref = true;
+      }
+      if (!by_ref) continue;
+      // Skip optional parameter list / specifiers, find the body.
+      std::size_t j = close + 1;
+      if (tok(j).text == "(") {
+        j = match_forward(toks_, j, "(", ")");
+        if (j >= toks_.size()) continue;
+        ++j;
+      }
+      while (j < toks_.size() && tok(j).text != "{" && tok(j).text != ";") {
+        ++j;
+      }
+      if (tok(j).text != "{") continue;
+      const std::size_t body_end = match_forward(toks_, j, "{", "}");
+      for (std::size_t k = j; k < body_end; ++k) {
+        if (tok(k).text == "co_await" || tok(k).text == "co_return" ||
+            tok(k).text == "co_yield") {
+          add(toks_[i].line, Rule::coro_lifetime,
+              "coroutine lambda captures by reference — the closure dies "
+              "before the frame resumes; capture by value or pass state as "
+              "a parameter");
+          break;
+        }
+      }
+    }
+  }
+
+  // Detached handles flow through the simulator: a raw .resume() outside
+  // src/sim/ bypasses the event queue's ordering and reentrancy
+  // guarantees (see sim/task.h on why inline resumption breaks frames).
+  void scan_raw_resumes()
+  {
+    if (starts_with(path_, "src/sim/")) return;
+    for (std::size_t i = 2; i < toks_.size(); ++i) {
+      if (toks_[i].ident && toks_[i].text == "resume" &&
+          (toks_[i - 1].text == "." || toks_[i - 1].text == "->") &&
+          tok(i + 1).text == "(") {
+        add(toks_[i].line, Rule::coro_lifetime,
+            "raw coroutine resume() outside the simulator — route resumes "
+            "through Simulator::schedule_resume/spawn so event ordering "
+            "stays deterministic");
+      }
+    }
+  }
+
+  // ---- rule 4: hot-path-pod -------------------------------------------
+  void rule_hot_path_pod(const Directives& dirs)
+  {
+    for (const std::size_t marker : dirs.hot_pod_lines) {
+      // First struct/class declared at or after the marker line.
+      std::size_t decl = toks_.size();
+      for (std::size_t i = 0; i < toks_.size(); ++i) {
+        if (toks_[i].line >= marker && toks_[i].ident &&
+            (toks_[i].text == "struct" || toks_[i].text == "class")) {
+          decl = i;
+          break;
+        }
+      }
+      if (decl >= toks_.size()) continue;
+      const std::string name{tok(decl + 1).text};
+      std::size_t open = decl;
+      while (open < toks_.size() && tok(open).text != "{" &&
+             tok(open).text != ";") {
+        ++open;
+      }
+      if (tok(open).text != "{") continue;
+      const std::size_t close = match_forward(toks_, open, "{", "}");
+
+      static const std::set<std::string_view> kBannedTypes{
+          "function",       "vector",
+          "deque",          "list",
+          "string",         "basic_string",
+          "map",            "set",
+          "multimap",       "multiset",
+          "unordered_map",  "unordered_set",
+          "unordered_multimap", "unordered_multiset",
+          "shared_ptr",     "unique_ptr",
+          "weak_ptr",
+      };
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (!tok(k).ident) continue;
+        const std::string_view t = tok(k).text;
+        if (t == "virtual") {
+          add(tok(k).line, Rule::hot_path_pod,
+              "'virtual' inside hot-pod struct '" + name +
+                  "' — indirect dispatch on the event hot path");
+          continue;
+        }
+        if (t == "new") {
+          add(tok(k).line, Rule::hot_path_pod,
+              "allocation inside hot-pod struct '" + name + "'");
+          continue;
+        }
+        if (kBannedTypes.count(t) && tok(k + 1).text != "(") {
+          add(tok(k).line, Rule::hot_path_pod,
+              "allocating/indirect member type '" + std::string{t} +
+                  "' inside hot-pod struct '" + name +
+                  "' — wait nodes and events must stay POD (pool cold "
+                  "payloads in a side table instead)");
+        }
+      }
+    }
+  }
+
+  // ---- rule 5: checked-errors -----------------------------------------
+  void rule_checked_errors()
+  {
+    // Awaited calls whose co_await result is an error/outcome code.
+    static const std::set<std::string_view> kAwaited{
+        "flock", "lock_file_ex", "unlock_file_ex", "fsync",
+        "read",  "write",        "park",           "sigwait",
+    };
+    // Plain calls with distinctive names returning an error/bool that
+    // the compiler's [[nodiscard]] cannot see through older call shapes.
+    static const std::set<std::string_view> kPlain{
+        "create_file",
+        "wake",
+    };
+    static const std::set<std::string_view> kStatementStart{
+        ";", "{", "}", ")", "else", "do", ":",
+    };
+
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const bool at_start =
+          i == 0 || kStatementStart.count(toks_[i - 1].text) > 0;
+      if (!at_start) continue;
+
+      if (toks_[i].text == "co_await") {
+        // Find the last depth-0 call name between here and the ';'.
+        std::string_view call;
+        int depth = 0;
+        for (std::size_t k = i + 1; k < toks_.size(); ++k) {
+          const std::string_view t = tok(k).text;
+          if (t == ";" && depth == 0) break;
+          if (t == "(" || t == "[") ++depth;
+          if (t == ")" || t == "]") --depth;
+          if (depth == 0 && tok(k).ident && tok(k + 1).text == "(") {
+            call = t;
+          }
+        }
+        if (!call.empty() && kAwaited.count(call)) {
+          add(toks_[i].line, Rule::checked_errors,
+              "result of 'co_await " + std::string{call} +
+                  "(...)' is discarded — check the error/outcome "
+                  "(kErrWouldBlock and timeouts are real results)");
+        }
+        continue;
+      }
+
+      // ident(.ident|->ident)* ending in a checked plain call, as a
+      // whole statement: obj.create_file(...);
+      if (!toks_[i].ident || toks_[i].text == "return") continue;
+      // `(void)call(...)` is an explicit, visible discard — accepted.
+      if (i >= 3 && toks_[i - 1].text == ")" && toks_[i - 2].text == "void" &&
+          toks_[i - 3].text == "(") {
+        continue;
+      }
+      std::size_t k = i;
+      std::string_view last_name = toks_[k].text;
+      while (tok(k + 1).text == "." || tok(k + 1).text == "->" ||
+             tok(k + 1).text == "::") {
+        if (!tok(k + 2).ident) break;
+        last_name = tok(k + 2).text;
+        k += 2;
+        if (tok(k + 1).text == "(" && tok(k + 2).text == ")" &&
+            (tok(k + 3).text == "." || tok(k + 3).text == "->")) {
+          k += 2;  // chained nullary call: kernel.vfs().create_file(...)
+        }
+      }
+      if (tok(k + 1).text != "(" || !kPlain.count(last_name)) continue;
+      const std::size_t close = match_forward(toks_, k + 1, "(", ")");
+      if (close < toks_.size() && tok(close + 1).text == ";") {
+        add(toks_[i].line, Rule::checked_errors,
+            "error result of '" + std::string{last_name} +
+                "(...)' is discarded — assign and check it (cast through "
+                "(void) only with an explicit reason)");
+      }
+    }
+  }
+
+  std::string_view path_;
+  const std::vector<Token>& toks_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ public api
+
+std::string_view rule_name(Rule r)
+{
+  for (const auto& info : kRules) {
+    if (info.rule == r) return info.name;
+  }
+  return "?";
+}
+
+std::string_view rule_summary(Rule r)
+{
+  for (const auto& info : kRules) {
+    if (info.rule == r) return info.summary;
+  }
+  return {};
+}
+
+std::optional<Rule> rule_from_name(std::string_view name)
+{
+  for (const auto& info : kRules) {
+    if (info.name == name) return info.rule;
+  }
+  return std::nullopt;
+}
+
+Options default_options()
+{
+  Options o;
+  // The native tier's entire purpose is reading the host clock.
+  o.allow_paths.push_back({Rule::no_wallclock, "src/native/"});
+  return o;
+}
+
+bool is_cpp_source(std::string_view path)
+{
+  for (const std::string_view ext : {".cpp", ".cc", ".cxx", ".h", ".hpp"}) {
+    if (path.size() > ext.size() &&
+        path.substr(path.size() - ext.size()) == ext) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                 const Options& opts)
+{
+  const ScrubResult scrubbed = scrub(text);
+  const Directives dirs = parse_directives(path, scrubbed);
+  const std::vector<Token> toks = tokenize(scrubbed.code);
+
+  std::vector<Finding> raw = Linter{path, toks}.run(dirs);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    bool allowed = false;
+    for (const auto& [line, rule] : dirs.allows) {
+      if (line == f.line && rule == f.rule) allowed = true;
+    }
+    for (const auto& pa : opts.allow_paths) {
+      if (pa.rule == f.rule && starts_with(path, pa.prefix)) allowed = true;
+    }
+    if (!allowed) out.push_back(std::move(f));
+  }
+  for (const Finding& e : dirs.errors) out.push_back(e);
+  std::stable_sort(
+      out.begin(), out.end(),
+      [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return out;
+}
+
+}  // namespace mes::lint

@@ -1,0 +1,90 @@
+// mes_lint — the repo's determinism / coroutine-lifetime invariant checker.
+//
+// Every guarantee the reproduction sells — bit-identical `--jobs 1` vs
+// `--jobs N` campaigns, seed-stable noise streams, safe bare-handle
+// coroutine resumes on the event hot path — used to be enforced only by
+// convention and golden files. This library turns the written-down
+// invariants into named, suppressible build failures. It is a
+// token-level (AST-lite) scanner: no libclang, no compiler dependency,
+// deterministic output, fast enough to run as a tier-1 test.
+//
+// Rules (see TESTING.md "Static analysis & sanitizers" for the full
+// catalogue with rationale):
+//
+//   no-wallclock            host time / entropy sources outside src/native/
+//   no-unordered-iteration  iterating unordered_{map,set} on emission paths
+//   coro-lifetime           dangling-prone coroutine signatures, raw resumes
+//   hot-path-pod            allocating/indirect members in hot-pod structs
+//   checked-errors          discarded error results from Vfs/Kernel calls
+//
+// Suppression: a finding is allowed by an inline comment on the same
+// line (or a comment-only line directly above):
+//
+//     // mes-lint: allow(rule-name[, rule-name...]) <justification>
+//
+// The justification is mandatory; an allow() without one is itself
+// reported (rule "bad-allow", which cannot be suppressed). Structs are
+// opted into hot-path-pod with a `// mes-lint: hot-pod` comment
+// immediately above the struct/class declaration.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mes::lint {
+
+enum class Rule {
+  no_wallclock,
+  no_unordered_iteration,
+  coro_lifetime,
+  hot_path_pod,
+  checked_errors,
+  // Malformed `mes-lint:` directives (unknown rule name, missing
+  // justification). Internal; never suppressible.
+  bad_allow,
+};
+
+inline constexpr std::size_t kRuleCount = 6;
+
+std::string_view rule_name(Rule r);
+std::string_view rule_summary(Rule r);  // one-line rationale (--list-rules)
+std::optional<Rule> rule_from_name(std::string_view name);
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  Rule rule = Rule::bad_allow;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+struct Options {
+  // Findings of `rule` in files whose repo-relative path starts with
+  // `prefix` are exempt (the path allowlist — distinct from inline
+  // suppressions, which carry a per-site justification).
+  struct PathAllow {
+    Rule rule;
+    std::string prefix;
+  };
+  std::vector<PathAllow> allow_paths;
+};
+
+// The canonical configuration: src/native/ may read the host clock
+// (that is the whole point of the native tier).
+Options default_options();
+
+// True for the C++ source extensions the tree uses.
+bool is_cpp_source(std::string_view path);
+
+// Lints one translation unit. `path` is the repo-relative path — it
+// drives the path-scoped rules (src/native/ exemption, emission-path
+// set for no-unordered-iteration, src/sim/ exemption for raw resumes)
+// and is copied into each finding. Findings are ordered by line.
+std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                 const Options& opts = default_options());
+
+}  // namespace mes::lint

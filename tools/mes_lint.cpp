@@ -1,0 +1,148 @@
+// mes_lint — determinism / coroutine-lifetime invariant checker (CLI).
+//
+//   mes_lint [--root DIR] [--allow RULE:PATH-PREFIX]... [PATH...]
+//   mes_lint --list-rules
+//
+// PATHs are repo-relative files or directories (default: src bench
+// tools). Directories are walked recursively; only C++ sources are
+// scanned. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+// The tree invariants it enforces, the suppression syntax and the
+// rationale for each rule are documented in TESTING.md ("Static
+// analysis & sanitizers") and tools/lint/lint.h.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(std::ostream& os, int code)
+{
+  os << "usage: mes_lint [--root DIR] [--allow RULE:PATH-PREFIX]...\n"
+        "                [--list-rules] [PATH...]\n"
+        "PATHs default to: src bench tools (repo-relative).\n"
+        "Suppress a finding in-line with:\n"
+        "  // mes-lint: allow(rule-name) <justification>\n";
+  return code;
+}
+
+void list_rules()
+{
+  using mes::lint::Rule;
+  for (std::size_t i = 0; i < mes::lint::kRuleCount; ++i) {
+    const auto r = static_cast<Rule>(i);
+    std::cout << mes::lint::rule_name(r) << "\n    "
+              << mes::lint::rule_summary(r) << "\n";
+  }
+}
+
+// Repo-relative path with forward slashes (rule scoping is prefix-based).
+std::string rel_path(const fs::path& root, const fs::path& p)
+{
+  std::string s = p.lexically_relative(root).generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  mes::lint::Options opts = mes::lint::default_options();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    }
+    if (arg == "--root") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      root = argv[i];
+      continue;
+    }
+    if (arg == "--allow") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      const std::string spec = argv[i];
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "mes_lint: --allow wants RULE:PATH-PREFIX, got '" << spec
+                  << "'\n";
+        return 2;
+      }
+      const auto rule = mes::lint::rule_from_name(spec.substr(0, colon));
+      if (!rule) {
+        std::cerr << "mes_lint: unknown rule '" << spec.substr(0, colon)
+                  << "' (see --list-rules)\n";
+        return 2;
+      }
+      opts.allow_paths.push_back({*rule, spec.substr(colon + 1)});
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mes_lint: unknown flag '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+    targets.push_back(arg);
+  }
+  if (targets.empty()) targets = {"src", "bench", "tools"};
+
+  std::vector<fs::path> files;
+  for (const std::string& t : targets) {
+    const fs::path p = root / t;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() &&
+            mes::lint::is_cpp_source(entry.path().generic_string())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "mes_lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  // Directory iteration order is unspecified; findings must not be.
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) {
+      std::cerr << "mes_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string rel = rel_path(root, file);
+    for (const auto& f : mes::lint::lint_source(rel, text, opts)) {
+      std::cout << f.path << ":" << f.line << ": ["
+                << mes::lint::rule_name(f.rule) << "] " << f.message << "\n";
+      ++findings;
+    }
+  }
+
+  if (findings) {
+    std::cout << "mes_lint: " << findings << " finding(s) in " << files.size()
+              << " file(s) scanned — fix, or suppress in-line with "
+                 "`// mes-lint: allow(<rule>) <why>`\n";
+    return 1;
+  }
+  std::cout << "mes_lint: clean (" << files.size() << " files scanned)\n";
+  return 0;
+}
