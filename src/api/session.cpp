@@ -132,7 +132,11 @@ ChannelReport Session::transfer(const BitVec& payload)
         opt.calibration = calibration_options_from(spec_);
         opt.drift = drift_options_from(spec_);
         proto::Calibration cal;
-        rep = proto::run_adaptive_transmission(cfg, payload, opt, &cal);
+        if (spec_.link.calibration == CalibrationPolicy::warm) {
+          rep = transfer_adaptive_warm(cfg, payload, opt, &cal);
+        } else {
+          rep = proto::run_adaptive_transmission(cfg, payload, opt, &cal);
+        }
         calibration_ = std::move(cal);
         bond_.reset();
         break;
@@ -160,6 +164,59 @@ ChannelReport Session::transfer(const BitVec& payload)
   }
   last_report_ = rep;
   return last_report_;
+}
+
+void Session::share_calibration(
+    std::shared_ptr<proto::CalibrationCache> cache, std::string key,
+    std::optional<bool> leader)
+{
+  cal_cache_ = std::move(cache);
+  cal_key_ = std::move(key);
+  cal_leader_ = leader;
+}
+
+ChannelReport Session::transfer_adaptive_warm(const ExperimentConfig& cfg,
+                                              const BitVec& payload,
+                                              const proto::AdaptiveOptions& opt,
+                                              proto::Calibration* cal)
+{
+  if (!cal_cache_) cal_cache_ = std::make_shared<proto::CalibrationCache>();
+  // The key excludes the seed, so every transfer of this session (and
+  // every same-link cell sharing the cache) maps to one entry.
+  const std::string key =
+      cal_key_.empty()
+          ? proto::CalibrationCache::key_for(cfg, spec_.link.probe_symbols,
+                                             spec_.link.min_margin)
+          : cal_key_;
+  const bool leader =
+      cal_leader_.has_value() ? *cal_leader_ : cal_cache_->claim(key);
+
+  if (leader) {
+    // The leader always publishes — a success, a calibration failure,
+    // or (via the catch) an escaping exception — so a follower blocked
+    // in wait() can never hang on this key.
+    ChannelReport rep;
+    try {
+      rep = proto::run_adaptive_transmission(cfg, payload, opt, cal);
+    } catch (...) {
+      cal_cache_->publish_failure(key);
+      throw;
+    }
+    if (cal->ok) {
+      cal_cache_->publish(
+          key, {cal->grid_index, cal->margin, cal->symbol_error});
+    } else {
+      cal_cache_->publish_failure(key);
+    }
+    return rep;
+  }
+
+  const std::optional<proto::CalibrationPick> pick = cal_cache_->wait(key);
+  if (!pick) {
+    // Leader's sweep failed: run independently (source stays full).
+    return proto::run_adaptive_transmission(cfg, payload, opt, cal);
+  }
+  return proto::run_adaptive_transmission_warm(cfg, payload, opt, *pick, cal);
 }
 
 bool Session::send(const std::vector<std::uint8_t>& bytes)

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "core/metrics.h"
 #include "proto/adaptive.h"
 #include "proto/bond.h"
+#include "proto/cal_cache.h"
 
 namespace mes::api {
 
@@ -103,8 +105,24 @@ class Session {
   // report. Buffered recv() bytes stay readable.
   void close();
 
+  // Attaches a calibration cache shared with other sessions (the
+  // campaign runner's cross-cell wiring). Only warm adaptive transfers
+  // consult it. `key` pins the cache key (empty = derived from the
+  // resolved config); `leader` pins the role — the campaign's
+  // deterministic leader-cell scheme — while nullopt lets the first
+  // claimant lead (the single-session default, where transfer 0 leads
+  // and later transfers warm-start from its pick).
+  void share_calibration(std::shared_ptr<proto::CalibrationCache> cache,
+                         std::string key = {},
+                         std::optional<bool> leader = std::nullopt);
+
  private:
   Session() = default;
+
+  ChannelReport transfer_adaptive_warm(const ExperimentConfig& cfg,
+                                       const BitVec& payload,
+                                       const proto::AdaptiveOptions& opt,
+                                       proto::Calibration* cal);
 
   SessionSpec spec_;
   ExperimentConfig config_;  // from_specs(spec_), resolved once
@@ -117,6 +135,12 @@ class Session {
   std::optional<proto::BondReport> bond_;
   TraceOut trace_;
   std::vector<std::uint8_t> rx_buffer_;
+
+  // Warm calibration reuse (lazily self-created when no cache was
+  // shared, so repeated warm transfers reuse transfer 0's pick).
+  std::shared_ptr<proto::CalibrationCache> cal_cache_;
+  std::string cal_key_;
+  std::optional<bool> cal_leader_;
 };
 
 }  // namespace mes::api

@@ -184,6 +184,13 @@ std::optional<ProtocolMode> parse_protocol(std::string_view name)
   return std::nullopt;
 }
 
+std::optional<CalibrationPolicy> parse_calibration(std::string_view name)
+{
+  if (name == "full") return CalibrationPolicy::full;
+  if (name == "warm") return CalibrationPolicy::warm;
+  return std::nullopt;
+}
+
 const char* fairness_key(os::LockFairness f)
 {
   return f == os::LockFairness::fair ? "fair" : "unfair";
@@ -306,6 +313,7 @@ Json LinkSpec::to_json() const
   obj.set("probe_symbols",
           Json::number(static_cast<std::uint64_t>(probe_symbols)));
   obj.set("min_margin", Json::number(min_margin));
+  obj.set("calibration", Json::str(to_string(calibration)));
   obj.set("drift", Json::boolean(drift));
   obj.set("drift_trigger_rounds",
           Json::number(static_cast<std::uint64_t>(drift_trigger_rounds)));
@@ -319,8 +327,9 @@ LinkSpec LinkSpec::from_json(const Json& j)
 {
   reject_unknown_keys(j, "link",
                       {"timing", "symbol_bits", "sync_bits", "probe_symbols",
-                       "min_margin", "drift", "drift_trigger_rounds",
-                       "drift_max_recalibrations", "pairs"});
+                       "min_margin", "calibration", "drift",
+                       "drift_trigger_rounds", "drift_max_recalibrations",
+                       "pairs"});
   LinkSpec s;
   if (const Json* t = j.find("timing"); t != nullptr && !t->is_null()) {
     if (t->is_string()) {
@@ -340,6 +349,8 @@ LinkSpec LinkSpec::from_json(const Json& j)
   s.sync_bits = read_size(j, "sync_bits", s.sync_bits);
   s.probe_symbols = read_size(j, "probe_symbols", s.probe_symbols);
   s.min_margin = read_double(j, "min_margin", s.min_margin);
+  s.calibration = read_enum(j, "calibration", s.calibration,
+                            parse_calibration, "calibration policy");
   s.drift = read_bool(j, "drift", s.drift);
   s.drift_trigger_rounds =
       read_size(j, "drift_trigger_rounds", s.drift_trigger_rounds);
@@ -445,6 +456,7 @@ SessionSpec to_specs(const ExperimentConfig& cfg, std::size_t pairs)
   spec.link.timing->symbol_bits = 1;
   spec.link.symbol_bits = cfg.timing.symbol_bits;
   spec.link.sync_bits = cfg.sync_bits;
+  spec.link.calibration = cfg.calibration;
   spec.link.pairs = pairs == 0 ? 1 : pairs;
 
   // expand() forces bonded cells to the adaptive stack; the lifted spec
@@ -487,6 +499,7 @@ ExperimentConfig from_specs(const SessionSpec& spec)
                    : paper_timeset(cfg.mechanism, cfg.scenario);
   cfg.timing.symbol_bits = spec.link.symbol_bits;
   cfg.sync_bits = spec.link.sync_bits;
+  cfg.calibration = spec.link.calibration;
 
   cfg.protocol = spec.protocol;
   return cfg;

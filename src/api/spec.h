@@ -57,6 +57,8 @@ std::optional<HypervisorType> parse_hypervisor(std::string_view name);
 
 std::optional<ProtocolMode> parse_protocol(std::string_view name);
 
+std::optional<CalibrationPolicy> parse_calibration(std::string_view name);
+
 const char* fairness_key(os::LockFairness f);  // "fair" | "unfair"
 std::optional<os::LockFairness> parse_fairness(std::string_view name);
 
@@ -93,6 +95,11 @@ struct LinkSpec {
   // Calibration policy (adaptive and bonded sessions).
   std::size_t probe_symbols = 256;
   double min_margin = 1.0;
+  // full = every transfer sweeps the whole rate grid (the default —
+  // byte-identical to the pre-cache behaviour); warm = reuse a pick
+  // published for the same link key (proto/cal_cache.h) when one is
+  // available. Bonded links (pairs > 1) always calibrate fully.
+  CalibrationPolicy calibration = CalibrationPolicy::full;
   // Drift policy (adaptive sessions; proto/drift).
   bool drift = true;
   std::size_t drift_trigger_rounds = 3;

@@ -67,6 +67,21 @@ const char* to_string(ProtocolMode p)
   return "?";
 }
 
+const char* to_string(CalibrationPolicy p)
+{
+  return p == CalibrationPolicy::warm ? "warm" : "full";
+}
+
+const char* to_string(CalibrationSource s)
+{
+  switch (s) {
+    case CalibrationSource::full: return "full";
+    case CalibrationSource::warm: return "warm";
+    case CalibrationSource::fallback: return "fallback";
+  }
+  return "?";
+}
+
 TimingConfig scale_timing(const TimingConfig& t, double factor)
 {
   TimingConfig out = t;

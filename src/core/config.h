@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "scenario/profile.h"
@@ -73,5 +74,24 @@ TimingConfig scale_timing(const TimingConfig& t, double factor);
 enum class ProtocolMode { fixed, arq, adaptive };
 
 const char* to_string(ProtocolMode p);
+
+// How the adaptive layer calibrates:
+//  * full — the complete rate-grid sweep plus ARQ refinement trials,
+//           independent of every other cell (the default; byte-identical
+//           to the pre-cache behaviour);
+//  * warm — reuse a published pick for the same link key when one is
+//           available, probing only the cached grid index (± one
+//           neighbor on disagreement) and falling back to the full
+//           sweep if the confirm probe disagrees.
+enum class CalibrationPolicy : std::uint8_t { full, warm };
+
+// Where a cell's calibration pick actually came from (reporting):
+//  * full     — full sweep (policy full, or a warm leader/cache miss);
+//  * warm     — warm start confirmed the cached pick;
+//  * fallback — warm start disagreed and completed the full sweep.
+enum class CalibrationSource : std::uint8_t { full, warm, fallback };
+
+const char* to_string(CalibrationPolicy p);
+const char* to_string(CalibrationSource s);
 
 }  // namespace mes

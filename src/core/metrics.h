@@ -48,6 +48,9 @@ struct ChannelReport {
     double calibration_margin = 0.0;  // level separation / jitter
     Duration calibration_time = Duration::zero();
     std::size_t calibration_probes = 0;
+    // Where the pick came from: full sweep, confirmed warm start, or a
+    // warm start that disagreed and fell back to the full sweep.
+    CalibrationSource calibration_source = CalibrationSource::full;
     // Bonded mode only (proto/bond): sub-channel accounting. pairs is
     // the live (calibrated) count, pairs_requested what the plan asked
     // for; rebalances counts stripes re-queued off drained sub-channels.

@@ -39,6 +39,12 @@ struct ExperimentConfig {
   // can put the protocol on a plan axis.
   ProtocolMode protocol = ProtocolMode::fixed;
 
+  // Adaptive mode only: whether calibration may warm-start from a
+  // published pick for the same link key (proto/cal_cache.h). `full`
+  // keeps every cell independent and byte-identical to the pre-cache
+  // behaviour.
+  CalibrationPolicy calibration = CalibrationPolicy::full;
+
   // Per-iteration protocol-loop cost ("irrelevant instructions").
   Duration loop_cost = Duration::us(5.0);
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "api/session.h"
 #include "api/spec.h"
@@ -371,6 +372,28 @@ std::vector<CampaignCell> expand(const ExperimentPlan& plan)
   return cells;
 }
 
+void assign_calibration_leaders(std::vector<CampaignCell>& cells)
+{
+  // The key must match what Session::transfer derives for the cell: the
+  // legacy adapter (to_specs) leaves the probe options at the LinkSpec
+  // defaults, so those are what the key carries.
+  const api::LinkSpec link_defaults;
+  // Lookup-only key set (never iterated).
+  std::unordered_set<std::string> seen;
+  for (CampaignCell& cell : cells) {
+    cell.calibration_key.clear();
+    cell.calibration_leader = false;
+    if (cell.config.calibration != CalibrationPolicy::warm) continue;
+    if (cell.config.protocol != ProtocolMode::adaptive) continue;
+    // Bonded links calibrate every sub-channel internally (proto/bond);
+    // they stay outside the reuse scheme.
+    if (cell.bond_pairs > 1) continue;
+    cell.calibration_key = proto::CalibrationCache::key_for(
+        cell.config, link_defaults.probe_symbols, link_defaults.min_margin);
+    cell.calibration_leader = seen.insert(cell.calibration_key).second;
+  }
+}
+
 BitVec cell_payload(const CampaignCell& cell)
 {
   Rng payload_rng{cell.config.seed ^ 0xabcdef12345ULL};
@@ -395,6 +418,17 @@ ChannelReport run_cell(const CampaignCell& cell)
   return session.transfer(cell_payload(cell));
 }
 
+ChannelReport run_cell(const CampaignCell& cell,
+                       const std::shared_ptr<proto::CalibrationCache>& cache)
+{
+  if (!cache || cell.calibration_key.empty()) return run_cell(cell);
+  api::Session session =
+      api::Session::open(api::to_specs(cell.config, cell.bond_pairs));
+  session.share_calibration(cache, cell.calibration_key,
+                            cell.calibration_leader);
+  return session.transfer(cell_payload(cell));
+}
+
 CampaignRunner::CampaignRunner(std::size_t jobs)
     : jobs_{jobs == 0 ? ThreadPool::hardware_jobs() : jobs}
 {
@@ -403,9 +437,15 @@ CampaignRunner::CampaignRunner(std::size_t jobs)
 std::vector<CellResult> CampaignRunner::run_cells(
     std::vector<CampaignCell> cells) const
 {
+  assign_calibration_leaders(cells);
+  // One pick store per invocation: parallel_for claims indices in
+  // strictly increasing order, so a key's leader (minimal index) is
+  // always claimed before any of its waiting followers — see
+  // proto/cal_cache.h for the no-deadlock argument.
+  const auto cache = std::make_shared<proto::CalibrationCache>();
   std::vector<CellResult> results(cells.size());
   parallel_for(cells.size(), jobs_, [&](std::size_t i) {
-    results[i].report = run_cell(cells[i]);
+    results[i].report = run_cell(cells[i], cache);
     results[i].cell = std::move(cells[i]);
   });
   return results;
@@ -428,6 +468,8 @@ CampaignSummary CampaignRunner::run_stream(
     std::vector<CampaignCell> cells,
     const std::function<void(const CellResult&)>& sink) const
 {
+  assign_calibration_leaders(cells);
+  const auto cache = std::make_shared<proto::CalibrationCache>();
   CampaignSummary summary;
   std::mutex mu;
   // Reorder window: finished cells park here until every earlier cell
@@ -437,7 +479,7 @@ CampaignSummary CampaignRunner::run_stream(
   std::size_t next = 0;
   parallel_for(cells.size(), jobs_, [&](std::size_t i) {
     CellResult result;
-    result.report = run_cell(cells[i]);
+    result.report = run_cell(cells[i], cache);
     result.cell = std::move(cells[i]);
     const std::lock_guard<std::mutex> lock{mu};
     pending.emplace(i, std::move(result));
@@ -463,7 +505,8 @@ void write_csv_header(std::ostream& out)
   out << "label,mechanism,scenario,hypervisor,protocol,t1_us,t0_us,"
          "interval_us,symbol_bits,repeat,seed,payload_bits,ok,sync_ok,ber,"
          "throughput_bps,elapsed_us,frames,retransmits,pairs,"
-         "aggregate_goodput_bps,stripe_rebalances,failure\n";
+         "aggregate_goodput_bps,stripe_rebalances,calibration_source,"
+         "calibration_probes,failure\n";
 }
 
 void write_csv_row(std::ostream& out, const CellResult& c)
@@ -487,7 +530,13 @@ void write_csv_row(std::ostream& out, const CellResult& c)
       << (rep.proto ? rep.proto->retransmits : 0) << ','
       << (rep.proto ? rep.proto->pairs : c.cell.bond_pairs) << ','
       << rep.throughput_bps << ','
-      << (rep.proto ? rep.proto->rebalances : 0) << ',';
+      << (rep.proto ? rep.proto->rebalances : 0) << ','
+      // Cells that never calibrated leave the source blank rather than
+      // claiming a "full" sweep that never ran.
+      << (rep.proto && rep.proto->calibration_probes > 0
+              ? to_string(rep.proto->calibration_source)
+              : "")
+      << ',' << (rep.proto ? rep.proto->calibration_probes : 0) << ',';
   csv_field(out, rep.failure_reason, /*force_quote=*/true);
   out << "\n";
 }
@@ -545,6 +594,17 @@ void write_json_cell(std::ostream& out, const CellResult& c,
     json_number(out, rep.proto->calibration_time.to_us());
     out << ",\"pairs_requested\":" << rep.proto->pairs_requested
         << ",\"stripe_rebalances\":" << rep.proto->rebalances;
+    // Calibration accounting (adaptive cells): the simulated probe time
+    // that the cell's elapsed/goodput excludes. Gated on probes so
+    // fixed/arq emissions stay byte-identical.
+    if (rep.proto->calibration_probes > 0) {
+      out << ",\"calibration\":{\"source\":\""
+          << to_string(rep.proto->calibration_source)
+          << "\",\"probes\":" << rep.proto->calibration_probes
+          << ",\"elapsed_us\":";
+      json_number(out, rep.proto->calibration_time.to_us());
+      out << "}";
+    }
     write_drift_json(out, *rep.proto);
     out << "}";
   }
@@ -608,6 +668,14 @@ std::string report_json(const ChannelReport& rep, std::size_t payload_bits)
     out << ",\"pairs\":" << rep.proto->pairs
         << ",\"pairs_requested\":" << rep.proto->pairs_requested
         << ",\"stripe_rebalances\":" << rep.proto->rebalances;
+    if (rep.proto->calibration_probes > 0) {
+      out << ",\"calibration\":{\"source\":\""
+          << to_string(rep.proto->calibration_source)
+          << "\",\"probes\":" << rep.proto->calibration_probes
+          << ",\"elapsed_us\":";
+      json_number(out, rep.proto->calibration_time.to_us());
+      out << "}";
+    }
     write_drift_json(out, *rep.proto);
     out << "}";
   }

@@ -16,12 +16,14 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/metrics.h"
 #include "core/runner.h"
+#include "proto/cal_cache.h"
 
 namespace mes::exec {
 
@@ -96,11 +98,28 @@ struct CampaignCell {
   ExperimentConfig config;
   std::size_t payload_bits = 0;
   std::size_t bond_pairs = 1;  // > 1: stripe over a bonded link
+  // Calibration-reuse wiring (assign_calibration_leaders): non-empty on
+  // warm adaptive cells; the leader of each key calibrates fully and
+  // publishes its pick for the followers.
+  std::string calibration_key;
+  bool calibration_leader = false;
 };
 
 // Row-major expansion: repeat varies fastest, then pairs, protocol,
 // timing, scenario, mechanism.
 std::vector<CampaignCell> expand(const ExperimentPlan& plan);
+
+// Deterministic leader election for calibration reuse: every warm
+// single-pair adaptive cell gets the cache key of its link, and the
+// FIRST cell of each key *in list order* becomes the leader. List order
+// — not arrival order — is what makes `--jobs 1` and `--jobs N`
+// byte-identical: the leader calibrates fully either way, and every
+// follower warm-starts from the same published pick. Called by
+// run_cells/run_stream on the list they were handed, so a sharded run
+// elects one leader per key per shard (the cache is per-shard; merge is
+// unaffected). Cells outside the scheme (full policy, fixed/arq,
+// bonded) keep an empty key and run exactly as before.
+void assign_calibration_leaders(std::vector<CampaignCell>& cells);
 
 struct CellResult {
   CampaignCell cell;
@@ -208,8 +227,11 @@ class CampaignRunner {
 
 // Runs one cell: derives the payload from the cell seed (truncated to a
 // symbol-width multiple) and transmits it. Shared by the runner and any
-// driver that wants a single cell inline.
+// driver that wants a single cell inline. The cache overload attaches a
+// shared calibration cache when the cell carries a calibration_key.
 ChannelReport run_cell(const CampaignCell& cell);
+ChannelReport run_cell(const CampaignCell& cell,
+                       const std::shared_ptr<proto::CalibrationCache>& cache);
 
 // Deterministic per-cell payload (what run_cell transmits).
 BitVec cell_payload(const CampaignCell& cell);

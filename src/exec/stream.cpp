@@ -82,6 +82,7 @@ Json proto_json(const ChannelReport::ProtocolStats& p)
   obj.set("calibration_ns", Json::number(p.calibration_time.count_ns()));
   obj.set("calibration_probes",
           Json::number(static_cast<std::uint64_t>(p.calibration_probes)));
+  obj.set("calibration_source", Json::str(to_string(p.calibration_source)));
   obj.set("pairs", Json::number(static_cast<std::uint64_t>(p.pairs)));
   obj.set("pairs_requested",
           Json::number(static_cast<std::uint64_t>(p.pairs_requested)));
@@ -125,6 +126,20 @@ ChannelReport::ProtocolStats proto_from(const Json& obj)
   p.calibration_time = Duration::ns(field(obj, "calibration_ns").as_i64());
   p.calibration_probes =
       static_cast<std::size_t>(field(obj, "calibration_probes").as_u64());
+  // Read leniently: checkpoints written before calibration reuse landed
+  // carry no source field, and a resume must still replay them.
+  if (const Json* src = obj.find("calibration_source"); src != nullptr) {
+    const std::string& name = src->as_string();
+    if (name == "warm") {
+      p.calibration_source = CalibrationSource::warm;
+    } else if (name == "fallback") {
+      p.calibration_source = CalibrationSource::fallback;
+    } else if (name == "full") {
+      p.calibration_source = CalibrationSource::full;
+    } else {
+      throw std::invalid_argument{"cell record: bad calibration_source"};
+    }
+  }
   p.pairs = static_cast<std::size_t>(field(obj, "pairs").as_u64());
   p.pairs_requested =
       static_cast<std::size_t>(field(obj, "pairs_requested").as_u64());

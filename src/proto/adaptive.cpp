@@ -105,22 +105,13 @@ ChannelReport run_session(const ExperimentConfig& cfg, const BitVec& payload,
   return rep;
 }
 
-}  // namespace
-
-ChannelReport run_arq_transmission(const ExperimentConfig& cfg,
-                                   const BitVec& payload,
-                                   const ArqOptions& opt)
-{
-  // The a-priori classifier, like a Spy that skipped calibration.
-  return run_session(cfg, payload, cfg.timing,
-                     exec::initial_classifier_for(cfg), opt,
-                     ProtocolMode::arq);
-}
-
-ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
-                                        const BitVec& payload,
-                                        const AdaptiveOptions& opt,
-                                        Calibration* cal_out)
+// Shared body of the adaptive drivers; `hint` non-null selects the
+// warm-start calibration (proto/cal_cache.h).
+ChannelReport run_adaptive_impl(const ExperimentConfig& cfg,
+                                const BitVec& payload,
+                                const AdaptiveOptions& opt,
+                                Calibration* cal_out,
+                                const CalibrationPick* hint)
 {
   // The rate pick optimizes delivered frames/sec for the actual frame
   // geometry this session will use.
@@ -130,7 +121,10 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
       (frame_wire_bits(opt.arq) + opt.arq.sync_bits + width - 1) / width;
   tuned.calibration.fec_single_correcting = opt.arq.fec_depth > 0;
 
-  const Calibration cal = calibrate_link(cfg, tuned.calibration, opt.arq);
+  const Calibration cal =
+      hint != nullptr
+          ? calibrate_link_warm(cfg, tuned.calibration, opt.arq, *hint)
+          : calibrate_link(cfg, tuned.calibration, opt.arq);
   if (cal_out != nullptr) *cal_out = cal;
   if (!cal.ok) {
     ChannelReport rep;
@@ -149,8 +143,38 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
     rep.proto->calibration_margin = cal.margin;
     rep.proto->calibration_time = cal.elapsed;
     rep.proto->calibration_probes = cal.probes_sent;
+    rep.proto->calibration_source = cal.source;
   }
   return rep;
+}
+
+}  // namespace
+
+ChannelReport run_arq_transmission(const ExperimentConfig& cfg,
+                                   const BitVec& payload,
+                                   const ArqOptions& opt)
+{
+  // The a-priori classifier, like a Spy that skipped calibration.
+  return run_session(cfg, payload, cfg.timing,
+                     exec::initial_classifier_for(cfg), opt,
+                     ProtocolMode::arq);
+}
+
+ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
+                                        const BitVec& payload,
+                                        const AdaptiveOptions& opt,
+                                        Calibration* cal_out)
+{
+  return run_adaptive_impl(cfg, payload, opt, cal_out, nullptr);
+}
+
+ChannelReport run_adaptive_transmission_warm(const ExperimentConfig& cfg,
+                                             const BitVec& payload,
+                                             const AdaptiveOptions& opt,
+                                             const CalibrationPick& hint,
+                                             Calibration* cal_out)
+{
+  return run_adaptive_impl(cfg, payload, opt, cal_out, &hint);
 }
 
 ChannelReport run_with_protocol(const ExperimentConfig& cfg,

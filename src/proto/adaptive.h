@@ -49,6 +49,17 @@ ChannelReport run_adaptive_transmission(const ExperimentConfig& cfg,
                                         const AdaptiveOptions& opt = {},
                                         Calibration* cal_out = nullptr);
 
+// Adaptive transfer that warm-starts calibration from a published pick
+// (proto/cal_cache.h) instead of the full grid sweep; everything after
+// calibration is identical to run_adaptive_transmission. Falls back to
+// the full sweep internally when the confirm probe disagrees, so the
+// result is always a complete calibration verdict.
+ChannelReport run_adaptive_transmission_warm(const ExperimentConfig& cfg,
+                                             const BitVec& payload,
+                                             const AdaptiveOptions& opt,
+                                             const CalibrationPick& hint,
+                                             Calibration* cal_out = nullptr);
+
 // Protocol-mode dispatch at the proto layer: fixed -> run_transmission,
 // arq/adaptive -> the drivers above, framing ARQ rounds with the
 // config's sync_bits (the same preamble policy as the façade).

@@ -1,0 +1,103 @@
+#include "proto/cal_cache.h"
+
+#include <sstream>
+
+#include "core/runner.h"
+
+namespace mes::proto {
+
+std::string CalibrationCache::key_for(const ExperimentConfig& config,
+                                      std::size_t probe_symbols,
+                                      double min_margin)
+{
+  // Everything that shapes the sweep's decision surface, nothing that
+  // only perturbs one cell's realization. seed, tag, enable_trace and
+  // max_events are deliberately absent; protocol is implied (only
+  // adaptive cells calibrate).
+  std::ostringstream key;
+  key << static_cast<int>(config.mechanism) << '|'
+      << static_cast<int>(config.scenario) << '|'
+      << config.scenario_name << '|'
+      << static_cast<int>(config.hypervisor) << '|'
+      << static_cast<int>(config.fairness) << '|'
+      << config.semaphore_initial << '|'
+      << config.mitigation_fuzz.count_ns() << '|'
+      << config.loop_cost.count_ns() << '|'
+      << (config.fine_grained_sync ? 1 : 0) << '|'
+      << config.timing.t1.count_ns() << '|'
+      << config.timing.t0.count_ns() << '|'
+      << config.timing.interval.count_ns() << '|'
+      << config.timing.symbol_bits << '|'
+      << config.sync_bits << '|'
+      << probe_symbols << '|'
+      << min_margin;
+  return key.str();
+}
+
+bool CalibrationCache::claim(const std::string& key)
+{
+  std::lock_guard lock{mu_};
+  Entry& e = map_[key];
+  if (e.claimed) return false;
+  e.claimed = true;
+  return true;
+}
+
+void CalibrationCache::publish(const std::string& key,
+                               const CalibrationPick& pick)
+{
+  {
+    std::lock_guard lock{mu_};
+    Entry& e = map_[key];
+    e.claimed = true;
+    e.ready = true;
+    e.failed = false;
+    e.pick = pick;
+  }
+  cv_.notify_all();
+}
+
+void CalibrationCache::publish_failure(const std::string& key)
+{
+  {
+    std::lock_guard lock{mu_};
+    Entry& e = map_[key];
+    if (e.ready) return;  // a real pick already landed; keep it
+    e.claimed = true;
+    e.ready = true;
+    e.failed = true;
+  }
+  cv_.notify_all();
+}
+
+std::optional<CalibrationPick> CalibrationCache::wait(const std::string& key)
+{
+  std::unique_lock lock{mu_};
+  const Entry* e = nullptr;
+  cv_.wait(lock, [&] {
+    auto it = map_.find(key);
+    if (it == map_.end() || !it->second.ready) return false;
+    e = &it->second;
+    return true;
+  });
+  if (e->failed) return std::nullopt;
+  return e->pick;
+}
+
+std::optional<CalibrationPick> CalibrationCache::try_get(
+    const std::string& key) const
+{
+  std::lock_guard lock{mu_};
+  auto it = map_.find(key);
+  if (it == map_.end() || !it->second.ready || it->second.failed)
+    return std::nullopt;
+  return it->second.pick;
+}
+
+std::size_t CalibrationCache::size() const
+{
+  std::lock_guard lock{mu_};
+  return map_.size();
+}
+
+}  // namespace mes::proto

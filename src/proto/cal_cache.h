@@ -1,0 +1,82 @@
+// Cross-cell calibration reuse (ISSUE 9 tentpole a).
+//
+// Campaign cells that share a link — same mechanism, scenario profile,
+// timing anchor and noise-relevant knobs — converge on the same grid
+// pick; only the seed differs. The cache lets the *leader* cell of each
+// key (first in plan order) publish its full-sweep pick so follower
+// cells can warm-start: probe the published grid index, confirm, and
+// skip the rest of the sweep (proto/calibrate.h).
+//
+// Determinism: the leader is chosen by plan order, not arrival order
+// (exec::assign_calibration_leaders), so `--jobs 1` and `--jobs N`
+// produce byte-identical emissions. Followers block in wait() until the
+// leader publishes; exec::parallel_for claims cells in strictly
+// increasing plan order, so a key's leader is always claimed before any
+// of its followers and never blocks on the cache itself — a waiting
+// follower's leader is always running or done, hence no deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mes {
+struct ExperimentConfig;
+}
+
+namespace mes::proto {
+
+// The published result of a leader's full sweep: just enough for a
+// follower to re-derive everything else locally (timing/classifier come
+// from the follower's own confirm probe, so they track its seed).
+struct CalibrationPick {
+  std::size_t grid_index = 0;
+  double margin = 0.0;
+  double symbol_error = 0.0;
+};
+
+// Shared, thread-safe pick store. Keys are opaque strings built by
+// key_for() from every config field that shapes the calibration
+// decision (and none that don't — seed, tag and trace knobs are
+// excluded, that's the whole point of reuse).
+class CalibrationCache {
+ public:
+  // Canonical cache key for a config at the given probe options.
+  static std::string key_for(const ExperimentConfig& config,
+                             std::size_t probe_symbols, double min_margin);
+
+  // First claimant becomes the key's leader (returns true) and MUST
+  // later publish() or publish_failure(); later claimants are followers.
+  bool claim(const std::string& key);
+  void publish(const std::string& key, const CalibrationPick& pick);
+  void publish_failure(const std::string& key);
+
+  // Blocks until the key's leader published; nullopt = leader's sweep
+  // failed (follower should run its own full sweep). Must not be called
+  // by the leader itself.
+  std::optional<CalibrationPick> wait(const std::string& key);
+
+  // Non-blocking lookup: a pick if one is published, nullopt otherwise.
+  std::optional<CalibrationPick> try_get(const std::string& key) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    bool claimed = false;
+    bool ready = false;
+    bool failed = false;
+    CalibrationPick pick;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Looked up by key only — never iterated, so map order can't leak
+  // into results.
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace mes::proto

@@ -123,8 +123,14 @@ double predicted_frame_rate(double symbol_error, double us_per_symbol,
     frame_survival = std::pow(1.0 - p,
                               static_cast<double>(opt.frame_symbols));
   }
+  // A degenerate all-fast probe can measure zero wire time per symbol
+  // (every latency below clock resolution); the rate is then undefined,
+  // not infinite — report 0 so the candidate can never win on a
+  // division artifact. calibrate_link additionally excludes such
+  // candidates with a named failure.
   const double frame_time_us =
       static_cast<double>(opt.frame_symbols) * us_per_symbol;
+  if (!(frame_time_us > 0.0)) return 0.0;
   return frame_survival / frame_time_us;
 }
 
@@ -165,6 +171,87 @@ double trial_goodput(const ExperimentConfig& base, const TimingConfig& timing,
   return static_cast<double>(trial_payload.size()) / elapsed.to_sec();
 }
 
+// One candidate rate's probe round (shared by the full sweep and the
+// warm start, so the two are bit-identical wherever they overlap). The
+// seed mixes the *absolute* grid index `gi`.
+struct ProbeOutcome {
+  bool ran = false;      // the probe round itself succeeded
+  std::string failure;   // why not, when !ran
+  LevelFit fit;
+};
+
+ProbeOutcome run_probe(const ExperimentConfig& base,
+                       const CalibrationOptions& opt,
+                       const BitVec& probe_bits, std::size_t alphabet,
+                       std::size_t gi, Calibration& cal)
+{
+  ExperimentConfig cfg = base;
+  cfg.protocol = ProtocolMode::fixed;
+  cfg.timing = scale_timing(base.timing, opt.scales[gi]);
+  cfg.seed = base.seed ^ (0x5CA1EULL + gi * 0x9e3779b97f4a7c15ULL);
+  // The fit classifies from the known pattern itself; the in-band
+  // preamble recalibration would only add noise.
+  cfg.recalibrate_from_preamble = false;
+
+  ProbeOutcome out;
+  const ChannelReport rep = run_transmission(cfg, probe_bits);
+  if (!rep.ok) {
+    out.failure = rep.failure_reason;
+    return out;
+  }
+  out.ran = true;
+  cal.probes_sent += rep.tx_symbols.size();
+  cal.elapsed += rep.elapsed;
+  out.fit = fit_levels(rep.tx_symbols, rep.rx_latencies, alphabet,
+                       rep.elapsed);
+  return out;
+}
+
+double ucb_score(const LevelFit& fit, const CalibrationOptions& opt)
+{
+  const double sigma = std::sqrt(
+      fit.symbol_error * (1.0 - fit.symbol_error) /
+      static_cast<double>(opt.probe_symbols));
+  const double p_ucb = fit.symbol_error + opt.error_ucb_sigma * sigma;
+  return predicted_frame_rate(p_ucb, fit.us_per_symbol, opt);
+}
+
+constexpr const char* kZeroWireFailure =
+    "calibration: probe measured zero wire time (us_per_symbol == 0)";
+
+struct Candidate {
+  std::size_t index;
+  LevelFit fit;
+  double score;
+};
+
+// Pre-negotiated probe pattern (like the preamble): both ends derive it
+// from the session seed, so the fit can pair every measured latency
+// with the symbol that produced it.
+BitVec make_probe_bits(const ExperimentConfig& base,
+                       const CalibrationOptions& opt, std::size_t width)
+{
+  Rng probe_rng{base.seed ^ 0xCA11B7A7E5EEDULL};
+  return BitVec::random(probe_rng, opt.probe_symbols * width);
+}
+
+void fill_from_candidate(Calibration& cal, const Candidate& pick,
+                         const ExperimentConfig& base,
+                         const CalibrationOptions& opt, std::size_t alphabet,
+                         double trial_goodput_bps)
+{
+  cal.ok = true;
+  cal.grid_index = pick.index;
+  cal.scale = opt.scales[pick.index];
+  cal.timing = scale_timing(base.timing, cal.scale);
+  cal.classifier = classifier_from(pick.fit, alphabet);
+  cal.separation_us = pick.fit.separation_us;
+  cal.jitter_us = pick.fit.jitter_us;
+  cal.margin = pick.fit.margin;
+  cal.symbol_error = pick.fit.symbol_error;
+  cal.trial_goodput_bps = trial_goodput_bps;
+}
+
 }  // namespace
 
 Calibration calibrate_link(const ExperimentConfig& base,
@@ -174,55 +261,38 @@ Calibration calibrate_link(const ExperimentConfig& base,
   Calibration cal;
   const std::size_t width = std::max<std::size_t>(base.timing.symbol_bits, 1);
   const std::size_t alphabet = std::size_t{1} << width;
-
-  // The probe pattern is pre-negotiated (like the preamble): both ends
-  // derive it from the session seed, so the fit can pair every measured
-  // latency with the symbol that produced it.
-  Rng probe_rng{base.seed ^ 0xCA11B7A7E5EEDULL};
-  const BitVec probe_bits = BitVec::random(
-      probe_rng, opt.probe_symbols * width);
+  const BitVec probe_bits = make_probe_bits(base, opt, width);
 
   bool saw_structural_failure = false;
+  bool saw_zero_wire_time = false;
   std::string first_failure;
 
-  struct Candidate {
-    std::size_t index;
-    LevelFit fit;
-    double score;
-  };
   std::vector<Candidate> usable;
 
   for (std::size_t gi = 0; gi < opt.scales.size(); ++gi) {
-    ExperimentConfig cfg = base;
-    cfg.protocol = ProtocolMode::fixed;
-    cfg.timing = scale_timing(base.timing, opt.scales[gi]);
-    cfg.seed = base.seed ^ (0x5CA1EULL + gi * 0x9e3779b97f4a7c15ULL);
-    // The fit classifies from the known pattern itself; the in-band
-    // preamble recalibration would only add noise.
-    cfg.recalibrate_from_preamble = false;
-
-    const ChannelReport rep = run_transmission(cfg, probe_bits);
-    if (!rep.ok) {
+    const ProbeOutcome out =
+        run_probe(base, opt, probe_bits, alphabet, gi, cal);
+    if (!out.ran) {
       saw_structural_failure = true;
-      if (first_failure.empty()) first_failure = rep.failure_reason;
+      if (first_failure.empty()) first_failure = out.failure;
       continue;
     }
-    cal.probes_sent += rep.tx_symbols.size();
-    cal.elapsed += rep.elapsed;
-    const LevelFit fit = fit_levels(rep.tx_symbols, rep.rx_latencies,
-                                    alphabet, rep.elapsed);
+    const LevelFit& fit = out.fit;
     if (!fit.usable || fit.margin < opt.min_margin) continue;
-    const double sigma = std::sqrt(
-        fit.symbol_error * (1.0 - fit.symbol_error) /
-        static_cast<double>(opt.probe_symbols));
-    const double p_ucb = fit.symbol_error + opt.error_ucb_sigma * sigma;
-    usable.push_back(
-        {gi, fit, predicted_frame_rate(p_ucb, fit.us_per_symbol, opt)});
+    if (!(fit.us_per_symbol > 0.0)) {
+      // Degenerate all-fast round: the frame-rate figure of merit is
+      // undefined (division by zero wire time), so the rate is
+      // excluded rather than letting inf win the pick.
+      saw_zero_wire_time = true;
+      continue;
+    }
+    usable.push_back({gi, fit, ucb_score(fit, opt)});
   }
 
   if (usable.empty()) {
-    cal.failure = saw_structural_failure
-                      ? first_failure
+    cal.failure = saw_structural_failure ? first_failure
+                  : saw_zero_wire_time
+                      ? kZeroWireFailure
                       : "calibration: no rate produced separable levels";
     return cal;
   }
@@ -254,16 +324,143 @@ Calibration calibrate_link(const ExperimentConfig& base,
     }
   }
 
-  cal.ok = true;
-  cal.grid_index = pick->index;
-  cal.scale = opt.scales[pick->index];
-  cal.timing = scale_timing(base.timing, cal.scale);
-  cal.classifier = classifier_from(pick->fit, alphabet);
-  cal.separation_us = pick->fit.separation_us;
-  cal.jitter_us = pick->fit.jitter_us;
-  cal.margin = pick->fit.margin;
-  cal.symbol_error = pick->fit.symbol_error;
-  cal.trial_goodput_bps = pick_goodput;
+  fill_from_candidate(cal, *pick, base, opt, alphabet, pick_goodput);
+  return cal;
+}
+
+Calibration calibrate_link_warm(const ExperimentConfig& base,
+                                const CalibrationOptions& opt,
+                                const ArqOptions& arq,
+                                const CalibrationPick& hint)
+{
+  Calibration cal;
+  const std::size_t width = std::max<std::size_t>(base.timing.symbol_bits, 1);
+  const std::size_t alphabet = std::size_t{1} << width;
+  const BitVec probe_bits = make_probe_bits(base, opt, width);
+
+  bool saw_structural_failure = false;
+  bool saw_zero_wire_time = false;
+  std::string first_failure;
+  std::vector<bool> probed(opt.scales.size(), false);
+  std::vector<Candidate> usable;
+
+  // Probes one grid index, screening exactly as the full sweep does;
+  // usable candidates accumulate so a later fallback never re-probes.
+  auto probe_at = [&](std::size_t gi) -> const Candidate* {
+    probed[gi] = true;
+    const ProbeOutcome out =
+        run_probe(base, opt, probe_bits, alphabet, gi, cal);
+    if (!out.ran) {
+      saw_structural_failure = true;
+      if (first_failure.empty()) first_failure = out.failure;
+      return nullptr;
+    }
+    const LevelFit& fit = out.fit;
+    if (!fit.usable || fit.margin < opt.min_margin) return nullptr;
+    if (!(fit.us_per_symbol > 0.0)) {
+      saw_zero_wire_time = true;
+      return nullptr;
+    }
+    usable.push_back({gi, fit, ucb_score(fit, opt)});
+    return &usable.back();
+  };
+
+  // One confirming ARQ trial; on delivery the candidate becomes the
+  // pick and the sweep is skipped.
+  auto confirm_trial = [&](const Candidate& c) {
+    const TimingConfig timing = scale_timing(base.timing, opt.scales[c.index]);
+    const double goodput =
+        trial_goodput(base, timing, classifier_from(c.fit, alphabet), arq,
+                      opt, c.index, &cal.elapsed);
+    if (goodput <= 0.0) return false;
+    fill_from_candidate(cal, c, base, opt, alphabet, goodput);
+    return true;
+  };
+
+  // 1. Confirm probe at the published index. The screen accepts when
+  // the follower's measured error rate sits within binomial noise of
+  // the leader's (3 sigma at the probe length, floored at 5 points —
+  // seed replicates of one link legitimately wander that much, and a
+  // follower bounced to the neighbor path mostly re-picks a near-tied
+  // neighbor, paying three probe rounds plus a trial for nothing) and
+  // the margin still clears the configured floor. No ARQ trial on
+  // this path: the pick is the leader's, the probe re-validated it on
+  // this cell's noise, and the delivery that follows *is* an ARQ run —
+  // a rehearsal would spend most of what the warm start saves.
+  if (hint.grid_index < opt.scales.size()) {
+    if (const Candidate* c = probe_at(hint.grid_index)) {
+      const double p_bar =
+          0.5 * (hint.symbol_error + c->fit.symbol_error);
+      const double tol = std::max(
+          3.0 * std::sqrt(p_bar * (1.0 - p_bar) /
+                          static_cast<double>(opt.probe_symbols)),
+          0.05);
+      if (std::abs(c->fit.symbol_error - hint.symbol_error) <= tol) {
+        fill_from_candidate(cal, *c, base, opt, alphabet, 0.0);
+        cal.source = CalibrationSource::warm;
+        return cal;
+      }
+    }
+  }
+
+  // 2. Disagreement: probe the neighboring rates and trial the best
+  // usable candidate seen so far.
+  for (const std::size_t gi : {hint.grid_index - 1, hint.grid_index + 1}) {
+    if (gi < opt.scales.size() && !probed[gi]) probe_at(gi);
+  }
+  if (!usable.empty()) {
+    const Candidate best = *std::max_element(
+        usable.begin(), usable.end(),
+        [](const Candidate& a, const Candidate& b) {
+          return a.score < b.score;
+        });
+    if (confirm_trial(best)) {
+      cal.source = CalibrationSource::warm;
+      return cal;
+    }
+  }
+
+  // 3. Full fallback: complete the sweep over the remaining grid and
+  // decide exactly as calibrate_link does (shortlist by analytic score,
+  // realized trials pick). Already-probed rounds are not repeated —
+  // their candidates are in `usable` with identical fits, since the
+  // probe seeds mix the absolute grid index.
+  cal.source = CalibrationSource::fallback;
+  for (std::size_t gi = 0; gi < opt.scales.size(); ++gi) {
+    if (!probed[gi]) probe_at(gi);
+  }
+  if (usable.empty()) {
+    cal.failure = saw_structural_failure ? first_failure
+                  : saw_zero_wire_time
+                      ? kZeroWireFailure
+                      : "calibration: no rate produced separable levels";
+    return cal;
+  }
+  std::sort(usable.begin(), usable.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  const std::size_t shortlist =
+      opt.refine_candidates == 0
+          ? 1
+          : std::min(opt.refine_candidates, usable.size());
+  const Candidate* pick = &usable.front();
+  double pick_goodput = 0.0;
+  if (opt.refine_candidates > 0) {
+    for (std::size_t i = 0; i < shortlist; ++i) {
+      const Candidate& c = usable[i];
+      const TimingConfig timing =
+          scale_timing(base.timing, opt.scales[c.index]);
+      const double goodput =
+          trial_goodput(base, timing, classifier_from(c.fit, alphabet), arq,
+                        opt, c.index, &cal.elapsed);
+      if (goodput > pick_goodput) {
+        pick_goodput = goodput;
+        pick = &c;
+      }
+    }
+  }
+  fill_from_candidate(cal, *pick, base, opt, alphabet, pick_goodput);
   return cal;
 }
 

@@ -24,6 +24,7 @@
 #include "codec/symbols.h"
 #include "core/runner.h"
 #include "proto/arq.h"
+#include "proto/cal_cache.h"
 
 namespace mes::proto {
 
@@ -76,9 +77,13 @@ struct Calibration {
   double jitter_us = 0.0;      // summed adjacent-level stddev
   double margin = 0.0;         // separation / jitter
   double symbol_error = 0.0;   // measured probe error rate at the pick
-  double trial_goodput_bps = 0.0;  // realized ARQ trial rate at the pick
+  // Realized ARQ trial rate at the pick; 0 on a confirmed warm start
+  // (the follower skips the rehearsal — its delivery is the trial).
+  double trial_goodput_bps = 0.0;
   std::size_t probes_sent = 0;
   Duration elapsed = Duration::zero();  // simulated time spent probing
+  // full sweep / confirmed warm start / warm start that fell back.
+  CalibrationSource source = CalibrationSource::full;
 };
 
 // Probes the configured link across the rate grid. `base.timing` is the
@@ -88,6 +93,21 @@ struct Calibration {
 Calibration calibrate_link(const ExperimentConfig& base,
                            const CalibrationOptions& opt = {},
                            const ArqOptions& arq = {});
+
+// Warm-start calibration from a published pick (proto/cal_cache.h):
+// probe ONLY the hinted grid index and screen the measured margin and
+// error rate against the leader's — the common case costs one probe
+// round instead of the full sweep, with no rehearsal trial (the
+// delivery that follows is itself an ARQ run). On disagreement the
+// neighboring grid indices (hint ± 1) are probed next and the best is
+// confirmed with one trial; if none delivers, the remaining grid
+// completes the full sweep (source = fallback). Probe/trial seeds mix
+// the *absolute* grid index, so every round a warm run shares with a
+// full sweep is bit-identical to it.
+Calibration calibrate_link_warm(const ExperimentConfig& base,
+                                const CalibrationOptions& opt,
+                                const ArqOptions& arq,
+                                const CalibrationPick& hint);
 
 // The rate pick's figure of merit: predicted frames delivered per
 // second, from a measured symbol error rate and per-symbol wire time.

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <bit>
 #include <cstdio>
 #include <array>
 #include <cstring>
@@ -49,8 +50,192 @@ void Simulator::push_event(Event ev, const char* what)
     throw std::logic_error{std::string{what} + ": time in the past"};
   }
   ev.seq = next_seq_++;
-  queue_.push_back(ev);
-  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+  ++pending_;
+  place_event(ev);
+}
+
+// --- timer wheel --------------------------------------------------------
+
+std::uint32_t Simulator::alloc_wheel_node(const Event& ev)
+{
+  std::uint32_t idx;
+  if (free_wheel_node_ != kNil) {
+    idx = free_wheel_node_;
+    free_wheel_node_ = wheel_nodes_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(wheel_nodes_.size());
+    wheel_nodes_.push_back(WheelNode{});
+  }
+  wheel_nodes_[idx].ev = ev;
+  wheel_nodes_[idx].next = kNil;
+  return idx;
+}
+
+void Simulator::place_event(const Event& ev)
+{
+  // Beyond the wheel horizon the event stays in the overflow heap; it
+  // migrates into the wheel when the cursor's horizon window opens
+  // (advance_wheel), which is the only way the prefix can change.
+  if ((ev.at.count_ns() >> kHorizonBits) != (cur_tick_ >> kHorizonBits)) {
+    overflow_.push_back(ev);
+    std::push_heap(overflow_.begin(), overflow_.end(), EventLater{});
+    return;
+  }
+  place_node(alloc_wheel_node(ev));
+}
+
+void Simulator::place_node(std::uint32_t idx)
+{
+  WheelNode& node = wheel_nodes_[idx];
+  node.next = kNil;
+  const std::int64_t t = node.ev.at.count_ns();
+  const std::int64_t c = cur_tick_;
+  const std::uint64_t diff = static_cast<std::uint64_t>(t ^ c);
+  if (diff == 0) {  // the tick being dispatched: straight to the ready list
+    if (ready_tail_ == kNil) {
+      ready_head_ = idx;
+    } else {
+      wheel_nodes_[ready_tail_].next = idx;
+    }
+    ready_tail_ = idx;
+    return;
+  }
+  // The level is the highest bit-group where t diverges from the
+  // cursor: bits [0,kL0Bits) -> L0, then one 6-bit group per level
+  // (L1..L4). Anything past the L4 prefix was parked in overflow_
+  // before allocating a node.
+  const int high_bit = 63 - std::countl_zero(diff);
+  Bucket* bucket;
+  if (high_bit < kL0Bits) {
+    const unsigned slot = static_cast<unsigned>(t & (kL0Slots - 1));
+    bucket = &l0_[slot];
+    l0_bits_[slot >> 6] |= 1ull << (slot & 63);
+    l0_words_[slot >> 12] |= 1ull << ((slot >> 6) & 63);
+  } else {
+    const int lv = (high_bit - kL0Bits) / 6;
+    const unsigned slot =
+        static_cast<unsigned>((t >> (kL0Bits + 6 * lv)) & 63);
+    bucket = &lv_[lv][slot];
+    lv_bits_[lv] |= 1ull << slot;
+  }
+  if (bucket->tail == kNil) {
+    bucket->head = idx;
+  } else {
+    wheel_nodes_[bucket->tail].next = idx;
+  }
+  bucket->tail = idx;
+}
+
+void Simulator::advance_wheel()
+{
+  for (;;) {
+    // A cascade (or overflow migration) below may have re-placed
+    // events landing exactly on the new cursor tick onto the ready
+    // list — that tick is the next one, so we are done.
+    if (ready_head_ != kNil) return;
+    // L0 first: its residents precede everything in L1+, and bits at
+    // or below the cursor's slot are never set, so the lowest set bit
+    // is the globally next tick. l0_words_ summarises which of the 64
+    // bitmap words are non-empty, so the lookup is two countr_zero
+    // steps, never a word-by-word scan.
+    bool l0_found = false;
+    for (int g = 0; g < (kL0Words + 63) / 64; ++g) {
+      if (l0_words_[g] == 0) continue;
+      const int w = g * 64 + std::countr_zero(l0_words_[g]);
+      const int slot = w * 64 + std::countr_zero(l0_bits_[w]);
+      cur_tick_ = (cur_tick_ & ~std::int64_t{kL0Slots - 1}) | slot;
+      Bucket& b = l0_[slot];
+      ready_head_ = b.head;  // one tick per L0 bucket, already seq-ordered
+      ready_tail_ = b.tail;
+      b = Bucket{};
+      l0_bits_[w] &= l0_bits_[w] - 1;
+      if (l0_bits_[w] == 0) l0_words_[g] &= ~(1ull << (w & 63));
+      l0_found = true;
+      break;
+    }
+    if (l0_found) return;
+    bool cascaded = false;
+    for (int lv = 0; lv < 4; ++lv) {
+      if (lv_bits_[lv] == 0) continue;
+      const int slot = std::countr_zero(lv_bits_[lv]);
+      // Sparse fast path: a lone node in the lowest occupied bucket is
+      // the global minimum (everything below is empty, everything else
+      // at this level or above is later), so it can skip the cascade
+      // and jump straight to the ready list.
+      if (wheel_nodes_[lv_[lv][slot].head].next == kNil) {
+        const std::uint32_t n = lv_[lv][slot].head;
+        cur_tick_ = wheel_nodes_[n].ev.at.count_ns();
+        ready_head_ = ready_tail_ = n;
+        lv_[lv][slot] = Bucket{};
+        lv_bits_[lv] &= lv_bits_[lv] - 1;
+        return;
+      }
+      const int shift = kL0Bits + 6 * lv;
+      // Jump the cursor to the start of that slot's window, then
+      // re-place the chain in order: same-tick runs stay contiguous,
+      // so per-tick seq order survives every cascade.
+      const std::int64_t window = (std::int64_t{1} << (shift + 6)) - 1;
+      cur_tick_ =
+          (cur_tick_ & ~window) | (static_cast<std::int64_t>(slot) << shift);
+      std::uint32_t n = lv_[lv][slot].head;
+      lv_[lv][slot] = Bucket{};
+      lv_bits_[lv] &= lv_bits_[lv] - 1;
+      if (lv == 0) {
+        // L1 buckets span exactly one L0 window, so every node lands in
+        // L0 (or on the ready list if it is the window-start tick) —
+        // skip the generic level search on this, the hottest cascade.
+        while (n != kNil) {
+          WheelNode& node = wheel_nodes_[n];
+          const std::uint32_t next = node.next;
+          node.next = kNil;
+          const std::int64_t t = node.ev.at.count_ns();
+          if (t == cur_tick_) {
+            if (ready_tail_ == kNil) {
+              ready_head_ = n;
+            } else {
+              wheel_nodes_[ready_tail_].next = n;
+            }
+            ready_tail_ = n;
+          } else {
+            const unsigned s = static_cast<unsigned>(t & (kL0Slots - 1));
+            Bucket& b = l0_[s];
+            if (b.tail == kNil) {
+              b.head = n;
+            } else {
+              wheel_nodes_[b.tail].next = n;
+            }
+            b.tail = n;
+            l0_bits_[s >> 6] |= 1ull << (s & 63);
+            l0_words_[s >> 12] |= 1ull << ((s >> 6) & 63);
+          }
+          n = next;
+        }
+      } else {
+        while (n != kNil) {
+          const std::uint32_t next = wheel_nodes_[n].next;
+          place_node(n);
+          n = next;
+        }
+      }
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    // Wheel empty: open the overflow window holding the next event.
+    // The heap pops in (time, seq) order, so same-tick entries reach
+    // the ready list in seq order, and nothing already in the wheel
+    // can be undercut (every overflow entry is strictly later).
+    const std::int64_t prefix =
+        overflow_.front().at.count_ns() >> kHorizonBits;
+    cur_tick_ = overflow_.front().at.count_ns();
+    while (!overflow_.empty() &&
+           (overflow_.front().at.count_ns() >> kHorizonBits) == prefix) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), EventLater{});
+      const Event ev = overflow_.back();
+      overflow_.pop_back();
+      place_node(alloc_wheel_node(ev));
+    }
+  }
 }
 
 std::uint32_t Simulator::take_fn_slot(std::function<void()> fn)
@@ -74,9 +259,15 @@ void Simulator::call_at(TimePoint t, std::function<void()> fn)
 
 Simulator::Event Simulator::pop_next_event()
 {
-  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
-  const Event ev = queue_.back();
-  queue_.pop_back();
+  if (ready_head_ == kNil) advance_wheel();
+  const std::uint32_t idx = ready_head_;
+  WheelNode& node = wheel_nodes_[idx];
+  const Event ev = node.ev;
+  ready_head_ = node.next;
+  if (ready_head_ == kNil) ready_tail_ = kNil;
+  node.next = free_wheel_node_;
+  free_wheel_node_ = idx;
+  --pending_;
   return ev;
 }
 
@@ -222,7 +413,7 @@ RunResult Simulator::run(std::uint64_t max_events)
 
   const bool trace_events = std::getenv("MES_TRACE_EVENTS") != nullptr;
   RunResult result;
-  while (!queue_.empty()) {
+  while (pending_ != 0) {
     if (result.events_processed >= max_events) {
       result.hit_event_limit = true;
       MES_LOG_WARN("simulator stopped at event limit (%llu)",

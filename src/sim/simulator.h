@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <functional>
 #include <algorithm>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -161,6 +160,19 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  // A pending event parked in the timer wheel: the Event plus one
+  // intrusive link. Nodes live in an arena (wheel_nodes_) and recycle
+  // through a free list, like the fn-slot/wait-node pools.
+  // mes-lint: hot-pod
+  struct WheelNode {
+    Event ev;
+    std::uint32_t next;
+  };
+  // Singly linked bucket with O(1) append; kNil-terminated.
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
   struct Root {
     Proc::handle_type handle;
     std::string name;
@@ -181,12 +193,69 @@ class Simulator {
   std::uint32_t take_fn_slot(std::function<void()> fn);
   void dispatch_wait_timeout(const Event& ev);
 
+  // --- timer wheel ------------------------------------------------------
+  //
+  // The pending-event set is a bucketed hierarchical timer wheel over
+  // integer-nanosecond ticks, replacing the old binary heap: push and
+  // pop are O(1) appends/unlinks, and each event cascades through at
+  // most four levels on its way to the ready list. Placement is
+  // *prefix-matched*: an event at tick t lands at the level determined
+  // by the highest bit-group in which t differs from the wheel cursor,
+  // so two events for the same tick always share a bucket (appended in
+  // seq order) no matter when they were pushed — which is what keeps
+  // the dispatch order bit-identical to the (time, seq) heap. Level
+  // geometry, with c = cur_tick_:
+  //
+  //   ready  t == c                             the current tick, in seq order
+  //   L0     t>>14 == c>>14  16384 x 1-tick     slot = t & 16383
+  //   L1     t>>20 == c>>20     64 x 16384-tick slot = (t >> 14) & 63
+  //   L2     t>>26 == c>>26     64 x 2^20       slot = (t >> 20) & 63
+  //   L3     t>>32 == c>>32     64 x 2^26       slot = (t >> 26) & 63
+  //   L4     t>>38 == c>>38     64 x 2^32       slot = (t >> 32) & 63
+  //   overflow: beyond the 2^38 ns (~4.6 min) horizon — writeback
+  //   intervals and ARQ/park timeouts — a (time, seq) min-heap whose
+  //   entries migrate into the wheel one horizon window at a time.
+  //
+  // Invariant: no bucket at or below the cursor's slot is ever occupied
+  // (past events are rejected; a same-slot tick would share the
+  // cursor's prefix one level down), so advance() just scans each
+  // level's occupancy bitmap bottom-up for the first set bit.
+  void place_event(const Event& ev);
+  void place_node(std::uint32_t idx);
+  std::uint32_t alloc_wheel_node(const Event& ev);
+  // Moves the wheel forward to the next occupied tick and fills the
+  // ready list with it. Pre: ready list empty, pending_ > 0.
+  void advance_wheel();
+
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
-  // Min-heap on (time, seq) managed with push_heap/pop_heap so events
-  // can be moved out legally before execution.
-  std::vector<Event> queue_;
   std::vector<Root> roots_;
+
+  // Wheel geometry. L0 resolves single ticks over a 2^kL0Bits window —
+  // wide enough that the microsecond-scale delays of the paper's
+  // channels land there directly (a 16 us window keeps the 1-13 us
+  // delays of channel rounds out of the cascade path); four 6-bit
+  // levels above it push the horizon to 2^(kL0Bits+24) ns before the
+  // overflow heap takes over.
+  static constexpr int kL0Bits = 14;
+  static constexpr int kL0Slots = 1 << kL0Bits;
+  static constexpr int kL0Words = kL0Slots / 64;
+  static constexpr int kHorizonBits = kL0Bits + 24;
+
+  std::vector<WheelNode> wheel_nodes_;
+  std::uint32_t free_wheel_node_ = kNil;
+  std::uint32_t ready_head_ = kNil;
+  std::uint32_t ready_tail_ = kNil;
+  std::int64_t cur_tick_ = 0;
+  Bucket l0_[kL0Slots];
+  std::uint64_t l0_bits_[kL0Words] = {};
+  // Summary bitmap: bit w set iff l0_bits_[w] != 0.
+  std::uint64_t l0_words_[(kL0Words + 63) / 64] = {};
+  Bucket lv_[4][64];
+  std::uint64_t lv_bits_[4] = {};
+  // Far-future overflow, min-heap on (time, seq) via EventLater.
+  std::vector<Event> overflow_;
+  std::uint64_t pending_ = 0;
 
   std::vector<FnSlot> fn_slots_;
   std::uint32_t free_fn_slot_ = kNil;

@@ -331,6 +331,52 @@ TEST(Emission, CsvIsByteIdenticalAcrossJobCountsUnderNonStationaryNoise)
 std::vector<std::string> split_csv_row(const std::string& line,
                                        std::size_t fields);
 
+// Calibration reuse across workers: leader/follower election is by plan
+// order, not arrival order, so a warm plan behind the shared cache must
+// stay byte-identical between `--jobs 1` and `--jobs 4` — with exactly
+// one full (leader) calibration per link and warm followers behind it,
+// every payload still delivered bit-exactly.
+TEST(Emission, WarmCalibrationIsByteIdenticalAcrossJobCounts)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::flock, Mechanism::event};
+  plan.scenarios = {exec::named_scenario("local")};
+  plan.protocols = {{"adaptive", ProtocolMode::adaptive}};
+  plan.repeats = 3;
+  plan.seed_base = 0xCA11B;
+  plan.payload_bits = 256;
+  plan.base.calibration = CalibrationPolicy::warm;
+
+  const exec::CampaignResult serial = exec::CampaignRunner{1}.run(plan);
+  const exec::CampaignResult parallel = exec::CampaignRunner{4}.run(plan);
+  std::ostringstream serial_csv, parallel_csv, serial_json, parallel_json;
+  exec::write_csv(serial_csv, serial);
+  exec::write_csv(parallel_csv, parallel);
+  exec::write_json(serial_json, serial);
+  exec::write_json(parallel_json, parallel);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+
+  std::size_t full_cells = 0, warm_cells = 0;
+  for (const exec::CellResult& cell : serial.cells) {
+    ASSERT_TRUE(cell.report.ok)
+        << cell.cell.label << ": " << cell.report.failure_reason;
+    EXPECT_TRUE(cell.report.sync_ok) << cell.cell.label;
+    EXPECT_EQ(cell.report.ber, 0.0) << cell.cell.label;
+    ASSERT_TRUE(cell.report.proto.has_value());
+    switch (cell.report.proto->calibration_source) {
+      case CalibrationSource::full: ++full_cells; break;
+      case CalibrationSource::warm: ++warm_cells; break;
+      case CalibrationSource::fallback: break;
+    }
+  }
+  // The first cell of each (mechanism, scenario) link leads; the seed
+  // replicates behind it warm-start (a stray fallback is legal, but a
+  // clear majority must confirm).
+  EXPECT_EQ(full_cells, 2u);
+  EXPECT_GE(warm_cells, 2u);
+}
+
 TEST(Emission, CsvCarriesScenarioNamesAndRoundTrips)
 {
   exec::ExperimentPlan plan;
@@ -347,8 +393,8 @@ TEST(Emission, CsvCarriesScenarioNamesAndRoundTrips)
   ASSERT_TRUE(std::getline(in, header));
   std::size_t row = 0;
   while (std::getline(in, line)) {
-    const auto fields = split_csv_row(line, 23);
-    ASSERT_EQ(fields.size(), 23u);
+    const auto fields = split_csv_row(line, 25);
+    ASSERT_EQ(fields.size(), 25u);
     EXPECT_EQ(fields[2], result.cells[row].cell.config.scenario_name);
     ++row;
   }
@@ -416,7 +462,7 @@ TEST(Emission, CsvRoundTripsAgainstInMemoryReports)
   std::istringstream in{out.str()};
   std::string header;
   ASSERT_TRUE(std::getline(in, header));
-  const std::size_t n_fields = 23;
+  const std::size_t n_fields = 25;
   ASSERT_EQ(std::count(header.begin(), header.end(), ',') + 1u, n_fields);
 
   std::size_t row_index = 0;
@@ -464,7 +510,14 @@ TEST(Emission, CsvRoundTripsAgainstInMemoryReports)
                     rep.throughput_bps, "aggregate_goodput");
     EXPECT_EQ(std::strtoul(fields[21].c_str(), nullptr, 10),
               rep.proto ? rep.proto->rebalances : 0u);
-    EXPECT_EQ(fields[22], "\"" + rep.failure_reason + "\"");
+    // Calibration columns: source is empty unless the cell actually
+    // probed (fixed/arq cells never do), probes echoes the count.
+    const std::size_t probes =
+        rep.proto ? rep.proto->calibration_probes : 0u;
+    EXPECT_EQ(fields[22],
+              probes > 0 ? to_string(rep.proto->calibration_source) : "");
+    EXPECT_EQ(std::strtoul(fields[23].c_str(), nullptr, 10), probes);
+    EXPECT_EQ(fields[24], "\"" + rep.failure_reason + "\"");
     ++row_index;
   }
   EXPECT_EQ(row_index, result.cells.size());

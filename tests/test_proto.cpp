@@ -431,6 +431,107 @@ TEST(Calibration, FailsCleanlyWhenNoTopologyWorks)
   EXPECT_FALSE(cal.failure.empty());
 }
 
+// --- warm-start calibration (proto/cal_cache) -------------------------
+
+// The campaign's reuse scheme in miniature, across the mechanism ×
+// scenario matrix: a follower warm-starting from a leader's published
+// pick must produce a complete calibration verdict, stay within one
+// grid step of the leader when the confirm probe agrees, spend fewer
+// probes than a full sweep, and deliver the payload bit-exactly.
+TEST(Calibration, WarmAgreesWithFullAcrossMechanismsAndScenarios)
+{
+  const struct {
+    Mechanism m;
+    Scenario s;
+  } matrix[] = {
+      {Mechanism::flock, Scenario::local},
+      {Mechanism::flock, Scenario::cross_sandbox},
+      {Mechanism::semaphore, Scenario::local},
+      {Mechanism::semaphore, Scenario::cross_sandbox},
+      {Mechanism::event, Scenario::local},
+      {Mechanism::event, Scenario::cross_sandbox},
+  };
+  int confirmed = 0;
+  for (const auto& [m, s] : matrix) {
+    ExperimentConfig leader;
+    leader.mechanism = m;
+    leader.scenario = s;
+    leader.timing = paper_timeset(m, s);
+    leader.seed = 41;
+    const proto::Calibration full = proto::calibrate_link(leader);
+    ASSERT_TRUE(full.ok) << to_string(m) << "/" << to_string(s) << ": "
+                         << full.failure;
+    EXPECT_EQ(full.source, CalibrationSource::full);
+
+    // The follower is a different cell of the same link: same anchor,
+    // fresh noise stream.
+    ExperimentConfig follower = leader;
+    follower.seed = 0xF0110A;
+    const proto::CalibrationPick pick{full.grid_index, full.margin,
+                                      full.symbol_error};
+    const proto::Calibration warm =
+        proto::calibrate_link_warm(follower, {}, {}, pick);
+    ASSERT_TRUE(warm.ok) << to_string(m) << "/" << to_string(s) << ": "
+                         << warm.failure;
+    if (warm.source == CalibrationSource::warm) {
+      ++confirmed;
+      // Warm picks come from the hinted index or a neighbor only.
+      const std::size_t distance = warm.grid_index > full.grid_index
+                                       ? warm.grid_index - full.grid_index
+                                       : full.grid_index - warm.grid_index;
+      EXPECT_LE(distance, 1u) << to_string(m) << "/" << to_string(s);
+      EXPECT_LT(warm.probes_sent, full.probes_sent)
+          << to_string(m) << "/" << to_string(s);
+    } else {
+      // A fallback completes the sweep — never more probes than cold.
+      EXPECT_EQ(warm.source, CalibrationSource::fallback);
+      EXPECT_LE(warm.probes_sent, full.probes_sent);
+    }
+
+    // End to end: the warm driver must still deliver bit-exactly.
+    Rng rng{follower.seed ^ 0xFEED};
+    const BitVec payload = BitVec::random(rng, 512);
+    const ChannelReport rep = proto::run_adaptive_transmission_warm(
+        follower, payload, {}, pick);
+    ASSERT_TRUE(rep.ok) << rep.failure_reason;
+    EXPECT_TRUE(rep.sync_ok);
+    EXPECT_EQ(rep.ber, 0.0);
+    ASSERT_EQ(rep.received_payload.size(), payload.size());
+    EXPECT_TRUE(rep.received_payload == payload);
+  }
+  // The screen tolerance is sized so same-link followers confirm in the
+  // common case; demand a clear majority across the matrix.
+  EXPECT_GE(confirmed, 4) << "only " << confirmed
+                          << "/6 warm starts confirmed";
+}
+
+// A hint no probe can confirm (out-of-range index: nothing to probe at
+// the hint or its neighbors) must degrade to the complete sweep — and
+// because probe/trial seeds are keyed by the absolute grid index, that
+// fallback sweep is bit-identical to a cold calibration.
+TEST(Calibration, WarmFallsBackToTheFullSweepOnABogusHint)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::flock;
+  cfg.scenario = Scenario::local;
+  cfg.timing = paper_timeset(Mechanism::flock, Scenario::local);
+  cfg.seed = 41;
+
+  const proto::Calibration full = proto::calibrate_link(cfg);
+  ASSERT_TRUE(full.ok) << full.failure;
+
+  const proto::CalibrationPick bogus{100, 1.0, 0.0};
+  const proto::Calibration warm =
+      proto::calibrate_link_warm(cfg, {}, {}, bogus);
+  ASSERT_TRUE(warm.ok) << warm.failure;
+  EXPECT_EQ(warm.source, CalibrationSource::fallback);
+  EXPECT_EQ(warm.grid_index, full.grid_index);
+  EXPECT_EQ(warm.scale, full.scale);
+  EXPECT_EQ(warm.probes_sent, full.probes_sent);
+  EXPECT_EQ(warm.symbol_error, full.symbol_error);
+  EXPECT_EQ(warm.margin, full.margin);
+}
+
 // --- bonded link (proto/bond) -----------------------------------------
 
 ExperimentConfig bond_base(std::uint64_t seed)

@@ -78,6 +78,10 @@ struct Options {
   std::size_t width = 1;
   bool fec = false;
   bool adapt = false;  // run: calibrate + ARQ; campaign: adaptive axis
+  // Adaptive calibration policy: full sweeps every cell/transfer
+  // independently (byte-identical to the pre-cache behavior); warm
+  // reuses the leader's published pick across same-link cells.
+  CalibrationPolicy calibration = CalibrationPolicy::full;
   std::size_t bond = 1;   // run: stripe over N bonded sub-channels
   std::string protocols;  // campaign protocol axis (comma list)
   std::string pairs;      // campaign bonded-pairs axis (comma list)
@@ -126,6 +130,10 @@ void usage()
       "  --adapt         adaptive protocol: calibrate the rate against\n"
       "                  the live noise, then deliver via ARQ (run/"
       "campaign)\n"
+      "  --calibration P full|warm (adaptive cells; default full).\n"
+      "                  warm: the first cell of each identical link\n"
+      "                  calibrates fully, later cells reuse its pick\n"
+      "                  (run/campaign)\n"
       "  --bond N        bonded link: stripe the payload across N\n"
       "                  calibrated sub-channel pairs in one simulation\n"
       "                  (run; implies the adaptive stack per pair)\n"
@@ -192,6 +200,7 @@ const std::vector<FlagDef>& flag_defs()
       {"--fuzz", true, "run sweep text campaign", true},
       {"--fec", false, "run", true},
       {"--adapt", false, "run campaign", true},
+      {"--calibration", true, "run campaign", true},
       {"--bond", true, "run", true},
       {"--spec", true, "run"},
       {"--message", true, "text"},
@@ -350,6 +359,17 @@ bool parse_flag_value(const std::string& flag, const char* value,
     }
     return true;
   }
+  if (flag == "--calibration") {
+    const std::optional<CalibrationPolicy> policy =
+        api::parse_calibration(value);
+    if (!policy) {
+      std::fprintf(stderr, "--calibration wants full or warm, got '%s'\n",
+                   value);
+      return false;
+    }
+    opt.calibration = *policy;
+    return true;
+  }
   if (flag == "--spec") { opt.spec_path = value; return true; }
   if (flag == "--message") { opt.message = value; return true; }
   if (flag == "--param") { opt.param = value; return true; }
@@ -471,6 +491,7 @@ api::SessionSpec spec_from(const Options& opt)
     spec.protocol = ProtocolMode::adaptive;
   }
   if (opt.adapt) spec.protocol = ProtocolMode::adaptive;
+  spec.link.calibration = opt.calibration;
   return spec;
 }
 
@@ -790,6 +811,7 @@ bool plan_spec_from(const Options& opt, api::PlanSpec& plan)
   plan.payload_bits = opt.bits;
   plan.session.link.symbol_bits = opt.width;
   plan.session.link.sync_bits = 8 * opt.width;
+  plan.session.link.calibration = opt.calibration;
   plan.session.stack.mitigation_fuzz = Duration::us(opt.fuzz);
   return true;
 }
