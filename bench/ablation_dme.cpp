@@ -1,0 +1,396 @@
+// Ablation: the distributed mutual-exclusion channel family over the
+// multi-node fabric (src/net + src/dme).
+//
+// Part 1 — protocol x topology matrix: the three DME protocols
+// (simple broadcast, Ricart–Agrawala, Maekawa quorums) against the
+// cluster scenarios — rack cells of 3/5/7 nodes, a WAN cell, the lossy
+// WAN cell — plus `local` to show the inverse of Table VI: a channel
+// whose physical layer is lock-request latency over a fabric cannot run
+// without one.
+//
+// Part 2 — ARQ delivery proof (the acceptance gate): every protocol
+// delivers a payload bit-exactly over the lossy 5-node WAN cell (2%
+// loss, reordering) — retransmission at the agent layer plus ARQ at the
+// protocol layer absorb the fabric's drops.
+//
+// Part 3 — the drift experiment: on `dme-slow-quorum-5` a node sitting
+// in both endpoints' Maekawa quorums turns 6x slow mid-transfer, which
+// pushes even uncontended acquisitions past the calibrated threshold
+// while leaving the two latency levels separable at a slower rate.
+// The drift-aware adaptive link re-probes and recovers goodput (scored
+// against a healthy `dme-rack-5` run on the same seed); the frozen link
+// keeps a stale operating point.
+//
+// Emits BENCH_dme.json (cwd) so CI archives a perf trajectory against
+// bench/dme_baseline.json.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "bench/bench_common.h"
+#include "net/fabric.h"
+#include "proto/adaptive.h"
+#include "scenario/registry.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mes;
+
+constexpr std::uint64_t kSeed = 0xD1573B;
+constexpr std::size_t kMatrixBits = 512;
+constexpr std::size_t kArqBits = 512;
+constexpr std::size_t kDriftBits = 4096;
+constexpr std::size_t kDriftRepeats = 3;
+
+const std::vector<Mechanism> kDmeMechanisms = {
+    Mechanism::dme_broadcast,
+    Mechanism::dme_ricart,
+    Mechanism::dme_maekawa,
+};
+
+const std::vector<std::string> kMatrixScenarios = {
+    "local",     "dme-rack-3",      "dme-rack-5",
+    "dme-rack-7", "dme-wan-5",      "dme-lossy-wan-5"};
+
+// --- Part 1: protocol x topology matrix --------------------------------
+
+struct MatrixOut {
+  std::vector<analysis::ScenarioMatrixCell> cells;
+};
+
+MatrixOut run_matrix()
+{
+  MatrixOut out;
+  out.cells = analysis::scenario_matrix(kDmeMechanisms, kMatrixScenarios,
+                                        ProtocolMode::adaptive, kMatrixBits,
+                                        kSeed);
+
+  TextTable table({"scenario", "protocol", "delivered", "goodput(kb/s)",
+                   "residual BER(%)", "state"});
+  for (const analysis::ScenarioMatrixCell& c : out.cells) {
+    table.add_row(
+        {c.scenario, to_string(c.mechanism), c.delivered ? "yes" : "no",
+         c.ran ? TextTable::num(c.goodput_bps / 1000.0, 3) : "-",
+         c.ran ? TextTable::num(c.ber * 100.0, 2) : "-",
+         c.ran ? (c.delivered ? "ok" : "UNDELIVERED") : c.failure});
+  }
+  table.print();
+
+  std::size_t survivors = 0;
+  for (const auto& c : out.cells) {
+    if (c.delivered) ++survivors;
+  }
+  std::printf("matrix   : %zu/%zu (protocol, topology) cells deliver through "
+              "the adaptive stack\n",
+              survivors, out.cells.size());
+  return out;
+}
+
+// --- Part 2: ARQ bit-exact delivery over the lossy WAN -----------------
+
+struct ArqCell {
+  Mechanism mechanism = Mechanism::dme_broadcast;
+  bool bit_exact = false;
+  double goodput_bps = 0.0;
+  std::size_t frame_sends = 0;
+  std::size_t retransmits = 0;
+  std::string failure;
+};
+
+struct ArqOut {
+  std::vector<ArqCell> cells;
+  bool pass = false;
+};
+
+ArqOut run_arq()
+{
+  std::printf("\n-- ARQ bit-exact delivery over dme-lossy-wan-5 "
+              "(%zu payload bits, 2%% loss) --\n",
+              static_cast<std::size_t>(kArqBits));
+  TextTable table({"protocol", "bit-exact", "goodput(kb/s)", "frame sends",
+                   "retransmits"});
+
+  ArqOut out;
+  std::size_t exact = 0;
+  for (const Mechanism m : kDmeMechanisms) {
+    ExperimentConfig cfg;
+    cfg.mechanism = m;
+    cfg.scenario_name = "dme-lossy-wan-5";
+    cfg.timing = paper_timeset(m, Scenario::cross_vm);
+    cfg.seed = kSeed + 0x77;
+
+    Rng rng{cfg.seed ^ 0xA12FULL};
+    const BitVec payload = BitVec::random(rng, kArqBits);
+    const ChannelReport rep = proto::run_arq_transmission(cfg, payload);
+
+    ArqCell cell;
+    cell.mechanism = m;
+    cell.bit_exact = rep.ok && rep.sync_ok && rep.received_payload == payload;
+    cell.goodput_bps = rep.throughput_bps;
+    if (rep.proto) {
+      cell.frame_sends = rep.proto->frame_sends;
+      cell.retransmits = rep.proto->retransmits;
+    }
+    if (!rep.ok) cell.failure = rep.failure_reason;
+    if (cell.bit_exact) ++exact;
+    table.add_row({to_string(m), cell.bit_exact ? "yes" : "NO",
+                   TextTable::num(cell.goodput_bps / 1000.0, 3),
+                   std::to_string(cell.frame_sends),
+                   std::to_string(cell.retransmits)});
+    out.cells.push_back(cell);
+  }
+  table.print();
+
+  // The gate: all three protocols must deliver bit-exactly despite the
+  // lossy fabric.
+  out.pass = exact == kDmeMechanisms.size();
+  std::printf("arq      : %zu/%zu protocols bit-exact over the lossy WAN\n",
+              exact, kDmeMechanisms.size());
+  std::printf("verdict  : %s (gate: all protocols bit-exact)\n",
+              out.pass ? "PASS" : "FAIL");
+  return out;
+}
+
+// --- Part 3: the slow-quorum-member drift experiment -------------------
+
+// The fabric slowdown never advances the noise model's phase id, so the
+// DriftMonitor's per-phase split can't separate pre/post here; recovery
+// is measured instead against a healthy cluster of the same size
+// (`dme-rack-5`) run on the same seed.
+struct DriftCell {
+  bool delivered = false;
+  double overall_bps = 0.0;    // delivered payload bits / total elapsed
+  double recovered_bps = 0.0;  // steady-state after the last recal
+  std::size_t recals = 0;
+  // Share of the healthy-cluster goodput the session ended up at: the
+  // post-recalibration steady state when it re-tuned, the whole-session
+  // rate when it never did (frozen mode, or drift that never fired).
+  double recovery(double healthy_bps) const
+  {
+    if (healthy_bps <= 0.0 || !delivered) return 0.0;
+    const double rate = recals > 0 ? recovered_bps : overall_bps;
+    return rate / healthy_bps;
+  }
+};
+
+DriftCell run_drift_cell(std::uint64_t seed, const char* scenario,
+                         bool drift_enabled)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::dme_maekawa;  // node 2 sits in both quorums
+  cfg.scenario_name = scenario;
+  cfg.timing = paper_timeset(Mechanism::dme_maekawa, Scenario::local);
+  cfg.seed = seed;
+
+  Rng rng{seed ^ 0xD21FULL};
+  const BitVec payload = BitVec::random(rng, kDriftBits);
+
+  proto::AdaptiveOptions opt;
+  opt.drift.enabled = drift_enabled;
+  // Short calibration (no trial-frame refinement): the full sweep takes
+  // ~40s of link time on these slow cells, which would swallow the 8s
+  // slowdown onset; the experiment needs the onset to land mid-payload,
+  // after a *clean* calibration.
+  opt.calibration.probe_symbols = 64;
+  opt.calibration.refine_candidates = 0;
+  const ChannelReport rep = proto::run_adaptive_transmission(cfg, payload, opt);
+
+  DriftCell cell;
+  cell.delivered = rep.ok && rep.sync_ok;
+  cell.overall_bps = rep.throughput_bps;
+  if (rep.proto) {
+    cell.recals = rep.proto->recalibrations;
+    cell.recovered_bps = rep.proto->recovered_goodput_bps;
+  }
+  return cell;
+}
+
+struct DriftOut {
+  bool pass = false;
+  double mean_recovery_on = 0.0;
+  double mean_post_ratio_off = 0.0;
+  std::size_t delivered_on = 0;
+  std::size_t delivered_off = 0;
+};
+
+DriftOut run_drift()
+{
+  std::printf("\n-- dme-slow-quorum-5: drift-aware vs frozen calibration "
+              "(Maekawa, %zu bits, shared member 6x slow at 8s) --\n",
+              static_cast<std::size_t>(kDriftBits));
+  TextTable table({"seed", "mode", "delivered", "healthy(kb/s)",
+                   "overall(kb/s)", "recovered(kb/s)", "recals", "recovery"});
+
+  DriftOut out;
+  double sum_on = 0.0;
+  double sum_off = 0.0;
+  for (std::size_t r = 0; r < kDriftRepeats; ++r) {
+    const std::uint64_t seed = kSeed + 0x1000 * (r + 1);
+    const DriftCell healthy = run_drift_cell(seed, "dme-rack-5", true);
+    const DriftCell on = run_drift_cell(seed, "dme-slow-quorum-5", true);
+    const DriftCell off = run_drift_cell(seed, "dme-slow-quorum-5", false);
+    sum_on += on.recovery(healthy.overall_bps);
+    sum_off += off.recovery(healthy.overall_bps);
+    if (on.delivered) ++out.delivered_on;
+    if (off.delivered) ++out.delivered_off;
+    for (const auto& [mode, c] :
+         {std::pair<const char*, const DriftCell&>{"drift", on},
+          std::pair<const char*, const DriftCell&>{"frozen", off}}) {
+      table.add_row(
+          {std::to_string(seed), mode, c.delivered ? "yes" : "NO",
+           TextTable::num(healthy.overall_bps / 1000.0, 3),
+           TextTable::num(c.overall_bps / 1000.0, 3),
+           c.recals > 0 ? TextTable::num(c.recovered_bps / 1000.0, 3) : "-",
+           std::to_string(c.recals),
+           TextTable::num(100.0 * c.recovery(healthy.overall_bps), 0) + "%"});
+    }
+  }
+  table.print();
+
+  out.mean_recovery_on = sum_on / kDriftRepeats;
+  out.mean_post_ratio_off = sum_off / kDriftRepeats;
+
+  // The claim: the drift-aware link delivers every session and recovers
+  // a solid share of its healthy-cluster goodput over the slowed fabric;
+  // it must beat (or match, when the stale point survives) the frozen
+  // one. The bar sits below the physics ceiling: with the shared quorum
+  // member 6x slow, every probe pays ~1.3ms extra through it, which
+  // caps the recovered rate near half the healthy one.
+  const bool recovery_ok =
+      out.delivered_on == kDriftRepeats && out.mean_recovery_on >= 0.35;
+  const bool beats_frozen =
+      out.delivered_off < kDriftRepeats ||
+      out.mean_recovery_on >= out.mean_post_ratio_off;
+  out.pass = recovery_ok && beats_frozen;
+
+  std::printf("drift    : mean recovery %.0f%% (delivered %zu/%zu); frozen "
+              "link keeps %.0f%% (delivered %zu/%zu)\n",
+              100.0 * out.mean_recovery_on, out.delivered_on, kDriftRepeats,
+              100.0 * out.mean_post_ratio_off, out.delivered_off,
+              kDriftRepeats);
+  std::printf("verdict  : %s (recovery %s 35%% bar; drift %s frozen)\n",
+              out.pass ? "PASS" : "FAIL",
+              recovery_ok ? "clears" : "MISSES",
+              beats_frozen ? "beats" : "DID NOT BEAT");
+  return out;
+}
+
+// --- emission ----------------------------------------------------------
+
+// Strict-JSON double: non-finite metrics emit null, never `nan`/`inf`
+// (the BENCH_*.json artifact convention).
+void json_num(std::ostream& out, double v)
+{
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+std::string to_json(const MatrixOut& matrix, const ArqOut& arq,
+                    const DriftOut& drift)
+{
+  std::ostringstream out;
+  out << "{\"matrix\":[";
+  for (std::size_t i = 0; i < matrix.cells.size(); ++i) {
+    const analysis::ScenarioMatrixCell& c = matrix.cells[i];
+    if (i > 0) out << ",";
+    out << "{\"scenario\":\"" << c.scenario << "\",\"mechanism\":\""
+        << to_string(c.mechanism) << "\",\"ran\":"
+        << (c.ran ? "true" : "false")
+        << ",\"delivered\":" << (c.delivered ? "true" : "false")
+        << ",\"goodput_bps\":";
+    json_num(out, c.ran ? c.goodput_bps : 0.0);
+    out << ",\"ber\":";
+    json_num(out, c.ran ? c.ber : 0.0);
+    out << "}";
+  }
+  out << "],\"arq\":[";
+  for (std::size_t i = 0; i < arq.cells.size(); ++i) {
+    const ArqCell& c = arq.cells[i];
+    if (i > 0) out << ",";
+    out << "{\"mechanism\":\"" << to_string(c.mechanism)
+        << "\",\"bit_exact\":" << (c.bit_exact ? "true" : "false")
+        << ",\"goodput_bps\":";
+    json_num(out, c.goodput_bps);
+    out << ",\"frame_sends\":" << c.frame_sends
+        << ",\"retransmits\":" << c.retransmits << "}";
+  }
+  out << "],\"drift\":{\"mean_recovery\":";
+  json_num(out, drift.mean_recovery_on);
+  out << ",\"frozen_post_ratio\":";
+  json_num(out, drift.mean_post_ratio_off);
+  out << ",\"delivered_drift\":" << drift.delivered_on
+      << ",\"delivered_frozen\":" << drift.delivered_off
+      << ",\"repeats\":" << kDriftRepeats
+      << ",\"pass\":" << (drift.pass ? "true" : "false")
+      << "},\"pass\":" << ((arq.pass && drift.pass) ? "true" : "false")
+      << "}\n";
+  return out.str();
+}
+
+// --- microbenchmarks ---------------------------------------------------
+
+void BM_FabricSendDeliver(benchmark::State& state)
+{
+  sim::Simulator sim{kSeed};
+  net::ClusterParams params;
+  params.size = 5;
+  params.link_base = Duration::us(120);
+  net::Fabric fabric{sim, params, kSeed};
+  net::Message msg{0, 1, 1, 0, 42};
+  for (auto _ : state) {
+    const bool sent = fabric.send(msg);
+    benchmark::DoNotOptimize(sent);
+    benchmark::DoNotOptimize(sim.run(1'000));
+  }
+}
+BENCHMARK(BM_FabricSendDeliver);
+
+void BM_DmeTransmission(benchmark::State& state)
+{
+  ExperimentConfig cfg;
+  cfg.mechanism = Mechanism::dme_ricart;
+  cfg.scenario_name = "dme-rack-5";
+  cfg.timing = paper_timeset(Mechanism::dme_ricart, Scenario::local);
+  cfg.seed = kSeed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mes::bench::run_random(cfg, 256).ok);
+  }
+}
+BENCHMARK(BM_DmeTransmission)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  mes::bench::print_header(
+      "Distributed mutual exclusion over the multi-node fabric",
+      "MES contention channels generalized to cluster-wide locks "
+      "(broadcast / Ricart-Agrawala / Maekawa)");
+
+  const MatrixOut matrix = run_matrix();
+  const ArqOut arq = run_arq();
+  const DriftOut drift = run_drift();
+
+  const std::string json = to_json(matrix, arq, drift);
+  std::ofstream out{"BENCH_dme.json"};
+  if (out) {
+    out << json;
+    std::printf("\nwrote BENCH_dme.json\n");
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return (arq.pass && drift.pass) ? 0 : 1;
+}

@@ -143,6 +143,9 @@ const std::vector<std::pair<std::string, Mechanism>>& mechanism_names()
       {"flock-sh", Mechanism::flock_shared},
       {"sync-sync", Mechanism::sync_contention},
       {"write-sync", Mechanism::write_sync},
+      {"dme-bcast", Mechanism::dme_broadcast},
+      {"dme-ra", Mechanism::dme_ricart},
+      {"dme-maekawa", Mechanism::dme_maekawa},
   };
   return names;
 }

@@ -1,0 +1,115 @@
+#include "channels/dme_base.h"
+
+#include "net/fabric.h"
+
+namespace mes::channels {
+
+namespace {
+
+// Same re-dispatch model as the single-host contention rendezvous (see
+// contention_base.cpp): both endpoints pay a scheduler release latency
+// plus any pending displaced-work penalty before the Spy timestamps.
+sim::Proc rendezvous(core::RunContext& ctx, os::Process& proc, bool receiver)
+{
+  co_await ctx.bit_sync->arrive(ctx.kernel.sim());
+  const sim::NoiseModel& noise = ctx.kernel.noise();
+  const TimePoint now = ctx.kernel.sim().now();
+  const Duration dispatch = receiver
+                                ? noise.rx_dispatch_latency(proc.rng(), now)
+                                : noise.dispatch_latency(proc.rng(), now);
+  co_await ctx.kernel.sim().delay(dispatch + proc.take_pending_penalty());
+}
+
+}  // namespace
+
+std::string DmeBase::setup(core::RunContext& ctx)
+{
+  if (!ctx.cluster || ctx.cluster->fabric == nullptr) {
+    return "needs a cluster scenario (no fabric between nodes)";
+  }
+  const core::ClusterContext& cl = *ctx.cluster;
+  const std::size_t n = cl.fabric->size();
+  if (cl.kernels.size() != n || cl.agents.size() != n) {
+    return "cluster context incomplete (kernels/agents != nodes)";
+  }
+  if (cl.trojan_node >= n || cl.spy_node >= n ||
+      cl.trojan_node == cl.spy_node) {
+    return "trojan/spy node placement invalid";
+  }
+  if (!ctx.bit_sync) {
+    return "needs fine-grained sync (no cluster-wide anchor to free-run)";
+  }
+  return "";
+}
+
+sim::Proc DmeBase::trojan_run(core::RunContext& ctx,
+                              std::vector<std::size_t> symbols)
+{
+  core::ClusterContext& cl = *ctx.cluster;
+  os::Kernel& k = *cl.kernels[cl.trojan_node];
+  os::Process& trojan = ctx.trojan;
+  dme::LockAgent& lock = *cl.agents[cl.trojan_node];
+  for (const std::size_t s : symbols) {
+    // Acquire BEFORE the symbol rendezvous: by the time the barrier
+    // opens the lock is already held, so the Spy's probe can never race
+    // ahead of the request round trip.  Without this, scheduler jitter
+    // at the barrier lets the Spy's request land while we are still
+    // `wanting`, and the weaker protocols (broadcast defers only when
+    // held; Maekawa obeys whoever stamped first) grant it a fast
+    // acquisition mid-'1' — a ~15% symbol error rate on a rack.
+    bool held = false;
+    if (s != 0) {
+      held = co_await lock.acquire(trojan);
+    }
+    co_await rendezvous(ctx, trojan, false);
+    co_await k.sim().delay(core::jittered_loop_cost(ctx, trojan));
+    if (s != 0) {
+      // Hold (or, if the retry budget died under heavy loss, merely
+      // burn) the window so the bit cadence survives; an unheld '1' is
+      // noise for the ARQ layer to repair.
+      co_await k.sleep(trojan, ctx.timing.t1);
+      if (held) {
+        const bool released = co_await lock.release(trojan);
+        if (!released) ++release_faults_;
+      }
+    } else {
+      co_await k.sleep(trojan, ctx.timing.t0);
+    }
+  }
+}
+
+sim::Proc DmeBase::spy_run(core::RunContext& ctx, std::size_t expected,
+                           core::RxResult& out)
+{
+  core::ClusterContext& cl = *ctx.cluster;
+  os::Kernel& k = *cl.kernels[cl.spy_node];
+  os::Process& spy = ctx.spy;
+  dme::LockAgent& lock = *cl.agents[cl.spy_node];
+  out.symbols.reserve(expected);
+  out.latencies.reserve(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    co_await rendezvous(ctx, spy, true);
+    // The Trojan pre-acquired before the barrier, so a '1' is already
+    // held here; the guard is margin against its release handshake from
+    // the previous symbol still draining through the fabric.
+    co_await k.sim().delay(ctx.spy_guard);
+    const TimePoint start = k.sim().now();
+    const bool held = co_await lock.acquire(spy);
+    // The observable is time-to-acquire; the release handshake (a full
+    // acked round trip under Maekawa) happens outside the measurement.
+    const Duration raw = k.sim().now() - start;
+    if (held) {
+      const bool released = co_await lock.release(spy);
+      if (!released) ++release_faults_;
+    }
+    // A failed probe ran the full retry budget — an honest huge
+    // latency, classified like any other reading.
+    const Duration latency =
+        k.noise().apply_corruption(spy.rng(), k.sim().now(), raw);
+    out.latencies.push_back(latency);
+    out.symbols.push_back(ctx.classifier.classify(latency));
+  }
+  out.finished_at = k.sim().now();
+}
+
+}  // namespace mes::channels

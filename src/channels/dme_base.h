@@ -1,0 +1,57 @@
+// Shared protocol loops for the distributed (DME) contention channels.
+//
+// Protocol 1 lifted onto a cluster: the Trojan modulates critical-
+// section *requests* for a distributed lock on its node, and the Spy
+// reads bits out of its own lock-acquisition latency on another node —
+// the hand-off signal travels over the net fabric and picks up link
+// jitter, loss and quorum effects no single-host scenario produces.
+//
+// Differences from channels::ContentionBase:
+//  * acquire is fallible (a bounded retransmission budget under loss):
+//    a failed Trojan acquire still burns the hold window to keep the
+//    bit cadence, and a failed Spy probe reads as a huge latency — both
+//    are symbol noise for the FEC/ARQ layers above;
+//  * the roles live on different kernels (their cluster nodes), found
+//    through RunContext::cluster;
+//  * only the fine-grained-sync mode exists: without the per-bit
+//    rendezvous there is no cluster-wide anchor to free-run against,
+//    so setup refuses rather than emitting garbage.
+#pragma once
+
+#include "core/channel.h"
+#include "dme/agent.h"
+
+namespace mes::channels {
+
+class DmeBase : public core::Channel {
+ public:
+  std::string setup(core::RunContext& ctx) override;
+  sim::Proc trojan_run(core::RunContext& ctx,
+                       std::vector<std::size_t> symbols) override;
+  sim::Proc spy_run(core::RunContext& ctx, std::size_t expected,
+                    core::RxResult& out) override;
+
+  // Unacknowledged release handshakes seen so far (stragglers heal on
+  // the next acquire; exposed for diagnostics).
+  std::uint64_t release_faults() const { return release_faults_; }
+
+ private:
+  std::uint64_t release_faults_ = 0;
+};
+
+class DmeBroadcastChannel final : public DmeBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::dme_broadcast; }
+};
+
+class DmeRicartChannel final : public DmeBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::dme_ricart; }
+};
+
+class DmeMaekawaChannel final : public DmeBase {
+ public:
+  Mechanism mechanism() const override { return Mechanism::dme_maekawa; }
+};
+
+}  // namespace mes::channels

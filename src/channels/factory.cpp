@@ -1,5 +1,6 @@
 #include "core/channel.h"
 
+#include "channels/dme_base.h"
 #include "channels/event_channel.h"
 #include "channels/filelockex_channel.h"
 #include "channels/flock_channel.h"
@@ -36,6 +37,12 @@ std::unique_ptr<Channel> make_channel(Mechanism m)
       return std::make_unique<channels::SyncContentionChannel>();
     case Mechanism::write_sync:
       return std::make_unique<channels::WriteSyncChannel>();
+    case Mechanism::dme_broadcast:
+      return std::make_unique<channels::DmeBroadcastChannel>();
+    case Mechanism::dme_ricart:
+      return std::make_unique<channels::DmeRicartChannel>();
+    case Mechanism::dme_maekawa:
+      return std::make_unique<channels::DmeMaekawaChannel>();
   }
   return nullptr;
 }

@@ -6,6 +6,7 @@
 // coroutines on the simulator.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,7 +17,27 @@
 #include "sim/barrier.h"
 #include "sim/task.h"
 
+namespace mes::net {
+class Fabric;
+}
+namespace mes::dme {
+class LockAgent;
+}
+
 namespace mes::core {
+
+// Shared state for the distributed (cluster) channel family: the fabric
+// joining the node kernels, plus one lock-agent instance per node for
+// THIS channel's lock (multi-pair experiments get one context — one
+// distributed lock — per pair). Null on single-host scenarios, which is
+// exactly how dme channels detect an unusable topology at setup.
+struct ClusterContext {
+  net::Fabric* fabric = nullptr;
+  std::vector<os::Kernel*> kernels;  // index = node id
+  std::vector<std::shared_ptr<dme::LockAgent>> agents;  // index = node id
+  std::uint32_t trojan_node = 0;
+  std::uint32_t spy_node = 1;
+};
 
 // Default post-rendezvous linger (see RunContext::spy_guard).
 inline constexpr double kDefaultSpyGuardUs = 25.0;
@@ -46,6 +67,10 @@ struct RunContext {
   // the Trojan's acquire always wins the post-rendezvous race even
   // under dispatch-latency skew.
   Duration spy_guard = Duration::us(kDefaultSpyGuardUs);
+
+  // Cluster scenarios only (defaulted last so existing designated
+  // initializers keep compiling): see ClusterContext above.
+  std::shared_ptr<ClusterContext> cluster;
 };
 
 struct RxResult {

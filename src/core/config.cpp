@@ -12,6 +12,9 @@ ChannelClass class_of(Mechanism m)
     case Mechanism::flock_shared:
     case Mechanism::sync_contention:
     case Mechanism::write_sync:
+    case Mechanism::dme_broadcast:
+    case Mechanism::dme_ricart:
+    case Mechanism::dme_maekawa:
       return ChannelClass::contention;
     case Mechanism::event:
     case Mechanism::waitable_timer:
@@ -29,6 +32,9 @@ OsFlavor flavor_of(Mechanism m)
     case Mechanism::flock_shared:
     case Mechanism::sync_contention:
     case Mechanism::write_sync:
+    case Mechanism::dme_broadcast:
+    case Mechanism::dme_ricart:
+    case Mechanism::dme_maekawa:
       return OsFlavor::linux_like;
     default:
       return OsFlavor::windows;
@@ -48,6 +54,9 @@ const char* to_string(Mechanism m)
     case Mechanism::flock_shared: return "flock-SH(ext)";
     case Mechanism::sync_contention: return "Sync+Sync(ext)";
     case Mechanism::write_sync: return "Write+Sync(ext)";
+    case Mechanism::dme_broadcast: return "DME-bcast(ext)";
+    case Mechanism::dme_ricart: return "DME-RA(ext)";
+    case Mechanism::dme_maekawa: return "DME-Maekawa(ext)";
   }
   return "?";
 }
@@ -116,6 +125,13 @@ TimingConfig paper_timeset(Mechanism m, Scenario s)
           // Storage-sync: t1 is the device occupancy the Trojan's dirty
           // pages buy (~30 pages at ~8 us each); t0 the '0' sleep.
           t.t1 = D::us(240); t.t0 = D::us(80); break;
+        case Mechanism::dme_broadcast:
+        case Mechanism::dme_ricart:
+        case Mechanism::dme_maekawa:
+          // Distributed locks: the symbol time must dominate the rack
+          // round trip (~0.3 ms uncontended acquire), so the hold that
+          // encodes '1' is held well above it.
+          t.t1 = D::us(2000); t.t0 = D::us(2000); break;
       }
       break;
     case Scenario::cross_sandbox:
@@ -135,6 +151,10 @@ TimingConfig paper_timeset(Mechanism m, Scenario s)
         case Mechanism::sync_contention:
         case Mechanism::write_sync:
           t.t1 = D::us(260); t.t0 = D::us(80); break;
+        case Mechanism::dme_broadcast:
+        case Mechanism::dme_ricart:
+        case Mechanism::dme_maekawa:
+          t.t1 = D::us(2200); t.t0 = D::us(2200); break;
       }
       break;
     case Scenario::cross_vm:
@@ -155,6 +175,13 @@ TimingConfig paper_timeset(Mechanism m, Scenario s)
         case Mechanism::sync_contention:
         case Mechanism::write_sync:
           t.t1 = D::us(300); t.t0 = D::us(90); break;
+        case Mechanism::dme_broadcast:
+        case Mechanism::dme_ricart:
+        case Mechanism::dme_maekawa:
+          // WAN anchor: one-way link latency is milliseconds, so the
+          // hold must dominate a multi-hop acquire (~12 ms round trip
+          // plus a retransmission timeout under loss).
+          t.t1 = D::us(40000); t.t0 = D::us(40000); break;
       }
       break;
   }

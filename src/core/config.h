@@ -26,6 +26,12 @@ enum class Mechanism {
   flock_shared,     // extension: read-lock probes  (contention, §IV.D)
   sync_contention,  // extension: fsync-vs-fsync device queue (contention)
   write_sync,       // extension: dirty pages vs fsync probe  (contention)
+  // Distributed mutual exclusion (src/dme): the lock lives on no single
+  // host — acquisition latency is the message-passing hand-off over the
+  // cluster fabric (src/net), so these only run on cluster scenarios.
+  dme_broadcast,    // extension: simple broadcast DME        (contention)
+  dme_ricart,       // extension: Ricart-Agrawala DME         (contention)
+  dme_maekawa,      // extension: Maekawa quorum DME          (contention)
 };
 
 // Table I: mutual exclusion yields contention channels; synchronization

@@ -1,0 +1,434 @@
+#include "dme/agent.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mes::dme {
+
+namespace {
+
+// Wire opcodes (Message::kind).
+enum Kind : std::uint32_t {
+  kRequest = 1,  // a = req id, b = request's priority clock
+  kReply,        // a = echoed req id          (broadcast / RA)
+  kGrant,        // a = echoed req id          (Maekawa)
+  kInquire,      // a = the granted req id     (Maekawa)
+  kRelinquish,   // a = relinquished req id    (Maekawa)
+  kRelease,      // a = released req id        (Maekawa)
+  kReleaseAck,   // a = echoed released req id (Maekawa)
+};
+
+}  // namespace
+
+const char* to_string(Protocol p)
+{
+  switch (p) {
+    case Protocol::broadcast: return "broadcast";
+    case Protocol::ricart_agrawala: return "ricart-agrawala";
+    case Protocol::maekawa: return "maekawa";
+  }
+  return "?";
+}
+
+std::vector<net::NodeId> maekawa_quorum(std::size_t n, net::NodeId id)
+{
+  std::vector<net::NodeId> q;
+  std::size_t root = 1;
+  while ((root + 1) * (root + 1) <= n) ++root;
+  if (root >= 2 && root * root == n) {
+    // Maekawa's grid: the requester's row plus its column, quorum size
+    // 2*sqrt(n)-1; any two row∪column sets intersect.
+    const std::size_t row = id / root;
+    const std::size_t col = id % root;
+    for (std::size_t c = 0; c < root; ++c) {
+      q.push_back(static_cast<net::NodeId>(row * root + c));
+    }
+    for (std::size_t r = 0; r < root; ++r) {
+      if (r == row) continue;
+      q.push_back(static_cast<net::NodeId>(r * root + col));
+    }
+  } else {
+    // Majority window {id .. id + n/2} mod n: size floor(n/2)+1, so any
+    // two windows overlap in at least one node.
+    const std::size_t span = n / 2 + 1;
+    for (std::size_t k = 0; k < span; ++k) {
+      q.push_back(static_cast<net::NodeId>((id + k) % n));
+    }
+  }
+  return q;
+}
+
+LockAgent::LockAgent(os::Kernel& kernel, net::Fabric& fabric,
+                     net::NodeId node, std::uint32_t port, AgentOptions opt)
+    : kernel_{kernel},
+      self_{kernel.create_process("dme" + std::to_string(port) + "_n" +
+                                  std::to_string(node))},
+      fabric_{fabric},
+      endpoint_{fabric.endpoint(node, port)},
+      node_{node},
+      port_{port},
+      opt_{opt}
+{
+  if (fabric.size() > 64) {
+    throw std::invalid_argument{"dme::LockAgent: peer bitmasks cap the "
+                                "cluster at 64 nodes"};
+  }
+  if (opt_.retry_timeout <= Duration::zero()) {
+    // A request round trip plus headroom for the lognormal jitter tail.
+    opt_.retry_timeout = fabric.params().link_base * 5.0;
+  }
+  if (opt_.send_copies == 0) {
+    opt_.send_copies = fabric.params().loss > 0.0 ? 2 : 1;
+  }
+}
+
+sim::Proc LockAgent::serve()
+{
+  for (;;) {
+    std::optional<net::Message> msg = co_await endpoint_.recv();
+    if (!msg.has_value()) continue;  // infinite wait never times out
+    co_await kernel_.charge_op(self_, os::OpKind::net_recv);
+    ++handled_;
+    // Lamport merge: receipt is a local event after the remote send.
+    if (msg->c > clock_) clock_ = msg->c;
+    ++clock_;
+    handle(*msg);
+  }
+}
+
+std::size_t LockAgent::post(std::uint32_t kind, net::NodeId dst,
+                            std::uint64_t a, std::uint64_t b)
+{
+  net::Message msg;
+  msg.src = node_;
+  msg.dst = dst;
+  msg.port = port_;
+  msg.kind = kind;
+  msg.a = a;
+  msg.b = b;
+  msg.c = tick();
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < opt_.send_copies; ++i) {
+    const bool sent = fabric_.send(msg);
+    if (sent) ++delivered;
+  }
+  return delivered;
+}
+
+// --- reply-counting protocols (broadcast, Ricart–Agrawala) -------------
+
+sim::Task<bool> ReplyAgent::acquire(os::Process& proc)
+{
+  co_await kernel_.charge_op(proc, os::OpKind::net_send);
+  state_ = State::wanting;
+  ++req_id_;
+  req_clock_ = tick();
+  acks_ = bit(node_);  // our own permission is implicit
+  send_requests();
+  for (std::size_t attempt = 0; attempt < max_attempts(); ++attempt) {
+    if (state_ == State::held) break;
+    const sim::WaitOutcome outcome =
+        co_await gate_.wait(kernel_.sim(), retry_timeout());
+    if (state_ == State::held) break;
+    if (outcome == sim::WaitOutcome::timed_out) send_requests();
+  }
+  if (state_ != State::held) {
+    // Budget spent: stop contending. Anyone we deferred meanwhile gets
+    // their OK now; stragglers answering the stale req id are ignored.
+    state_ = State::idle;
+    flush_deferred();
+    co_return false;
+  }
+  co_await kernel_.charge_op(proc, os::OpKind::net_recv);
+  co_return true;
+}
+
+sim::Task<bool> ReplyAgent::release(os::Process& proc)
+{
+  co_await kernel_.charge_op(proc, os::OpKind::net_send);
+  state_ = State::idle;
+  flush_deferred();
+  co_return true;
+}
+
+void ReplyAgent::handle(net::Message msg)
+{
+  switch (msg.kind) {
+    case kRequest: {
+      if (defer_request(msg.src, msg.b)) {
+        note_deferred(msg.src, msg.a);
+      } else {
+        post(kReply, msg.src, msg.a);
+      }
+      break;
+    }
+    case kReply: {
+      // Replies to an abandoned or finished request carry a stale id
+      // and fall through harmlessly.
+      if (state_ == State::wanting && msg.a == req_id_) {
+        acks_ |= bit(msg.src);
+        if (acks_ == all_mask()) {
+          state_ = State::held;
+          gate_.notify_one(kernel_.sim());
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ReplyAgent::send_requests()
+{
+  // (Re)ask every peer we have not heard from; receivers re-answer
+  // duplicates idempotently, so over-asking after a lost reply is safe.
+  for (net::NodeId j = 0; j < cluster_size(); ++j) {
+    if (acks_ & bit(j)) continue;
+    post(kRequest, j, req_id_, req_clock_);
+  }
+}
+
+void ReplyAgent::flush_deferred()
+{
+  for (const Deferred& d : deferred_) {
+    post(kReply, d.node, d.req_id);
+  }
+  deferred_.clear();
+}
+
+void ReplyAgent::note_deferred(net::NodeId node, std::uint64_t req_id)
+{
+  for (Deferred& d : deferred_) {
+    if (d.node != node) continue;
+    // A newer request from the same node supersedes the parked one.
+    if (req_id > d.req_id) d.req_id = req_id;
+    return;
+  }
+  deferred_.push_back(Deferred{node, req_id});
+}
+
+bool BroadcastAgent::defer_request(net::NodeId /*src*/,
+                                   std::uint64_t /*their_clock*/)
+{
+  return state() == State::held;
+}
+
+bool RicartAgrawalaAgent::defer_request(net::NodeId src,
+                                        std::uint64_t their_clock)
+{
+  if (state() == State::held) return true;
+  return state() == State::wanting &&
+         priority_less(req_clock(), node_, their_clock, src);
+}
+
+// --- Maekawa ------------------------------------------------------------
+
+MaekawaAgent::MaekawaAgent(os::Kernel& kernel, net::Fabric& fabric,
+                           net::NodeId node, std::uint32_t port,
+                           AgentOptions opt)
+    : LockAgent{kernel, fabric, node, port, opt},
+      quorum_{maekawa_quorum(fabric.size(), node)}
+{
+  for (const net::NodeId j : quorum_) quorum_mask_ |= bit(j);
+}
+
+sim::Task<bool> MaekawaAgent::acquire(os::Process& proc)
+{
+  co_await kernel_.charge_op(proc, os::OpKind::net_send);
+  state_ = State::wanting;
+  ++req_id_;
+  req_clock_ = tick();
+  grants_ = 0;
+  send_requests();
+  for (std::size_t attempt = 0; attempt < max_attempts(); ++attempt) {
+    if (state_ == State::held) break;
+    const sim::WaitOutcome outcome =
+        co_await gate_.wait(kernel_.sim(), retry_timeout());
+    if (state_ == State::held) break;
+    if (outcome == sim::WaitOutcome::timed_out) send_requests();
+  }
+  if (state_ != State::held) {
+    // Cancel best-effort: members that did grant free their vote; a
+    // member that misses this heals when our next, higher request id
+    // supersedes the stale grant.
+    state_ = State::idle;
+    for (const net::NodeId j : quorum_) {
+      post(kRelease, j, req_id_);
+    }
+    co_return false;
+  }
+  co_await kernel_.charge_op(proc, os::OpKind::net_recv);
+  co_return true;
+}
+
+sim::Task<bool> MaekawaAgent::release(os::Process& proc)
+{
+  co_await kernel_.charge_op(proc, os::OpKind::net_send);
+  state_ = State::idle;
+  releasing_ = true;
+  release_acks_ = 0;
+  for (std::size_t attempt = 0; attempt < max_attempts(); ++attempt) {
+    for (const net::NodeId j : quorum_) {
+      if (release_acks_ & bit(j)) continue;
+      post(kRelease, j, req_id_);
+    }
+    const sim::WaitOutcome outcome =
+        co_await gate_.wait(kernel_.sim(), retry_timeout());
+    (void)outcome;  // acks either arrived or the next round re-sends
+    if ((release_acks_ & quorum_mask_) == quorum_mask_) break;
+  }
+  const bool all_acked = (release_acks_ & quorum_mask_) == quorum_mask_;
+  releasing_ = false;
+  co_return all_acked;
+}
+
+void MaekawaAgent::handle(net::Message msg)
+{
+  switch (msg.kind) {
+    case kRequest: {
+      const net::NodeId j = msg.src;
+      const std::uint64_t rid = msg.a;
+      const std::uint64_t clk = msg.b;
+      if (has_grant_ && granted_to_ == j) {
+        // Duplicate (lost GRANT) or a newer request superseding the
+        // stale one this node still holds a vote for.
+        if (rid >= granted_rid_) {
+          granted_rid_ = rid;
+          granted_clock_ = clk;
+          post(kGrant, j, rid);
+        }
+        break;
+      }
+      if (!has_grant_) {
+        has_grant_ = true;
+        granted_to_ = j;
+        granted_rid_ = rid;
+        granted_clock_ = clk;
+        inquired_ = false;
+        post(kGrant, j, rid);
+        break;
+      }
+      upsert_waiting(j, rid, clk);
+      // Deadlock avoidance: if the newcomer outranks the current
+      // grantee, ask for the vote back (once per grant).
+      if (!inquired_ &&
+          priority_less(clk, j, granted_clock_, granted_to_)) {
+        inquired_ = true;
+        post(kInquire, granted_to_, granted_rid_);
+      }
+      break;
+    }
+    case kGrant: {
+      if (state_ == State::wanting && msg.a == req_id_ &&
+          (quorum_mask_ & bit(msg.src))) {
+        grants_ |= bit(msg.src);
+        if ((grants_ & quorum_mask_) == quorum_mask_) {
+          state_ = State::held;
+          gate_.notify_one(kernel_.sim());
+        }
+      }
+      break;
+    }
+    case kInquire: {
+      // Yield the member's vote only while not yet fully acquired.
+      if (state_ == State::wanting && msg.a == req_id_ &&
+          (grants_ & bit(msg.src))) {
+        grants_ &= ~bit(msg.src);
+        post(kRelinquish, msg.src, req_id_);
+      }
+      break;
+    }
+    case kRelinquish: {
+      if (has_grant_ && granted_to_ == msg.src && granted_rid_ == msg.a) {
+        upsert_waiting(granted_to_, granted_rid_, granted_clock_);
+        has_grant_ = false;
+        inquired_ = false;
+        grant_next();
+      }
+      break;
+    }
+    case kRelease: {
+      if (has_grant_ && granted_to_ == msg.src && msg.a >= granted_rid_) {
+        has_grant_ = false;
+        inquired_ = false;
+        grant_next();
+      }
+      post(kReleaseAck, msg.src, msg.a);  // ack duplicates too
+      break;
+    }
+    case kReleaseAck: {
+      if (releasing_ && msg.a == req_id_) {
+        release_acks_ |= bit(msg.src);
+        if ((release_acks_ & quorum_mask_) == quorum_mask_) {
+          gate_.notify_one(kernel_.sim());
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MaekawaAgent::send_requests()
+{
+  for (const net::NodeId j : quorum_) {
+    if (grants_ & bit(j)) continue;
+    post(kRequest, j, req_id_, req_clock_);
+  }
+}
+
+void MaekawaAgent::grant_next()
+{
+  if (waiting_.empty()) return;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < waiting_.size(); ++i) {
+    if (priority_less(waiting_[i].clk, waiting_[i].node,
+                      waiting_[best].clk, waiting_[best].node)) {
+      best = i;
+    }
+  }
+  const Waiting w = waiting_[best];
+  waiting_.erase(waiting_.begin() +
+                 static_cast<std::ptrdiff_t>(best));
+  has_grant_ = true;
+  granted_to_ = w.node;
+  granted_rid_ = w.rid;
+  granted_clock_ = w.clk;
+  inquired_ = false;
+  post(kGrant, w.node, w.rid);
+}
+
+void MaekawaAgent::upsert_waiting(net::NodeId node, std::uint64_t rid,
+                                  std::uint64_t clk)
+{
+  for (Waiting& w : waiting_) {
+    if (w.node != node) continue;
+    if (rid > w.rid) {
+      w.rid = rid;
+      w.clk = clk;
+    }
+    return;
+  }
+  waiting_.push_back(Waiting{node, rid, clk});
+}
+
+std::unique_ptr<LockAgent> make_agent(Protocol p, os::Kernel& kernel,
+                                      net::Fabric& fabric, net::NodeId node,
+                                      std::uint32_t port, AgentOptions opt)
+{
+  switch (p) {
+    case Protocol::broadcast:
+      return std::make_unique<BroadcastAgent>(kernel, fabric, node, port,
+                                              opt);
+    case Protocol::ricart_agrawala:
+      return std::make_unique<RicartAgrawalaAgent>(kernel, fabric, node,
+                                                   port, opt);
+    case Protocol::maekawa:
+      return std::make_unique<MaekawaAgent>(kernel, fabric, node, port, opt);
+  }
+  throw std::invalid_argument{"unknown DME protocol"};
+}
+
+}  // namespace mes::dme

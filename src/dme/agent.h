@@ -1,0 +1,225 @@
+// Distributed mutual exclusion agents over the cluster fabric.
+//
+// One LockAgent per (node, lock): a coroutine message pump (`serve`,
+// spawned as a *daemon* root — it parks on recv forever by design) plus
+// blocking acquire()/release() entry points called by the channel's
+// trojan/spy coroutines on that node. Three classic protocols:
+//
+//  * simple broadcast — ask everyone; a holder defers its OK until
+//    release (SNIPPETS.md §1-2 transliterated onto the fabric);
+//  * Ricart–Agrawala — Lamport-clock priority breaks request races, a
+//    lower-priority wanter defers its OK;
+//  * Maekawa — permission from a quorum (grid row∪column for perfect
+//    squares, a majority window otherwise) with INQUIRE/RELINQUISH
+//    deadlock avoidance.
+//
+// Loss resilience is uniform: requests retransmit on an RTT-derived
+// timeout, receivers re-answer duplicates idempotently (a request id
+// per attempt-independent acquire dedups replies), and a newer request
+// from the same node supersedes any stale state it left behind — so a
+// lost REPLY, GRANT or RELEASE heals on the next retransmission instead
+// of wedging the lock. acquire() returns false once the bounded retry
+// budget is spent; the ARQ layer above treats the symbol as noise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.h"
+#include "os/kernel.h"
+#include "sim/task.h"
+#include "sim/wait_queue.h"
+#include "util/time.h"
+
+namespace mes::dme {
+
+enum class Protocol { broadcast, ricart_agrawala, maekawa };
+
+const char* to_string(Protocol p);
+
+struct AgentOptions {
+  // Per-attempt wait before retransmitting to unheard peers; zero
+  // derives ~5x the fabric's one-way link base (a round trip plus
+  // jitter-tail headroom).
+  Duration retry_timeout = Duration::zero();
+  std::size_t max_attempts = 8;
+  // Link-layer repetition: copies per post. Zero = auto (2 on a lossy
+  // fabric — squaring the drop probability keeps retransmission tails
+  // rare enough for FEC+ARQ to absorb — else 1).
+  std::size_t send_copies = 0;
+};
+
+// Maekawa voting set for node `id` in an `n`-node cluster: grid
+// row∪column when n is a perfect square, else the majority window
+// {id .. id + n/2} mod n. Always includes `id` itself. Exposed for
+// tests (any two quorums must intersect).
+std::vector<net::NodeId> maekawa_quorum(std::size_t n, net::NodeId id);
+
+class LockAgent {
+ public:
+  LockAgent(os::Kernel& kernel, net::Fabric& fabric, net::NodeId node,
+            std::uint32_t port, AgentOptions opt);
+  virtual ~LockAgent() = default;
+
+  LockAgent(const LockAgent&) = delete;
+  LockAgent& operator=(const LockAgent&) = delete;
+
+  net::NodeId node() const { return node_; }
+  std::uint64_t messages_handled() const { return handled_; }
+
+  // The message pump. Spawn via Simulator::spawn_daemon — it never
+  // finishes, and must not count as a deadlocked root at drain.
+  sim::Proc serve();
+
+  // Blocking acquire for `proc` (a process on this agent's kernel).
+  // False when the bounded retransmission budget ran out.
+  [[nodiscard]] virtual sim::Task<bool> acquire(os::Process& proc) = 0;
+  // Hands the lock back (answers deferred peers / releases the quorum).
+  // False when a release handshake went unacknowledged within the
+  // budget — later acquires self-heal the stragglers.
+  [[nodiscard]] virtual sim::Task<bool> release(os::Process& proc) = 0;
+
+ protected:
+  virtual void handle(net::Message msg) = 0;
+
+  // Sends with repetition; returns copies actually delivered (possibly
+  // zero — the retry loop recovers).
+  std::size_t post(std::uint32_t kind, net::NodeId dst, std::uint64_t a,
+                   std::uint64_t b = 0);
+  std::uint64_t tick() { return ++clock_; }
+  Duration retry_timeout() const { return opt_.retry_timeout; }
+  std::size_t max_attempts() const { return opt_.max_attempts; }
+  std::size_t cluster_size() const { return fabric_.size(); }
+  static std::uint64_t bit(net::NodeId id) { return 1ULL << id; }
+  // Lexicographic (lamport clock, node id) — a total order on requests.
+  static bool priority_less(std::uint64_t clk_a, net::NodeId a,
+                            std::uint64_t clk_b, net::NodeId b)
+  {
+    if (clk_a != clk_b) return clk_a < clk_b;
+    return a < b;
+  }
+
+  os::Kernel& kernel_;
+  os::Process& self_;  // daemon identity for serve-side op charges
+  net::Fabric& fabric_;
+  net::Endpoint& endpoint_;
+  net::NodeId node_;
+  std::uint32_t port_;
+  AgentOptions opt_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t handled_ = 0;
+};
+
+// Shared machinery of the two reply-counting protocols (broadcast and
+// Ricart–Agrawala): broadcast the request, collect one OK per peer,
+// defer OKs per the protocol's rule, flush deferrals on release.
+class ReplyAgent : public LockAgent {
+ public:
+  using LockAgent::LockAgent;
+
+  [[nodiscard]] sim::Task<bool> acquire(os::Process& proc) override;
+  [[nodiscard]] sim::Task<bool> release(os::Process& proc) override;
+
+ protected:
+  enum class State : std::uint8_t { idle, wanting, held };
+
+  void handle(net::Message msg) override;
+  // True when the incoming request must wait for our release.
+  virtual bool defer_request(net::NodeId src, std::uint64_t their_clock) = 0;
+
+  State state() const { return state_; }
+  std::uint64_t req_clock() const { return req_clock_; }
+
+ private:
+  void send_requests();
+  void flush_deferred();
+  void note_deferred(net::NodeId node, std::uint64_t req_id);
+  std::uint64_t all_mask() const
+  {
+    return (cluster_size() >= 64) ? ~0ULL : (1ULL << cluster_size()) - 1;
+  }
+
+  State state_ = State::idle;
+  std::uint64_t req_id_ = 0;
+  std::uint64_t req_clock_ = 0;
+  std::uint64_t acks_ = 0;  // peers heard for the current request
+  struct Deferred {
+    net::NodeId node;
+    std::uint64_t req_id;
+  };
+  std::vector<Deferred> deferred_;
+  sim::WaitQueue gate_;
+};
+
+class BroadcastAgent final : public ReplyAgent {
+ public:
+  using ReplyAgent::ReplyAgent;
+
+ protected:
+  // Simple broadcast: only an actual holder withholds its OK.
+  bool defer_request(net::NodeId src, std::uint64_t their_clock) override;
+};
+
+class RicartAgrawalaAgent final : public ReplyAgent {
+ public:
+  using ReplyAgent::ReplyAgent;
+
+ protected:
+  // RA: a holder defers, and so does a wanter whose own request has
+  // priority (earlier clock, id tie-break).
+  bool defer_request(net::NodeId src, std::uint64_t their_clock) override;
+};
+
+class MaekawaAgent final : public LockAgent {
+ public:
+  MaekawaAgent(os::Kernel& kernel, net::Fabric& fabric, net::NodeId node,
+               std::uint32_t port, AgentOptions opt);
+
+  [[nodiscard]] sim::Task<bool> acquire(os::Process& proc) override;
+  [[nodiscard]] sim::Task<bool> release(os::Process& proc) override;
+
+  const std::vector<net::NodeId>& quorum() const { return quorum_; }
+
+ protected:
+  void handle(net::Message msg) override;
+
+ private:
+  enum class State : std::uint8_t { idle, wanting, held };
+
+  void send_requests();
+  void grant_next();
+  void upsert_waiting(net::NodeId node, std::uint64_t rid,
+                      std::uint64_t clk);
+
+  // Requester half.
+  State state_ = State::idle;
+  std::uint64_t req_id_ = 0;
+  std::uint64_t req_clock_ = 0;
+  std::uint64_t grants_ = 0;  // quorum members heard (absolute node bits)
+  std::vector<net::NodeId> quorum_;
+  std::uint64_t quorum_mask_ = 0;
+  bool releasing_ = false;
+  std::uint64_t release_acks_ = 0;
+  sim::WaitQueue gate_;
+
+  // Member (voter) half: at most one outstanding grant.
+  bool has_grant_ = false;
+  net::NodeId granted_to_ = 0;
+  std::uint64_t granted_rid_ = 0;
+  std::uint64_t granted_clock_ = 0;
+  bool inquired_ = false;
+  struct Waiting {
+    net::NodeId node;
+    std::uint64_t rid;
+    std::uint64_t clk;
+  };
+  std::vector<Waiting> waiting_;
+};
+
+std::unique_ptr<LockAgent> make_agent(Protocol p, os::Kernel& kernel,
+                                      net::Fabric& fabric, net::NodeId node,
+                                      std::uint32_t port,
+                                      AgentOptions opt = {});
+
+}  // namespace mes::dme

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dme/agent.h"
+#include "exec/seed.h"
 #include "os/vfs.h"
 #include "os/win_objects.h"
 #include "scenario/registry.h"
@@ -9,6 +11,24 @@
 namespace mes::exec {
 
 namespace {
+
+bool is_dme(Mechanism m)
+{
+  return m == Mechanism::dme_broadcast || m == Mechanism::dme_ricart ||
+         m == Mechanism::dme_maekawa;
+}
+
+dme::Protocol protocol_of(Mechanism m)
+{
+  switch (m) {
+    case Mechanism::dme_ricart:
+      return dme::Protocol::ricart_agrawala;
+    case Mechanism::dme_maekawa:
+      return dme::Protocol::maekawa;
+    default:
+      return dme::Protocol::broadcast;
+  }
+}
 
 // Registry resolution: a named scenario wins; the legacy enum resolves
 // to the same registry entries via make_profile.
@@ -67,6 +87,34 @@ ExperimentEnv::ExperimentEnv(const ExperimentConfig& cfg)
     kernel_->set_op_fuzz(cfg_.mitigation_fuzz);
   }
   if (cfg_.enable_trace) kernel_->enable_trace(true);
+
+  // Cluster mode: one simulator timeline, N kernels. The fabric's
+  // per-link RNG streams and each extra node's noise model derive from
+  // the experiment seed through distinct coordinates, so campaigns stay
+  // byte-identical regardless of worker count.
+  if (profile_.cluster.enabled()) {
+    const net::ClusterParams& cl = profile_.cluster;
+    fabric_ = std::make_unique<net::Fabric>(
+        *simulator_, cl, mix_seed(cfg_.seed, {0xfab51cull}));
+    for (net::NodeId n = 1; n < cl.size; ++n) {
+      node_kernels_.push_back(std::make_unique<os::Kernel>(
+          *simulator_, profile_.make_noise(mix_seed(cfg_.seed, {0xd3e0ull, n})),
+          cfg_.fairness));
+      os::Kernel& k = *node_kernels_.back();
+      k.objects().set_namespace_sharing(
+          profile_.topology.shared_object_namespace);
+      k.vfs().set_shared_volume(profile_.topology.shared_file_volume);
+      k.vfs().page_cache().configure(profile_.storage);
+      if (cfg_.mitigation_fuzz > Duration::zero()) {
+        k.set_op_fuzz(cfg_.mitigation_fuzz);
+      }
+    }
+  }
+}
+
+os::Kernel& ExperimentEnv::kernel_of(net::NodeId n)
+{
+  return n == 0 ? *kernel_ : *node_kernels_[n - 1];
 }
 
 codec::SymbolSchedule ExperimentEnv::schedule_for(
@@ -124,10 +172,17 @@ ExperimentEnv::Endpoint& ExperimentEnv::add_pair(const PairSpec& spec)
   pair_cfg.mechanism = ep.mechanism;
   pair_cfg.timing = timing;
 
-  os::Process& trojan = kernel_->create_process("trojan" + suffix,
-                                                profile_.topology.trojan_ns);
+  // DME pairs live on their cluster nodes; everything else runs on the
+  // primary kernel (node 0).
+  const bool cross_node = is_dme(ep.mechanism) && fabric_ != nullptr;
+  os::Kernel& trojan_kernel =
+      cross_node ? kernel_of(profile_.cluster.trojan_node) : *kernel_;
+  os::Kernel& spy_kernel =
+      cross_node ? kernel_of(profile_.cluster.spy_node) : *kernel_;
+  os::Process& trojan = trojan_kernel.create_process(
+      "trojan" + suffix, profile_.topology.trojan_ns);
   os::Process& spy =
-      kernel_->create_process("spy" + suffix, profile_.topology.spy_ns);
+      spy_kernel.create_process("spy" + suffix, profile_.topology.spy_ns);
 
   ep.ctx = std::make_unique<core::RunContext>(core::RunContext{
       .kernel = *kernel_,
@@ -172,6 +227,11 @@ ExperimentEnv::Endpoint& ExperimentEnv::add_reverse_pair(
       .bit_sync = nullptr,
       .spy_guard = Duration::us(core::kDefaultSpyGuardUs)});
   finish_endpoint(ep);
+  // The reverse Trojan is the forward Spy's process: it lives on the
+  // spy node, so the cluster roles swap with it.
+  if (ep.ctx->cluster) {
+    std::swap(ep.ctx->cluster->trojan_node, ep.ctx->cluster->spy_node);
+  }
   return ep;
 }
 
@@ -198,6 +258,39 @@ void ExperimentEnv::finish_endpoint(Endpoint& ep)
     // margins.
     ep.ctx->spy_guard =
         std::max(ep.ctx->spy_guard, ep.ctx->timing.t1 * 0.02);
+  }
+
+  if (is_dme(ep.mechanism) && fabric_ != nullptr) {
+    // One lock object (fabric port) per endpoint: an agent on every
+    // node, each parked on its daemon message pump. The channel's
+    // trojan/spy drive the agents on their own nodes only.
+    auto cluster = std::make_shared<core::ClusterContext>();
+    cluster->fabric = fabric_.get();
+    cluster->trojan_node = profile_.cluster.trojan_node;
+    cluster->spy_node = profile_.cluster.spy_node;
+    const std::uint32_t port = next_dme_port_++;
+    for (net::NodeId n = 0; n < fabric_->size(); ++n) {
+      os::Kernel& k = kernel_of(n);
+      cluster->kernels.push_back(&k);
+      std::shared_ptr<dme::LockAgent> agent =
+          dme::make_agent(protocol_of(ep.mechanism), k, *fabric_, n, port);
+      simulator_->spawn_daemon(agent->serve(),
+                               "dme_serve_n" + std::to_string(n));
+      cluster->agents.push_back(std::move(agent));
+    }
+    ep.ctx->cluster = std::move(cluster);
+    // The guard must outlast a one-way link so the Trojan's request
+    // (stamped at its node) reaches the lock before the Spy probes.
+    ep.ctx->spy_guard =
+        std::max(ep.ctx->spy_guard, profile_.cluster.link_base * 3);
+  } else if (!is_dme(ep.mechanism) && profile_.cluster.enabled()) {
+    // Single-host mechanisms have no cross-node substrate: kernel
+    // objects and files do not resolve through the fabric (the cluster
+    // analogue of Table VI's visibility cuts).
+    ep.channel = core::make_channel(ep.mechanism);
+    ep.error = "mechanism cannot cross the fabric (no shared kernel "
+               "objects between nodes)";
+    return;
   }
 
   ep.channel = core::make_channel(ep.mechanism);

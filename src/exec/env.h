@@ -17,6 +17,7 @@
 
 #include "core/channel.h"
 #include "core/runner.h"
+#include "net/fabric.h"
 #include "os/kernel.h"
 #include "sim/simulator.h"
 
@@ -93,6 +94,13 @@ class ExperimentEnv {
   sim::Simulator& simulator() { return *simulator_; }
   os::Kernel& kernel() { return *kernel_; }
 
+  // Cluster mode (profiles with cluster.enabled()): the fabric joining
+  // the node kernels, or nullptr on single-host scenarios.
+  net::Fabric* fabric() { return fabric_.get(); }
+  // Node `n`'s kernel; node 0 is the primary `kernel_` (so single-host
+  // callers and cluster node 0 see the same object).
+  os::Kernel& kernel_of(net::NodeId n);
+
   // Symbol pacing for this config's channel class.
   codec::SymbolSchedule schedule() const;
   // The a-priori classifier a Spy starts from before any preamble
@@ -110,6 +118,12 @@ class ExperimentEnv {
   ScenarioProfile profile_;
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<os::Kernel> kernel_;
+  // Cluster mode: nodes 1..N-1 get their own kernels (decorrelated
+  // noise streams) joined to node 0 by the fabric. Declared after the
+  // simulator so parked fabric waiters outlive their queues.
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<os::Kernel>> node_kernels_;
+  std::uint32_t next_dme_port_ = 1;  // one lock (port) per DME endpoint
   std::deque<Endpoint> endpoints_;  // deque: stable refs as pairs grow
 };
 

@@ -1,0 +1,52 @@
+// Cluster topology parameters for the multi-node fabric.
+//
+// Deliberately dependency-light (util/time.h only): scenario profiles
+// embed a ClusterParams the same way they embed os::StorageParams, so
+// this header is included from scenario/profile.h without dragging the
+// simulator in. `size == 0` (the default) means the scenario is
+// single-host and no fabric is built.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace mes::net {
+
+// Sentinel for "no node" (e.g. no slow quorum member).
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+struct ClusterParams {
+  std::size_t size = 0;  // node count; < 2 disables cluster mode
+
+  // Where the channel endpoints live. The remaining nodes only host
+  // lock-agent daemons (quorum members / permission granters).
+  std::uint32_t trojan_node = 0;
+  std::uint32_t spy_node = 1;
+
+  // Per-link one-way latency model: lognormal around `link_base`
+  // (median) with shape `link_jitter_sigma`, sampled from a dedicated
+  // per-link RNG stream (see net::Fabric).
+  Duration link_base = Duration::us(120);
+  double link_jitter_sigma = 0.25;
+
+  // Loss/reorder, also drawn from the per-link streams. A reordered
+  // message picks up an extra delay so later sends can overtake it.
+  double loss = 0.0;
+  double reorder = 0.0;
+  Duration reorder_extra = Duration::us(250);
+
+  // One member running slow (the drift-recalibration stress): every
+  // link touching `slow_node` is `slow_factor` x slower once the clock
+  // passes `slow_from`.
+  std::uint32_t slow_node = kNoNode;
+  double slow_factor = 1.0;
+  Duration slow_from = Duration::zero();
+
+  bool enabled() const { return size >= 2; }
+
+  friend bool operator==(const ClusterParams&, const ClusterParams&) = default;
+};
+
+}  // namespace mes::net

@@ -1,0 +1,87 @@
+#include "net/fabric.h"
+
+#include <stdexcept>
+
+namespace mes::net {
+
+sim::Task<std::optional<Message>> Endpoint::recv(Duration timeout)
+{
+  while (inbox_.empty()) {
+    const sim::WaitOutcome outcome =
+        co_await arrivals_.wait(fabric_.sim(), timeout);
+    if (outcome == sim::WaitOutcome::timed_out) co_return std::nullopt;
+  }
+  const Message msg = inbox_.front();
+  inbox_.pop_front();
+  co_return msg;
+}
+
+Fabric::Fabric(sim::Simulator& sim, const ClusterParams& params,
+               std::uint64_t seed)
+    : sim_{sim}, params_{params}
+{
+  if (params_.size < 2) {
+    throw std::invalid_argument{"net::Fabric needs at least 2 nodes"};
+  }
+  // One stream per ordered link, forked in fixed src-major order: a
+  // link's future draws are pinned at construction, independent of
+  // which link happens to be exercised first.
+  Rng master{seed};
+  link_rng_.reserve(params_.size * params_.size);
+  for (std::size_t src = 0; src < params_.size; ++src) {
+    for (std::size_t dst = 0; dst < params_.size; ++dst) {
+      link_rng_.push_back(master.fork());
+    }
+  }
+}
+
+Endpoint& Fabric::endpoint(NodeId node, std::uint32_t port)
+{
+  for (Endpoint& ep : endpoints_) {
+    if (ep.node_ == node && ep.port_ == port) return ep;
+  }
+  endpoints_.emplace_back(*this, node, port);
+  return endpoints_.back();
+}
+
+bool Fabric::send(Message msg)
+{
+  if (msg.src >= params_.size || msg.dst >= params_.size) {
+    throw std::out_of_range{"net::Fabric::send: node id out of range"};
+  }
+  Rng& rng = link_rng_[msg.src * params_.size + msg.dst];
+  ++sent_;
+  if (params_.loss > 0.0 && rng.bernoulli(params_.loss)) {
+    ++dropped_;
+    return false;
+  }
+  const Duration latency = sample_latency(msg.src, msg.dst, rng);
+  sim_.call_after(latency, [this, msg] { deliver(msg); });
+  return true;
+}
+
+Duration Fabric::sample_latency(NodeId src, NodeId dst, Rng& rng)
+{
+  Duration latency =
+      rng.lognormal_dur(params_.link_base, params_.link_jitter_sigma);
+  if (params_.reorder > 0.0 && rng.bernoulli(params_.reorder)) {
+    // The straggler picks up enough extra delay for later sends on the
+    // same link to overtake it.
+    latency += params_.reorder_extra * rng.uniform(0.5, 1.5);
+  }
+  if (params_.slow_node != kNoNode &&
+      (src == params_.slow_node || dst == params_.slow_node) &&
+      sim_.now() >= TimePoint::origin() + params_.slow_from) {
+    latency = latency * params_.slow_factor;
+  }
+  return latency;
+}
+
+void Fabric::deliver(Message msg)
+{
+  Endpoint& ep = endpoint(msg.dst, msg.port);
+  ep.inbox_.push_back(msg);
+  ep.arrivals_.notify_one(sim_);
+}
+
+}  // namespace mes::net

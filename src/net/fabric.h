@@ -1,0 +1,120 @@
+// Deterministic message-passing fabric joining N simulated kernels on
+// ONE simulator timeline.
+//
+// There are no real sockets and no real threads here: a send samples
+// the (src, dst) link model — latency jitter, loss, reorder — and
+// schedules the delivery as an ordinary simulator event, so an entire
+// cluster executes in the one deterministic event order the rest of the
+// tree already relies on. Each ordered link owns a dedicated RNG stream
+// forked at construction in a fixed order, which makes the loss/jitter
+// draws a function of that link's own traffic only: campaigns stay
+// byte-identical no matter how many worker threads (--jobs) replay
+// other cells, and no matter in which order links are first used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/cluster.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/wait_queue.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace mes::net {
+
+using NodeId = std::uint32_t;
+
+// One datagram. The payload is three bare words (request ids, Lamport
+// clocks) — the DME protocols need nothing richer, and a POD keeps the
+// in-flight copies allocation-free.
+// mes-lint: hot-pod
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t port = 0;  // demultiplexes agents sharing a node
+  std::uint32_t kind = 0;  // protocol-defined opcode
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+class Fabric;
+
+// A (node, port) mailbox: delivered messages queue here until the
+// owning agent pumps them. Obtain via Fabric::endpoint(); addresses are
+// stable for the fabric's lifetime.
+class Endpoint {
+ public:
+  // Not for direct use — Fabric::endpoint() is the factory; public only
+  // because deque::emplace_back constructs through the allocator.
+  Endpoint(Fabric& fabric, NodeId node, std::uint32_t port)
+      : fabric_{fabric}, node_{node}, port_{port}
+  {
+  }
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  NodeId node() const { return node_; }
+  std::uint32_t port() const { return port_; }
+  std::size_t pending() const { return inbox_.size(); }
+
+  // Waits for the next delivered message; nullopt on timeout. Single
+  // consumer per endpoint (each lock agent pumps its own mailbox).
+  [[nodiscard]] sim::Task<std::optional<Message>> recv(
+      Duration timeout = Duration::max());
+
+ private:
+  friend class Fabric;
+
+  Fabric& fabric_;
+  NodeId node_;
+  std::uint32_t port_;
+  std::deque<Message> inbox_;
+  sim::WaitQueue arrivals_;
+};
+
+class Fabric {
+ public:
+  // Forks one RNG stream per ordered (src, dst) link from `seed`, in a
+  // fixed (src-major) order — the determinism anchor described above.
+  Fabric(sim::Simulator& sim, const ClusterParams& params,
+         std::uint64_t seed);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  std::size_t size() const { return params_.size; }
+  const ClusterParams& params() const { return params_; }
+
+  // Opens (or returns) the mailbox for (node, port).
+  Endpoint& endpoint(NodeId node, std::uint32_t port);
+
+  // Samples the (src, dst) link model and schedules the delivery;
+  // returns false when the loss model dropped the message (callers
+  // either count the drop or retransmit — discarding the result is a
+  // lint error, see tools/lint checked-errors).
+  [[nodiscard]] bool send(Message msg);
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  Duration sample_latency(NodeId src, NodeId dst, Rng& rng);
+  void deliver(Message msg);
+
+  sim::Simulator& sim_;
+  ClusterParams params_;
+  std::vector<Rng> link_rng_;       // size*size, row-major by (src, dst)
+  std::deque<Endpoint> endpoints_;  // deque: WaitQueue addresses pinned
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mes::net

@@ -33,6 +33,8 @@ const char* to_string(OpKind k)
     case OpKind::file_write: return "file_write";
     case OpKind::file_sync: return "file_sync";
     case OpKind::signal_send: return "signal_send";
+    case OpKind::net_send: return "net_send";
+    case OpKind::net_recv: return "net_recv";
   }
   return "?";
 }

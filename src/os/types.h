@@ -43,6 +43,8 @@ enum class OpKind {
   file_write,
   file_sync,      // fsync through the page-cache flush queue
   signal_send,    // extension channel (POSIX-style signal)
+  net_send,       // cluster fabric: enqueue a message on a link
+  net_recv,       // cluster fabric: dequeue a delivered message
 };
 
 const char* to_string(WaitStatus s);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "net/cluster.h"
 #include "os/page_cache.h"
 #include "os/types.h"
 #include "sim/noise.h"
@@ -58,6 +59,9 @@ struct ScenarioProfile {
   // Flush-device model for the storage-sync channels; inert for every
   // channel that never writes a file.
   os::StorageParams storage;
+  // Multi-node fabric for the distributed (DME) channels; size 0 for
+  // single-host scenarios (no fabric is built).
+  net::ClusterParams cluster;
   std::vector<std::string> layers;  // the composed layer stack, in order
 
   // Instantiates the noise regime for one experiment. Stationary

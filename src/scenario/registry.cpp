@@ -201,6 +201,45 @@ ScenarioBuilder& ScenarioBuilder::writeback_storm(Duration interval)
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::cluster(std::size_t nodes,
+                                          Duration link_base,
+                                          double jitter_sigma)
+{
+  profile_.cluster.size = nodes;
+  profile_.cluster.link_base = link_base;
+  profile_.cluster.link_jitter_sigma = jitter_sigma;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "cluster(n=%zu,%gus)", nodes,
+                link_base.to_us());
+  profile_.layers.push_back(buf);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::lossy_fabric(double loss, double reorder,
+                                               Duration reorder_extra)
+{
+  profile_.cluster.loss = loss;
+  profile_.cluster.reorder = reorder;
+  profile_.cluster.reorder_extra = reorder_extra;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "lossy(%g%%,%g%%)", loss * 100.0,
+                reorder * 100.0);
+  profile_.layers.push_back(buf);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::slow_member(std::uint32_t node,
+                                              double factor, Duration from)
+{
+  profile_.cluster.slow_node = node;
+  profile_.cluster.slow_factor = factor;
+  profile_.cluster.slow_from = from;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "slow-member(n%u,x%g)", node, factor);
+  profile_.layers.push_back(buf);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::anchor(Scenario s)
 {
   profile_.scenario = s;
@@ -370,6 +409,65 @@ const std::vector<ScenarioDef>& library()
            return ScenarioBuilder{"regime-shift"}
                .calm(0.6)
                .regime_shift(2.0, Duration::us(350'000))
+               .build(f);
+         });
+
+    // --- cluster scenarios (the DME channel family; src/net, src/dme) -
+    // Rack cells anchor on `local` (Timeset t1 = 2 ms dominates the
+    // ~0.3 ms uncontended acquire); WAN cells anchor on `cross_vm`
+    // (t1 = 40 ms over ~6 ms one-way links).
+    add("dme-rack-3",
+        "3-node rack cluster (120us links) for distributed locks",
+        {"dme_rack_3"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"dme-rack-3"}
+               .cluster(3, Duration::us(120), 0.25)
+               .build(f);
+         });
+    add("dme-rack-5",
+        "5-node rack cluster (120us links) for distributed locks",
+        {"dme_rack_5", "dme-rack"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"dme-rack-5"}
+               .cluster(5, Duration::us(120), 0.25)
+               .build(f);
+         });
+    add("dme-rack-7",
+        "7-node rack cluster (120us links) for distributed locks",
+        {"dme_rack_7"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"dme-rack-7"}
+               .cluster(7, Duration::us(120), 0.25)
+               .build(f);
+         });
+    add("dme-wan-5",
+        "5 nodes over WAN links (6ms one-way, heavier jitter)",
+        {"dme_wan_5", "dme-wan"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"dme-wan-5"}
+               .cluster(5, Duration::us(6000), 0.30)
+               .anchor(Scenario::cross_vm)
+               .build(f);
+         });
+    add("dme-lossy-wan-5",
+        "WAN cluster with 2% loss / 1% reorder on every link",
+        {"dme_lossy_wan_5", "dme-lossy"}, /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"dme-lossy-wan-5"}
+               .cluster(5, Duration::us(6000), 0.30)
+               .lossy_fabric(0.02, 0.01, Duration::ms(12))
+               .anchor(Scenario::cross_vm)
+               .build(f);
+         });
+    add("dme-slow-quorum-5",
+        "rack cluster where a shared quorum member turns 6x slow "
+        "mid-transfer (drift case)",
+        {"dme_slow_quorum_5", "dme-slow-quorum"},
+        /*hypervisor_sensitive=*/false,
+        [](OsFlavor f, HypervisorType) {
+           return ScenarioBuilder{"dme-slow-quorum-5"}
+               .cluster(5, Duration::us(120), 0.25)
+               .slow_member(2, 6.0, Duration::ms(8000))
                .build(f);
          });
     return lib;

@@ -66,6 +66,20 @@ class ScenarioBuilder {
   // instead of its lazy default, contending with foreground fsyncs.
   ScenarioBuilder& writeback_storm(Duration interval);
 
+  // --- cluster layers (the multi-node fabric; net/cluster.h) -------------
+  // N kernels joined by a message fabric whose links draw a lognormal
+  // one-way latency around `link_base`. Enables the DME channel family;
+  // single-host mechanisms cannot span nodes and fail setup.
+  ScenarioBuilder& cluster(std::size_t nodes, Duration link_base,
+                           double jitter_sigma);
+  // Seed-derived loss/reorder on every link (per-link RNG streams).
+  ScenarioBuilder& lossy_fabric(double loss, double reorder,
+                                Duration reorder_extra);
+  // One quorum member running slow from `from` on: every link touching
+  // `node` is `factor` x slower — the drift-recalibration stress.
+  ScenarioBuilder& slow_member(std::uint32_t node, double factor,
+                               Duration from);
+
   // Overrides the anchor class (defaults: local, or the last isolation
   // layer's nearest paper cell).
   ScenarioBuilder& anchor(Scenario s);

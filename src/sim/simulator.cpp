@@ -316,6 +316,14 @@ void Simulator::spawn(Proc proc, std::string name)
              "Simulator::spawn");
 }
 
+void Simulator::spawn_daemon(Proc proc, std::string name)
+{
+  auto handle = proc.release();  // the simulator now owns the frame
+  roots_.push_back(Root{handle, std::move(name), /*daemon=*/true});
+  push_event(Event{now_, 0, handle, kNil, 0, EventKind::resume},
+             "Simulator::spawn_daemon");
+}
+
 // --- wait-node pool ----------------------------------------------------
 
 std::uint32_t Simulator::alloc_wait_node(std::coroutine_handle<> h,
@@ -467,6 +475,7 @@ RunResult Simulator::run(std::uint64_t max_events)
   result.end_time = now_;
   rethrow_root_exception();
   for (const auto& root : roots_) {
+    if (root.daemon) continue;  // parked daemons are not deadlocks
     if (root.handle && !root.handle.done()) ++result.blocked_roots;
   }
   return result;

@@ -50,6 +50,9 @@ class Simulator {
   // Registers a root process; it starts when run() reaches the current
   // time (spawn order is preserved for simultaneous starts).
   void spawn(Proc proc, std::string name = {});
+  // Same, but the root is a daemon: it may still be parked when the
+  // queue drains without counting as a blocked (deadlocked) root.
+  void spawn_daemon(Proc proc, std::string name = {});
 
   // Awaitable: suspend the calling coroutine for `d` of simulated time.
   auto delay(Duration d)
@@ -176,6 +179,11 @@ class Simulator {
   struct Root {
     Proc::handle_type handle;
     std::string name;
+    // Daemon roots (server/agent loops that park forever by design, e.g.
+    // the DME message pumps) are excluded from the blocked_roots count —
+    // a drained queue with only daemons parked is a clean finish, not a
+    // deadlock. Exceptions they raise still rethrow.
+    bool daemon = false;
   };
   struct FnSlot {
     std::function<void()> fn;

@@ -1,0 +1,34 @@
+// Fixture: checked-errors violations on the fabric/DME call surface.
+// send() reports a loss-model drop, recv() a timeout, acquire() and
+// release() a spent retransmission budget — all real outcomes on a
+// lossy fabric, none safe to discard. Only fires when scanned under
+// src/net/, src/dme/ or src/channels/dme*.
+#include <cstdint>
+
+namespace mes::dme {
+
+sim::Proc pump(net::Fabric& fabric, net::Endpoint& endpoint)
+{
+  co_await endpoint.recv(Duration::ms(5));  // LINT-EXPECT: checked-errors
+  fabric.send(net::Message{});  // LINT-EXPECT: checked-errors
+
+  // Consumed results are clean in every shape.
+  const std::optional<net::Message> msg = co_await endpoint.recv();
+  if (!msg) co_return;
+  const bool sent = fabric.send(*msg);
+  if (!sent) co_return;
+}
+
+sim::Proc symbol(LockAgent& lock, os::Process& proc)
+{
+  co_await lock.acquire(proc);  // LINT-EXPECT: checked-errors
+  co_await lock.release(proc);  // LINT-EXPECT: checked-errors
+
+  const bool held = co_await lock.acquire(proc);
+  if (held) {
+    const bool released = co_await lock.release(proc);
+    if (!released) co_return;
+  }
+}
+
+}  // namespace mes::dme

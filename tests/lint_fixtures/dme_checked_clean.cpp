@@ -1,0 +1,25 @@
+// Fixture: clean counterpart of dme_checked_bad.cpp — every fabric/DME
+// outcome is consumed (or visibly discarded through (void)).
+#include <cstdint>
+
+namespace mes::dme {
+
+sim::Proc pump(net::Fabric& fabric, net::Endpoint& endpoint)
+{
+  const std::optional<net::Message> msg =
+      co_await endpoint.recv(Duration::ms(5));
+  if (!msg) co_return;
+  const bool sent = fabric.send(*msg);
+  if (!sent) co_return;
+  // Best-effort duplicate copy: the visible discard form is accepted.
+  (void)fabric.send(*msg);
+}
+
+sim::Proc symbol(LockAgent& lock, os::Process& proc)
+{
+  const bool held = co_await lock.acquire(proc);
+  if (!held) co_return;
+  if (co_await lock.release(proc)) co_return;
+}
+
+}  // namespace mes::dme

@@ -746,6 +746,22 @@ TEST(Plan, ValidateRejectsAxisOwnedBaseSessionFields)
             "");
 }
 
+TEST(Plan, ValidateRejectsBrokenShardSpecs)
+{
+  // shard_count == 0 would divide the grid by zero; an out-of-range
+  // shard_index would silently run zero cells and "merge" clean.
+  api::PlanSpec plan;
+  plan.shard_count = 0;
+  EXPECT_EQ(plan.validate(), "plan.shard_count must be >= 1");
+
+  plan.shard_count = 4;
+  plan.shard_index = 4;
+  EXPECT_EQ(plan.validate(), "plan.shard_index must be 0..3");
+
+  plan.shard_index = 3;
+  EXPECT_EQ(plan.validate(), "");
+}
+
 TEST(Json, OverflowingDoublesAreAParseError)
 {
   EXPECT_THROW((void)api::Json::parse("{\"m\":1e999}"),

@@ -1,0 +1,352 @@
+// Tests for the multi-node fabric (src/net) and the distributed
+// mutual-exclusion channel family (src/dme, channels/dme_*): per-link
+// RNG stream independence, Maekawa quorum properties, end-to-end
+// delivery on cluster scenarios, and the campaign determinism contract
+// (--jobs 1 vs --jobs N byte-identity, shard+merge byte-identity) over
+// DME cells.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channels/dme_base.h"
+#include "dme/agent.h"
+#include "exec/campaign.h"
+#include "exec/env.h"
+#include "exec/stream.h"
+#include "net/fabric.h"
+#include "scenario/registry.h"
+#include "sim/simulator.h"
+
+namespace mes {
+namespace {
+
+// --- fabric ------------------------------------------------------------
+
+net::ClusterParams lossy_params()
+{
+  net::ClusterParams p;
+  p.size = 3;
+  p.link_base = Duration::us(200);
+  p.link_jitter_sigma = 0.3;
+  p.loss = 0.2;
+  p.reorder = 0.1;
+  p.reorder_extra = Duration::us(500);
+  return p;
+}
+
+// Collects every arrival at (node, port 1) with its delivery time.
+using Arrival = std::pair<std::uint64_t, std::int64_t>;  // (payload, ns)
+
+sim::Proc collect(net::Fabric& fabric, net::NodeId node,
+                  std::vector<Arrival>& out)
+{
+  net::Endpoint& ep = fabric.endpoint(node, 1);
+  while (true) {
+    const std::optional<net::Message> msg = co_await ep.recv();
+    if (!msg) co_return;
+    out.push_back({msg->a, (fabric.sim().now() - TimePoint::origin())
+                               .count_ns()});
+  }
+}
+
+// The determinism anchor: each ordered link owns an RNG stream forked
+// at construction, so a link's loss/latency draws depend only on that
+// link's own traffic order — not on when other links transmit.
+TEST(Fabric, LinkStreamsAreQueryOrderIndependent)
+{
+  const net::ClusterParams params = lossy_params();
+  const std::uint64_t kSeed = 0xD15C0;
+  const std::size_t kMsgs = 64;
+
+  // Fabric A: all of link 0->1, then all of link 2->1.
+  // Fabric B: the same per-link sequences, interleaved.
+  std::vector<Arrival> a_arrivals, b_arrivals;
+  {
+    sim::Simulator sim{1};
+    net::Fabric fabric{sim, params, kSeed};
+    sim.spawn_daemon(collect(fabric, 1, a_arrivals), "collect");
+    std::uint64_t delivered = 0;
+    for (std::uint64_t i = 0; i < kMsgs; ++i) {
+      const bool sent = fabric.send({0, 1, 1, 0, i});
+      if (sent) ++delivered;
+    }
+    for (std::uint64_t i = 0; i < kMsgs; ++i) {
+      const bool sent = fabric.send({2, 1, 1, 0, 1000 + i});
+      if (sent) ++delivered;
+    }
+    (void)sim.run();
+    EXPECT_EQ(a_arrivals.size(), delivered);
+    EXPECT_GT(fabric.messages_dropped(), 0u);  // the loss model is live
+  }
+  {
+    sim::Simulator sim{1};
+    net::Fabric fabric{sim, params, kSeed};
+    sim.spawn_daemon(collect(fabric, 1, b_arrivals), "collect");
+    for (std::uint64_t i = 0; i < kMsgs; ++i) {
+      const bool s0 = fabric.send({0, 1, 1, 0, i});
+      const bool s2 = fabric.send({2, 1, 1, 0, 1000 + i});
+      (void)s0;
+      (void)s2;
+    }
+    (void)sim.run();
+  }
+  // Same survivors, same delivery instants, same arrival order.
+  EXPECT_EQ(a_arrivals, b_arrivals);
+}
+
+TEST(Fabric, RejectsDegenerateClustersAndBadNodeIds)
+{
+  sim::Simulator sim{1};
+  net::ClusterParams tiny;
+  tiny.size = 1;
+  EXPECT_THROW((net::Fabric{sim, tiny, 1}), std::invalid_argument);
+
+  net::ClusterParams ok;
+  ok.size = 3;
+  net::Fabric fabric{sim, ok, 1};
+  EXPECT_THROW((void)fabric.send({0, 7, 1, 0}), std::out_of_range);
+}
+
+TEST(Fabric, SlowMemberStretchesItsLinksAfterOnset)
+{
+  net::ClusterParams params;
+  params.size = 3;
+  params.link_base = Duration::us(100);
+  params.link_jitter_sigma = 0.0;  // deterministic latency
+  params.slow_node = 2;
+  params.slow_factor = 10.0;
+  params.slow_from = Duration::ms(1);
+
+  sim::Simulator sim{1};
+  net::Fabric fabric{sim, params, 9};
+  std::vector<Arrival> fast, slow;
+  sim.spawn_daemon(collect(fabric, 1, fast), "fast");
+  sim.spawn_daemon(collect(fabric, 2, slow), "slow");
+  // Before onset both links run at base; after onset only the slow
+  // node's links stretch.
+  const bool s1 = fabric.send({0, 2, 1, 0, 1});
+  ASSERT_TRUE(s1);
+  sim.call_after(Duration::ms(2), [&fabric] {
+    const bool s2 = fabric.send({0, 2, 1, 0, 2});
+    const bool s3 = fabric.send({0, 1, 1, 0, 3});
+    ASSERT_TRUE(s2);
+    ASSERT_TRUE(s3);
+  });
+  (void)sim.run();
+  ASSERT_EQ(slow.size(), 2u);
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(slow[0].second, Duration::us(100).count_ns());
+  EXPECT_EQ(slow[1].second,
+            (Duration::ms(2) + Duration::ms(1)).count_ns());
+  EXPECT_EQ(fast[0].second,
+            (Duration::ms(2) + Duration::us(100)).count_ns());
+}
+
+// --- Maekawa quorums ---------------------------------------------------
+
+TEST(Maekawa, QuorumsContainSelfAndPairwiseIntersect)
+{
+  for (std::size_t n = 2; n <= 16; ++n) {
+    std::vector<std::set<net::NodeId>> quorums;
+    for (net::NodeId id = 0; id < n; ++id) {
+      const std::vector<net::NodeId> q = dme::maekawa_quorum(n, id);
+      const std::set<net::NodeId> qs{q.begin(), q.end()};
+      EXPECT_EQ(qs.size(), q.size()) << "duplicates, n=" << n;
+      EXPECT_TRUE(qs.contains(id)) << "self missing, n=" << n;
+      for (const net::NodeId m : qs) EXPECT_LT(m, n);
+      quorums.push_back(qs);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        bool intersects = false;
+        for (const net::NodeId m : quorums[i]) {
+          if (quorums[j].contains(m)) {
+            intersects = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(intersects) << "disjoint quorums " << i << "," << j
+                                << " at n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Maekawa, GridQuorumsStaySublinearOnPerfectSquares)
+{
+  // 9 nodes -> 3x3 grid: row + column = 5 members (including self),
+  // against 9 for broadcast-style protocols.
+  const std::vector<net::NodeId> q = dme::maekawa_quorum(9, 4);
+  EXPECT_EQ(q.size(), 5u);
+}
+
+// --- end-to-end channels on cluster scenarios --------------------------
+
+exec::ExperimentPlan dme_plan(Mechanism m, const char* scenario,
+                              std::size_t payload_bits, std::uint64_t seed)
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {m};
+  plan.scenarios = {exec::named_scenario(scenario)};
+  plan.payload_bits = payload_bits;
+  plan.seed_base = seed;
+  return plan;
+}
+
+TEST(DmeChannel, AllProtocolsDeliverOnARackCluster)
+{
+  for (const Mechanism m : {Mechanism::dme_broadcast, Mechanism::dme_ricart,
+                            Mechanism::dme_maekawa}) {
+    const auto cells = exec::expand(dme_plan(m, "dme-rack-3", 256, 0xDE7));
+    ASSERT_EQ(cells.size(), 1u);
+    const ChannelReport rep = exec::run_cell(cells[0]);
+    ASSERT_TRUE(rep.ok) << to_string(m) << ": " << rep.failure_reason;
+    EXPECT_TRUE(rep.sync_ok) << to_string(m);
+    // Fixed-rate mode carries the raw symbol channel: residual errors
+    // come only from probe-corruption noise, never from lost exclusion.
+    EXPECT_LT(rep.ber, 0.03) << to_string(m);
+  }
+}
+
+// The acceptance property: every protocol delivers a payload bit-exactly
+// under ARQ on the lossy 5-node WAN cell (2% loss, reordering).
+TEST(DmeChannel, ArqDeliversBitExactlyOverLossyWan)
+{
+  for (const Mechanism m : {Mechanism::dme_broadcast, Mechanism::dme_ricart,
+                            Mechanism::dme_maekawa}) {
+    exec::ExperimentPlan plan = dme_plan(m, "dme-lossy-wan-5", 96, 0x10E55);
+    plan.protocols = {{"arq", ProtocolMode::arq}};
+    const auto cells = exec::expand(plan);
+    ASSERT_EQ(cells.size(), 1u);
+    const ChannelReport rep = exec::run_cell(cells[0]);
+    ASSERT_TRUE(rep.ok) << to_string(m) << ": " << rep.failure_reason;
+    ASSERT_TRUE(rep.proto.has_value());
+    EXPECT_EQ(rep.ber, 0.0) << to_string(m);
+    EXPECT_EQ(rep.sent_payload.to_string(),
+              rep.received_payload.to_string())
+        << to_string(m);
+  }
+}
+
+TEST(DmeChannel, SingleHostMechanismsCannotCrossTheFabric)
+{
+  const auto cells =
+      exec::expand(dme_plan(Mechanism::event, "dme-rack-3", 64, 1));
+  ASSERT_EQ(cells.size(), 1u);
+  const ChannelReport rep = exec::run_cell(cells[0]);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("fabric"), std::string::npos)
+      << rep.failure_reason;
+}
+
+TEST(DmeChannel, DmeMechanismsNeedAClusterScenario)
+{
+  const auto cells =
+      exec::expand(dme_plan(Mechanism::dme_maekawa, "local", 64, 1));
+  ASSERT_EQ(cells.size(), 1u);
+  const ChannelReport rep = exec::run_cell(cells[0]);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure_reason.find("cluster"), std::string::npos)
+      << rep.failure_reason;
+}
+
+// --- campaign determinism over DME cells -------------------------------
+
+std::string emit_csv(const exec::CampaignResult& result)
+{
+  std::ostringstream out;
+  exec::write_csv(out, result);
+  return out.str();
+}
+
+std::string emit_json(const exec::CampaignResult& result)
+{
+  std::ostringstream out;
+  exec::write_json(out, result);
+  return out.str();
+}
+
+// A lossy Maekawa WAN cell next to rack cells of the other protocols:
+// the fabric's RNG streams and the extra node kernels all derive from
+// the cell seed, so worker interleaving must stay invisible.
+exec::ExperimentPlan dme_campaign_plan()
+{
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::dme_broadcast, Mechanism::dme_ricart,
+                     Mechanism::dme_maekawa};
+  plan.scenarios = {exec::named_scenario("dme-rack-3"),
+                    exec::named_scenario("dme-lossy-wan-5")};
+  plan.repeats = 2;
+  plan.seed_base = 0xFAB;
+  plan.payload_bits = 64;
+  return plan;
+}
+
+TEST(DmeCampaign, CsvAndJsonByteIdenticalAcrossJobCounts)
+{
+  const exec::ExperimentPlan plan = dme_campaign_plan();
+  const exec::CampaignResult serial = exec::CampaignRunner{1}.run(plan);
+  const exec::CampaignResult parallel = exec::CampaignRunner{4}.run(plan);
+  EXPECT_EQ(emit_csv(serial), emit_csv(parallel));
+  EXPECT_EQ(emit_json(serial), emit_json(parallel));
+  // And the cells actually carried payload (not a vacuous pass).
+  std::size_t delivered = 0;
+  for (const exec::CellResult& cell : serial.cells) {
+    if (cell.report.ok && cell.report.ber == 0.0) ++delivered;
+  }
+  EXPECT_GE(delivered, serial.cells.size() / 2);
+}
+
+TEST(DmeCampaign, ShardMergeByteIdenticalIncludingDmeCells)
+{
+  // DME cells mixed with single-host cells (which fail cleanly on
+  // cluster scenarios and succeed on local): the record stream must
+  // reassemble byte-identically from independent shards.
+  exec::ExperimentPlan plan;
+  plan.mechanisms = {Mechanism::event, Mechanism::dme_ricart};
+  plan.scenarios = {exec::named_scenario("local"),
+                    exec::named_scenario("dme-rack-3")};
+  plan.repeats = 2;
+  plan.seed_base = 0x5AD;
+  plan.payload_bits = 64;
+
+  const exec::CampaignResult reference = exec::CampaignRunner{1}.run(plan);
+
+  const std::size_t kShards = 2;
+  std::ostringstream records;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::vector<exec::CampaignCell> cells =
+        exec::shard_cells(exec::expand(plan), exec::ShardSpec{i, kShards});
+    exec::CampaignRunner{2}.run_stream(
+        std::move(cells), [&](const exec::CellResult& c) {
+          records << exec::cell_record_line(c) << '\n';
+        });
+  }
+
+  std::istringstream in{records.str()};
+  std::ostringstream csv, json;
+  exec::write_csv_header(csv);
+  exec::write_json_open(json);
+  std::size_t index = 0;
+  const exec::CampaignSummary merged = exec::replay_records(
+      plan, exec::ShardSpec{}, exec::read_records(in),
+      [&](const exec::CellResult& c) {
+        exec::write_csv_row(csv, c);
+        exec::write_json_cell(json, c, index);
+        ++index;
+      });
+  exec::write_json_close(json, merged.points, merged.by_mechanism,
+                         merged.by_scenario);
+
+  EXPECT_EQ(csv.str(), emit_csv(reference));
+  EXPECT_EQ(json.str(), emit_json(reference));
+}
+
+}  // namespace
+}  // namespace mes

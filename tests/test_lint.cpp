@@ -175,6 +175,29 @@ TEST(CheckedErrors, CleanWhenResultsAreConsumed)
   expect_markers("checked_clean.cpp", "src/channels/checked_clean.cpp");
 }
 
+TEST(CheckedErrors, FiresOnFabricPrimitivesInDmeSources)
+{
+  expect_markers("dme_checked_bad.cpp", "src/dme/dme_checked_bad.cpp");
+  expect_markers("dme_checked_bad.cpp", "src/net/dme_checked_bad.cpp");
+  expect_markers("dme_checked_bad.cpp", "src/channels/dme_checked_bad.cpp");
+}
+
+TEST(CheckedErrors, CleanWhenFabricOutcomesAreConsumed)
+{
+  expect_markers("dme_checked_clean.cpp", "src/dme/dme_checked_clean.cpp");
+}
+
+TEST(CheckedErrors, FabricNamesStayUnflaggedOutsideDmeSources)
+{
+  // The single-host contention channels legitimately run void
+  // acquire()/release() Procs; the fabric name set must not leak onto
+  // them — same text, non-dme path, zero findings.
+  const std::string text = read_fixture("dme_checked_bad.cpp");
+  const auto findings =
+      mes::lint::lint_source("src/channels/contention_base.cpp", text);
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected findings";
+}
+
 // --- suppressions ----------------------------------------------------------
 
 TEST(Suppression, InlineAllowWithJustificationSilences)

@@ -38,7 +38,10 @@ constexpr std::array<RuleInfo, kRuleCount> kRules{{
     {Rule::checked_errors, "checked-errors",
      "error results of Vfs/Kernel calls (flock, lock_file_ex, fsync, "
      "read, write, park, ...) must be consumed — kErrWouldBlock is a real "
-     "outcome under mandatory locking"},
+     "outcome under mandatory locking; in net/dme sources the fabric "
+     "primitives (send, recv, acquire, release) are checked too — a "
+     "dropped send and a timed-out recv are real outcomes on a lossy "
+     "fabric"},
     {Rule::bad_allow, "bad-allow",
      "malformed mes-lint directive (unknown rule name or allow() without "
      "a justification); never suppressible"},
@@ -738,6 +741,21 @@ class Linter {
     static const std::set<std::string_view> kStatementStart{
         ";", "{", "}", ")", "else", "do", ":",
     };
+    // Fabric/DME primitives: send() reports a drop, recv() a timeout,
+    // acquire()/release() a spent retry budget. Scoped to the net/dme
+    // sources so unrelated same-named helpers elsewhere (e.g. the
+    // single-host channels' void acquire Procs) stay unflagged.
+    static const std::set<std::string_view> kFabricAwaited{
+        "recv",
+        "acquire",
+        "release",
+    };
+    static const std::set<std::string_view> kFabricPlain{
+        "send",
+    };
+    const bool fabric_scope = path_.starts_with("src/net/") ||
+                              path_.starts_with("src/dme/") ||
+                              path_.starts_with("src/channels/dme");
 
     for (std::size_t i = 0; i < toks_.size(); ++i) {
       const bool at_start =
@@ -757,7 +775,9 @@ class Linter {
             call = t;
           }
         }
-        if (!call.empty() && kAwaited.count(call)) {
+        if (!call.empty() &&
+            (kAwaited.count(call) ||
+             (fabric_scope && kFabricAwaited.count(call)))) {
           add(toks_[i].line, Rule::checked_errors,
               "result of 'co_await " + std::string{call} +
                   "(...)' is discarded — check the error/outcome "
@@ -786,7 +806,10 @@ class Linter {
           k += 2;  // chained nullary call: kernel.vfs().create_file(...)
         }
       }
-      if (tok(k + 1).text != "(" || !kPlain.count(last_name)) continue;
+      const bool plain_hit =
+          kPlain.count(last_name) > 0 ||
+          (fabric_scope && kFabricPlain.count(last_name) > 0);
+      if (tok(k + 1).text != "(" || !plain_hit) continue;
       const std::size_t close = match_forward(toks_, k + 1, "(", ")");
       if (close < toks_.size() && tok(close + 1).text == ";") {
         add(toks_[i].line, Rule::checked_errors,

@@ -118,7 +118,9 @@ void usage()
       "usage: mes_cli <run|sweep|campaign|plan|text|list|list-scenarios> "
       "[options]\n"
       "  --mechanism M   flock|filelockex|mutex|semaphore|event|timer|"
-      "signal|flock-sh\n"
+      "signal|flock-sh|\n"
+      "                  sync-sync|write-sync|dme-bcast|dme-ra|dme-maekawa\n"
+      "                  (dme-* need a cluster scenario, e.g. dme-rack-5)\n"
       "  --scenario S    any scenario-library name (see list-scenarios);\n"
       "                  local|sandbox|vm still work as aliases\n"
       "  --hypervisor H  type1|type2 (hypervisor-sensitive scenarios)\n"
@@ -931,6 +933,15 @@ int cmd_campaign(const Options& opt)
   std::size_t resumed = 0;
   try {
     if (!opt.merge.empty()) {
+      // A record file listed twice would silently collapse into one
+      // reports.merge() contribution — reject the typo up front.
+      std::set<std::string> merge_paths;
+      for (const std::string& path : split_list(opt.merge)) {
+        if (!merge_paths.insert(path).second) {
+          std::fprintf(stderr, "--merge lists '%s' twice\n", path.c_str());
+          return 2;
+        }
+      }
       std::map<std::size_t, ChannelReport> reports;
       for (const std::string& path : split_list(opt.merge)) {
         std::ifstream in{path};
